@@ -1,0 +1,36 @@
+//! Ablation bench for the design choices DESIGN.md calls out: solver
+//! result caching and the simplifier tier. Three engine configurations
+//! (optimized / baseline / unoptimized) over a fixed subset of suites.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_solver::Solver;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let js_cfg = gillian_js::buckets::table1_config();
+    for suite in ["bst", "heap"] {
+        group.bench_function(format!("js/{suite}/optimized"), |b| {
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, js_cfg))
+        });
+        group.bench_function(format!("js/{suite}/baseline(no-cache,basic-simp)"), |b| {
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, js_cfg))
+        });
+        group.bench_function(format!("js/{suite}/unoptimized(no-cache,no-simp)"), |b| {
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::unoptimized, js_cfg))
+        });
+    }
+    let c_cfg = gillian_c::collections::table2_config();
+    for suite in ["array", "treetbl"] {
+        group.bench_function(format!("c/{suite}/optimized"), |b| {
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, c_cfg))
+        });
+        group.bench_function(format!("c/{suite}/baseline(no-cache,basic-simp)"), |b| {
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::baseline, c_cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Table 1: each Buckets suite, under both the
+//! optimized engine and the baseline (JaVerT-2.0-like) configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_solver::Solver;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = gillian_js::buckets::table1_config();
+    let mut group = c.benchmark_group("table1_buckets");
+    group.sample_size(10);
+    for suite in gillian_js::buckets::suite_names() {
+        group.bench_function(format!("{suite}/optimized"), |b| {
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, cfg))
+        });
+        group.bench_function(format!("{suite}/baseline"), |b| {
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

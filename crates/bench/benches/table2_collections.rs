@@ -1,0 +1,20 @@
+//! Criterion bench for Table 2: each Collections suite under the
+//! optimized engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_solver::Solver;
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = gillian_c::collections::table2_config();
+    let mut group = c.benchmark_group("table2_collections");
+    group.sample_size(10);
+    for suite in gillian_c::collections::suite_names() {
+        group.bench_function(suite, |b| {
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

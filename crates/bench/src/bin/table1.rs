@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1 (Buckets.js: per-structure test
+//! counts, GIL command counts, and baseline-vs-optimized times).
+
+fn main() {
+    let rows = gillian_bench::table1_rows();
+    print!("{}", gillian_bench::render_table1(&rows));
+}

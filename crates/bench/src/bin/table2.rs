@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 2 (Collections-C: per-structure test
+//! counts, GIL command counts, and times).
+
+fn main() {
+    let rows = gillian_bench::table2_rows();
+    print!("{}", gillian_bench::render_table2(&rows));
+}

@@ -1,0 +1,192 @@
+#![warn(missing_docs)]
+
+//! # Benchmark harness: regenerating the paper's evaluation
+//!
+//! The paper's evaluation artifacts are **Table 1** (Buckets.js under
+//! Gillian-JS, with JaVerT 2.0 as the time baseline) and **Table 2**
+//! (Collections-C under Gillian-C). This crate regenerates both:
+//!
+//! - the binaries `table1` and `table2` print the tables in the paper's
+//!   row format (`cargo run -p gillian-bench --bin table1 --release`);
+//! - the Criterion benches `table1_buckets` and `table2_collections`
+//!   measure the same workloads per suite;
+//! - the `ablations` bench isolates the two engine features the paper
+//!   credits for the ≈2× speedup over JaVerT 2.0 (solver result caching
+//!   and expression simplification).
+//!
+//! The JaVerT 2.0 column of Table 1 is reproduced by
+//! [`gillian_solver::SolverConfig::baseline`], which disables exactly
+//! those two features (see `DESIGN.md` §2 for the substitution argument).
+
+use gillian_core::testing::TestSuiteResult;
+use gillian_solver::Solver;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One rendered row of a table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Data-structure name.
+    pub name: String,
+    /// Number of symbolic tests.
+    pub tests: usize,
+    /// GIL commands executed.
+    pub gil_cmds: u64,
+    /// Time under the baseline configuration (Table 1 only).
+    pub time_baseline: Option<Duration>,
+    /// Time under the optimized configuration.
+    pub time_optimized: Duration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+/// Runs Table 1 (Buckets under MiniJS), with both engine configurations.
+pub fn table1_rows() -> Vec<Row> {
+    let cfg = gillian_js::buckets::table1_config();
+    gillian_js::buckets::suite_names()
+        .into_iter()
+        .map(|suite| {
+            let baseline = gillian_js::buckets::run_row(suite, Solver::baseline, cfg);
+            let optimized = gillian_js::buckets::run_row(suite, Solver::optimized, cfg);
+            assert_clean(&baseline);
+            assert_clean(&optimized);
+            Row {
+                name: suite.to_string(),
+                tests: optimized.tests,
+                gil_cmds: optimized.gil_cmds,
+                time_baseline: Some(baseline.time),
+                time_optimized: optimized.time,
+            }
+        })
+        .collect()
+}
+
+/// Runs Table 2 (Collections under MiniC).
+pub fn table2_rows() -> Vec<Row> {
+    let cfg = gillian_c::collections::table2_config();
+    gillian_c::collections::suite_names()
+        .into_iter()
+        .map(|suite| {
+            let row = gillian_c::collections::run_row(suite, Solver::optimized, cfg);
+            assert_clean(&row);
+            Row {
+                name: suite.to_string(),
+                tests: row.tests,
+                gil_cmds: row.gil_cmds,
+                time_baseline: None,
+                time_optimized: row.time,
+            }
+        })
+        .collect()
+}
+
+fn assert_clean(row: &TestSuiteResult) {
+    assert!(
+        row.failures.is_empty() && row.truncated.is_empty(),
+        "suite {} did not verify cleanly: failures {:?}, truncated {:?}",
+        row.name,
+        row.failures,
+        row.truncated
+    );
+}
+
+/// Renders rows in the paper's Table 1 format
+/// (`Name #T GILCmds Time(J2) Time(GJS)`).
+pub fn render_table1(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10} {:>10}",
+        "Name", "#T", "GIL Cmds", "Time(base)", "Time(opt)"
+    )
+    .unwrap();
+    let (mut t, mut c, mut tb, mut to) = (0, 0u64, Duration::ZERO, Duration::ZERO);
+    for r in rows {
+        let base = r.time_baseline.unwrap_or_default();
+        writeln!(
+            out,
+            "{:<8} {:>4} {:>12} {:>10} {:>10}",
+            r.name,
+            r.tests,
+            r.gil_cmds,
+            fmt_duration(base),
+            fmt_duration(r.time_optimized)
+        )
+        .unwrap();
+        t += r.tests;
+        c += r.gil_cmds;
+        tb += base;
+        to += r.time_optimized;
+    }
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10} {:>10}",
+        "Total",
+        t,
+        c,
+        fmt_duration(tb),
+        fmt_duration(to)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "speedup (baseline/optimized): {:.2}x",
+        tb.as_secs_f64() / to.as_secs_f64().max(1e-9)
+    )
+    .unwrap();
+    out
+}
+
+/// Renders rows in the paper's Table 2 format (`Name #T GILCmds Time`).
+pub fn render_table2(rows: &[Row]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10}",
+        "Name", "#T", "GIL Cmds", "Time"
+    )
+    .unwrap();
+    let (mut t, mut c, mut to) = (0, 0u64, Duration::ZERO);
+    for r in rows {
+        writeln!(
+            out,
+            "{:<8} {:>4} {:>12} {:>10}",
+            r.name,
+            r.tests,
+            r.gil_cmds,
+            fmt_duration(r.time_optimized)
+        )
+        .unwrap();
+        t += r.tests;
+        c += r.gil_cmds;
+        to += r.time_optimized;
+    }
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10}",
+        "Total",
+        t,
+        c,
+        fmt_duration(to)
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 10);
+        let rendered = render_table2(&rows);
+        assert!(rendered.contains("slist"));
+        assert!(rendered.contains("Total"));
+        let total: usize = rows.iter().map(|r| r.tests).sum();
+        assert_eq!(total, 161);
+    }
+}

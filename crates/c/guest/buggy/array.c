@@ -1,0 +1,66 @@
+// Buggy dynamic array, seeding two of the paper's §4.2 findings:
+//
+// - Bug 1: "a buffer overflow bug in the implementation of dynamic
+//   arrays, caused by an off-by-one index" — `array_add` only expands
+//   when size *exceeds* capacity, so the add at size == capacity writes
+//   one element past the end of the buffer.
+// - Bug 2: "usage of undefined behaviours (pointer comparison, in
+//   particular)" — `array_expand` orders the old and new buffer pointers,
+//   which point into different blocks.
+
+struct Array {
+    long size;
+    long capacity;
+    long *buffer;
+};
+
+struct Array *array_new(long capacity) {
+    struct Array *ar = malloc(sizeof(struct Array));
+    ar->size = 0;
+    ar->capacity = capacity;
+    ar->buffer = malloc(capacity * sizeof(long));
+    return ar;
+}
+
+void array_expand(struct Array *ar) {
+    long newcap = ar->capacity * 2;
+    long *nb = malloc(newcap * sizeof(long));
+    // BUG 2: ordering pointers into different blocks is UB.
+    if (nb < ar->buffer) {
+        memcpy(nb, ar->buffer, ar->size * sizeof(long));
+    } else {
+        memcpy(nb, ar->buffer, ar->size * sizeof(long));
+    }
+    free(ar->buffer);
+    ar->buffer = nb;
+    ar->capacity = newcap;
+    return;
+}
+
+long array_add(struct Array *ar, long value) {
+    // BUG 1: off-by-one — should be `>=`.
+    if (ar->size > ar->capacity) {
+        array_expand(ar);
+    }
+    ar->buffer[ar->size] = value;
+    ar->size = ar->size + 1;
+    return 0;
+}
+
+long array_get_at(struct Array *ar, long index, long *out) {
+    if (index < 0 || index >= ar->size) {
+        return 3;
+    }
+    *out = ar->buffer[index];
+    return 0;
+}
+
+long array_size(struct Array *ar) {
+    return ar->size;
+}
+
+void array_destroy(struct Array *ar) {
+    free(ar->buffer);
+    free(ar);
+    return;
+}

@@ -1,0 +1,55 @@
+// Buggy ring buffer, seeding the paper's §4.2 bug 4: "over-allocation in
+// the ring-buffer data structure, but with correct behaviour of the
+// associated functions" — the buffer allocates twice the needed bytes.
+// All operations stay correct; the `block_size` introspection test
+// exposes the waste.
+
+struct RBuf {
+    long size;
+    long capacity;
+    long head;
+    long tail;
+    long *buffer;
+};
+
+struct RBuf *rbuf_new(long capacity) {
+    struct RBuf *rb = malloc(sizeof(struct RBuf));
+    rb->size = 0;
+    rb->capacity = capacity;
+    rb->head = 0;
+    rb->tail = 0;
+    // BUG 4: allocates capacity * sizeof(long) * 2 bytes.
+    rb->buffer = malloc(capacity * sizeof(long) * 2);
+    return rb;
+}
+
+void rbuf_enqueue(struct RBuf *rb, long value) {
+    rb->buffer[rb->tail] = value;
+    rb->tail = (rb->tail + 1) % rb->capacity;
+    if (rb->size == rb->capacity) {
+        rb->head = (rb->head + 1) % rb->capacity;
+    } else {
+        rb->size = rb->size + 1;
+    }
+    return;
+}
+
+long rbuf_dequeue(struct RBuf *rb, long *out) {
+    if (rb->size == 0) {
+        return 8;
+    }
+    *out = rb->buffer[rb->head];
+    rb->head = (rb->head + 1) % rb->capacity;
+    rb->size = rb->size - 1;
+    return 0;
+}
+
+long rbuf_size(struct RBuf *rb) {
+    return rb->size;
+}
+
+void rbuf_destroy(struct RBuf *rb) {
+    free(rb->buffer);
+    free(rb);
+    return;
+}

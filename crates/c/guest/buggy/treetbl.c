@@ -1,0 +1,95 @@
+// Buggy tree table, the analogue of the paper's §4.2 bug 5 (a weak string
+// hashing function that silently degraded hashtable behaviour): here a
+// wrong comparison inserts duplicate keys instead of updating in place.
+// Lookups still *serendipitously* return a correct value — exactly the
+// "incorrect checks with serendipitously correct values" phenomenon the
+// paper describes — but the size invariant breaks.
+
+struct TNode {
+    long key;
+    long value;
+    struct TNode *left;
+    struct TNode *right;
+};
+
+struct TreeTbl {
+    long size;
+    struct TNode *root;
+};
+
+struct TreeTbl *treetbl_new(void) {
+    struct TreeTbl *t = malloc(sizeof(struct TreeTbl));
+    t->size = 0;
+    t->root = NULL;
+    return t;
+}
+
+long treetbl_add(struct TreeTbl *t, long key, long value) {
+    struct TNode *node = malloc(sizeof(struct TNode));
+    node->key = key;
+    node->value = value;
+    node->left = NULL;
+    node->right = NULL;
+    if (t->root == NULL) {
+        t->root = node;
+        t->size = t->size + 1;
+        return 0;
+    }
+    struct TNode *cur = t->root;
+    while (1) {
+        // BUG 5-analogue: `<=` sends duplicates into the left subtree
+        // instead of updating the existing entry.
+        if (key <= cur->key) {
+            if (cur->left == NULL) {
+                cur->left = node;
+                t->size = t->size + 1;
+                return 0;
+            }
+            cur = cur->left;
+        } else {
+            if (cur->right == NULL) {
+                cur->right = node;
+                t->size = t->size + 1;
+                return 0;
+            }
+            cur = cur->right;
+        }
+    }
+    return 0;
+}
+
+long treetbl_get(struct TreeTbl *t, long key, long *out) {
+    struct TNode *cur = t->root;
+    while (cur != NULL) {
+        if (key == cur->key) {
+            *out = cur->value;
+            return 0;
+        }
+        if (key < cur->key) {
+            cur = cur->left;
+        } else {
+            cur = cur->right;
+        }
+    }
+    return 6;
+}
+
+long treetbl_size(struct TreeTbl *t) {
+    return t->size;
+}
+
+void treetbl_destroy_node(struct TNode *node) {
+    if (node == NULL) {
+        return;
+    }
+    treetbl_destroy_node(node->left);
+    treetbl_destroy_node(node->right);
+    free(node);
+    return;
+}
+
+void treetbl_destroy(struct TreeTbl *t) {
+    treetbl_destroy_node(t->root);
+    free(t);
+    return;
+}

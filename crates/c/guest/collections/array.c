@@ -1,0 +1,133 @@
+// Dynamic array of longs (the `cc_array` of Collections-C).
+// Status codes mirror Collections-C: 0 = OK, 3 = ERR_OUT_OF_RANGE,
+// 8 = ERR_VALUE_NOT_FOUND.
+
+struct Array {
+    long size;
+    long capacity;
+    long *buffer;
+};
+
+struct Array *array_new(long capacity) {
+    struct Array *ar = malloc(sizeof(struct Array));
+    ar->size = 0;
+    ar->capacity = capacity;
+    ar->buffer = malloc(capacity * sizeof(long));
+    return ar;
+}
+
+void array_expand(struct Array *ar) {
+    long newcap = ar->capacity * 2;
+    long *nb = malloc(newcap * sizeof(long));
+    memcpy(nb, ar->buffer, ar->size * sizeof(long));
+    free(ar->buffer);
+    ar->buffer = nb;
+    ar->capacity = newcap;
+    return;
+}
+
+long array_add(struct Array *ar, long value) {
+    if (ar->size >= ar->capacity) {
+        array_expand(ar);
+    }
+    ar->buffer[ar->size] = value;
+    ar->size = ar->size + 1;
+    return 0;
+}
+
+long array_add_at(struct Array *ar, long value, long index) {
+    if (index < 0 || index > ar->size) {
+        return 3;
+    }
+    if (ar->size >= ar->capacity) {
+        array_expand(ar);
+    }
+    for (long i = ar->size; i > index; i = i - 1) {
+        ar->buffer[i] = ar->buffer[i - 1];
+    }
+    ar->buffer[index] = value;
+    ar->size = ar->size + 1;
+    return 0;
+}
+
+long array_get_at(struct Array *ar, long index, long *out) {
+    if (index < 0 || index >= ar->size) {
+        return 3;
+    }
+    *out = ar->buffer[index];
+    return 0;
+}
+
+long array_replace_at(struct Array *ar, long value, long index, long *out) {
+    if (index < 0 || index >= ar->size) {
+        return 3;
+    }
+    *out = ar->buffer[index];
+    ar->buffer[index] = value;
+    return 0;
+}
+
+long array_remove_at(struct Array *ar, long index, long *out) {
+    if (index < 0 || index >= ar->size) {
+        return 3;
+    }
+    *out = ar->buffer[index];
+    for (long i = index; i < ar->size - 1; i = i + 1) {
+        ar->buffer[i] = ar->buffer[i + 1];
+    }
+    ar->size = ar->size - 1;
+    return 0;
+}
+
+long array_index_of(struct Array *ar, long value) {
+    for (long i = 0; i < ar->size; i = i + 1) {
+        if (ar->buffer[i] == value) {
+            return i;
+        }
+    }
+    return 0 - 1;
+}
+
+long array_contains(struct Array *ar, long value) {
+    long count = 0;
+    for (long i = 0; i < ar->size; i = i + 1) {
+        if (ar->buffer[i] == value) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+
+long array_remove(struct Array *ar, long value) {
+    long index = array_index_of(ar, value);
+    if (index < 0) {
+        return 8;
+    }
+    long *scratch = malloc(sizeof(long));
+    array_remove_at(ar, index, scratch);
+    free(scratch);
+    return 0;
+}
+
+void array_reverse(struct Array *ar) {
+    long i = 0;
+    long j = ar->size - 1;
+    while (i < j) {
+        long tmp = ar->buffer[i];
+        ar->buffer[i] = ar->buffer[j];
+        ar->buffer[j] = tmp;
+        i = i + 1;
+        j = j - 1;
+    }
+    return;
+}
+
+long array_size(struct Array *ar) {
+    return ar->size;
+}
+
+void array_destroy(struct Array *ar) {
+    free(ar->buffer);
+    free(ar);
+    return;
+}

@@ -1,0 +1,110 @@
+// Circular-buffer double-ended queue of longs (the `cc_deque` of
+// Collections-C). The capacity is a power of two; indices wrap with
+// `& (capacity - 1)`, as in the original.
+
+struct Deque {
+    long size;
+    long capacity;
+    long first;
+    long last;
+    long *buffer;
+};
+
+struct Deque *deque_new(void) {
+    struct Deque *dq = malloc(sizeof(struct Deque));
+    dq->size = 0;
+    dq->capacity = 8;
+    dq->first = 0;
+    dq->last = 0;
+    dq->buffer = malloc(8 * sizeof(long));
+    return dq;
+}
+
+// Internal: doubles the buffer, linearising the contents.
+void deque_expand(struct Deque *dq) {
+    long newcap = dq->capacity * 2;
+    long *nb = malloc(newcap * sizeof(long));
+    for (long i = 0; i < dq->size; i = i + 1) {
+        nb[i] = dq->buffer[(dq->first + i) & (dq->capacity - 1)];
+    }
+    free(dq->buffer);
+    dq->buffer = nb;
+    dq->first = 0;
+    dq->last = dq->size;
+    dq->capacity = newcap;
+    return;
+}
+
+long deque_add_last(struct Deque *dq, long value) {
+    if (dq->size >= dq->capacity) {
+        deque_expand(dq);
+    }
+    dq->buffer[dq->last] = value;
+    dq->last = (dq->last + 1) & (dq->capacity - 1);
+    dq->size = dq->size + 1;
+    return 0;
+}
+
+long deque_add_first(struct Deque *dq, long value) {
+    if (dq->size >= dq->capacity) {
+        deque_expand(dq);
+    }
+    dq->first = (dq->first - 1) & (dq->capacity - 1);
+    dq->buffer[dq->first] = value;
+    dq->size = dq->size + 1;
+    return 0;
+}
+
+long deque_remove_first(struct Deque *dq, long *out) {
+    if (dq->size == 0) {
+        return 8;
+    }
+    *out = dq->buffer[dq->first];
+    dq->first = (dq->first + 1) & (dq->capacity - 1);
+    dq->size = dq->size - 1;
+    return 0;
+}
+
+long deque_remove_last(struct Deque *dq, long *out) {
+    if (dq->size == 0) {
+        return 8;
+    }
+    dq->last = (dq->last - 1) & (dq->capacity - 1);
+    *out = dq->buffer[dq->last];
+    dq->size = dq->size - 1;
+    return 0;
+}
+
+long deque_get_first(struct Deque *dq, long *out) {
+    if (dq->size == 0) {
+        return 8;
+    }
+    *out = dq->buffer[dq->first];
+    return 0;
+}
+
+long deque_get_last(struct Deque *dq, long *out) {
+    if (dq->size == 0) {
+        return 8;
+    }
+    *out = dq->buffer[(dq->last - 1) & (dq->capacity - 1)];
+    return 0;
+}
+
+long deque_get_at(struct Deque *dq, long index, long *out) {
+    if (index < 0 || index >= dq->size) {
+        return 3;
+    }
+    *out = dq->buffer[(dq->first + index) & (dq->capacity - 1)];
+    return 0;
+}
+
+long deque_size(struct Deque *dq) {
+    return dq->size;
+}
+
+void deque_destroy(struct Deque *dq) {
+    free(dq->buffer);
+    free(dq);
+    return;
+}

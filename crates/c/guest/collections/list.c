@@ -1,0 +1,218 @@
+// Doubly linked list of longs (the `cc_list` of Collections-C).
+
+struct DNode {
+    long value;
+    struct DNode *next;
+    struct DNode *prev;
+};
+
+struct List {
+    long size;
+    struct DNode *head;
+    struct DNode *tail;
+};
+
+struct List *list_new(void) {
+    struct List *l = malloc(sizeof(struct List));
+    l->size = 0;
+    l->head = NULL;
+    l->tail = NULL;
+    return l;
+}
+
+long list_add_last(struct List *l, long value) {
+    struct DNode *node = malloc(sizeof(struct DNode));
+    node->value = value;
+    node->next = NULL;
+    node->prev = l->tail;
+    if (l->tail == NULL) {
+        l->head = node;
+    } else {
+        l->tail->next = node;
+    }
+    l->tail = node;
+    l->size = l->size + 1;
+    return 0;
+}
+
+long list_add(struct List *l, long value) {
+    return list_add_last(l, value);
+}
+
+long list_add_first(struct List *l, long value) {
+    struct DNode *node = malloc(sizeof(struct DNode));
+    node->value = value;
+    node->prev = NULL;
+    node->next = l->head;
+    if (l->head == NULL) {
+        l->tail = node;
+    } else {
+        l->head->prev = node;
+    }
+    l->head = node;
+    l->size = l->size + 1;
+    return 0;
+}
+
+// Internal: the node at `index` (walking from the closer end).
+struct DNode *list_node_at(struct List *l, long index) {
+    struct DNode *node;
+    if (index < l->size / 2) {
+        node = l->head;
+        for (long i = 0; i < index; i = i + 1) {
+            node = node->next;
+        }
+    } else {
+        node = l->tail;
+        for (long i = l->size - 1; i > index; i = i - 1) {
+            node = node->prev;
+        }
+    }
+    return node;
+}
+
+long list_get_at(struct List *l, long index, long *out) {
+    if (index < 0 || index >= l->size) {
+        return 3;
+    }
+    struct DNode *node = list_node_at(l, index);
+    *out = node->value;
+    return 0;
+}
+
+long list_get_first(struct List *l, long *out) {
+    if (l->size == 0) {
+        return 8;
+    }
+    *out = l->head->value;
+    return 0;
+}
+
+long list_get_last(struct List *l, long *out) {
+    if (l->size == 0) {
+        return 8;
+    }
+    *out = l->tail->value;
+    return 0;
+}
+
+long list_add_at(struct List *l, long value, long index) {
+    if (index < 0 || index > l->size) {
+        return 3;
+    }
+    if (index == 0) {
+        return list_add_first(l, value);
+    }
+    if (index == l->size) {
+        return list_add_last(l, value);
+    }
+    struct DNode *at = list_node_at(l, index);
+    struct DNode *node = malloc(sizeof(struct DNode));
+    node->value = value;
+    node->prev = at->prev;
+    node->next = at;
+    at->prev->next = node;
+    at->prev = node;
+    l->size = l->size + 1;
+    return 0;
+}
+
+// Internal: unlink and free a node.
+void list_unlink(struct List *l, struct DNode *node) {
+    if (node->prev == NULL) {
+        l->head = node->next;
+    } else {
+        node->prev->next = node->next;
+    }
+    if (node->next == NULL) {
+        l->tail = node->prev;
+    } else {
+        node->next->prev = node->prev;
+    }
+    free(node);
+    l->size = l->size - 1;
+    return;
+}
+
+long list_remove_at(struct List *l, long index, long *out) {
+    if (index < 0 || index >= l->size) {
+        return 3;
+    }
+    struct DNode *node = list_node_at(l, index);
+    *out = node->value;
+    list_unlink(l, node);
+    return 0;
+}
+
+long list_remove_first(struct List *l, long *out) {
+    if (l->size == 0) {
+        return 8;
+    }
+    return list_remove_at(l, 0, out);
+}
+
+long list_remove_last(struct List *l, long *out) {
+    if (l->size == 0) {
+        return 8;
+    }
+    return list_remove_at(l, l->size - 1, out);
+}
+
+long list_index_of(struct List *l, long value) {
+    struct DNode *node = l->head;
+    long index = 0;
+    while (node != NULL) {
+        if (node->value == value) {
+            return index;
+        }
+        index = index + 1;
+        node = node->next;
+    }
+    return 0 - 1;
+}
+
+long list_contains(struct List *l, long value) {
+    return list_index_of(l, value) >= 0;
+}
+
+long list_remove(struct List *l, long value) {
+    struct DNode *node = l->head;
+    while (node != NULL) {
+        if (node->value == value) {
+            list_unlink(l, node);
+            return 0;
+        }
+        node = node->next;
+    }
+    return 8;
+}
+
+void list_reverse(struct List *l) {
+    struct DNode *node = l->head;
+    l->tail = l->head;
+    struct DNode *prev = NULL;
+    while (node != NULL) {
+        struct DNode *next = node->next;
+        node->next = prev;
+        node->prev = next;
+        prev = node;
+        node = next;
+    }
+    l->head = prev;
+    return;
+}
+
+long list_size(struct List *l) {
+    return l->size;
+}
+
+void list_destroy(struct List *l) {
+    struct DNode *node = l->head;
+    while (node != NULL) {
+        struct DNode *next = node->next;
+        free(node);
+        node = next;
+    }
+    free(l);
+    return;
+}

@@ -1,0 +1,94 @@
+// Binary min-heap priority queue of longs (the `cc_pqueue` of
+// Collections-C, with the default numeric comparison; the minimum is on
+// top).
+
+struct PQueue {
+    long size;
+    long capacity;
+    long *buffer;
+};
+
+struct PQueue *pqueue_new(void) {
+    struct PQueue *pq = malloc(sizeof(struct PQueue));
+    pq->size = 0;
+    pq->capacity = 8;
+    pq->buffer = malloc(8 * sizeof(long));
+    return pq;
+}
+
+void pqueue_expand(struct PQueue *pq) {
+    long newcap = pq->capacity * 2;
+    long *nb = malloc(newcap * sizeof(long));
+    memcpy(nb, pq->buffer, pq->size * sizeof(long));
+    free(pq->buffer);
+    pq->buffer = nb;
+    pq->capacity = newcap;
+    return;
+}
+
+long pqueue_push(struct PQueue *pq, long value) {
+    if (pq->size >= pq->capacity) {
+        pqueue_expand(pq);
+    }
+    long i = pq->size;
+    pq->buffer[i] = value;
+    pq->size = pq->size + 1;
+    while (i > 0) {
+        long parent = (i - 1) / 2;
+        if (pq->buffer[parent] <= pq->buffer[i]) {
+            break;
+        }
+        long tmp = pq->buffer[parent];
+        pq->buffer[parent] = pq->buffer[i];
+        pq->buffer[i] = tmp;
+        i = parent;
+    }
+    return 0;
+}
+
+long pqueue_top(struct PQueue *pq, long *out) {
+    if (pq->size == 0) {
+        return 8;
+    }
+    *out = pq->buffer[0];
+    return 0;
+}
+
+long pqueue_pop(struct PQueue *pq, long *out) {
+    if (pq->size == 0) {
+        return 8;
+    }
+    *out = pq->buffer[0];
+    pq->size = pq->size - 1;
+    pq->buffer[0] = pq->buffer[pq->size];
+    long i = 0;
+    while (1) {
+        long left = 2 * i + 1;
+        long right = 2 * i + 2;
+        long smallest = i;
+        if (left < pq->size && pq->buffer[left] < pq->buffer[smallest]) {
+            smallest = left;
+        }
+        if (right < pq->size && pq->buffer[right] < pq->buffer[smallest]) {
+            smallest = right;
+        }
+        if (smallest == i) {
+            break;
+        }
+        long tmp = pq->buffer[smallest];
+        pq->buffer[smallest] = pq->buffer[i];
+        pq->buffer[i] = tmp;
+        i = smallest;
+    }
+    return 0;
+}
+
+long pqueue_size(struct PQueue *pq) {
+    return pq->size;
+}
+
+void pqueue_destroy(struct PQueue *pq) {
+    free(pq->buffer);
+    free(pq);
+    return;
+}

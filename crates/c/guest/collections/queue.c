@@ -1,0 +1,34 @@
+// FIFO queue over the deque (the `cc_queue` of Collections-C, which is
+// likewise a deque adapter: enqueue at the front, poll from the back).
+
+struct Queue {
+    struct Deque *d;
+};
+
+struct Queue *queue_new(void) {
+    struct Queue *q = malloc(sizeof(struct Queue));
+    q->d = deque_new();
+    return q;
+}
+
+long queue_enqueue(struct Queue *q, long value) {
+    return deque_add_first(q->d, value);
+}
+
+long queue_poll(struct Queue *q, long *out) {
+    return deque_remove_last(q->d, out);
+}
+
+long queue_peek(struct Queue *q, long *out) {
+    return deque_get_last(q->d, out);
+}
+
+long queue_size(struct Queue *q) {
+    return deque_size(q->d);
+}
+
+void queue_destroy(struct Queue *q) {
+    deque_destroy(q->d);
+    free(q);
+    return;
+}

@@ -1,0 +1,202 @@
+// Singly linked list of longs (the `cc_slist` of Collections-C).
+
+struct SNode {
+    long value;
+    struct SNode *next;
+};
+
+struct SList {
+    long size;
+    struct SNode *head;
+    struct SNode *tail;
+};
+
+struct SList *slist_new(void) {
+    struct SList *sl = malloc(sizeof(struct SList));
+    sl->size = 0;
+    sl->head = NULL;
+    sl->tail = NULL;
+    return sl;
+}
+
+long slist_add_last(struct SList *sl, long value) {
+    struct SNode *node = malloc(sizeof(struct SNode));
+    node->value = value;
+    node->next = NULL;
+    if (sl->head == NULL) {
+        sl->head = node;
+        sl->tail = node;
+    } else {
+        sl->tail->next = node;
+        sl->tail = node;
+    }
+    sl->size = sl->size + 1;
+    return 0;
+}
+
+long slist_add(struct SList *sl, long value) {
+    return slist_add_last(sl, value);
+}
+
+long slist_add_first(struct SList *sl, long value) {
+    struct SNode *node = malloc(sizeof(struct SNode));
+    node->value = value;
+    node->next = sl->head;
+    sl->head = node;
+    if (sl->tail == NULL) {
+        sl->tail = node;
+    }
+    sl->size = sl->size + 1;
+    return 0;
+}
+
+long slist_add_at(struct SList *sl, long value, long index) {
+    if (index < 0 || index > sl->size) {
+        return 3;
+    }
+    if (index == 0) {
+        return slist_add_first(sl, value);
+    }
+    if (index == sl->size) {
+        return slist_add_last(sl, value);
+    }
+    struct SNode *prev = sl->head;
+    for (long i = 1; i < index; i = i + 1) {
+        prev = prev->next;
+    }
+    struct SNode *node = malloc(sizeof(struct SNode));
+    node->value = value;
+    node->next = prev->next;
+    prev->next = node;
+    sl->size = sl->size + 1;
+    return 0;
+}
+
+long slist_get_at(struct SList *sl, long index, long *out) {
+    if (index < 0 || index >= sl->size) {
+        return 3;
+    }
+    struct SNode *node = sl->head;
+    for (long i = 0; i < index; i = i + 1) {
+        node = node->next;
+    }
+    *out = node->value;
+    return 0;
+}
+
+long slist_get_first(struct SList *sl, long *out) {
+    if (sl->size == 0) {
+        return 8;
+    }
+    *out = sl->head->value;
+    return 0;
+}
+
+long slist_get_last(struct SList *sl, long *out) {
+    if (sl->size == 0) {
+        return 8;
+    }
+    *out = sl->tail->value;
+    return 0;
+}
+
+long slist_index_of(struct SList *sl, long value) {
+    struct SNode *node = sl->head;
+    long index = 0;
+    while (node != NULL) {
+        if (node->value == value) {
+            return index;
+        }
+        index = index + 1;
+        node = node->next;
+    }
+    return 0 - 1;
+}
+
+long slist_contains(struct SList *sl, long value) {
+    return slist_index_of(sl, value) >= 0;
+}
+
+long slist_remove_first(struct SList *sl, long *out) {
+    if (sl->size == 0) {
+        return 8;
+    }
+    struct SNode *node = sl->head;
+    *out = node->value;
+    sl->head = node->next;
+    if (sl->head == NULL) {
+        sl->tail = NULL;
+    }
+    free(node);
+    sl->size = sl->size - 1;
+    return 0;
+}
+
+long slist_remove_at(struct SList *sl, long index, long *out) {
+    if (index < 0 || index >= sl->size) {
+        return 3;
+    }
+    if (index == 0) {
+        return slist_remove_first(sl, out);
+    }
+    struct SNode *prev = sl->head;
+    for (long i = 1; i < index; i = i + 1) {
+        prev = prev->next;
+    }
+    struct SNode *node = prev->next;
+    *out = node->value;
+    prev->next = node->next;
+    if (node == sl->tail) {
+        sl->tail = prev;
+    }
+    free(node);
+    sl->size = sl->size - 1;
+    return 0;
+}
+
+long slist_remove_last(struct SList *sl, long *out) {
+    if (sl->size == 0) {
+        return 8;
+    }
+    return slist_remove_at(sl, sl->size - 1, out);
+}
+
+long slist_remove(struct SList *sl, long value) {
+    long index = slist_index_of(sl, value);
+    if (index < 0) {
+        return 8;
+    }
+    long *scratch = malloc(sizeof(long));
+    slist_remove_at(sl, index, scratch);
+    free(scratch);
+    return 0;
+}
+
+void slist_reverse(struct SList *sl) {
+    struct SNode *prev = NULL;
+    struct SNode *node = sl->head;
+    sl->tail = sl->head;
+    while (node != NULL) {
+        struct SNode *next = node->next;
+        node->next = prev;
+        prev = node;
+        node = next;
+    }
+    sl->head = prev;
+    return;
+}
+
+long slist_size(struct SList *sl) {
+    return sl->size;
+}
+
+void slist_destroy(struct SList *sl) {
+    struct SNode *node = sl->head;
+    while (node != NULL) {
+        struct SNode *next = node->next;
+        free(node);
+        node = next;
+    }
+    free(sl);
+    return;
+}

@@ -1,0 +1,40 @@
+// LIFO stack over the dynamic array (the `cc_stack` of Collections-C,
+// which is likewise an array adapter).
+
+struct Stack {
+    struct Array *a;
+};
+
+struct Stack *stack_new(void) {
+    struct Stack *s = malloc(sizeof(struct Stack));
+    s->a = array_new(8);
+    return s;
+}
+
+long stack_push(struct Stack *s, long value) {
+    return array_add(s->a, value);
+}
+
+long stack_pop(struct Stack *s, long *out) {
+    if (array_size(s->a) == 0) {
+        return 8;
+    }
+    return array_remove_at(s->a, array_size(s->a) - 1, out);
+}
+
+long stack_peek(struct Stack *s, long *out) {
+    if (array_size(s->a) == 0) {
+        return 8;
+    }
+    return array_get_at(s->a, array_size(s->a) - 1, out);
+}
+
+long stack_size(struct Stack *s) {
+    return array_size(s->a);
+}
+
+void stack_destroy(struct Stack *s) {
+    array_destroy(s->a);
+    free(s);
+    return;
+}

@@ -1,0 +1,45 @@
+// Ordered set over the tree table (the `cc_treeset` of Collections-C,
+// which is likewise a treetable adapter).
+
+struct TreeSet {
+    struct TreeTbl *t;
+};
+
+struct TreeSet *treeset_new(void) {
+    struct TreeSet *s = malloc(sizeof(struct TreeSet));
+    s->t = treetbl_new();
+    return s;
+}
+
+long treeset_add(struct TreeSet *s, long value) {
+    return treetbl_add(s->t, value, value);
+}
+
+long treeset_contains(struct TreeSet *s, long value) {
+    return treetbl_contains_key(s->t, value);
+}
+
+long treeset_remove(struct TreeSet *s, long value) {
+    long *scratch = malloc(sizeof(long));
+    long status = treetbl_remove(s->t, value, scratch);
+    free(scratch);
+    return status;
+}
+
+long treeset_first(struct TreeSet *s, long *out) {
+    return treetbl_first_key(s->t, out);
+}
+
+long treeset_last(struct TreeSet *s, long *out) {
+    return treetbl_last_key(s->t, out);
+}
+
+long treeset_size(struct TreeSet *s) {
+    return treetbl_size(s->t);
+}
+
+void treeset_destroy(struct TreeSet *s) {
+    treetbl_destroy(s->t);
+    free(s);
+    return;
+}

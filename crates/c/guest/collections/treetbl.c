@@ -1,0 +1,171 @@
+// Ordered key→value table over a binary search tree (the `cc_treetable`
+// of Collections-C; the original balances with red-black rotations — the
+// plain BST preserves the API and the memory-shape of the workload).
+
+struct TNode {
+    long key;
+    long value;
+    struct TNode *left;
+    struct TNode *right;
+};
+
+struct TreeTbl {
+    long size;
+    struct TNode *root;
+};
+
+struct TreeTbl *treetbl_new(void) {
+    struct TreeTbl *t = malloc(sizeof(struct TreeTbl));
+    t->size = 0;
+    t->root = NULL;
+    return t;
+}
+
+long treetbl_add(struct TreeTbl *t, long key, long value) {
+    struct TNode *node = malloc(sizeof(struct TNode));
+    node->key = key;
+    node->value = value;
+    node->left = NULL;
+    node->right = NULL;
+    if (t->root == NULL) {
+        t->root = node;
+        t->size = t->size + 1;
+        return 0;
+    }
+    struct TNode *cur = t->root;
+    while (1) {
+        if (key == cur->key) {
+            cur->value = value;
+            free(node);
+            return 0;
+        }
+        if (key < cur->key) {
+            if (cur->left == NULL) {
+                cur->left = node;
+                t->size = t->size + 1;
+                return 0;
+            }
+            cur = cur->left;
+        } else {
+            if (cur->right == NULL) {
+                cur->right = node;
+                t->size = t->size + 1;
+                return 0;
+            }
+            cur = cur->right;
+        }
+    }
+    return 0;
+}
+
+long treetbl_get(struct TreeTbl *t, long key, long *out) {
+    struct TNode *cur = t->root;
+    while (cur != NULL) {
+        if (key == cur->key) {
+            *out = cur->value;
+            return 0;
+        }
+        if (key < cur->key) {
+            cur = cur->left;
+        } else {
+            cur = cur->right;
+        }
+    }
+    return 6;
+}
+
+long treetbl_contains_key(struct TreeTbl *t, long key) {
+    long *scratch = malloc(sizeof(long));
+    long status = treetbl_get(t, key, scratch);
+    free(scratch);
+    return status == 0;
+}
+
+long treetbl_first_key(struct TreeTbl *t, long *out) {
+    if (t->root == NULL) {
+        return 6;
+    }
+    struct TNode *cur = t->root;
+    while (cur->left != NULL) {
+        cur = cur->left;
+    }
+    *out = cur->key;
+    return 0;
+}
+
+long treetbl_last_key(struct TreeTbl *t, long *out) {
+    if (t->root == NULL) {
+        return 6;
+    }
+    struct TNode *cur = t->root;
+    while (cur->right != NULL) {
+        cur = cur->right;
+    }
+    *out = cur->key;
+    return 0;
+}
+
+// Internal: removes `key` from the subtree rooted at `node`; returns the
+// new subtree root. Decrements the size exactly when a node is freed.
+struct TNode *treetbl_remove_node(struct TreeTbl *t, struct TNode *node, long key) {
+    if (node == NULL) {
+        return NULL;
+    }
+    if (key < node->key) {
+        node->left = treetbl_remove_node(t, node->left, key);
+        return node;
+    }
+    if (key > node->key) {
+        node->right = treetbl_remove_node(t, node->right, key);
+        return node;
+    }
+    if (node->left == NULL) {
+        struct TNode *right = node->right;
+        free(node);
+        t->size = t->size - 1;
+        return right;
+    }
+    if (node->right == NULL) {
+        struct TNode *left = node->left;
+        free(node);
+        t->size = t->size - 1;
+        return left;
+    }
+    struct TNode *succ = node->right;
+    while (succ->left != NULL) {
+        succ = succ->left;
+    }
+    node->key = succ->key;
+    node->value = succ->value;
+    node->right = treetbl_remove_node(t, node->right, succ->key);
+    return node;
+}
+
+long treetbl_remove(struct TreeTbl *t, long key, long *out) {
+    long status = treetbl_get(t, key, out);
+    if (status != 0) {
+        return 6;
+    }
+    t->root = treetbl_remove_node(t, t->root, key);
+    return 0;
+}
+
+long treetbl_size(struct TreeTbl *t) {
+    return t->size;
+}
+
+void treetbl_destroy_node(struct TNode *node) {
+    if (node == NULL) {
+        return;
+    }
+    treetbl_destroy_node(node->left);
+    treetbl_destroy_node(node->right);
+    free(node);
+    return;
+}
+
+void treetbl_destroy(struct TreeTbl *t) {
+    treetbl_destroy_node(t->root);
+    free(t);
+    return;
+}

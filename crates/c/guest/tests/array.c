@@ -1,0 +1,314 @@
+// Symbolic tests for the dynamic array (Table 2 row `array`, #T = 22).
+
+long test_array_1(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    long *out = malloc(sizeof(long));
+    assert(array_get_at(ar, 0, out) == 0);
+    assert(*out == x);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_2(void) {
+    // Adding past the capacity expands; all elements survive.
+    long x = symb_long();
+    struct Array *ar = array_new(2);
+    array_add(ar, x);
+    array_add(ar, x + 1);
+    array_add(ar, x + 2);
+    assert(array_size(ar) == 3);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 0, out);
+    assert(*out == x);
+    array_get_at(ar, 2, out);
+    assert(*out == x + 2);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_3(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, 1);
+    array_add(ar, 2);
+    assert(array_add_at(ar, x, 0) == 0);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 0, out);
+    assert(*out == x);
+    array_get_at(ar, 1, out);
+    assert(*out == 1);
+    assert(array_size(ar) == 3);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_4(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, 1);
+    array_add(ar, 3);
+    assert(array_add_at(ar, x, 1) == 0);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 1, out);
+    assert(*out == x);
+    array_get_at(ar, 2, out);
+    assert(*out == 3);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_5(void) {
+    struct Array *ar = array_new(2);
+    array_add(ar, 1);
+    assert(array_add_at(ar, 9, 2) == 3);
+    assert(array_add_at(ar, 9, 0 - 1) == 3);
+    assert(array_size(ar) == 1);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_6(void) {
+    struct Array *ar = array_new(2);
+    array_add(ar, 1);
+    long *out = malloc(sizeof(long));
+    assert(array_get_at(ar, 1, out) == 3);
+    assert(array_get_at(ar, 0 - 1, out) == 3);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_7(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Array *ar = array_new(2);
+    array_add(ar, x);
+    long *old = malloc(sizeof(long));
+    assert(array_replace_at(ar, y, 0, old) == 0);
+    assert(*old == x);
+    long *now = malloc(sizeof(long));
+    array_get_at(ar, 0, now);
+    assert(*now == y);
+    free(old);
+    free(now);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_8(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(array_remove_at(ar, 0, out) == 0);
+    assert(*out == x);
+    assert(array_size(ar) == 1);
+    array_get_at(ar, 0, out);
+    assert(*out == x + 1);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_9(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(array_remove_at(ar, 1, out) == 0);
+    assert(*out == x + 1);
+    assert(array_size(ar) == 1);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_10(void) {
+    struct Array *ar = array_new(2);
+    long *out = malloc(sizeof(long));
+    assert(array_remove_at(ar, 0, out) == 3);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_11(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, y);
+    assert(array_index_of(ar, x) == 0);
+    assert(array_index_of(ar, y) == 1);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_12(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, y);
+    array_add(ar, x);
+    assert(array_contains(ar, x) == 2);
+    assert(array_contains(ar, y) == 1);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_13(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, y);
+    assert(array_remove(ar, x) == 0);
+    assert(array_size(ar) == 1);
+    assert(array_index_of(ar, y) == 0);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_14(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    assert(array_remove(ar, y) == 8);
+    assert(array_size(ar) == 1);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_15(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, y);
+    array_reverse(ar);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 0, out);
+    assert(*out == y);
+    array_get_at(ar, 1, out);
+    assert(*out == x);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_16(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(4);
+    array_add(ar, x);
+    array_add(ar, x + 1);
+    array_add(ar, x + 2);
+    array_reverse(ar);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 0, out);
+    assert(*out == x + 2);
+    array_get_at(ar, 1, out);
+    assert(*out == x + 1);
+    array_get_at(ar, 2, out);
+    assert(*out == x);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_17(void) {
+    struct Array *ar = array_new(2);
+    assert(array_size(ar) == 0);
+    array_add(ar, 1);
+    assert(array_size(ar) == 1);
+    long *out = malloc(sizeof(long));
+    array_remove_at(ar, 0, out);
+    assert(array_size(ar) == 0);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_18(void) {
+    // Double expansion: capacity 1 grows twice.
+    long x = symb_long();
+    struct Array *ar = array_new(1);
+    array_add(ar, x);
+    array_add(ar, x + 1);
+    array_add(ar, x + 2);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        array_get_at(ar, i, out);
+        assert(*out == x + i);
+    }
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_19(void) {
+    // A symbolic in-bounds index: the memory model branches over the runs.
+    long i = symb_long();
+    assume(i >= 0 && i < 3);
+    struct Array *ar = array_new(4);
+    array_add(ar, 10);
+    array_add(ar, 11);
+    array_add(ar, 12);
+    long *out = malloc(sizeof(long));
+    assert(array_get_at(ar, i, out) == 0);
+    assert(*out == 10 + i);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_20(void) {
+    long x = symb_long();
+    struct Array *ar = array_new(2);
+    array_add(ar, x);
+    long *out = malloc(sizeof(long));
+    array_remove_at(ar, 0, out);
+    array_add(ar, x + 5);
+    array_get_at(ar, 0, out);
+    assert(*out == x + 5);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_21(void) {
+    // add_at at the very end behaves like add, including the expand path.
+    long x = symb_long();
+    struct Array *ar = array_new(2);
+    array_add(ar, 1);
+    array_add(ar, 2);
+    assert(array_add_at(ar, x, 2) == 0);
+    long *out = malloc(sizeof(long));
+    array_get_at(ar, 2, out);
+    assert(*out == x);
+    free(out);
+    array_destroy(ar);
+    return 0;
+}
+
+long test_array_22(void) {
+    // The buffer block is exactly capacity * sizeof(long) bytes.
+    struct Array *ar = array_new(4);
+    long *probe = ar->buffer;
+    assert(block_size(probe) == 4 * sizeof(long));
+    array_destroy(ar);
+    return 0;
+}

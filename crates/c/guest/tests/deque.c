@@ -1,0 +1,534 @@
+// Symbolic tests for the deque (Table 2 row `deque`, #T = 34).
+
+long test_deque_1(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    assert(deque_get_first(dq, out) == 0);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_2(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    long *out = malloc(sizeof(long));
+    assert(deque_get_last(dq, out) == 0);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_3(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_get_first(dq, out);
+    assert(*out == x);
+    deque_get_last(dq, out);
+    assert(*out == y);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_4(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    deque_add_first(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_get_first(dq, out);
+    assert(*out == y);
+    deque_get_last(dq, out);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_5(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    assert(deque_remove_first(dq, out) == 0);
+    assert(*out == x);
+    assert(deque_size(dq) == 0);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_6(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    assert(deque_remove_last(dq, out) == 0);
+    assert(*out == x);
+    assert(deque_size(dq) == 0);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_7(void) {
+    struct Deque *dq = deque_new();
+    long *out = malloc(sizeof(long));
+    assert(deque_remove_first(dq, out) == 8);
+    assert(deque_remove_last(dq, out) == 8);
+    assert(deque_get_first(dq, out) == 8);
+    assert(deque_get_last(dq, out) == 8);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_8(void) {
+    // FIFO through add_last / remove_first.
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    assert(*out == x);
+    deque_remove_first(dq, out);
+    assert(*out == y);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_9(void) {
+    // LIFO through add_last / remove_last.
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_remove_last(dq, out);
+    assert(*out == y);
+    deque_remove_last(dq, out);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_10(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x + 1);
+    deque_add_last(dq, x + 2);
+    deque_add_first(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_get_at(dq, 0, out);
+    assert(*out == x);
+    deque_get_at(dq, 1, out);
+    assert(*out == x + 1);
+    deque_get_at(dq, 2, out);
+    assert(*out == x + 2);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_11(void) {
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, 1);
+    long *out = malloc(sizeof(long));
+    assert(deque_get_at(dq, 1, out) == 3);
+    assert(deque_get_at(dq, 0 - 1, out) == 3);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_12(void) {
+    // Wrap-around: add_first drops `first` below zero and wraps.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    deque_add_first(dq, x + 1);
+    long *out = malloc(sizeof(long));
+    deque_get_at(dq, 0, out);
+    assert(*out == x + 1);
+    deque_get_at(dq, 1, out);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_13(void) {
+    // Fill to capacity 8, then expand on the 9th element.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    for (long i = 0; i < 9; i = i + 1) {
+        deque_add_last(dq, x + i);
+    }
+    assert(deque_size(dq) == 9);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 9; i = i + 1) {
+        deque_get_at(dq, i, out);
+        assert(*out == x + i);
+    }
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_14(void) {
+    // Expansion linearises a wrapped buffer.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    for (long i = 1; i < 9; i = i + 1) {
+        deque_add_last(dq, x + i);
+    }
+    assert(deque_size(dq) == 9);
+    long *out = malloc(sizeof(long));
+    deque_get_at(dq, 0, out);
+    assert(*out == x);
+    deque_get_at(dq, 8, out);
+    assert(*out == x + 8);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_15(void) {
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    deque_add_first(dq, x + 7);
+    deque_get_first(dq, out);
+    assert(*out == x + 7);
+    assert(deque_size(dq) == 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_16(void) {
+    struct Deque *dq = deque_new();
+    assert(deque_size(dq) == 0);
+    deque_add_last(dq, 1);
+    deque_add_first(dq, 2);
+    assert(deque_size(dq) == 2);
+    long *out = malloc(sizeof(long));
+    deque_remove_last(dq, out);
+    assert(deque_size(dq) == 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_17(void) {
+    // Alternating pushes preserve order.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x + 2);
+    deque_add_first(dq, x + 1);
+    deque_add_last(dq, x + 3);
+    deque_add_first(dq, x);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 4; i = i + 1) {
+        deque_get_at(dq, i, out);
+        assert(*out == x + i);
+    }
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_18(void) {
+    // Drain interleaved from both ends.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, x + 1);
+    deque_add_last(dq, x + 2);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    assert(*out == x);
+    deque_remove_last(dq, out);
+    assert(*out == x + 2);
+    deque_remove_first(dq, out);
+    assert(*out == x + 1);
+    assert(deque_size(dq) == 0);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_19(void) {
+    // A symbolic in-bounds index over a three-element deque.
+    long i = symb_long();
+    assume(i >= 0 && i < 3);
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, 10);
+    deque_add_last(dq, 11);
+    deque_add_last(dq, 12);
+    long *out = malloc(sizeof(long));
+    assert(deque_get_at(dq, i, out) == 0);
+    assert(*out == 10 + i);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_20(void) {
+    // Remove from a wrapped deque.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    deque_add_first(dq, x - 1);
+    long *out = malloc(sizeof(long));
+    deque_remove_last(dq, out);
+    assert(*out == x);
+    deque_get_first(dq, out);
+    assert(*out == x - 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_21(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_get_at(dq, 0, out);
+    long first = *out;
+    deque_get_at(dq, 1, out);
+    long second = *out;
+    assert(first != second);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_22(void) {
+    // get does not consume.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_get_first(dq, out);
+    deque_get_first(dq, out);
+    assert(deque_size(dq) == 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_23(void) {
+    // The buffer block has exactly capacity * sizeof(long) bytes.
+    struct Deque *dq = deque_new();
+    long *probe = dq->buffer;
+    assert(block_size(probe) == 8 * sizeof(long));
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_24(void) {
+    // Emptying and refilling crosses the wrap boundary repeatedly.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    long *out = malloc(sizeof(long));
+    for (long round = 0; round < 3; round = round + 1) {
+        deque_add_last(dq, x + round);
+        deque_remove_first(dq, out);
+        assert(*out == x + round);
+    }
+    assert(deque_size(dq) == 0);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_25(void) {
+    // Size stays consistent under a mixed workload.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_first(dq, x);
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    assert(deque_size(dq) == 2);
+    deque_remove_last(dq, out);
+    assert(deque_size(dq) == 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_26(void) {
+    // Duplicated symbolic values: the deque stores positions, not values.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, x);
+    assert(deque_size(dq) == 2);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    assert(*out == x);
+    assert(deque_size(dq) == 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_27(void) {
+    // get_last after a wrap-around.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_get_last(dq, out);
+    assert(*out == x);
+    deque_add_first(dq, x + 1);
+    deque_get_last(dq, out);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_28(void) {
+    // Symbolic branching on a comparison of two dequeued values.
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    long a = *out;
+    deque_remove_first(dq, out);
+    long b = *out;
+    if (x < y) {
+        assert(a < b);
+    } else {
+        assert(a >= b);
+    }
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_29(void) {
+    // Capacity doubles on expansion.
+    struct Deque *dq = deque_new();
+    for (long i = 0; i < 9; i = i + 1) {
+        deque_add_last(dq, i);
+    }
+    assert(dq->capacity == 16);
+    long *probe = dq->buffer;
+    assert(block_size(probe) == 16 * sizeof(long));
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_30(void) {
+    // After expansion the deque keeps behaving at both ends.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    for (long i = 0; i < 9; i = i + 1) {
+        deque_add_last(dq, x + i);
+    }
+    deque_add_first(dq, x - 1);
+    long *out = malloc(sizeof(long));
+    deque_get_first(dq, out);
+    assert(*out == x - 1);
+    deque_remove_last(dq, out);
+    assert(*out == x + 8);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_31(void) {
+    // get_at walks the logical, not the physical, order.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_first(dq, x + 1);
+    deque_add_first(dq, x);
+    deque_add_last(dq, x + 2);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        deque_get_at(dq, i, out);
+        assert(*out == x + i);
+    }
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_32(void) {
+    // Status codes do not disturb contents.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    assert(deque_get_at(dq, 5, out) == 3);
+    deque_get_first(dq, out);
+    assert(*out == x);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_33(void) {
+    // A fully drained deque accepts new elements at both ends.
+    long x = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    long *out = malloc(sizeof(long));
+    deque_remove_last(dq, out);
+    deque_add_first(dq, x + 1);
+    deque_add_last(dq, x + 2);
+    assert(deque_size(dq) == 2);
+    deque_get_at(dq, 0, out);
+    assert(*out == x + 1);
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}
+
+long test_deque_34(void) {
+    // Remove alternating with symbolic equality branching.
+    long x = symb_long();
+    long y = symb_long();
+    struct Deque *dq = deque_new();
+    deque_add_last(dq, x);
+    deque_add_last(dq, y);
+    long *out = malloc(sizeof(long));
+    deque_remove_first(dq, out);
+    if (*out == y) {
+        assert(x == y);
+    }
+    free(out);
+    deque_destroy(dq);
+    return 0;
+}

@@ -1,0 +1,575 @@
+// Symbolic tests for the doubly linked list (Table 2 row `list`, #T = 37).
+
+long test_list_1(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    long *out = malloc(sizeof(long));
+    assert(list_get_first(l, out) == 0);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_2(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, y);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == x);
+    list_get_last(l, out);
+    assert(*out == y);
+    assert(list_size(l) == 2);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_3(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add_first(l, x);
+    list_add_first(l, x + 1);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == x + 1);
+    list_get_last(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_4(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    list_add(l, x + 2);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        assert(list_get_at(l, i, out) == 0);
+        assert(*out == x + i);
+    }
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_5(void) {
+    struct List *l = list_new();
+    long *out = malloc(sizeof(long));
+    assert(list_get_first(l, out) == 8);
+    assert(list_get_last(l, out) == 8);
+    assert(list_get_at(l, 0, out) == 3);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_6(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, 1);
+    list_add(l, 3);
+    assert(list_add_at(l, x, 1) == 0);
+    long *out = malloc(sizeof(long));
+    list_get_at(l, 1, out);
+    assert(*out == x);
+    list_get_at(l, 2, out);
+    assert(*out == 3);
+    assert(list_size(l) == 3);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_7(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, 1);
+    assert(list_add_at(l, x, 0) == 0);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_8(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, 1);
+    assert(list_add_at(l, x, 1) == 0);
+    long *out = malloc(sizeof(long));
+    list_get_last(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_9(void) {
+    struct List *l = list_new();
+    list_add(l, 1);
+    assert(list_add_at(l, 9, 2) == 3);
+    assert(list_add_at(l, 9, 0 - 1) == 3);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_10(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(list_remove_first(l, out) == 0);
+    assert(*out == x);
+    assert(list_size(l) == 1);
+    list_get_first(l, out);
+    assert(*out == x + 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_11(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(list_remove_last(l, out) == 0);
+    assert(*out == x + 1);
+    list_get_last(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_12(void) {
+    struct List *l = list_new();
+    long *out = malloc(sizeof(long));
+    assert(list_remove_first(l, out) == 8);
+    assert(list_remove_last(l, out) == 8);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_13(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    list_add(l, x + 2);
+    long *out = malloc(sizeof(long));
+    assert(list_remove_at(l, 1, out) == 0);
+    assert(*out == x + 1);
+    assert(list_size(l) == 2);
+    list_get_at(l, 1, out);
+    assert(*out == x + 2);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_14(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, y);
+    assert(list_index_of(l, x) == 0);
+    assert(list_index_of(l, y) == 1);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_15(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct List *l = list_new();
+    list_add(l, x);
+    assert(list_index_of(l, y) == 0 - 1);
+    assert(list_contains(l, x));
+    assert(!list_contains(l, y));
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_16(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, y);
+    assert(list_remove(l, x) == 0);
+    assert(list_size(l) == 1);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == y);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_17(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct List *l = list_new();
+    list_add(l, x);
+    assert(list_remove(l, y) == 8);
+    assert(list_size(l) == 1);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_18(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    list_add(l, x + 2);
+    list_reverse(l);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        list_get_at(l, i, out);
+        assert(*out == x + 2 - i);
+    }
+    list_get_first(l, out);
+    assert(*out == x + 2);
+    list_get_last(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_19(void) {
+    // Reversing twice is the identity.
+    long x = symb_long();
+    long y = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, y);
+    list_reverse(l);
+    list_reverse(l);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == x);
+    list_get_last(l, out);
+    assert(*out == y);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_20(void) {
+    // get_at walks from the tail for the upper half.
+    long x = symb_long();
+    struct List *l = list_new();
+    for (long i = 0; i < 5; i = i + 1) {
+        list_add(l, x + i);
+    }
+    long *out = malloc(sizeof(long));
+    list_get_at(l, 4, out);
+    assert(*out == x + 4);
+    list_get_at(l, 3, out);
+    assert(*out == x + 3);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_21(void) {
+    // Symbolic in-bounds index.
+    long i = symb_long();
+    assume(i >= 0 && i < 3);
+    struct List *l = list_new();
+    list_add(l, 20);
+    list_add(l, 21);
+    list_add(l, 22);
+    long *out = malloc(sizeof(long));
+    assert(list_get_at(l, i, out) == 0);
+    assert(*out == 20 + i);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_22(void) {
+    // Removing the only element fixes both ends.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    long *out = malloc(sizeof(long));
+    list_remove_first(l, out);
+    assert(list_size(l) == 0);
+    assert(list_get_first(l, out) == 8);
+    assert(list_get_last(l, out) == 8);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_23(void) {
+    // Duplicates: remove drops the first occurrence only.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x);
+    assert(list_remove(l, x) == 0);
+    assert(list_size(l) == 1);
+    assert(list_contains(l, x));
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_24(void) {
+    // Aliasing question on two symbolic values.
+    long x = symb_long();
+    long y = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    if (list_contains(l, y)) {
+        assert(x == y);
+    } else {
+        assert(x != y);
+    }
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_25(void) {
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add_first(l, x);
+    list_add_last(l, x + 1);
+    list_add_first(l, x - 1);
+    long *out = malloc(sizeof(long));
+    list_get_at(l, 0, out);
+    assert(*out == x - 1);
+    list_get_at(l, 1, out);
+    assert(*out == x);
+    list_get_at(l, 2, out);
+    assert(*out == x + 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_26(void) {
+    // Index tracking after a middle removal.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    list_add(l, x + 2);
+    long *out = malloc(sizeof(long));
+    list_remove_at(l, 1, out);
+    assert(list_index_of(l, x + 2) == 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_27(void) {
+    // Remove at the ends through remove_at.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    list_add(l, x + 2);
+    long *out = malloc(sizeof(long));
+    assert(list_remove_at(l, 2, out) == 0);
+    assert(*out == x + 2);
+    assert(list_remove_at(l, 0, out) == 0);
+    assert(*out == x);
+    assert(list_size(l) == 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_28(void) {
+    struct List *l = list_new();
+    long *out = malloc(sizeof(long));
+    assert(list_remove_at(l, 0, out) == 3);
+    list_add(l, 1);
+    assert(list_remove_at(l, 1, out) == 3);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_29(void) {
+    // A longer build-up with interleaved removals.
+    long x = symb_long();
+    struct List *l = list_new();
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 4; i = i + 1) {
+        list_add(l, x + i);
+    }
+    list_remove_first(l, out);
+    list_remove_last(l, out);
+    assert(list_size(l) == 2);
+    list_get_first(l, out);
+    assert(*out == x + 1);
+    list_get_last(l, out);
+    assert(*out == x + 2);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_30(void) {
+    // Rebuild after clearing by removal.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    long *out = malloc(sizeof(long));
+    list_remove_first(l, out);
+    list_add(l, x + 5);
+    list_get_first(l, out);
+    assert(*out == x + 5);
+    assert(list_size(l) == 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_31(void) {
+    // Contains on an empty list after destroy-like drain.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    long *out = malloc(sizeof(long));
+    list_remove_first(l, out);
+    assert(!list_contains(l, x));
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_32(void) {
+    // Reverse of a single element and of an empty list.
+    long x = symb_long();
+    struct List *l = list_new();
+    list_reverse(l);
+    assert(list_size(l) == 0);
+    list_add(l, x);
+    list_reverse(l);
+    long *out = malloc(sizeof(long));
+    list_get_first(l, out);
+    assert(*out == x);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_33(void) {
+    // Symbolic comparison drives a sorted insertion.
+    long x = symb_long();
+    long y = symb_long();
+    struct List *l = list_new();
+    if (x <= y) {
+        list_add(l, x);
+        list_add(l, y);
+    } else {
+        list_add(l, y);
+        list_add(l, x);
+    }
+    long *first = malloc(sizeof(long));
+    long *second = malloc(sizeof(long));
+    list_get_at(l, 0, first);
+    list_get_at(l, 1, second);
+    assert(*first <= *second);
+    free(first);
+    free(second);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_34(void) {
+    // add_at into every position of a two-element list.
+    long p = symb_long();
+    assume(p >= 0 && p <= 2);
+    struct List *l = list_new();
+    list_add(l, 100);
+    list_add(l, 200);
+    assert(list_add_at(l, 150, p) == 0);
+    assert(list_size(l) == 3);
+    long *out = malloc(sizeof(long));
+    list_get_at(l, p, out);
+    assert(*out == 150);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_35(void) {
+    // remove_at with a symbolic position keeps the other element.
+    long p = symb_long();
+    assume(p == 0 || p == 1);
+    long x = symb_long();
+    struct List *l = list_new();
+    list_add(l, x);
+    list_add(l, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(list_remove_at(l, p, out) == 0);
+    assert(*out == x + p);
+    assert(list_size(l) == 1);
+    list_get_first(l, out);
+    assert(*out == x + 1 - p);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_36(void) {
+    // prev pointers stay consistent after reversal (walk via get_at from
+    // the tail half).
+    long x = symb_long();
+    struct List *l = list_new();
+    for (long i = 0; i < 4; i = i + 1) {
+        list_add(l, x + i);
+    }
+    list_reverse(l);
+    long *out = malloc(sizeof(long));
+    list_get_at(l, 3, out);
+    assert(*out == x);
+    list_get_at(l, 2, out);
+    assert(*out == x + 1);
+    free(out);
+    list_destroy(l);
+    return 0;
+}
+
+long test_list_37(void) {
+    // Size counts every successful mutation.
+    long x = symb_long();
+    struct List *l = list_new();
+    assert(list_size(l) == 0);
+    list_add(l, x);
+    list_add_first(l, x);
+    list_add_at(l, x, 1);
+    assert(list_size(l) == 3);
+    long *out = malloc(sizeof(long));
+    list_remove_at(l, 1, out);
+    assert(list_size(l) == 2);
+    free(out);
+    list_destroy(l);
+    return 0;
+}

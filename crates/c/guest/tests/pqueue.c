@@ -1,0 +1,41 @@
+// Symbolic tests for the priority queue (Table 2 row `pqueue`, #T = 2).
+
+long test_pqueue_1(void) {
+    long a = symb_long();
+    long b = symb_long();
+    long c = symb_long();
+    struct PQueue *pq = pqueue_new();
+    pqueue_push(pq, a);
+    pqueue_push(pq, b);
+    pqueue_push(pq, c);
+    assert(pqueue_size(pq) == 3);
+    long *out = malloc(sizeof(long));
+    pqueue_pop(pq, out);
+    long x = *out;
+    pqueue_pop(pq, out);
+    long y = *out;
+    pqueue_pop(pq, out);
+    long z = *out;
+    assert(x <= y);
+    assert(y <= z);
+    assert(pqueue_size(pq) == 0);
+    free(out);
+    pqueue_destroy(pq);
+    return 0;
+}
+
+long test_pqueue_2(void) {
+    struct PQueue *pq = pqueue_new();
+    long *out = malloc(sizeof(long));
+    assert(pqueue_pop(pq, out) == 8);
+    assert(pqueue_top(pq, out) == 8);
+    long a = symb_long();
+    pqueue_push(pq, a);
+    pqueue_push(pq, a - 1);
+    assert(pqueue_top(pq, out) == 0);
+    assert(*out == a - 1);
+    assert(pqueue_size(pq) == 2);
+    free(out);
+    pqueue_destroy(pq);
+    return 0;
+}

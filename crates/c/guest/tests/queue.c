@@ -1,0 +1,60 @@
+// Symbolic tests for the queue (Table 2 row `queue`, #T = 4).
+
+long test_queue_1(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Queue *q = queue_new();
+    queue_enqueue(q, x);
+    queue_enqueue(q, y);
+    assert(queue_size(q) == 2);
+    long *out = malloc(sizeof(long));
+    assert(queue_poll(q, out) == 0);
+    assert(*out == x);
+    assert(queue_poll(q, out) == 0);
+    assert(*out == y);
+    free(out);
+    queue_destroy(q);
+    return 0;
+}
+
+long test_queue_2(void) {
+    struct Queue *q = queue_new();
+    long *out = malloc(sizeof(long));
+    assert(queue_poll(q, out) == 8);
+    assert(queue_peek(q, out) == 8);
+    assert(queue_size(q) == 0);
+    free(out);
+    queue_destroy(q);
+    return 0;
+}
+
+long test_queue_3(void) {
+    long x = symb_long();
+    struct Queue *q = queue_new();
+    queue_enqueue(q, x);
+    long *out = malloc(sizeof(long));
+    assert(queue_peek(q, out) == 0);
+    assert(*out == x);
+    assert(queue_size(q) == 1);
+    free(out);
+    queue_destroy(q);
+    return 0;
+}
+
+long test_queue_4(void) {
+    // Interleaved enqueue/poll preserves FIFO.
+    long x = symb_long();
+    struct Queue *q = queue_new();
+    queue_enqueue(q, x);
+    long *out = malloc(sizeof(long));
+    queue_poll(q, out);
+    assert(*out == x);
+    queue_enqueue(q, x + 1);
+    queue_enqueue(q, x + 2);
+    queue_poll(q, out);
+    assert(*out == x + 1);
+    assert(queue_size(q) == 1);
+    free(out);
+    queue_destroy(q);
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Symbolic tests for the ring buffer (Table 2 row `rbuf`, #T = 3).
+
+long test_rbuf_1(void) {
+    long x = symb_long();
+    struct RBuf *rb = rbuf_new(4);
+    rbuf_enqueue(rb, x);
+    rbuf_enqueue(rb, x + 1);
+    assert(rbuf_size(rb) == 2);
+    long *out = malloc(sizeof(long));
+    assert(rbuf_dequeue(rb, out) == 0);
+    assert(*out == x);
+    assert(rbuf_peek(rb, out) == 0);
+    assert(*out == x + 1);
+    free(out);
+    rbuf_destroy(rb);
+    return 0;
+}
+
+long test_rbuf_2(void) {
+    // When full, the oldest element is overwritten.
+    long x = symb_long();
+    struct RBuf *rb = rbuf_new(2);
+    rbuf_enqueue(rb, x);
+    rbuf_enqueue(rb, x + 1);
+    rbuf_enqueue(rb, x + 2);
+    assert(rbuf_size(rb) == 2);
+    long *out = malloc(sizeof(long));
+    rbuf_dequeue(rb, out);
+    assert(*out == x + 1);
+    rbuf_dequeue(rb, out);
+    assert(*out == x + 2);
+    assert(rbuf_dequeue(rb, out) == 8);
+    free(out);
+    rbuf_destroy(rb);
+    return 0;
+}
+
+long test_rbuf_3(void) {
+    // The backing block is exactly capacity * sizeof(long) bytes
+    // (the paper's bug 4 was an over-allocation here).
+    struct RBuf *rb = rbuf_new(4);
+    long *probe = rb->buffer;
+    assert(block_size(probe) == 4 * sizeof(long));
+    rbuf_destroy(rb);
+    return 0;
+}

@@ -1,0 +1,574 @@
+// Symbolic tests for the singly linked list (Table 2 row `slist`,
+// #T = 38).
+
+long test_slist_1(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    long *out = malloc(sizeof(long));
+    assert(slist_get_first(sl, out) == 0);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_2(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, y);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == x);
+    slist_get_last(sl, out);
+    assert(*out == y);
+    assert(slist_size(sl) == 2);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_3(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add_first(sl, x);
+    slist_add_first(sl, x + 1);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == x + 1);
+    slist_get_last(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_4(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    for (long i = 0; i < 3; i = i + 1) {
+        slist_add(sl, x + i);
+    }
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        assert(slist_get_at(sl, i, out) == 0);
+        assert(*out == x + i);
+    }
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_5(void) {
+    struct SList *sl = slist_new();
+    long *out = malloc(sizeof(long));
+    assert(slist_get_first(sl, out) == 8);
+    assert(slist_get_last(sl, out) == 8);
+    assert(slist_get_at(sl, 0, out) == 3);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_6(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, 1);
+    slist_add(sl, 3);
+    assert(slist_add_at(sl, x, 1) == 0);
+    long *out = malloc(sizeof(long));
+    slist_get_at(sl, 1, out);
+    assert(*out == x);
+    slist_get_at(sl, 2, out);
+    assert(*out == 3);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_7(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, 1);
+    assert(slist_add_at(sl, x, 0) == 0);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_8(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, 1);
+    assert(slist_add_at(sl, x, 1) == 0);
+    long *out = malloc(sizeof(long));
+    slist_get_last(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_9(void) {
+    struct SList *sl = slist_new();
+    slist_add(sl, 1);
+    assert(slist_add_at(sl, 9, 2) == 3);
+    assert(slist_add_at(sl, 9, 0 - 1) == 3);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_10(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_first(sl, out) == 0);
+    assert(*out == x);
+    assert(slist_size(sl) == 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_11(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_last(sl, out) == 0);
+    assert(*out == x + 1);
+    slist_get_last(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_12(void) {
+    struct SList *sl = slist_new();
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_first(sl, out) == 8);
+    assert(slist_remove_last(sl, out) == 8);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_13(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    slist_add(sl, x + 2);
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_at(sl, 1, out) == 0);
+    assert(*out == x + 1);
+    assert(slist_size(sl) == 2);
+    slist_get_at(sl, 1, out);
+    assert(*out == x + 2);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_14(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, y);
+    assert(slist_index_of(sl, x) == 0);
+    assert(slist_index_of(sl, y) == 1);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_15(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    assert(slist_index_of(sl, y) == 0 - 1);
+    assert(slist_contains(sl, x));
+    assert(!slist_contains(sl, y));
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_16(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, y);
+    assert(slist_remove(sl, x) == 0);
+    assert(slist_size(sl) == 1);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == y);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_17(void) {
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    assert(slist_remove(sl, y) == 8);
+    assert(slist_size(sl) == 1);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_18(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    slist_add(sl, x + 2);
+    slist_reverse(sl);
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 3; i = i + 1) {
+        slist_get_at(sl, i, out);
+        assert(*out == x + 2 - i);
+    }
+    slist_get_last(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_19(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, y);
+    slist_reverse(sl);
+    slist_reverse(sl);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == x);
+    slist_get_last(sl, out);
+    assert(*out == y);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_20(void) {
+    // Removing the tail updates the tail pointer.
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    long *out = malloc(sizeof(long));
+    slist_remove_last(sl, out);
+    slist_add(sl, x + 9);
+    slist_get_last(sl, out);
+    assert(*out == x + 9);
+    assert(slist_size(sl) == 2);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_21(void) {
+    long i = symb_long();
+    assume(i >= 0 && i < 3);
+    struct SList *sl = slist_new();
+    slist_add(sl, 30);
+    slist_add(sl, 31);
+    slist_add(sl, 32);
+    long *out = malloc(sizeof(long));
+    assert(slist_get_at(sl, i, out) == 0);
+    assert(*out == 30 + i);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_22(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    long *out = malloc(sizeof(long));
+    slist_remove_first(sl, out);
+    assert(slist_size(sl) == 0);
+    assert(slist_get_first(sl, out) == 8);
+    assert(slist_get_last(sl, out) == 8);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_23(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x);
+    assert(slist_remove(sl, x) == 0);
+    assert(slist_size(sl) == 1);
+    assert(slist_contains(sl, x));
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_24(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    if (slist_contains(sl, y)) {
+        assert(x == y);
+    } else {
+        assert(x != y);
+    }
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_25(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add_first(sl, x);
+    slist_add_last(sl, x + 1);
+    slist_add_first(sl, x - 1);
+    long *out = malloc(sizeof(long));
+    slist_get_at(sl, 0, out);
+    assert(*out == x - 1);
+    slist_get_at(sl, 1, out);
+    assert(*out == x);
+    slist_get_at(sl, 2, out);
+    assert(*out == x + 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_26(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    slist_add(sl, x + 2);
+    long *out = malloc(sizeof(long));
+    slist_remove_at(sl, 1, out);
+    assert(slist_index_of(sl, x + 2) == 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_27(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    slist_add(sl, x + 2);
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_at(sl, 2, out) == 0);
+    assert(*out == x + 2);
+    assert(slist_remove_at(sl, 0, out) == 0);
+    assert(*out == x);
+    assert(slist_size(sl) == 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_28(void) {
+    struct SList *sl = slist_new();
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_at(sl, 0, out) == 3);
+    slist_add(sl, 1);
+    assert(slist_remove_at(sl, 1, out) == 3);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_29(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    long *out = malloc(sizeof(long));
+    for (long i = 0; i < 4; i = i + 1) {
+        slist_add(sl, x + i);
+    }
+    slist_remove_first(sl, out);
+    slist_remove_last(sl, out);
+    assert(slist_size(sl) == 2);
+    slist_get_first(sl, out);
+    assert(*out == x + 1);
+    slist_get_last(sl, out);
+    assert(*out == x + 2);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_30(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    long *out = malloc(sizeof(long));
+    slist_remove_first(sl, out);
+    slist_add(sl, x + 5);
+    slist_get_first(sl, out);
+    assert(*out == x + 5);
+    assert(slist_size(sl) == 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_31(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    long *out = malloc(sizeof(long));
+    slist_remove_first(sl, out);
+    assert(!slist_contains(sl, x));
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_32(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_reverse(sl);
+    assert(slist_size(sl) == 0);
+    slist_add(sl, x);
+    slist_reverse(sl);
+    long *out = malloc(sizeof(long));
+    slist_get_first(sl, out);
+    assert(*out == x);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_33(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct SList *sl = slist_new();
+    if (x <= y) {
+        slist_add(sl, x);
+        slist_add(sl, y);
+    } else {
+        slist_add(sl, y);
+        slist_add(sl, x);
+    }
+    long *first = malloc(sizeof(long));
+    long *second = malloc(sizeof(long));
+    slist_get_at(sl, 0, first);
+    slist_get_at(sl, 1, second);
+    assert(*first <= *second);
+    free(first);
+    free(second);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_34(void) {
+    long p = symb_long();
+    assume(p >= 0 && p <= 2);
+    struct SList *sl = slist_new();
+    slist_add(sl, 100);
+    slist_add(sl, 200);
+    assert(slist_add_at(sl, 150, p) == 0);
+    assert(slist_size(sl) == 3);
+    long *out = malloc(sizeof(long));
+    slist_get_at(sl, p, out);
+    assert(*out == 150);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_35(void) {
+    long p = symb_long();
+    assume(p == 0 || p == 1);
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    long *out = malloc(sizeof(long));
+    assert(slist_remove_at(sl, p, out) == 0);
+    assert(*out == x + p);
+    assert(slist_size(sl) == 1);
+    slist_get_first(sl, out);
+    assert(*out == x + 1 - p);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_36(void) {
+    // Reversal keeps the tail pointer usable for appends.
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, x + 1);
+    slist_reverse(sl);
+    slist_add(sl, x + 9);
+    long *out = malloc(sizeof(long));
+    slist_get_last(sl, out);
+    assert(*out == x + 9);
+    assert(slist_size(sl) == 3);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_37(void) {
+    long x = symb_long();
+    struct SList *sl = slist_new();
+    assert(slist_size(sl) == 0);
+    slist_add(sl, x);
+    slist_add_first(sl, x);
+    slist_add_at(sl, x, 1);
+    assert(slist_size(sl) == 3);
+    long *out = malloc(sizeof(long));
+    slist_remove_at(sl, 1, out);
+    assert(slist_size(sl) == 2);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}
+
+long test_slist_38(void) {
+    // Removing the last element by value fixes the tail.
+    long x = symb_long();
+    long y = symb_long();
+    assume(x != y);
+    struct SList *sl = slist_new();
+    slist_add(sl, x);
+    slist_add(sl, y);
+    assert(slist_remove(sl, y) == 0);
+    long *out = malloc(sizeof(long));
+    slist_get_last(sl, out);
+    assert(*out == x);
+    slist_add(sl, y + 1);
+    slist_get_last(sl, out);
+    assert(*out == y + 1);
+    free(out);
+    slist_destroy(sl);
+    return 0;
+}

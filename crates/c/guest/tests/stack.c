@@ -1,0 +1,37 @@
+// Symbolic tests for the stack (Table 2 row `stack`, #T = 2).
+
+long test_stack_1(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct Stack *s = stack_new();
+    stack_push(s, x);
+    stack_push(s, y);
+    assert(stack_size(s) == 2);
+    long *out = malloc(sizeof(long));
+    assert(stack_peek(s, out) == 0);
+    assert(*out == y);
+    assert(stack_pop(s, out) == 0);
+    assert(*out == y);
+    assert(stack_pop(s, out) == 0);
+    assert(*out == x);
+    assert(stack_size(s) == 0);
+    free(out);
+    stack_destroy(s);
+    return 0;
+}
+
+long test_stack_2(void) {
+    struct Stack *s = stack_new();
+    long *out = malloc(sizeof(long));
+    assert(stack_pop(s, out) == 8);
+    assert(stack_peek(s, out) == 8);
+    long x = symb_long();
+    stack_push(s, x);
+    stack_pop(s, out);
+    stack_push(s, x + 1);
+    assert(stack_peek(s, out) == 0);
+    assert(*out == x + 1);
+    free(out);
+    stack_destroy(s);
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Symbolic tests for the tree set (Table 2 row `treeset`, #T = 6).
+
+long test_treeset_1(void) {
+    long x = symb_long();
+    struct TreeSet *s = treeset_new();
+    treeset_add(s, x);
+    assert(treeset_contains(s, x));
+    assert(treeset_size(s) == 1);
+    treeset_destroy(s);
+    return 0;
+}
+
+long test_treeset_2(void) {
+    // Adding twice keeps the set a set.
+    long x = symb_long();
+    struct TreeSet *s = treeset_new();
+    treeset_add(s, x);
+    treeset_add(s, x);
+    assert(treeset_size(s) == 1);
+    treeset_destroy(s);
+    return 0;
+}
+
+long test_treeset_3(void) {
+    long x = symb_long();
+    long y = symb_long();
+    struct TreeSet *s = treeset_new();
+    treeset_add(s, x);
+    treeset_add(s, y);
+    if (x == y) {
+        assert(treeset_size(s) == 1);
+    } else {
+        assert(treeset_size(s) == 2);
+    }
+    treeset_destroy(s);
+    return 0;
+}
+
+long test_treeset_4(void) {
+    long x = symb_long();
+    struct TreeSet *s = treeset_new();
+    treeset_add(s, x);
+    assert(treeset_remove(s, x) == 0);
+    assert(!treeset_contains(s, x));
+    assert(treeset_size(s) == 0);
+    assert(treeset_remove(s, x) == 6);
+    treeset_destroy(s);
+    return 0;
+}
+
+long test_treeset_5(void) {
+    long x = symb_long();
+    assume(x > 0 && x < 1000);
+    struct TreeSet *s = treeset_new();
+    treeset_add(s, x);
+    treeset_add(s, x + 2);
+    treeset_add(s, x - 2);
+    long *out = malloc(sizeof(long));
+    assert(treeset_first(s, out) == 0);
+    assert(*out == x - 2);
+    assert(treeset_last(s, out) == 0);
+    assert(*out == x + 2);
+    free(out);
+    treeset_destroy(s);
+    return 0;
+}
+
+long test_treeset_6(void) {
+    struct TreeSet *s = treeset_new();
+    long *out = malloc(sizeof(long));
+    assert(treeset_first(s, out) == 6);
+    assert(treeset_last(s, out) == 6);
+    assert(treeset_size(s) == 0);
+    free(out);
+    treeset_destroy(s);
+    return 0;
+}

@@ -1,0 +1,212 @@
+// Symbolic tests for the tree table (Table 2 row `treetbl`, #T = 13).
+
+long test_treetbl_1(void) {
+    long k = symb_long();
+    long v = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, v);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_get(t, k, out) == 0);
+    assert(*out == v);
+    assert(treetbl_size(t) == 1);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_2(void) {
+    long k = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    long *out = malloc(sizeof(long));
+    assert(treetbl_get(t, k, out) == 6);
+    assert(!treetbl_contains_key(t, k));
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_3(void) {
+    // Re-adding a key updates in place.
+    long k = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, 1);
+    treetbl_add(t, k, 2);
+    assert(treetbl_size(t) == 1);
+    long *out = malloc(sizeof(long));
+    treetbl_get(t, k, out);
+    assert(*out == 2);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_4(void) {
+    long k1 = symb_long();
+    long k2 = symb_long();
+    assume(k1 != k2);
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k1, 10);
+    treetbl_add(t, k2, 20);
+    assert(treetbl_size(t) == 2);
+    long *out = malloc(sizeof(long));
+    treetbl_get(t, k1, out);
+    assert(*out == 10);
+    treetbl_get(t, k2, out);
+    assert(*out == 20);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_5(void) {
+    long k = symb_long();
+    assume(k > 0 && k < 1000);
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, k);
+    treetbl_add(t, k - 1, k - 1);
+    treetbl_add(t, k + 1, k + 1);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_first_key(t, out) == 0);
+    assert(*out == k - 1);
+    assert(treetbl_last_key(t, out) == 0);
+    assert(*out == k + 1);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_6(void) {
+    struct TreeTbl *t = treetbl_new();
+    long *out = malloc(sizeof(long));
+    assert(treetbl_first_key(t, out) == 6);
+    assert(treetbl_last_key(t, out) == 6);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_7(void) {
+    long k = symb_long();
+    long v = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, v);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_remove(t, k, out) == 0);
+    assert(*out == v);
+    assert(treetbl_size(t) == 0);
+    assert(treetbl_remove(t, k, out) == 6);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_8(void) {
+    // Remove an inner node with two children.
+    long k = symb_long();
+    assume(k > 0 && k < 1000);
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, k);
+    treetbl_add(t, k - 1, k - 1);
+    treetbl_add(t, k + 1, k + 1);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_remove(t, k, out) == 0);
+    assert(treetbl_size(t) == 2);
+    assert(treetbl_contains_key(t, k - 1));
+    assert(treetbl_contains_key(t, k + 1));
+    assert(!treetbl_contains_key(t, k));
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_9(void) {
+    // Remove the root with one child.
+    long k = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k, 1);
+    treetbl_add(t, k + 5, 2);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_remove(t, k, out) == 0);
+    assert(treetbl_contains_key(t, k + 5));
+    assert(treetbl_first_key(t, out) == 0);
+    assert(*out == k + 5);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_10(void) {
+    // Symbolic membership question.
+    long k1 = symb_long();
+    long k2 = symb_long();
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, k1, 1);
+    if (treetbl_contains_key(t, k2)) {
+        assert(k1 == k2);
+    } else {
+        assert(k1 != k2);
+    }
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_11(void) {
+    // Keys inserted in both orders produce the same extrema.
+    long a = symb_long();
+    long b = symb_long();
+    assume(a < b);
+    struct TreeTbl *t1 = treetbl_new();
+    treetbl_add(t1, a, a);
+    treetbl_add(t1, b, b);
+    struct TreeTbl *t2 = treetbl_new();
+    treetbl_add(t2, b, b);
+    treetbl_add(t2, a, a);
+    long *o1 = malloc(sizeof(long));
+    long *o2 = malloc(sizeof(long));
+    treetbl_first_key(t1, o1);
+    treetbl_first_key(t2, o2);
+    assert(*o1 == *o2);
+    treetbl_last_key(t1, o1);
+    treetbl_last_key(t2, o2);
+    assert(*o1 == *o2);
+    free(o1);
+    free(o2);
+    treetbl_destroy(t1);
+    treetbl_destroy(t2);
+    return 0;
+}
+
+long test_treetbl_12(void) {
+    // A deeper tree: four concrete keys plus one symbolic probe.
+    long k = symb_long();
+    assume(k == 1 || k == 3 || k == 5 || k == 7);
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, 5, 50);
+    treetbl_add(t, 3, 30);
+    treetbl_add(t, 7, 70);
+    treetbl_add(t, 1, 10);
+    long *out = malloc(sizeof(long));
+    assert(treetbl_get(t, k, out) == 0);
+    assert(*out == k * 10);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}
+
+long test_treetbl_13(void) {
+    // Size tracks removals through all shapes.
+    struct TreeTbl *t = treetbl_new();
+    treetbl_add(t, 5, 5);
+    treetbl_add(t, 3, 3);
+    treetbl_add(t, 7, 7);
+    long *out = malloc(sizeof(long));
+    treetbl_remove(t, 5, out);
+    assert(treetbl_size(t) == 2);
+    treetbl_remove(t, 3, out);
+    assert(treetbl_size(t) == 1);
+    treetbl_remove(t, 7, out);
+    assert(treetbl_size(t) == 0);
+    free(out);
+    treetbl_destroy(t);
+    return 0;
+}

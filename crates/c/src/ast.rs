@@ -1,0 +1,187 @@
+//! The MiniC abstract syntax.
+//!
+//! A C-like language sized for the Collections-C reproduction: scalar
+//! types, pointers, structs, `malloc`/`free`/`memcpy` builtins, and the
+//! symbolic-testing constructs `symb_int()`/`symb_long()`/`symb_char()`/
+//! `symb_double()`, `assume(e)` and `assert(e)`. No address-of on locals
+//! (out-parameters go through `malloc`ed cells), no function pointers, no
+//! variadics, no strings.
+
+use crate::types::{CType, StructDef};
+
+/// A MiniC expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// `NULL`.
+    Null,
+    /// `sizeof(T)`.
+    SizeOf(CType),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Un(CUnOp, Box<CExpr>),
+    /// Binary operation (incl. short-circuit `&&`/`||`).
+    Bin(CBinOp, Box<CExpr>, Box<CExpr>),
+    /// `*e`.
+    Deref(Box<CExpr>),
+    /// `e[i]` (pointer indexing).
+    Index(Box<CExpr>, Box<CExpr>),
+    /// `e->f` (field of pointed-to struct).
+    Arrow(Box<CExpr>, String),
+    /// Function call (user functions and builtins).
+    Call(String, Vec<CExpr>),
+    /// `(T)e`.
+    Cast(CType, Box<CExpr>),
+}
+
+/// MiniC unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CUnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): 1 when the operand is zero/NULL, else 0.
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// MiniC binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+` — integer, double, or pointer ± integer (scaled).
+    Add,
+    /// `-` — also pointer − pointer (element count) and pointer − integer.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` — trapping on integer division by zero (UB).
+    Div,
+    /// `%`.
+    Mod,
+    /// `==` — defined across blocks for pointers.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` — UB for pointers into different or invalid blocks.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+    /// `&`.
+    BitAnd,
+    /// `|`.
+    BitOr,
+    /// `^`.
+    BitXor,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+}
+
+/// An assignable location.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// A local variable.
+    Var(String),
+    /// `*e`.
+    Deref(CExpr),
+    /// `e[i]`.
+    Index(CExpr, CExpr),
+    /// `e->f`.
+    Arrow(CExpr, String),
+}
+
+/// A MiniC statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    /// `T x;` / `T x = e;`
+    Decl(CType, String, Option<CExpr>),
+    /// `lv = e;`
+    Assign(LValue, CExpr),
+    /// An expression evaluated for effect.
+    ExprStmt(CExpr),
+    /// `if (e) { … } else { … }`
+    If {
+        /// Condition (C truthiness: nonzero / non-NULL).
+        cond: CExpr,
+        /// Then-branch.
+        then: Vec<CStmt>,
+        /// Else-branch.
+        otherwise: Vec<CStmt>,
+    },
+    /// `while (e) { … }`
+    While {
+        /// Condition.
+        cond: CExpr,
+        /// Body.
+        body: Vec<CStmt>,
+    },
+    /// `for (init; cond; step) { … }`
+    For {
+        /// Initialiser.
+        init: Box<CStmt>,
+        /// Condition.
+        cond: CExpr,
+        /// Step.
+        step: Box<CStmt>,
+        /// Body.
+        body: Vec<CStmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return e;`
+    Return(Option<CExpr>),
+    /// `assume(e);`
+    Assume(CExpr),
+    /// `assert(e);`
+    Assert(CExpr),
+}
+
+/// A MiniC function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFunc {
+    /// Return type.
+    pub ret: CType,
+    /// Function name.
+    pub name: String,
+    /// Typed parameters.
+    pub params: Vec<(CType, String)>,
+    /// Body.
+    pub body: Vec<CStmt>,
+}
+
+/// A MiniC translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CModule {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Function definitions.
+    pub funcs: Vec<CFunc>,
+}
+
+impl CModule {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&CFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Merges another module into this one.
+    pub fn extend(&mut self, other: CModule) {
+        self.structs.extend(other.structs);
+        self.funcs.extend(other.funcs);
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory chunks: the size/kind/signedness descriptors of loads and stores
+//! (paper §4.2: "a memory chunk has to be provided to indicate the size,
+//! alignment, and type of the value to be read from/written to memory").
+//!
+//! MiniC does not check alignment (documented limitation; see
+//! `DESIGN.md`), so a chunk is `(size, kind, signedness)`, serialised as
+//! the GIL list `[size, kind, signed]` in action arguments.
+
+use gillian_gil::{Expr, Value};
+
+/// The kind of value a chunk carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChunkKind {
+    /// Integers of 1, 2, 4 or 8 bytes.
+    Int,
+    /// IEEE-754 doubles (8 bytes).
+    Float,
+    /// Pointers (8 bytes).
+    Ptr,
+}
+
+impl ChunkKind {
+    /// The serialised name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkKind::Int => "int",
+            ChunkKind::Float => "float",
+            ChunkKind::Ptr => "ptr",
+        }
+    }
+
+    /// Parses a serialised name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "int" => Some(ChunkKind::Int),
+            "float" => Some(ChunkKind::Float),
+            "ptr" => Some(ChunkKind::Ptr),
+            _ => None,
+        }
+    }
+}
+
+/// A memory chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Size in bytes (1, 2, 4, or 8).
+    pub size: u8,
+    /// The value kind.
+    pub kind: ChunkKind,
+    /// For integers: sign-extend on load when true.
+    pub signed: bool,
+}
+
+impl Chunk {
+    /// Signed integer chunk of `size` bytes.
+    pub fn int(size: u8) -> Chunk {
+        Chunk {
+            size,
+            kind: ChunkKind::Int,
+            signed: true,
+        }
+    }
+
+    /// Unsigned integer chunk of `size` bytes.
+    pub fn uint(size: u8) -> Chunk {
+        Chunk {
+            size,
+            kind: ChunkKind::Int,
+            signed: false,
+        }
+    }
+
+    /// The double chunk.
+    pub fn double() -> Chunk {
+        Chunk {
+            size: 8,
+            kind: ChunkKind::Float,
+            signed: true,
+        }
+    }
+
+    /// The pointer chunk.
+    pub fn ptr() -> Chunk {
+        Chunk {
+            size: 8,
+            kind: ChunkKind::Ptr,
+            signed: false,
+        }
+    }
+
+    /// Serialises as a GIL value `[size, kind, signed]`.
+    pub fn to_value(self) -> Value {
+        Value::List(vec![
+            Value::Int(self.size as i64),
+            Value::str(self.kind.name()),
+            Value::Bool(self.signed),
+        ])
+    }
+
+    /// Serialises as a GIL expression.
+    pub fn to_expr(self) -> Expr {
+        Expr::Val(self.to_value())
+    }
+
+    /// Parses the serialised form.
+    pub fn from_value(v: &Value) -> Option<Chunk> {
+        let items = v.as_list()?;
+        if items.len() != 3 {
+            return None;
+        }
+        let size = items[0].as_int()?;
+        let kind = ChunkKind::from_name(items[1].as_str()?)?;
+        let signed = items[2].as_bool()?;
+        if ![1, 2, 4, 8].contains(&size) {
+            return None;
+        }
+        Some(Chunk {
+            size: size as u8,
+            kind,
+            signed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_round_trips_through_values() {
+        for c in [Chunk::int(1), Chunk::int(4), Chunk::uint(2), Chunk::double(), Chunk::ptr()] {
+            assert_eq!(Chunk::from_value(&c.to_value()), Some(c));
+        }
+        assert_eq!(Chunk::from_value(&Value::Int(3)), None);
+        assert_eq!(
+            Chunk::from_value(&Value::List(vec![
+                Value::Int(3),
+                Value::str("int"),
+                Value::Bool(true)
+            ])),
+            None,
+            "size 3 is invalid"
+        );
+    }
+}

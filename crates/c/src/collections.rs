@@ -1,0 +1,180 @@
+//! The Collections guest library and its symbolic test suite (Table 2).
+//!
+//! Ten data structures re-implemented in MiniC with the same shape as
+//! Collections-C (paper §4.2): dynamic array, deque, doubly linked list,
+//! priority queue, queue, ring buffer, singly linked list, stack, tree
+//! table, and tree set — with a 161-test symbolic suite matching Table
+//! 2's per-structure counts (array 22, deque 34, list 37, pqueue 2,
+//! queue 4, rbuf 3, slist 38, stack 2, treetbl 13, treeset 6).
+//!
+//! [`buggy`] bundles the variants seeding the paper's §4.2 bug classes;
+//! the bug-finding tests and the `bug_finding` example run them and
+//! demand confirmed counter-models.
+
+use crate::ast::CModule;
+use crate::compile::{compile_unit, CompileError};
+use crate::parser::parse_unit;
+use gillian_core::explore::ExploreConfig;
+use gillian_core::testing::{run_suite, TestSuiteResult};
+use gillian_gil::Prog;
+use gillian_solver::Solver;
+
+/// The library sources, in dependency order.
+pub const LIB_SOURCES: &[(&str, &str)] = &[
+    ("array", include_str!("../guest/collections/array.c")),
+    ("slist", include_str!("../guest/collections/slist.c")),
+    ("list", include_str!("../guest/collections/list.c")),
+    ("deque", include_str!("../guest/collections/deque.c")),
+    ("rbuf", include_str!("../guest/collections/rbuf.c")),
+    ("pqueue", include_str!("../guest/collections/pqueue.c")),
+    ("queue", include_str!("../guest/collections/queue.c")),
+    ("stack", include_str!("../guest/collections/stack.c")),
+    ("treetbl", include_str!("../guest/collections/treetbl.c")),
+    ("treeset", include_str!("../guest/collections/treeset.c")),
+];
+
+/// The per-structure symbolic test sources (Table 2 rows).
+pub const TEST_SOURCES: &[(&str, &str)] = &[
+    ("array", include_str!("../guest/tests/array.c")),
+    ("deque", include_str!("../guest/tests/deque.c")),
+    ("list", include_str!("../guest/tests/list.c")),
+    ("pqueue", include_str!("../guest/tests/pqueue.c")),
+    ("queue", include_str!("../guest/tests/queue.c")),
+    ("rbuf", include_str!("../guest/tests/rbuf.c")),
+    ("slist", include_str!("../guest/tests/slist.c")),
+    ("stack", include_str!("../guest/tests/stack.c")),
+    ("treetbl", include_str!("../guest/tests/treetbl.c")),
+    ("treeset", include_str!("../guest/tests/treeset.c")),
+];
+
+/// The buggy library variants (paper §4.2 bug classes).
+pub mod buggy {
+    /// Off-by-one dynamic array + UB pointer comparison in expand
+    /// (bugs 1 and 2).
+    pub const ARRAY: &str = include_str!("../guest/buggy/array.c");
+    /// Over-allocating ring buffer (bug 4).
+    pub const RBUF: &str = include_str!("../guest/buggy/rbuf.c");
+    /// Duplicate-inserting tree table (the bug-5 analogue).
+    pub const TREETBL: &str = include_str!("../guest/buggy/treetbl.c");
+}
+
+/// The suite names, in Table 2 row order.
+pub fn suite_names() -> Vec<&'static str> {
+    TEST_SOURCES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Parses the whole guest library into one module.
+///
+/// # Panics
+///
+/// Panics if a bundled library source fails to parse (a build error).
+pub fn library_module() -> CModule {
+    let mut module = CModule::default();
+    for (name, src) in LIB_SOURCES {
+        let m = parse_unit(src)
+            .unwrap_or_else(|e| panic!("bundled library {name} failed to parse: {e}"));
+        module.extend(m);
+    }
+    module
+}
+
+/// Builds the GIL program and test-entry list for one suite.
+///
+/// # Errors
+///
+/// Returns a compile error (type error in the bundled sources).
+///
+/// # Panics
+///
+/// Panics on an unknown suite name or unparseable bundled source.
+pub fn suite_prog(suite: &str) -> Result<(Prog, Vec<String>), CompileError> {
+    let (_, src) = TEST_SOURCES
+        .iter()
+        .find(|(n, _)| *n == suite)
+        .unwrap_or_else(|| panic!("unknown Collections suite {suite}"));
+    let mut module = library_module();
+    let tests =
+        parse_unit(src).unwrap_or_else(|e| panic!("bundled tests {suite} failed to parse: {e}"));
+    let entries: Vec<String> = tests
+        .funcs
+        .iter()
+        .filter(|f| f.name.starts_with("test_"))
+        .map(|f| f.name.clone())
+        .collect();
+    module.extend(tests);
+    Ok((compile_unit(&module)?, entries))
+}
+
+/// Compiles a buggy-library harness: `buggy_src` plus `harness_src`
+/// (entry functions exercising the seeded bugs).
+///
+/// # Errors
+///
+/// Returns parse/compile error descriptions.
+pub fn buggy_prog(buggy_src: &str, harness_src: &str) -> Result<Prog, String> {
+    let mut module = parse_unit(buggy_src).map_err(|e| e.to_string())?;
+    module.extend(parse_unit(harness_src).map_err(|e| e.to_string())?);
+    compile_unit(&module).map_err(|e| e.to_string())
+}
+
+/// Runs one Table 2 row with the given solver configuration.
+///
+/// # Panics
+///
+/// Panics if the bundled sources fail to compile (a build error).
+pub fn run_row(
+    suite: &str,
+    solver_factory: impl Fn() -> Solver,
+    cfg: ExploreConfig,
+) -> TestSuiteResult {
+    let (prog, entries) =
+        suite_prog(suite).unwrap_or_else(|e| panic!("suite {suite} failed to compile: {e}"));
+    run_suite::<crate::mem::CSymMemory>(suite, &prog, &entries, solver_factory, cfg)
+}
+
+/// The exploration budget used for Table 2 runs.
+pub fn table2_config() -> ExploreConfig {
+    ExploreConfig {
+        max_cmds_per_path: 200_000,
+        max_total_cmds: 20_000_000,
+        max_paths: 8192,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_parses_and_compiles() {
+        let module = library_module();
+        assert!(module.func("array_add").is_some());
+        assert!(module.func("treetbl_remove").is_some());
+        let prog = compile_unit(&module).expect("library compiles");
+        assert!(prog.proc("slist_reverse").is_some());
+    }
+
+    #[test]
+    fn suites_have_table2_test_counts() {
+        let expected = [
+            ("array", 22),
+            ("deque", 34),
+            ("list", 37),
+            ("pqueue", 2),
+            ("queue", 4),
+            ("rbuf", 3),
+            ("slist", 38),
+            ("stack", 2),
+            ("treetbl", 13),
+            ("treeset", 6),
+        ];
+        let mut total = 0;
+        for (suite, count) in expected {
+            let (_, entries) = suite_prog(suite).expect("compiles");
+            assert_eq!(entries.len(), count, "suite {suite}");
+            total += entries.len();
+        }
+        assert_eq!(total, 161, "Table 2 reports 161 tests in total");
+    }
+}

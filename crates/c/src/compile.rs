@@ -1,0 +1,921 @@
+//! The MiniC→GIL compiler.
+//!
+//! Mirrors the Gillian-C pipeline (paper §4.2): control flow compiles
+//! trivially to GIL gotos and memory management is restated in terms of
+//! the identified actions of the C memory model. The compiler is *typed*:
+//! expression types drive pointer-arithmetic scaling, chunk selection for
+//! loads/stores, and struct field offsets — the information CompCert's
+//! C#minor still carries.
+//!
+//! Integer arithmetic happens at 64 bits; narrowing to the declared width
+//! happens at casts and stores (via the wrap operators), so two's-
+//! complement behaviour at each width is preserved where it is observable.
+
+use crate::ast::{CBinOp, CExpr, CFunc, CModule, CStmt, CUnOp, LValue};
+use crate::types::{CType, Layout};
+use crate::values::null_ptr_expr;
+use gillian_gil::{BinOp, Cmd, Expr, Proc, Prog, TypeTag, UnOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A MiniC compilation (typing) error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "minic compile error: {}", self.0)
+    }
+}
+impl std::error::Error for CompileError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError(msg.into()))
+}
+
+/// Compiles a MiniC translation unit to a GIL program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on type errors, unknown functions/fields, and
+/// uses of unsupported constructs.
+pub fn compile_unit(module: &CModule) -> Result<Prog, CompileError> {
+    let layout = Layout::new(module.structs.iter().cloned()).map_err(|e| CompileError(e.0))?;
+    let mut sigs: BTreeMap<String, (CType, Vec<CType>)> = BTreeMap::new();
+    for f in &module.funcs {
+        let params = f.params.iter().map(|(t, _)| t.clone()).collect();
+        if sigs
+            .insert(f.name.clone(), (f.ret.clone(), params))
+            .is_some()
+        {
+            return err(format!("duplicate function {}", f.name));
+        }
+    }
+    let mut prog = Prog::new();
+    for f in &module.funcs {
+        prog.add(compile_func(f, &layout, &sigs)?);
+    }
+    Ok(prog)
+}
+
+struct LoopFrame {
+    break_holes: Vec<usize>,
+    continue_holes: Vec<usize>,
+}
+
+struct Ctx<'a> {
+    cmds: Vec<Cmd>,
+    tmp: usize,
+    layout: &'a Layout,
+    sigs: &'a BTreeMap<String, (CType, Vec<CType>)>,
+    locals: BTreeMap<String, CType>,
+    loops: Vec<LoopFrame>,
+    ret: CType,
+}
+
+impl<'a> Ctx<'a> {
+    fn temp(&mut self) -> String {
+        self.tmp += 1;
+        format!("__t{}", self.tmp)
+    }
+
+    fn here(&self) -> usize {
+        self.cmds.len()
+    }
+
+    fn emit(&mut self, c: Cmd) -> usize {
+        self.cmds.push(c);
+        self.cmds.len() - 1
+    }
+
+    fn emit_hole(&mut self) -> usize {
+        self.emit(Cmd::Skip)
+    }
+
+    fn patch_goto(&mut self, at: usize, target: usize) {
+        self.cmds[at] = Cmd::Goto(target);
+    }
+
+    /// Materialises a boolean guard into an `Int` 0/1 temp.
+    fn bool_to_int(&mut self, guard: Expr) -> Expr {
+        let t = self.temp();
+        let at = self.here();
+        self.emit(Cmd::IfGoto(guard, at + 3));
+        self.emit(Cmd::assign(&t, Expr::int(0)));
+        self.emit(Cmd::Goto(at + 4));
+        self.emit(Cmd::assign(&t, Expr::int(1)));
+        Expr::pvar(t)
+    }
+
+    fn size_of(&self, t: &CType) -> Result<i64, CompileError> {
+        self.layout.size_of(t).map_err(|e| CompileError(e.0))
+    }
+
+    fn chunk_expr(&self, t: &CType) -> Result<Expr, CompileError> {
+        Ok(self
+            .layout
+            .chunk_of(t)
+            .map_err(|e| CompileError(e.0))?
+            .to_expr())
+    }
+}
+
+fn int_width(t: &CType) -> Option<u8> {
+    match t {
+        CType::Char => Some(8),
+        CType::Short => Some(16),
+        CType::Int => Some(32),
+        CType::Long => Some(64),
+        _ => None,
+    }
+}
+
+fn ptr_block(p: Expr) -> Expr {
+    p.lst_nth(Expr::int(0))
+}
+
+fn ptr_off(p: Expr) -> Expr {
+    p.lst_nth(Expr::int(1))
+}
+
+fn make_ptr(block: Expr, off: Expr) -> Expr {
+    Expr::list([block, off])
+}
+
+/// Implicit conversion of `v : from` to type `to`.
+fn convert(v: Expr, from: &CType, to: &CType) -> Result<Expr, CompileError> {
+    if from == to {
+        return Ok(v);
+    }
+    match (from, to) {
+        (f, t) if f.is_integer() && t.is_integer() => {
+            let w = int_width(t).expect("integer width");
+            Ok(if w < 64 {
+                v.un(UnOp::WrapSigned(w))
+            } else {
+                v
+            })
+        }
+        (f, CType::Double) if f.is_integer() => Ok(v.un(UnOp::IntToNum)),
+        (CType::Double, t) if t.is_integer() => {
+            let w = int_width(t).expect("integer width");
+            let trunc = v.un(UnOp::NumToInt);
+            Ok(if w < 64 {
+                trunc.un(UnOp::WrapSigned(w))
+            } else {
+                trunc
+            })
+        }
+        (CType::Ptr(a), CType::Ptr(b)) if **a == CType::Void || **b == CType::Void => Ok(v),
+        _ => err(format!("cannot convert {from} to {to}")),
+    }
+}
+
+fn compile_func(
+    f: &CFunc,
+    layout: &Layout,
+    sigs: &BTreeMap<String, (CType, Vec<CType>)>,
+) -> Result<Proc, CompileError> {
+    let mut ctx = Ctx {
+        cmds: Vec::new(),
+        tmp: 0,
+        layout,
+        sigs,
+        locals: f.params.iter().map(|(t, n)| (n.clone(), t.clone())).collect(),
+        loops: Vec::new(),
+        ret: f.ret.clone(),
+    };
+    compile_stmts(&f.body, &mut ctx)?;
+    ctx.emit(Cmd::Return(Expr::int(0)));
+    Ok(Proc::new(
+        f.name.as_str(),
+        f.params.iter().map(|(_, n)| n.as_str()),
+        ctx.cmds,
+    ))
+}
+
+fn compile_stmts(stmts: &[CStmt], ctx: &mut Ctx<'_>) -> Result<(), CompileError> {
+    for s in stmts {
+        compile_stmt(s, ctx)?;
+    }
+    Ok(())
+}
+
+fn compile_stmt(s: &CStmt, ctx: &mut Ctx<'_>) -> Result<(), CompileError> {
+    match s {
+        CStmt::Decl(t, x, init) => {
+            ctx.locals.insert(x.clone(), t.clone());
+            if let Some(e) = init {
+                let (v, vt) = compile_expr(e, ctx)?;
+                let v = convert(v, &vt, t)?;
+                ctx.emit(Cmd::assign(x, v));
+            }
+            // An uninitialized local stays unbound: reading it is an error
+            // (C UB: use of an uninitialized variable).
+            Ok(())
+        }
+        CStmt::Assign(lv, e) => match lv {
+            LValue::Var(x) => {
+                let t = ctx
+                    .locals
+                    .get(x)
+                    .cloned()
+                    .ok_or_else(|| CompileError(format!("assignment to undeclared {x}")))?;
+                let (v, vt) = compile_expr(e, ctx)?;
+                let v = convert(v, &vt, &t)?;
+                ctx.emit(Cmd::assign(x, v));
+                Ok(())
+            }
+            LValue::Deref(p) => store_through(ctx, p, None, None, e),
+            LValue::Index(p, i) => store_through(ctx, p, Some(i), None, e),
+            LValue::Arrow(p, f) => store_through(ctx, p, None, Some(f), e),
+        },
+        CStmt::ExprStmt(e) => {
+            compile_expr(e, ctx)?;
+            Ok(())
+        }
+        CStmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let guard = compile_cond(cond, ctx)?;
+            let guard_at = ctx.emit_hole();
+            compile_stmts(otherwise, ctx)?;
+            let skip_then = ctx.emit_hole();
+            let then_at = ctx.here();
+            compile_stmts(then, ctx)?;
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(guard, then_at);
+            ctx.patch_goto(skip_then, end);
+            Ok(())
+        }
+        CStmt::While { cond, body } => {
+            let loop_at = ctx.here();
+            let guard = compile_cond(cond, ctx)?;
+            let guard_at = ctx.emit_hole();
+            let exit = ctx.emit_hole();
+            let body_at = ctx.here();
+            ctx.loops.push(LoopFrame {
+                break_holes: Vec::new(),
+                continue_holes: Vec::new(),
+            });
+            compile_stmts(body, ctx)?;
+            ctx.emit(Cmd::Goto(loop_at));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(guard, body_at);
+            ctx.patch_goto(exit, end);
+            let frame = ctx.loops.pop().expect("loop frame");
+            for h in frame.break_holes {
+                ctx.patch_goto(h, end);
+            }
+            for h in frame.continue_holes {
+                ctx.patch_goto(h, loop_at);
+            }
+            Ok(())
+        }
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            compile_stmt(init, ctx)?;
+            let loop_at = ctx.here();
+            let guard = compile_cond(cond, ctx)?;
+            let guard_at = ctx.emit_hole();
+            let exit = ctx.emit_hole();
+            let body_at = ctx.here();
+            ctx.loops.push(LoopFrame {
+                break_holes: Vec::new(),
+                continue_holes: Vec::new(),
+            });
+            compile_stmts(body, ctx)?;
+            let frame = ctx.loops.pop().expect("loop frame");
+            let cont_at = ctx.here();
+            compile_stmt(step, ctx)?;
+            ctx.emit(Cmd::Goto(loop_at));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(guard, body_at);
+            ctx.patch_goto(exit, end);
+            for h in frame.break_holes {
+                ctx.patch_goto(h, end);
+            }
+            for h in frame.continue_holes {
+                ctx.patch_goto(h, cont_at);
+            }
+            Ok(())
+        }
+        CStmt::Break => {
+            let hole = ctx.emit_hole();
+            match ctx.loops.last_mut() {
+                Some(f) => f.break_holes.push(hole),
+                None => return err("break outside a loop"),
+            }
+            Ok(())
+        }
+        CStmt::Continue => {
+            let hole = ctx.emit_hole();
+            match ctx.loops.last_mut() {
+                Some(f) => f.continue_holes.push(hole),
+                None => return err("continue outside a loop"),
+            }
+            Ok(())
+        }
+        CStmt::Return(e) => {
+            let value = match e {
+                Some(e) => {
+                    let (v, vt) = compile_expr(e, ctx)?;
+                    let ret = ctx.ret.clone();
+                    convert(v, &vt, &ret)?
+                }
+                None => Expr::int(0),
+            };
+            ctx.emit(Cmd::Return(value));
+            Ok(())
+        }
+        CStmt::Assume(e) => {
+            let guard = compile_cond(e, ctx)?;
+            let at = ctx.here();
+            ctx.emit(Cmd::IfGoto(guard, at + 2));
+            ctx.emit(Cmd::Vanish);
+            Ok(())
+        }
+        CStmt::Assert(e) => {
+            let guard = compile_cond(e, ctx)?;
+            let at = ctx.here();
+            ctx.emit(Cmd::IfGoto(guard, at + 2));
+            ctx.emit(Cmd::Fail(Expr::list([
+                Expr::str("assertion failure"),
+                Expr::str(format!("{e:?}")),
+            ])));
+            Ok(())
+        }
+    }
+}
+
+/// Resolves an lvalue address: `(block, offset, element type)`.
+fn lvalue_addr(
+    ctx: &mut Ctx<'_>,
+    base: &CExpr,
+    index: Option<&CExpr>,
+    field: Option<&str>,
+) -> Result<(Expr, Expr, CType), CompileError> {
+    let (p, pt) = compile_expr(base, ctx)?;
+    let CType::Ptr(pointee) = pt else {
+        return err(format!("dereference of non-pointer {pt}"));
+    };
+    let block = ptr_block(p.clone());
+    let off = ptr_off(p);
+    match (index, field) {
+        (None, None) => Ok((block, off, *pointee)),
+        (Some(i), None) => {
+            let (iv, it) = compile_expr(i, ctx)?;
+            if !it.is_integer() {
+                return err(format!("index of type {it}"));
+            }
+            let size = ctx.size_of(&pointee)?;
+            Ok((
+                block,
+                off.add(iv.mul(Expr::int(size))),
+                *pointee,
+            ))
+        }
+        (None, Some(f)) => {
+            let CType::Struct(sname) = *pointee else {
+                return err(format!("-> on non-struct pointer {pointee}"));
+            };
+            let (foff, ft) = ctx
+                .layout
+                .field(&sname, f)
+                .map_err(|e| CompileError(e.0))?;
+            Ok((block, off.add(Expr::int(foff)), ft))
+        }
+        _ => unreachable!("index and field are exclusive"),
+    }
+}
+
+/// Compiles `*p = e`, `p[i] = e`, `p->f = e`.
+fn store_through(
+    ctx: &mut Ctx<'_>,
+    base: &CExpr,
+    index: Option<&CExpr>,
+    field: Option<&str>,
+    value: &CExpr,
+) -> Result<(), CompileError> {
+    let (block, off, elem) = lvalue_addr(ctx, base, index, field)?;
+    let (v, vt) = compile_expr(value, ctx)?;
+    let v = convert(v, &vt, &elem)?;
+    let chunk = ctx.chunk_expr(&elem)?;
+    ctx.emit(Cmd::action("_", "store", Expr::list([chunk, block, off, v])));
+    Ok(())
+}
+
+/// Compiles a load through an lvalue address.
+fn load_from(
+    ctx: &mut Ctx<'_>,
+    base: &CExpr,
+    index: Option<&CExpr>,
+    field: Option<&str>,
+) -> Result<(Expr, CType), CompileError> {
+    let (block, off, elem) = lvalue_addr(ctx, base, index, field)?;
+    let chunk = ctx.chunk_expr(&elem)?;
+    let t = ctx.temp();
+    ctx.emit(Cmd::action(&t, "load", Expr::list([chunk, block, off])));
+    Ok((Expr::pvar(t), elem))
+}
+
+/// Compiles an expression to a value and its type.
+fn compile_expr(e: &CExpr, ctx: &mut Ctx<'_>) -> Result<(Expr, CType), CompileError> {
+    match e {
+        CExpr::Int(n) => Ok((Expr::int(*n), CType::Long)),
+        CExpr::Float(x) => Ok((Expr::num(*x), CType::Double)),
+        CExpr::Null => Ok((null_ptr_expr(), CType::Void.ptr_to())),
+        CExpr::SizeOf(t) => Ok((Expr::int(ctx.size_of(t)?), CType::Long)),
+        CExpr::Var(x) => match ctx.locals.get(x) {
+            Some(t) => Ok((Expr::pvar(x), t.clone())),
+            None => err(format!("undeclared variable {x}")),
+        },
+        CExpr::Un(op, inner) => match op {
+            CUnOp::Neg => {
+                let (v, t) = compile_expr(inner, ctx)?;
+                if t.is_integer() || t == CType::Double {
+                    Ok((v.un(UnOp::Neg), t))
+                } else {
+                    err(format!("negation of {t}"))
+                }
+            }
+            CUnOp::Not => {
+                let guard = compile_cond(inner, ctx)?;
+                Ok((ctx.bool_to_int(guard.not()), CType::Int))
+            }
+            CUnOp::BitNot => {
+                let (v, t) = compile_expr(inner, ctx)?;
+                if t.is_integer() {
+                    Ok((v.un(UnOp::BitNot), CType::Long))
+                } else {
+                    err(format!("~ of {t}"))
+                }
+            }
+        },
+        CExpr::Bin(op, a, b) => compile_bin(*op, a, b, ctx),
+        CExpr::Deref(p) => load_from(ctx, p, None, None),
+        CExpr::Index(p, i) => load_from(ctx, p, Some(i), None),
+        CExpr::Arrow(p, f) => load_from(ctx, p, None, Some(f)),
+        CExpr::Call(name, args) => compile_call(name, args, ctx),
+        CExpr::Cast(to, inner) => {
+            let (v, from) = compile_expr(inner, ctx)?;
+            match (&from, to) {
+                // Pointer-to-pointer casts retype without conversion.
+                (CType::Ptr(_), CType::Ptr(_)) => Ok((v, to.clone())),
+                _ => Ok((convert(v, &from, to)?, to.clone())),
+            }
+        }
+    }
+}
+
+fn compile_bin(
+    op: CBinOp,
+    a: &CExpr,
+    b: &CExpr,
+    ctx: &mut Ctx<'_>,
+) -> Result<(Expr, CType), CompileError> {
+    match op {
+        CBinOp::And | CBinOp::Or => {
+            let guard = compile_cond(&CExpr::Bin(op, Box::new(a.clone()), Box::new(b.clone())), ctx)?;
+            return Ok((ctx.bool_to_int(guard), CType::Int));
+        }
+        CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge => {
+            let guard = compile_cmp(op, a, b, ctx)?;
+            return Ok((ctx.bool_to_int(guard), CType::Int));
+        }
+        _ => {}
+    }
+    let (va, ta) = compile_expr(a, ctx)?;
+    let (vb, tb) = compile_expr(b, ctx)?;
+    // Pointer arithmetic.
+    if let CBinOp::Add | CBinOp::Sub = op {
+        match (&ta, &tb) {
+            (CType::Ptr(elem), t) if t.is_integer() => {
+                let size = ctx.size_of(elem)?;
+                let delta = vb.mul(Expr::int(size));
+                let off = ptr_off(va.clone());
+                let new_off = if op == CBinOp::Add {
+                    off.add(delta)
+                } else {
+                    off.sub(delta)
+                };
+                return Ok((make_ptr(ptr_block(va), new_off), ta.clone()));
+            }
+            (t, CType::Ptr(elem)) if t.is_integer() && op == CBinOp::Add => {
+                let size = ctx.size_of(elem)?;
+                let off = ptr_off(vb.clone()).add(va.mul(Expr::int(size)));
+                return Ok((make_ptr(ptr_block(vb), off), tb.clone()));
+            }
+            (CType::Ptr(e1), CType::Ptr(e2)) if op == CBinOp::Sub => {
+                if e1 != e2 {
+                    return err(format!("pointer difference of {ta} and {tb}"));
+                }
+                let size = ctx.size_of(e1)?;
+                // Pointer difference across blocks is UB.
+                let at = ctx.here();
+                ctx.emit(Cmd::IfGoto(
+                    ptr_block(va.clone()).eq(ptr_block(vb.clone())),
+                    at + 2,
+                ));
+                ctx.emit(Cmd::Fail(Expr::list([
+                    Expr::str("UB"),
+                    Expr::str("ub-pointer-difference"),
+                    Expr::str("pointers into different blocks"),
+                ])));
+                let diff = ptr_off(va).sub(ptr_off(vb)).div(Expr::int(size));
+                return Ok((diff, CType::Long));
+            }
+            _ => {}
+        }
+    }
+    // Numeric operators.
+    let gop = match op {
+        CBinOp::Add => BinOp::Add,
+        CBinOp::Sub => BinOp::Sub,
+        CBinOp::Mul => BinOp::Mul,
+        CBinOp::Div => BinOp::Div,
+        CBinOp::Mod => BinOp::Mod,
+        CBinOp::BitAnd => BinOp::BitAnd,
+        CBinOp::BitOr => BinOp::BitOr,
+        CBinOp::BitXor => BinOp::BitXor,
+        CBinOp::Shl => BinOp::Shl,
+        CBinOp::Shr => BinOp::ShrA,
+        _ => unreachable!("handled above"),
+    };
+    match (&ta, &tb) {
+        (x, y) if x.is_integer() && y.is_integer() => {
+            // Integer division/modulo by zero is UB: emit the explicit
+            // guard so the symbolic execution explores the trapping branch
+            // (a residual `a / b` expression would not).
+            if matches!(op, CBinOp::Div | CBinOp::Mod) {
+                let at = ctx.here();
+                ctx.emit(Cmd::IfGoto(vb.clone().ne(Expr::int(0)), at + 2));
+                ctx.emit(Cmd::Fail(Expr::list([
+                    Expr::str("UB"),
+                    Expr::str("division-by-zero"),
+                    Expr::str(format!("{op:?} with zero divisor")),
+                ])));
+            }
+            Ok((va.bin(gop, vb), CType::Long))
+        }
+        (CType::Double, CType::Double) => Ok((va.bin(gop, vb), CType::Double)),
+        (x, CType::Double) if x.is_integer() => {
+            Ok((va.un(UnOp::IntToNum).bin(gop, vb), CType::Double))
+        }
+        (CType::Double, y) if y.is_integer() => {
+            Ok((va.bin(gop, vb.un(UnOp::IntToNum)), CType::Double))
+        }
+        _ => err(format!("operator {op:?} on {ta} and {tb}")),
+    }
+}
+
+/// Compiles a comparison to a GIL boolean guard.
+fn compile_cmp(
+    op: CBinOp,
+    a: &CExpr,
+    b: &CExpr,
+    ctx: &mut Ctx<'_>,
+) -> Result<Expr, CompileError> {
+    let (va, ta) = compile_expr(a, ctx)?;
+    let (vb, tb) = compile_expr(b, ctx)?;
+    let both_ptr = ta.is_pointer() && tb.is_pointer();
+    if both_ptr {
+        match op {
+            // Pointer equality is defined across blocks: structural.
+            CBinOp::Eq => return Ok(va.eq(vb)),
+            CBinOp::Ne => return Ok(va.ne(vb)),
+            // Ordering goes through the cmpPtr action (UB detection).
+            _ => {
+                let (cmp_op, x, y) = match op {
+                    CBinOp::Lt => ("lt", va, vb),
+                    CBinOp::Le => ("le", va, vb),
+                    CBinOp::Gt => ("lt", vb, va),
+                    CBinOp::Ge => ("le", vb, va),
+                    _ => unreachable!(),
+                };
+                let t = ctx.temp();
+                ctx.emit(Cmd::action(
+                    &t,
+                    "cmpPtr",
+                    Expr::list([Expr::str(cmp_op), x, y]),
+                ));
+                return Ok(Expr::pvar(t));
+            }
+        }
+    }
+    // Promote mixed int/double comparisons.
+    let (va, vb) = match (&ta, &tb) {
+        (x, CType::Double) if x.is_integer() => (va.un(UnOp::IntToNum), vb),
+        (CType::Double, y) if y.is_integer() => (va, vb.un(UnOp::IntToNum)),
+        _ => (va, vb),
+    };
+    Ok(match op {
+        CBinOp::Eq => va.eq(vb),
+        CBinOp::Ne => va.ne(vb),
+        CBinOp::Lt => va.lt(vb),
+        CBinOp::Le => va.le(vb),
+        CBinOp::Gt => va.gt(vb),
+        CBinOp::Ge => va.ge(vb),
+        _ => unreachable!(),
+    })
+}
+
+/// Compiles an expression in condition position to a GIL boolean guard
+/// (C truthiness), short-circuiting `&&`/`||`.
+fn compile_cond(e: &CExpr, ctx: &mut Ctx<'_>) -> Result<Expr, CompileError> {
+    match e {
+        CExpr::Bin(op @ (CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge), a, b) => {
+            compile_cmp(*op, a, b, ctx)
+        }
+        CExpr::Bin(CBinOp::And, a, b) => {
+            // t := false; if a { t := b-cond }
+            let t = ctx.temp();
+            ctx.emit(Cmd::assign(&t, Expr::ff()));
+            let ga = compile_cond(a, ctx)?;
+            let guard_at = ctx.emit_hole();
+            let skip = ctx.emit_hole();
+            let rhs_at = ctx.here();
+            let gb = compile_cond(b, ctx)?;
+            ctx.emit(Cmd::assign(&t, gb));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(ga, rhs_at);
+            ctx.patch_goto(skip, end);
+            Ok(Expr::pvar(t))
+        }
+        CExpr::Bin(CBinOp::Or, a, b) => {
+            // t := true; if !a { t := b-cond }  (encoded with two gotos)
+            let t = ctx.temp();
+            ctx.emit(Cmd::assign(&t, Expr::tt()));
+            let ga = compile_cond(a, ctx)?;
+            let guard_at = ctx.emit_hole(); // if a goto end
+            let gb = compile_cond(b, ctx)?;
+            ctx.emit(Cmd::assign(&t, gb));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(ga, end);
+            Ok(Expr::pvar(t))
+        }
+        CExpr::Un(CUnOp::Not, inner) => Ok(compile_cond(inner, ctx)?.not()),
+        other => {
+            let (v, t) = compile_expr(other, ctx)?;
+            if t.is_integer() {
+                Ok(v.ne(Expr::int(0)))
+            } else if t == CType::Double {
+                Ok(v.ne(Expr::num(0.0)))
+            } else if t.is_pointer() {
+                Ok(v.ne(null_ptr_expr()))
+            } else {
+                err(format!("condition of type {t}"))
+            }
+        }
+    }
+}
+
+fn compile_call(
+    name: &str,
+    args: &[CExpr],
+    ctx: &mut Ctx<'_>,
+) -> Result<(Expr, CType), CompileError> {
+    match name {
+        "malloc" => {
+            let [size] = args else {
+                return err("malloc takes one argument");
+            };
+            let (sv, st) = compile_expr(size, ctx)?;
+            if !st.is_integer() {
+                return err("malloc size must be an integer");
+            }
+            let b = ctx.temp();
+            let site = ctx.here() as u32;
+            ctx.emit(Cmd::usym(&b, site));
+            ctx.emit(Cmd::action(
+                "_",
+                "alloc",
+                Expr::list([Expr::pvar(&b), sv]),
+            ));
+            Ok((
+                make_ptr(Expr::pvar(b), Expr::int(0)),
+                CType::Void.ptr_to(),
+            ))
+        }
+        "free" => {
+            let [p] = args else {
+                return err("free takes one argument");
+            };
+            let (pv, pt) = compile_expr(p, ctx)?;
+            if !pt.is_pointer() {
+                return err("free needs a pointer");
+            }
+            ctx.emit(Cmd::action(
+                "_",
+                "free",
+                Expr::list([ptr_block(pv.clone()), ptr_off(pv)]),
+            ));
+            Ok((Expr::int(0), CType::Void))
+        }
+        "memcpy" => {
+            let [dst, src, n] = args else {
+                return err("memcpy takes three arguments");
+            };
+            let (dv, dt) = compile_expr(dst, ctx)?;
+            let (sv, st) = compile_expr(src, ctx)?;
+            let (nv, nt) = compile_expr(n, ctx)?;
+            if !dt.is_pointer() || !st.is_pointer() || !nt.is_integer() {
+                return err("memcpy(dst*, src*, n)");
+            }
+            let bytes = ctx.temp();
+            ctx.emit(Cmd::action(
+                &bytes,
+                "loadBytes",
+                Expr::list([ptr_block(sv.clone()), ptr_off(sv), nv]),
+            ));
+            ctx.emit(Cmd::action(
+                "_",
+                "storeBytes",
+                Expr::list([ptr_block(dv.clone()), ptr_off(dv.clone()), Expr::pvar(&bytes)]),
+            ));
+            Ok((dv, dt))
+        }
+        "block_size" => {
+            // Introspection builtin for tests: the allocated size of the
+            // block a pointer points into (the `sizeBlock` action).
+            let [p] = args else {
+                return err("block_size takes one argument");
+            };
+            let (pv, pt) = compile_expr(p, ctx)?;
+            if !pt.is_pointer() {
+                return err("block_size needs a pointer");
+            }
+            let t = ctx.temp();
+            ctx.emit(Cmd::action(&t, "sizeBlock", ptr_block(pv)));
+            Ok((Expr::pvar(t), CType::Long))
+        }
+        "symb_int" | "symb_long" | "symb_char" | "symb_short" | "symb_double" => {
+            if !args.is_empty() {
+                return err(format!("{name} takes no arguments"));
+            }
+            let t = ctx.temp();
+            let site = ctx.here() as u32;
+            ctx.emit(Cmd::isym(&t, site));
+            let (tag, ctype, bounds) = match name {
+                "symb_double" => (TypeTag::Num, CType::Double, None),
+                "symb_char" => (TypeTag::Int, CType::Char, Some((-128i64, 127i64))),
+                "symb_short" => (TypeTag::Int, CType::Short, Some((-32768, 32767))),
+                "symb_int" => (TypeTag::Int, CType::Int, Some((i32::MIN as i64, i32::MAX as i64))),
+                _ => (TypeTag::Int, CType::Long, None),
+            };
+            let at = ctx.here();
+            ctx.emit(Cmd::IfGoto(Expr::pvar(&t).has_type(tag), at + 2));
+            ctx.emit(Cmd::Vanish);
+            if let Some((lo, hi)) = bounds {
+                let at = ctx.here();
+                ctx.emit(Cmd::IfGoto(
+                    Expr::int(lo)
+                        .le(Expr::pvar(&t))
+                        .and(Expr::pvar(&t).le(Expr::int(hi))),
+                    at + 2,
+                ));
+                ctx.emit(Cmd::Vanish);
+            }
+            Ok((Expr::pvar(t), ctype))
+        }
+        _ => {
+            let Some((ret, param_types)) = ctx.sigs.get(name).cloned() else {
+                return err(format!("unknown function {name}"));
+            };
+            if param_types.len() != args.len() {
+                return err(format!(
+                    "{name} expects {} arguments, got {}",
+                    param_types.len(),
+                    args.len()
+                ));
+            }
+            let mut compiled = Vec::with_capacity(args.len());
+            for (arg, pt) in args.iter().zip(&param_types) {
+                let (v, vt) = compile_expr(arg, ctx)?;
+                compiled.push(convert(v, &vt, pt)?);
+            }
+            let t = ctx.temp();
+            ctx.emit(Cmd::call_static(&t, name, compiled));
+            Ok((Expr::pvar(t), ret))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    fn compile(src: &str) -> Result<Prog, CompileError> {
+        compile_unit(&parse_unit(src).unwrap())
+    }
+
+    #[test]
+    fn compiles_malloc_store_load() {
+        let p = compile(
+            r#"
+            long f() {
+                long *p = malloc(8);
+                *p = 42;
+                return *p;
+            }
+        "#,
+        )
+        .unwrap();
+        let f = p.proc("f").unwrap();
+        assert!(f.body.iter().any(|c| matches!(c, Cmd::USym { .. })));
+        let actions: Vec<&str> = f
+            .body
+            .iter()
+            .filter_map(|c| match c {
+                Cmd::Action { name, .. } => Some(name.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(actions, vec!["alloc", "store", "load"]);
+    }
+
+    #[test]
+    fn field_offsets_are_computed() {
+        let p = compile(
+            r#"
+            struct Pair { int a; long b; };
+            long f(struct Pair *p) {
+                p->b = 7;
+                return p->b;
+            }
+        "#,
+        )
+        .unwrap();
+        let f = p.proc("f").unwrap();
+        // The store offset must include the padded field offset 8.
+        let store = f
+            .body
+            .iter()
+            .find_map(|c| match c {
+                Cmd::Action { name, arg, .. } if name.as_ref() == "store" => Some(arg.to_string()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(store.contains("+ 8"), "store arg: {store}");
+    }
+
+    #[test]
+    fn pointer_indexing_scales() {
+        let p = compile(
+            r#"
+            int f(int *xs, long i) {
+                return xs[i];
+            }
+        "#,
+        )
+        .unwrap();
+        let f = p.proc("f").unwrap();
+        let load = f
+            .body
+            .iter()
+            .find_map(|c| match c {
+                Cmd::Action { name, arg, .. } if name.as_ref() == "load" => Some(arg.to_string()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(load.contains("* 4"), "int elements scale by 4: {load}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(compile("long f(long x) { return *x; }").is_err());
+        assert!(compile("long f() { return y; }").is_err());
+        assert!(compile("long f(struct P *p) { return p->q; }").is_err());
+        assert!(compile("long f(double d, long *p) { return d + p; }").is_err());
+    }
+
+    #[test]
+    fn short_circuit_conditions_compile() {
+        let p = compile(
+            r#"
+            long f(long *p) {
+                if (p != NULL && *p > 0) { return *p; }
+                return 0;
+            }
+        "#,
+        )
+        .unwrap();
+        let f = p.proc("f").unwrap();
+        assert!(!f.body.iter().any(|c| matches!(c, Cmd::Skip)), "{f}");
+    }
+
+    #[test]
+    fn casts_wrap() {
+        let p = compile("long f(long x) { return (char)x; }").unwrap();
+        let f = p.proc("f").unwrap();
+        let has_wrap = f.body.iter().any(|c| matches!(c, Cmd::Return(e) if e.to_string().contains("wrap_s8")));
+        assert!(has_wrap, "{f}");
+    }
+}

@@ -1,0 +1,1497 @@
+//! The MiniC concrete and symbolic memory models (paper §4.2) — the
+//! CompCert-style memory: separated blocks, block-offset pointers,
+//! byte-granular memory values, permissions, and chunked load/store.
+//!
+//! A memory value occupying byte `off + k` of a stored `n`-byte value `v`
+//! is the triple `[v, k, n]` (the unified CompCertS representation the
+//! paper adopts for its symbolic memory and notes "could also be applied
+//! to the CompCert concrete memory model" — we do exactly that, so the
+//! concrete and symbolic heaps have the same shape).
+//!
+//! ## Actions
+//!
+//! `A_C = {alloc, free, load, store, loadBytes, storeBytes, dropPerm,
+//! checkPerm, sizeBlock, cmpPtr, globalSet, globalGet}` — the heap,
+//! permission-table and global-environment management of the paper's
+//! action set, minus the concurrency-related actions (Gillian handles
+//! sequential programs only, §4.2).
+//!
+//! ## Undefined behaviour
+//!
+//! Every UB class the paper's evaluation exercises surfaces as an error
+//! value `["UB", kind, detail]`: invalid/null dereference, out-of-bounds
+//! access (the Collections-C buffer overflow), use-after-free, double
+//! free, uninitialized/partial reads, insufficient permissions, and
+//! cross-block or invalid pointer ordering (the Collections-C pointer
+//! comparison bugs).
+//!
+//! ## Documented limitations (matching the paper's §4.2)
+//!
+//! - allocation sizes must be concrete ("we do not reason about
+//!   allocation of symbolic size");
+//! - alignment is not checked;
+//! - a symbolic store that *partially* overlaps a differently-based run is
+//!   not detected (chunk-strided code, which is what compilers emit, never
+//!   does this); the differential soundness tests guard the corner.
+
+use crate::chunks::{Chunk, ChunkKind};
+use crate::values::POISON;
+use gillian_core::memory::{ConcreteMemory, SymBranch, SymbolicMemory};
+use gillian_gil::ops::eval_unop;
+use gillian_gil::{Expr, LVar, Sym, UnOp, Value};
+use gillian_solver::{PathCondition, Solver};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Permission levels, ascending (paper: "we model permissions as
+/// integers, in ascending order of permissiveness").
+pub mod perm {
+    /// No access (freed or fully dropped).
+    pub const NONE: u8 = 0;
+    /// Read-only.
+    pub const READABLE: u8 = 1;
+    /// Read and write.
+    pub const WRITABLE: u8 = 2;
+    /// Read, write, and free.
+    pub const FREEABLE: u8 = 3;
+}
+
+fn ub_value(kind: &str, detail: impl std::fmt::Display) -> Value {
+    Value::List(vec![
+        Value::str("UB"),
+        Value::str(kind),
+        Value::str(detail.to_string()),
+    ])
+}
+
+fn ub_expr(kind: &str, detail: impl std::fmt::Display) -> Expr {
+    Expr::Val(ub_value(kind, detail))
+}
+
+fn wrap_op(chunk: Chunk) -> Option<UnOp> {
+    match chunk.kind {
+        ChunkKind::Int if chunk.size < 8 => Some(if chunk.signed {
+            UnOp::WrapSigned(chunk.size * 8)
+        } else {
+            UnOp::WrapUnsigned(chunk.size * 8)
+        }),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concrete memory
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+struct ConcBlock {
+    size: i64,
+    perm: u8,
+    freed: bool,
+    cells: BTreeMap<i64, (Value, u8, u8)>,
+}
+
+/// The concrete MiniC memory.
+///
+/// Blocks sit behind [`Arc`]s with copy-on-write mutation: cloning a
+/// memory is cheap (states clone on every step), and sequential execution
+/// mutates blocks in place because the previous state has been dropped.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CConcMemory {
+    blocks: Arc<BTreeMap<Sym, Arc<ConcBlock>>>,
+    globals: Arc<BTreeMap<Arc<str>, Value>>,
+}
+
+impl CConcMemory {
+    fn block_mut(&mut self, b: Sym) -> Option<&mut ConcBlock> {
+        Arc::make_mut(&mut self.blocks).get_mut(&b).map(Arc::make_mut)
+    }
+
+    fn blocks_mut(&mut self) -> &mut BTreeMap<Sym, Arc<ConcBlock>> {
+        Arc::make_mut(&mut self.blocks)
+    }
+}
+
+fn value_args(arg: &Value, n: usize, action: &str) -> Result<Vec<Value>, Value> {
+    match arg.as_list() {
+        Some(items) if items.len() == n => Ok(items.to_vec()),
+        _ => Err(ub_value(
+            "bad-action-argument",
+            format!("{action}: expected {n}-element list, got {arg}"),
+        )),
+    }
+}
+
+fn as_block(v: &Value, action: &str) -> Result<Sym, Value> {
+    v.as_sym()
+        .ok_or_else(|| ub_value("bad-action-argument", format!("{action}: {v} is not a block")))
+}
+
+fn as_offset(v: &Value, action: &str) -> Result<i64, Value> {
+    v.as_int()
+        .ok_or_else(|| ub_value("bad-action-argument", format!("{action}: {v} is not an offset")))
+}
+
+/// Decodes a stored value through a chunk (concrete).
+fn decode_value(v: &Value, chunk: Chunk) -> Result<Value, Value> {
+    match (chunk.kind, v) {
+        (ChunkKind::Int, Value::Int(_)) => match wrap_op(chunk) {
+            Some(op) => eval_unop(op, v).map_err(|e| ub_value("decode", e.0)),
+            None => Ok(v.clone()),
+        },
+        (ChunkKind::Float, Value::Num(_)) => Ok(v.clone()),
+        (ChunkKind::Ptr, Value::List(items)) if items.len() == 2 => Ok(v.clone()),
+        _ => Err(ub_value(
+            "mixed-read",
+            format!("value {v} does not decode as a {} chunk", chunk.kind.name()),
+        )),
+    }
+}
+
+/// Encodes a value for storage through a chunk (concrete).
+fn encode_value(v: &Value, chunk: Chunk) -> Result<Value, Value> {
+    decode_value(v, chunk).map_err(|_| {
+        ub_value(
+            "mixed-store",
+            format!("value {v} cannot be stored through a {} chunk", chunk.kind.name()),
+        )
+    })
+}
+
+impl CConcMemory {
+    fn block(&self, b: Sym, action: &str) -> Result<&ConcBlock, Value> {
+        match self.blocks.get(&b) {
+            Some(blk) if blk.freed => Err(ub_value("use-after-free", format!("{action} on freed {b}"))),
+            Some(blk) => Ok(blk),
+            None => Err(ub_value("invalid-block", format!("{action} on {b}"))),
+        }
+    }
+
+    fn check_bounds(blk: &ConcBlock, off: i64, len: i64, b: Sym, action: &str) -> Result<(), Value> {
+        if off < 0 || off + len > blk.size {
+            Err(ub_value(
+                "out-of-bounds",
+                format!("{action} of {len} bytes at {b}+{off} (block size {})", blk.size),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_perm(blk: &ConcBlock, need: u8, b: Sym, action: &str) -> Result<(), Value> {
+        if blk.perm < need {
+            Err(ub_value(
+                "insufficient-permission",
+                format!("{action} needs permission {need} on {b} (has {})", blk.perm),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Direct block registration (for interpretation functions).
+    pub fn register_block(&mut self, b: Sym, size: i64, perm: u8, freed: bool) {
+        self.blocks_mut().insert(
+            b,
+            Arc::new(ConcBlock {
+                size,
+                perm,
+                freed,
+                cells: BTreeMap::new(),
+            }),
+        );
+    }
+
+    /// Direct cell write (for interpretation functions).
+    pub fn set_cell(&mut self, b: Sym, off: i64, value: Value, k: u8, n: u8) -> bool {
+        match self.block_mut(b) {
+            Some(blk) => blk.cells.insert(off, (value, k, n)).is_none(),
+            None => false,
+        }
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.values().filter(|b| !b.freed).count()
+    }
+}
+
+impl ConcreteMemory for CConcMemory {
+    fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
+        match name {
+            "alloc" => {
+                let args = value_args(&arg, 2, "alloc")?;
+                let b = as_block(&args[0], "alloc")?;
+                let size = as_offset(&args[1], "alloc")?;
+                if size < 0 {
+                    return Err(ub_value("bad-alloc", format!("negative size {size}")));
+                }
+                if self.blocks.contains_key(&b) {
+                    return Err(ub_value("bad-alloc", format!("block {b} exists")));
+                }
+                self.register_block(b, size, perm::FREEABLE, false);
+                Ok(args[0].clone())
+            }
+            "free" => {
+                let args = value_args(&arg, 2, "free")?;
+                let b = as_block(&args[0], "free")?;
+                let off = as_offset(&args[1], "free")?;
+                if off != 0 {
+                    return Err(ub_value("bad-free", format!("free of {b}+{off} (nonzero offset)")));
+                }
+                match self.block_mut(b) {
+                    None => Err(ub_value("invalid-block", format!("free of {b}"))),
+                    Some(blk) if blk.freed => {
+                        Err(ub_value("double-free", format!("free of already freed {b}")))
+                    }
+                    Some(blk) => {
+                        if blk.perm < perm::FREEABLE {
+                            return Err(ub_value(
+                                "insufficient-permission",
+                                format!("free of {b} with permission {}", blk.perm),
+                            ));
+                        }
+                        blk.freed = true;
+                        blk.perm = perm::NONE;
+                        blk.cells.clear();
+                        Ok(Value::Bool(true))
+                    }
+                }
+            }
+            "load" => {
+                let args = value_args(&arg, 3, "load")?;
+                let chunk = Chunk::from_value(&args[0])
+                    .ok_or_else(|| ub_value("bad-action-argument", "load: bad chunk"))?;
+                let b = as_block(&args[1], "load")?;
+                let off = as_offset(&args[2], "load")?;
+                let blk = self.block(b, "load")?;
+                Self::check_perm(blk, perm::READABLE, b, "load")?;
+                Self::check_bounds(blk, off, chunk.size as i64, b, "load")?;
+                let Some((v0, 0, n0)) = blk.cells.get(&off).cloned()
+                else {
+                    return Err(ub_value(
+                        "uninitialized-read",
+                        format!("load at {b}+{off} reads uninitialized or partial bytes"),
+                    ));
+                };
+                if n0 != chunk.size {
+                    return Err(ub_value(
+                        "mixed-read",
+                        format!("load of {} bytes over a {n0}-byte value at {b}+{off}", chunk.size),
+                    ));
+                }
+                for i in 1..n0 {
+                    match blk.cells.get(&(off + i as i64)) {
+                        Some((v, k, n)) if *v == v0 && *k == i && *n == n0 => {}
+                        _ => {
+                            return Err(ub_value(
+                                "mixed-read",
+                                format!("load at {b}+{off} reads torn bytes"),
+                            ))
+                        }
+                    }
+                }
+                decode_value(&v0, chunk)
+            }
+            "store" => {
+                let args = value_args(&arg, 4, "store")?;
+                let chunk = Chunk::from_value(&args[0])
+                    .ok_or_else(|| ub_value("bad-action-argument", "store: bad chunk"))?;
+                let b = as_block(&args[1], "store")?;
+                let off = as_offset(&args[2], "store")?;
+                let value = encode_value(&args[3], chunk)?;
+                let blk = self.block(b, "store")?;
+                Self::check_perm(blk, perm::WRITABLE, b, "store")?;
+                Self::check_bounds(blk, off, chunk.size as i64, b, "store")?;
+                let size = chunk.size;
+                let blk = self.block_mut(b).expect("checked above");
+                // Invalidate every run with a byte in the written range
+                // [off, off + size).
+                let lo = off;
+                let hi = off + size as i64;
+                let mut to_remove: BTreeSet<i64> = BTreeSet::new();
+                for (o, (_, k, n)) in blk.cells.iter() {
+                    let start = o - *k as i64;
+                    if start + *n as i64 > lo && start < hi {
+                        for i in 0..*n as i64 {
+                            to_remove.insert(start + i);
+                        }
+                    }
+                }
+                for o in to_remove {
+                    blk.cells.remove(&o);
+                }
+                for k in 0..size {
+                    blk.cells.insert(off + k as i64, (value.clone(), k, size));
+                }
+                Ok(value)
+            }
+            "loadBytes" => {
+                let args = value_args(&arg, 3, "loadBytes")?;
+                let b = as_block(&args[0], "loadBytes")?;
+                let off = as_offset(&args[1], "loadBytes")?;
+                let len = as_offset(&args[2], "loadBytes")?;
+                let blk = self.block(b, "loadBytes")?;
+                Self::check_perm(blk, perm::READABLE, b, "loadBytes")?;
+                Self::check_bounds(blk, off, len, b, "loadBytes")?;
+                let mut out = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    match blk.cells.get(&(off + i)) {
+                        Some((v, k, n)) => out.push(Value::List(vec![
+                            v.clone(),
+                            Value::Int(*k as i64),
+                            Value::Int(*n as i64),
+                        ])),
+                        None => out.push(Value::Sym(POISON)),
+                    }
+                }
+                Ok(Value::List(out))
+            }
+            "storeBytes" => {
+                let args = value_args(&arg, 3, "storeBytes")?;
+                let b = as_block(&args[0], "storeBytes")?;
+                let off = as_offset(&args[1], "storeBytes")?;
+                let bytes = args[2]
+                    .as_list()
+                    .ok_or_else(|| ub_value("bad-action-argument", "storeBytes: bytes"))?
+                    .to_vec();
+                let len = bytes.len() as i64;
+                let blk = self.block(b, "storeBytes")?;
+                Self::check_perm(blk, perm::WRITABLE, b, "storeBytes")?;
+                Self::check_bounds(blk, off, len, b, "storeBytes")?;
+                let blk = self.block_mut(b).expect("checked above");
+                for (i, byte) in bytes.into_iter().enumerate() {
+                    let at = off + i as i64;
+                    if byte == Value::Sym(POISON) {
+                        blk.cells.remove(&at);
+                    } else if let Some(items) = byte.as_list() {
+                        if items.len() == 3 {
+                            let k = items[1].as_int().unwrap_or(0) as u8;
+                            let n = items[2].as_int().unwrap_or(1) as u8;
+                            blk.cells.insert(at, (items[0].clone(), k, n));
+                            continue;
+                        }
+                        return Err(ub_value("bad-action-argument", "storeBytes: bad byte"));
+                    } else {
+                        return Err(ub_value("bad-action-argument", "storeBytes: bad byte"));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            "dropPerm" => {
+                let args = value_args(&arg, 2, "dropPerm")?;
+                let b = as_block(&args[0], "dropPerm")?;
+                let p = as_offset(&args[1], "dropPerm")? as u8;
+                let blk = self
+                    .block_mut(b)
+                    .ok_or_else(|| ub_value("invalid-block", format!("dropPerm on {b}")))?;
+                blk.perm = blk.perm.min(p);
+                Ok(Value::Int(blk.perm as i64))
+            }
+            "checkPerm" => {
+                let b = as_block(&arg, "checkPerm")?;
+                match self.blocks.get(&b) {
+                    Some(blk) => Ok(Value::Int(blk.perm as i64)),
+                    None => Ok(Value::Int(-1)),
+                }
+            }
+            "sizeBlock" => {
+                let b = as_block(&arg, "sizeBlock")?;
+                let blk = self.block(b, "sizeBlock")?;
+                Ok(Value::Int(blk.size))
+            }
+            "cmpPtr" => {
+                let args = value_args(&arg, 3, "cmpPtr")?;
+                let op = args[0]
+                    .as_str()
+                    .ok_or_else(|| ub_value("bad-action-argument", "cmpPtr: op"))?
+                    .to_string();
+                let p1 = args[1].as_list().filter(|l| l.len() == 2);
+                let p2 = args[2].as_list().filter(|l| l.len() == 2);
+                let (Some(p1), Some(p2)) = (p1, p2) else {
+                    return Err(ub_value("bad-action-argument", "cmpPtr: non-pointers"));
+                };
+                let same_block = p1[0] == p2[0];
+                match op.as_str() {
+                    "eq" => Ok(Value::Bool(p1 == p2)),
+                    "ne" => Ok(Value::Bool(p1 != p2)),
+                    "lt" | "le" => {
+                        // Ordering is defined only within one *valid* block.
+                        if !same_block {
+                            return Err(ub_value(
+                                "ub-pointer-comparison",
+                                "ordering of pointers into different blocks",
+                            ));
+                        }
+                        let b = as_block(&p1[0], "cmpPtr")?;
+                        let _ = self.block(b, "cmpPtr").map_err(|_| {
+                            ub_value("ub-pointer-comparison", "ordering of invalid pointers")
+                        })?;
+                        let o1 = as_offset(&p1[1], "cmpPtr")?;
+                        let o2 = as_offset(&p2[1], "cmpPtr")?;
+                        Ok(Value::Bool(if op == "lt" { o1 < o2 } else { o1 <= o2 }))
+                    }
+                    other => Err(ub_value("bad-action-argument", format!("cmpPtr: {other}"))),
+                }
+            }
+            "globalSet" => {
+                let args = value_args(&arg, 2, "globalSet")?;
+                let name = args[0]
+                    .as_str()
+                    .ok_or_else(|| ub_value("bad-action-argument", "globalSet: name"))?;
+                Arc::make_mut(&mut self.globals).insert(Arc::from(name), args[1].clone());
+                Ok(args[1].clone())
+            }
+            "globalGet" => {
+                let name = arg
+                    .as_str()
+                    .ok_or_else(|| ub_value("bad-action-argument", "globalGet: name"))?;
+                self.globals
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| ub_value("invalid-global", name))
+            }
+            other => Err(ub_value("unknown-action", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbolic memory
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+struct SymBlock {
+    size: i64,
+    perm: u8,
+    freed: bool,
+    /// Byte cells keyed by *simplified* offset expression.
+    cells: BTreeMap<Expr, (Expr, u8, u8)>,
+}
+
+/// The symbolic MiniC memory.
+///
+/// Like [`CConcMemory`], blocks are copy-on-write behind [`Arc`]s, so the
+/// per-branch state clones of symbolic execution stay cheap and straight-
+/// line execution mutates in place.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CSymMemory {
+    blocks: Arc<BTreeMap<Sym, Arc<SymBlock>>>,
+    globals: Arc<BTreeMap<Arc<str>, Expr>>,
+}
+
+impl CSymMemory {
+    fn block_mut(&mut self, b: Sym) -> Option<&mut SymBlock> {
+        Arc::make_mut(&mut self.blocks).get_mut(&b).map(Arc::make_mut)
+    }
+
+    fn blocks_mut(&mut self) -> &mut BTreeMap<Sym, Arc<SymBlock>> {
+        Arc::make_mut(&mut self.blocks)
+    }
+}
+
+fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
+    let parts: Option<Vec<Expr>> = match arg {
+        Expr::List(es) if es.len() == n => Some(es.clone()),
+        Expr::Val(Value::List(vs)) if vs.len() == n => {
+            Some(vs.iter().cloned().map(Expr::Val).collect())
+        }
+        _ => None,
+    };
+    parts.ok_or_else(|| {
+        ub_expr(
+            "bad-action-argument",
+            format!("{action}: expected {n}-element list, got {arg}"),
+        )
+    })
+}
+
+fn expr_block(e: &Expr, action: &str) -> Result<Sym, Expr> {
+    match e {
+        Expr::Val(Value::Sym(s)) => Ok(*s),
+        other => Err(ub_expr(
+            "bad-action-argument",
+            format!("{action}: {other} is not a literal block"),
+        )),
+    }
+}
+
+fn expr_ptr(e: &Expr) -> Option<(Expr, Expr)> {
+    match e {
+        Expr::List(items) if items.len() == 2 => Some((items[0].clone(), items[1].clone())),
+        Expr::Val(Value::List(items)) if items.len() == 2 => Some((
+            Expr::Val(items[0].clone()),
+            Expr::Val(items[1].clone()),
+        )),
+        _ => None,
+    }
+}
+
+/// Decodes a stored symbolic value through a chunk.
+fn decode_expr(v: &Expr, chunk: Chunk) -> Expr {
+    match wrap_op(chunk) {
+        Some(op) => v.clone().un(op),
+        None => v.clone(),
+    }
+}
+
+impl CSymMemory {
+    /// Direct block registration (for tests).
+    pub fn register_block(&mut self, b: Sym, size: i64) {
+        self.blocks_mut().insert(
+            b,
+            Arc::new(SymBlock {
+                size,
+                perm: perm::FREEABLE,
+                freed: false,
+                cells: BTreeMap::new(),
+            }),
+        );
+    }
+
+    /// Direct run write (for tests): stores value `v` of `n` bytes at
+    /// concrete offset `off`.
+    pub fn set_run(&mut self, b: Sym, off: i64, v: Expr, n: u8) {
+        let blk = self.block_mut(b).expect("block registered");
+        for k in 0..n {
+            blk.cells
+                .insert(Expr::int(off + k as i64), (v.clone(), k, n));
+        }
+    }
+
+    /// Iterates blocks (for the interpretation function).
+    pub fn blocks_iter(&self) -> impl Iterator<Item = (Sym, i64, u8, bool)> + '_ {
+        self.blocks
+            .iter()
+            .map(|(b, blk)| (*b, blk.size, blk.perm, blk.freed))
+    }
+
+    /// Iterates cells of a block (for the interpretation function).
+    pub fn cells_iter(&self, b: Sym) -> impl Iterator<Item = (&Expr, &(Expr, u8, u8))> {
+        self.blocks.get(&b).into_iter().flat_map(|blk| blk.cells.iter())
+    }
+
+    /// The run-start cells (`k == 0`) of a block.
+    fn run_starts(&self, b: Sym) -> Vec<(Expr, Expr, u8)> {
+        self.blocks
+            .get(&b)
+            .map(|blk| {
+                blk.cells
+                    .iter()
+                    .filter(|(_, (_, k, _))| *k == 0)
+                    .map(|(off, (v, _, n))| (off.clone(), v.clone(), *n))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// True when every cell offset of the block is a literal integer —
+    /// the common case, where accesses at literal offsets can use direct
+    /// map lookups instead of alias branching.
+    fn all_offsets_literal(&self, b: Sym) -> bool {
+        self.blocks
+            .get(&b)
+            .is_some_and(|blk| blk.cells.keys().all(|off| off.as_int().is_some()))
+    }
+
+    /// Fast-path candidates for an access at a *literal* offset into a
+    /// block whose cells are all at literal offsets: at most one run can
+    /// match, found by direct lookup instead of scanning every run.
+    fn literal_candidates(&self, b: Sym, off: i64) -> Option<Vec<(Expr, Expr, u8)>> {
+        if !self.all_offsets_literal(b) {
+            return None;
+        }
+        let blk = self.blocks.get(&b)?;
+        Some(match blk.cells.get(&Expr::int(off)) {
+            Some((v, 0, n)) => vec![(Expr::int(off), v.clone(), *n)],
+            // A mid-run hit or a miss: no run *starts* here; the general
+            // machinery then produces the torn/uninitialized error branch.
+            _ => Vec::new(),
+        })
+    }
+
+    /// Checks a complete run of `n` cells for value `v` starting at `base`.
+    fn run_complete(&self, b: Sym, base: &Expr, v: &Expr, n: u8, solver: &Solver, pc: &PathCondition) -> bool {
+        let Some(blk) = self.blocks.get(&b) else {
+            return false;
+        };
+        for i in 1..n {
+            let key = solver.simplify(pc, &base.clone().add(Expr::int(i as i64)));
+            match blk.cells.get(&key) {
+                Some((cv, ck, cn)) if cv == v && *ck == i && *cn == n => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Removes the run starting at `base` with `n` bytes.
+    fn remove_run(blk: &mut SymBlock, base: &Expr, n: u8, solver: &Solver, pc: &PathCondition) {
+        for i in 0..n {
+            let key = solver.simplify(pc, &base.clone().add(Expr::int(i as i64)));
+            blk.cells.remove(&key);
+        }
+    }
+
+    /// Inserts a run of `n` bytes of `v` at `base`.
+    fn insert_run(blk: &mut SymBlock, base: &Expr, v: &Expr, n: u8, solver: &Solver, pc: &PathCondition) {
+        for k in 0..n {
+            let key = solver.simplify(pc, &base.clone().add(Expr::int(k as i64)));
+            blk.cells.insert(key, (v.clone(), k, n));
+        }
+    }
+
+    /// Validity prologue shared by memory accesses: checks the block and
+    /// returns `(in_bounds, out_of_bounds)` constraints for `len` bytes at
+    /// `off`, or the immediate error.
+    #[allow(clippy::too_many_arguments)]
+    fn access_prologue(
+        &self,
+        action: &str,
+        b: Sym,
+        off: &Expr,
+        len: i64,
+        need: u8,
+        solver: &Solver,
+        pc: &PathCondition,
+    ) -> Result<(Expr, Expr), Expr> {
+        let Some(blk) = self.blocks.get(&b) else {
+            return Err(ub_expr("invalid-block", format!("{action} on {b}")));
+        };
+        if blk.freed {
+            return Err(ub_expr("use-after-free", format!("{action} on freed {b}")));
+        }
+        if blk.perm < need {
+            return Err(ub_expr(
+                "insufficient-permission",
+                format!("{action} needs permission {need} on {b} (has {})", blk.perm),
+            ));
+        }
+        let in_bounds = Expr::int(0)
+            .le(off.clone())
+            .and(off.clone().le(Expr::int(blk.size - len)));
+        let in_bounds = solver.simplify(pc, &in_bounds);
+        let out_of_bounds = solver.simplify(pc, &in_bounds.clone().not());
+        Ok((in_bounds, out_of_bounds))
+    }
+}
+
+/// Pushes a branch unless its constraint is trivially false or unsat.
+fn push_branch<M>(
+    out: &mut Vec<SymBranch<M>>,
+    pc: &PathCondition,
+    solver: &Solver,
+    branch: SymBranch<M>,
+) {
+    if branch.constraint.as_bool() == Some(false) {
+        return;
+    }
+    if solver.sat_with(pc, &branch.constraint).possibly_sat() {
+        out.push(branch);
+    }
+}
+
+impl SymbolicMemory for CSymMemory {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        let err1 = |e: Expr| vec![SymBranch::err_if(self.clone(), e, Expr::tt())];
+        match name {
+            "alloc" => {
+                let args = match expr_args(arg, 2, "alloc") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let b = match expr_block(&args[0], "alloc") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let Some(size) = args[1].as_int() else {
+                    // Paper §4.2: symbolic allocation sizes are an open
+                    // research problem; MiniC rejects them like Gillian-C.
+                    return err1(ub_expr(
+                        "symbolic-alloc",
+                        format!("alloc of symbolic size {}", args[1]),
+                    ));
+                };
+                if size < 0 {
+                    return err1(ub_expr("bad-alloc", format!("negative size {size}")));
+                }
+                if self.blocks.contains_key(&b) {
+                    return err1(ub_expr("bad-alloc", format!("block {b} exists")));
+                }
+                let mut mem = self.clone();
+                mem.register_block(b, size);
+                vec![SymBranch::ok(mem, args[0].clone())]
+            }
+            "free" => {
+                let args = match expr_args(arg, 2, "free") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let b = match expr_block(&args[0], "free") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let off = &args[1];
+                let Some(blk) = self.blocks.get(&b) else {
+                    return err1(ub_expr("invalid-block", format!("free of {b}")));
+                };
+                if blk.freed {
+                    return err1(ub_expr("double-free", format!("free of already freed {b}")));
+                }
+                if blk.perm < perm::FREEABLE {
+                    return err1(ub_expr(
+                        "insufficient-permission",
+                        format!("free of {b} with permission {}", blk.perm),
+                    ));
+                }
+                let mut out = Vec::new();
+                let zero = solver.simplify(pc, &off.clone().eq(Expr::int(0)));
+                let nonzero = solver.simplify(pc, &zero.clone().not());
+                let mut mem = self.clone();
+                if let Some(mblk) = mem.block_mut(b) {
+                    mblk.freed = true;
+                    mblk.perm = perm::NONE;
+                    mblk.cells.clear();
+                }
+                push_branch(&mut out, pc, solver, SymBranch::ok_if(mem, Expr::tt(), zero));
+                push_branch(
+                    &mut out,
+                    pc,
+                    solver,
+                    SymBranch::err_if(
+                        self.clone(),
+                        ub_expr("bad-free", format!("free of {b} at nonzero offset {off}")),
+                        nonzero,
+                    ),
+                );
+                out
+            }
+            "load" => {
+                let args = match expr_args(arg, 3, "load") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let chunk = match args[0].as_value().and_then(Chunk::from_value) {
+                    Some(c) => c,
+                    None => return err1(ub_expr("bad-action-argument", "load: bad chunk")),
+                };
+                let b = match expr_block(&args[1], "load") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let off = solver.simplify(pc, &args[2]);
+                let (in_bounds, oob) = match self.access_prologue(
+                    "load",
+                    b,
+                    &off,
+                    chunk.size as i64,
+                    perm::READABLE,
+                    solver,
+                    pc,
+                ) {
+                    Ok(x) => x,
+                    Err(e) => return err1(e),
+                };
+                let mut out = Vec::new();
+                push_branch(
+                    &mut out,
+                    pc,
+                    solver,
+                    SymBranch::err_if(
+                        self.clone(),
+                        ub_expr(
+                            "out-of-bounds",
+                            format!("load of {} bytes at {b}+{off}", chunk.size),
+                        ),
+                        oob,
+                    ),
+                );
+                let mut none_of = in_bounds.clone();
+                let candidates = match off.as_int().and_then(|o| self.literal_candidates(b, o)) {
+                    Some(c) => c,
+                    None => self.run_starts(b),
+                };
+                for (base, v, n) in candidates {
+                    let eq = solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
+                    none_of = none_of.and(off.clone().ne(base.clone()));
+                    if eq.as_bool() == Some(false) || !solver.sat_with(pc, &eq).possibly_sat() {
+                        continue;
+                    }
+                    if n == chunk.size && self.run_complete(b, &base, &v, n, solver, pc) {
+                        let decoded = solver.simplify(pc, &decode_expr(&v, chunk));
+                        push_branch(&mut out, pc, solver, SymBranch::ok_if(self.clone(), decoded, eq));
+                    } else {
+                        push_branch(
+                            &mut out,
+                            pc,
+                            solver,
+                            SymBranch::err_if(
+                                self.clone(),
+                                ub_expr("mixed-read", format!("torn load at {b}+{off}")),
+                                eq,
+                            ),
+                        );
+                    }
+                }
+                let none_of = solver.simplify(pc, &none_of);
+                push_branch(
+                    &mut out,
+                    pc,
+                    solver,
+                    SymBranch::err_if(
+                        self.clone(),
+                        ub_expr(
+                            "uninitialized-read",
+                            format!("load at {b}+{off} reads uninitialized bytes"),
+                        ),
+                        none_of,
+                    ),
+                );
+                out
+            }
+            "store" => {
+                let args = match expr_args(arg, 4, "store") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let chunk = match args[0].as_value().and_then(Chunk::from_value) {
+                    Some(c) => c,
+                    None => return err1(ub_expr("bad-action-argument", "store: bad chunk")),
+                };
+                let b = match expr_block(&args[1], "store") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let off = solver.simplify(pc, &args[2]);
+                let value = solver.simplify(pc, &decode_expr(&args[3], chunk));
+                let (in_bounds, oob) = match self.access_prologue(
+                    "store",
+                    b,
+                    &off,
+                    chunk.size as i64,
+                    perm::WRITABLE,
+                    solver,
+                    pc,
+                ) {
+                    Ok(x) => x,
+                    Err(e) => return err1(e),
+                };
+                let mut out = Vec::new();
+                push_branch(
+                    &mut out,
+                    pc,
+                    solver,
+                    SymBranch::err_if(
+                        self.clone(),
+                        ub_expr(
+                            "out-of-bounds",
+                            format!("store of {} bytes at {b}+{off}", chunk.size),
+                        ),
+                        oob,
+                    ),
+                );
+                let mut none_of = in_bounds.clone();
+                let candidates = match off.as_int().and_then(|o| self.literal_candidates(b, o)) {
+                    Some(c) => c,
+                    None => self.run_starts(b),
+                };
+                for (base, _, n) in candidates {
+                    let eq = solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
+                    none_of = none_of.and(off.clone().ne(base.clone()));
+                    if eq.as_bool() == Some(false) || !solver.sat_with(pc, &eq).possibly_sat() {
+                        continue;
+                    }
+                    let mut mem = self.clone();
+                    let blk = mem.block_mut(b).expect("block checked");
+                    Self::remove_run(blk, &base, n, solver, pc);
+                    // Concrete partial overlaps with *other* runs.
+                    remove_concrete_overlaps(blk, &base, chunk.size);
+                    Self::insert_run(blk, &base, &value, chunk.size, solver, pc);
+                    push_branch(&mut out, pc, solver, SymBranch::ok_if(mem, value.clone(), eq));
+                }
+                let none_of = solver.simplify(pc, &none_of);
+                if none_of.as_bool() != Some(false)
+                    && solver.sat_with(pc, &none_of).possibly_sat()
+                {
+                    let mut mem = self.clone();
+                    let blk = mem.block_mut(b).expect("block checked");
+                    remove_concrete_overlaps(blk, &off, chunk.size);
+                    Self::insert_run(blk, &off, &value, chunk.size, solver, pc);
+                    push_branch(
+                        &mut out,
+                        pc,
+                        solver,
+                        SymBranch::ok_if(mem, value.clone(), none_of),
+                    );
+                }
+                out
+            }
+            "loadBytes" => {
+                let args = match expr_args(arg, 3, "loadBytes") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let b = match expr_block(&args[0], "loadBytes") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let (Some(off), Some(len)) = (args[1].as_int(), args[2].as_int()) else {
+                    return err1(ub_expr(
+                        "symbolic-bytes",
+                        "loadBytes needs concrete offset and length",
+                    ));
+                };
+                let Some(blk) = self.blocks.get(&b) else {
+                    return err1(ub_expr("invalid-block", format!("loadBytes on {b}")));
+                };
+                if blk.freed {
+                    return err1(ub_expr("use-after-free", format!("loadBytes on freed {b}")));
+                }
+                if off < 0 || off + len > blk.size {
+                    return err1(ub_expr("out-of-bounds", format!("loadBytes at {b}+{off}")));
+                }
+                let mut bytes = Vec::with_capacity(len as usize);
+                for i in 0..len {
+                    match blk.cells.get(&Expr::int(off + i)) {
+                        Some((v, k, n)) => bytes.push(Expr::list([
+                            v.clone(),
+                            Expr::int(*k as i64),
+                            Expr::int(*n as i64),
+                        ])),
+                        None => bytes.push(Expr::Val(Value::Sym(POISON))),
+                    }
+                }
+                vec![SymBranch::ok(self.clone(), Expr::List(bytes))]
+            }
+            "storeBytes" => {
+                let args = match expr_args(arg, 3, "storeBytes") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let b = match expr_block(&args[0], "storeBytes") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let Some(off) = args[1].as_int() else {
+                    return err1(ub_expr("symbolic-bytes", "storeBytes needs a concrete offset"));
+                };
+                let bytes: Vec<Expr> = match &args[2] {
+                    Expr::List(es) => es.clone(),
+                    Expr::Val(Value::List(vs)) => vs.iter().cloned().map(Expr::Val).collect(),
+                    _ => return err1(ub_expr("bad-action-argument", "storeBytes: bytes")),
+                };
+                let len = bytes.len() as i64;
+                let Some(blk) = self.blocks.get(&b) else {
+                    return err1(ub_expr("invalid-block", format!("storeBytes on {b}")));
+                };
+                if blk.freed {
+                    return err1(ub_expr("use-after-free", format!("storeBytes on freed {b}")));
+                }
+                if blk.perm < perm::WRITABLE {
+                    return err1(ub_expr("insufficient-permission", "storeBytes"));
+                }
+                if off < 0 || off + len > blk.size {
+                    return err1(ub_expr("out-of-bounds", format!("storeBytes at {b}+{off}")));
+                }
+                let mut mem = self.clone();
+                let blk = mem.block_mut(b).expect("checked");
+                for (i, byte) in bytes.into_iter().enumerate() {
+                    let key = Expr::int(off + i as i64);
+                    if byte == Expr::Val(Value::Sym(POISON)) {
+                        blk.cells.remove(&key);
+                        continue;
+                    }
+                    let parts = match &byte {
+                        Expr::List(items) if items.len() == 3 => items.clone(),
+                        Expr::Val(Value::List(items)) if items.len() == 3 => {
+                            items.iter().cloned().map(Expr::Val).collect()
+                        }
+                        _ => return err1(ub_expr("bad-action-argument", "storeBytes: bad byte")),
+                    };
+                    let (Some(k), Some(n)) = (parts[1].as_int(), parts[2].as_int()) else {
+                        return err1(ub_expr("bad-action-argument", "storeBytes: bad byte"));
+                    };
+                    blk.cells.insert(key, (parts[0].clone(), k as u8, n as u8));
+                }
+                vec![SymBranch::ok(mem, Expr::tt())]
+            }
+            "dropPerm" => {
+                let args = match expr_args(arg, 2, "dropPerm") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let b = match expr_block(&args[0], "dropPerm") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let Some(p) = args[1].as_int() else {
+                    return err1(ub_expr("bad-action-argument", "dropPerm: level"));
+                };
+                let mut mem = self.clone();
+                let Some(blk) = mem.block_mut(b) else {
+                    return err1(ub_expr("invalid-block", format!("dropPerm on {b}")));
+                };
+                blk.perm = blk.perm.min(p as u8);
+                let result = Expr::int(blk.perm as i64);
+                vec![SymBranch::ok(mem, result)]
+            }
+            "checkPerm" => {
+                let b = match expr_block(arg, "checkPerm") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                let p = self.blocks.get(&b).map(|blk| blk.perm as i64).unwrap_or(-1);
+                vec![SymBranch::ok(self.clone(), Expr::int(p))]
+            }
+            "sizeBlock" => {
+                let b = match expr_block(arg, "sizeBlock") {
+                    Ok(b) => b,
+                    Err(e) => return err1(e),
+                };
+                match self.blocks.get(&b) {
+                    Some(blk) if !blk.freed => {
+                        vec![SymBranch::ok(self.clone(), Expr::int(blk.size))]
+                    }
+                    Some(_) => err1(ub_expr("use-after-free", format!("sizeBlock on freed {b}"))),
+                    None => err1(ub_expr("invalid-block", format!("sizeBlock on {b}"))),
+                }
+            }
+            "cmpPtr" => {
+                let args = match expr_args(arg, 3, "cmpPtr") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let op = match &args[0] {
+                    Expr::Val(Value::Str(s)) => s.to_string(),
+                    _ => return err1(ub_expr("bad-action-argument", "cmpPtr: op")),
+                };
+                let (Some((b1, o1)), Some((b2, o2))) = (expr_ptr(&args[1]), expr_ptr(&args[2]))
+                else {
+                    return err1(ub_expr("bad-action-argument", "cmpPtr: non-pointers"));
+                };
+                match op.as_str() {
+                    "eq" => vec![SymBranch::ok(
+                        self.clone(),
+                        solver.simplify(pc, &args[1].clone().eq(args[2].clone())),
+                    )],
+                    "ne" => vec![SymBranch::ok(
+                        self.clone(),
+                        solver.simplify(pc, &args[1].clone().ne(args[2].clone())),
+                    )],
+                    "lt" | "le" => {
+                        // Blocks are literal symbols, so this decides
+                        // concretely in practice.
+                        let same = solver.simplify(pc, &b1.clone().eq(b2.clone()));
+                        match same.as_bool() {
+                            Some(false) => err1(ub_expr(
+                                "ub-pointer-comparison",
+                                "ordering of pointers into different blocks",
+                            )),
+                            _ => {
+                                let blk = match expr_block(&b1, "cmpPtr") {
+                                    Ok(b) => b,
+                                    Err(e) => return err1(e),
+                                };
+                                match self.blocks.get(&blk) {
+                                    Some(info) if !info.freed => {
+                                        let cmp = if op == "lt" {
+                                            o1.lt(o2)
+                                        } else {
+                                            o1.le(o2)
+                                        };
+                                        vec![SymBranch::ok(
+                                            self.clone(),
+                                            solver.simplify(pc, &cmp),
+                                        )]
+                                    }
+                                    _ => err1(ub_expr(
+                                        "ub-pointer-comparison",
+                                        "ordering of invalid pointers",
+                                    )),
+                                }
+                            }
+                        }
+                    }
+                    other => err1(ub_expr("bad-action-argument", format!("cmpPtr: {other}"))),
+                }
+            }
+            "globalSet" => {
+                let args = match expr_args(arg, 2, "globalSet") {
+                    Ok(a) => a,
+                    Err(e) => return err1(e),
+                };
+                let name = match &args[0] {
+                    Expr::Val(Value::Str(s)) => s.clone(),
+                    _ => return err1(ub_expr("bad-action-argument", "globalSet: name")),
+                };
+                let mut mem = self.clone();
+                Arc::make_mut(&mut mem.globals).insert(name, args[1].clone());
+                vec![SymBranch::ok(mem, args[1].clone())]
+            }
+            "globalGet" => {
+                let name = match arg {
+                    Expr::Val(Value::Str(s)) => s.clone(),
+                    _ => return err1(ub_expr("bad-action-argument", "globalGet: name")),
+                };
+                match self.globals.get(&name) {
+                    Some(v) => vec![SymBranch::ok(self.clone(), v.clone())],
+                    None => err1(ub_expr("invalid-global", name)),
+                }
+            }
+            other => err1(ub_expr("unknown-action", other)),
+        }
+    }
+
+    fn lvars(&self) -> BTreeSet<LVar> {
+        let mut out = BTreeSet::new();
+        for blk in self.blocks.values() {
+            for (off, (v, _, _)) in &blk.cells {
+                out.extend(off.lvars());
+                out.extend(v.lvars());
+            }
+        }
+        for v in self.globals.values() {
+            out.extend(v.lvars());
+        }
+        out
+    }
+}
+
+/// Removes runs with *concrete* bases that overlap a write of `size` bytes
+/// at `base` (when `base` is concrete). Symbolic partial overlaps are the
+/// documented limitation.
+fn remove_concrete_overlaps(blk: &mut SymBlock, base: &Expr, size: u8) {
+    let Some(lo) = base.as_int() else { return };
+    let hi = lo + size as i64;
+    let starts: Vec<(i64, u8)> = blk
+        .cells
+        .iter()
+        .filter_map(|(off, (_, k, n))| {
+            let o = off.as_int()?;
+            (*k == 0).then_some((o, *n))
+        })
+        .collect();
+    for (start, n) in starts {
+        if start < hi && start + n as i64 > lo {
+            for i in 0..n as i64 {
+                blk.cells.remove(&Expr::int(start + i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::ptr_value;
+
+    fn blk(i: u64) -> Sym {
+        Sym(Sym::FIRST_FRESH + i)
+    }
+
+    fn alloc_conc(m: &mut CConcMemory, i: u64, size: i64) -> Sym {
+        let b = blk(i);
+        m.execute_action(
+            "alloc",
+            Value::List(vec![Value::Sym(b), Value::Int(size)]),
+        )
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn concrete_store_load_round_trip() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 16);
+        let chunk = Chunk::int(4).to_value();
+        m.execute_action(
+            "store",
+            Value::List(vec![chunk.clone(), Value::Sym(b), Value::Int(0), Value::Int(1234)]),
+        )
+        .unwrap();
+        let v = m
+            .execute_action(
+                "load",
+                Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]),
+            )
+            .unwrap();
+        assert_eq!(v, Value::Int(1234));
+    }
+
+    #[test]
+    fn concrete_narrow_store_wraps() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 8);
+        let chunk = Chunk::int(1).to_value();
+        m.execute_action(
+            "store",
+            Value::List(vec![chunk.clone(), Value::Sym(b), Value::Int(0), Value::Int(200)]),
+        )
+        .unwrap();
+        let v = m
+            .execute_action("load", Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]))
+            .unwrap();
+        assert_eq!(v, Value::Int(-56), "signed char wraps");
+    }
+
+    #[test]
+    fn concrete_out_of_bounds_is_ub() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 4);
+        let chunk = Chunk::int(4).to_value();
+        let e = m
+            .execute_action(
+                "store",
+                Value::List(vec![chunk, Value::Sym(b), Value::Int(1), Value::Int(0)]),
+            )
+            .unwrap_err();
+        assert!(e.to_string().contains("out-of-bounds"), "{e}");
+    }
+
+    #[test]
+    fn concrete_uninitialized_and_torn_reads_are_ub() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 16);
+        let i4 = Chunk::int(4).to_value();
+        let e = m
+            .execute_action("load", Value::List(vec![i4.clone(), Value::Sym(b), Value::Int(0)]))
+            .unwrap_err();
+        assert!(e.to_string().contains("uninitialized"), "{e}");
+        // Store 8 bytes, read 4: torn.
+        let i8c = Chunk::int(8).to_value();
+        m.execute_action(
+            "store",
+            Value::List(vec![i8c, Value::Sym(b), Value::Int(0), Value::Int(7)]),
+        )
+        .unwrap();
+        let e = m
+            .execute_action("load", Value::List(vec![i4, Value::Sym(b), Value::Int(0)]))
+            .unwrap_err();
+        assert!(e.to_string().contains("mixed-read"), "{e}");
+    }
+
+    #[test]
+    fn concrete_overlapping_store_invalidates_old_run() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 16);
+        let i8c = Chunk::int(8).to_value();
+        let i4 = Chunk::int(4).to_value();
+        m.execute_action(
+            "store",
+            Value::List(vec![i8c.clone(), Value::Sym(b), Value::Int(0), Value::Int(7)]),
+        )
+        .unwrap();
+        // Overwrite bytes 4..8 with an int: old 8-byte run must die.
+        m.execute_action(
+            "store",
+            Value::List(vec![i4.clone(), Value::Sym(b), Value::Int(4), Value::Int(1)]),
+        )
+        .unwrap();
+        let e = m
+            .execute_action("load", Value::List(vec![i8c, Value::Sym(b), Value::Int(0)]))
+            .unwrap_err();
+        assert!(e.to_string().contains("uninitialized") || e.to_string().contains("mixed"));
+        let v = m
+            .execute_action("load", Value::List(vec![i4, Value::Sym(b), Value::Int(4)]))
+            .unwrap();
+        assert_eq!(v, Value::Int(1));
+    }
+
+    #[test]
+    fn concrete_free_lifecycle() {
+        let mut m = CConcMemory::default();
+        let b = alloc_conc(&mut m, 0, 8);
+        m.execute_action("free", Value::List(vec![Value::Sym(b), Value::Int(0)]))
+            .unwrap();
+        let chunk = Chunk::int(4).to_value();
+        let e = m
+            .execute_action("load", Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]))
+            .unwrap_err();
+        assert!(e.to_string().contains("use-after-free"), "{e}");
+        let e = m
+            .execute_action("free", Value::List(vec![Value::Sym(b), Value::Int(0)]))
+            .unwrap_err();
+        assert!(e.to_string().contains("double-free"), "{e}");
+    }
+
+    #[test]
+    fn concrete_memcpy_via_bytes() {
+        let mut m = CConcMemory::default();
+        let src = alloc_conc(&mut m, 0, 8);
+        let dst = alloc_conc(&mut m, 1, 8);
+        let chunk = Chunk::int(8).to_value();
+        m.execute_action(
+            "store",
+            Value::List(vec![chunk.clone(), Value::Sym(src), Value::Int(0), Value::Int(99)]),
+        )
+        .unwrap();
+        let bytes = m
+            .execute_action(
+                "loadBytes",
+                Value::List(vec![Value::Sym(src), Value::Int(0), Value::Int(8)]),
+            )
+            .unwrap();
+        m.execute_action(
+            "storeBytes",
+            Value::List(vec![Value::Sym(dst), Value::Int(0), bytes]),
+        )
+        .unwrap();
+        let v = m
+            .execute_action("load", Value::List(vec![chunk, Value::Sym(dst), Value::Int(0)]))
+            .unwrap();
+        assert_eq!(v, Value::Int(99));
+    }
+
+    #[test]
+    fn concrete_pointer_comparison_ub() {
+        let mut m = CConcMemory::default();
+        let b1 = alloc_conc(&mut m, 0, 8);
+        let b2 = alloc_conc(&mut m, 1, 8);
+        // Equality across blocks is defined.
+        let v = m
+            .execute_action(
+                "cmpPtr",
+                Value::List(vec![
+                    Value::str("eq"),
+                    ptr_value(b1, 0),
+                    ptr_value(b2, 0),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(v, Value::Bool(false));
+        // Ordering across blocks is UB.
+        let e = m
+            .execute_action(
+                "cmpPtr",
+                Value::List(vec![
+                    Value::str("lt"),
+                    ptr_value(b1, 0),
+                    ptr_value(b2, 0),
+                ]),
+            )
+            .unwrap_err();
+        assert!(e.to_string().contains("ub-pointer-comparison"), "{e}");
+        // Ordering within one block is fine.
+        let v = m
+            .execute_action(
+                "cmpPtr",
+                Value::List(vec![
+                    Value::str("lt"),
+                    ptr_value(b1, 0),
+                    ptr_value(b1, 4),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(v, Value::Bool(true));
+        // Ordering of freed pointers is UB (the Collections-C test bug).
+        m.execute_action("free", Value::List(vec![Value::Sym(b1), Value::Int(0)]))
+            .unwrap();
+        let e = m
+            .execute_action(
+                "cmpPtr",
+                Value::List(vec![
+                    Value::str("le"),
+                    ptr_value(b1, 0),
+                    ptr_value(b1, 4),
+                ]),
+            )
+            .unwrap_err();
+        assert!(e.to_string().contains("invalid pointers"), "{e}");
+    }
+
+    #[test]
+    fn symbolic_load_with_symbolic_offset_branches() {
+        let solver = Solver::optimized();
+        let mut pc = PathCondition::new();
+        let mut m = CSymMemory::default();
+        let b = blk(0);
+        m.register_block(b, 16);
+        m.set_run(b, 0, Expr::int(10), 8);
+        m.set_run(b, 8, Expr::int(20), 8);
+        let off = Expr::lvar(LVar(0));
+        pc.push(off.clone().type_of().eq(Expr::type_tag(gillian_gil::TypeTag::Int)));
+        let chunk = Chunk::int(8).to_expr();
+        let branches = m.execute_action(
+            "load",
+            &Expr::list([chunk, Expr::Val(Value::Sym(b)), off]),
+            &pc,
+            &solver,
+        );
+        // out-of-bounds error, two hits, uninitialized-gap error.
+        let oks: Vec<_> = branches.iter().filter(|br| br.outcome.is_ok()).collect();
+        assert_eq!(oks.len(), 2, "{branches:#?}");
+        assert!(branches.iter().filter(|br| br.outcome.is_err()).count() >= 2);
+    }
+
+    #[test]
+    fn symbolic_concrete_offsets_do_not_branch() {
+        let solver = Solver::optimized();
+        let pc = PathCondition::new();
+        let mut m = CSymMemory::default();
+        let b = blk(0);
+        m.register_block(b, 8);
+        m.set_run(b, 0, Expr::lvar(LVar(3)), 8);
+        let chunk = Chunk::int(8).to_expr();
+        let branches = m.execute_action(
+            "load",
+            &Expr::list([chunk, Expr::Val(Value::Sym(b)), Expr::int(0)]),
+            &pc,
+            &solver,
+        );
+        assert_eq!(branches.len(), 1, "{branches:#?}");
+        assert_eq!(branches[0].outcome, Ok(Expr::lvar(LVar(3))));
+    }
+
+    #[test]
+    fn symbolic_out_of_bounds_with_symbolic_index() {
+        // The Collections-C off-by-one shape: index i with 0 ≤ i ≤ size is
+        // out of bounds exactly at i = size.
+        let solver = Solver::optimized();
+        let mut pc = PathCondition::new();
+        let mut m = CSymMemory::default();
+        let b = blk(0);
+        m.register_block(b, 8);
+        m.set_run(b, 0, Expr::int(5), 8);
+        let i = Expr::lvar(LVar(0));
+        pc.push(Expr::int(0).le(i.clone()));
+        pc.push(i.clone().le(Expr::int(1)));
+        let chunk = Chunk::int(8).to_expr();
+        let off = i.mul(Expr::int(8));
+        let branches = m.execute_action(
+            "load",
+            &Expr::list([chunk, Expr::Val(Value::Sym(b)), off]),
+            &pc,
+            &solver,
+        );
+        let errs: Vec<String> = branches
+            .iter()
+            .filter_map(|br| br.outcome.as_ref().err().map(|e| e.to_string()))
+            .collect();
+        assert!(
+            errs.iter().any(|e| e.contains("out-of-bounds")),
+            "i = 1 must be a feasible overflow: {branches:#?}"
+        );
+        assert!(branches.iter().any(|br| br.outcome.is_ok()));
+    }
+
+    #[test]
+    fn symbolic_alloc_of_symbolic_size_is_rejected() {
+        let solver = Solver::optimized();
+        let pc = PathCondition::new();
+        let m = CSymMemory::default();
+        let branches = m.execute_action(
+            "alloc",
+            &Expr::list([Expr::Val(Value::Sym(blk(0))), Expr::lvar(LVar(0))]),
+            &pc,
+            &solver,
+        );
+        assert_eq!(branches.len(), 1);
+        assert!(branches[0].outcome.is_err());
+    }
+}

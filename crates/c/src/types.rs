@@ -1,0 +1,253 @@
+//! MiniC types and data layout.
+//!
+//! Sizes follow an LP64 model: `char` 1, `short` 2, `int` 4, `long` 8,
+//! `double` 8, pointers 8. Struct fields are laid out in declaration order
+//! with natural-alignment padding. Integer *arithmetic* is performed at 64
+//! bits; truncation to the declared width happens at stores and casts
+//! (documented deviation from C's promotion rules — see `DESIGN.md`).
+
+use crate::chunks::Chunk;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A MiniC type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    /// `void` (function returns and opaque pointees only).
+    Void,
+    /// `char` — 1 byte, signed.
+    Char,
+    /// `short` — 2 bytes, signed.
+    Short,
+    /// `int` — 4 bytes, signed.
+    Int,
+    /// `long` — 8 bytes, signed.
+    Long,
+    /// `double` — 8 bytes.
+    Double,
+    /// A pointer.
+    Ptr(Box<CType>),
+    /// A struct by name.
+    Struct(String),
+}
+
+impl CType {
+    /// True for the integer types.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Char | CType::Short | CType::Int | CType::Long)
+    }
+
+    /// True for pointer types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+
+    /// The pointee type, for pointers.
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A pointer to this type.
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Char => write!(f, "char"),
+            CType::Short => write!(f, "short"),
+            CType::Int => write!(f, "int"),
+            CType::Long => write!(f, "long"),
+            CType::Double => write!(f, "double"),
+            CType::Ptr(t) => write!(f, "{t}*"),
+            CType::Struct(n) => write!(f, "struct {n}"),
+        }
+    }
+}
+
+/// A struct definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, CType)>,
+}
+
+/// The layout oracle: struct definitions plus size/offset computation.
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    structs: BTreeMap<String, StructDef>,
+}
+
+/// A layout or typing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+impl std::error::Error for TypeError {}
+
+impl Layout {
+    /// Creates a layout oracle from struct definitions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate struct names.
+    pub fn new(structs: impl IntoIterator<Item = StructDef>) -> Result<Self, TypeError> {
+        let mut out = Layout::default();
+        for s in structs {
+            if out.structs.insert(s.name.clone(), s.clone()).is_some() {
+                return Err(TypeError(format!("duplicate struct {}", s.name)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Looks up a struct definition.
+    pub fn struct_def(&self, name: &str) -> Result<&StructDef, TypeError> {
+        self.structs
+            .get(name)
+            .ok_or_else(|| TypeError(format!("unknown struct {name}")))
+    }
+
+    /// The alignment of a type, in bytes.
+    pub fn align_of(&self, t: &CType) -> Result<i64, TypeError> {
+        Ok(match t {
+            CType::Void => return Err(TypeError("void has no alignment".into())),
+            CType::Char => 1,
+            CType::Short => 2,
+            CType::Int => 4,
+            CType::Long | CType::Double | CType::Ptr(_) => 8,
+            CType::Struct(name) => {
+                let def = self.struct_def(name)?.clone();
+                let mut a = 1;
+                for (_, ft) in &def.fields {
+                    a = a.max(self.align_of(ft)?);
+                }
+                a
+            }
+        })
+    }
+
+    /// The size of a type, in bytes.
+    pub fn size_of(&self, t: &CType) -> Result<i64, TypeError> {
+        Ok(match t {
+            CType::Void => return Err(TypeError("void has no size".into())),
+            CType::Char => 1,
+            CType::Short => 2,
+            CType::Int => 4,
+            CType::Long | CType::Double | CType::Ptr(_) => 8,
+            CType::Struct(name) => {
+                let def = self.struct_def(name)?.clone();
+                let mut off = 0i64;
+                let mut align = 1i64;
+                for (_, ft) in &def.fields {
+                    let fa = self.align_of(ft)?;
+                    align = align.max(fa);
+                    off = round_up(off, fa) + self.size_of(ft)?;
+                }
+                round_up(off, align)
+            }
+        })
+    }
+
+    /// The byte offset and type of a struct field.
+    pub fn field(&self, struct_name: &str, field: &str) -> Result<(i64, CType), TypeError> {
+        let def = self.struct_def(struct_name)?.clone();
+        let mut off = 0i64;
+        for (fname, ft) in &def.fields {
+            let fa = self.align_of(ft)?;
+            off = round_up(off, fa);
+            if fname == field {
+                return Ok((off, ft.clone()));
+            }
+            off += self.size_of(ft)?;
+        }
+        Err(TypeError(format!(
+            "struct {struct_name} has no field {field}"
+        )))
+    }
+
+    /// The memory chunk a scalar type loads/stores through.
+    pub fn chunk_of(&self, t: &CType) -> Result<Chunk, TypeError> {
+        Ok(match t {
+            CType::Char => Chunk::int(1),
+            CType::Short => Chunk::int(2),
+            CType::Int => Chunk::int(4),
+            CType::Long => Chunk::int(8),
+            CType::Double => Chunk::double(),
+            CType::Ptr(_) => Chunk::ptr(),
+            other => return Err(TypeError(format!("{other} is not loadable"))),
+        })
+    }
+}
+
+fn round_up(x: i64, align: i64) -> i64 {
+    (x + align - 1) / align * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout::new([
+            StructDef {
+                name: "Node".into(),
+                fields: vec![
+                    ("value".into(), CType::Long),
+                    ("next".into(), CType::Struct("Node".into()).ptr_to()),
+                ],
+            },
+            StructDef {
+                name: "Mixed".into(),
+                fields: vec![
+                    ("tag".into(), CType::Char),
+                    ("count".into(), CType::Int),
+                    ("payload".into(), CType::Long),
+                ],
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let l = layout();
+        assert_eq!(l.size_of(&CType::Char).unwrap(), 1);
+        assert_eq!(l.size_of(&CType::Int).unwrap(), 4);
+        assert_eq!(l.size_of(&CType::Long).unwrap(), 8);
+        assert_eq!(l.size_of(&CType::Long.ptr_to()).unwrap(), 8);
+    }
+
+    #[test]
+    fn struct_layout_pads_to_alignment() {
+        let l = layout();
+        assert_eq!(l.size_of(&CType::Struct("Node".into())).unwrap(), 16);
+        assert_eq!(l.field("Node", "value").unwrap().0, 0);
+        assert_eq!(l.field("Node", "next").unwrap().0, 8);
+        // char @0, pad, int @4, long @8 → size 16.
+        assert_eq!(l.field("Mixed", "tag").unwrap().0, 0);
+        assert_eq!(l.field("Mixed", "count").unwrap().0, 4);
+        assert_eq!(l.field("Mixed", "payload").unwrap().0, 8);
+        assert_eq!(l.size_of(&CType::Struct("Mixed".into())).unwrap(), 16);
+    }
+
+    #[test]
+    fn unknown_fields_error() {
+        let l = layout();
+        assert!(l.field("Node", "nope").is_err());
+        assert!(l.struct_def("Missing").is_err());
+        assert!(l.size_of(&CType::Void).is_err());
+    }
+}

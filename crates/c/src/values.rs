@@ -1,0 +1,60 @@
+//! MiniC value conventions on top of GIL.
+//!
+//! - C integers are GIL `Int`s (arithmetic is 64-bit; truncation to the
+//!   declared width happens at stores and casts via the wrap operators);
+//! - C doubles are GIL `Num`s;
+//! - pointers are two-element GIL lists `[block, offset]` with the block an
+//!   uninterpreted symbol and the offset an integer (the paper's
+//!   block-offset pairs, §4.2);
+//! - `NULL` is the pointer `[ς_null, 0]` into a reserved block that is
+//!   never allocated, so dereferencing it is an invalid-block error;
+//! - the *poison* symbol marks uninitialized bytes travelling through
+//!   `loadBytes`/`storeBytes` (CompCert's `Vundef` at byte granularity).
+
+use gillian_gil::{Expr, Sym, Value};
+
+/// The reserved block symbol of the null pointer.
+pub const NULL_BLOCK: Sym = Sym(3);
+/// The poison marker for uninitialized bytes.
+pub const POISON: Sym = Sym(4);
+
+/// `NULL` as a GIL value.
+pub fn null_ptr_value() -> Value {
+    Value::List(vec![Value::Sym(NULL_BLOCK), Value::Int(0)])
+}
+
+/// `NULL` as a GIL expression.
+pub fn null_ptr_expr() -> Expr {
+    Expr::Val(null_ptr_value())
+}
+
+/// Builds a concrete pointer value.
+pub fn ptr_value(block: Sym, offset: i64) -> Value {
+    Value::List(vec![Value::Sym(block), Value::Int(offset)])
+}
+
+/// Builds a pointer expression from block and offset expressions.
+pub fn ptr_expr(block: Expr, offset: Expr) -> Expr {
+    Expr::list([block, offset])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_symbols_are_below_fresh() {
+        const { assert!(NULL_BLOCK.0 < Sym::FIRST_FRESH) };
+        const { assert!(POISON.0 < Sym::FIRST_FRESH) };
+        assert_ne!(NULL_BLOCK, POISON);
+    }
+
+    #[test]
+    fn null_is_a_block_offset_pair() {
+        let v = null_ptr_value();
+        let items = v.as_list().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], Value::Sym(NULL_BLOCK));
+        assert_eq!(items[1], Value::Int(0));
+    }
+}

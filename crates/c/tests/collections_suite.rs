@@ -1,0 +1,55 @@
+//! Runs the full Collections symbolic suite (the workload of Table 2).
+//! The fixed library verifies cleanly on all 161 tests; this is the
+//! baseline against which the seeded-bug findings (see `c_bugs.rs`) stand
+//! out.
+
+use gillian_c::collections;
+use gillian_core::testing::run_test;
+use std::rc::Rc;
+
+#[test]
+fn all_collections_suites_verify() {
+    let mut total_tests = 0;
+    let mut total_cmds = 0;
+    for suite in collections::suite_names() {
+        let row = collections::run_row(
+            suite,
+            gillian_solver::Solver::optimized,
+            collections::table2_config(),
+        );
+        assert!(
+            row.failures.is_empty(),
+            "suite {suite} found unexpected bugs: {:?}",
+            row.failures
+        );
+        assert!(
+            row.truncated.is_empty(),
+            "suite {suite} hit exploration budgets: {:?}",
+            row.truncated
+        );
+        total_tests += row.tests;
+        total_cmds += row.gil_cmds;
+    }
+    assert_eq!(total_tests, 161);
+    assert!(total_cmds > 10_000);
+}
+
+#[test]
+fn every_array_test_is_fully_verified() {
+    // Stronger than the suite check: no error path exists at all, and
+    // every test has at least one normally-terminating path.
+    let (prog, entries) = collections::suite_prog("array").unwrap();
+    for entry in &entries {
+        let out = run_test::<gillian_c::CSymMemory>(
+            &prog,
+            entry,
+            Rc::new(gillian_solver::Solver::optimized()),
+            collections::table2_config(),
+        );
+        assert!(out.verified(), "{entry}: {:?}", out.bugs);
+        assert!(
+            out.result.normal().count() > 0,
+            "{entry} has no normal path"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Randomized end-to-end soundness for the MiniC instantiation: random
+//! programs over a heap-allocated array (symbolic values *and* symbolic
+//! indices), replayed concretely on every modelled path — Theorem 3.6
+//! over the CompCert-style memory, including its out-of-bounds and
+//! uninitialized-read error branches.
+
+use gillian_c::ast::{CBinOp, CExpr, CFunc, CModule, CStmt, LValue};
+use gillian_c::compile::compile_unit;
+use gillian_c::types::CType;
+use gillian_c::{CConcMemory, CSymMemory};
+use gillian_core::explore::ExploreConfig;
+use gillian_core::soundness::check_program;
+use gillian_solver::Solver;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+const NUM_VARS: [&str; 2] = ["a", "b"];
+
+fn var() -> impl Strategy<Value = CExpr> {
+    proptest::sample::select(NUM_VARS.to_vec()).prop_map(|v| CExpr::Var(v.to_string()))
+}
+
+fn arith() -> impl Strategy<Value = CExpr> {
+    let leaf = prop_oneof![(-8i64..8).prop_map(CExpr::Int), var()];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(CBinOp::Add), Just(CBinOp::Sub), Just(CBinOp::Mul)],
+        )
+            .prop_map(|(x, y, op)| CExpr::Bin(op, Box::new(x), Box::new(y)))
+    })
+}
+
+/// An index expression: a small literal (possibly out of bounds!) or the
+/// bounded symbolic index `i`.
+fn index() -> impl Strategy<Value = CExpr> {
+    prop_oneof![
+        (-1i64..5).prop_map(CExpr::Int),
+        Just(CExpr::Var("i".to_string())),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = CExpr> {
+    (arith(), arith(), 0..4u8).prop_map(|(x, y, op)| {
+        let op = match op {
+            0 => CBinOp::Lt,
+            1 => CBinOp::Le,
+            2 => CBinOp::Eq,
+            _ => CBinOp::Ne,
+        };
+        CExpr::Bin(op, Box::new(x), Box::new(y))
+    })
+}
+
+fn xs() -> CExpr {
+    CExpr::Var("xs".to_string())
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<CStmt> {
+    let simple = prop_oneof![
+        (proptest::sample::select(NUM_VARS.to_vec()), arith())
+            .prop_map(|(x, e)| CStmt::Assign(LValue::Var(x.to_string()), e)),
+        // xs[index] = value — the index may be out of bounds, producing an
+        // error path the replay must also take.
+        (index(), arith()).prop_map(|(i, v)| CStmt::Assign(LValue::Index(xs(), i), v)),
+        // value reads, possibly of uninitialized or OOB cells.
+        (proptest::sample::select(NUM_VARS.to_vec()), index()).prop_map(|(x, i)| {
+            CStmt::Assign(
+                LValue::Var(x.to_string()),
+                CExpr::Index(Box::new(xs()), Box::new(i)),
+            )
+        }),
+        cond().prop_map(CStmt::Assert),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let nested = arb_stmt(depth - 1);
+    prop_oneof![
+        3 => simple,
+        1 => (cond(), proptest::collection::vec(nested, 1..3))
+            .prop_map(|(c, then)| CStmt::If { cond: c, then, otherwise: vec![] }),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = CModule> {
+    proptest::collection::vec(arb_stmt(1), 1..6).prop_map(|stmts| {
+        let mut body = vec![
+            CStmt::Decl(
+                CType::Long,
+                "a".into(),
+                Some(CExpr::Call("symb_long".into(), vec![])),
+            ),
+            CStmt::Decl(
+                CType::Long,
+                "b".into(),
+                Some(CExpr::Call("symb_long".into(), vec![])),
+            ),
+            CStmt::Decl(
+                CType::Long,
+                "i".into(),
+                Some(CExpr::Call("symb_long".into(), vec![])),
+            ),
+            // 0 ≤ i ≤ 4: in bounds except for the last slot (size 4).
+            CStmt::Assume(CExpr::Bin(
+                CBinOp::And,
+                Box::new(CExpr::Bin(
+                    CBinOp::Le,
+                    Box::new(CExpr::Int(0)),
+                    Box::new(CExpr::Var("i".into())),
+                )),
+                Box::new(CExpr::Bin(
+                    CBinOp::Le,
+                    Box::new(CExpr::Var("i".into())),
+                    Box::new(CExpr::Int(4)),
+                )),
+            )),
+            CStmt::Decl(
+                CType::Long.ptr_to(),
+                "xs".into(),
+                Some(CExpr::Call("malloc".into(), vec![CExpr::Int(32)])),
+            ),
+            // Initialise the first two slots; 2 and 3 stay uninitialized.
+            CStmt::Assign(
+                LValue::Index(xs(), CExpr::Int(0)),
+                CExpr::Var("a".into()),
+            ),
+            CStmt::Assign(
+                LValue::Index(xs(), CExpr::Int(1)),
+                CExpr::Var("b".into()),
+            ),
+        ];
+        body.extend(stmts);
+        body.push(CStmt::Return(Some(CExpr::Bin(
+            CBinOp::Add,
+            Box::new(CExpr::Var("a".into())),
+            Box::new(CExpr::Var("b".into())),
+        ))));
+        CModule {
+            structs: vec![],
+            funcs: vec![CFunc {
+                ret: CType::Long,
+                name: "main".into(),
+                params: vec![],
+                body,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_minic_programs_are_restricted_sound(module in arb_program()) {
+        let prog = compile_unit(&module).expect("generated program compiles");
+        let cfg = ExploreConfig {
+            max_cmds_per_path: 20_000,
+            max_total_cmds: 300_000,
+            max_paths: 512,
+            ..Default::default()
+        };
+        let result = check_program::<CSymMemory, CConcMemory>(
+            &prog,
+            "main",
+            Rc::new(Solver::optimized()),
+            cfg,
+        );
+        if let Err(discrepancies) = result {
+            prop_assert!(
+                false,
+                "soundness violated:\n{:#?}\nprogram:\n{:#?}",
+                discrepancies,
+                module
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Behavioural tests for MiniC semantics corners: short-circuiting,
+//! integer width behaviour, pointer equality vs ordering, struct layout
+//! through memory, and memcpy.
+
+use gillian_c::symbolic_test;
+
+#[test]
+fn logical_and_short_circuits_past_null() {
+    // The classic guard: `p != NULL && *p > 0` must not dereference NULL.
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long *p = NULL;
+            if (p != NULL && *p > 0) {
+                return 1;
+            }
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn unguarded_null_dereference_is_ub() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long *p = NULL;
+            return *p;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1);
+    assert!(out.bugs[0].error.contains("invalid-block"), "{}", out.bugs[0].error);
+    assert!(out.bugs[0].confirmed());
+}
+
+#[test]
+fn narrow_types_wrap_at_stores_and_casts() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            char *c = malloc(1);
+            *c = 200;
+            assert(*c == -56);
+            long x = (char)300;
+            assert(x == 44);
+            int *i = malloc(4);
+            *i = 2147483647 + 1;        // arithmetic is 64-bit…
+            assert(*i == -2147483648);  // …truncation happens at the store
+            free(c);
+            free(i);
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn pointer_equality_is_defined_ordering_is_not() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long *p = malloc(8);
+            long *q = malloc(8);
+            assert(p != q);
+            assert(p == p);
+            // Ordering within one block is fine.
+            long *r = p + 0;
+            assert(p <= r);
+            free(p);
+            free(q);
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+
+    let ub = symbolic_test(
+        r#"
+        long main() {
+            long *p = malloc(8);
+            long *q = malloc(8);
+            if (p < q) { return 1; }
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(ub.bugs.len(), 1);
+    assert!(ub.bugs[0].error.contains("ub-pointer-comparison"));
+}
+
+#[test]
+fn struct_fields_do_not_alias() {
+    let out = symbolic_test(
+        r#"
+        struct Mixed { char tag; int count; long payload; };
+        long main() {
+            long x = symb_long();
+            struct Mixed *m = malloc(sizeof(struct Mixed));
+            m->tag = 7;
+            m->count = 42;
+            m->payload = x;
+            assert(m->tag == 7);
+            assert(m->count == 42);
+            assert(m->payload == x);
+            // Overwriting one field leaves the others intact.
+            m->count = 43;
+            assert(m->tag == 7);
+            assert(m->payload == x);
+            free(m);
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn memcpy_copies_bytes_and_preserves_uninitialized_holes() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long x = symb_long();
+            long *src = malloc(24);
+            src[0] = x;
+            src[2] = x + 2;             // src[1] stays uninitialized
+            long *dst = malloc(24);
+            memcpy(dst, src, 24);
+            assert(dst[0] == x);
+            assert(dst[2] == x + 2);
+            free(src);
+            free(dst);
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+
+    // Reading the copied hole is still an uninitialized read.
+    let hole = symbolic_test(
+        r#"
+        long main() {
+            long *src = malloc(16);
+            src[0] = 1;
+            long *dst = malloc(16);
+            memcpy(dst, src, 16);
+            return dst[1];
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(hole.bugs.len(), 1);
+    assert!(hole.bugs[0].error.contains("uninitialized"), "{}", hole.bugs[0].error);
+}
+
+#[test]
+fn integer_division_by_zero_traps() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long d = symb_long();
+            assume(0 <= d && d <= 1);
+            return 10 / d;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1, "{:?}", out.bugs);
+    assert_eq!(out.bugs[0].script, vec![gillian_gil::Value::Int(0)]);
+    assert!(out.bugs[0].confirmed());
+}
+
+#[test]
+fn pointer_difference_counts_elements() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long *xs = malloc(32);
+            long *p = xs + 3;
+            assert(p - xs == 3);
+            free(xs);
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn uninitialized_local_use_is_an_error() {
+    let out = symbolic_test(
+        r#"
+        long main() {
+            long x;
+            return x;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1);
+    assert!(out.bugs[0].confirmed());
+}

@@ -1,0 +1,223 @@
+//! Built-in fresh-value allocators (paper Def. 2.2).
+//!
+//! "The generation of fresh values is a common source of technical clutter
+//! … Gillian takes care of this issue for the tool developer by having
+//! built-in fresh-value allocators."
+//!
+//! An allocator record `ξ` tracks what has been allocated; `alloc(j)`
+//! takes an allocation site `j` and yields a fresh value from the relevant
+//! range:
+//!
+//! - `uSym_j` allocates from the uninterpreted symbols `U`, in both the
+//!   concrete and the symbolic semantics;
+//! - `iSym_j` allocates an *arbitrary value* concretely and a fresh
+//!   *logical variable* symbolically (the standard interpretation of
+//!   logical variables, §3.2).
+//!
+//! For the soundness-directed concrete replays of §3 (restriction directs
+//! the concrete execution), [`ConcAllocator`] can be *scripted*: the
+//! symbolic run records its `iSym` allocations in order
+//! ([`SymAllocator::isym_trace`]); composing that trace with a model `ε`
+//! yields the exact sequence of concrete values that steers the concrete
+//! execution down the symbolic path.
+
+use crate::restriction::Restrict;
+use gillian_gil::{LVar, Sym, Value};
+use std::collections::VecDeque;
+
+/// The symbolic allocator: mints uninterpreted symbols and logical
+/// variables, recording the `iSym` allocation order for replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymAllocator {
+    next_sym: u64,
+    next_lvar: u64,
+    isym_trace: Vec<(u32, LVar)>,
+}
+
+impl Default for SymAllocator {
+    fn default() -> Self {
+        SymAllocator {
+            next_sym: Sym::FIRST_FRESH,
+            next_lvar: 0,
+            isym_trace: Vec::new(),
+        }
+    }
+}
+
+impl SymAllocator {
+    /// Creates a fresh allocator record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh uninterpreted symbol at site `j`.
+    pub fn alloc_usym(&mut self, _site: u32) -> Sym {
+        let s = Sym(self.next_sym);
+        self.next_sym += 1;
+        s
+    }
+
+    /// Allocates a fresh logical variable at site `j`, recording it in the
+    /// replay trace.
+    pub fn alloc_isym(&mut self, site: u32) -> LVar {
+        let x = LVar(self.next_lvar);
+        self.next_lvar += 1;
+        self.isym_trace.push((site, x));
+        x
+    }
+
+    /// The `iSym` allocations made so far, in order, with their sites.
+    pub fn isym_trace(&self) -> &[(u32, LVar)] {
+        &self.isym_trace
+    }
+
+    /// Pre-reserves logical-variable ids below `n` (used when a harness
+    /// mints lvars outside the allocator, e.g. for preconditions).
+    pub fn reserve_lvars(&mut self, n: u64) {
+        self.next_lvar = self.next_lvar.max(n);
+    }
+}
+
+impl Restrict for SymAllocator {
+    /// `ξ₁ ⇃ ξ₂` merges allocation knowledge: counters advance to the
+    /// maximum, and the trace of the *more advanced* record wins (it is an
+    /// extension of the other along the same path).
+    fn restrict(&self, other: &Self) -> Self {
+        let trace = if other.isym_trace.len() > self.isym_trace.len() {
+            other.isym_trace.clone()
+        } else {
+            self.isym_trace.clone()
+        };
+        SymAllocator {
+            next_sym: self.next_sym.max(other.next_sym),
+            next_lvar: self.next_lvar.max(other.next_lvar),
+            isym_trace: trace,
+        }
+    }
+}
+
+/// The concrete allocator: mints uninterpreted symbols; `iSym` yields
+/// either the next scripted value (replay mode) or a default.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConcAllocator {
+    next_sym: u64,
+    script: VecDeque<Value>,
+}
+
+impl Default for ConcAllocator {
+    fn default() -> Self {
+        ConcAllocator {
+            next_sym: Sym::FIRST_FRESH,
+            script: VecDeque::new(),
+        }
+    }
+}
+
+impl ConcAllocator {
+    /// A free-running allocator (`iSym` yields `0`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scripted allocator: `iSym` pops values from `script` in order —
+    /// the restriction-directed execution of paper §3.
+    pub fn scripted(script: impl IntoIterator<Item = Value>) -> Self {
+        ConcAllocator {
+            next_sym: Sym::FIRST_FRESH,
+            script: script.into_iter().collect(),
+        }
+    }
+
+    /// Allocates a fresh uninterpreted symbol — the same sequence the
+    /// symbolic allocator produces, so locations coincide across runs.
+    pub fn alloc_usym(&mut self, _site: u32) -> Sym {
+        let s = Sym(self.next_sym);
+        self.next_sym += 1;
+        s
+    }
+
+    /// Produces the `iSym` value: scripted if available, `Int(0)` otherwise
+    /// (any value is a valid instance of "arbitrary").
+    pub fn alloc_isym(&mut self, _site: u32) -> Value {
+        self.script.pop_front().unwrap_or(Value::Int(0))
+    }
+
+    /// Values still queued in the script.
+    pub fn remaining_script(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Restrict for ConcAllocator {
+    fn restrict(&self, other: &Self) -> Self {
+        ConcAllocator {
+            next_sym: self.next_sym.max(other.next_sym),
+            script: self.script.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usym_sequences_coincide_between_concrete_and_symbolic() {
+        let mut s = SymAllocator::new();
+        let mut c = ConcAllocator::new();
+        for site in 0..5 {
+            assert_eq!(s.alloc_usym(site), c.alloc_usym(site));
+        }
+    }
+
+    #[test]
+    fn usyms_are_fresh_and_above_reserved() {
+        let mut a = SymAllocator::new();
+        let s1 = a.alloc_usym(0);
+        let s2 = a.alloc_usym(0);
+        assert_ne!(s1, s2);
+        assert!(s1.0 >= Sym::FIRST_FRESH);
+    }
+
+    #[test]
+    fn isym_trace_records_order() {
+        let mut a = SymAllocator::new();
+        let x0 = a.alloc_isym(3);
+        let x1 = a.alloc_isym(7);
+        assert_eq!(a.isym_trace(), &[(3, x0), (7, x1)]);
+        assert_ne!(x0, x1);
+    }
+
+    #[test]
+    fn scripted_allocator_replays_in_order() {
+        let mut c = ConcAllocator::scripted([Value::Int(9), Value::str("s")]);
+        assert_eq!(c.alloc_isym(0), Value::Int(9));
+        assert_eq!(c.alloc_isym(0), Value::str("s"));
+        assert_eq!(c.alloc_isym(0), Value::Int(0), "falls back to default");
+    }
+
+    #[test]
+    fn restriction_laws_on_allocators() {
+        let mut a = SymAllocator::new();
+        let _ = a.alloc_usym(0);
+        let mut b = a.clone();
+        let _ = b.alloc_usym(0);
+        let _ = b.alloc_isym(1);
+        // Idempotence.
+        assert_eq!(a.restrict(&a), a);
+        // Right commutativity.
+        let mut c = b.clone();
+        let _ = c.alloc_isym(2);
+        assert_eq!(
+            a.restrict(&b).restrict(&c),
+            a.restrict(&c).restrict(&b)
+        );
+        // Weakening: a⇃b⇃c == a⇃b (c adds nothing beyond b) case.
+        let ab = a.restrict(&b);
+        assert_eq!(ab.restrict(&a), ab);
+        // Monotonicity w.r.t. allocation: allocating refines the record.
+        let mut d = b.clone();
+        let _ = d.alloc_usym(0);
+        assert_eq!(d.restrict(&b), d);
+    }
+}

@@ -1,0 +1,383 @@
+//! Bounded whole-program path exploration.
+//!
+//! Drives the small-step semantics of [`crate::interp`] over a worklist,
+//! exploring *all* paths and unrolling loops up to a bound (paper §1:
+//! "Gillian symbolically executes these tests, exploring all paths and
+//! unrolling loops up to a bound"). Per-path and global command budgets
+//! keep exploration total; hitting a budget truncates the path and is
+//! reported (a truncated run yields a *bounded* verification guarantee
+//! only).
+
+use crate::interp::{step, Config, Final, Outcome, StepOut};
+use crate::state::GilState;
+use gillian_gil::Prog;
+
+/// The order in which pending configurations are explored.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Depth-first (the default): completes individual paths early, which
+    /// suits bug finding and keeps the frontier small.
+    #[default]
+    Dfs,
+    /// Breadth-first: explores all paths in lockstep, which suits
+    /// shallow-bug sweeps and fair progress across branches.
+    Bfs,
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum commands executed along a single path.
+    pub max_cmds_per_path: u64,
+    /// Maximum commands executed across all paths.
+    pub max_total_cmds: u64,
+    /// Maximum number of finished paths collected.
+    pub max_paths: usize,
+    /// Exploration order.
+    pub strategy: SearchStrategy,
+    /// Maximum pending (in-flight) configurations; branches beyond the cap
+    /// are *dropped*. Paper §3.2's relaxed trace composition licenses
+    /// this: soundness is per-trace, so dropping paths loses coverage but
+    /// never validity — a standard scalability lever. Dropped paths are
+    /// counted in [`ExploreResult::dropped_paths`] and mark the result
+    /// truncated.
+    pub max_pending: Option<usize>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_cmds_per_path: 100_000,
+            max_total_cmds: 10_000_000,
+            max_paths: 4096,
+            strategy: SearchStrategy::Dfs,
+            max_pending: None,
+        }
+    }
+}
+
+/// The outcome of one explored path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExploreOutcome<V> {
+    /// Terminated with `N(v)`.
+    Normal(V),
+    /// Terminated with `E(v)`.
+    Error(V),
+    /// Discarded by `vanish` (e.g. a failed `assume`).
+    Vanished,
+    /// Cut off by a budget — the path may have continued.
+    Truncated,
+}
+
+impl<V> From<Outcome<V>> for ExploreOutcome<V> {
+    fn from(o: Outcome<V>) -> Self {
+        match o {
+            Outcome::Normal(v) => ExploreOutcome::Normal(v),
+            Outcome::Error(v) => ExploreOutcome::Error(v),
+            Outcome::Vanished => ExploreOutcome::Vanished,
+        }
+    }
+}
+
+/// One finished (or truncated) path.
+#[derive(Clone, Debug)]
+pub struct PathResult<S: GilState> {
+    /// The state at the end of the path.
+    pub state: S,
+    /// How the path ended.
+    pub outcome: ExploreOutcome<S::V>,
+    /// Commands executed along this path.
+    pub cmds: u64,
+}
+
+/// The result of exploring a program from an entry point.
+#[derive(Clone, Debug)]
+pub struct ExploreResult<S: GilState> {
+    /// All finished paths, in exploration order.
+    pub paths: Vec<PathResult<S>>,
+    /// Total GIL commands executed (the paper's "GIL Cmds" column).
+    pub total_cmds: u64,
+    /// True when some budget was hit.
+    pub truncated: bool,
+    /// Branches dropped by the [`ExploreConfig::max_pending`] cap.
+    pub dropped_paths: usize,
+}
+
+impl<S: GilState> ExploreResult<S> {
+    /// Paths that ended in an error.
+    pub fn errors(&self) -> impl Iterator<Item = &PathResult<S>> {
+        self.paths
+            .iter()
+            .filter(|p| matches!(p.outcome, ExploreOutcome::Error(_)))
+    }
+
+    /// Paths that returned normally.
+    pub fn normal(&self) -> impl Iterator<Item = &PathResult<S>> {
+        self.paths
+            .iter()
+            .filter(|p| matches!(p.outcome, ExploreOutcome::Normal(_)))
+    }
+}
+
+/// Explores all paths of `prog` starting from `entry` in `initial` state.
+pub fn explore<S: GilState>(
+    prog: &Prog,
+    entry: &str,
+    initial: S,
+    cfg: ExploreConfig,
+) -> ExploreResult<S> {
+    let mut worklist: std::collections::VecDeque<(Config<S>, u64)> =
+        std::collections::VecDeque::from([(Config::entry(entry, initial), 0)]);
+    let mut result = ExploreResult {
+        paths: Vec::new(),
+        total_cmds: 0,
+        truncated: false,
+        dropped_paths: 0,
+    };
+    let pop = |wl: &mut std::collections::VecDeque<(Config<S>, u64)>, strategy| match strategy {
+        SearchStrategy::Dfs => wl.pop_back(),
+        SearchStrategy::Bfs => wl.pop_front(),
+    };
+    while let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) {
+        if result.total_cmds >= cfg.max_total_cmds || result.paths.len() >= cfg.max_paths {
+            result.truncated = true;
+            break;
+        }
+        if cmds >= cfg.max_cmds_per_path {
+            result.truncated = true;
+            result.paths.push(PathResult {
+                state: config.state,
+                outcome: ExploreOutcome::Truncated,
+                cmds,
+            });
+            continue;
+        }
+        result.total_cmds += 1;
+        for out in step(prog, config) {
+            match out {
+                StepOut::Next(c) => {
+                    if cfg.max_pending.is_some_and(|cap| worklist.len() >= cap) {
+                        result.dropped_paths += 1;
+                        result.truncated = true;
+                        continue;
+                    }
+                    worklist.push_back((c, cmds + 1));
+                }
+                StepOut::Done(Final { state, outcome }) => {
+                    result.paths.push(PathResult {
+                        state,
+                        outcome: outcome.into(),
+                        cmds: cmds + 1,
+                    });
+                }
+            }
+        }
+    }
+    if !worklist.is_empty() {
+        result.truncated = true;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{SymBranch, SymbolicMemory};
+    use crate::symbolic::SymbolicState;
+    use gillian_gil::{Cmd, Expr, Proc};
+    use gillian_solver::{PathCondition, Solver};
+    use std::rc::Rc;
+
+    #[derive(Clone, Debug, Default)]
+    struct NoMem;
+    impl SymbolicMemory for NoMem {
+        fn execute_action(
+            &self,
+            name: &str,
+            _: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            vec![SymBranch {
+                memory: NoMem,
+                outcome: Err(Expr::str(format!("no actions ({name})"))),
+                constraint: Expr::tt(),
+            }]
+        }
+    }
+
+    type St = SymbolicState<NoMem>;
+
+    fn sym_state() -> St {
+        SymbolicState::new(Rc::new(Solver::optimized()))
+    }
+
+    /// main() { x := iSym; ifgoto x < 10 ret; fail "big"; ret: return x }
+    fn branching_prog() -> Prog {
+        Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::isym("x", 0),
+                Cmd::IfGoto(Expr::pvar("x").lt(Expr::int(10)), 3),
+                Cmd::Fail(Expr::str("big")),
+                Cmd::Return(Expr::pvar("x")),
+            ],
+        )])
+    }
+
+    #[test]
+    fn symbolic_exploration_covers_both_branches() {
+        let r = explore(&branching_prog(), "main", sym_state(), ExploreConfig::default());
+        assert_eq!(r.paths.len(), 2);
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.normal().count(), 1);
+        assert!(!r.truncated);
+        assert!(r.total_cmds >= 4);
+    }
+
+    #[test]
+    fn loops_are_unrolled_up_to_the_bound() {
+        // main() { x := iSym; loop: ifgoto x < 1000000 body else done... }
+        // An infinite symbolic loop must be truncated, not hang.
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::assign("x", Expr::int(0)),
+                Cmd::assign("x", Expr::pvar("x").add(Expr::int(1))),
+                Cmd::Goto(1),
+            ],
+        )]);
+        let cfg = ExploreConfig {
+            max_cmds_per_path: 100,
+            ..Default::default()
+        };
+        let r = explore(&prog, "main", sym_state(), cfg);
+        assert!(r.truncated);
+        assert!(matches!(r.paths[0].outcome, ExploreOutcome::Truncated));
+    }
+
+    #[test]
+    fn global_budget_truncates() {
+        let cfg = ExploreConfig {
+            max_total_cmds: 2,
+            ..Default::default()
+        };
+        let r = explore(&branching_prog(), "main", sym_state(), cfg);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn vanish_paths_are_collected_but_harmless() {
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::isym("x", 0),
+                // assume x = 5 (compiled form: ifgoto (x=5) 3; vanish)
+                Cmd::IfGoto(Expr::pvar("x").eq(Expr::int(5)), 3),
+                Cmd::Vanish,
+                Cmd::Return(Expr::pvar("x")),
+            ],
+        )]);
+        let r = explore(&prog, "main", sym_state(), ExploreConfig::default());
+        let vanished = r
+            .paths
+            .iter()
+            .filter(|p| p.outcome == ExploreOutcome::Vanished)
+            .count();
+        assert_eq!(vanished, 1);
+        assert_eq!(r.normal().count(), 1);
+        // The surviving path's pc knows x = 5.
+        let normal = r.normal().next().unwrap();
+        let pc = &normal.state.pc;
+        assert!(
+            pc.conjuncts()
+                .iter()
+                .any(|c| c.to_string().contains("= 5")),
+            "pc {pc} should pin x to 5"
+        );
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::memory::{SymBranch, SymbolicMemory};
+    use crate::symbolic::SymbolicState;
+    use gillian_gil::{Cmd, Expr, Proc, Prog};
+    use gillian_solver::{PathCondition, Solver};
+    use std::rc::Rc;
+
+    #[derive(Clone, Debug, Default)]
+    struct NoMem;
+    impl SymbolicMemory for NoMem {
+        fn execute_action(
+            &self,
+            _: &str,
+            arg: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            vec![SymBranch::ok(NoMem, arg.clone())]
+        }
+    }
+
+    /// Three sequential symbolic branches → eight paths.
+    fn wide_prog() -> Prog {
+        let mut body = Vec::new();
+        for i in 0..3u32 {
+            let x = format!("x{i}");
+            body.push(Cmd::isym(&x, i));
+            let at = body.len();
+            body.push(Cmd::IfGoto(Expr::pvar(&x).eq(Expr::int(0)), at + 1));
+        }
+        body.push(Cmd::Return(Expr::int(0)));
+        Prog::from_procs([Proc::new("main", [], body)])
+    }
+
+    fn state() -> SymbolicState<NoMem> {
+        SymbolicState::new(Rc::new(Solver::optimized()))
+    }
+
+    #[test]
+    fn dfs_and_bfs_find_the_same_paths() {
+        let dfs = explore(&wide_prog(), "main", state(), ExploreConfig::default());
+        let bfs = explore(
+            &wide_prog(),
+            "main",
+            state(),
+            ExploreConfig {
+                strategy: SearchStrategy::Bfs,
+                ..Default::default()
+            },
+        );
+        assert_eq!(dfs.paths.len(), 8);
+        assert_eq!(bfs.paths.len(), 8);
+        assert_eq!(dfs.total_cmds, bfs.total_cmds);
+        let mut dfs_pcs: Vec<String> = dfs.paths.iter().map(|p| p.state.pc.to_string()).collect();
+        let mut bfs_pcs: Vec<String> = bfs.paths.iter().map(|p| p.state.pc.to_string()).collect();
+        dfs_pcs.sort();
+        bfs_pcs.sort();
+        assert_eq!(dfs_pcs, bfs_pcs, "same path set, different order");
+    }
+
+    #[test]
+    fn path_dropping_bounds_the_frontier_and_is_reported() {
+        let r = explore(
+            &wide_prog(),
+            "main",
+            state(),
+            ExploreConfig {
+                max_pending: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(r.dropped_paths > 0, "branches beyond the cap are dropped");
+        assert!(r.truncated);
+        // The surviving paths are still complete, valid traces.
+        assert!(r.paths.iter().all(|p| p.outcome != ExploreOutcome::Truncated));
+        assert!(r.paths.len() + r.dropped_paths >= 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Memory model interfaces (paper Defs. 2.3 and 2.4).
+//!
+//! A tool developer instantiates Gillian by implementing these two traits
+//! for their language's memory, plus a compiler from the language to GIL.
+//! The engine lifts the memories to full state models automatically
+//! (`ConcreteState`/`SymbolicState`).
+//!
+//! Action arguments and results are single values; actions taking several
+//! inputs receive them as a GIL list (as in the paper's `mutate([x, p, e])`).
+//!
+//! ## Errors vs. branches
+//!
+//! A *concrete* action is deterministic here (the paper allows sets; every
+//! real instantiation is deterministic) and either returns a value or a
+//! *language error value* which the interpreter raises as the GIL error
+//! outcome `E(v)` — this is how, e.g., MiniC surfaces undefined behaviour.
+//!
+//! A *symbolic* action returns a set of branches, each with an outcome
+//! (value or error), the learned constraint to conjoin onto the path
+//! condition, and the successor memory (Def. 2.4's
+//! `µ̂.α(ê, π̂) ⇝ (µ̂′, ê′, π̂′)`). The memory is responsible for only
+//! returning branches whose constraint is satisfiable with the current
+//! path condition — it receives the solver for exactly that purpose.
+
+use gillian_gil::{Expr, Value};
+use gillian_solver::{PathCondition, Solver};
+
+/// A concrete memory model `M = ⟨|M|, A, ea⟩` (Def. 2.3).
+pub trait ConcreteMemory: Clone + std::fmt::Debug + Default {
+    /// Executes action `name` with argument `arg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the language error value (raised as `E(v)`) when the action
+    /// fails — e.g. lookup of an absent cell, C undefined behaviour.
+    fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value>;
+}
+
+/// One branch of a symbolic action's outcome.
+#[derive(Clone, Debug)]
+pub struct SymBranch<M> {
+    /// The successor memory `µ̂′`.
+    pub memory: M,
+    /// The value outcome `ê′`: `Ok` continues execution, `Err` raises the
+    /// GIL error outcome `E(v)`.
+    pub outcome: Result<Expr, Expr>,
+    /// The learned constraint `π̂′`, conjoined onto the path condition of
+    /// the state (Def. 2.6, `[Action]` case).
+    pub constraint: Expr,
+}
+
+impl<M> SymBranch<M> {
+    /// A successful branch with no learned constraint.
+    pub fn ok(memory: M, value: Expr) -> Self {
+        SymBranch {
+            memory,
+            outcome: Ok(value),
+            constraint: Expr::tt(),
+        }
+    }
+
+    /// A successful branch with a learned constraint.
+    pub fn ok_if(memory: M, value: Expr, constraint: Expr) -> Self {
+        SymBranch {
+            memory,
+            outcome: Ok(value),
+            constraint,
+        }
+    }
+
+    /// An error branch with a learned constraint.
+    pub fn err_if(memory: M, error: Expr, constraint: Expr) -> Self {
+        SymBranch {
+            memory,
+            outcome: Err(error),
+            constraint,
+        }
+    }
+}
+
+/// A symbolic memory model `M̂ = ⟨|M̂|, A, êa⟩` (Def. 2.4).
+pub trait SymbolicMemory: Clone + std::fmt::Debug + Default {
+    /// Executes action `name` with (simplified) symbolic argument `arg`
+    /// under path condition `pc`, returning all feasible branches.
+    ///
+    /// Implementations should use `solver` to prune branches whose
+    /// constraint is unsatisfiable with `pc` (the engine conjoins the
+    /// returned constraints without re-checking).
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>>;
+
+    /// The logical variables occurring in the memory. Used by the
+    /// soundness checkers to complete a model into a full logical
+    /// environment (an lvar unconstrained by the path condition may take
+    /// any value).
+    fn lvars(&self) -> std::collections::BTreeSet<gillian_gil::LVar> {
+        std::collections::BTreeSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, Default)]
+    struct Nop;
+    impl SymbolicMemory for Nop {
+        fn execute_action(
+            &self,
+            _: &str,
+            arg: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            vec![SymBranch::ok(Nop, arg.clone())]
+        }
+    }
+
+    #[test]
+    fn sym_branch_constructors() {
+        let b = SymBranch::ok(Nop, Expr::int(1));
+        assert_eq!(b.constraint, Expr::tt());
+        assert!(b.outcome.is_ok());
+        let e = SymBranch::err_if(Nop, Expr::str("boom"), Expr::ff());
+        assert!(e.outcome.is_err());
+    }
+}

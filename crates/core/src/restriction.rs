@@ -1,0 +1,107 @@
+//! Restriction on abstract states (paper §3.1, Def. 3.1).
+//!
+//! Restriction `x₁ ⇃ x₂` strengthens `x₁` with information from `x₂`. It
+//! generalises path conditions: in symbolic execution, restricting an
+//! initial state with a final state conjoins the final path condition into
+//! the initial one, *directing* concrete executions down the symbolic path
+//! (Theorem 3.6). Gillian's allocators are restricted the same way, which
+//! also directs the non-determinism of fresh-value generation.
+//!
+//! A restriction must satisfy three laws (checked by the property tests in
+//! this crate and by [`check_restriction_laws`]):
+//!
+//! - **Idempotence**: `x ⇃ x = x`
+//! - **Right commutativity**: `(x₁ ⇃ x₂) ⇃ x₃ = (x₁ ⇃ x₃) ⇃ x₂`
+//! - **Weakening**: `x₁ ⇃ x₂ ⇃ x₃ = x₁  ⟹  x₁ ⇃ x₂ = x₁ ⇃ x₃ = x₁`
+//!
+//! Every restriction induces a pre-order `x₂ ⊑ x₁ ⇔ x₂ ⇃ x₁ = x₂` ("x₂ has
+//! at least the information of x₁").
+
+/// A restriction operator on a type (paper Def. 3.1).
+pub trait Restrict: Sized {
+    /// Strengthens `self` with information from `other`.
+    fn restrict(&self, other: &Self) -> Self;
+
+    /// The induced pre-order: `self ⊑ other` when restricting `self` with
+    /// `other` gains nothing.
+    fn refines(&self, other: &Self) -> bool
+    where
+        Self: PartialEq,
+    {
+        self.restrict(other) == *self
+    }
+}
+
+/// Checks the three restriction laws on a triple of values, returning the
+/// name of the first violated law. Used by instantiations' property tests.
+pub fn check_restriction_laws<T: Restrict + PartialEq + Clone + std::fmt::Debug>(
+    x1: &T,
+    x2: &T,
+    x3: &T,
+) -> Result<(), &'static str> {
+    if x1.restrict(x1) != *x1 {
+        return Err("idempotence");
+    }
+    if x1.restrict(x2).restrict(x3) != x1.restrict(x3).restrict(x2) {
+        return Err("right commutativity");
+    }
+    if x1.restrict(x2).restrict(x3) == *x1
+        && (x1.restrict(x2) != *x1 || x1.restrict(x3) != *x1)
+    {
+        return Err("weakening");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Restriction on sets (modelled as sorted vecs): union — the paradigm
+    /// instance used to sanity-check the laws.
+    #[derive(Clone, Debug, PartialEq)]
+    struct InfoSet(Vec<u32>);
+
+    impl Restrict for InfoSet {
+        fn restrict(&self, other: &Self) -> Self {
+            let mut v = self.0.clone();
+            v.extend(other.0.iter().copied());
+            v.sort_unstable();
+            v.dedup();
+            InfoSet(v)
+        }
+    }
+
+    #[test]
+    fn union_restriction_satisfies_laws() {
+        let a = InfoSet(vec![1, 2]);
+        let b = InfoSet(vec![2, 3]);
+        let c = InfoSet(vec![5]);
+        check_restriction_laws(&a, &b, &c).unwrap();
+        check_restriction_laws(&a, &a, &a).unwrap();
+        check_restriction_laws(&c, &b, &a).unwrap();
+    }
+
+    #[test]
+    fn refines_is_the_induced_preorder() {
+        let small = InfoSet(vec![1, 2, 3]);
+        let big = InfoSet(vec![1, 2]);
+        // `small` already contains everything in `big`.
+        assert!(small.refines(&big));
+        assert!(!big.refines(&small));
+    }
+
+    #[test]
+    fn law_checker_detects_violations() {
+        /// A broken "restriction" that overwrites instead of merging.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Overwrite(u32);
+        impl Restrict for Overwrite {
+            fn restrict(&self, other: &Self) -> Self {
+                Overwrite(other.0)
+            }
+        }
+        let r = check_restriction_laws(&Overwrite(1), &Overwrite(2), &Overwrite(3));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! The state-model interface (paper Def. 2.1).
+//!
+//! A state model `S = ⟨|S|, V, A, ea⟩` is the formal interface through which
+//! GIL interacts with program state. [`GilState`] is its Rust rendering:
+//! the interpreter (Fig. 1) is written once against this trait and executes
+//! both concretely and symbolically.
+//!
+//! The paper's *proper* state models expose distinguished actions
+//! (`setVar`, `setStore`, `getStore`, `eval`, `assume`, `uSym`, `iSym`);
+//! here those appear as trait methods rather than stringly-named actions,
+//! with `assume` folded into [`GilState::branch_on`] (its only use in the
+//! semantics is the two conditional-goto rules). Memory actions `α` remain
+//! stringly-typed and are dispatched through
+//! [`GilState::execute_action`].
+
+use gillian_gil::{Expr, Ident};
+
+/// The branching result of a memory action on states: each branch pairs a
+/// successor state with the action outcome (`Err` raises `E(v)`).
+pub type ActionBranches<S, V> = Vec<(S, Result<V, V>)>;
+
+/// A GIL state: the engine-facing interface of a (lifted) state model.
+///
+/// `V` is the state's value type — [`gillian_gil::Value`] concretely,
+/// [`Expr`] symbolically. Errors are values of the same type (they flow
+/// into the GIL error outcome `E(v)`), hence the pervasive
+/// `Result<Self::V, Self::V>`.
+pub trait GilState: Clone + std::fmt::Debug + Sized {
+    /// The values stored in and produced by this state.
+    type V: Clone + std::fmt::Debug + std::fmt::Display;
+    /// The variable store representation.
+    type Store: Clone + std::fmt::Debug + Default;
+
+    /// Evaluates an expression in the state's store (`evalₑ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error value when evaluation fails (unbound variable,
+    /// operator domain violation).
+    fn eval(&self, e: &Expr) -> Result<Self::V, Self::V>;
+
+    /// Assigns `v` to program variable `x` (`setVarₓ`).
+    fn set_var(&mut self, x: &Ident, v: Self::V);
+
+    /// The current store (`getStore`).
+    fn store(&self) -> &Self::Store;
+
+    /// Replaces the store (`setStore`).
+    fn set_store(&mut self, store: Self::Store);
+
+    /// Builds a callee store binding `params` to `args` positionally
+    /// (missing arguments are left unbound; extra arguments are dropped).
+    fn make_store(&self, params: &[Ident], args: Vec<Self::V>) -> Self::Store;
+
+    /// Extracts a procedure identifier from an evaluated callee value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error value when `v` does not denote a procedure (for a
+    /// symbolic state, when it is not a *literal* procedure identifier —
+    /// dynamic dispatch must be resolved by compiled code before the call).
+    fn resolve_proc(&self, v: &Self::V) -> Result<Ident, Self::V>;
+
+    /// Branches on a boolean guard (the two `ifgoto` rules of Fig. 1,
+    /// built from `assume ∘ eval`). Returns the surviving branches, each a
+    /// successor state paired with the truth value it assumed. A concrete
+    /// state returns exactly one branch; a symbolic state returns the
+    /// satisfiable subset of `{true, false}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error value when the guard fails to evaluate.
+    fn branch_on(&self, e: &Expr) -> Result<Vec<(Self, bool)>, Self::V>;
+
+    /// Allocates a fresh uninterpreted symbol (`uSym_j`).
+    fn fresh_usym(&mut self, site: u32) -> Self::V;
+
+    /// Allocates a fresh interpreted symbol (`iSym_j`): an arbitrary value
+    /// concretely, a fresh logical variable symbolically.
+    fn fresh_isym(&mut self, site: u32) -> Self::V;
+
+    /// Executes memory action `name` (the `x := α(e)` rule). Each returned
+    /// branch pairs a successor state with the action's outcome; an `Err`
+    /// outcome raises the GIL error outcome `E(v)` on that branch.
+    fn execute_action(self, name: &str, arg: Self::V) -> ActionBranches<Self, Self::V>;
+
+    /// Wraps an engine-generated message as an error value.
+    fn error_value(&self, msg: &str) -> Self::V;
+}

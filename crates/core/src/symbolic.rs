@@ -1,0 +1,306 @@
+//! The symbolic state constructor `SSC` (paper Def. 2.6).
+//!
+//! Lifts any [`SymbolicMemory`] to a full symbolic state model by pairing
+//! it with a symbolic store (program variables ⇀ logical expressions), the
+//! built-in symbolic allocator, and a path condition:
+//! `|S| = |M̂| × (X ⇀ Ê) × |ÂL| × Π`.
+//!
+//! Expression evaluation substitutes store bindings and simplifies through
+//! the solver; `assume` (inside [`GilState::branch_on`]) strengthens the
+//! path condition when satisfiable; actions delegate to the parameter
+//! memory and conjoin the learned constraint (Def. 2.6, `[Action]`).
+
+use crate::allocator::SymAllocator;
+use crate::memory::SymbolicMemory;
+use crate::restriction::Restrict;
+use crate::state::GilState;
+use gillian_gil::{Expr, Ident, Value};
+use gillian_solver::{PathCondition, Solver};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A symbolic variable store `ρ̂ : X ⇀ Ê`.
+pub type SymStore = BTreeMap<Ident, Expr>;
+
+/// A symbolic GIL state `⟨µ̂, ρ̂, ξ̂, π̂⟩` over symbolic memory model `M`.
+#[derive(Clone, Debug)]
+pub struct SymbolicState<M> {
+    /// The language symbolic memory `µ̂`.
+    pub memory: M,
+    store: SymStore,
+    alloc: SymAllocator,
+    /// The path condition `π̂`.
+    pub pc: PathCondition,
+    solver: Rc<Solver>,
+}
+
+impl<M: SymbolicMemory> SymbolicState<M> {
+    /// A state with empty memory, store and path condition.
+    pub fn new(solver: Rc<Solver>) -> Self {
+        SymbolicState {
+            memory: M::default(),
+            store: SymStore::new(),
+            alloc: SymAllocator::new(),
+            pc: PathCondition::new(),
+            solver,
+        }
+    }
+
+    /// A state over an explicit initial memory.
+    pub fn with_memory(solver: Rc<Solver>, memory: M) -> Self {
+        SymbolicState {
+            memory,
+            store: SymStore::new(),
+            alloc: SymAllocator::new(),
+            pc: PathCondition::new(),
+            solver,
+        }
+    }
+
+    /// The solver handle shared by this state.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// The allocator record (inspectable; used for concrete replay).
+    pub fn alloc(&self) -> &SymAllocator {
+        &self.alloc
+    }
+
+    /// Conjoins a constraint onto the path condition without checking
+    /// satisfiability (used by harnesses encoding preconditions).
+    pub fn assume_unchecked(&mut self, e: Expr) {
+        let e = self.solver.simplify(&self.pc, &e);
+        self.pc.push(e);
+    }
+}
+
+impl<M: SymbolicMemory> GilState for SymbolicState<M> {
+    type V = Expr;
+    type Store = SymStore;
+
+    fn eval(&self, e: &Expr) -> Result<Expr, Expr> {
+        // Substitute program variables by their store bindings; an unbound
+        // variable is an evaluation error as in the concrete semantics.
+        for x in e.pvars() {
+            if !self.store.contains_key(&x) {
+                return Err(Expr::str(format!("unbound variable {x}")));
+            }
+        }
+        let substituted = e.subst(&|sub| match sub {
+            Expr::PVar(x) => self.store.get(x.as_ref() as &str).cloned(),
+            _ => None,
+        });
+        Ok(self.solver.simplify(&self.pc, &substituted))
+    }
+
+    fn set_var(&mut self, x: &Ident, v: Expr) {
+        self.store.insert(x.clone(), v);
+    }
+
+    fn store(&self) -> &SymStore {
+        &self.store
+    }
+
+    fn set_store(&mut self, store: SymStore) {
+        self.store = store;
+    }
+
+    fn make_store(&self, params: &[Ident], args: Vec<Expr>) -> SymStore {
+        params.iter().cloned().zip(args).collect()
+    }
+
+    fn resolve_proc(&self, v: &Expr) -> Result<Ident, Expr> {
+        match v {
+            Expr::Val(Value::Proc(f)) => Ok(f.clone()),
+            Expr::Val(Value::Str(s)) => Ok(s.clone()),
+            other => Err(Expr::str(format!(
+                "cannot call unresolved procedure value {other}"
+            ))),
+        }
+    }
+
+    fn branch_on(&self, e: &Expr) -> Result<Vec<(Self, bool)>, Expr> {
+        let guard = self.eval(e)?;
+        // Literal guards do not branch and add nothing to the path
+        // condition (mirrors the concrete rule exactly).
+        if let Some(b) = guard.as_bool() {
+            return Ok(vec![(self.clone(), b)]);
+        }
+        let neg = self.solver.simplify(&self.pc, &guard.clone().not());
+        let mut out = Vec::with_capacity(2);
+        if self.solver.sat_with(&self.pc, &guard).possibly_sat() {
+            let mut st = self.clone();
+            st.pc.push(guard.clone());
+            out.push((st, true));
+        }
+        if self.solver.sat_with(&self.pc, &neg).possibly_sat() {
+            let mut st = self.clone();
+            st.pc.push(neg);
+            out.push((st, false));
+        }
+        Ok(out)
+    }
+
+    fn fresh_usym(&mut self, site: u32) -> Expr {
+        Expr::Val(Value::Sym(self.alloc.alloc_usym(site)))
+    }
+
+    fn fresh_isym(&mut self, site: u32) -> Expr {
+        Expr::LVar(self.alloc.alloc_isym(site))
+    }
+
+    fn execute_action(self, name: &str, arg: Expr) -> Vec<(Self, Result<Expr, Expr>)> {
+        let branches = self
+            .memory
+            .execute_action(name, &arg, &self.pc, &self.solver);
+        let mut out = Vec::with_capacity(branches.len());
+        for b in branches {
+            let mut st = self.clone();
+            st.memory = b.memory;
+            let constraint = st.solver.simplify(&st.pc, &b.constraint);
+            if constraint.as_bool() == Some(false) {
+                continue;
+            }
+            st.pc.push(constraint);
+            out.push((st, b.outcome));
+        }
+        out
+    }
+
+    fn error_value(&self, msg: &str) -> Expr {
+        Expr::str(msg)
+    }
+}
+
+impl<M: SymbolicMemory> Restrict for SymbolicState<M> {
+    /// State restriction of the lifted model (Def. 3.9):
+    /// `⟨µ̂, ρ̂, ξ̂, π̂⟩ ⇃ ⟨-, -, ξ̂′, π̂′⟩ = ⟨µ̂, ρ̂, ξ̂ ⇃ ξ̂′, π̂ ∧ π̂′⟩`.
+    fn restrict(&self, other: &Self) -> Self {
+        let mut st = self.clone();
+        st.alloc = st.alloc.restrict(&other.alloc);
+        st.pc.extend(&other.pc);
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::SymBranch;
+    use gillian_gil::LVar;
+
+    /// A toy symbolic memory: a single symbolic cell with `set`/`get`.
+    #[derive(Clone, Debug, Default)]
+    struct Cell(Option<Expr>);
+
+    impl SymbolicMemory for Cell {
+        fn execute_action(
+            &self,
+            name: &str,
+            arg: &Expr,
+            _pc: &PathCondition,
+            _solver: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            match name {
+                "set" => vec![SymBranch::ok(Cell(Some(arg.clone())), Expr::tt())],
+                "get" => match &self.0 {
+                    Some(e) => vec![SymBranch::ok(self.clone(), e.clone())],
+                    None => vec![SymBranch {
+                        memory: self.clone(),
+                        outcome: Err(Expr::str("empty cell")),
+                        constraint: Expr::tt(),
+                    }],
+                },
+                _ => vec![],
+            }
+        }
+    }
+
+    fn state() -> SymbolicState<Cell> {
+        SymbolicState::new(Rc::new(Solver::optimized()))
+    }
+
+    #[test]
+    fn eval_substitutes_and_simplifies() {
+        let mut st = state();
+        st.set_var(&"x".into(), Expr::int(2));
+        let v = st.eval(&Expr::pvar("x").add(Expr::int(3))).unwrap();
+        assert_eq!(v, Expr::int(5));
+        assert!(st.eval(&Expr::pvar("missing")).is_err());
+    }
+
+    #[test]
+    fn branch_on_symbolic_guard_forks() {
+        let mut st = state();
+        let x = st.fresh_isym(0);
+        st.set_var(&"x".into(), x.clone());
+        let branches = st.clone().branch_on(&Expr::pvar("x").lt(Expr::int(5))).unwrap();
+        assert_eq!(branches.len(), 2, "both branches feasible");
+        for (s, taken) in &branches {
+            let expected = if *taken {
+                x.clone().lt(Expr::int(5))
+            } else {
+                Expr::int(5).le(x.clone())
+            };
+            assert!(
+                s.pc.conjuncts().contains(&expected),
+                "pc {} missing {expected}",
+                s.pc
+            );
+        }
+    }
+
+    #[test]
+    fn branch_on_prunes_infeasible() {
+        let mut st = state();
+        let x = st.fresh_isym(0);
+        st.assume_unchecked(x.clone().eq(Expr::int(3)));
+        st.set_var(&"x".into(), x);
+        let branches = st.branch_on(&Expr::pvar("x").lt(Expr::int(5))).unwrap();
+        assert_eq!(branches.len(), 1);
+        assert!(branches[0].1, "only the true branch survives");
+    }
+
+    #[test]
+    fn literal_guard_does_not_extend_pc() {
+        let st = state();
+        let branches = st.branch_on(&Expr::tt()).unwrap();
+        assert_eq!(branches.len(), 1);
+        assert!(branches[0].0.pc.is_empty());
+    }
+
+    #[test]
+    fn actions_thread_memory_and_errors() {
+        let st = state();
+        let branches = st.execute_action("set", Expr::int(7));
+        let (st, out) = branches.into_iter().next().unwrap();
+        assert!(out.is_ok());
+        let (_, got) = st.execute_action("get", Expr::nil()).into_iter().next().unwrap();
+        assert_eq!(got, Ok(Expr::int(7)));
+        let empty = state();
+        let (_, e) = empty.execute_action("get", Expr::nil()).into_iter().next().unwrap();
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn isym_mints_distinct_lvars() {
+        let mut st = state();
+        assert_eq!(st.fresh_isym(0), Expr::LVar(LVar(0)));
+        assert_eq!(st.fresh_isym(0), Expr::LVar(LVar(1)));
+    }
+
+    #[test]
+    fn restriction_conjoins_pc_and_merges_alloc() {
+        let mut a = state();
+        let mut b = state();
+        let x = b.fresh_isym(0);
+        b.assume_unchecked(x.clone().eq(Expr::int(1)));
+        let r = a.restrict(&b);
+        assert!(r.pc.conjuncts().contains(&x.eq(Expr::int(1))));
+        // Idempotence on states (pc set union semantics).
+        let _ = a.fresh_isym(0);
+        let ra = a.restrict(&a);
+        assert_eq!(ra.pc, a.pc);
+    }
+}

@@ -1,0 +1,238 @@
+//! Failure injection: deliberately broken memory models must be caught by
+//! the differential soundness checkers. This is the evidence that the
+//! empirical MA-RS/MA-RC checks (paper Def. 3.7) and the end-to-end
+//! Theorem 3.6 check are not vacuous — they fail when a tool developer
+//! gets a memory model wrong in the ways that actually happen.
+
+use gillian_core::explore::ExploreConfig;
+use gillian_core::memory::{ConcreteMemory, SymBranch, SymbolicMemory};
+use gillian_core::soundness::{check_action, check_program, MemoryInterpretation};
+use gillian_gil::{Cmd, Expr, LVar, Proc, Prog, Value};
+use gillian_solver::{Model, PathCondition, Solver};
+use std::rc::Rc;
+
+/// The reference concrete memory: one cell holding a value.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Cell(Option<Value>);
+
+impl ConcreteMemory for Cell {
+    fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
+        match name {
+            "set" => {
+                self.0 = Some(arg);
+                Ok(Value::Bool(true))
+            }
+            "get" => self.0.clone().ok_or_else(|| Value::str("empty cell")),
+            other => Err(Value::str(format!("unknown action {other}"))),
+        }
+    }
+}
+
+/// A correct symbolic cell.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct SymCell(Option<Expr>);
+
+impl SymbolicMemory for SymCell {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        _pc: &PathCondition,
+        _solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        match name {
+            "set" => vec![SymBranch::ok(SymCell(Some(arg.clone())), Expr::tt())],
+            "get" => match &self.0 {
+                Some(e) => vec![SymBranch::ok(self.clone(), e.clone())],
+                None => vec![SymBranch::err_if(
+                    self.clone(),
+                    Expr::str("empty cell"),
+                    Expr::tt(),
+                )],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn lvars(&self) -> std::collections::BTreeSet<LVar> {
+        self.0.iter().flat_map(|e| e.lvars()).collect()
+    }
+}
+
+/// BROKEN: `get` returns the stored value *plus one* (a transcription bug).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct OffByOneCell(Option<Expr>);
+
+impl SymbolicMemory for OffByOneCell {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        _pc: &PathCondition,
+        _solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        match name {
+            "set" => vec![SymBranch::ok(OffByOneCell(Some(arg.clone())), Expr::tt())],
+            "get" => match &self.0 {
+                Some(e) => vec![SymBranch::ok(
+                    self.clone(),
+                    e.clone().add(Expr::int(1)), // BUG
+                )],
+                None => vec![SymBranch::err_if(
+                    self.clone(),
+                    Expr::str("empty cell"),
+                    Expr::tt(),
+                )],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn lvars(&self) -> std::collections::BTreeSet<LVar> {
+        self.0.iter().flat_map(|e| e.lvars()).collect()
+    }
+}
+
+/// BROKEN: `get` of an empty cell claims success instead of erroring
+/// (a missing error branch — MA-RS outcome-kind violation).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct NoErrorCell(Option<Expr>);
+
+impl SymbolicMemory for NoErrorCell {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        _pc: &PathCondition,
+        _solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        match name {
+            "set" => vec![SymBranch::ok(NoErrorCell(Some(arg.clone())), Expr::tt())],
+            "get" => vec![SymBranch::ok(
+                self.clone(),
+                self.0.clone().unwrap_or(Expr::int(0)), // BUG: never errors
+            )],
+            _ => vec![],
+        }
+    }
+}
+
+struct CellInterp;
+impl MemoryInterpretation for CellInterp {
+    type Concrete = Cell;
+    type Symbolic = SymCell;
+    fn interpret(&self, model: &Model, sym: &SymCell) -> Result<Cell, String> {
+        Ok(Cell(match &sym.0 {
+            Some(e) => Some(model.eval(e).map_err(|e| e.to_string())?),
+            None => None,
+        }))
+    }
+}
+
+struct OffByOneInterp;
+impl MemoryInterpretation for OffByOneInterp {
+    type Concrete = Cell;
+    type Symbolic = OffByOneCell;
+    fn interpret(&self, model: &Model, sym: &OffByOneCell) -> Result<Cell, String> {
+        Ok(Cell(match &sym.0 {
+            Some(e) => Some(model.eval(e).map_err(|e| e.to_string())?),
+            None => None,
+        }))
+    }
+}
+
+fn get_set_program() -> Prog {
+    Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::isym("x", 0),
+            Cmd::action("_", "set", Expr::pvar("x")),
+            Cmd::action("y", "get", Expr::int(0)),
+            Cmd::Return(Expr::pvar("y")),
+        ],
+    )])
+}
+
+#[test]
+fn correct_memory_passes_both_checks() {
+    let solver = Solver::optimized();
+    let mem = SymCell(Some(Expr::lvar(LVar(0))));
+    let checked = check_action(
+        &CellInterp,
+        &solver,
+        &mem,
+        "get",
+        &Expr::int(0),
+        &PathCondition::new(),
+    )
+    .expect("correct memory satisfies MA-RS");
+    assert!(checked > 0);
+
+    let report = check_program::<SymCell, Cell>(
+        &get_set_program(),
+        "main",
+        Rc::new(Solver::optimized()),
+        ExploreConfig::default(),
+    )
+    .expect("correct memory is restricted-sound");
+    assert!(report.replayed > 0);
+}
+
+#[test]
+fn wrong_value_output_is_caught_by_ma_rs() {
+    let solver = Solver::optimized();
+    let mem = OffByOneCell(Some(Expr::lvar(LVar(0))));
+    let problems = check_action(
+        &OffByOneInterp,
+        &solver,
+        &mem,
+        "get",
+        &Expr::int(0),
+        &PathCondition::new(),
+    )
+    .expect_err("the off-by-one transcription must be caught");
+    assert!(
+        problems.iter().any(|d| d.context.contains("value outputs differ")),
+        "{problems:#?}"
+    );
+}
+
+#[test]
+fn wrong_value_output_is_caught_end_to_end() {
+    let result = check_program::<OffByOneCell, Cell>(
+        &get_set_program(),
+        "main",
+        Rc::new(Solver::optimized()),
+        ExploreConfig::default(),
+    );
+    let problems = result.expect_err("end-to-end replay must diverge");
+    assert!(
+        problems.iter().any(|d| d.context.contains("return values differ")),
+        "{problems:#?}"
+    );
+}
+
+#[test]
+fn missing_error_branch_is_caught_end_to_end() {
+    // Reading the never-written cell: symbolic claims N(0), concrete errs.
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::action("y", "get", Expr::int(0)),
+            Cmd::Return(Expr::pvar("y")),
+        ],
+    )]);
+    let result = check_program::<NoErrorCell, Cell>(
+        &prog,
+        "main",
+        Rc::new(Solver::optimized()),
+        ExploreConfig::default(),
+    );
+    let problems = result.expect_err("the missing error branch must be caught");
+    assert!(
+        problems.iter().any(|d| d.context.contains("outcomes differ")),
+        "{problems:#?}"
+    );
+}

@@ -1,0 +1,167 @@
+//! Concrete evaluation of GIL expressions: `⟦e⟧ρ` (paper §2.3).
+//!
+//! Evaluation is against a *concrete store* mapping program variables to
+//! [`Value`]s. Logical variables are rejected: they only exist in symbolic
+//! execution, where evaluation is substitution followed by simplification
+//! (see `gillian-solver`).
+
+use crate::expr::Expr;
+use crate::ops::{eval_binop, eval_lstcat, eval_strcat, eval_unop, EvalError};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A concrete variable store `ρ : X ⇀ V`.
+///
+/// A thin wrapper over an ordered map so iteration (and therefore error
+/// messages and debugging output) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Store(BTreeMap<Arc<str>, Value>);
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, x: &str) -> Option<&Value> {
+        self.0.get(x)
+    }
+
+    /// Binds a variable, returning any previous value.
+    pub fn set(&mut self, x: impl AsRef<str>, v: Value) -> Option<Value> {
+        self.0.insert(Arc::from(x.as_ref()), v)
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Value)> {
+        self.0.iter()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Serialises the store as a GIL list of `[name, value]` pairs — the
+    /// representation used by the `getStore`/`setStore` actions (paper
+    /// footnote 2).
+    pub fn to_value(&self) -> Value {
+        Value::List(
+            self.0
+                .iter()
+                .map(|(k, v)| Value::List(vec![Value::str(k.as_ref()), v.clone()]))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a store from the `[[name, value], …]` serialisation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value is not a list of `[string, value]` pairs.
+    pub fn from_value(v: &Value) -> Result<Self, EvalError> {
+        let items = v
+            .as_list()
+            .ok_or_else(|| EvalError::new("store serialisation must be a list"))?;
+        let mut store = Store::new();
+        for item in items {
+            match item.as_list() {
+                Some([Value::Str(name), value]) => {
+                    store.set(name.as_ref(), value.clone());
+                }
+                _ => return Err(EvalError::new("store entry must be [name, value]")),
+            }
+        }
+        Ok(store)
+    }
+}
+
+impl FromIterator<(Arc<str>, Value)> for Store {
+    fn from_iter<I: IntoIterator<Item = (Arc<str>, Value)>>(iter: I) -> Self {
+        Store(iter.into_iter().collect())
+    }
+}
+
+/// Evaluates an expression in a concrete store.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] for unbound program variables, logical variables,
+/// and operator domain violations.
+pub fn eval(store: &Store, e: &Expr) -> Result<Value, EvalError> {
+    match e {
+        Expr::Val(v) => Ok(v.clone()),
+        Expr::PVar(x) => store
+            .get(x)
+            .cloned()
+            .ok_or_else(|| EvalError::new(format!("unbound variable {x}"))),
+        Expr::LVar(x) => Err(EvalError::new(format!(
+            "logical variable {x} in concrete evaluation"
+        ))),
+        Expr::Un(op, e) => eval_unop(*op, &eval(store, e)?),
+        Expr::Bin(op, a, b) => eval_binop(*op, &eval(store, a)?, &eval(store, b)?),
+        Expr::List(es) => es.iter().map(|e| eval(store, e)).collect(),
+        Expr::StrCat(es) => {
+            let vs: Vec<Value> = es.iter().map(|e| eval(store, e)).collect::<Result<_, _>>()?;
+            eval_strcat(&vs)
+        }
+        Expr::LstCat(es) => {
+            let vs: Vec<Value> = es.iter().map(|e| eval(store, e)).collect::<Result<_, _>>()?;
+            eval_lstcat(&vs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LVar;
+
+    fn store() -> Store {
+        let mut s = Store::new();
+        s.set("x", Value::Int(10));
+        s.set("name", Value::str("gil"));
+        s
+    }
+
+    #[test]
+    fn evaluates_against_store() {
+        let e = Expr::pvar("x").add(Expr::int(5));
+        assert_eq!(eval(&store(), &e).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        assert!(eval(&store(), &Expr::pvar("y")).is_err());
+    }
+
+    #[test]
+    fn logical_variable_is_an_error() {
+        assert!(eval(&store(), &Expr::lvar(LVar(0))).is_err());
+    }
+
+    #[test]
+    fn list_and_strcat_evaluate_elementwise() {
+        let e = Expr::list([Expr::pvar("x"), Expr::int(2)]);
+        assert_eq!(
+            eval(&store(), &e).unwrap(),
+            Value::List(vec![Value::Int(10), Value::Int(2)])
+        );
+        let s = Expr::StrCat(vec![Expr::pvar("name"), Expr::str("!")]);
+        assert_eq!(eval(&store(), &s).unwrap(), Value::str("gil!"));
+    }
+
+    #[test]
+    fn store_round_trips_through_value() {
+        let s = store();
+        let v = s.to_value();
+        assert_eq!(Store::from_value(&v).unwrap(), s);
+    }
+}

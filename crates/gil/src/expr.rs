@@ -1,0 +1,445 @@
+//! GIL expressions.
+//!
+//! Following the released Gillian implementation, a single expression type
+//! serves both as the *program* expressions `e ∈ E` of paper §2.1 (which may
+//! mention program variables) and as the *logical* expressions `ê ∈ Ê` of
+//! §2.3 (which may mention logical variables). Concrete evaluation rejects
+//! logical variables; symbolic stores map program variables to logical
+//! expressions, so after store substitution a program expression becomes a
+//! logical one.
+
+use crate::ops::{BinOp, UnOp};
+use crate::value::{TypeTag, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A logical variable `x̂ ∈ X̂` (paper §2.3), identified by a unique id.
+///
+/// Logical variables are minted by the symbolic allocator when executing the
+/// `iSym` command, and stand for arbitrary values constrained only by the
+/// path condition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LVar(pub u64);
+
+impl fmt::Debug for LVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#x{}", self.0)
+    }
+}
+impl fmt::Display for LVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#x{}", self.0)
+    }
+}
+
+/// A GIL expression.
+///
+/// Built with the constructor helpers (`Expr::int`, [`Expr::pvar`], …) and
+/// the combinator methods ([`Expr::add`], [`Expr::eq`], …), which keep
+/// compiled code readable:
+///
+/// ```
+/// use gillian_gil::Expr;
+/// let e = Expr::pvar("x").add(Expr::int(1)).lt(Expr::int(10));
+/// assert_eq!(e.to_string(), "((x + 1) < 10)");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Expr {
+    /// A literal value.
+    Val(Value),
+    /// A program variable `x ∈ X`.
+    PVar(Arc<str>),
+    /// A logical variable `x̂ ∈ X̂`.
+    LVar(LVar),
+    /// Unary operator application `⊖e`.
+    Un(UnOp, Box<Expr>),
+    /// Binary operator application `e₁ ⊕ e₂`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// List construction `[e₁, …, eₙ]`.
+    List(Vec<Expr>),
+    /// String concatenation `s-cat(e₁, …, eₙ)`.
+    StrCat(Vec<Expr>),
+    /// List concatenation `l-cat(e₁, …, eₙ)`.
+    LstCat(Vec<Expr>),
+}
+
+// The DSL builder methods deliberately mirror operator names (`add`,
+// `not`, …) without implementing the std `ops` traits: the operators build
+// *syntax*, not values, and `a + b` would read as computation.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    // ---- constructors -------------------------------------------------
+
+    /// Integer literal.
+    pub fn int(n: i64) -> Expr {
+        Expr::Val(Value::Int(n))
+    }
+    /// Number (double) literal.
+    pub fn num(x: f64) -> Expr {
+        Expr::Val(Value::num(x))
+    }
+    /// String literal.
+    pub fn str(s: impl AsRef<str>) -> Expr {
+        Expr::Val(Value::str(s))
+    }
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Val(Value::Bool(b))
+    }
+    /// The literal `true`.
+    pub fn tt() -> Expr {
+        Expr::bool(true)
+    }
+    /// The literal `false`.
+    pub fn ff() -> Expr {
+        Expr::bool(false)
+    }
+    /// Program variable.
+    pub fn pvar(x: impl AsRef<str>) -> Expr {
+        Expr::PVar(Arc::from(x.as_ref()))
+    }
+    /// Logical variable.
+    pub fn lvar(x: LVar) -> Expr {
+        Expr::LVar(x)
+    }
+    /// Procedure-identifier literal.
+    pub fn proc(name: impl AsRef<str>) -> Expr {
+        Expr::Val(Value::proc(name))
+    }
+    /// Type literal.
+    pub fn type_tag(t: TypeTag) -> Expr {
+        Expr::Val(Value::Type(t))
+    }
+    /// The empty list literal.
+    pub fn nil() -> Expr {
+        Expr::Val(Value::nil())
+    }
+    /// List construction from sub-expressions.
+    pub fn list(es: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::List(es.into_iter().collect())
+    }
+
+    // ---- combinators ---------------------------------------------------
+
+    /// `self ⊕ other` for an arbitrary binary operator.
+    pub fn bin(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(other))
+    }
+    /// `⊖self` for an arbitrary unary operator.
+    pub fn un(self, op: UnOp) -> Expr {
+        Expr::Un(op, Box::new(self))
+    }
+    /// Addition.
+    pub fn add(self, other: Expr) -> Expr {
+        self.bin(BinOp::Add, other)
+    }
+    /// Subtraction.
+    pub fn sub(self, other: Expr) -> Expr {
+        self.bin(BinOp::Sub, other)
+    }
+    /// Multiplication.
+    pub fn mul(self, other: Expr) -> Expr {
+        self.bin(BinOp::Mul, other)
+    }
+    /// Division.
+    pub fn div(self, other: Expr) -> Expr {
+        self.bin(BinOp::Div, other)
+    }
+    /// Remainder.
+    pub fn rem(self, other: Expr) -> Expr {
+        self.bin(BinOp::Mod, other)
+    }
+    /// Structural equality.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.bin(BinOp::Eq, other)
+    }
+    /// Negated structural equality.
+    pub fn ne(self, other: Expr) -> Expr {
+        self.eq(other).not()
+    }
+    /// Strict less-than.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.bin(BinOp::Lt, other)
+    }
+    /// Less-or-equal.
+    pub fn le(self, other: Expr) -> Expr {
+        self.bin(BinOp::Leq, other)
+    }
+    /// Strict greater-than (desugars to swapped `<`).
+    pub fn gt(self, other: Expr) -> Expr {
+        other.bin(BinOp::Lt, self)
+    }
+    /// Greater-or-equal (desugars to swapped `<=`).
+    pub fn ge(self, other: Expr) -> Expr {
+        other.bin(BinOp::Leq, self)
+    }
+    /// Boolean conjunction.
+    pub fn and(self, other: Expr) -> Expr {
+        self.bin(BinOp::And, other)
+    }
+    /// Boolean disjunction.
+    pub fn or(self, other: Expr) -> Expr {
+        self.bin(BinOp::Or, other)
+    }
+    /// Boolean negation.
+    pub fn not(self) -> Expr {
+        self.un(UnOp::Not)
+    }
+    /// The type of the expression's value.
+    pub fn type_of(self) -> Expr {
+        self.un(UnOp::TypeOf)
+    }
+    /// `typeOf(self) = t`.
+    pub fn has_type(self, t: TypeTag) -> Expr {
+        self.type_of().eq(Expr::type_tag(t))
+    }
+    /// List length.
+    pub fn lst_len(self) -> Expr {
+        self.un(UnOp::LstLen)
+    }
+    /// `i`-th element of a list.
+    pub fn lst_nth(self, i: Expr) -> Expr {
+        self.bin(BinOp::LstNth, i)
+    }
+    /// First element of a list.
+    pub fn lst_head(self) -> Expr {
+        self.un(UnOp::LstHead)
+    }
+    /// All but the first element of a list.
+    pub fn lst_tail(self) -> Expr {
+        self.un(UnOp::LstTail)
+    }
+    /// Prepend onto a list.
+    pub fn cons(self, list: Expr) -> Expr {
+        self.bin(BinOp::LstCons, list)
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Returns the literal value if this expression is one.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            Expr::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal boolean if this expression is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        self.as_value().and_then(Value::as_bool)
+    }
+
+    /// Returns the literal integer if this expression is one.
+    pub fn as_int(&self) -> Option<i64> {
+        self.as_value().and_then(Value::as_int)
+    }
+
+    /// True when the expression contains no variables (program or logical).
+    pub fn is_closed(&self) -> bool {
+        let mut closed = true;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::PVar(_) | Expr::LVar(_)) {
+                closed = false;
+            }
+        });
+        closed
+    }
+
+    /// Calls `f` on this expression and every sub-expression (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => {}
+            Expr::Un(_, e) => e.visit(f),
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::List(es) | Expr::StrCat(es) | Expr::LstCat(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Collects the logical variables occurring in the expression.
+    pub fn lvars(&self) -> BTreeSet<LVar> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::LVar(x) = e {
+                out.insert(*x);
+            }
+        });
+        out
+    }
+
+    /// Collects the program variables occurring in the expression.
+    pub fn pvars(&self) -> BTreeSet<Arc<str>> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::PVar(x) = e {
+                out.insert(x.clone());
+            }
+        });
+        out
+    }
+
+    /// Rebuilds the expression, replacing each variable through `f`;
+    /// variables for which `f` returns `None` are kept as-is.
+    pub fn subst(&self, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(e) = f(self) {
+            return e;
+        }
+        match self {
+            Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => self.clone(),
+            Expr::Un(op, e) => Expr::Un(*op, Box::new(e.subst(f))),
+            Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(a.subst(f)), Box::new(b.subst(f))),
+            Expr::List(es) => Expr::List(es.iter().map(|e| e.subst(f)).collect()),
+            Expr::StrCat(es) => Expr::StrCat(es.iter().map(|e| e.subst(f)).collect()),
+            Expr::LstCat(es) => Expr::LstCat(es.iter().map(|e| e.subst(f)).collect()),
+        }
+    }
+
+    /// Substitutes logical variables through the given mapping.
+    pub fn subst_lvars(&self, map: &impl Fn(LVar) -> Option<Expr>) -> Expr {
+        self.subst(&|e| match e {
+            Expr::LVar(x) => map(*x),
+            _ => None,
+        })
+    }
+
+    /// A small structural size measure (number of nodes), used by the
+    /// simplifier to avoid size-increasing rewrites.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+impl From<Value> for Expr {
+    fn from(v: Value) -> Expr {
+        Expr::Val(v)
+    }
+}
+impl From<i64> for Expr {
+    fn from(n: i64) -> Expr {
+        Expr::int(n)
+    }
+}
+impl From<bool> for Expr {
+    fn from(b: bool) -> Expr {
+        Expr::bool(b)
+    }
+}
+impl From<&str> for Expr {
+    fn from(s: &str) -> Expr {
+        Expr::str(s)
+    }
+}
+impl From<LVar> for Expr {
+    fn from(x: LVar) -> Expr {
+        Expr::LVar(x)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Val(v) => write!(f, "{v}"),
+            Expr::PVar(x) => write!(f, "{x}"),
+            Expr::LVar(x) => write!(f, "{x}"),
+            Expr::Un(op, e) => match op {
+                UnOp::Neg | UnOp::BitNot => write!(f, "({op}{e})"),
+                _ => write!(f, "{op}({e})"),
+            },
+            Expr::Bin(op, a, b) => match op {
+                BinOp::LstNth | BinOp::StrNth | BinOp::LstCons | BinOp::LstSub => {
+                    write!(f, "{op}({a}, {b})")
+                }
+                _ => write!(f, "({a} {op} {b})"),
+            },
+            Expr::List(es) => {
+                write!(f, "{{{{ ")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, " }}}}")
+            }
+            Expr::StrCat(es) => {
+                write!(f, "s-cat(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::LstCat(es) => {
+                write!(f, "l-cat(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::pvar("x").add(Expr::int(1));
+        assert_eq!(
+            e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::PVar(Arc::from("x"))),
+                Box::new(Expr::int(1))
+            )
+        );
+    }
+
+    #[test]
+    fn lvars_and_pvars_are_collected() {
+        let e = Expr::pvar("a")
+            .add(Expr::lvar(LVar(3)))
+            .eq(Expr::lvar(LVar(1)).mul(Expr::pvar("b")));
+        assert_eq!(e.lvars(), BTreeSet::from([LVar(1), LVar(3)]));
+        let pv: Vec<String> = e.pvars().iter().map(|s| s.to_string()).collect();
+        assert_eq!(pv, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn subst_replaces_lvars() {
+        let e = Expr::lvar(LVar(0)).add(Expr::lvar(LVar(1)));
+        let r = e.subst_lvars(&|x| (x == LVar(0)).then(|| Expr::int(5)));
+        assert_eq!(r, Expr::int(5).add(Expr::lvar(LVar(1))));
+    }
+
+    #[test]
+    fn is_closed_detects_variables() {
+        assert!(Expr::int(1).add(Expr::int(2)).is_closed());
+        assert!(!Expr::pvar("x").is_closed());
+        assert!(!Expr::list([Expr::lvar(LVar(0))]).is_closed());
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        let e = Expr::pvar("x").add(Expr::int(1)).lt(Expr::int(10));
+        assert_eq!(e.to_string(), "((x + 1) < 10)");
+        assert_eq!(Expr::list([Expr::int(1)]).to_string(), "{{ 1 }}");
+    }
+}

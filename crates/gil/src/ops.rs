@@ -1,0 +1,526 @@
+//! GIL unary and binary operators, and their concrete semantics.
+//!
+//! The concrete semantics defined here (`eval_unop`, `eval_binop`) is the
+//! *single source of truth* for operator behaviour: the concrete interpreter
+//! evaluates through it directly, and the symbolic simplifier constant-folds
+//! through it, so the two can never disagree (a key ingredient of the
+//! differential soundness tests in `gillian-core`).
+//!
+//! Operator evaluation is strict about types: applying an operator to values
+//! outside its domain is an [`EvalError`], which the interpreter surfaces as
+//! the GIL error outcome `E(v)`. This strictness is what lets the MiniC
+//! instantiation detect undefined behaviour instead of silently coercing.
+
+use crate::value::{Sym, TypeTag, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An error produced while evaluating an operator or expression.
+///
+/// Carries a human-readable description; the interpreter converts it into a
+/// GIL error value (a string), which then flows through the `E(v)` outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl EvalError {
+    /// Creates an evaluation error with the given description.
+    pub fn new(msg: impl Into<String>) -> Self {
+        EvalError(msg.into())
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+impl std::error::Error for EvalError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError(msg.into()))
+}
+
+/// Unary operators `⊖`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Arithmetic negation (`Int` or `Num`).
+    Neg,
+    /// The type of a value (total).
+    TypeOf,
+    /// `Int → Num` conversion (exact for |n| ≤ 2⁵³).
+    IntToNum,
+    /// `Num → Int` conversion, truncating toward zero. Errors when the
+    /// operand is NaN, infinite, or out of `i64` range.
+    NumToInt,
+    /// Canonical string rendering of any value.
+    ToStr,
+    /// String length (`Str → Int`).
+    StrLen,
+    /// List length (`List → Int`).
+    LstLen,
+    /// First element of a non-empty list.
+    LstHead,
+    /// All but the first element of a non-empty list.
+    LstTail,
+    /// List reversal.
+    LstRev,
+    /// Bitwise complement (`Int`).
+    BitNot,
+    /// Truncate an integer to `n` bits and sign-extend back to 64
+    /// (two's-complement wrap-around used by the MiniC compiler).
+    WrapSigned(u8),
+    /// Truncate an integer to `n` bits and zero-extend back to 64.
+    WrapUnsigned(u8),
+    /// Largest integer-valued `Num` less than or equal to the operand.
+    Floor,
+}
+
+impl UnOp {
+    /// The printed symbol or name of this operator.
+    pub fn name(self) -> String {
+        match self {
+            UnOp::Not => "not".into(),
+            UnOp::Neg => "-".into(),
+            UnOp::TypeOf => "typeOf".into(),
+            UnOp::IntToNum => "int_to_num".into(),
+            UnOp::NumToInt => "num_to_int".into(),
+            UnOp::ToStr => "to_str".into(),
+            UnOp::StrLen => "s-len".into(),
+            UnOp::LstLen => "l-len".into(),
+            UnOp::LstHead => "l-head".into(),
+            UnOp::LstTail => "l-tail".into(),
+            UnOp::LstRev => "l-rev".into(),
+            UnOp::BitNot => "~".into(),
+            UnOp::WrapSigned(w) => format!("wrap_s{w}"),
+            UnOp::WrapUnsigned(w) => format!("wrap_u{w}"),
+            UnOp::Floor => "floor".into(),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Binary operators `⊕`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BinOp {
+    /// Addition on `Int × Int` or `Num × Num`.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division; on integers, truncating toward zero. Division by zero is an
+    /// error on `Int` and follows IEEE-754 on `Num`.
+    Div,
+    /// Remainder; sign follows the dividend (like Rust/C). Errors on zero
+    /// divisor for `Int`.
+    Mod,
+    /// Structural equality on any pair of values (total, returns `Bool`).
+    /// Values of different types are never equal.
+    Eq,
+    /// Strict less-than on `Int × Int`, `Num × Num` (IEEE), or `Str × Str`
+    /// (lexicographic).
+    Lt,
+    /// Less-or-equal; same domains as [`BinOp::Lt`].
+    Leq,
+    /// Non-short-circuit boolean conjunction.
+    And,
+    /// Non-short-circuit boolean disjunction.
+    Or,
+    /// Bitwise and (`Int`).
+    BitAnd,
+    /// Bitwise or (`Int`).
+    BitOr,
+    /// Bitwise xor (`Int`).
+    BitXor,
+    /// Left shift; shift amount taken modulo 64.
+    Shl,
+    /// Arithmetic (sign-propagating) right shift; amount modulo 64.
+    ShrA,
+    /// Logical (zero-filling) right shift; amount modulo 64.
+    ShrL,
+    /// `l-nth(list, i)`: the `i`-th element (0-based) of a list. Errors when
+    /// out of bounds.
+    LstNth,
+    /// `s-nth(str, i)`: the `i`-th character of a string, as a 1-char string.
+    StrNth,
+    /// `l-cons(v, list)`: prepend an element to a list.
+    LstCons,
+    /// `l-sub(list, i)`: the suffix of a list starting at index `i`
+    /// (`i` may equal the length, yielding `[]`).
+    LstSub,
+}
+
+impl BinOp {
+    /// The printed symbol or name of this operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Lt => "<",
+            BinOp::Leq => "<=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::ShrA => ">>",
+            BinOp::ShrL => ">>>",
+            BinOp::LstNth => "l-nth",
+            BinOp::StrNth => "s-nth",
+            BinOp::LstCons => "l-cons",
+            BinOp::LstSub => "l-sub",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders a value the way `to_str` does (also used by `Display` for `Str`
+/// payloads *without* quotes, which is what guest languages want).
+pub fn value_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Num(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Sym(s) => s.to_string(),
+        Value::Type(t) => t.name().to_string(),
+        Value::Proc(p) => p.to_string(),
+        Value::List(vs) => {
+            let inner: Vec<String> = vs.iter().map(value_to_string).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
+fn wrap_int(n: i64, bits: u8, signed: bool) -> Result<i64, EvalError> {
+    if bits == 0 || bits > 64 {
+        return err(format!("invalid wrap width {bits}"));
+    }
+    if bits == 64 {
+        return Ok(n);
+    }
+    let mask = (1u128 << bits) - 1;
+    let low = (n as u128) & mask;
+    if signed {
+        let sign_bit = 1u128 << (bits - 1);
+        if low & sign_bit != 0 {
+            Ok((low as i64) | ((!0i64) << bits))
+        } else {
+            Ok(low as i64)
+        }
+    } else {
+        Ok(low as i64)
+    }
+}
+
+/// Evaluates a unary operator on a concrete value.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the operand is outside the operator's domain
+/// (e.g. `not 3`, head of an empty list, `num_to_int NaN`).
+pub fn eval_unop(op: UnOp, v: &Value) -> Result<Value, EvalError> {
+    match (op, v) {
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
+        (UnOp::Neg, Value::Num(x)) => Ok(Value::num(-x.get())),
+        (UnOp::TypeOf, v) => Ok(Value::Type(v.type_of())),
+        (UnOp::IntToNum, Value::Int(n)) => Ok(Value::num(*n as f64)),
+        (UnOp::NumToInt, Value::Num(x)) => {
+            let x = x.get();
+            if x.is_nan() || x.is_infinite() || !(-9.223_372_036_854_776e18..9.223_372_036_854_776e18).contains(&x) {
+                err(format!("num_to_int out of range: {x}"))
+            } else {
+                Ok(Value::Int(x.trunc() as i64))
+            }
+        }
+        (UnOp::ToStr, v) => Ok(Value::str(value_to_string(v))),
+        (UnOp::StrLen, Value::Str(s)) => Ok(Value::Int(s.chars().count() as i64)),
+        (UnOp::LstLen, Value::List(vs)) => Ok(Value::Int(vs.len() as i64)),
+        (UnOp::LstHead, Value::List(vs)) => match vs.first() {
+            Some(v) => Ok(v.clone()),
+            None => err("head of empty list"),
+        },
+        (UnOp::LstTail, Value::List(vs)) => {
+            if vs.is_empty() {
+                err("tail of empty list")
+            } else {
+                Ok(Value::List(vs[1..].to_vec()))
+            }
+        }
+        (UnOp::LstRev, Value::List(vs)) => {
+            Ok(Value::List(vs.iter().rev().cloned().collect()))
+        }
+        (UnOp::BitNot, Value::Int(n)) => Ok(Value::Int(!n)),
+        (UnOp::WrapSigned(w), Value::Int(n)) => wrap_int(*n, w, true).map(Value::Int),
+        (UnOp::WrapUnsigned(w), Value::Int(n)) => wrap_int(*n, w, false).map(Value::Int),
+        (UnOp::Floor, Value::Num(x)) => Ok(Value::num(x.get().floor())),
+        (op, v) => err(format!("unary {op} not applicable to {v}")),
+    }
+}
+
+fn int_bin(op: BinOp, a: i64, b: i64) -> Result<Value, EvalError> {
+    match op {
+        BinOp::Add => Ok(Value::Int(a.wrapping_add(b))),
+        BinOp::Sub => Ok(Value::Int(a.wrapping_sub(b))),
+        BinOp::Mul => Ok(Value::Int(a.wrapping_mul(b))),
+        BinOp::Div => {
+            if b == 0 {
+                err("integer division by zero")
+            } else {
+                Ok(Value::Int(a.wrapping_div(b)))
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                err("integer modulo by zero")
+            } else {
+                Ok(Value::Int(a.wrapping_rem(b)))
+            }
+        }
+        BinOp::Lt => Ok(Value::Bool(a < b)),
+        BinOp::Leq => Ok(Value::Bool(a <= b)),
+        BinOp::BitAnd => Ok(Value::Int(a & b)),
+        BinOp::BitOr => Ok(Value::Int(a | b)),
+        BinOp::BitXor => Ok(Value::Int(a ^ b)),
+        BinOp::Shl => Ok(Value::Int(a.wrapping_shl(b as u32))),
+        BinOp::ShrA => Ok(Value::Int(a.wrapping_shr(b as u32))),
+        BinOp::ShrL => Ok(Value::Int(((a as u64).wrapping_shr(b as u32)) as i64)),
+        _ => err(format!("binary {op} not applicable to integers")),
+    }
+}
+
+fn num_bin(op: BinOp, a: f64, b: f64) -> Result<Value, EvalError> {
+    match op {
+        BinOp::Add => Ok(Value::num(a + b)),
+        BinOp::Sub => Ok(Value::num(a - b)),
+        BinOp::Mul => Ok(Value::num(a * b)),
+        BinOp::Div => Ok(Value::num(a / b)),
+        BinOp::Mod => Ok(Value::num(a % b)),
+        BinOp::Lt => Ok(Value::Bool(a < b)),
+        BinOp::Leq => Ok(Value::Bool(a <= b)),
+        _ => err(format!("binary {op} not applicable to numbers")),
+    }
+}
+
+/// Evaluates a binary operator on concrete values.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the operands are outside the operator's domain
+/// (mixed `Int`/`Num` arithmetic, out-of-bounds `l-nth`, division by zero on
+/// integers, …).
+pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
+    match (op, a, b) {
+        (BinOp::Eq, a, b) => Ok(Value::Bool(a == b)),
+        (BinOp::And, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x && *y)),
+        (BinOp::Or, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x || *y)),
+        (op, Value::Int(x), Value::Int(y)) => int_bin(op, *x, *y),
+        (op, Value::Num(x), Value::Num(y)) => num_bin(op, x.get(), y.get()),
+        (BinOp::Lt, Value::Str(x), Value::Str(y)) => Ok(Value::Bool(x < y)),
+        (BinOp::Leq, Value::Str(x), Value::Str(y)) => Ok(Value::Bool(x <= y)),
+        (BinOp::LstNth, Value::List(vs), Value::Int(i)) => {
+            if *i < 0 || *i as usize >= vs.len() {
+                err(format!("l-nth index {i} out of bounds (len {})", vs.len()))
+            } else {
+                Ok(vs[*i as usize].clone())
+            }
+        }
+        (BinOp::LstSub, Value::List(vs), Value::Int(i)) => {
+            if *i < 0 || *i as usize > vs.len() {
+                err(format!("l-sub index {i} out of bounds (len {})", vs.len()))
+            } else {
+                Ok(Value::List(vs[*i as usize..].to_vec()))
+            }
+        }
+        (BinOp::StrNth, Value::Str(s), Value::Int(i)) => {
+            match s.chars().nth((*i).try_into().map_err(|_| EvalError::new("negative s-nth index"))?) {
+                Some(c) => Ok(Value::Str(Arc::from(c.to_string().as_str()))),
+                None => err(format!("s-nth index {i} out of bounds")),
+            }
+        }
+        (BinOp::LstCons, v, Value::List(vs)) => {
+            let mut out = Vec::with_capacity(vs.len() + 1);
+            out.push(v.clone());
+            out.extend(vs.iter().cloned());
+            Ok(Value::List(out))
+        }
+        (op, a, b) => err(format!("binary {op} not applicable to ({a}, {b})")),
+    }
+}
+
+/// Concatenates string values (`s-cat`). Errors on non-string operands.
+pub fn eval_strcat(parts: &[Value]) -> Result<Value, EvalError> {
+    let mut out = String::new();
+    for p in parts {
+        match p {
+            Value::Str(s) => out.push_str(s),
+            other => return err(format!("s-cat applied to non-string {other}")),
+        }
+    }
+    Ok(Value::from(out))
+}
+
+/// Concatenates list values (`l-cat`). Errors on non-list operands.
+pub fn eval_lstcat(parts: &[Value]) -> Result<Value, EvalError> {
+    let mut out = Vec::new();
+    for p in parts {
+        match p {
+            Value::List(vs) => out.extend(vs.iter().cloned()),
+            other => return err(format!("l-cat applied to non-list {other}")),
+        }
+    }
+    Ok(Value::List(out))
+}
+
+/// Re-exported for instantiations that need to mint reserved symbols.
+pub const fn reserved_sym(id: u64) -> Sym {
+    assert!(id < Sym::FIRST_FRESH);
+    Sym(id)
+}
+
+/// Returns `true` when `op` always yields a `Bool` on its domain.
+pub fn is_boolean_binop(op: BinOp) -> bool {
+    matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Leq | BinOp::And | BinOp::Or)
+}
+
+/// The result type tag of a unary operator where it is type-determined,
+/// independent of the operand (used by the solver's type inference).
+pub fn unop_result_type(op: UnOp) -> Option<TypeTag> {
+    match op {
+        UnOp::Not => Some(TypeTag::Bool),
+        UnOp::TypeOf => Some(TypeTag::Type),
+        UnOp::IntToNum => Some(TypeTag::Num),
+        UnOp::NumToInt => Some(TypeTag::Int),
+        UnOp::ToStr => Some(TypeTag::Str),
+        UnOp::StrLen | UnOp::LstLen => Some(TypeTag::Int),
+        UnOp::LstTail | UnOp::LstRev => Some(TypeTag::List),
+        UnOp::BitNot | UnOp::WrapSigned(_) | UnOp::WrapUnsigned(_) => Some(TypeTag::Int),
+        UnOp::Floor => Some(TypeTag::Num),
+        UnOp::Neg | UnOp::LstHead => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(n: i64) -> Value {
+        Value::Int(n)
+    }
+
+    #[test]
+    fn arithmetic_on_ints() {
+        assert_eq!(eval_binop(BinOp::Add, &int(2), &int(3)).unwrap(), int(5));
+        assert_eq!(eval_binop(BinOp::Div, &int(7), &int(-2)).unwrap(), int(-3));
+        assert_eq!(eval_binop(BinOp::Mod, &int(-7), &int(2)).unwrap(), int(-1));
+        assert!(eval_binop(BinOp::Div, &int(1), &int(0)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_on_nums_follows_ieee() {
+        let d = eval_binop(BinOp::Div, &Value::num(1.0), &Value::num(0.0)).unwrap();
+        assert_eq!(d, Value::num(f64::INFINITY));
+    }
+
+    #[test]
+    fn mixed_int_num_arithmetic_is_an_error() {
+        assert!(eval_binop(BinOp::Add, &int(1), &Value::num(1.0)).is_err());
+    }
+
+    #[test]
+    fn equality_is_total_and_typed() {
+        assert_eq!(
+            eval_binop(BinOp::Eq, &int(1), &Value::str("1")).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Eq, &Value::nil(), &Value::List(vec![])).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn list_operators() {
+        let l = Value::List(vec![int(1), int(2), int(3)]);
+        assert_eq!(eval_unop(UnOp::LstLen, &l).unwrap(), int(3));
+        assert_eq!(eval_unop(UnOp::LstHead, &l).unwrap(), int(1));
+        assert_eq!(
+            eval_unop(UnOp::LstTail, &l).unwrap(),
+            Value::List(vec![int(2), int(3)])
+        );
+        assert_eq!(eval_binop(BinOp::LstNth, &l, &int(2)).unwrap(), int(3));
+        assert!(eval_binop(BinOp::LstNth, &l, &int(3)).is_err());
+        assert_eq!(
+            eval_binop(BinOp::LstCons, &int(0), &l).unwrap(),
+            Value::List(vec![int(0), int(1), int(2), int(3)])
+        );
+        assert_eq!(
+            eval_binop(BinOp::LstSub, &l, &int(1)).unwrap(),
+            Value::List(vec![int(2), int(3)])
+        );
+        assert_eq!(eval_binop(BinOp::LstSub, &l, &int(3)).unwrap(), Value::nil());
+    }
+
+    #[test]
+    fn string_operators() {
+        assert_eq!(
+            eval_strcat(&[Value::str("foo"), Value::str("bar")]).unwrap(),
+            Value::str("foobar")
+        );
+        assert_eq!(eval_unop(UnOp::StrLen, &Value::str("héllo")).unwrap(), int(5));
+        assert_eq!(
+            eval_binop(BinOp::StrNth, &Value::str("abc"), &int(1)).unwrap(),
+            Value::str("b")
+        );
+    }
+
+    #[test]
+    fn wrap_operators_match_twos_complement() {
+        assert_eq!(eval_unop(UnOp::WrapSigned(8), &int(200)).unwrap(), int(-56));
+        assert_eq!(eval_unop(UnOp::WrapUnsigned(8), &int(-1)).unwrap(), int(255));
+        assert_eq!(eval_unop(UnOp::WrapSigned(32), &int(1 << 31)).unwrap(), int(i32::MIN as i64));
+        assert_eq!(eval_unop(UnOp::WrapSigned(64), &int(i64::MIN)).unwrap(), int(i64::MIN));
+        assert_eq!(eval_unop(UnOp::WrapUnsigned(16), &int(65536 + 5)).unwrap(), int(5));
+    }
+
+    #[test]
+    fn num_to_int_rejects_non_finite() {
+        assert!(eval_unop(UnOp::NumToInt, &Value::num(f64::NAN)).is_err());
+        assert!(eval_unop(UnOp::NumToInt, &Value::num(f64::INFINITY)).is_err());
+        assert_eq!(eval_unop(UnOp::NumToInt, &Value::num(-2.9)).unwrap(), int(-2));
+    }
+
+    #[test]
+    fn typeof_and_tostr() {
+        assert_eq!(
+            eval_unop(UnOp::TypeOf, &Value::str("x")).unwrap(),
+            Value::Type(TypeTag::Str)
+        );
+        assert_eq!(eval_unop(UnOp::ToStr, &int(42)).unwrap(), Value::str("42"));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(eval_binop(BinOp::Shl, &int(1), &int(4)).unwrap(), int(16));
+        assert_eq!(eval_binop(BinOp::ShrA, &int(-8), &int(1)).unwrap(), int(-4));
+        assert_eq!(eval_binop(BinOp::ShrL, &int(-8), &int(1)).unwrap(), int((-8i64 as u64 >> 1) as i64));
+    }
+}

@@ -1,0 +1,320 @@
+//! GIL commands, procedures, and programs (paper §2.1).
+//!
+//! ```text
+//! c ∈ C_A ≜ x := e | ifgoto e i | x := e(ē) | return e | fail e
+//!         | vanish | x := α(e) | x := uSym_j | x := iSym_j
+//! ```
+//!
+//! Two pragmatic extensions over the paper's grammar, both present in the
+//! released OCaml implementation: an unconditional [`Cmd::Goto`]
+//! (the paper encodes it as `ifgoto true i`) and multi-parameter procedures
+//! (the paper passes argument lists through a single parameter).
+
+use crate::expr::Expr;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifiers (variables, procedure names, action names).
+pub type Ident = Arc<str>;
+
+/// A command index within a procedure body.
+pub type Label = usize;
+
+/// A GIL command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cmd {
+    /// `x := e` — variable assignment.
+    Assign(Ident, Expr),
+    /// `ifgoto e i` — jump to `i` when `e` holds; fall through otherwise.
+    /// Symbolically this may branch into both continuations.
+    IfGoto(Expr, Label),
+    /// `goto i` — unconditional jump (sugar for `ifgoto true i`).
+    Goto(Label),
+    /// `x := e(ē)` — dynamic procedure call: `proc` evaluates to a procedure
+    /// identifier; the arguments are bound to the callee's parameters.
+    Call {
+        /// Variable receiving the return value.
+        lhs: Ident,
+        /// Expression evaluating to the procedure identifier.
+        proc: Expr,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `return e` — terminate the current procedure with a value.
+    Return(Expr),
+    /// `fail e` — terminate the entire execution with error value `e`.
+    Fail(Expr),
+    /// `vanish` — silently terminate the current path with no result.
+    Vanish,
+    /// `x := α(e)` — execute action `α` with argument `e`.
+    Action {
+        /// Variable receiving the action's value output.
+        lhs: Ident,
+        /// Action name, resolved by the state model.
+        name: Ident,
+        /// Argument expression.
+        arg: Expr,
+    },
+    /// `x := uSym_j` — allocate a fresh *uninterpreted* symbol at site `j`.
+    USym {
+        /// Variable receiving the fresh symbol.
+        lhs: Ident,
+        /// Allocation site (program point identifier).
+        site: u32,
+    },
+    /// `x := iSym_j` — allocate a fresh *interpreted* symbol at site `j`:
+    /// a fresh logical variable symbolically, an arbitrary value concretely.
+    ISym {
+        /// Variable receiving the fresh value.
+        lhs: Ident,
+        /// Allocation site (program point identifier).
+        site: u32,
+    },
+    /// `skip` — no-op (compilation convenience).
+    Skip,
+}
+
+impl Cmd {
+    /// Builds an assignment command.
+    pub fn assign(x: impl AsRef<str>, e: Expr) -> Cmd {
+        Cmd::Assign(Arc::from(x.as_ref()), e)
+    }
+
+    /// Builds an action command `x := α(e)`.
+    pub fn action(lhs: impl AsRef<str>, name: impl AsRef<str>, arg: Expr) -> Cmd {
+        Cmd::Action {
+            lhs: Arc::from(lhs.as_ref()),
+            name: Arc::from(name.as_ref()),
+            arg,
+        }
+    }
+
+    /// Builds a call command `x := e(ē)`.
+    pub fn call(lhs: impl AsRef<str>, proc: Expr, args: Vec<Expr>) -> Cmd {
+        Cmd::Call {
+            lhs: Arc::from(lhs.as_ref()),
+            proc,
+            args,
+        }
+    }
+
+    /// Builds a static call command `x := f(ē)`.
+    pub fn call_static(lhs: impl AsRef<str>, proc: impl AsRef<str>, args: Vec<Expr>) -> Cmd {
+        Cmd::call(lhs, Expr::proc(proc.as_ref()), args)
+    }
+
+    /// Builds a `uSym` command.
+    pub fn usym(lhs: impl AsRef<str>, site: u32) -> Cmd {
+        Cmd::USym {
+            lhs: Arc::from(lhs.as_ref()),
+            site,
+        }
+    }
+
+    /// Builds an `iSym` command.
+    pub fn isym(lhs: impl AsRef<str>, site: u32) -> Cmd {
+        Cmd::ISym {
+            lhs: Arc::from(lhs.as_ref()),
+            site,
+        }
+    }
+}
+
+impl fmt::Display for Cmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmd::Assign(x, e) => write!(f, "{x} := {e}"),
+            Cmd::IfGoto(e, i) => write!(f, "ifgoto {e} {i}"),
+            Cmd::Goto(i) => write!(f, "goto {i}"),
+            Cmd::Call { lhs, proc, args } => {
+                write!(f, "{lhs} := {proc}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Cmd::Return(e) => write!(f, "return {e}"),
+            Cmd::Fail(e) => write!(f, "fail {e}"),
+            Cmd::Vanish => write!(f, "vanish"),
+            Cmd::Action { lhs, name, arg } => write!(f, "{lhs} := {name}!({arg})"),
+            Cmd::USym { lhs, site } => write!(f, "{lhs} := uSym_{site}"),
+            Cmd::ISym { lhs, site } => write!(f, "{lhs} := iSym_{site}"),
+            Cmd::Skip => write!(f, "skip"),
+        }
+    }
+}
+
+/// A GIL procedure `f(x̄){ c̄ }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proc {
+    /// Procedure identifier.
+    pub name: Ident,
+    /// Formal parameters.
+    pub params: Vec<Ident>,
+    /// Command sequence; labels are indices into this vector.
+    pub body: Vec<Cmd>,
+}
+
+impl Proc {
+    /// Creates a procedure from its name, parameters and body.
+    pub fn new<'a>(
+        name: impl AsRef<str>,
+        params: impl IntoIterator<Item = &'a str>,
+        body: Vec<Cmd>,
+    ) -> Proc {
+        Proc {
+            name: Arc::from(name.as_ref()),
+            params: params.into_iter().map(Arc::from).collect(),
+            body,
+        }
+    }
+}
+
+impl fmt::Display for Proc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (i, c) in self.body.iter().enumerate() {
+            writeln!(f, "  {i}: {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A GIL program: a map from procedure identifiers to procedures.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Prog {
+    procs: BTreeMap<Ident, Proc>,
+}
+
+impl Prog {
+    /// Creates an empty program.
+    pub fn new() -> Prog {
+        Prog::default()
+    }
+
+    /// Creates a program from an iterator of procedures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two procedures share a name (programs are built by
+    /// compilers, so a duplicate is a compiler bug).
+    pub fn from_procs(procs: impl IntoIterator<Item = Proc>) -> Prog {
+        let mut p = Prog::new();
+        for pr in procs {
+            p.add(pr);
+        }
+        p
+    }
+
+    /// Adds a procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate procedure names.
+    pub fn add(&mut self, proc: Proc) {
+        let name = proc.name.clone();
+        assert!(
+            self.procs.insert(name.clone(), proc).is_none(),
+            "duplicate procedure {name}"
+        );
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&Proc> {
+        self.procs.get(name)
+    }
+
+    /// Iterates over procedures in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Proc> {
+        self.procs.values()
+    }
+
+    /// Number of procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when the program has no procedures.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Merges another program into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate procedure names.
+    pub fn extend(&mut self, other: Prog) {
+        for p in other.procs.into_values() {
+            self.add(p);
+        }
+    }
+
+    /// Total number of commands across all procedures.
+    pub fn cmd_count(&self) -> usize {
+        self.procs.values().map(|p| p.body.len()).sum()
+    }
+}
+
+impl fmt::Display for Prog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            writeln!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_proc() -> Proc {
+        Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::assign("x", Expr::int(1)),
+                Cmd::IfGoto(Expr::pvar("x").eq(Expr::int(1)), 3),
+                Cmd::Fail(Expr::str("unreachable")),
+                Cmd::Return(Expr::pvar("x")),
+            ],
+        )
+    }
+
+    #[test]
+    fn program_stores_and_finds_procs() {
+        let p = Prog::from_procs([sample_proc()]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.proc("main").unwrap().body.len(), 4);
+        assert!(p.proc("nope").is_none());
+        assert_eq!(p.cmd_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate procedure")]
+    fn duplicate_procs_panic() {
+        Prog::from_procs([sample_proc(), sample_proc()]);
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let s = sample_proc().to_string();
+        assert!(s.contains("0: x := 1"));
+        assert!(s.contains("3: return x"));
+    }
+}

@@ -1,0 +1,417 @@
+//! GIL values (paper §2.1).
+//!
+//! `v ∈ V ≜ n ∈ N | s ∈ S | b ∈ B | ς ∈ U | τ ∈ T | f ∈ F | v̄`
+//!
+//! We split the paper's single number sort into [`Value::Int`] (exact 64-bit
+//! integers, used by the MiniC instantiation and for indices) and
+//! [`Value::Num`] (IEEE-754 doubles with a total order, used by the MiniJS
+//! instantiation). Uninterpreted symbols `ς` are [`Sym`]s; instantiations use
+//! them for object locations, memory blocks, and language constants such as
+//! `undefined`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An IEEE-754 double with *total* equality, ordering and hashing
+/// (via [`f64::total_cmp`] semantics on the normalized bit pattern).
+///
+/// GIL values must be usable as map keys (symbolic heaps index on
+/// expressions), so raw `f64` — which is not `Eq` — cannot appear in
+/// [`Value`]. `F64` normalizes all NaNs to a single quiet NaN and `-0.0`
+/// is kept distinct from `0.0` (matching `total_cmp`).
+///
+/// ```
+/// use gillian_gil::F64;
+/// assert_eq!(F64::new(f64::NAN), F64::new(-f64::NAN));
+/// assert!(F64::new(1.5) < F64::new(2.0));
+/// ```
+#[derive(Clone, Copy)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps an `f64`, normalizing NaNs to one canonical quiet NaN.
+    pub fn new(x: f64) -> Self {
+        if x.is_nan() {
+            F64(f64::NAN)
+        } else {
+            F64(x)
+        }
+    }
+
+    /// Returns the underlying `f64`.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    fn key(self) -> u64 {
+        // total_cmp-compatible key: flip sign bit for positives, all bits
+        // for negatives, so that the u64 order matches the total order.
+        let bits = self.0.to_bits() as i64;
+        (if bits < 0 { !bits } else { bits ^ i64::MIN }) as u64
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for F64 {}
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+impl fmt::Debug for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_nan() {
+            write!(f, "NaN")
+        } else if self.0.is_infinite() {
+            write!(f, "{}Infinity", if self.0 < 0.0 { "-" } else { "" })
+        } else if self.0 == self.0.trunc() && self.0.abs() < 1e15 {
+            write!(f, "{:.1}", self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+impl From<f64> for F64 {
+    fn from(x: f64) -> Self {
+        F64::new(x)
+    }
+}
+
+/// An uninterpreted symbol `ς ∈ U` (paper §2.1).
+///
+/// Uninterpreted symbols are opaque, pairwise-distinct constants. The
+/// built-in allocator mints them via the `uSym` command; instantiations use
+/// them for heap locations (While, MiniJS), memory blocks (MiniC), and
+/// distinguished language constants (`undefined`, `null`).
+///
+/// Symbols with ids below [`Sym::FIRST_FRESH`] are *reserved* and never
+/// produced by allocators, so instantiations may claim them statically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u64);
+
+impl Sym {
+    /// The first symbol id that allocators are allowed to mint.
+    /// Ids `0..FIRST_FRESH` are reserved for instantiation constants.
+    pub const FIRST_FRESH: u64 = 64;
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$ς{}", self.0)
+    }
+}
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$ς{}", self.0)
+    }
+}
+
+/// The type of a GIL value (`τ ∈ T`, paper §2.1).
+///
+/// `typeOf` is total on values and is frequently used by compiled code for
+/// dynamic dispatch (e.g. the MiniJS runtime branches on the type of a
+/// property key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TypeTag {
+    /// 64-bit integers.
+    Int,
+    /// IEEE-754 doubles.
+    Num,
+    /// Strings.
+    Str,
+    /// Booleans.
+    Bool,
+    /// Uninterpreted symbols.
+    Sym,
+    /// Types themselves.
+    Type,
+    /// Procedure identifiers.
+    Proc,
+    /// Lists of values.
+    List,
+}
+
+impl TypeTag {
+    /// All type tags, in canonical order.
+    pub const ALL: [TypeTag; 8] = [
+        TypeTag::Int,
+        TypeTag::Num,
+        TypeTag::Str,
+        TypeTag::Bool,
+        TypeTag::Sym,
+        TypeTag::Type,
+        TypeTag::Proc,
+        TypeTag::List,
+    ];
+
+    /// The name used by the pretty-printer and parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeTag::Int => "Int",
+            TypeTag::Num => "Num",
+            TypeTag::Str => "Str",
+            TypeTag::Bool => "Bool",
+            TypeTag::Sym => "Sym",
+            TypeTag::Type => "Type",
+            TypeTag::Proc => "Proc",
+            TypeTag::List => "List",
+        }
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A GIL value (paper §2.1).
+///
+/// Values are immutable; lists are plain vectors and strings are shared
+/// [`Arc<str>`] so that cloning program states (which symbolic execution
+/// does on every branch) stays cheap.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// A 64-bit integer `n`.
+    Int(i64),
+    /// An IEEE-754 double `n` with total ordering.
+    Num(F64),
+    /// A string `s`.
+    Str(Arc<str>),
+    /// A boolean `b`.
+    Bool(bool),
+    /// An uninterpreted symbol `ς`.
+    Sym(Sym),
+    /// A type `τ`.
+    Type(TypeTag),
+    /// A procedure identifier `f`.
+    Proc(Arc<str>),
+    /// A list of values `v̄`.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a number value from an `f64`.
+    pub fn num(x: f64) -> Value {
+        Value::Num(F64::new(x))
+    }
+
+    /// Builds a procedure-identifier value.
+    pub fn proc(name: impl AsRef<str>) -> Value {
+        Value::Proc(Arc::from(name.as_ref()))
+    }
+
+    /// The empty list `[]` (nil).
+    pub fn nil() -> Value {
+        Value::List(Vec::new())
+    }
+
+    /// The type tag of this value.
+    pub fn type_of(&self) -> TypeTag {
+        match self {
+            Value::Int(_) => TypeTag::Int,
+            Value::Num(_) => TypeTag::Num,
+            Value::Str(_) => TypeTag::Str,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Sym(_) => TypeTag::Sym,
+            Value::Type(_) => TypeTag::Type,
+            Value::Proc(_) => TypeTag::Proc,
+            Value::List(_) => TypeTag::List,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this is an uninterpreted symbol.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`, accepting both `Int` and `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Num(x) => Some(x.get()),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::num(x)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
+        Value::Sym(s)
+    }
+}
+impl From<TypeTag> for Value {
+    fn from(t: TypeTag) -> Self {
+        Value::Type(t)
+    }
+}
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Num(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Type(t) => write!(f, "{t}"),
+            Value::Proc(p) => write!(f, "@{p}"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_total_order_handles_nan_and_zero() {
+        assert_eq!(F64::new(f64::NAN), F64::new(f64::NAN));
+        assert!(F64::new(f64::NEG_INFINITY) < F64::new(-1.0));
+        assert!(F64::new(-0.0) < F64::new(0.0));
+        assert!(F64::new(0.0) < F64::new(f64::INFINITY));
+        assert!(F64::new(f64::INFINITY) < F64::new(f64::NAN));
+    }
+
+    #[test]
+    fn type_of_covers_every_variant() {
+        let cases: Vec<(Value, TypeTag)> = vec![
+            (Value::Int(3), TypeTag::Int),
+            (Value::num(3.5), TypeTag::Num),
+            (Value::str("hi"), TypeTag::Str),
+            (Value::Bool(true), TypeTag::Bool),
+            (Value::Sym(Sym(7)), TypeTag::Sym),
+            (Value::Type(TypeTag::List), TypeTag::Type),
+            (Value::proc("f"), TypeTag::Proc),
+            (Value::nil(), TypeTag::List),
+        ];
+        for (v, t) in cases {
+            assert_eq!(v.type_of(), t, "{v}");
+        }
+    }
+
+    #[test]
+    fn int_and_num_are_never_equal() {
+        assert_ne!(Value::Int(1), Value::num(1.0));
+    }
+
+    #[test]
+    fn display_is_reparseable_shapes() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::num(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(false)]).to_string(),
+            "[1, false]"
+        );
+    }
+
+    #[test]
+    fn values_order_deterministically() {
+        let mut vs = vec![Value::str("b"), Value::Int(2), Value::str("a"), Value::Int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+}

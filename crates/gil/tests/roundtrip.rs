@@ -1,0 +1,168 @@
+//! Property test: the `.gil` text format round-trips — parsing the
+//! pretty-printer's output reproduces the original program exactly.
+
+use gillian_gil::parser::{parse_expr, parse_prog};
+use gillian_gil::{BinOp, Cmd, Expr, LVar, Proc, Prog, Sym, TypeTag, UnOp, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles plus the printable special values.
+        prop_oneof![
+            (-1e9f64..1e9).prop_map(Value::num),
+            Just(Value::num(f64::NAN)),
+            Just(Value::num(f64::INFINITY)),
+            Just(Value::num(f64::NEG_INFINITY)),
+            Just(Value::num(-0.0)),
+        ],
+        "[ -~]{0,6}".prop_map(|s| Value::str(&s)), // printable ASCII
+        any::<bool>().prop_map(Value::Bool),
+        (0u64..500).prop_map(|i| Value::Sym(Sym(i))),
+        proptest::sample::select(TypeTag::ALL.to_vec()).prop_map(Value::Type),
+        "[a-z][a-z0-9_]{0,5}".prop_map(|s| Value::proc(&s)),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        proptest::collection::vec(inner, 0..3).prop_map(Value::List)
+    })
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Not),
+        Just(UnOp::Neg),
+        Just(UnOp::TypeOf),
+        Just(UnOp::IntToNum),
+        Just(UnOp::NumToInt),
+        Just(UnOp::ToStr),
+        Just(UnOp::StrLen),
+        Just(UnOp::LstLen),
+        Just(UnOp::LstHead),
+        Just(UnOp::LstTail),
+        Just(UnOp::LstRev),
+        Just(UnOp::BitNot),
+        (1u8..=64).prop_map(UnOp::WrapSigned),
+        (1u8..=64).prop_map(UnOp::WrapUnsigned),
+        Just(UnOp::Floor),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    proptest::sample::select(vec![
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Eq,
+        BinOp::Lt,
+        BinOp::Leq,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::BitAnd,
+        BinOp::BitOr,
+        BinOp::BitXor,
+        BinOp::Shl,
+        BinOp::ShrA,
+        BinOp::ShrL,
+        BinOp::LstNth,
+        BinOp::StrNth,
+        BinOp::LstCons,
+        BinOp::LstSub,
+    ])
+}
+
+/// Variable names that cannot collide with parser keywords.
+fn arb_var() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "true" | "false" | "goto" | "ifgoto" | "return" | "fail" | "vanish" | "skip"
+                | "proc" | "not" | "floor" | "and" | "or" | "to_str"
+        ) && !s.starts_with("wrap_")
+            && !s.starts_with("int_to_num")
+            && !s.starts_with("num_to_int")
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Val),
+        arb_var().prop_map(Expr::pvar),
+        (0u64..100).prop_map(|i| Expr::lvar(LVar(i))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (arb_unop(), inner.clone()).prop_map(|(op, e)| e.un(op)),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| a.bin(op, b)),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::StrCat),
+            proptest::collection::vec(inner, 1..3).prop_map(Expr::LstCat),
+        ]
+    })
+}
+
+fn arb_cmd(body_len: usize) -> impl Strategy<Value = Cmd> {
+    let label = 0..body_len.max(1);
+    prop_oneof![
+        (arb_var(), arb_expr()).prop_map(|(x, e)| Cmd::assign(x, e)),
+        (arb_expr(), label.clone()).prop_map(|(e, l)| Cmd::IfGoto(e, l)),
+        label.clone().prop_map(Cmd::Goto),
+        (
+            arb_var(),
+            arb_expr(),
+            proptest::collection::vec(arb_expr(), 0..3)
+        )
+            .prop_map(|(lhs, proc, args)| Cmd::call(lhs, proc, args)),
+        arb_expr().prop_map(Cmd::Return),
+        arb_expr().prop_map(Cmd::Fail),
+        Just(Cmd::Vanish),
+        (arb_var(), arb_var(), arb_expr())
+            .prop_map(|(lhs, name, arg)| Cmd::action(lhs, name, arg)),
+        (arb_var(), 0u32..1000).prop_map(|(x, s)| Cmd::usym(x, s)),
+        (arb_var(), 0u32..1000).prop_map(|(x, s)| Cmd::isym(x, s)),
+        Just(Cmd::Skip),
+    ]
+}
+
+fn arb_prog() -> impl Strategy<Value = Prog> {
+    proptest::collection::btree_map(
+        arb_var(),
+        (
+            proptest::collection::vec(arb_var(), 0..3),
+            proptest::collection::vec(arb_cmd(6), 1..6),
+        ),
+        1..4,
+    )
+    .prop_map(|procs| {
+        Prog::from_procs(procs.into_iter().map(|(name, (params, body))| {
+            // Deduplicate parameter names positionally.
+            let params: Vec<String> = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| format!("{p}{i}"))
+                .collect();
+            Proc::new(&name, params.iter().map(String::as_str), body)
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn expr_round_trips(e in arb_expr()) {
+        let printed = e.to_string();
+        let parsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        prop_assert_eq!(&parsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn prog_round_trips(p in arb_prog()) {
+        let printed = p.to_string();
+        let parsed = parse_prog(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse program: {err}\n{printed}"));
+        prop_assert_eq!(&parsed, &p, "printed:\n{}", printed);
+    }
+}

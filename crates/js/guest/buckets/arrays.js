@@ -1,0 +1,76 @@
+// Buckets-style array utilities (the `arrays` module of Buckets.js).
+// MiniJS arrays are objects with numeric keys 0..length-1 and a `length`
+// property; these helpers maintain that invariant.
+
+function arrPush(arr, item) {
+    arr[arr.length] = item;
+    arr.length = arr.length + 1;
+    return arr;
+}
+
+function arrIndexOf(arr, item) {
+    var length = arr.length;
+    for (var i = 0; i < length; i = i + 1) {
+        if (arr[i] === item) { return i; }
+    }
+    return -1;
+}
+
+function arrLastIndexOf(arr, item) {
+    for (var i = arr.length - 1; i >= 0; i = i - 1) {
+        if (arr[i] === item) { return i; }
+    }
+    return -1;
+}
+
+function arrContains(arr, item) {
+    return arrIndexOf(arr, item) >= 0;
+}
+
+function arrFrequency(arr, item) {
+    var freq = 0;
+    for (var i = 0; i < arr.length; i = i + 1) {
+        if (arr[i] === item) { freq = freq + 1; }
+    }
+    return freq;
+}
+
+function arrEquals(a, b) {
+    if (a.length !== b.length) { return false; }
+    for (var i = 0; i < a.length; i = i + 1) {
+        if (a[i] !== b[i]) { return false; }
+    }
+    return true;
+}
+
+function arrRemoveAt(arr, index) {
+    if (index < 0 || index >= arr.length) { return false; }
+    for (var i = index; i < arr.length - 1; i = i + 1) {
+        arr[i] = arr[i + 1];
+    }
+    delete arr[arr.length - 1];
+    arr.length = arr.length - 1;
+    return true;
+}
+
+function arrRemove(arr, item) {
+    var index = arrIndexOf(arr, item);
+    if (index < 0) { return false; }
+    return arrRemoveAt(arr, index);
+}
+
+function arrSwap(arr, i, j) {
+    if (i < 0 || i >= arr.length || j < 0 || j >= arr.length) { return false; }
+    var temp = arr[i];
+    arr[i] = arr[j];
+    arr[j] = temp;
+    return true;
+}
+
+function arrCopy(arr) {
+    var out = [];
+    for (var i = 0; i < arr.length; i = i + 1) {
+        arrPush(out, arr[i]);
+    }
+    return out;
+}

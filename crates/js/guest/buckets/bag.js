@@ -1,0 +1,61 @@
+// Multiset (the `Bag` of Buckets.js): a dictionary of element counts.
+
+function bagNew() {
+    var bag = { dict: dictNew(), nElements: 0 };
+    bag.add = bagAdd;
+    bag.count = bagCount;
+    bag.contains = bagContains;
+    bag.remove = bagRemove;
+    bag.size = bagSize;
+    bag.isEmpty = bagIsEmpty;
+    bag.clear = bagClear;
+    return bag;
+}
+
+function bagAdd(bag, item) {
+    if (item === undefined) { return false; }
+    var count = dictGet(bag.dict, item);
+    if (count === undefined) {
+        dictSet(bag.dict, item, 1);
+    } else {
+        dictSet(bag.dict, item, count + 1);
+    }
+    bag.nElements = bag.nElements + 1;
+    return true;
+}
+
+function bagCount(bag, item) {
+    var count = dictGet(bag.dict, item);
+    if (count === undefined) { return 0; }
+    return count;
+}
+
+function bagContains(bag, item) {
+    return bagCount(bag, item) > 0;
+}
+
+function bagRemove(bag, item) {
+    var count = dictGet(bag.dict, item);
+    if (count === undefined) { return false; }
+    if (count === 1) {
+        dictRemove(bag.dict, item);
+    } else {
+        dictSet(bag.dict, item, count - 1);
+    }
+    bag.nElements = bag.nElements - 1;
+    return true;
+}
+
+function bagSize(bag) {
+    return bag.nElements;
+}
+
+function bagIsEmpty(bag) {
+    return bag.nElements === 0;
+}
+
+function bagClear(bag) {
+    dictClear(bag.dict);
+    bag.nElements = 0;
+    return undefined;
+}

@@ -1,0 +1,146 @@
+// Binary search tree (the `BSTree` of Buckets.js, default numeric order).
+
+function bstNew() {
+    var tree = { root: null, nElements: 0 };
+    tree.insert = bstInsert;
+    tree.contains = bstContains;
+    tree.min = bstMin;
+    tree.max = bstMax;
+    tree.size = bstSize;
+    tree.height = bstHeight;
+    tree.remove = bstRemove;
+    tree.inorder = bstInorder;
+    tree.isEmpty = bstIsEmpty;
+    return tree;
+}
+
+function bstInsert(tree, value) {
+    var node = { value: value, left: null, right: null };
+    if (tree.root === null) {
+        tree.root = node;
+        tree.nElements = tree.nElements + 1;
+        return true;
+    }
+    var current = tree.root;
+    while (true) {
+        if (value === current.value) { return false; }
+        if (value < current.value) {
+            if (current.left === null) {
+                current.left = node;
+                tree.nElements = tree.nElements + 1;
+                return true;
+            }
+            current = current.left;
+        } else {
+            if (current.right === null) {
+                current.right = node;
+                tree.nElements = tree.nElements + 1;
+                return true;
+            }
+            current = current.right;
+        }
+    }
+    return false;
+}
+
+function bstContains(tree, value) {
+    var current = tree.root;
+    while (current !== null) {
+        if (value === current.value) { return true; }
+        if (value < current.value) {
+            current = current.left;
+        } else {
+            current = current.right;
+        }
+    }
+    return false;
+}
+
+function bstMin(tree) {
+    if (tree.root === null) { return undefined; }
+    var current = tree.root;
+    while (current.left !== null) {
+        current = current.left;
+    }
+    return current.value;
+}
+
+function bstMax(tree) {
+    if (tree.root === null) { return undefined; }
+    var current = tree.root;
+    while (current.right !== null) {
+        current = current.right;
+    }
+    return current.value;
+}
+
+function bstSize(tree) {
+    return tree.nElements;
+}
+
+function bstHeightOf(node) {
+    if (node === null) { return -1; }
+    var hl = bstHeightOf(node.left);
+    var hr = bstHeightOf(node.right);
+    if (hl > hr) { return hl + 1; }
+    return hr + 1;
+}
+
+function bstHeight(tree) {
+    return bstHeightOf(tree.root);
+}
+
+function bstIsEmpty(tree) {
+    return tree.nElements === 0;
+}
+
+function bstInorderNode(node, out) {
+    if (node === null) { return undefined; }
+    bstInorderNode(node.left, out);
+    arrPush(out, node.value);
+    bstInorderNode(node.right, out);
+    return undefined;
+}
+
+function bstInorder(tree) {
+    var out = [];
+    bstInorderNode(tree.root, out);
+    return out;
+}
+
+function bstMinNode(node) {
+    while (node.left !== null) {
+        node = node.left;
+    }
+    return node;
+}
+
+function bstRemoveNode(node, value, tree) {
+    // Returns the new subtree root after removing `value` from `node`.
+    if (node === null) { return null; }
+    if (value < node.value) {
+        node.left = bstRemoveNode(node.left, value, tree);
+        return node;
+    }
+    if (value > node.value) {
+        node.right = bstRemoveNode(node.right, value, tree);
+        return node;
+    }
+    // Found it.
+    tree.nElements = tree.nElements - 1;
+    if (node.left === null) { return node.right; }
+    if (node.right === null) { return node.left; }
+    var successor = bstMinNode(node.right);
+    node.value = successor.value;
+    // The successor's value is removed from the right subtree; do not
+    // decrement the count twice for it.
+    tree.nElements = tree.nElements + 1;
+    node.right = bstRemoveNode(node.right, successor.value, tree);
+    return node;
+}
+
+function bstRemove(tree, value) {
+    if (!bstContains(tree, value)) { return false; }
+    tree.root = bstRemoveNode(tree.root, value, tree);
+    return true;
+}

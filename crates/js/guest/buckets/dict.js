@@ -1,0 +1,63 @@
+// Dictionary (the `Dictionary` of Buckets.js). MiniJS objects accept any
+// value as a property key, so no string hashing is needed; a key list is
+// maintained for enumeration, as real JS dictionary implementations do.
+
+function dictNew() {
+    var dict = { table: {}, keylist: [], nElements: 0 };
+    dict.get = dictGet;
+    dict.set = dictSet;
+    dict.remove = dictRemove;
+    dict.containsKey = dictContainsKey;
+    dict.size = dictSize;
+    dict.isEmpty = dictIsEmpty;
+    dict.keys = dictKeys;
+    dict.clear = dictClear;
+    return dict;
+}
+
+function dictGet(dict, key) {
+    return dict.table[key];
+}
+
+function dictSet(dict, key, value) {
+    if (value === undefined) { return undefined; }
+    var previous = dict.table[key];
+    if (previous === undefined) {
+        arrPush(dict.keylist, key);
+        dict.nElements = dict.nElements + 1;
+    }
+    dict.table[key] = value;
+    return previous;
+}
+
+function dictRemove(dict, key) {
+    var previous = dict.table[key];
+    if (previous === undefined) { return undefined; }
+    delete dict.table[key];
+    arrRemove(dict.keylist, key);
+    dict.nElements = dict.nElements - 1;
+    return previous;
+}
+
+function dictContainsKey(dict, key) {
+    return dict.table[key] !== undefined;
+}
+
+function dictSize(dict) {
+    return dict.nElements;
+}
+
+function dictIsEmpty(dict) {
+    return dict.nElements === 0;
+}
+
+function dictKeys(dict) {
+    return arrCopy(dict.keylist);
+}
+
+function dictClear(dict) {
+    dict.table = {};
+    dict.keylist = [];
+    dict.nElements = 0;
+    return undefined;
+}

@@ -1,0 +1,72 @@
+// Binary min-heap over an array (the `Heap` of Buckets.js, with the
+// default numeric comparison).
+
+function heapNew() {
+    var heap = { data: [] };
+    heap.push = heapPush;
+    heap.pop = heapPop;
+    heap.peek = heapPeek;
+    heap.size = heapSize;
+    heap.isEmpty = heapIsEmpty;
+    return heap;
+}
+
+function heapMinIndex(heap, left, right) {
+    if (right >= heap.data.length) {
+        if (left >= heap.data.length) { return -1; }
+        return left;
+    }
+    if (heap.data[left] <= heap.data[right]) { return left; }
+    return right;
+}
+
+function heapSiftUp(heap, index) {
+    var parent = floor((index - 1) / 2);
+    while (index > 0 && heap.data[parent] > heap.data[index]) {
+        arrSwap(heap.data, parent, index);
+        index = parent;
+        parent = floor((index - 1) / 2);
+    }
+    return undefined;
+}
+
+function heapSiftDown(heap, nodeIndex) {
+    var min = heapMinIndex(heap, (2 * nodeIndex) + 1, (2 * nodeIndex) + 2);
+    while (min >= 0 && heap.data[nodeIndex] > heap.data[min]) {
+        arrSwap(heap.data, min, nodeIndex);
+        nodeIndex = min;
+        min = heapMinIndex(heap, (2 * nodeIndex) + 1, (2 * nodeIndex) + 2);
+    }
+    return undefined;
+}
+
+function heapPush(heap, element) {
+    arrPush(heap.data, element);
+    heapSiftUp(heap, heap.data.length - 1);
+    return true;
+}
+
+function heapPop(heap) {
+    if (heap.data.length === 0) { return undefined; }
+    var element = heap.data[0];
+    var last = heap.data[heap.data.length - 1];
+    arrRemoveAt(heap.data, heap.data.length - 1);
+    if (heap.data.length > 0) {
+        heap.data[0] = last;
+        heapSiftDown(heap, 0);
+    }
+    return element;
+}
+
+function heapPeek(heap) {
+    if (heap.data.length === 0) { return undefined; }
+    return heap.data[0];
+}
+
+function heapSize(heap) {
+    return heap.data.length;
+}
+
+function heapIsEmpty(heap) {
+    return heap.data.length === 0;
+}

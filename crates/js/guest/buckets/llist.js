@@ -1,0 +1,129 @@
+// Singly linked list with a tail pointer (the `LinkedList` of Buckets.js).
+// Constructor functions attach methods as function-valued properties; the
+// compiler threads the receiver as the callee's first argument.
+
+function llNew() {
+    var list = { firstNode: null, lastNode: null, nElements: 0 };
+    list.add = llAdd;
+    list.get = llGet;
+    list.indexOf = llIndexOf;
+    list.remove = llRemove;
+    list.size = llSize;
+    list.first = llFirst;
+    list.last = llLast;
+    list.isEmpty = llIsEmpty;
+    list.clear = llClear;
+    list.toArray = llToArray;
+    list.reverse = llReverse;
+    return list;
+}
+
+function llAdd(list, item) {
+    var newNode = { element: item, next: null };
+    if (list.firstNode === null) {
+        list.firstNode = newNode;
+        list.lastNode = newNode;
+    } else {
+        list.lastNode.next = newNode;
+        list.lastNode = newNode;
+    }
+    list.nElements = list.nElements + 1;
+    return true;
+}
+
+function llNodeAt(list, index) {
+    if (index < 0 || index >= list.nElements) { return null; }
+    var node = list.firstNode;
+    for (var i = 0; i < index; i = i + 1) {
+        node = node.next;
+    }
+    return node;
+}
+
+function llGet(list, index) {
+    var node = llNodeAt(list, index);
+    if (node === null) { return undefined; }
+    return node.element;
+}
+
+function llIndexOf(list, item) {
+    var node = list.firstNode;
+    var index = 0;
+    while (node !== null) {
+        if (node.element === item) { return index; }
+        index = index + 1;
+        node = node.next;
+    }
+    return -1;
+}
+
+function llRemove(list, item) {
+    var previous = null;
+    var node = list.firstNode;
+    while (node !== null) {
+        if (node.element === item) {
+            if (previous === null) {
+                list.firstNode = node.next;
+            } else {
+                previous.next = node.next;
+            }
+            if (node === list.lastNode) {
+                list.lastNode = previous;
+            }
+            list.nElements = list.nElements - 1;
+            return true;
+        }
+        previous = node;
+        node = node.next;
+    }
+    return false;
+}
+
+function llSize(list) {
+    return list.nElements;
+}
+
+function llFirst(list) {
+    if (list.firstNode === null) { return undefined; }
+    return list.firstNode.element;
+}
+
+function llLast(list) {
+    if (list.lastNode === null) { return undefined; }
+    return list.lastNode.element;
+}
+
+function llIsEmpty(list) {
+    return list.nElements === 0;
+}
+
+function llClear(list) {
+    list.firstNode = null;
+    list.lastNode = null;
+    list.nElements = 0;
+    return undefined;
+}
+
+function llToArray(list) {
+    var out = [];
+    var node = list.firstNode;
+    while (node !== null) {
+        arrPush(out, node.element);
+        node = node.next;
+    }
+    return out;
+}
+
+function llReverse(list) {
+    var previous = null;
+    var node = list.firstNode;
+    list.lastNode = list.firstNode;
+    while (node !== null) {
+        var next = node.next;
+        node.next = previous;
+        previous = node;
+        node = next;
+    }
+    list.firstNode = previous;
+    return undefined;
+}

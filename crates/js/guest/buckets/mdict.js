@@ -1,0 +1,51 @@
+// Multi-dictionary (the `MultiDictionary` of Buckets.js): a dictionary
+// from keys to arrays of distinct values.
+
+function mdictNew() {
+    var md = { dict: dictNew() };
+    md.set = mdictSet;
+    md.get = mdictGet;
+    md.remove = mdictRemove;
+    md.removeAll = mdictRemoveAll;
+    md.containsKey = mdictContainsKey;
+    md.size = mdictSize;
+    return md;
+}
+
+function mdictSet(md, key, value) {
+    if (value === undefined) { return false; }
+    var arr = dictGet(md.dict, key);
+    if (arr === undefined) {
+        arr = [];
+        dictSet(md.dict, key, arr);
+    }
+    if (arrContains(arr, value)) { return false; }
+    arrPush(arr, value);
+    return true;
+}
+
+function mdictGet(md, key) {
+    return dictGet(md.dict, key);
+}
+
+function mdictRemove(md, key, value) {
+    var arr = dictGet(md.dict, key);
+    if (arr === undefined) { return false; }
+    var removed = arrRemove(arr, value);
+    if (removed && arr.length === 0) {
+        dictRemove(md.dict, key);
+    }
+    return removed;
+}
+
+function mdictRemoveAll(md, key) {
+    return dictRemove(md.dict, key) !== undefined;
+}
+
+function mdictContainsKey(md, key) {
+    return dictContainsKey(md.dict, key);
+}
+
+function mdictSize(md) {
+    return dictSize(md.dict);
+}

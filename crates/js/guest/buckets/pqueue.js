@@ -1,0 +1,72 @@
+// Priority queue over a pair-heap (the `PriorityQueue` of Buckets.js;
+// MiniJS dequeues the *lowest* priority value first).
+
+function pqNew() {
+    var pq = { data: [] };
+    pq.enqueue = pqEnqueue;
+    pq.dequeue = pqDequeue;
+    pq.peek = pqPeek;
+    pq.size = pqSize;
+    pq.isEmpty = pqIsEmpty;
+    return pq;
+}
+
+function pqMinIndex(pq, left, right) {
+    if (right >= pq.data.length) {
+        if (left >= pq.data.length) { return -1; }
+        return left;
+    }
+    if (pq.data[left].priority <= pq.data[right].priority) { return left; }
+    return right;
+}
+
+function pqSiftUp(pq, index) {
+    var parent = floor((index - 1) / 2);
+    while (index > 0 && pq.data[parent].priority > pq.data[index].priority) {
+        arrSwap(pq.data, parent, index);
+        index = parent;
+        parent = floor((index - 1) / 2);
+    }
+    return undefined;
+}
+
+function pqSiftDown(pq, nodeIndex) {
+    var min = pqMinIndex(pq, (2 * nodeIndex) + 1, (2 * nodeIndex) + 2);
+    while (min >= 0 && pq.data[nodeIndex].priority > pq.data[min].priority) {
+        arrSwap(pq.data, min, nodeIndex);
+        nodeIndex = min;
+        min = pqMinIndex(pq, (2 * nodeIndex) + 1, (2 * nodeIndex) + 2);
+    }
+    return undefined;
+}
+
+function pqEnqueue(pq, item, priority) {
+    arrPush(pq.data, { item: item, priority: priority });
+    pqSiftUp(pq, pq.data.length - 1);
+    return true;
+}
+
+function pqDequeue(pq) {
+    if (pq.data.length === 0) { return undefined; }
+    var pair = pq.data[0];
+    var last = pq.data[pq.data.length - 1];
+    arrRemoveAt(pq.data, pq.data.length - 1);
+    if (pq.data.length > 0) {
+        pq.data[0] = last;
+        pqSiftDown(pq, 0);
+    }
+    return pair.item;
+}
+
+function pqPeek(pq) {
+    if (pq.data.length === 0) { return undefined; }
+    return pq.data[0].item;
+}
+
+function pqSize(pq) {
+    return pq.data.length;
+}
+
+function pqIsEmpty(pq) {
+    return pq.data.length === 0;
+}

@@ -1,0 +1,39 @@
+// FIFO queue over the linked list (the `Queue` of Buckets.js).
+
+function queueNew() {
+    var q = { list: llNew() };
+    q.enqueue = queueEnqueue;
+    q.dequeue = queueDequeue;
+    q.peek = queuePeek;
+    q.size = queueSize;
+    q.isEmpty = queueIsEmpty;
+    q.clear = queueClear;
+    return q;
+}
+
+function queueEnqueue(q, item) {
+    return llAdd(q.list, item);
+}
+
+function queueDequeue(q) {
+    if (llSize(q.list) === 0) { return undefined; }
+    var element = llFirst(q.list);
+    llRemove(q.list, element);
+    return element;
+}
+
+function queuePeek(q) {
+    return llFirst(q.list);
+}
+
+function queueSize(q) {
+    return llSize(q.list);
+}
+
+function queueIsEmpty(q) {
+    return llSize(q.list) === 0;
+}
+
+function queueClear(q) {
+    return llClear(q.list);
+}

@@ -1,0 +1,60 @@
+// Set over a dictionary (the `Set` of Buckets.js).
+
+function setNew() {
+    var set = { dict: dictNew() };
+    set.add = setAdd;
+    set.contains = setContains;
+    set.remove = setRemove;
+    set.size = setSize;
+    set.isEmpty = setIsEmpty;
+    set.toArray = setToArray;
+    set.union = setUnion;
+    set.intersection = setIntersection;
+    return set;
+}
+
+function setContains(set, item) {
+    return dictContainsKey(set.dict, item);
+}
+
+function setAdd(set, item) {
+    if (setContains(set, item) || item === undefined) { return false; }
+    dictSet(set.dict, item, item);
+    return true;
+}
+
+function setRemove(set, item) {
+    if (!setContains(set, item)) { return false; }
+    dictRemove(set.dict, item);
+    return true;
+}
+
+function setSize(set) {
+    return dictSize(set.dict);
+}
+
+function setIsEmpty(set) {
+    return setSize(set) === 0;
+}
+
+function setToArray(set) {
+    return dictKeys(set.dict);
+}
+
+function setUnion(set, other) {
+    var arr = setToArray(other);
+    for (var i = 0; i < arr.length; i = i + 1) {
+        setAdd(set, arr[i]);
+    }
+    return undefined;
+}
+
+function setIntersection(set, other) {
+    var arr = setToArray(set);
+    for (var i = 0; i < arr.length; i = i + 1) {
+        if (!setContains(other, arr[i])) {
+            setRemove(set, arr[i]);
+        }
+    }
+    return undefined;
+}

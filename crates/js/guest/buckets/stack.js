@@ -1,0 +1,36 @@
+// LIFO stack over an array (the `Stack` of Buckets.js).
+
+function stackNew() {
+    var s = { data: [] };
+    s.push = stackPush;
+    s.pop = stackPop;
+    s.peek = stackPeek;
+    s.size = stackSize;
+    s.isEmpty = stackIsEmpty;
+    return s;
+}
+
+function stackPush(s, item) {
+    arrPush(s.data, item);
+    return true;
+}
+
+function stackPop(s) {
+    if (s.data.length === 0) { return undefined; }
+    var element = s.data[s.data.length - 1];
+    arrRemoveAt(s.data, s.data.length - 1);
+    return element;
+}
+
+function stackPeek(s) {
+    if (s.data.length === 0) { return undefined; }
+    return s.data[s.data.length - 1];
+}
+
+function stackSize(s) {
+    return s.data.length;
+}
+
+function stackIsEmpty(s) {
+    return s.data.length === 0;
+}

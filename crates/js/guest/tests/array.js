@@ -1,0 +1,97 @@
+// Symbolic tests for the array utilities (Table 1 row `array`, #T = 9).
+
+function test_array_1() {
+    var a = symb_number();
+    var b = symb_number();
+    var arr = [a, b];
+    assert(arr.length === 2);
+    assert(arr[0] === a);
+    assert(arr[1] === b);
+}
+
+function test_array_2() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var arr = [a, b, a];
+    assert(arrIndexOf(arr, a) === 0);
+    assert(arrIndexOf(arr, b) === 1);
+    assert(arrLastIndexOf(arr, a) === 2);
+}
+
+function test_array_3() {
+    var a = symb_number();
+    var arr = [a];
+    assert(arrContains(arr, a));
+    var b = symb_number();
+    if (arrContains(arr, b)) {
+        assert(a === b);
+    } else {
+        assert(a !== b);
+    }
+}
+
+function test_array_4() {
+    var a = symb_number();
+    var b = symb_number();
+    var arr = [a, b, a];
+    assume(a !== b);
+    assert(arrFrequency(arr, a) === 2);
+    assert(arrFrequency(arr, b) === 1);
+    assert(arrFrequency(arr, a + b + 1000000) >= 0);
+}
+
+function test_array_5() {
+    var a = symb_number();
+    var b = symb_number();
+    var x = [a, b];
+    var y = arrCopy(x);
+    assert(arrEquals(x, y));
+    assert(x !== y);
+}
+
+function test_array_6() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var arr = [a, b];
+    var removed = arrRemove(arr, a);
+    assert(removed);
+    assert(arr.length === 1);
+    assert(arr[0] === b);
+    assert(!arrContains(arr, a));
+}
+
+function test_array_7() {
+    var a = symb_number();
+    var b = symb_number();
+    var arr = [a, b];
+    arrSwap(arr, 0, 1);
+    assert(arr[0] === b);
+    assert(arr[1] === a);
+    assert(!arrSwap(arr, 0, 5));
+}
+
+function test_array_8() {
+    var arr = [];
+    assert(arr.length === 0);
+    assert(arrIndexOf(arr, 1) === -1);
+    assert(!arrRemove(arr, 1));
+    var a = symb_number();
+    arrPush(arr, a);
+    assert(arr.length === 1);
+    assert(arr[0] === a);
+}
+
+function test_array_9() {
+    var a = symb_number();
+    var b = symb_number();
+    var x = [a];
+    var y = [a, b];
+    assert(!arrEquals(x, y));
+    arrPush(x, b);
+    assert(arrEquals(x, y));
+    arrRemoveAt(x, 0);
+    assert(x.length === 1);
+    assert(x[0] === b);
+}

@@ -1,0 +1,82 @@
+// Symbolic tests for the bag (Table 1 row `bag`, #T = 7).
+
+function test_bag_1() {
+    var a = symb_number();
+    var bag = bagNew();
+    assert(bag.count(a) === 0);
+    bag.add(a);
+    bag.add(a);
+    assert(bag.count(a) === 2);
+    assert(bag.size() === 2);
+}
+
+function test_bag_2() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var bag = bagNew();
+    bag.add(a);
+    bag.add(b);
+    bag.add(a);
+    assert(bag.count(a) === 2);
+    assert(bag.count(b) === 1);
+    assert(bag.size() === 3);
+}
+
+function test_bag_3() {
+    var a = symb_number();
+    var bag = bagNew();
+    bag.add(a);
+    assert(bag.contains(a));
+    var removed = bag.remove(a);
+    assert(removed);
+    assert(!bag.contains(a));
+    assert(bag.size() === 0);
+    assert(!bag.remove(a));
+}
+
+function test_bag_4() {
+    var a = symb_number();
+    var bag = bagNew();
+    bag.add(a);
+    bag.add(a);
+    bag.remove(a);
+    assert(bag.contains(a));
+    assert(bag.count(a) === 1);
+}
+
+function test_bag_5() {
+    // Aliasing: counts merge when the two inputs coincide.
+    var a = symb_number();
+    var b = symb_number();
+    var bag = bagNew();
+    bag.add(a);
+    bag.add(b);
+    if (a === b) {
+        assert(bag.count(a) === 2);
+    } else {
+        assert(bag.count(a) === 1);
+        assert(bag.count(b) === 1);
+    }
+    assert(bag.size() === 2);
+}
+
+function test_bag_6() {
+    var a = symb_number();
+    var bag = bagNew();
+    assert(bag.isEmpty());
+    bag.add(a);
+    assert(!bag.isEmpty());
+    bag.clear();
+    assert(bag.isEmpty());
+    assert(bag.count(a) === 0);
+}
+
+function test_bag_7() {
+    var bag = bagNew();
+    assert(!bag.add(undefined));
+    assert(bag.size() === 0);
+    var s = symb_string();
+    bag.add(s);
+    assert(bag.contains(s));
+}

@@ -1,0 +1,141 @@
+// Symbolic tests for the binary search tree (Table 1 row `bst`, #T = 11).
+
+function test_bst_1() {
+    var a = symb_number();
+    var tree = bstNew();
+    assert(tree.isEmpty());
+    assert(tree.insert(a));
+    assert(tree.contains(a));
+    assert(tree.size() === 1);
+    assert(!tree.insert(a));
+    assert(tree.size() === 1);
+}
+
+function test_bst_2() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var tree = bstNew();
+    tree.insert(a);
+    tree.insert(b);
+    assert(tree.size() === 2);
+    assert(tree.contains(a));
+    assert(tree.contains(b));
+}
+
+function test_bst_3() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a < b);
+    var tree = bstNew();
+    tree.insert(b);
+    tree.insert(a);
+    assert(tree.min() === a);
+    assert(tree.max() === b);
+}
+
+function test_bst_4() {
+    var a = symb_number();
+    var b = symb_number();
+    var c = symb_number();
+    assume(a < b && b < c);
+    var tree = bstNew();
+    tree.insert(b);
+    tree.insert(a);
+    tree.insert(c);
+    var sorted = tree.inorder();
+    assert(sorted.length === 3);
+    assert(sorted[0] === a);
+    assert(sorted[1] === b);
+    assert(sorted[2] === c);
+}
+
+function test_bst_5() {
+    var a = symb_number();
+    var tree = bstNew();
+    assert(tree.height() === -1);
+    tree.insert(a);
+    assert(tree.height() === 0);
+    tree.insert(a + 1);
+    tree.insert(a + 2);
+    assert(tree.height() === 2);
+}
+
+function test_bst_6() {
+    var a = symb_number();
+    var tree = bstNew();
+    tree.insert(a);
+    assert(tree.remove(a));
+    assert(!tree.contains(a));
+    assert(tree.size() === 0);
+    assert(!tree.remove(a));
+}
+
+function test_bst_7() {
+    // Remove a node with two children.
+    var a = symb_number();
+    assume(0 < a && a < 10);
+    var tree = bstNew();
+    tree.insert(a);
+    tree.insert(a - 5);
+    tree.insert(a + 5);
+    assert(tree.remove(a));
+    assert(tree.size() === 2);
+    assert(tree.contains(a - 5));
+    assert(tree.contains(a + 5));
+    assert(!tree.contains(a));
+}
+
+function test_bst_8() {
+    // Remove the root with one child.
+    var a = symb_number();
+    var tree = bstNew();
+    tree.insert(a);
+    tree.insert(a + 3);
+    assert(tree.remove(a));
+    assert(tree.contains(a + 3));
+    assert(tree.min() === a + 3);
+}
+
+function test_bst_9() {
+    var a = symb_number();
+    var b = symb_number();
+    var tree = bstNew();
+    tree.insert(a);
+    if (tree.contains(b)) {
+        assert(a === b);
+    } else {
+        assert(a !== b);
+    }
+}
+
+function test_bst_10() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a < b);
+    var tree = bstNew();
+    tree.insert(a);
+    tree.insert(b);
+    // In-order is sorted regardless of insertion order.
+    var s1 = tree.inorder();
+    var tree2 = bstNew();
+    tree2.insert(b);
+    tree2.insert(a);
+    var s2 = tree2.inorder();
+    assert(arrEquals(s1, s2));
+}
+
+function test_bst_11() {
+    var a = symb_number();
+    assume(a === 0 || a === 1 || a === 2);
+    var tree = bstNew();
+    tree.insert(0);
+    tree.insert(1);
+    tree.insert(2);
+    // `a` collides with exactly one of the three inserted keys.
+    assert(!tree.insert(a));
+    assert(tree.size() === 3);
+    assert(tree.remove(a));
+    assert(tree.size() === 2);
+    assert(!tree.contains(a));
+}

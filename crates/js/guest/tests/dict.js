@@ -1,0 +1,89 @@
+// Symbolic tests for the dictionary (Table 1 row `dict`, #T = 7).
+// Symbolic *keys* exercise the branching symbolic getProp (SGetProp).
+
+function test_dict_1() {
+    var k = symb_string();
+    var v = symb_number();
+    var dict = dictNew();
+    assert(dict.get(k) === undefined);
+    dict.set(k, v);
+    assert(dict.get(k) === v);
+    assert(dict.size() === 1);
+}
+
+function test_dict_2() {
+    var k1 = symb_string();
+    var k2 = symb_string();
+    assume(k1 !== k2);
+    var dict = dictNew();
+    dict.set(k1, 1);
+    dict.set(k2, 2);
+    assert(dict.size() === 2);
+    assert(dict.get(k1) === 1);
+    assert(dict.get(k2) === 2);
+}
+
+function test_dict_3() {
+    // Overwriting a key keeps the size and returns the previous value.
+    var k = symb_string();
+    var dict = dictNew();
+    dict.set(k, 1);
+    var previous = dict.set(k, 2);
+    assert(previous === 1);
+    assert(dict.size() === 1);
+    assert(dict.get(k) === 2);
+}
+
+function test_dict_4() {
+    var k = symb_string();
+    var v = symb_number();
+    var dict = dictNew();
+    dict.set(k, v);
+    var removed = dict.remove(k);
+    assert(removed === v);
+    assert(dict.size() === 0);
+    assert(!dict.containsKey(k));
+    assert(dict.remove(k) === undefined);
+}
+
+function test_dict_5() {
+    // Aliasing question: two symbolic keys may or may not collide.
+    var k1 = symb_string();
+    var k2 = symb_string();
+    var dict = dictNew();
+    dict.set(k1, 1);
+    dict.set(k2, 2);
+    if (k1 === k2) {
+        assert(dict.size() === 1);
+        assert(dict.get(k1) === 2);
+    } else {
+        assert(dict.size() === 2);
+        assert(dict.get(k1) === 1);
+    }
+}
+
+function test_dict_6() {
+    var k = symb_string();
+    var dict = dictNew();
+    // undefined values are rejected.
+    assert(dict.set(k, undefined) === undefined);
+    assert(dict.size() === 0);
+    dict.set(k, null);
+    assert(dict.containsKey(k));
+}
+
+function test_dict_7() {
+    var k1 = symb_string();
+    var k2 = symb_string();
+    assume(k1 !== k2);
+    var dict = dictNew();
+    dict.set(k1, "x");
+    dict.set(k2, "y");
+    var ks = dict.keys();
+    assert(ks.length === 2);
+    assert(arrContains(ks, k1));
+    assert(arrContains(ks, k2));
+    dict.clear();
+    assert(dict.isEmpty());
+    assert(dict.keys().length === 0);
+}

@@ -1,0 +1,52 @@
+// Symbolic tests for the binary heap (Table 1 row `heap`, #T = 4).
+
+function test_heap_1() {
+    var a = symb_number();
+    var b = symb_number();
+    var heap = heapNew();
+    heap.push(a);
+    heap.push(b);
+    assert(heap.size() === 2);
+    var top = heap.peek();
+    assert(top <= a);
+    assert(top <= b);
+}
+
+function test_heap_2() {
+    var a = symb_number();
+    var b = symb_number();
+    var c = symb_number();
+    var heap = heapNew();
+    heap.push(a);
+    heap.push(b);
+    heap.push(c);
+    // Pops come out in non-decreasing order.
+    var x = heap.pop();
+    var y = heap.pop();
+    var z = heap.pop();
+    assert(x <= y);
+    assert(y <= z);
+    assert(heap.isEmpty());
+}
+
+function test_heap_3() {
+    var heap = heapNew();
+    assert(heap.pop() === undefined);
+    assert(heap.peek() === undefined);
+    var a = symb_number();
+    heap.push(a);
+    assert(heap.pop() === a);
+    assert(heap.isEmpty());
+}
+
+function test_heap_4() {
+    var a = symb_number();
+    assume(0 < a && a < 100);
+    var heap = heapNew();
+    heap.push(a);
+    heap.push(a - 1);
+    heap.push(a + 1);
+    assert(heap.pop() === a - 1);
+    assert(heap.pop() === a);
+    assert(heap.pop() === a + 1);
+}

@@ -1,0 +1,113 @@
+// Symbolic tests for the linked list (Table 1 row `llist`, #T = 9).
+
+function test_llist_1() {
+    var a = symb_number();
+    var b = symb_number();
+    var list = llNew();
+    list.add(a);
+    list.add(b);
+    assert(list.size() === 2);
+    assert(list.get(0) === a);
+    assert(list.get(1) === b);
+}
+
+function test_llist_2() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var list = llNew();
+    list.add(a);
+    list.add(b);
+    assert(list.indexOf(a) === 0);
+    assert(list.indexOf(b) === 1);
+    assert(list.indexOf(a + b + 123456) === -1);
+}
+
+function test_llist_3() {
+    var a = symb_number();
+    var b = symb_number();
+    var list = llNew();
+    list.add(a);
+    list.add(b);
+    var removed = list.remove(a);
+    assert(removed);
+    assert(list.size() === 1);
+    assert(list.get(0) === b);
+}
+
+function test_llist_4() {
+    var a = symb_number();
+    var b = symb_number();
+    var list = llNew();
+    assert(list.first() === undefined);
+    assert(list.last() === undefined);
+    list.add(a);
+    assert(list.first() === a);
+    assert(list.last() === a);
+    list.add(b);
+    assert(list.first() === a);
+    assert(list.last() === b);
+}
+
+function test_llist_5() {
+    var a = symb_number();
+    var b = symb_number();
+    var c = symb_number();
+    var list = llNew();
+    list.add(a);
+    list.add(b);
+    list.add(c);
+    list.reverse();
+    assert(list.get(0) === c);
+    assert(list.get(1) === b);
+    assert(list.get(2) === a);
+    assert(list.first() === c);
+    assert(list.last() === a);
+}
+
+function test_llist_6() {
+    var a = symb_number();
+    var b = symb_number();
+    var list = llNew();
+    list.add(a);
+    list.add(b);
+    var arr = list.toArray();
+    assert(arr.length === 2);
+    assert(arr[0] === a);
+    assert(arr[1] === b);
+}
+
+function test_llist_7() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var list = llNew();
+    list.add(a);
+    assert(!list.remove(b));
+    assert(list.size() === 1);
+}
+
+function test_llist_8() {
+    var a = symb_number();
+    var list = llNew();
+    assert(list.isEmpty());
+    list.add(a);
+    assert(!list.isEmpty());
+    list.clear();
+    assert(list.isEmpty());
+    assert(list.size() === 0);
+    assert(list.get(0) === undefined);
+}
+
+function test_llist_9() {
+    var a = symb_number();
+    var list = llNew();
+    list.add(a);
+    assert(list.get(-1) === undefined);
+    assert(list.get(1) === undefined);
+    assert(list.get(0) === a);
+    // Removing the only element clears first and last.
+    list.remove(a);
+    assert(list.first() === undefined);
+    assert(list.last() === undefined);
+}

@@ -1,0 +1,72 @@
+// Symbolic tests for the multi-dictionary (Table 1 row `mdict`, #T = 6).
+
+function test_mdict_1() {
+    var k = symb_string();
+    var v = symb_number();
+    var md = mdictNew();
+    assert(md.get(k) === undefined);
+    assert(md.set(k, v));
+    var arr = md.get(k);
+    assert(arr.length === 1);
+    assert(arr[0] === v);
+}
+
+function test_mdict_2() {
+    var k = symb_string();
+    var md = mdictNew();
+    md.set(k, 1);
+    md.set(k, 2);
+    assert(md.get(k).length === 2);
+    // Duplicate values under one key are rejected.
+    assert(!md.set(k, 1));
+    assert(md.get(k).length === 2);
+}
+
+function test_mdict_3() {
+    var k1 = symb_string();
+    var k2 = symb_string();
+    assume(k1 !== k2);
+    var md = mdictNew();
+    md.set(k1, 1);
+    md.set(k2, 2);
+    assert(md.size() === 2);
+    assert(md.containsKey(k1));
+    assert(md.containsKey(k2));
+}
+
+function test_mdict_4() {
+    var k = symb_string();
+    var v = symb_number();
+    var md = mdictNew();
+    md.set(k, v);
+    assert(md.remove(k, v));
+    // Removing the last value removes the key entirely.
+    assert(!md.containsKey(k));
+    assert(!md.remove(k, v));
+}
+
+function test_mdict_5() {
+    var k = symb_string();
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var md = mdictNew();
+    md.set(k, a);
+    md.set(k, b);
+    assert(md.remove(k, a));
+    assert(md.containsKey(k));
+    var arr = md.get(k);
+    assert(arr.length === 1);
+    assert(arr[0] === b);
+}
+
+function test_mdict_6() {
+    var k = symb_string();
+    var md = mdictNew();
+    md.set(k, 1);
+    md.set(k, 2);
+    assert(md.removeAll(k));
+    assert(!md.containsKey(k));
+    assert(md.size() === 0);
+    assert(!md.removeAll(k));
+}

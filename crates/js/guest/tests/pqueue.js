@@ -1,0 +1,62 @@
+// Symbolic tests for the priority queue (Table 1 row `pqueue`, #T = 5).
+
+function test_pqueue_1() {
+    var p1 = symb_number();
+    var p2 = symb_number();
+    assume(p1 < p2);
+    var pq = pqNew();
+    pq.enqueue("second", p2);
+    pq.enqueue("first", p1);
+    assert(pq.size() === 2);
+    assert(pq.peek() === "first");
+}
+
+function test_pqueue_2() {
+    var p1 = symb_number();
+    var p2 = symb_number();
+    assume(p1 < p2);
+    var pq = pqNew();
+    pq.enqueue("b", p2);
+    pq.enqueue("a", p1);
+    assert(pq.dequeue() === "a");
+    assert(pq.dequeue() === "b");
+    assert(pq.isEmpty());
+}
+
+function test_pqueue_3() {
+    var pq = pqNew();
+    assert(pq.dequeue() === undefined);
+    assert(pq.peek() === undefined);
+    var v = symb_string();
+    var p = symb_number();
+    pq.enqueue(v, p);
+    assert(pq.dequeue() === v);
+    assert(pq.isEmpty());
+}
+
+function test_pqueue_4() {
+    var p1 = symb_number();
+    var p2 = symb_number();
+    var p3 = symb_number();
+    assume(p1 < p2 && p2 < p3);
+    var pq = pqNew();
+    pq.enqueue("mid", p2);
+    pq.enqueue("high", p3);
+    pq.enqueue("low", p1);
+    assert(pq.dequeue() === "low");
+    assert(pq.dequeue() === "mid");
+    assert(pq.dequeue() === "high");
+}
+
+function test_pqueue_5() {
+    // With unconstrained priorities, the dequeued item carries the
+    // smallest priority.
+    var p1 = symb_number();
+    var p2 = symb_number();
+    var pq = pqNew();
+    pq.enqueue(p1, p1);
+    pq.enqueue(p2, p2);
+    var first = pq.dequeue();
+    assert(first <= p1);
+    assert(first <= p2);
+}

@@ -1,0 +1,66 @@
+// Symbolic tests for the queue (Table 1 row `queue`, #T = 6).
+
+function test_queue_1() {
+    var a = symb_number();
+    var b = symb_number();
+    var q = queueNew();
+    q.enqueue(a);
+    q.enqueue(b);
+    assert(q.size() === 2);
+    assert(q.peek() === a);
+}
+
+function test_queue_2() {
+    var a = symb_number();
+    var b = symb_number();
+    var q = queueNew();
+    q.enqueue(a);
+    q.enqueue(b);
+    assert(q.dequeue() === a);
+    assert(q.dequeue() === b);
+    assert(q.isEmpty());
+}
+
+function test_queue_3() {
+    var q = queueNew();
+    assert(q.dequeue() === undefined);
+    assert(q.peek() === undefined);
+    assert(q.isEmpty());
+}
+
+function test_queue_4() {
+    // FIFO holds even when elements collide.
+    var a = symb_number();
+    var b = symb_number();
+    var q = queueNew();
+    q.enqueue(a);
+    q.enqueue(b);
+    q.enqueue(a);
+    assert(q.dequeue() === a);
+    assert(q.size() === 2);
+    assert(q.peek() === b);
+}
+
+function test_queue_5() {
+    var a = symb_number();
+    var q = queueNew();
+    q.enqueue(a);
+    q.clear();
+    assert(q.isEmpty());
+    assert(q.size() === 0);
+    q.enqueue(a + 1);
+    assert(q.peek() === a + 1);
+}
+
+function test_queue_6() {
+    var a = symb_number();
+    var b = symb_number();
+    var q = queueNew();
+    q.enqueue(a);
+    var x = q.dequeue();
+    q.enqueue(b);
+    var y = q.dequeue();
+    assert(x === a);
+    assert(y === b);
+    assert(q.isEmpty());
+}

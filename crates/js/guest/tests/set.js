@@ -1,0 +1,73 @@
+// Symbolic tests for the set (Table 1 row `set`, #T = 6).
+
+function test_set_1() {
+    var a = symb_number();
+    var set = setNew();
+    assert(set.add(a));
+    assert(set.contains(a));
+    assert(!set.add(a));
+    assert(set.size() === 1);
+}
+
+function test_set_2() {
+    var a = symb_number();
+    var b = symb_number();
+    var set = setNew();
+    set.add(a);
+    set.add(b);
+    if (a === b) {
+        assert(set.size() === 1);
+    } else {
+        assert(set.size() === 2);
+    }
+}
+
+function test_set_3() {
+    var a = symb_number();
+    var set = setNew();
+    set.add(a);
+    assert(set.remove(a));
+    assert(!set.contains(a));
+    assert(set.isEmpty());
+    assert(!set.remove(a));
+}
+
+function test_set_4() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var s1 = setNew();
+    var s2 = setNew();
+    s1.add(a);
+    s2.add(b);
+    s1.union(s2);
+    assert(s1.size() === 2);
+    assert(s1.contains(a));
+    assert(s1.contains(b));
+    assert(s2.size() === 1);
+}
+
+function test_set_5() {
+    var a = symb_number();
+    var b = symb_number();
+    assume(a !== b);
+    var s1 = setNew();
+    var s2 = setNew();
+    s1.add(a);
+    s1.add(b);
+    s2.add(b);
+    s1.intersection(s2);
+    assert(s1.size() === 1);
+    assert(s1.contains(b));
+    assert(!s1.contains(a));
+}
+
+function test_set_6() {
+    var a = symb_string();
+    var set = setNew();
+    assert(!set.add(undefined));
+    set.add(a);
+    var arr = set.toArray();
+    assert(arr.length === 1);
+    assert(arr[0] === a);
+}

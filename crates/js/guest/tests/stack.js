@@ -1,0 +1,42 @@
+// Symbolic tests for the stack (Table 1 row `stack`, #T = 4).
+
+function test_stack_1() {
+    var a = symb_number();
+    var b = symb_number();
+    var s = stackNew();
+    s.push(a);
+    s.push(b);
+    assert(s.size() === 2);
+    assert(s.peek() === b);
+}
+
+function test_stack_2() {
+    var a = symb_number();
+    var b = symb_number();
+    var s = stackNew();
+    s.push(a);
+    s.push(b);
+    assert(s.pop() === b);
+    assert(s.pop() === a);
+    assert(s.isEmpty());
+}
+
+function test_stack_3() {
+    var s = stackNew();
+    assert(s.pop() === undefined);
+    assert(s.peek() === undefined);
+    assert(s.isEmpty());
+}
+
+function test_stack_4() {
+    var a = symb_number();
+    var s = stackNew();
+    s.push(a);
+    s.push(a + 1);
+    s.pop();
+    s.push(a + 2);
+    assert(s.peek() === a + 2);
+    assert(s.size() === 2);
+    assert(s.pop() === a + 2);
+    assert(s.pop() === a);
+}

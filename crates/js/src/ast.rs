@@ -1,0 +1,203 @@
+//! The MiniJS abstract syntax.
+//!
+//! MiniJS is the dynamic-object guest language standing in for ES5 Strict
+//! in this reproduction (see `DESIGN.md` §2): extensible objects with
+//! *computed* property keys, first-class function references, a metadata
+//! table, JS-style truthiness and operator behaviour. Deviations from
+//! JavaScript are deliberate and documented on the items that embody them
+//! (strict equality only, no prototype chains, property keys are values
+//! rather than strings).
+
+/// A MiniJS expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A number literal (all MiniJS numbers are doubles, like JS).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// A boolean literal.
+    Bool(bool),
+    /// The `undefined` constant.
+    Undefined,
+    /// The `null` constant.
+    Null,
+    /// A variable reference (or a function reference, resolved by the
+    /// compiler when the name is a declared function).
+    Var(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Property access `e[k]`; `e.p` desugars to `e["p"]`.
+    Prop(Box<Expr>, Box<Expr>),
+    /// A function call `f(ē)`; `f` may be any expression evaluating to a
+    /// function reference.
+    Call(Box<Expr>, Vec<Expr>),
+    /// A method call `o.m(ē)` / `o[m](ē)`: looks up the property and calls
+    /// it with the receiver prepended as the first argument (MiniJS's
+    /// `this` convention).
+    MethodCall {
+        /// The receiver object.
+        object: Box<Expr>,
+        /// The method property key.
+        method: Box<Expr>,
+        /// Call arguments (the receiver is prepended).
+        args: Vec<Expr>,
+    },
+    /// An object literal `{ p: e, … }`.
+    Object(Vec<(String, Expr)>),
+    /// An array literal `[e, …]` (an object with keys `0.0 … n-1.0` and a
+    /// `"length"` property, `Array` metadata).
+    Array(Vec<Expr>),
+    /// A fresh unconstrained symbolic value (`symb()`).
+    Symb,
+    /// A fresh symbolic number (`symb_number()`).
+    SymbNumber,
+    /// A fresh symbolic string (`symb_string()`).
+    SymbString,
+    /// A fresh symbolic boolean (`symb_bool()`).
+    SymbBool,
+}
+
+/// MiniJS binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — numeric addition or string concatenation (TypeError
+    /// otherwise; MiniJS does not coerce).
+    Add,
+    /// `-` (numbers only).
+    Sub,
+    /// `*` (numbers only).
+    Mul,
+    /// `/` (numbers only, IEEE semantics).
+    Div,
+    /// `%` (numbers only).
+    Mod,
+    /// `===` (and `==`, which MiniJS treats identically): strict
+    /// structural equality.
+    StrictEq,
+    /// `!==` / `!=`.
+    StrictNeq,
+    /// `<` (numbers or strings).
+    Lt,
+    /// `<=`.
+    Leq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Geq,
+    /// `&&` — short-circuit, JS truthiness, *boolean-valued* (MiniJS
+    /// returns the truthiness verdict, not the operand).
+    And,
+    /// `||` — short-circuit, boolean-valued.
+    Or,
+}
+
+/// MiniJS unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `!` — negated truthiness.
+    Not,
+    /// `-` (numbers only).
+    Neg,
+    /// `typeof` — yields `"number" | "string" | "boolean" | "undefined" |
+    /// "object" | "function"` (`null` is `"object"`, as in JS).
+    TypeOf,
+}
+
+/// A MiniJS statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `var x = e;` (declaration and assignment are not distinguished).
+    VarDecl(String, Expr),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `e[k] = v;` / `e.p = v;`
+    PropAssign {
+        /// The object expression.
+        object: Expr,
+        /// The property key expression.
+        key: Expr,
+        /// The assigned value.
+        value: Expr,
+    },
+    /// `delete e[k];`
+    Delete {
+        /// The object expression.
+        object: Expr,
+        /// The property key expression.
+        key: Expr,
+    },
+    /// An expression evaluated for effect (usually a call).
+    ExprStmt(Expr),
+    /// `if (e) { … } else { … }`
+    If {
+        /// The condition (JS truthiness applies).
+        cond: Expr,
+        /// The then-branch.
+        then: Vec<Stmt>,
+        /// The else-branch (empty when omitted).
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (e) { … }`
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { … }` (desugared by the compiler).
+    For {
+        /// The initialiser (run once).
+        init: Box<Stmt>,
+        /// The condition.
+        cond: Expr,
+        /// The step statement (run after each iteration).
+        step: Box<Stmt>,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return e;` (plain `return;` returns `undefined`).
+    Return(Expr),
+    /// `throw e;` — terminates the execution with an error (MiniJS has no
+    /// `try`/`catch`).
+    Throw(Expr),
+    /// `assume(e);` — cut paths where `e` is not truthy.
+    Assume(Expr),
+    /// `assert(e);` — fail paths where `e` is not truthy.
+    Assert(Expr),
+}
+
+/// A MiniJS function declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A MiniJS program: a set of function declarations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Merges another module's functions into this one.
+    pub fn extend(&mut self, other: Module) {
+        self.functions.extend(other.functions);
+    }
+}

@@ -1,0 +1,147 @@
+//! The Buckets guest library and its symbolic test suite (Table 1).
+//!
+//! Eleven data structures re-implemented in MiniJS with the same shape as
+//! Buckets.js (paper §4.1): array utilities, bag, binary search tree,
+//! dictionary, heap, linked list, multi-dictionary, priority queue, queue,
+//! set, and stack — with a 74-test symbolic suite matching Table 1's
+//! per-structure test counts (array 9, bag 7, bst 11, dict 7, heap 4,
+//! llist 9, mdict 6, pqueue 5, queue 6, set 6, stack 4).
+
+use crate::ast::Module;
+use crate::compile::compile_module;
+use crate::parser::parse_module;
+use gillian_core::explore::ExploreConfig;
+use gillian_core::testing::{run_suite, TestSuiteResult};
+use gillian_gil::Prog;
+use gillian_solver::Solver;
+
+/// The library sources, in dependency order.
+pub const LIB_SOURCES: &[(&str, &str)] = &[
+    ("arrays", include_str!("../guest/buckets/arrays.js")),
+    ("llist", include_str!("../guest/buckets/llist.js")),
+    ("dict", include_str!("../guest/buckets/dict.js")),
+    ("set", include_str!("../guest/buckets/set.js")),
+    ("bag", include_str!("../guest/buckets/bag.js")),
+    ("heap", include_str!("../guest/buckets/heap.js")),
+    ("bst", include_str!("../guest/buckets/bst.js")),
+    ("mdict", include_str!("../guest/buckets/mdict.js")),
+    ("pqueue", include_str!("../guest/buckets/pqueue.js")),
+    ("queue", include_str!("../guest/buckets/queue.js")),
+    ("stack", include_str!("../guest/buckets/stack.js")),
+];
+
+/// The per-structure symbolic test sources (Table 1 rows).
+pub const TEST_SOURCES: &[(&str, &str)] = &[
+    ("array", include_str!("../guest/tests/array.js")),
+    ("bag", include_str!("../guest/tests/bag.js")),
+    ("bst", include_str!("../guest/tests/bst.js")),
+    ("dict", include_str!("../guest/tests/dict.js")),
+    ("heap", include_str!("../guest/tests/heap.js")),
+    ("llist", include_str!("../guest/tests/llist.js")),
+    ("mdict", include_str!("../guest/tests/mdict.js")),
+    ("pqueue", include_str!("../guest/tests/pqueue.js")),
+    ("queue", include_str!("../guest/tests/queue.js")),
+    ("set", include_str!("../guest/tests/set.js")),
+    ("stack", include_str!("../guest/tests/stack.js")),
+];
+
+/// The suite names, in Table 1 row order.
+pub fn suite_names() -> Vec<&'static str> {
+    TEST_SOURCES.iter().map(|(n, _)| *n).collect()
+}
+
+/// Parses the whole guest library into one module.
+///
+/// # Panics
+///
+/// Panics if a bundled library source fails to parse (a build error).
+pub fn library_module() -> Module {
+    let mut module = Module::default();
+    for (name, src) in LIB_SOURCES {
+        let m = parse_module(src)
+            .unwrap_or_else(|e| panic!("bundled library {name} failed to parse: {e}"));
+        module.extend(m);
+    }
+    module
+}
+
+/// Builds the GIL program and test-entry list for one suite.
+///
+/// # Panics
+///
+/// Panics on an unknown suite name or unparseable bundled source.
+pub fn suite_prog(suite: &str) -> (Prog, Vec<String>) {
+    let (_, src) = TEST_SOURCES
+        .iter()
+        .find(|(n, _)| *n == suite)
+        .unwrap_or_else(|| panic!("unknown Buckets suite {suite}"));
+    let mut module = library_module();
+    let tests =
+        parse_module(src).unwrap_or_else(|e| panic!("bundled tests {suite} failed to parse: {e}"));
+    let entries: Vec<String> = tests
+        .functions
+        .iter()
+        .filter(|f| f.name.starts_with("test_"))
+        .map(|f| f.name.clone())
+        .collect();
+    module.extend(tests);
+    (compile_module(&module), entries)
+}
+
+/// Runs one Table 1 row with the given solver configuration.
+pub fn run_row(
+    suite: &str,
+    solver_factory: impl Fn() -> Solver,
+    cfg: ExploreConfig,
+) -> TestSuiteResult {
+    let (prog, entries) = suite_prog(suite);
+    run_suite::<crate::mem::JsSymMemory>(suite, &prog, &entries, solver_factory, cfg)
+}
+
+/// The exploration budget used for Table 1 runs.
+pub fn table1_config() -> ExploreConfig {
+    ExploreConfig {
+        max_cmds_per_path: 200_000,
+        max_total_cmds: 20_000_000,
+        max_paths: 8192,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_parses_and_compiles() {
+        let module = library_module();
+        assert!(module.function("llAdd").is_some());
+        assert!(module.function("bstInsert").is_some());
+        let prog = compile_module(&module);
+        assert!(prog.proc("dictSet").is_some());
+    }
+
+    #[test]
+    fn suites_have_table1_test_counts() {
+        let expected = [
+            ("array", 9),
+            ("bag", 7),
+            ("bst", 11),
+            ("dict", 7),
+            ("heap", 4),
+            ("llist", 9),
+            ("mdict", 6),
+            ("pqueue", 5),
+            ("queue", 6),
+            ("set", 6),
+            ("stack", 4),
+        ];
+        let mut total = 0;
+        for (suite, count) in expected {
+            let (_, entries) = suite_prog(suite);
+            assert_eq!(entries.len(), count, "suite {suite}");
+            total += entries.len();
+        }
+        assert_eq!(total, 74, "Table 1 reports 74 tests in total");
+    }
+}

@@ -1,0 +1,519 @@
+//! The MiniJS→GIL compiler.
+//!
+//! Mirrors the structure of the Gillian-JS compiler (paper §4.1): control
+//! flow compiles trivially to GIL gotos, and every dynamically-typed
+//! operation is a call into the GIL runtime ([`crate::runtime`]). Object
+//! and array literals allocate their location with `uSym` (uninterpreted
+//! symbols as object locations, §2.2) and register it with the `newObj`
+//! action; `symb*()` compiles to `iSym` plus a type assumption.
+
+use crate::ast::{BinOp, Expr as JsExpr, Function, Module, Stmt, UnOp};
+use crate::runtime::runtime_prog;
+use crate::values::{null_expr, undefined_expr};
+use gillian_gil::{Cmd, Expr, Proc, Prog, TypeTag};
+use std::collections::BTreeSet;
+
+/// Compiles a MiniJS module to a GIL program (guest functions plus the
+/// runtime procedures).
+pub fn compile_module(module: &Module) -> Prog {
+    let funcs: BTreeSet<String> = module.functions.iter().map(|f| f.name.clone()).collect();
+    let mut prog = runtime_prog();
+    for f in &module.functions {
+        prog.add(compile_function(f, &funcs));
+    }
+    prog
+}
+
+struct LoopFrame {
+    break_holes: Vec<usize>,
+    continue_holes: Vec<usize>,
+}
+
+struct Ctx<'a> {
+    cmds: Vec<Cmd>,
+    tmp: usize,
+    funcs: &'a BTreeSet<String>,
+    locals: BTreeSet<String>,
+    loops: Vec<LoopFrame>,
+}
+
+impl<'a> Ctx<'a> {
+    fn temp(&mut self) -> String {
+        self.tmp += 1;
+        format!("__t{}", self.tmp)
+    }
+
+    fn here(&self) -> usize {
+        self.cmds.len()
+    }
+
+    fn emit(&mut self, c: Cmd) -> usize {
+        self.cmds.push(c);
+        self.cmds.len() - 1
+    }
+
+    /// Emits a placeholder later patched to `Goto`.
+    fn emit_hole(&mut self) -> usize {
+        self.emit(Cmd::Skip)
+    }
+
+    fn patch_goto(&mut self, at: usize, target: usize) {
+        self.cmds[at] = Cmd::Goto(target);
+    }
+
+    /// Calls a runtime/static procedure into a fresh temp, returning the
+    /// temp as an expression.
+    fn call(&mut self, proc: &str, args: Vec<Expr>) -> Expr {
+        let t = self.temp();
+        self.emit(Cmd::call_static(&t, proc, args));
+        Expr::pvar(t)
+    }
+
+    /// Wraps a compiled value in a JS truthiness test.
+    fn truthy(&mut self, v: Expr) -> Expr {
+        self.call("__truthy", vec![v])
+    }
+}
+
+/// Compiles one MiniJS function.
+pub fn compile_function(f: &Function, funcs: &BTreeSet<String>) -> Proc {
+    let mut ctx = Ctx {
+        cmds: Vec::new(),
+        tmp: 0,
+        funcs,
+        locals: f.params.iter().cloned().collect(),
+        loops: Vec::new(),
+    };
+    compile_stmts(&f.body, &mut ctx);
+    ctx.emit(Cmd::Return(undefined_expr()));
+    Proc::new(
+        f.name.as_str(),
+        f.params.iter().map(String::as_str),
+        ctx.cmds,
+    )
+}
+
+fn compile_stmts(stmts: &[Stmt], ctx: &mut Ctx<'_>) {
+    for s in stmts {
+        compile_stmt(s, ctx);
+    }
+}
+
+fn compile_stmt(s: &Stmt, ctx: &mut Ctx<'_>) {
+    match s {
+        Stmt::VarDecl(x, e) | Stmt::Assign(x, e) => {
+            let v = compile_expr(e, ctx);
+            ctx.locals.insert(x.clone());
+            ctx.emit(Cmd::assign(x, v));
+        }
+        Stmt::PropAssign { object, key, value } => {
+            let o = compile_expr(object, ctx);
+            let k = compile_expr(key, ctx);
+            let v = compile_expr(value, ctx);
+            ctx.call("__setprop", vec![o, k, v]);
+        }
+        Stmt::Delete { object, key } => {
+            let o = compile_expr(object, ctx);
+            let k = compile_expr(key, ctx);
+            ctx.call("__delprop", vec![o, k]);
+        }
+        Stmt::ExprStmt(e) => {
+            compile_expr(e, ctx);
+        }
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = compile_expr(cond, ctx);
+            let t = ctx.truthy(c);
+            let guard_at = ctx.emit_hole();
+            compile_stmts(otherwise, ctx);
+            let skip_then = ctx.emit_hole();
+            let then_at = ctx.here();
+            compile_stmts(then, ctx);
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(t, then_at);
+            ctx.patch_goto(skip_then, end);
+        }
+        Stmt::While { cond, body } => {
+            let loop_at = ctx.here();
+            let c = compile_expr(cond, ctx);
+            let t = ctx.truthy(c);
+            let guard_at = ctx.emit_hole();
+            let exit_hole = ctx.emit_hole();
+            let body_at = ctx.here();
+            ctx.loops.push(LoopFrame {
+                break_holes: Vec::new(),
+                continue_holes: Vec::new(),
+            });
+            compile_stmts(body, ctx);
+            ctx.emit(Cmd::Goto(loop_at));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(t, body_at);
+            ctx.patch_goto(exit_hole, end);
+            let frame = ctx.loops.pop().expect("loop frame");
+            for hole in frame.break_holes {
+                ctx.patch_goto(hole, end);
+            }
+            for hole in frame.continue_holes {
+                ctx.patch_goto(hole, loop_at);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            compile_stmt(init, ctx);
+            let loop_at = ctx.here();
+            let c = compile_expr(cond, ctx);
+            let t = ctx.truthy(c);
+            let guard_at = ctx.emit_hole();
+            let exit_hole = ctx.emit_hole();
+            let body_at = ctx.here();
+            ctx.loops.push(LoopFrame {
+                break_holes: Vec::new(),
+                continue_holes: Vec::new(),
+            });
+            compile_stmts(body, ctx);
+            let frame = ctx.loops.pop().expect("loop frame");
+            let cont_at = ctx.here();
+            compile_stmt(step, ctx);
+            ctx.emit(Cmd::Goto(loop_at));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(t, body_at);
+            ctx.patch_goto(exit_hole, end);
+            for hole in frame.break_holes {
+                ctx.patch_goto(hole, end);
+            }
+            for hole in frame.continue_holes {
+                ctx.patch_goto(hole, cont_at);
+            }
+        }
+        Stmt::Break => {
+            let hole = ctx.emit_hole();
+            match ctx.loops.last_mut() {
+                Some(frame) => frame.break_holes.push(hole),
+                None => ctx.cmds[hole] = Cmd::Fail(Expr::str("break outside a loop")),
+            }
+        }
+        Stmt::Continue => {
+            let hole = ctx.emit_hole();
+            match ctx.loops.last_mut() {
+                Some(frame) => frame.continue_holes.push(hole),
+                None => ctx.cmds[hole] = Cmd::Fail(Expr::str("continue outside a loop")),
+            }
+        }
+        Stmt::Return(e) => {
+            let v = compile_expr(e, ctx);
+            ctx.emit(Cmd::Return(v));
+        }
+        Stmt::Throw(e) => {
+            let v = compile_expr(e, ctx);
+            ctx.emit(Cmd::Fail(Expr::list([Expr::str("JSThrow"), v])));
+        }
+        Stmt::Assume(e) => {
+            let v = compile_expr(e, ctx);
+            let t = ctx.truthy(v);
+            let pc = ctx.here();
+            ctx.emit(Cmd::IfGoto(t, pc + 2));
+            ctx.emit(Cmd::Vanish);
+        }
+        Stmt::Assert(e) => {
+            let v = compile_expr(e, ctx);
+            let t = ctx.truthy(v);
+            let pc = ctx.here();
+            ctx.emit(Cmd::IfGoto(t, pc + 2));
+            ctx.emit(Cmd::Fail(Expr::list([
+                Expr::str("assertion failure"),
+                Expr::str(format!("{e:?}")),
+            ])));
+        }
+    }
+}
+
+/// Compiles an expression, emitting commands into `ctx` and returning the
+/// GIL expression holding its value.
+fn compile_expr(e: &JsExpr, ctx: &mut Ctx<'_>) -> Expr {
+    match e {
+        JsExpr::Num(x) => Expr::num(*x),
+        JsExpr::Str(s) => Expr::str(s),
+        JsExpr::Bool(b) => Expr::bool(*b),
+        JsExpr::Undefined => undefined_expr(),
+        JsExpr::Null => null_expr(),
+        JsExpr::Var(x) => {
+            if !ctx.locals.contains(x) && ctx.funcs.contains(x) {
+                Expr::proc(x)
+            } else {
+                Expr::pvar(x)
+            }
+        }
+        JsExpr::Bin(op, a, b) => compile_bin(*op, a, b, ctx),
+        JsExpr::Un(op, v) => {
+            let cv = compile_expr(v, ctx);
+            match op {
+                UnOp::Not => {
+                    let t = ctx.truthy(cv);
+                    t.not()
+                }
+                UnOp::Neg => ctx.call("__neg", vec![cv]),
+                UnOp::TypeOf => ctx.call("__typeof", vec![cv]),
+            }
+        }
+        JsExpr::Prop(o, k) => {
+            let co = compile_expr(o, ctx);
+            let ck = compile_expr(k, ctx);
+            ctx.call("__getprop", vec![co, ck])
+        }
+        JsExpr::Call(f, args) => {
+            // `floor` is a builtin (Math.floor analogue) unless shadowed.
+            if let JsExpr::Var(name) = f.as_ref() {
+                if name == "floor" && !ctx.locals.contains(name) && !ctx.funcs.contains(name) {
+                    let cargs: Vec<Expr> = args.iter().map(|a| compile_expr(a, ctx)).collect();
+                    return ctx.call("__floor", cargs);
+                }
+            }
+            let callee = compile_expr(f, ctx);
+            let cargs: Vec<Expr> = args.iter().map(|a| compile_expr(a, ctx)).collect();
+            let t = ctx.temp();
+            ctx.emit(Cmd::Call {
+                lhs: t.as_str().into(),
+                proc: callee,
+                args: cargs,
+            });
+            Expr::pvar(t)
+        }
+        JsExpr::MethodCall {
+            object,
+            method,
+            args,
+        } => {
+            let co = compile_expr(object, ctx);
+            let cm = compile_expr(method, ctx);
+            let fv = ctx.call("__getprop", vec![co.clone(), cm]);
+            let mut cargs = vec![co];
+            cargs.extend(args.iter().map(|a| compile_expr(a, ctx)));
+            let t = ctx.temp();
+            ctx.emit(Cmd::Call {
+                lhs: t.as_str().into(),
+                proc: fv,
+                args: cargs,
+            });
+            Expr::pvar(t)
+        }
+        JsExpr::Object(props) => {
+            let l = ctx.temp();
+            let site = ctx.here() as u32;
+            ctx.emit(Cmd::usym(&l, site));
+            ctx.emit(Cmd::action(
+                "_",
+                "newObj",
+                Expr::list([Expr::pvar(&l), Expr::str("Object")]),
+            ));
+            for (k, v) in props {
+                let cv = compile_expr(v, ctx);
+                ctx.emit(Cmd::action(
+                    "_",
+                    "setProp",
+                    Expr::list([Expr::pvar(&l), Expr::str(k), cv]),
+                ));
+            }
+            Expr::pvar(l)
+        }
+        JsExpr::Array(items) => {
+            let l = ctx.temp();
+            let site = ctx.here() as u32;
+            ctx.emit(Cmd::usym(&l, site));
+            ctx.emit(Cmd::action(
+                "_",
+                "newObj",
+                Expr::list([Expr::pvar(&l), Expr::str("Array")]),
+            ));
+            for (i, item) in items.iter().enumerate() {
+                let cv = compile_expr(item, ctx);
+                ctx.emit(Cmd::action(
+                    "_",
+                    "setProp",
+                    Expr::list([Expr::pvar(&l), Expr::num(i as f64), cv]),
+                ));
+            }
+            ctx.emit(Cmd::action(
+                "_",
+                "setProp",
+                Expr::list([
+                    Expr::pvar(&l),
+                    Expr::str("length"),
+                    Expr::num(items.len() as f64),
+                ]),
+            ));
+            Expr::pvar(l)
+        }
+        JsExpr::Symb => fresh_symbolic(ctx, None),
+        JsExpr::SymbNumber => fresh_symbolic(ctx, Some(TypeTag::Num)),
+        JsExpr::SymbString => fresh_symbolic(ctx, Some(TypeTag::Str)),
+        JsExpr::SymbBool => fresh_symbolic(ctx, Some(TypeTag::Bool)),
+    }
+}
+
+fn fresh_symbolic(ctx: &mut Ctx<'_>, tag: Option<TypeTag>) -> Expr {
+    let t = ctx.temp();
+    let site = ctx.here() as u32;
+    ctx.emit(Cmd::isym(&t, site));
+    if let Some(tag) = tag {
+        // assume typeOf(t) = tag
+        let pc = ctx.here();
+        ctx.emit(Cmd::IfGoto(Expr::pvar(&t).has_type(tag), pc + 2));
+        ctx.emit(Cmd::Vanish);
+    }
+    Expr::pvar(t)
+}
+
+fn compile_bin(op: BinOp, a: &JsExpr, b: &JsExpr, ctx: &mut Ctx<'_>) -> Expr {
+    match op {
+        // Short-circuit, boolean-valued (MiniJS deviation from JS, which
+        // returns the deciding operand).
+        BinOp::And => {
+            let ca = compile_expr(a, ctx);
+            let ta = ctx.truthy(ca);
+            let res = ctx.temp();
+            let guard_at = ctx.emit_hole();
+            ctx.emit(Cmd::assign(&res, Expr::ff()));
+            let skip = ctx.emit_hole();
+            let rhs_at = ctx.here();
+            let cb = compile_expr(b, ctx);
+            let tb = ctx.truthy(cb);
+            ctx.emit(Cmd::assign(&res, tb));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(ta, rhs_at);
+            ctx.patch_goto(skip, end);
+            Expr::pvar(res)
+        }
+        BinOp::Or => {
+            let ca = compile_expr(a, ctx);
+            let ta = ctx.truthy(ca);
+            let res = ctx.temp();
+            let guard_at = ctx.emit_hole();
+            // Not truthy: evaluate rhs.
+            let cb = compile_expr(b, ctx);
+            let tb = ctx.truthy(cb);
+            ctx.emit(Cmd::assign(&res, tb));
+            let skip = ctx.emit_hole();
+            let short_at = ctx.here();
+            ctx.emit(Cmd::assign(&res, Expr::tt()));
+            let end = ctx.here();
+            ctx.cmds[guard_at] = Cmd::IfGoto(ta, short_at);
+            ctx.patch_goto(skip, end);
+            Expr::pvar(res)
+        }
+        _ => {
+            let ca = compile_expr(a, ctx);
+            let cb = compile_expr(b, ctx);
+            match op {
+                BinOp::Add => ctx.call("__plus", vec![ca, cb]),
+                BinOp::Sub => ctx.call("__sub", vec![ca, cb]),
+                BinOp::Mul => ctx.call("__mul", vec![ca, cb]),
+                BinOp::Div => ctx.call("__div", vec![ca, cb]),
+                BinOp::Mod => ctx.call("__mod", vec![ca, cb]),
+                BinOp::StrictEq => ca.eq(cb),
+                BinOp::StrictNeq => ca.ne(cb),
+                BinOp::Lt => ctx.call("__lt", vec![ca, cb]),
+                BinOp::Leq => ctx.call("__le", vec![ca, cb]),
+                BinOp::Gt => ctx.call("__lt", vec![cb, ca]),
+                BinOp::Geq => ctx.call("__le", vec![cb, ca]),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn compile(src: &str) -> Prog {
+        compile_module(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn module_includes_runtime() {
+        let p = compile("function f() { return 1; }");
+        assert!(p.proc("__truthy").is_some());
+        assert!(p.proc("__plus").is_some());
+        assert!(p.proc("f").is_some());
+    }
+
+    #[test]
+    fn object_literal_allocates_and_registers() {
+        let p = compile("function f() { var o = { a: 1 }; return o; }");
+        let f = p.proc("f").unwrap();
+        assert!(f.body.iter().any(|c| matches!(c, Cmd::USym { .. })));
+        assert!(f
+            .body
+            .iter()
+            .any(|c| matches!(c, Cmd::Action { name, .. } if name.as_ref() == "newObj")));
+        assert!(f
+            .body
+            .iter()
+            .any(|c| matches!(c, Cmd::Action { name, .. } if name.as_ref() == "setProp")));
+    }
+
+    #[test]
+    fn symb_number_emits_isym_and_type_assumption() {
+        let p = compile("function f() { var x = symb_number(); return x; }");
+        let f = p.proc("f").unwrap();
+        assert!(f.body.iter().any(|c| matches!(c, Cmd::ISym { .. })));
+        assert!(f.body.iter().any(|c| matches!(c, Cmd::Vanish)));
+    }
+
+    #[test]
+    fn method_call_threads_receiver() {
+        let p = compile("function f(o) { return o.m(1); }");
+        let f = p.proc("f").unwrap();
+        // A __getprop call followed by a dynamic call with 2 args (o, 1).
+        let call = f
+            .body
+            .iter()
+            .find_map(|c| match c {
+                Cmd::Call { proc, args, .. } if !matches!(proc, Expr::Val(_)) => {
+                    Some(args.len())
+                }
+                _ => None,
+            })
+            .expect("dynamic method call");
+        assert_eq!(call, 2);
+    }
+
+    #[test]
+    fn loops_and_breaks_are_wellformed() {
+        let p = compile(
+            r#"
+            function f(n) {
+                var total = 0;
+                for (var i = 0; i < n; i = i + 1) {
+                    if (i == 3) { break; }
+                    if (i == 1) { continue; }
+                    total = total + i;
+                }
+                while (total > 100) { total = total - 1; }
+                return total;
+            }
+        "#,
+        );
+        let f = p.proc("f").unwrap();
+        // No Skip placeholders may survive compilation.
+        assert!(
+            !f.body.iter().any(|c| matches!(c, Cmd::Skip)),
+            "unpatched holes: {f}"
+        );
+        // All goto targets are in range.
+        for c in &f.body {
+            match c {
+                Cmd::Goto(t) | Cmd::IfGoto(_, t) => assert!(*t <= f.body.len()),
+                _ => {}
+            }
+        }
+    }
+}

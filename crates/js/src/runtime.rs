@@ -1,0 +1,342 @@
+//! The MiniJS runtime: GIL procedures implementing the language's dynamic
+//! operator semantics.
+//!
+//! Like Gillian-JS — whose compiler ships "implementations of the internal
+//! and built-in functions of ES5 Strict" compiled to GIL (paper §4.1) —
+//! MiniJS routes every dynamically-typed operation through a small GIL
+//! runtime: truthiness, `+` overloading, numeric/relational type checks,
+//! `typeof`, and the checked property accessors. Compiled guest code
+//! therefore executes many GIL commands per source operation, which is
+//! what the "GIL Cmds" columns of Table 1 count.
+
+use crate::values::{null_expr, undefined_expr};
+use gillian_gil::{Cmd, Expr, Proc, Prog, TypeTag};
+
+fn ty(v: &str, t: TypeTag) -> Expr {
+    Expr::pvar(v).has_type(t)
+}
+
+fn js_error(msg: &str) -> Cmd {
+    Cmd::Fail(Expr::list([Expr::str("JSError"), Expr::str(msg)]))
+}
+
+fn both(v1: &str, v2: &str, t: TypeTag) -> Expr {
+    ty(v1, t).and(ty(v2, t))
+}
+
+/// `__truthy(v)`: JS truthiness. `false`, `0`, `-0`, `NaN`, `""`,
+/// `undefined` and `null` are falsy; everything else is truthy.
+fn truthy() -> Proc {
+    Proc::new(
+        "__truthy",
+        ["v"],
+        vec![
+            /* 0 */ Cmd::IfGoto(ty("v", TypeTag::Bool), 7),
+            /* 1 */ Cmd::IfGoto(ty("v", TypeTag::Num), 8),
+            /* 2 */ Cmd::IfGoto(ty("v", TypeTag::Str), 10),
+            /* 3 */ Cmd::IfGoto(ty("v", TypeTag::Sym), 5),
+            /* 4 */ Cmd::Return(Expr::tt()), // Proc, List
+            /* 5 */
+            Cmd::IfGoto(
+                Expr::pvar("v")
+                    .eq(undefined_expr())
+                    .or(Expr::pvar("v").eq(null_expr())),
+                12,
+            ),
+            /* 6 */ Cmd::Return(Expr::tt()), // other symbols: object refs
+            /* 7 */ Cmd::Return(Expr::pvar("v")),
+            /* 8 */
+            Cmd::assign(
+                "r",
+                Expr::pvar("v")
+                    .eq(Expr::num(0.0))
+                    .or(Expr::pvar("v").eq(Expr::num(-0.0)))
+                    .or(Expr::pvar("v").eq(Expr::num(f64::NAN)))
+                    .not(),
+            ),
+            /* 9 */ Cmd::Return(Expr::pvar("r")),
+            /* 10 */ Cmd::assign("r", Expr::pvar("v").eq(Expr::str("")).not()),
+            /* 11 */ Cmd::Return(Expr::pvar("r")),
+            /* 12 */ Cmd::Return(Expr::ff()),
+        ],
+    )
+}
+
+/// `__plus(a, b)`: numeric addition or string concatenation; anything else
+/// is a `TypeError` (MiniJS does not coerce — documented deviation).
+fn plus() -> Proc {
+    Proc::new(
+        "__plus",
+        ["a", "b"],
+        vec![
+            /* 0 */ Cmd::IfGoto(both("a", "b", TypeTag::Num), 3),
+            /* 1 */ Cmd::IfGoto(both("a", "b", TypeTag::Str), 5),
+            /* 2 */ js_error("TypeError: + needs two numbers or two strings"),
+            /* 3 */ Cmd::assign("r", Expr::pvar("a").add(Expr::pvar("b"))),
+            /* 4 */ Cmd::Return(Expr::pvar("r")),
+            /* 5 */
+            Cmd::assign("r", Expr::StrCat(vec![Expr::pvar("a"), Expr::pvar("b")])),
+            /* 6 */ Cmd::Return(Expr::pvar("r")),
+        ],
+    )
+}
+
+/// A numeric binary operator with type checks (`-`, `*`, `/`, `%`).
+fn num_bin(name: &str, build: impl Fn(Expr, Expr) -> Expr) -> Proc {
+    Proc::new(
+        name,
+        ["a", "b"],
+        vec![
+            /* 0 */ Cmd::IfGoto(both("a", "b", TypeTag::Num), 2),
+            /* 1 */ js_error("TypeError: arithmetic needs numbers"),
+            /* 2 */ Cmd::assign("r", build(Expr::pvar("a"), Expr::pvar("b"))),
+            /* 3 */ Cmd::Return(Expr::pvar("r")),
+        ],
+    )
+}
+
+/// A relational operator on numbers or strings (`<`, `<=`).
+fn rel(name: &str, build: impl Fn(Expr, Expr) -> Expr) -> Proc {
+    Proc::new(
+        name,
+        ["a", "b"],
+        vec![
+            /* 0 */ Cmd::IfGoto(both("a", "b", TypeTag::Num), 3),
+            /* 1 */ Cmd::IfGoto(both("a", "b", TypeTag::Str), 3),
+            /* 2 */ js_error("TypeError: comparison needs two numbers or two strings"),
+            /* 3 */ Cmd::assign("r", build(Expr::pvar("a"), Expr::pvar("b"))),
+            /* 4 */ Cmd::Return(Expr::pvar("r")),
+        ],
+    )
+}
+
+/// `__neg(v)`: numeric negation.
+fn neg() -> Proc {
+    Proc::new(
+        "__neg",
+        ["v"],
+        vec![
+            /* 0 */ Cmd::IfGoto(ty("v", TypeTag::Num), 2),
+            /* 1 */ js_error("TypeError: negation needs a number"),
+            /* 2 */ Cmd::assign("r", Expr::pvar("v").un(gillian_gil::UnOp::Neg)),
+            /* 3 */ Cmd::Return(Expr::pvar("r")),
+        ],
+    )
+}
+
+/// `__typeof(v)`: the JS `typeof` strings (`null` is `"object"`).
+fn type_of() -> Proc {
+    Proc::new(
+        "__typeof",
+        ["v"],
+        vec![
+            /* 0 */ Cmd::IfGoto(ty("v", TypeTag::Num), 7),
+            /* 1 */ Cmd::IfGoto(ty("v", TypeTag::Str), 8),
+            /* 2 */ Cmd::IfGoto(ty("v", TypeTag::Bool), 9),
+            /* 3 */ Cmd::IfGoto(ty("v", TypeTag::Proc), 10),
+            /* 4 */ Cmd::IfGoto(Expr::pvar("v").eq(undefined_expr()), 11),
+            /* 5 */ Cmd::IfGoto(ty("v", TypeTag::Sym), 12),
+            /* 6 */ Cmd::Return(Expr::str("list")),
+            /* 7 */ Cmd::Return(Expr::str("number")),
+            /* 8 */ Cmd::Return(Expr::str("string")),
+            /* 9 */ Cmd::Return(Expr::str("boolean")),
+            /* 10 */ Cmd::Return(Expr::str("function")),
+            /* 11 */ Cmd::Return(Expr::str("undefined")),
+            /* 12 */ Cmd::Return(Expr::str("object")),
+        ],
+    )
+}
+
+/// Shared prologue for property accessors: the receiver must be an object
+/// reference (a symbol that is not `undefined`/`null`).
+fn object_check(fail_msg: &str) -> Vec<Cmd> {
+    vec![
+        /* 0 */ Cmd::IfGoto(ty("o", TypeTag::Sym), 2),
+        /* 1 */ js_error(fail_msg),
+        /* 2 */
+        Cmd::IfGoto(
+            Expr::pvar("o")
+                .eq(undefined_expr())
+                .or(Expr::pvar("o").eq(null_expr())),
+            4,
+        ),
+        /* 3 */ Cmd::Goto(5),
+        /* 4 */ js_error(fail_msg),
+        // 5: action
+    ]
+}
+
+fn prop_action(name: &str, action: &str, params: &[&str], arg: Expr, ret: Expr) -> Proc {
+    let mut body = object_check(&format!(
+        "TypeError: {action} on a non-object"
+    ));
+    body.push(Cmd::action("r", action, arg)); // 5
+    body.push(Cmd::Return(ret)); // 6
+    Proc::new(name, params.iter().copied(), body)
+}
+
+/// `__floor(v)`: `Math.floor` (numbers only).
+fn floor() -> Proc {
+    Proc::new(
+        "__floor",
+        ["v"],
+        vec![
+            /* 0 */ Cmd::IfGoto(ty("v", TypeTag::Num), 2),
+            /* 1 */ js_error("TypeError: floor needs a number"),
+            /* 2 */ Cmd::assign("r", Expr::pvar("v").un(gillian_gil::UnOp::Floor)),
+            /* 3 */ Cmd::Return(Expr::pvar("r")),
+        ],
+    )
+}
+
+/// Builds the whole runtime program.
+pub fn runtime_prog() -> Prog {
+    let mut prog = Prog::new();
+    prog.add(truthy());
+    prog.add(floor());
+    prog.add(plus());
+    prog.add(num_bin("__sub", |a, b| a.sub(b)));
+    prog.add(num_bin("__mul", |a, b| a.mul(b)));
+    prog.add(num_bin("__div", |a, b| a.div(b)));
+    prog.add(num_bin("__mod", |a, b| a.rem(b)));
+    prog.add(rel("__lt", |a, b| a.lt(b)));
+    prog.add(rel("__le", |a, b| a.le(b)));
+    prog.add(neg());
+    prog.add(type_of());
+    prog.add(prop_action(
+        "__getprop",
+        "getProp",
+        &["o", "k"],
+        Expr::list([Expr::pvar("o"), Expr::pvar("k")]),
+        Expr::pvar("r"),
+    ));
+    prog.add(prop_action(
+        "__setprop",
+        "setProp",
+        &["o", "k", "v"],
+        Expr::list([Expr::pvar("o"), Expr::pvar("k"), Expr::pvar("v")]),
+        Expr::pvar("v"),
+    ));
+    prog.add(prop_action(
+        "__delprop",
+        "delProp",
+        &["o", "k"],
+        Expr::list([Expr::pvar("o"), Expr::pvar("k")]),
+        Expr::tt(),
+    ));
+    prog.add(prop_action(
+        "__hasprop",
+        "hasProp",
+        &["o", "k"],
+        Expr::list([Expr::pvar("o"), Expr::pvar("k")]),
+        Expr::pvar("r"),
+    ));
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::JsConcMemory;
+    use gillian_core::explore::{explore, ExploreConfig, ExploreOutcome};
+    use gillian_core::ConcreteState;
+    use gillian_gil::Value;
+
+    fn run_call(proc: &str, args: Vec<Expr>) -> ExploreOutcome<Value> {
+        let mut prog = runtime_prog();
+        prog.add(Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::call_static("r", proc, args),
+                Cmd::Return(Expr::pvar("r")),
+            ],
+        ));
+        let r = explore(
+            &prog,
+            "main",
+            ConcreteState::<JsConcMemory>::new(),
+            ExploreConfig::default(),
+        );
+        r.paths.into_iter().next().unwrap().outcome
+    }
+
+    #[test]
+    fn truthiness_table() {
+        let cases = vec![
+            (undefined_expr(), false),
+            (null_expr(), false),
+            (Expr::num(0.0), false),
+            (Expr::num(-0.0), false),
+            (Expr::num(f64::NAN), false),
+            (Expr::str(""), false),
+            (Expr::bool(false), false),
+            (Expr::num(1.5), true),
+            (Expr::str("x"), true),
+            (Expr::bool(true), true),
+        ];
+        for (e, expected) in cases {
+            let out = run_call("__truthy", vec![e.clone()]);
+            assert_eq!(
+                out,
+                ExploreOutcome::Normal(Value::Bool(expected)),
+                "truthy({e})"
+            );
+        }
+    }
+
+    #[test]
+    fn plus_overloads_and_type_errors() {
+        assert_eq!(
+            run_call("__plus", vec![Expr::num(1.0), Expr::num(2.0)]),
+            ExploreOutcome::Normal(Value::num(3.0))
+        );
+        assert_eq!(
+            run_call("__plus", vec![Expr::str("a"), Expr::str("b")]),
+            ExploreOutcome::Normal(Value::str("ab"))
+        );
+        assert!(matches!(
+            run_call("__plus", vec![Expr::num(1.0), Expr::str("b")]),
+            ExploreOutcome::Error(_)
+        ));
+    }
+
+    #[test]
+    fn typeof_strings() {
+        let cases = vec![
+            (Expr::num(1.0), "number"),
+            (Expr::str("s"), "string"),
+            (Expr::bool(true), "boolean"),
+            (undefined_expr(), "undefined"),
+            (null_expr(), "object"),
+            (Expr::proc("f"), "function"),
+        ];
+        for (e, expected) in cases {
+            assert_eq!(
+                run_call("__typeof", vec![e.clone()]),
+                ExploreOutcome::Normal(Value::str(expected)),
+                "typeof({e})"
+            );
+        }
+    }
+
+    #[test]
+    fn property_access_on_undefined_fails() {
+        assert!(matches!(
+            run_call("__getprop", vec![undefined_expr(), Expr::str("k")]),
+            ExploreOutcome::Error(_)
+        ));
+        assert!(matches!(
+            run_call("__getprop", vec![Expr::num(1.0), Expr::str("k")]),
+            ExploreOutcome::Error(_)
+        ));
+    }
+
+    #[test]
+    fn division_is_ieee() {
+        assert_eq!(
+            run_call("__div", vec![Expr::num(1.0), Expr::num(0.0)]),
+            ExploreOutcome::Normal(Value::num(f64::INFINITY))
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! MiniJS distinguished values.
+//!
+//! Like Gillian-JS (paper §4.1), language constants such as `undefined`
+//! and `null` are represented as reserved *uninterpreted symbols* — opaque,
+//! pairwise-distinct, and distinct from every allocated object location
+//! (allocators only mint symbols above [`Sym::FIRST_FRESH`]).
+
+use gillian_gil::{Expr, Sym, Value};
+
+/// The `undefined` constant.
+pub const UNDEFINED: Sym = Sym(0);
+/// The `null` constant.
+pub const NULL: Sym = Sym(1);
+
+/// `undefined` as a GIL value.
+pub fn undefined_value() -> Value {
+    Value::Sym(UNDEFINED)
+}
+
+/// `null` as a GIL value.
+pub fn null_value() -> Value {
+    Value::Sym(NULL)
+}
+
+/// `undefined` as a GIL expression.
+pub fn undefined_expr() -> Expr {
+    Expr::Val(undefined_value())
+}
+
+/// `null` as a GIL expression.
+pub fn null_expr() -> Expr {
+    Expr::Val(null_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_reserved_and_distinct() {
+        assert_ne!(UNDEFINED, NULL);
+        const { assert!(UNDEFINED.0 < Sym::FIRST_FRESH) };
+        const { assert!(NULL.0 < Sym::FIRST_FRESH) };
+    }
+}

@@ -1,0 +1,32 @@
+//! Runs the full Buckets symbolic suite (the workload of Table 1) and
+//! requires every test to verify cleanly — the paper found no new bugs in
+//! Buckets.js, so a clean suite is the expected reproduction outcome.
+
+use gillian_js::buckets;
+
+#[test]
+fn all_buckets_suites_verify() {
+    let mut total_tests = 0;
+    let mut total_cmds = 0;
+    for suite in buckets::suite_names() {
+        let row = buckets::run_row(
+            suite,
+            gillian_solver::Solver::optimized,
+            buckets::table1_config(),
+        );
+        assert!(
+            row.failures.is_empty(),
+            "suite {suite} found unexpected bugs: {:?}",
+            row.failures
+        );
+        assert!(
+            row.truncated.is_empty(),
+            "suite {suite} hit exploration budgets: {:?}",
+            row.truncated
+        );
+        total_tests += row.tests;
+        total_cmds += row.gil_cmds;
+    }
+    assert_eq!(total_tests, 74);
+    assert!(total_cmds > 10_000, "suites should execute many GIL commands");
+}

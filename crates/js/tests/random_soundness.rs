@@ -1,0 +1,156 @@
+//! Randomized end-to-end soundness for the MiniJS instantiation: random
+//! programs over dynamic objects (computed keys included), replayed
+//! concretely on every modelled path — Theorem 3.6 over the JS memory
+//! model, its branching `getProp`, and the GIL runtime.
+
+use gillian_core::explore::ExploreConfig;
+use gillian_core::soundness::check_program;
+use gillian_js::ast::{BinOp, Expr, Function, Module, Stmt};
+use gillian_js::compile::compile_module;
+use gillian_js::{JsConcMemory, JsSymMemory};
+use gillian_solver::Solver;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+const NUM_VARS: [&str; 2] = ["a", "b"];
+const KEYS: [&str; 3] = ["p", "q", "r"];
+
+fn num_var() -> impl Strategy<Value = Expr> {
+    proptest::sample::select(NUM_VARS.to_vec()).prop_map(|v| Expr::Var(v.to_string()))
+}
+
+/// A property key: a literal, or one of the two symbolic *string* inputs
+/// `k1`/`k2` (computed keys drive the SGetProp branching).
+fn key_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        proptest::sample::select(KEYS.to_vec()).prop_map(|k| Expr::Str(k.to_string())),
+        Just(Expr::Var("k1".to_string())),
+        Just(Expr::Var("k2".to_string())),
+    ]
+}
+
+fn arith() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-8i64..8).prop_map(|n| Expr::Num(n as f64)),
+        num_var(),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)])
+            .prop_map(|(x, y, op)| Expr::Bin(op, Box::new(x), Box::new(y)))
+    })
+}
+
+fn cond() -> impl Strategy<Value = Expr> {
+    (arith(), arith(), 0..4u8).prop_map(|(x, y, op)| {
+        let op = match op {
+            0 => BinOp::Lt,
+            1 => BinOp::Leq,
+            2 => BinOp::StrictEq,
+            _ => BinOp::StrictNeq,
+        };
+        Expr::Bin(op, Box::new(x), Box::new(y))
+    })
+}
+
+fn obj() -> Expr {
+    Expr::Var("o".to_string())
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (proptest::sample::select(NUM_VARS.to_vec()), arith())
+            .prop_map(|(x, e)| Stmt::Assign(x.to_string(), e)),
+        (key_expr(), arith()).prop_map(|(k, v)| Stmt::PropAssign {
+            object: obj(),
+            key: k,
+            value: v,
+        }),
+        (proptest::sample::select(NUM_VARS.to_vec()), key_expr()).prop_map(|(x, k)| {
+            // Guarded read: only assign when the property is defined, so
+            // the number stays a number (absent keys yield undefined).
+            Stmt::If {
+                cond: Expr::Bin(
+                    BinOp::StrictNeq,
+                    Box::new(Expr::Prop(Box::new(obj()), Box::new(k.clone()))),
+                    Box::new(Expr::Undefined),
+                ),
+                then: vec![Stmt::Assign(
+                    x.to_string(),
+                    Expr::Prop(Box::new(obj()), Box::new(k)),
+                )],
+                otherwise: vec![],
+            }
+        }),
+        key_expr().prop_map(|k| Stmt::Delete {
+            object: obj(),
+            key: k,
+        }),
+        cond().prop_map(Stmt::Assert),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let nested = arb_stmt(depth - 1);
+    prop_oneof![
+        4 => simple,
+        2 => (cond(), proptest::collection::vec(nested, 1..3))
+            .prop_map(|(c, then)| Stmt::If { cond: c, then, otherwise: vec![] }),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Module> {
+    proptest::collection::vec(arb_stmt(1), 1..6).prop_map(|stmts| {
+        let mut body = vec![
+            Stmt::VarDecl("a".into(), Expr::SymbNumber),
+            Stmt::VarDecl("b".into(), Expr::SymbNumber),
+            Stmt::VarDecl("k1".into(), Expr::SymbString),
+            Stmt::VarDecl("k2".into(), Expr::SymbString),
+            Stmt::VarDecl(
+                "o".into(),
+                Expr::Object(vec![("p".into(), Expr::Var("a".into()))]),
+            ),
+        ];
+        body.extend(stmts);
+        body.push(Stmt::Return(Expr::Array(vec![
+            Expr::Var("a".into()),
+            Expr::Var("b".into()),
+        ])));
+        Module {
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                body,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_minijs_programs_are_restricted_sound(module in arb_program()) {
+        let prog = compile_module(&module);
+        let cfg = ExploreConfig {
+            max_cmds_per_path: 20_000,
+            max_total_cmds: 300_000,
+            max_paths: 512,
+            ..Default::default()
+        };
+        let result = check_program::<JsSymMemory, JsConcMemory>(
+            &prog,
+            "main",
+            Rc::new(Solver::optimized()),
+            cfg,
+        );
+        if let Err(discrepancies) = result {
+            prop_assert!(
+                false,
+                "soundness violated:\n{:#?}\nprogram:\n{:#?}",
+                discrepancies,
+                module
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Behavioural tests for MiniJS semantics corners: short-circuiting,
+//! truthiness in control flow, method dispatch, and error propagation.
+
+use gillian_js::symbolic_test;
+
+#[test]
+fn logical_and_short_circuits() {
+    // The right operand would throw a TypeError (property access on
+    // undefined); `&&` must not evaluate it when the left is falsy.
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var o = undefined;
+            if (o !== undefined && o.size > 0) {
+                return 1;
+            }
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn logical_or_short_circuits() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var o = undefined;
+            if (o === undefined || o.size > 0) {
+                return 1;
+            }
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn unguarded_access_on_undefined_is_reported() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var o = undefined;
+            return o.size;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1);
+    assert!(out.bugs[0].error.contains("JSError"), "{}", out.bugs[0].error);
+    assert!(out.bugs[0].confirmed());
+}
+
+#[test]
+fn truthiness_drives_control_flow() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var hits = 0;
+            if (0) { hits = hits + 1; }
+            if ("") { hits = hits + 1; }
+            if (null) { hits = hits + 1; }
+            if (undefined) { hits = hits + 1; }
+            if (1) { hits = hits + 100; }
+            if ("x") { hits = hits + 100; }
+            if ({}) { hits = hits + 100; }
+            if ([]) { hits = hits + 100; }
+            assert(hits === 400);
+            return hits;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn symbolic_truthiness_branches() {
+    // A symbolic number as condition: both the zero/NaN-falsy branch and
+    // the truthy branch must be explored.
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var x = symb_number();
+            if (x) {
+                assert(x !== 0);
+                return 1;
+            }
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+    assert!(out.result.normal().count() >= 2, "both branches explored");
+}
+
+#[test]
+fn method_dispatch_through_properties() {
+    let out = symbolic_test(
+        r#"
+        function speak(self) { return self.sound; }
+        function main() {
+            var cat = { sound: "meow" };
+            cat.speak = speak;
+            assert(cat.speak() === "meow");
+            // Re-pointing the method re-binds dispatch.
+            var dog = { sound: "woof", speak: speak };
+            assert(dog["speak"]() === "woof");
+            return 0;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}
+
+#[test]
+fn calling_a_missing_method_is_a_type_error() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var o = {};
+            return o.nope();
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1);
+    assert!(out.bugs[0].confirmed());
+}
+
+#[test]
+fn throw_terminates_with_the_thrown_value() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var x = symb_number();
+            assume(0 <= x && x <= 5);
+            if (x === 3) { throw "three"; }
+            return x;
+        }
+    "#,
+    )
+    .unwrap();
+    assert_eq!(out.bugs.len(), 1);
+    let bug = &out.bugs[0];
+    assert!(bug.error.contains("JSThrow"), "{}", bug.error);
+    assert!(bug.error.contains("three"));
+    assert_eq!(bug.script, vec![gillian_gil::Value::num(3.0)]);
+    assert!(bug.confirmed());
+}
+
+#[test]
+fn division_by_zero_is_infinity_not_an_error() {
+    let out = symbolic_test(
+        r#"
+        function main() {
+            var x = 1 / 0;
+            assert(x > 1000000);
+            var y = 0 / 0;
+            assert(y !== y || true);   // NaN
+            return x;
+        }
+    "#,
+    )
+    .unwrap();
+    assert!(out.verified(), "{:?}", out.bugs);
+}

@@ -1,0 +1,176 @@
+//! Path conditions `π ∈ Π` (paper §2.3).
+//!
+//! A path condition is a conjunction of boolean logical expressions
+//! bookkeeping the constraints on logical variables that led execution to
+//! the current symbolic state. Conjuncts are kept simplified, deduplicated,
+//! and in insertion order (the trace of the path), with a canonical sorted
+//! key available for solver caching.
+
+use gillian_gil::{Expr, LVar, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunction of boolean logical expressions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathCondition {
+    conjuncts: Vec<Expr>,
+    /// Set to `true` once a literal `false` has been conjoined.
+    trivially_false: bool,
+}
+
+impl PathCondition {
+    /// The empty (trivially true) path condition.
+    pub fn new() -> Self {
+        PathCondition::default()
+    }
+
+    /// Conjoins a constraint. Literal `true` is dropped; literal `false`
+    /// marks the condition trivially false; duplicates are dropped.
+    pub fn push(&mut self, e: Expr) {
+        match e.as_bool() {
+            Some(true) => {}
+            Some(false) => self.trivially_false = true,
+            None => {
+                if !self.conjuncts.contains(&e) {
+                    self.conjuncts.push(e);
+                }
+            }
+        }
+    }
+
+    /// Conjoins all constraints of another path condition (restriction's
+    /// `π ∧ π′`, paper §3.1).
+    pub fn extend(&mut self, other: &PathCondition) {
+        self.trivially_false |= other.trivially_false;
+        for c in &other.conjuncts {
+            self.push(c.clone());
+        }
+    }
+
+    /// True when a literal `false` has been conjoined.
+    pub fn is_trivially_false(&self) -> bool {
+        self.trivially_false
+    }
+
+    /// The conjuncts in insertion order.
+    pub fn conjuncts(&self) -> &[Expr] {
+        &self.conjuncts
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// True when there are no conjuncts (and no literal `false`).
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty() && !self.trivially_false
+    }
+
+    /// All logical variables mentioned.
+    pub fn lvars(&self) -> BTreeSet<LVar> {
+        let mut out = BTreeSet::new();
+        for c in &self.conjuncts {
+            out.extend(c.lvars());
+        }
+        out
+    }
+
+    /// A canonical key (sorted, deduplicated conjuncts) for caching: two
+    /// path conditions with the same key are the same conjunction.
+    pub fn cache_key(&self) -> Vec<Expr> {
+        if self.trivially_false {
+            return vec![Expr::Val(Value::Bool(false))];
+        }
+        let mut key = self.conjuncts.clone();
+        key.sort();
+        key.dedup();
+        key
+    }
+
+    /// True when `self`'s conjunct set contains all of `other`'s — the
+    /// syntactic form of the `⊑` pre-order induced by restriction.
+    pub fn subsumes(&self, other: &PathCondition) -> bool {
+        if other.trivially_false {
+            return self.trivially_false;
+        }
+        other.conjuncts.iter().all(|c| self.conjuncts.contains(c))
+    }
+}
+
+impl FromIterator<Expr> for PathCondition {
+    fn from_iter<I: IntoIterator<Item = Expr>>(iter: I) -> Self {
+        let mut pc = PathCondition::new();
+        for e in iter {
+            pc.push(e);
+        }
+        pc
+    }
+}
+
+impl fmt::Display for PathCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.trivially_false {
+            return write!(f, "false");
+        }
+        if self.conjuncts.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u64) -> Expr {
+        Expr::lvar(LVar(i))
+    }
+
+    #[test]
+    fn push_drops_trivia_and_dups() {
+        let mut pc = PathCondition::new();
+        pc.push(Expr::tt());
+        pc.push(x(0).lt(Expr::int(3)));
+        pc.push(x(0).lt(Expr::int(3)));
+        assert_eq!(pc.len(), 1);
+        assert!(!pc.is_trivially_false());
+        pc.push(Expr::ff());
+        assert!(pc.is_trivially_false());
+    }
+
+    #[test]
+    fn extend_is_conjunction() {
+        let mut a: PathCondition = [x(0).lt(Expr::int(3))].into_iter().collect();
+        let b: PathCondition = [x(1).eq(Expr::int(2)), x(0).lt(Expr::int(3))]
+            .into_iter()
+            .collect();
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.subsumes(&b));
+    }
+
+    #[test]
+    fn cache_key_is_order_insensitive() {
+        let a: PathCondition = [x(0).lt(Expr::int(3)), x(1).eq(Expr::int(2))]
+            .into_iter()
+            .collect();
+        let b: PathCondition = [x(1).eq(Expr::int(2)), x(0).lt(Expr::int(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn lvars_collects_over_conjuncts() {
+        let pc: PathCondition = [x(0).lt(x(2)), x(1).eq(Expr::int(0))].into_iter().collect();
+        assert_eq!(pc.lvars(), BTreeSet::from([LVar(0), LVar(1), LVar(2)]));
+    }
+}

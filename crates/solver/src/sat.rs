@@ -1,0 +1,669 @@
+//! Satisfiability checking for conjunctions of GIL boolean expressions.
+//!
+//! The checker is a bounded combination of:
+//!
+//! 1. simplification of every conjunct (with a typing environment grown
+//!    from `typeOf` facts and operator usage);
+//! 2. equality reasoning via union-find with *substitution closure*:
+//!    rewrite atoms with class representatives and re-simplify, to a
+//!    bounded fixpoint;
+//! 3. interval/difference reasoning on `Int` comparisons and literal-bound
+//!    reasoning on `Num` comparisons;
+//! 4. bounded case splitting over disjunctions.
+//!
+//! The result is three-valued; `Unknown` is treated as "possibly SAT" by
+//! the engine (see the crate docs for why this is the sound direction).
+
+use crate::intervals::{IntDomain, NumDomain};
+use crate::simplify::simplify;
+use crate::typing::{absorb_type_fact, infer, TypeEnv};
+use crate::uf::UnionFind;
+use gillian_gil::{BinOp, Expr, TypeTag, UnOp, Value};
+
+/// The verdict of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// A contradiction was derived: no model exists.
+    Unsat,
+    /// No contradiction was found within budget.
+    Sat,
+    /// The budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SatResult {
+    /// True unless the result is [`SatResult::Unsat`] — i.e. the path may
+    /// be feasible and must be kept.
+    pub fn possibly_sat(self) -> bool {
+        self != SatResult::Unsat
+    }
+}
+
+/// Tunable limits for a query.
+#[derive(Clone, Copy, Debug)]
+pub struct SatBudget {
+    /// Maximum substitution-closure rounds.
+    pub closure_rounds: usize,
+    /// Maximum disjunction cases explored.
+    pub split_cases: usize,
+}
+
+impl Default for SatBudget {
+    fn default() -> Self {
+        SatBudget {
+            closure_rounds: 8,
+            split_cases: 64,
+        }
+    }
+}
+
+/// Grows the typing environment from operator usage inside conjuncts that
+/// are assumed to evaluate to `true` (so their subterms evaluate cleanly).
+fn absorb_usage_types(env: &mut TypeEnv, conjuncts: &[Expr]) {
+    for _ in 0..3 {
+        let mut changed = false;
+        for c in conjuncts {
+            c.visit(&mut |e| {
+                if let Expr::Bin(op, a, b) = e {
+                    let relevant = matches!(
+                        op,
+                        BinOp::Add
+                            | BinOp::Sub
+                            | BinOp::Mul
+                            | BinOp::Div
+                            | BinOp::Mod
+                            | BinOp::Lt
+                            | BinOp::Leq
+                    );
+                    if !relevant {
+                        return;
+                    }
+                    let ta = infer(env, a);
+                    let tb = infer(env, b);
+                    let prop = |env: &mut TypeEnv, side: &Expr, t: TypeTag, changed: &mut bool| {
+                        if let Expr::LVar(x) = side {
+                            if matches!(t, TypeTag::Int | TypeTag::Num | TypeTag::Str)
+                                && env.insert(*x, t) != Some(t)
+                            {
+                                *changed = true;
+                            }
+                        }
+                    };
+                    match (ta, tb) {
+                        (Some(t), None) => prop(env, b, t, &mut changed),
+                        (None, Some(t)) => prop(env, a, t, &mut changed),
+                        _ => {}
+                    }
+                }
+            });
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// The classified atoms of a conjunction.
+#[derive(Clone, Debug, Default)]
+struct Atoms {
+    eqs: Vec<(Expr, Expr)>,
+    neqs: Vec<(Expr, Expr)>,
+    /// `(a, b, strict)` with both sides typed `Int`.
+    int_cmps: Vec<(Expr, Expr, bool)>,
+    /// `(term, literal, term_on_left, strict)` with `Num` typing.
+    num_cmps: Vec<(Expr, f64, bool, bool)>,
+    /// Disjunctions for case splitting.
+    ors: Vec<(Expr, Expr)>,
+    /// Anything else — kept, re-simplified each closure round.
+    opaque: Vec<Expr>,
+    /// Equalities already merged into the union-find, preserved so that
+    /// feedback recursion (`atoms_to_exprs`) does not lose them.
+    uf_eqs: Vec<(Expr, Expr)>,
+}
+
+/// Flattens and classifies one simplified conjunct. Returns `false` on an
+/// immediately false conjunct.
+fn classify(env: &TypeEnv, e: Expr, atoms: &mut Atoms) -> bool {
+    match e {
+        Expr::Val(Value::Bool(true)) => true,
+        Expr::Val(Value::Bool(false)) => false,
+        Expr::Bin(BinOp::And, a, b) => classify(env, *a, atoms) && classify(env, *b, atoms),
+        Expr::Bin(BinOp::Or, a, b) => {
+            atoms.ors.push((*a, *b));
+            true
+        }
+        Expr::Bin(BinOp::Eq, a, b) => {
+            atoms.eqs.push((*a, *b));
+            true
+        }
+        Expr::Bin(op @ (BinOp::Lt | BinOp::Leq), a, b) => {
+            let strict = op == BinOp::Lt;
+            let ta = infer(env, &a);
+            let tb = infer(env, &b);
+            if ta == Some(TypeTag::Int) || tb == Some(TypeTag::Int) {
+                atoms.int_cmps.push((*a, *b, strict));
+            } else if let Expr::Val(Value::Num(x)) = b.as_ref() {
+                let x = x.get();
+                atoms.num_cmps.push((*a, x, true, strict));
+            } else if let Expr::Val(Value::Num(x)) = a.as_ref() {
+                let x = x.get();
+                atoms.num_cmps.push((*b, x, false, strict));
+            } else {
+                // Generic ordering edge: cycle detection is sound in any
+                // total order (Num comparisons also imply non-NaN), and
+                // integer-specific grounding only triggers on Int literals,
+                // which cannot reach non-Int terms.
+                atoms.int_cmps.push((*a, *b, strict));
+            }
+            true
+        }
+        Expr::Un(UnOp::Not, inner) => match *inner {
+            Expr::Bin(BinOp::Eq, a, b) => {
+                atoms.neqs.push((*a, *b));
+                true
+            }
+            Expr::Bin(BinOp::Or, a, b) => {
+                classify(env, a.not(), atoms) && classify(env, b.not(), atoms)
+            }
+            Expr::Bin(BinOp::And, a, b) => {
+                atoms.ors.push((a.not(), b.not()));
+                true
+            }
+            other => {
+                atoms.eqs.push((other, Expr::ff()));
+                true
+            }
+        },
+        // A bare boolean term asserts itself.
+        other => {
+            atoms.eqs.push((other, Expr::tt()));
+            true
+        }
+    }
+}
+
+/// Public re-export of usage-based type absorption for the model finder.
+pub fn absorb_usage_types_pub(env: &mut TypeEnv, conjuncts: &[Expr]) {
+    absorb_usage_types(env, conjuncts);
+}
+
+/// Checks satisfiability of a conjunction of boolean expressions.
+pub fn check_conjunction(conjuncts: &[Expr], budget: SatBudget) -> SatResult {
+    let mut env = TypeEnv::new();
+    let mut consistent = true;
+    for c in conjuncts {
+        consistent &= absorb_type_fact(&mut env, c);
+    }
+    if !consistent {
+        return SatResult::Unsat;
+    }
+    absorb_usage_types(&mut env, conjuncts);
+    let simplified: Vec<Expr> = conjuncts.iter().map(|c| simplify(&env, c)).collect();
+    let mut cases = budget.split_cases;
+    check_rec(&env, simplified, budget, &mut cases, 0)
+}
+
+fn check_rec(
+    env: &TypeEnv,
+    conjuncts: Vec<Expr>,
+    budget: SatBudget,
+    cases: &mut usize,
+    depth: usize,
+) -> SatResult {
+    let mut atoms = Atoms::default();
+    for c in conjuncts {
+        if !classify(env, c, &mut atoms) {
+            return SatResult::Unsat;
+        }
+    }
+
+    let mut uf = UnionFind::new();
+    let mut rewritten_uf_eqs: std::collections::BTreeSet<(Expr, Expr)> =
+        std::collections::BTreeSet::new();
+    // Substitution closure.
+    for round in 0..budget.closure_rounds {
+        for (a, b) in std::mem::take(&mut atoms.eqs) {
+            if !uf.union(&a, &b) {
+                return SatResult::Unsat;
+            }
+            atoms.uf_eqs.push((a, b));
+        }
+        // Rewrite remaining atoms through class representatives.
+        let rewrite = |e: &Expr, uf: &UnionFind| -> Expr {
+            let substituted = e.subst(&|sub| {
+                let r = uf.repr(sub);
+                (r != *sub).then_some(r)
+            });
+            simplify(env, &substituted)
+        };
+        let mut changed = false;
+        let mut requeue: Vec<Expr> = Vec::new();
+        for (a, b) in std::mem::take(&mut atoms.neqs) {
+            let e = rewrite(&Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b)), &uf);
+            match e.as_bool() {
+                Some(true) => return SatResult::Unsat,
+                Some(false) => {}
+                None => {
+                    if let Expr::Bin(BinOp::Eq, a, b) = e {
+                        if uf.same_class(&a, &b) {
+                            return SatResult::Unsat;
+                        }
+                        atoms.neqs.push((*a, *b));
+                    } else {
+                        requeue.push(e.not());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for (a, b, strict) in std::mem::take(&mut atoms.int_cmps) {
+            let op = if strict { BinOp::Lt } else { BinOp::Leq };
+            let e = rewrite(&Expr::Bin(op, Box::new(a), Box::new(b)), &uf);
+            match e.as_bool() {
+                Some(true) => {}
+                Some(false) => return SatResult::Unsat,
+                None => {
+                    if let Expr::Bin(op2 @ (BinOp::Lt | BinOp::Leq), a, b) = e {
+                        atoms.int_cmps.push((*a, *b, op2 == BinOp::Lt));
+                    } else {
+                        requeue.push(e);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for (t, x, left, strict) in std::mem::take(&mut atoms.num_cmps) {
+            // Rewrite the *full* comparison: a negated occurrence of the
+            // same atom put `cmp = false` into the equality engine, and
+            // the whole-node representative lookup detects the collision
+            // (which the Num domains cannot, because ¬(a<b) admits NaN).
+            let op = if strict { BinOp::Lt } else { BinOp::Leq };
+            let full = if left {
+                t.clone().bin(op, Expr::num(x))
+            } else {
+                Expr::num(x).bin(op, t.clone())
+            };
+            let e = rewrite(&full, &uf);
+            match e.as_bool() {
+                Some(true) => {}
+                Some(false) => return SatResult::Unsat,
+                None => {
+                    let nt = rewrite(&t, &uf);
+                    if nt == t && e == full {
+                        atoms.num_cmps.push((nt, x, left, strict));
+                    } else {
+                        requeue.push(e);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for o in std::mem::take(&mut atoms.opaque) {
+            let e = rewrite(&o, &uf);
+            match e.as_bool() {
+                Some(true) => {}
+                Some(false) => return SatResult::Unsat,
+                None => {
+                    // A rewritten opaque atom may have become structured.
+                    requeue.push(e);
+                }
+            }
+        }
+        // Rewrite the *strict subterms* of equalities already merged into
+        // the union-find (e.g. `(0 < x) = false` with `x = 5` elsewhere:
+        // the inner x must fold for the contradiction to surface).
+        for (a, b) in atoms.uf_eqs.clone() {
+            if !rewritten_uf_eqs.insert((a.clone(), b.clone())) {
+                continue;
+            }
+            let inner = |e: &Expr, uf: &UnionFind| -> Expr {
+                let substituted = match e {
+                    Expr::Un(op, x) => Expr::Un(
+                        *op,
+                        Box::new(x.subst(&|s| {
+                            let r = uf.repr(s);
+                            (r != *s).then_some(r)
+                        })),
+                    ),
+                    Expr::Bin(op, x, y) => {
+                        let f = |s: &Expr| {
+                            let r = uf.repr(s);
+                            (r != *s).then_some(r)
+                        };
+                        Expr::Bin(*op, Box::new(x.subst(&f)), Box::new(y.subst(&f)))
+                    }
+                    leaf => leaf.clone(),
+                };
+                simplify(env, &substituted)
+            };
+            let a2 = inner(&a, &uf);
+            let b2 = inner(&b, &uf);
+            if a2 != a || b2 != b {
+                let e = simplify(env, &a2.eq(b2));
+                match e.as_bool() {
+                    Some(true) => {}
+                    Some(false) => return SatResult::Unsat,
+                    None => {
+                        requeue.push(e);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        for e in requeue {
+            if !classify(env, e, &mut atoms) {
+                return SatResult::Unsat;
+            }
+        }
+        if atoms.eqs.is_empty() && !changed {
+            break;
+        }
+        if round + 1 == budget.closure_rounds && !atoms.eqs.is_empty() {
+            // Could not reach closure; merge what remains without rewrite.
+            for (a, b) in std::mem::take(&mut atoms.eqs) {
+                if !uf.union(&a, &b) {
+                    return SatResult::Unsat;
+                }
+                atoms.uf_eqs.push((a, b));
+            }
+        }
+    }
+
+    // Interval reasoning.
+    let mut ints = IntDomain::new();
+    let mut nums = NumDomain::new();
+    for (a, b, strict) in &atoms.int_cmps {
+        if !ints.assert_cmp(a, b, *strict) {
+            return SatResult::Unsat;
+        }
+    }
+    // Feed literal equalities/disequalities involving Int-typed terms.
+    for (t, v) in uf.literal_bindings() {
+        if let Value::Int(n) = v {
+            if !ints.assert_eq_const(&t, n) {
+                return SatResult::Unsat;
+            }
+        }
+    }
+    for (a, b) in &atoms.neqs {
+        match (a.as_int(), b.as_int()) {
+            (Some(n), None)
+                if !ints.assert_ne_const(b, n) => {
+                    return SatResult::Unsat;
+                }
+            (None, Some(n))
+                if !ints.assert_ne_const(a, n) => {
+                    return SatResult::Unsat;
+                }
+            _ => {}
+        }
+    }
+    for (t, x, left, strict) in &atoms.num_cmps {
+        if !nums.assert_cmp_const(t, *x, *left, *strict) {
+            return SatResult::Unsat;
+        }
+    }
+    // Revalidate stored intervals against structural bounds that may have
+    // tightened after the constraints were asserted.
+    if !ints.consistent() {
+        return SatResult::Unsat;
+    }
+
+    // Singleton intervals induce equalities (e.g. `0 ≤ n ∧ n ≤ 0` pins
+    // `n = 0`); feed them back through substitution closure so opaque
+    // atoms mentioning the term (nonlinear arithmetic, list operations)
+    // get constant-folded. Mask identities (`x & m = x` when the interval
+    // of `x` fits inside the mask) feed back the same way.
+    if depth < 8 {
+        let mut learned: Vec<Expr> = Vec::new();
+        for (t, itv) in ints.narrowed_terms() {
+            if itv.lo == itv.hi && uf.value_of(t) != Some(Value::Int(itv.lo)) {
+                learned.push(t.clone().eq(Expr::int(itv.lo)));
+            }
+        }
+        let all = atoms_to_exprs(&atoms, 0);
+        let mut masked: Vec<(Expr, Expr)> = Vec::new();
+        for e in &all {
+            e.visit(&mut |sub| {
+                if let Expr::Bin(BinOp::BitAnd, a, b) = sub {
+                    let (x, mask) = match (a.as_int(), b.as_int()) {
+                        (Some(m), None) => (b.as_ref(), m),
+                        (None, Some(m)) => (a.as_ref(), m),
+                        _ => return,
+                    };
+                    // x & m = x whenever 0 ≤ x ≤ m and m+1 is a power of 2.
+                    if mask >= 0
+                        && (mask.wrapping_add(1) & mask) == 0
+                        && !masked.iter().any(|(s, _)| s == sub)
+                    {
+                        let itv = ints.query(x);
+                        if itv.lo >= 0 && itv.hi <= mask {
+                            masked.push((sub.clone(), x.clone()));
+                        }
+                    }
+                }
+            });
+        }
+        for (sub, x) in masked {
+            if !uf.same_class(&sub, &x) {
+                learned.push(sub.eq(x));
+            }
+        }
+        if !learned.is_empty() {
+            let mut rest = all;
+            rest.extend(learned);
+            return check_rec(env, rest, budget, cases, depth + 1);
+        }
+    }
+
+    // Case splitting over disjunctions.
+    if let Some((a, b)) = atoms.ors.first().cloned() {
+        if *cases == 0 || depth > 8 {
+            return SatResult::Unknown;
+        }
+        let rest: Vec<Expr> = atoms_to_exprs(&atoms, 1);
+        let mut any_unknown = false;
+        for branch in [a, b] {
+            *cases = cases.saturating_sub(1);
+            let mut case = rest.clone();
+            case.push(simplify(env, &branch));
+            match check_rec(env, case, budget, cases, depth + 1) {
+                SatResult::Sat => return SatResult::Sat,
+                SatResult::Unknown => any_unknown = true,
+                SatResult::Unsat => {}
+            }
+        }
+        return if any_unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Unsat
+        };
+    }
+
+    SatResult::Sat
+}
+
+/// Re-serialises atoms into expressions (skipping the first `skip_ors`
+/// disjunctions, which the caller is splitting on).
+fn atoms_to_exprs(atoms: &Atoms, skip_ors: usize) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for (a, b) in atoms.eqs.iter().chain(&atoms.uf_eqs) {
+        out.push(a.clone().eq(b.clone()));
+    }
+    for (a, b) in &atoms.neqs {
+        out.push(a.clone().ne(b.clone()));
+    }
+    for (a, b, strict) in &atoms.int_cmps {
+        let op = if *strict { BinOp::Lt } else { BinOp::Leq };
+        out.push(a.clone().bin(op, b.clone()));
+    }
+    for (t, x, left, strict) in &atoms.num_cmps {
+        let op = if *strict { BinOp::Lt } else { BinOp::Leq };
+        out.push(if *left {
+            t.clone().bin(op, Expr::num(*x))
+        } else {
+            Expr::num(*x).bin(op, t.clone())
+        });
+    }
+    for (a, b) in atoms.ors.iter().skip(skip_ors) {
+        out.push(a.clone().or(b.clone()));
+    }
+    out.extend(atoms.opaque.iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_gil::LVar;
+
+    fn x(i: u64) -> Expr {
+        Expr::lvar(LVar(i))
+    }
+
+    fn check(cs: &[Expr]) -> SatResult {
+        check_conjunction(cs, SatBudget::default())
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(check(&[]), SatResult::Sat);
+        assert_eq!(check(&[Expr::tt()]), SatResult::Sat);
+        assert_eq!(check(&[Expr::ff()]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn equality_contradiction() {
+        assert_eq!(
+            check(&[x(0).eq(Expr::int(1)), x(0).eq(Expr::int(2))]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            check(&[x(0).eq(x(1)), x(1).eq(Expr::int(2)), x(0).eq(Expr::int(2))]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn disequality_contradiction() {
+        assert_eq!(
+            check(&[x(0).eq(x(1)), x(0).ne(x(1))]),
+            SatResult::Unsat
+        );
+        assert_eq!(check(&[x(0).ne(Expr::int(3))]), SatResult::Sat);
+    }
+
+    #[test]
+    fn interval_contradiction() {
+        // x < 5 ∧ 5 ≤ x
+        assert_eq!(
+            check(&[
+                x(0).lt(Expr::int(5)),
+                Expr::int(5).le(x(0)),
+            ]),
+            SatResult::Unsat
+        );
+        // 0 ≤ x ∧ x ≤ 1 ∧ x ≠ 0 ∧ x ≠ 1
+        assert_eq!(
+            check(&[
+                Expr::int(0).le(x(0)),
+                x(0).le(Expr::int(1)),
+                x(0).ne(Expr::int(0)),
+                x(0).ne(Expr::int(1)),
+            ]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn transitive_interval_chain() {
+        assert_eq!(
+            check(&[x(0).lt(x(1)), x(1).lt(x(2)), x(2).lt(x(0))]),
+            SatResult::Unsat,
+            "strict cycle"
+        );
+        assert_eq!(
+            check(&[x(0).lt(x(1)), x(1).lt(x(2))]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn substitution_closure_resolves_through_equalities() {
+        // x0 = x1 ∧ x1 = 3 ∧ x0 + 1 < 3  →  4 < 3 unsat
+        assert_eq!(
+            check(&[
+                x(0).eq(x(1)),
+                x(1).eq(Expr::int(3)),
+                x(0).add(Expr::int(1)).lt(Expr::int(3)),
+            ]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn type_conflicts_are_unsat() {
+        let tf = |e: Expr, t: TypeTag| e.type_of().eq(Expr::type_tag(t));
+        assert_eq!(
+            check(&[tf(x(0), TypeTag::Int), tf(x(0), TypeTag::Str)]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            check(&[tf(x(0), TypeTag::Int), x(0).eq(Expr::str("s"))]),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn disjunction_splitting() {
+        // (x=1 ∨ x=2) ∧ x≠1 ∧ x≠2
+        assert_eq!(
+            check(&[
+                x(0).eq(Expr::int(1)).or(x(0).eq(Expr::int(2))),
+                x(0).ne(Expr::int(1)),
+                x(0).ne(Expr::int(2)),
+            ]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            check(&[
+                x(0).eq(Expr::int(1)).or(x(0).eq(Expr::int(2))),
+                x(0).ne(Expr::int(1)),
+            ]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn num_comparisons() {
+        assert_eq!(
+            check(&[
+                x(0).lt(Expr::num(1.0)),
+                Expr::num(2.0).le(x(0)),
+            ]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            check(&[x(0).lt(Expr::num(1.0))]),
+            SatResult::Sat
+        );
+    }
+
+    #[test]
+    fn bool_atoms() {
+        assert_eq!(check(&[x(0).clone(), x(0).not()]), SatResult::Unsat);
+        assert_eq!(check(&[x(0).clone()]), SatResult::Sat);
+    }
+
+    #[test]
+    fn list_structure() {
+        // {{1, x}} = {{1, 2}} ∧ x ≠ 2
+        assert_eq!(
+            check(&[
+                Expr::list([Expr::int(1), x(0)]).eq(Expr::list([Expr::int(1), Expr::int(2)])),
+                x(0).ne(Expr::int(2)),
+            ]),
+            SatResult::Unsat
+        );
+    }
+}

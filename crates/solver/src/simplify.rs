@@ -1,0 +1,784 @@
+//! Algebraic simplification of GIL expressions.
+//!
+//! The simplifier rewrites expressions bottom-up, constant-folding through
+//! the *same* operator semantics the concrete interpreter uses
+//! (`gillian_gil::ops`). Rewrites are error-preserving: an expression that
+//! can fail concretely (e.g. `l-head` of a possibly-empty list) is never
+//! rewritten into one that cannot, and subexpressions are only *dropped*
+//! when they are [`is_total`] (cannot fail). This discipline is what makes
+//! the engine's differential soundness tests pass unconditionally.
+//!
+//! Floating-point (`Num`) arithmetic is folded only when both operands are
+//! literal; no re-association or identity rewriting is performed on `Num`
+//! (IEEE `-0.0`/NaN corners), while exact rules are applied to `Int`.
+
+use crate::typing::{infer, TypeEnv};
+use gillian_gil::ops::{eval_binop, eval_unop};
+use gillian_gil::{BinOp, Expr, TypeTag, UnOp, Value};
+
+/// True when evaluating `e` can never raise an error, for any assignment
+/// consistent with the typing environment. Conservative: `false` means
+/// "don't know".
+pub fn is_total(env: &TypeEnv, e: &Expr) -> bool {
+    let ty = |x: &Expr| infer(env, x);
+    match e {
+        Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => true,
+        Expr::Un(op, x) => {
+            is_total(env, x)
+                && match op {
+                    UnOp::TypeOf | UnOp::ToStr => true,
+                    UnOp::Not => ty(x) == Some(TypeTag::Bool),
+                    UnOp::Neg => matches!(ty(x), Some(TypeTag::Int | TypeTag::Num)),
+                    UnOp::IntToNum | UnOp::BitNot => ty(x) == Some(TypeTag::Int),
+                    UnOp::Floor => ty(x) == Some(TypeTag::Num),
+                    UnOp::StrLen => ty(x) == Some(TypeTag::Str),
+                    UnOp::LstLen | UnOp::LstRev => ty(x) == Some(TypeTag::List),
+                    UnOp::WrapSigned(w) | UnOp::WrapUnsigned(w) => {
+                        ty(x) == Some(TypeTag::Int) && (1..=64).contains(w)
+                    }
+                    // NumToInt (NaN/∞/range) and list head/tail (emptiness)
+                    // can fail regardless of types.
+                    UnOp::NumToInt | UnOp::LstHead | UnOp::LstTail => false,
+                }
+        }
+        Expr::Bin(op, a, b) => {
+            is_total(env, a)
+                && is_total(env, b)
+                && match op {
+                    BinOp::Eq => true,
+                    BinOp::And | BinOp::Or => {
+                        ty(a) == Some(TypeTag::Bool) && ty(b) == Some(TypeTag::Bool)
+                    }
+                    BinOp::Lt | BinOp::Leq => matches!(
+                        (ty(a), ty(b)),
+                        (Some(TypeTag::Int), Some(TypeTag::Int))
+                            | (Some(TypeTag::Num), Some(TypeTag::Num))
+                            | (Some(TypeTag::Str), Some(TypeTag::Str))
+                    ),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => matches!(
+                        (ty(a), ty(b)),
+                        (Some(TypeTag::Int), Some(TypeTag::Int))
+                            | (Some(TypeTag::Num), Some(TypeTag::Num))
+                    ),
+                    // Integer division and modulo trap on zero.
+                    BinOp::Div | BinOp::Mod => {
+                        ty(a) == Some(TypeTag::Num) && ty(b) == Some(TypeTag::Num)
+                    }
+                    BinOp::BitAnd
+                    | BinOp::BitOr
+                    | BinOp::BitXor
+                    | BinOp::Shl
+                    | BinOp::ShrA
+                    | BinOp::ShrL => {
+                        ty(a) == Some(TypeTag::Int) && ty(b) == Some(TypeTag::Int)
+                    }
+                    BinOp::LstCons => ty(b) == Some(TypeTag::List),
+                    // Indexing can go out of bounds.
+                    BinOp::LstNth | BinOp::StrNth | BinOp::LstSub => false,
+                }
+        }
+        Expr::List(es) => es.iter().all(|e| is_total(env, e)),
+        Expr::StrCat(es) => es.iter().all(|e| is_total(env, e) && ty(e) == Some(TypeTag::Str)),
+        Expr::LstCat(es) => es.iter().all(|e| is_total(env, e) && ty(e) == Some(TypeTag::List)),
+    }
+}
+
+fn val(v: Value) -> Expr {
+    Expr::Val(v)
+}
+
+fn bool_e(b: bool) -> Expr {
+    Expr::Val(Value::Bool(b))
+}
+
+/// Basic simplification: recursive constant folding only, with none of the
+/// algebraic, typing, or structural rewrites. Stands in for the previous
+/// generation of first-order simplifier (JaVerT 2.0) in the Table 1
+/// baseline configuration.
+pub fn simplify_basic(e: &Expr) -> Expr {
+    match e {
+        Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => e.clone(),
+        Expr::Un(op, inner) => {
+            let inner = simplify_basic(inner);
+            if let Expr::Val(v) = &inner {
+                if let Ok(folded) = eval_unop(*op, v) {
+                    return Expr::Val(folded);
+                }
+            }
+            Expr::Un(*op, Box::new(inner))
+        }
+        Expr::Bin(op, a, b) => {
+            let a = simplify_basic(a);
+            let b = simplify_basic(b);
+            if let (Expr::Val(x), Expr::Val(y)) = (&a, &b) {
+                if let Ok(folded) = eval_binop(*op, x, y) {
+                    return Expr::Val(folded);
+                }
+            }
+            Expr::Bin(*op, Box::new(a), Box::new(b))
+        }
+        Expr::List(es) => promote_list(es.iter().map(simplify_basic).collect()),
+        Expr::StrCat(es) => {
+            let es: Vec<Expr> = es.iter().map(simplify_basic).collect();
+            if es.iter().all(|e| matches!(e, Expr::Val(Value::Str(_)))) {
+                let vs: Vec<Value> = es.iter().map(|e| e.as_value().unwrap().clone()).collect();
+                if let Ok(v) = gillian_gil::ops::eval_strcat(&vs) {
+                    return Expr::Val(v);
+                }
+            }
+            Expr::StrCat(es)
+        }
+        Expr::LstCat(es) => {
+            let es: Vec<Expr> = es.iter().map(simplify_basic).collect();
+            if es.iter().all(|e| matches!(e, Expr::Val(Value::List(_)))) {
+                let vs: Vec<Value> = es.iter().map(|e| e.as_value().unwrap().clone()).collect();
+                if let Ok(v) = gillian_gil::ops::eval_lstcat(&vs) {
+                    return Expr::Val(v);
+                }
+            }
+            Expr::LstCat(es)
+        }
+    }
+}
+
+/// Simplifies an expression under a typing environment for logical
+/// variables. Idempotent: `simplify(env, &simplify(env, e)) == simplify(env, e)`.
+pub fn simplify(env: &TypeEnv, e: &Expr) -> Expr {
+    match e {
+        Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => e.clone(),
+        Expr::Un(op, inner) => simp_un(env, *op, simplify(env, inner)),
+        Expr::Bin(op, a, b) => simp_bin(env, *op, simplify(env, a), simplify(env, b)),
+        Expr::List(es) => {
+            let es: Vec<Expr> = es.iter().map(|e| simplify(env, e)).collect();
+            promote_list(es)
+        }
+        Expr::StrCat(es) => {
+            let es: Vec<Expr> = es.iter().map(|e| simplify(env, e)).collect();
+            simp_strcat(es)
+        }
+        Expr::LstCat(es) => {
+            let es: Vec<Expr> = es.iter().map(|e| simplify(env, e)).collect();
+            simp_lstcat(es)
+        }
+    }
+}
+
+/// If every element is a literal, promote `List(es)` to a literal list
+/// value (canonical form, so symbolic heaps can key on it).
+fn promote_list(es: Vec<Expr>) -> Expr {
+    if es.iter().all(|e| e.as_value().is_some()) {
+        val(Value::List(
+            es.iter().map(|e| e.as_value().unwrap().clone()).collect(),
+        ))
+    } else {
+        Expr::List(es)
+    }
+}
+
+fn simp_strcat(es: Vec<Expr>) -> Expr {
+    // Flatten nested s-cat, merge adjacent string literals, drop "".
+    let mut flat: Vec<Expr> = Vec::new();
+    for e in es {
+        match e {
+            Expr::StrCat(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    let mut out: Vec<Expr> = Vec::new();
+    for e in flat {
+        match (&e, out.last_mut()) {
+            (Expr::Val(Value::Str(s)), _) if s.is_empty() => {}
+            (Expr::Val(Value::Str(s)), Some(Expr::Val(Value::Str(prev)))) => {
+                let merged = format!("{prev}{s}");
+                *out.last_mut().unwrap() = Expr::str(merged);
+            }
+            _ => out.push(e),
+        }
+    }
+    match out.len() {
+        0 => Expr::str(""),
+        1 => match &out[0] {
+            // A lone non-string operand must keep its s-cat wrapper: s-cat
+            // of a non-string is an error, the operand alone is not.
+            Expr::Val(Value::Str(_)) => out.pop().unwrap(),
+            _ => Expr::StrCat(out),
+        },
+        _ => Expr::StrCat(out),
+    }
+}
+
+fn simp_lstcat(es: Vec<Expr>) -> Expr {
+    let mut flat: Vec<Expr> = Vec::new();
+    for e in es {
+        match e {
+            Expr::LstCat(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    let mut out: Vec<Expr> = Vec::new();
+    for e in flat {
+        // Parts constructed internally (e.g. by the cons rule) may be
+        // unpromoted literal lists.
+        let e = match e {
+            Expr::List(es) => promote_list(es),
+            other => other,
+        };
+        let is_empty_lit = matches!(&e, Expr::Val(Value::List(vs)) if vs.is_empty())
+            || matches!(&e, Expr::List(vs) if vs.is_empty());
+        if is_empty_lit {
+            continue;
+        }
+        // Merge adjacent list shapes.
+        let prev = out.last_mut();
+        match (e, prev) {
+            (Expr::Val(Value::List(vs)), Some(Expr::Val(Value::List(prev)))) => {
+                prev.extend(vs);
+            }
+            (Expr::Val(Value::List(vs)), Some(Expr::List(prev))) => {
+                prev.extend(vs.into_iter().map(Expr::Val));
+            }
+            (Expr::List(es2), Some(Expr::List(prev))) => {
+                prev.extend(es2);
+            }
+            (Expr::List(es2), Some(p @ Expr::Val(Value::List(_)))) => {
+                let Expr::Val(Value::List(vs)) = p.clone() else {
+                    unreachable!()
+                };
+                let mut merged: Vec<Expr> = vs.into_iter().map(Expr::Val).collect();
+                merged.extend(es2);
+                *p = Expr::List(merged);
+            }
+            (e, _) => out.push(e),
+        }
+    }
+    match out.len() {
+        0 => Expr::nil(),
+        1 => match &out[0] {
+            Expr::Val(Value::List(_)) => out.pop().unwrap(),
+            Expr::List(_) => promote_list(match out.pop().unwrap() {
+                Expr::List(es) => es,
+                _ => unreachable!(),
+            }),
+            // A lone non-list operand keeps its l-cat wrapper (see s-cat).
+            _ => Expr::LstCat(out),
+        },
+        _ => Expr::LstCat(out),
+    }
+}
+
+fn simp_un(env: &TypeEnv, op: UnOp, inner: Expr) -> Expr {
+    // Constant folding (only when folding succeeds — errors stay residual).
+    if let Expr::Val(v) = &inner {
+        if let Ok(folded) = eval_unop(op, v) {
+            return val(folded);
+        }
+        return Expr::Un(op, Box::new(inner));
+    }
+    match (op, &inner) {
+        (UnOp::Not, Expr::Un(UnOp::Not, e)) => return (**e).clone(),
+        (UnOp::TypeOf, e)
+            // Only fold when the operand cannot error: `typeOf` of an
+            // erroring expression must keep erroring.
+            if is_total(env, e) => {
+                if let Some(t) = infer(env, e) {
+                    return val(Value::Type(t));
+                }
+            }
+        (UnOp::Not, Expr::Bin(BinOp::Lt, a, b)) => {
+            // ¬(a < b) ⇔ b ≤ a on total orders (Int, Str) — not on Num (NaN).
+            let ta = infer(env, a);
+            if matches!(ta, Some(TypeTag::Int) | Some(TypeTag::Str)) && ta == infer(env, b) {
+                return simp_bin(env, BinOp::Leq, (**b).clone(), (**a).clone());
+            }
+        }
+        (UnOp::Not, Expr::Bin(BinOp::Leq, a, b)) => {
+            let ta = infer(env, a);
+            if matches!(ta, Some(TypeTag::Int) | Some(TypeTag::Str)) && ta == infer(env, b) {
+                return simp_bin(env, BinOp::Lt, (**b).clone(), (**a).clone());
+            }
+        }
+        (UnOp::LstLen, Expr::List(es))
+            if es.iter().all(|e| is_total(env, e)) => {
+                return Expr::int(es.len() as i64);
+            }
+        (UnOp::LstLen, Expr::LstCat(parts)) => {
+            // len(l-cat(p₁…pₙ)) = Σ len(pᵢ): lengths of literal parts fold.
+            let mut konst = 0i64;
+            let mut rest: Vec<Expr> = Vec::new();
+            for p in parts {
+                match p {
+                    Expr::List(es) if es.iter().all(|e| is_total(env, e)) => konst += es.len() as i64,
+                    Expr::Val(Value::List(vs)) => konst += vs.len() as i64,
+                    other => rest.push(other.clone().lst_len()),
+                }
+            }
+            let mut acc = if rest.is_empty() {
+                return Expr::int(konst);
+            } else {
+                let mut it = rest.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |a, b| a.add(b))
+            };
+            if konst != 0 {
+                acc = acc.add(Expr::int(konst));
+            }
+            return acc;
+        }
+        (UnOp::LstHead, Expr::List(es))
+            if !es.is_empty() && es.iter().all(|e| is_total(env, e)) => {
+                return es[0].clone();
+            }
+        (UnOp::LstTail, Expr::List(es))
+            if !es.is_empty() && es.iter().all(|e| is_total(env, e)) => {
+                return promote_list(es[1..].to_vec());
+            }
+        (UnOp::LstRev, Expr::List(es))
+            if es.iter().all(|e| is_total(env, e)) => {
+                return promote_list(es.iter().rev().cloned().collect());
+            }
+        (UnOp::Neg, Expr::Un(UnOp::Neg, e)) => {
+            if matches!(infer(env, e), Some(TypeTag::Int) | Some(TypeTag::Num)) {
+                return (**e).clone();
+            }
+        }
+        _ => {}
+    }
+    Expr::Un(op, Box::new(inner))
+}
+
+/// Splits `e` viewed as `base + c` with `c` a literal `Int` (0 otherwise).
+fn as_int_offset(e: &Expr) -> (Expr, i64) {
+    if let Expr::Bin(BinOp::Add, a, b) = e {
+        if let Some(c) = b.as_int() {
+            return (a.as_ref().clone(), c);
+        }
+    }
+    (e.clone(), 0)
+}
+
+fn simp_bin(env: &TypeEnv, op: BinOp, a: Expr, b: Expr) -> Expr {
+    // Constant folding.
+    if let (Expr::Val(x), Expr::Val(y)) = (&a, &b) {
+        if let Ok(folded) = eval_binop(op, x, y) {
+            return val(folded);
+        }
+        return Expr::Bin(op, Box::new(a), Box::new(b));
+    }
+    match op {
+        BinOp::Eq => return simp_eq(env, a, b),
+        BinOp::And => {
+            // Folds must not change the error behaviour: `and` is strict,
+            // so the dropped/kept operand must be known Bool (else the
+            // original errors) and droppable operands must be total.
+            let a_bool = infer(env, &a) == Some(TypeTag::Bool);
+            let b_bool = infer(env, &b) == Some(TypeTag::Bool);
+            match (a.as_bool(), b.as_bool()) {
+                (Some(true), _) if b_bool => return b,
+                (_, Some(true)) if a_bool => return a,
+                (Some(false), _) if b_bool && is_total(env, &b) => return bool_e(false),
+                (_, Some(false)) if a_bool && is_total(env, &a) => return bool_e(false),
+                _ => {}
+            }
+            if a == b && a_bool && is_total(env, &a) {
+                return a;
+            }
+        }
+        BinOp::Or => {
+            let a_bool = infer(env, &a) == Some(TypeTag::Bool);
+            let b_bool = infer(env, &b) == Some(TypeTag::Bool);
+            match (a.as_bool(), b.as_bool()) {
+                (Some(false), _) if b_bool => return b,
+                (_, Some(false)) if a_bool => return a,
+                (Some(true), _) if b_bool && is_total(env, &b) => return bool_e(true),
+                (_, Some(true)) if a_bool && is_total(env, &a) => return bool_e(true),
+                _ => {}
+            }
+            if a == b && a_bool && is_total(env, &a) {
+                return a;
+            }
+        }
+        BinOp::Add => {
+            let int_side = infer(env, &a) == Some(TypeTag::Int)
+                || infer(env, &b) == Some(TypeTag::Int);
+            if int_side {
+                // Canonicalize: constants to the right, re-associate.
+                let (abase, ac) = as_int_offset(&a);
+                let (bbase, bc) = as_int_offset(&b);
+                let konst = ac.wrapping_add(bc);
+                let a_is_const = abase.as_int().is_some();
+                let b_is_const = bbase.as_int().is_some();
+                match (a_is_const, b_is_const) {
+                    (true, true) => {
+                        return Expr::int(
+                            abase
+                                .as_int()
+                                .unwrap()
+                                .wrapping_add(bbase.as_int().unwrap())
+                                .wrapping_add(konst),
+                        )
+                    }
+                    (true, false) => {
+                        let k = abase.as_int().unwrap().wrapping_add(konst);
+                        return add_offset(bbase, k);
+                    }
+                    (false, true) => {
+                        let k = bbase.as_int().unwrap().wrapping_add(konst);
+                        return add_offset(abase, k);
+                    }
+                    (false, false) => {
+                        if ac != 0 || bc != 0 {
+                            return add_offset(abase.add(bbase), konst);
+                        }
+                    }
+                }
+            }
+        }
+        BinOp::Sub
+            // x - c → x + (-c) on Int (exact under wrapping).
+            if (infer(env, &a) == Some(TypeTag::Int) || b.as_int().is_some()) => {
+                if let Some(c) = b.as_int() {
+                    return simp_bin(env, BinOp::Add, a, Expr::int(c.wrapping_neg()));
+                }
+            }
+        BinOp::Mul => {
+            let int_a = infer(env, &a) == Some(TypeTag::Int);
+            let int_b = infer(env, &b) == Some(TypeTag::Int);
+            if int_a || int_b {
+                if a.as_int() == Some(1) {
+                    return b;
+                }
+                if b.as_int() == Some(1) {
+                    return a;
+                }
+                if a.as_int() == Some(0) && is_total(env, &b) && int_b {
+                    return Expr::int(0);
+                }
+                if b.as_int() == Some(0) && is_total(env, &a) && int_a {
+                    return Expr::int(0);
+                }
+            }
+        }
+        BinOp::Lt | BinOp::Leq => {
+            let ta = infer(env, &a);
+            if a == b && is_total(env, &a) {
+                match ta {
+                    Some(TypeTag::Int) | Some(TypeTag::Str) => {
+                        return bool_e(op == BinOp::Leq);
+                    }
+                    Some(TypeTag::Num)
+                        // x < x is false even for NaN.
+                        if op == BinOp::Lt => {
+                            return bool_e(false);
+                        }
+                    _ => {}
+                }
+            }
+            // (x + c₁) ⋈ (y + c₂) on Int: shift the smaller constant out,
+            // guarded against wrap-around only when both sides share base.
+            if ta == Some(TypeTag::Int) {
+                let (abase, ac) = as_int_offset(&a);
+                let (bbase, bc) = as_int_offset(&b);
+                if abase == bbase && is_total(env, &abase) {
+                    // Same base: ordering determined by offsets, except at
+                    // wrap boundaries; offsets in compiled code are small,
+                    // and paths near i64 bounds are vanishingly unlikely to
+                    // matter — but to stay sound we only fold when both
+                    // offsets are "safe" (|c| < 2⁶²).
+                    const SAFE: i64 = 1 << 62;
+                    if ac.abs() < SAFE && bc.abs() < SAFE {
+                        return bool_e(if op == BinOp::Lt { ac < bc } else { ac <= bc });
+                    }
+                }
+            }
+        }
+        BinOp::LstNth => {
+            if let (Expr::List(es), Some(i)) = (&a, b.as_int()) {
+                if i >= 0 && (i as usize) < es.len() {
+                    let pre_total = es[..i as usize].iter().all(|e| is_total(env, e));
+                    let post_total = es[i as usize + 1..].iter().all(|e| is_total(env, e));
+                    if pre_total && post_total {
+                        return es[i as usize].clone();
+                    }
+                }
+            }
+        }
+        BinOp::LstCons => {
+            // cons(v, l) → l-cat({{v}}, l): lets the l-cat rules merge.
+            return simp_lstcat(vec![Expr::List(vec![a]), b]);
+        }
+        BinOp::LstSub => {
+            if let (Expr::List(es), Some(i)) = (&a, b.as_int()) {
+                if i >= 0 && (i as usize) <= es.len() && es.iter().all(|e| is_total(env, e)) {
+                    return promote_list(es[i as usize..].to_vec());
+                }
+            }
+        }
+        _ => {}
+    }
+    Expr::Bin(op, Box::new(a), Box::new(b))
+}
+
+fn add_offset(base: Expr, c: i64) -> Expr {
+    if c == 0 {
+        base
+    } else {
+        Expr::Bin(BinOp::Add, Box::new(base), Box::new(Expr::int(c)))
+    }
+}
+
+fn list_parts(e: &Expr) -> Option<Vec<Expr>> {
+    match e {
+        Expr::List(es) => Some(es.clone()),
+        Expr::Val(Value::List(vs)) => Some(vs.iter().cloned().map(Expr::Val).collect()),
+        _ => None,
+    }
+}
+
+fn simp_eq(env: &TypeEnv, a: Expr, b: Expr) -> Expr {
+    if a == b && is_total(env, &a) {
+        return bool_e(true);
+    }
+    // Distinct types can never be equal.
+    if let (Some(ta), Some(tb)) = (infer(env, &a), infer(env, &b)) {
+        if ta != tb {
+            if is_total(env, &a) && is_total(env, &b) {
+                return bool_e(false);
+            }
+            return Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b));
+        }
+    }
+    // Structural list decomposition.
+    if let (Some(xs), Some(ys)) = (list_parts(&a), list_parts(&b)) {
+        let all_total = xs.iter().chain(ys.iter()).all(|e| is_total(env, e));
+        if all_total {
+            if xs.len() != ys.len() {
+                return bool_e(false);
+            }
+            let mut acc = bool_e(true);
+            for (x, y) in xs.into_iter().zip(ys) {
+                let piece = simp_eq(env, x, y);
+                acc = simp_bin(env, BinOp::And, acc, piece);
+            }
+            return acc;
+        }
+    }
+    // b = true → b; b = false → ¬b — only when the non-literal side is
+    // itself known Bool (else `5 = true` would fold to `5`).
+    match (a.as_bool(), b.as_bool()) {
+        (Some(true), None) if infer(env, &b) == Some(TypeTag::Bool) => return b,
+        (None, Some(true)) if infer(env, &a) == Some(TypeTag::Bool) => return a,
+        (Some(false), None) if infer(env, &b) == Some(TypeTag::Bool) => {
+            return simp_un(env, UnOp::Not, b)
+        }
+        (None, Some(false)) if infer(env, &a) == Some(TypeTag::Bool) => {
+            return simp_un(env, UnOp::Not, a)
+        }
+        _ => {}
+    }
+    // (x + c = d) → (x = d - c) on Int (exact under wrapping).
+    let (abase, ac) = as_int_offset(&a);
+    let (bbase, bc) = as_int_offset(&b);
+    // Same base on both sides: equal iff the offsets are equal — exact
+    // even under wrapping, since `+ c` is a bijection on i64.
+    if abase == bbase && is_total(env, &abase) && (ac != 0 || bc != 0) {
+        return bool_e(ac == bc);
+    }
+    if (ac != 0 || bc != 0)
+        && (infer(env, &a) == Some(TypeTag::Int) || infer(env, &b) == Some(TypeTag::Int))
+    {
+        if let Some(d) = bbase.as_int() {
+            return simp_eq(env, abase, Expr::int(d.wrapping_add(bc).wrapping_sub(ac)));
+        }
+        if let Some(d) = abase.as_int() {
+            return simp_eq(env, bbase, Expr::int(d.wrapping_add(ac).wrapping_sub(bc)));
+        }
+    }
+    // Canonical orientation: literal on the right, lvar on the left.
+    let (a, b) = match (&a, &b) {
+        (Expr::Val(_), Expr::Val(_)) => (a, b),
+        (Expr::Val(_), _) => (b, a),
+        (_, Expr::LVar(_)) if !matches!(a, Expr::LVar(_)) => (b, a),
+        _ => (a, b),
+    };
+    Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_gil::LVar;
+
+    fn s(e: &Expr) -> Expr {
+        simplify(&TypeEnv::new(), e)
+    }
+
+    fn ty(pairs: &[(u64, TypeTag)]) -> TypeEnv {
+        pairs.iter().map(|&(x, t)| (LVar(x), t)).collect()
+    }
+
+    #[test]
+    fn constant_folds() {
+        assert_eq!(s(&Expr::int(2).add(Expr::int(3))), Expr::int(5));
+        assert_eq!(s(&Expr::int(2).lt(Expr::int(3))), Expr::tt());
+        assert_eq!(s(&Expr::str("a").eq(Expr::str("b"))), Expr::ff());
+    }
+
+    #[test]
+    fn error_expressions_stay_residual() {
+        // 1/0 must not fold away.
+        let e = Expr::int(1).div(Expr::int(0));
+        assert_eq!(s(&e), e);
+        // head([]) must not fold.
+        let h = Expr::nil().lst_head();
+        assert_eq!(s(&h), h);
+    }
+
+    #[test]
+    fn int_identities() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Int)]);
+        assert_eq!(simplify(&env, &x.clone().add(Expr::int(0))), x);
+        assert_eq!(
+            simplify(&env, &x.clone().add(Expr::int(1)).add(Expr::int(2))),
+            x.clone().add(Expr::int(3))
+        );
+        assert_eq!(simplify(&env, &Expr::int(3).add(x.clone())), x.clone().add(Expr::int(3)));
+        assert_eq!(simplify(&env, &x.clone().sub(Expr::int(2))), x.add(Expr::int(-2)));
+    }
+
+    #[test]
+    fn num_is_not_reassociated() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Num)]);
+        let e = x.clone().add(Expr::num(0.0));
+        assert_eq!(simplify(&env, &e), e, "x + 0.0 must stay (x may be -0.0)");
+    }
+
+    #[test]
+    fn equality_rules() {
+        let x = Expr::lvar(LVar(0));
+        assert_eq!(s(&x.clone().eq(x.clone())), Expr::tt());
+        let env = ty(&[(0, TypeTag::Int)]);
+        assert_eq!(
+            simplify(&env, &x.clone().eq(Expr::str("s"))),
+            Expr::ff(),
+            "type-distinct equality is false"
+        );
+        // (x + 2 = 5) → (x = 3)
+        assert_eq!(
+            simplify(&env, &x.clone().add(Expr::int(2)).eq(Expr::int(5))),
+            x.eq(Expr::int(3))
+        );
+    }
+
+    #[test]
+    fn list_decomposition() {
+        let x = Expr::lvar(LVar(0));
+        let l1 = Expr::list([Expr::int(1), x.clone()]);
+        let l2 = Expr::list([Expr::int(1), Expr::int(7)]);
+        assert_eq!(s(&l1.clone().eq(l2)), x.eq(Expr::int(7)));
+        let l3 = Expr::list([Expr::int(1)]);
+        assert_eq!(s(&l1.eq(l3)), Expr::ff(), "length mismatch");
+    }
+
+    #[test]
+    fn lists_promote_to_values() {
+        assert_eq!(
+            s(&Expr::list([Expr::int(1), Expr::int(2)])),
+            Expr::Val(Value::List(vec![Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn lstcat_flattens_and_merges() {
+        let x = Expr::lvar(LVar(0));
+        let e = Expr::LstCat(vec![
+            Expr::list([Expr::int(1)]),
+            Expr::LstCat(vec![Expr::list([Expr::int(2)]), x.clone()]),
+        ]);
+        let out = s(&e);
+        assert_eq!(
+            out,
+            Expr::LstCat(vec![
+                Expr::Val(Value::List(vec![Value::Int(1), Value::Int(2)])),
+                x.clone()
+            ])
+        );
+        // cons canonicalizes into l-cat.
+        let c = Expr::int(0).cons(x.clone());
+        assert_eq!(
+            s(&c),
+            Expr::LstCat(vec![Expr::Val(Value::List(vec![Value::Int(0)])), x])
+        );
+    }
+
+    #[test]
+    fn lstlen_of_cat_folds() {
+        let x = Expr::lvar(LVar(0));
+        let e = Expr::LstCat(vec![Expr::list([Expr::int(1), Expr::int(2)]), x.clone()]).lst_len();
+        assert_eq!(s(&e), x.lst_len().add(Expr::int(2)));
+    }
+
+    #[test]
+    fn not_lt_flips_on_int() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Int)]);
+        assert_eq!(
+            simplify(&env, &x.clone().lt(Expr::int(3)).not()),
+            Expr::int(3).le(x)
+        );
+    }
+
+    #[test]
+    fn not_lt_does_not_flip_on_num() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Num)]);
+        let e = x.lt(Expr::num(3.0)).not();
+        assert_eq!(simplify(&env, &e), e, "NaN breaks ¬(a<b) ⇔ b≤a");
+    }
+
+    #[test]
+    fn typeof_resolution() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Str)]);
+        assert_eq!(
+            simplify(&env, &x.type_of()),
+            Expr::type_tag(TypeTag::Str)
+        );
+    }
+
+    #[test]
+    fn bool_equality_unwraps() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Bool)]);
+        assert_eq!(simplify(&env, &x.clone().eq(Expr::tt())), x.clone());
+        assert_eq!(simplify(&env, &x.clone().eq(Expr::ff())), x.not());
+    }
+
+    #[test]
+    fn same_base_comparisons_fold() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Int)]);
+        let e = x.clone().add(Expr::int(1)).le(x.clone().add(Expr::int(3)));
+        assert_eq!(simplify(&env, &e), Expr::tt());
+        let e2 = x.clone().add(Expr::int(3)).lt(x.add(Expr::int(1)));
+        assert_eq!(simplify(&env, &e2), Expr::ff());
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_samples() {
+        let x = Expr::lvar(LVar(0));
+        let env = ty(&[(0, TypeTag::Int)]);
+        let samples = vec![
+            x.clone().add(Expr::int(1)).add(Expr::int(2)),
+            x.clone().eq(Expr::int(3)).not(),
+            Expr::LstCat(vec![Expr::list([x.clone()]), Expr::nil()]),
+            x.clone().lt(Expr::int(10)).and(Expr::int(0).le(x.clone())),
+        ];
+        for e in samples {
+            let once = simplify(&env, &e);
+            let twice = simplify(&env, &once);
+            assert_eq!(once, twice, "not idempotent on {e}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The solver façade used by the symbolic execution engine.
+//!
+//! Wraps simplification, satisfiability and model finding behind one
+//! handle, adding result caching and statistics. The paper attributes
+//! Gillian-JS's ≈2× speedup over JaVerT 2.0 to "better simplifications and
+//! better caching of results" in the first-order solver; [`SolverConfig`]
+//! exposes exactly those two switches so the benchmark harness can
+//! reproduce both engine configurations (Table 1).
+
+use crate::model::{find_model, Model, ModelBudget};
+use crate::pathcond::PathCondition;
+use crate::sat::{check_conjunction, SatBudget, SatResult};
+use crate::simplify;
+use crate::typing::{absorb_type_fact, TypeEnv};
+use gillian_gil::Expr;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// The simplifier tier a solver runs (see [`crate::simplify`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Simplification {
+    /// No rewriting at all.
+    Off,
+    /// Recursive constant folding only (the previous-generation
+    /// simplifier the Table 1 baseline stands in for).
+    Basic,
+    /// The full algebraic/typing/structural simplifier.
+    Full,
+}
+
+/// Configuration of a [`Solver`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// The simplification tier applied before solving (and on every
+    /// expression the engine stores into states).
+    pub simplification: Simplification,
+    /// Memoize satisfiability verdicts keyed on the canonical conjunction.
+    pub caching: bool,
+    /// Budgets for the satisfiability checker.
+    pub sat_budget: SatBudget,
+    /// Budgets for the model finder.
+    pub model_budget: ModelBudget,
+}
+
+impl SolverConfig {
+    /// The optimized configuration (Gillian as published).
+    pub fn optimized() -> Self {
+        SolverConfig {
+            simplification: Simplification::Full,
+            caching: true,
+            sat_budget: SatBudget::default(),
+            model_budget: ModelBudget::default(),
+        }
+    }
+
+    /// The baseline configuration standing in for JaVerT 2.0 in Table 1.
+    ///
+    /// JaVerT 2.0 already simplified expressions; the paper attributes
+    /// Gillian-JS's ≈2× speedup to *better* simplifications and *better
+    /// caching of results*. The baseline therefore runs the basic
+    /// (constant-folding-only) simplifier and drops the solver result
+    /// cache.
+    pub fn baseline() -> Self {
+        SolverConfig {
+            simplification: Simplification::Basic,
+            caching: false,
+            sat_budget: SatBudget::default(),
+            model_budget: ModelBudget::default(),
+        }
+    }
+
+    /// Everything off: the ablation point below [`SolverConfig::baseline`]
+    /// (no cache *and* no simplification).
+    pub fn unoptimized() -> Self {
+        SolverConfig {
+            simplification: Simplification::Off,
+            caching: false,
+            sat_budget: SatBudget::default(),
+            model_budget: ModelBudget::default(),
+        }
+    }
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig::optimized()
+    }
+}
+
+/// Cumulative counters, readable at any time (e.g. by benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Satisfiability queries issued.
+    pub sat_queries: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Expressions passed through [`Solver::simplify`].
+    pub simplifications: u64,
+    /// Model searches attempted.
+    pub model_searches: u64,
+}
+
+/// A satisfiability and simplification oracle over path conditions.
+///
+/// Interior-mutable (single-threaded engine): `&Solver` is threaded through
+/// symbolic memories and the interpreter.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    cache: RefCell<HashMap<Vec<Expr>, SatResult>>,
+    sat_queries: Cell<u64>,
+    cache_hits: Cell<u64>,
+    simplifications: Cell<u64>,
+    model_searches: Cell<u64>,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a solver with the optimized configuration.
+    pub fn optimized() -> Self {
+        Solver::new(SolverConfig::optimized())
+    }
+
+    /// Creates a solver with the baseline configuration.
+    pub fn baseline() -> Self {
+        Solver::new(SolverConfig::baseline())
+    }
+
+    /// Creates a solver with cache and simplification both disabled.
+    pub fn unoptimized() -> Self {
+        Solver::new(SolverConfig::unoptimized())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            sat_queries: self.sat_queries.get(),
+            cache_hits: self.cache_hits.get(),
+            simplifications: self.simplifications.get(),
+            model_searches: self.model_searches.get(),
+        }
+    }
+
+    /// Simplifies an expression under the typing facts of `pc` (identity
+    /// when simplification is disabled).
+    pub fn simplify(&self, pc: &PathCondition, e: &Expr) -> Expr {
+        match self.config.simplification {
+            Simplification::Off => return e.clone(),
+            Simplification::Basic => {
+                self.simplifications.set(self.simplifications.get() + 1);
+                return simplify::simplify_basic(e);
+            }
+            Simplification::Full => {}
+        }
+        self.simplifications.set(self.simplifications.get() + 1);
+        let mut env = TypeEnv::new();
+        for c in pc.conjuncts() {
+            let _ = absorb_type_fact(&mut env, c);
+        }
+        // Operator usage pins types: GIL operators are strict, so every
+        // subterm of an expression that evaluates must itself evaluate —
+        // usage facts from `e` itself are sound for rewriting `e`.
+        crate::sat::absorb_usage_types_pub(&mut env, pc.conjuncts());
+        crate::sat::absorb_usage_types_pub(&mut env, std::slice::from_ref(e));
+        simplify::simplify(&env, e)
+    }
+
+    /// Checks satisfiability of a path condition.
+    pub fn check_sat(&self, pc: &PathCondition) -> SatResult {
+        if pc.is_trivially_false() {
+            return SatResult::Unsat;
+        }
+        self.sat_queries.set(self.sat_queries.get() + 1);
+        let key = pc.cache_key();
+        if self.config.caching {
+            if let Some(hit) = self.cache.borrow().get(&key) {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return *hit;
+            }
+        }
+        let result = check_conjunction(&key, self.config.sat_budget);
+        if self.config.caching {
+            self.cache.borrow_mut().insert(key, result);
+        }
+        result
+    }
+
+    /// Checks whether `pc ∧ extra` may be satisfiable (the branching test
+    /// of the symbolic `assume` action, Def. 2.6).
+    pub fn sat_with(&self, pc: &PathCondition, extra: &Expr) -> SatResult {
+        let mut pc2 = pc.clone();
+        pc2.push(self.simplify(pc, extra));
+        self.check_sat(&pc2)
+    }
+
+    /// True when `pc` entails `e`: `pc ∧ ¬e` is unsatisfiable.
+    pub fn entails(&self, pc: &PathCondition, e: &Expr) -> bool {
+        let neg = self.simplify(pc, &e.clone().not());
+        let mut pc2 = pc.clone();
+        pc2.push(neg);
+        self.check_sat(&pc2) == SatResult::Unsat
+    }
+
+    /// Searches for a verified model of the path condition.
+    pub fn model(&self, pc: &PathCondition) -> Option<Model> {
+        if pc.is_trivially_false() {
+            return None;
+        }
+        self.model_searches.set(self.model_searches.get() + 1);
+        find_model(pc.conjuncts(), self.config.model_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_gil::LVar;
+
+    fn x(i: u64) -> Expr {
+        Expr::lvar(LVar(i))
+    }
+
+    #[test]
+    fn sat_and_entailment() {
+        let s = Solver::optimized();
+        let pc: PathCondition = [Expr::int(0).le(x(0)), x(0).lt(Expr::int(10))]
+            .into_iter()
+            .collect();
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        assert!(s.entails(&pc, &x(0).lt(Expr::int(10))));
+        assert!(!s.entails(&pc, &x(0).lt(Expr::int(5))));
+        assert_eq!(s.sat_with(&pc, &x(0).eq(Expr::int(3))), SatResult::Sat);
+        assert_eq!(
+            s.sat_with(&pc, &x(0).eq(Expr::int(11))),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let s = Solver::optimized();
+        let pc: PathCondition = [x(0).eq(Expr::int(1))].into_iter().collect();
+        let _ = s.check_sat(&pc);
+        let _ = s.check_sat(&pc);
+        let stats = s.stats();
+        assert_eq!(stats.sat_queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn baseline_disables_cache_but_keeps_simplification() {
+        let s = Solver::baseline();
+        let pc: PathCondition = [x(0).eq(Expr::int(1))].into_iter().collect();
+        let _ = s.check_sat(&pc);
+        let _ = s.check_sat(&pc);
+        assert_eq!(s.stats().cache_hits, 0);
+        let e = Expr::int(1).add(Expr::int(1));
+        assert_eq!(s.simplify(&pc, &e), Expr::int(2), "baseline simplifies");
+    }
+
+    #[test]
+    fn unoptimized_disables_both() {
+        let s = Solver::unoptimized();
+        let pc = PathCondition::new();
+        let e = Expr::int(1).add(Expr::int(1));
+        assert_eq!(s.simplify(&pc, &e), e, "unoptimized must not simplify");
+        let _ = s.check_sat(&pc);
+        let _ = s.check_sat(&pc);
+        assert_eq!(s.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn model_round_trip() {
+        let s = Solver::optimized();
+        let pc: PathCondition = [x(0).add(Expr::int(2)).eq(Expr::int(7))]
+            .into_iter()
+            .collect();
+        let m = s.model(&pc).unwrap();
+        assert_eq!(m.get(LVar(0)), Some(&gillian_gil::Value::Int(5)));
+    }
+
+    #[test]
+    fn trivially_false_short_circuits() {
+        let s = Solver::optimized();
+        let mut pc = PathCondition::new();
+        pc.push(Expr::ff());
+        assert_eq!(s.check_sat(&pc), SatResult::Unsat);
+        assert_eq!(s.stats().sat_queries, 0);
+        assert!(s.model(&pc).is_none());
+    }
+}

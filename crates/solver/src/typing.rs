@@ -1,0 +1,126 @@
+//! Light type inference over GIL expressions.
+//!
+//! Infers the [`TypeTag`] an expression *must* have if it evaluates without
+//! error, using operator signatures and literal types. Used by the
+//! simplifier (to discharge `typeOf` applications and type-distinct
+//! equalities) and by the model finder (to pick candidate values for
+//! logical variables).
+
+use gillian_gil::ops::unop_result_type;
+use gillian_gil::{BinOp, Expr, LVar, TypeTag, UnOp};
+use std::collections::BTreeMap;
+
+/// A typing environment for logical variables, accumulated from the path
+/// condition (e.g. `typeOf(#x) = Int` pins `#x` to `Int`).
+pub type TypeEnv = BTreeMap<LVar, TypeTag>;
+
+/// Infers the type of `e`, if determined.
+///
+/// Returns `None` when the type depends on an untyped logical variable
+/// (e.g. a bare `#x`) or on a polymorphic operator applied to one.
+pub fn infer(env: &TypeEnv, e: &Expr) -> Option<TypeTag> {
+    match e {
+        Expr::Val(v) => Some(v.type_of()),
+        Expr::PVar(_) => None,
+        Expr::LVar(x) => env.get(x).copied(),
+        Expr::Un(op, inner) => match unop_result_type(*op) {
+            Some(t) => Some(t),
+            None => match op {
+                // Neg and LstHead are type-polymorphic.
+                UnOp::Neg => infer(env, inner).filter(|t| matches!(t, TypeTag::Int | TypeTag::Num)),
+                _ => None,
+            },
+        },
+        Expr::Bin(op, a, b) => match op {
+            BinOp::Eq | BinOp::Lt | BinOp::Leq | BinOp::And | BinOp::Or => Some(TypeTag::Bool),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                match (infer(env, a), infer(env, b)) {
+                    (Some(TypeTag::Int), _) | (_, Some(TypeTag::Int)) => Some(TypeTag::Int),
+                    (Some(TypeTag::Num), _) | (_, Some(TypeTag::Num)) => Some(TypeTag::Num),
+                    _ => None,
+                }
+            }
+            BinOp::BitAnd
+            | BinOp::BitOr
+            | BinOp::BitXor
+            | BinOp::Shl
+            | BinOp::ShrA
+            | BinOp::ShrL => Some(TypeTag::Int),
+            BinOp::StrNth => Some(TypeTag::Str),
+            BinOp::LstCons | BinOp::LstSub => Some(TypeTag::List),
+            BinOp::LstNth => None,
+        },
+        Expr::List(_) | Expr::LstCat(_) => Some(TypeTag::List),
+        Expr::StrCat(_) => Some(TypeTag::Str),
+    }
+}
+
+/// Scans a conjunct for typing facts of the shape `typeOf(#x) = τ`
+/// (or symmetric) and records them in `env`.
+///
+/// Returns `false` if the conjunct is *inconsistent* with the environment
+/// (the same variable pinned to two different types), which the sat checker
+/// turns into `Unsat`.
+pub fn absorb_type_fact(env: &mut TypeEnv, conjunct: &Expr) -> bool {
+    let Expr::Bin(BinOp::Eq, a, b) = conjunct else {
+        return true;
+    };
+    let (inner, tag) = match (a.as_ref(), b.as_ref()) {
+        (Expr::Un(UnOp::TypeOf, inner), Expr::Val(gillian_gil::Value::Type(t))) => (inner, *t),
+        (Expr::Val(gillian_gil::Value::Type(t)), Expr::Un(UnOp::TypeOf, inner)) => (inner, *t),
+        _ => return true,
+    };
+    if let Expr::LVar(x) = inner.as_ref() {
+        if let Some(prev) = env.insert(*x, tag) {
+            return prev == tag;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gillian_gil::Value;
+
+    #[test]
+    fn infers_literals_and_operators() {
+        let env = TypeEnv::new();
+        assert_eq!(infer(&env, &Expr::int(1)), Some(TypeTag::Int));
+        assert_eq!(
+            infer(&env, &Expr::int(1).add(Expr::lvar(LVar(0)))),
+            Some(TypeTag::Int)
+        );
+        assert_eq!(
+            infer(&env, &Expr::lvar(LVar(0)).eq(Expr::int(2))),
+            Some(TypeTag::Bool)
+        );
+        assert_eq!(infer(&env, &Expr::lvar(LVar(0))), None);
+        assert_eq!(
+            infer(&env, &Expr::list([Expr::lvar(LVar(0))])),
+            Some(TypeTag::List)
+        );
+    }
+
+    #[test]
+    fn env_types_lvars() {
+        let mut env = TypeEnv::new();
+        env.insert(LVar(3), TypeTag::Num);
+        assert_eq!(infer(&env, &Expr::lvar(LVar(3))), Some(TypeTag::Num));
+        assert_eq!(
+            infer(&env, &Expr::lvar(LVar(3)).un(UnOp::Neg)),
+            Some(TypeTag::Num)
+        );
+    }
+
+    #[test]
+    fn absorbs_type_facts() {
+        let mut env = TypeEnv::new();
+        let fact = Expr::lvar(LVar(1)).type_of().eq(Expr::Val(Value::Type(TypeTag::Str)));
+        assert!(absorb_type_fact(&mut env, &fact));
+        assert_eq!(env.get(&LVar(1)), Some(&TypeTag::Str));
+        // Conflicting fact is inconsistent.
+        let fact2 = Expr::lvar(LVar(1)).type_of().eq(Expr::Val(Value::Type(TypeTag::Int)));
+        assert!(!absorb_type_fact(&mut env, &fact2));
+    }
+}

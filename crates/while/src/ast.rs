@@ -1,0 +1,107 @@
+//! The While abstract syntax (paper §2.2).
+//!
+//! ```text
+//! s ∈ C_While ≜ x := e | if (e){s₁} else {s₂} | while (e){s} | s₁; s₂
+//!             | x := f(ē) | return e | assume e | assert e
+//!             | x := {pᵢ: eᵢ} | dispose e | x := e.p | e.p := e′
+//! ```
+//!
+//! Expressions coincide with GIL expressions (the paper assumes the
+//! expression semantics and variable stores of While and GIL coincide), so
+//! statements embed [`gillian_gil::Expr`] directly. The one extension is
+//! `x := symb()`, the symbolic-testing input construct that compiles to
+//! `iSym` (the paper introduces symbolic inputs at the GIL level).
+
+use gillian_gil::Expr;
+
+/// A While statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `x := e`
+    Assign(String, Expr),
+    /// `if (e) { then } else { otherwise }`
+    If {
+        /// The guard.
+        cond: Expr,
+        /// The then-branch.
+        then: Vec<Stmt>,
+        /// The else-branch (empty when omitted).
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (e) { body }`
+    While {
+        /// The loop guard.
+        cond: Expr,
+        /// The loop body.
+        body: Vec<Stmt>,
+    },
+    /// `x := f(ē)` — static function call.
+    Call {
+        /// Variable receiving the return value.
+        lhs: String,
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `return e`
+    Return(Expr),
+    /// `assume e` — cut paths where `e` does not hold.
+    Assume(Expr),
+    /// `assert e` — fail paths where `e` does not hold.
+    Assert(Expr),
+    /// `x := { p₁: e₁, …, pₙ: eₙ }` — object creation.
+    New {
+        /// Variable receiving the fresh location.
+        lhs: String,
+        /// Property names and initial values, in source order.
+        props: Vec<(String, Expr)>,
+    },
+    /// `dispose e` — delete the object at location `e`.
+    Dispose(Expr),
+    /// `x := e.p` — property lookup.
+    Lookup {
+        /// Variable receiving the property value.
+        lhs: String,
+        /// Expression denoting the object location.
+        object: Expr,
+        /// The (static) property name.
+        prop: String,
+    },
+    /// `e.p := e′` — property mutation.
+    Mutate {
+        /// Expression denoting the object location.
+        object: Expr,
+        /// The (static) property name.
+        prop: String,
+        /// The new value.
+        value: Expr,
+    },
+    /// `x := symb()` — a fresh symbolic input (compiles to `iSym`).
+    Symb(String),
+}
+
+/// A While function definition `proc f(x̄) { s̄ }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A While program: a list of function definitions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

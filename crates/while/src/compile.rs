@@ -1,0 +1,288 @@
+//! The While→GIL compiler (paper Fig. 2).
+//!
+//! `T : C_While → N → C_A list × N` — each statement compiles to a sequence
+//! of GIL commands starting at the current program counter. The rules match
+//! the figure:
+//!
+//! - `assume e`  →  `ifgoto e (pc+2); vanish`
+//! - `assert e`  →  `ifgoto e (pc+2); fail …`
+//! - `x := {pᵢ: eᵢ}`  →  `x := uSym_pc; (- := mutate([x, pᵢ, eᵢ]))ᵢ`
+//! - `x := e.p`  →  `x := lookup([e, p])`
+//! - `e.p := e′`  →  `- := mutate([e, p, e′])`
+//! - `dispose e`  →  `- := dispose(e)`
+//!
+//! plus the obvious control-flow compilation for `if` and `while` (the
+//! paper elides these as straightforward). Allocation sites `j` on
+//! `uSym_j`/`iSym_j` are the program counters of the generating commands.
+
+use crate::ast::{Function, Module, Stmt};
+use gillian_gil::{Cmd, Expr, Proc, Prog};
+
+/// Compiles a While module to a GIL program.
+pub fn compile_program(module: &Module) -> Prog {
+    Prog::from_procs(module.functions.iter().map(compile_function))
+}
+
+/// Compiles one While function to a GIL procedure.
+pub fn compile_function(f: &Function) -> Proc {
+    let mut cmds = Vec::new();
+    compile_stmts(&f.body, &mut cmds);
+    // A function body that can fall off the end returns 0 (While functions
+    // are expected to `return`; this keeps the GIL program total).
+    cmds.push(Cmd::Return(Expr::int(0)));
+    Proc::new(
+        f.name.as_str(),
+        f.params.iter().map(String::as_str),
+        cmds,
+    )
+}
+
+fn compile_stmts(stmts: &[Stmt], cmds: &mut Vec<Cmd>) {
+    for s in stmts {
+        compile_stmt(s, cmds);
+    }
+}
+
+/// Emits explicit guards for the one way a While expression can trap on
+/// symbolic data that a residual GIL expression would hide: integer
+/// division/modulo by zero. For each `a / b` (or `a % b`) with a
+/// non-literal divisor, the guard fails exactly when both operands are
+/// integers and the divisor is zero — floating-point division is IEEE and
+/// never traps, so other typings pass through.
+fn emit_division_guards(e: &Expr, cmds: &mut Vec<Cmd>) {
+    use gillian_gil::{BinOp, TypeTag};
+    let mut divisions: Vec<(Expr, Expr)> = Vec::new();
+    e.visit(&mut |sub| {
+        if let Expr::Bin(BinOp::Div | BinOp::Mod, a, b) = sub {
+            if !matches!(b.as_int(), Some(n) if n != 0) {
+                divisions.push((a.as_ref().clone(), b.as_ref().clone()));
+            }
+        }
+    });
+    // Post-order: inner divisions are visited later by the pre-order walk,
+    // but their guards must run first (the outer guard evaluates them).
+    for (a, b) in divisions.into_iter().rev() {
+        let trapping = a
+            .has_type(TypeTag::Int)
+            .and(b.clone().has_type(TypeTag::Int).and(b.eq(Expr::int(0))));
+        let pc = cmds.len();
+        cmds.push(Cmd::IfGoto(trapping, pc + 2));
+        cmds.push(Cmd::Goto(pc + 3));
+        cmds.push(Cmd::Fail(Expr::list([
+            Expr::str("division by zero"),
+            Expr::str(e.to_string()),
+        ])));
+    }
+}
+
+/// Emits division guards for every expression a statement evaluates.
+fn guard_stmt_exprs(s: &Stmt, cmds: &mut Vec<Cmd>) {
+    match s {
+        Stmt::Assign(_, e)
+        | Stmt::Return(e)
+        | Stmt::Assume(e)
+        | Stmt::Assert(e)
+        | Stmt::Dispose(e) => emit_division_guards(e, cmds),
+        Stmt::If { cond, .. } => emit_division_guards(cond, cmds),
+        // While conditions re-evaluate each iteration: their guards are
+        // emitted at the loop head by `compile_stmt`, not here.
+        Stmt::While { .. } => {}
+        Stmt::Call { args, .. } => {
+            for a in args {
+                emit_division_guards(a, cmds);
+            }
+        }
+        Stmt::New { props, .. } => {
+            for (_, e) in props {
+                emit_division_guards(e, cmds);
+            }
+        }
+        Stmt::Lookup { object, .. } => emit_division_guards(object, cmds),
+        Stmt::Mutate { object, value, .. } => {
+            emit_division_guards(object, cmds);
+            emit_division_guards(value, cmds);
+        }
+        Stmt::Symb(_) => {}
+    }
+}
+
+fn compile_stmt(s: &Stmt, cmds: &mut Vec<Cmd>) {
+    guard_stmt_exprs(s, cmds);
+    match s {
+        Stmt::Assign(x, e) => cmds.push(Cmd::assign(x, e.clone())),
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            // pc:        ifgoto cond THEN
+            //            …else…
+            //            goto END
+            // THEN:      …then…
+            // END:
+            let guard_at = cmds.len();
+            cmds.push(Cmd::Skip); // patched to IfGoto
+            compile_stmts(otherwise, cmds);
+            let goto_end_at = cmds.len();
+            cmds.push(Cmd::Skip); // patched to Goto
+            let then_at = cmds.len();
+            compile_stmts(then, cmds);
+            let end = cmds.len();
+            cmds[guard_at] = Cmd::IfGoto(cond.clone(), then_at);
+            cmds[goto_end_at] = Cmd::Goto(end);
+        }
+        Stmt::While { cond, body } => {
+            // LOOP: [divisor guards] ifgoto cond BODY; goto END;
+            // BODY: …; goto LOOP; END:
+            let loop_at = cmds.len();
+            emit_division_guards(cond, cmds);
+            let guard_at = cmds.len();
+            cmds.push(Cmd::Skip); // patched to IfGoto
+            let goto_end_at = cmds.len();
+            cmds.push(Cmd::Skip); // patched to Goto
+            let body_at = cmds.len();
+            compile_stmts(body, cmds);
+            cmds.push(Cmd::Goto(loop_at));
+            let end = cmds.len();
+            cmds[guard_at] = Cmd::IfGoto(cond.clone(), body_at);
+            cmds[goto_end_at] = Cmd::Goto(end);
+        }
+        Stmt::Call { lhs, func, args } => {
+            cmds.push(Cmd::call_static(lhs, func, args.clone()));
+        }
+        Stmt::Return(e) => cmds.push(Cmd::Return(e.clone())),
+        Stmt::Assume(e) => {
+            let pc = cmds.len();
+            cmds.push(Cmd::IfGoto(e.clone(), pc + 2));
+            cmds.push(Cmd::Vanish);
+        }
+        Stmt::Assert(e) => {
+            let pc = cmds.len();
+            cmds.push(Cmd::IfGoto(e.clone(), pc + 2));
+            cmds.push(Cmd::Fail(Expr::list([
+                Expr::str("assertion failure"),
+                Expr::str(e.to_string()),
+            ])));
+        }
+        Stmt::New { lhs, props } => {
+            let site = cmds.len() as u32;
+            cmds.push(Cmd::usym(lhs, site));
+            for (p, e) in props {
+                cmds.push(Cmd::action(
+                    "_",
+                    "mutate",
+                    Expr::list([Expr::pvar(lhs), Expr::str(p), e.clone()]),
+                ));
+            }
+        }
+        Stmt::Dispose(e) => {
+            cmds.push(Cmd::action("_", "dispose", e.clone()));
+        }
+        Stmt::Lookup { lhs, object, prop } => {
+            cmds.push(Cmd::action(
+                lhs,
+                "lookup",
+                Expr::list([object.clone(), Expr::str(prop)]),
+            ));
+        }
+        Stmt::Mutate {
+            object,
+            prop,
+            value,
+        } => {
+            cmds.push(Cmd::action(
+                "_",
+                "mutate",
+                Expr::list([object.clone(), Expr::str(prop), value.clone()]),
+            ));
+        }
+        Stmt::Symb(x) => {
+            let site = cmds.len() as u32;
+            cmds.push(Cmd::isym(x, site));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn compile(src: &str) -> Proc {
+        let m = parse_program(src).unwrap();
+        compile_function(&m.functions[0])
+    }
+
+    #[test]
+    fn assume_compiles_per_fig2() {
+        let p = compile("proc f(x) { assume (x > 0); return x; }");
+        // pc: ifgoto (0 < x) pc+2 ; pc+1: vanish ; pc+2: return x
+        assert!(matches!(&p.body[0], Cmd::IfGoto(_, 2)));
+        assert!(matches!(&p.body[1], Cmd::Vanish));
+        assert!(matches!(&p.body[2], Cmd::Return(_)));
+    }
+
+    #[test]
+    fn assert_compiles_per_fig2() {
+        let p = compile("proc f(x) { assert (x > 0); return x; }");
+        assert!(matches!(&p.body[0], Cmd::IfGoto(_, 2)));
+        assert!(matches!(&p.body[1], Cmd::Fail(_)));
+    }
+
+    #[test]
+    fn new_object_compiles_to_usym_plus_mutates() {
+        let p = compile("proc f() { o := { a: 1, b: 2 }; return o; }");
+        assert!(matches!(&p.body[0], Cmd::USym { site: 0, .. }));
+        let Cmd::Action { name, arg, .. } = &p.body[1] else {
+            panic!("expected mutate, got {:?}", p.body[1]);
+        };
+        assert_eq!(name.as_ref(), "mutate");
+        assert_eq!(
+            arg,
+            &Expr::list([Expr::pvar("o"), Expr::str("a"), Expr::int(1)])
+        );
+        assert!(matches!(&p.body[2], Cmd::Action { .. }));
+    }
+
+    #[test]
+    fn lookup_and_mutate_compile_to_actions() {
+        let p = compile("proc f(o) { x := o.a; o.a := x + 1; return x; }");
+        let Cmd::Action { name, .. } = &p.body[0] else {
+            panic!()
+        };
+        assert_eq!(name.as_ref(), "lookup");
+        let Cmd::Action { name, .. } = &p.body[1] else {
+            panic!()
+        };
+        assert_eq!(name.as_ref(), "mutate");
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let p = compile("proc f(n) { i := 0; while (i < n) { i := i + 1; } return i; }");
+        // 0: i := 0
+        // 1: ifgoto (i < n) 3
+        // 2: goto 5
+        // 3: i := i + 1
+        // 4: goto 1
+        // 5: return i
+        assert!(matches!(&p.body[1], Cmd::IfGoto(_, 3)));
+        assert!(matches!(&p.body[2], Cmd::Goto(5)));
+        assert!(matches!(&p.body[4], Cmd::Goto(1)));
+        assert!(matches!(&p.body[5], Cmd::Return(_)));
+    }
+
+    #[test]
+    fn if_else_shape() {
+        let p = compile("proc f(b) { if (b) { x := 1; } else { x := 2; } return x; }");
+        // 0: ifgoto b 3 ; 1: x := 2 ; 2: goto 4 ; 3: x := 1 ; 4: return x
+        assert!(matches!(&p.body[0], Cmd::IfGoto(_, 3)));
+        assert!(matches!(&p.body[2], Cmd::Goto(4)));
+    }
+
+    #[test]
+    fn every_function_ends_with_return() {
+        let p = compile("proc f() { x := 1; }");
+        assert!(matches!(p.body.last(), Some(Cmd::Return(_))));
+    }
+}

@@ -1,0 +1,164 @@
+//! Randomized end-to-end soundness: generate arbitrary While programs
+//! (symbolic inputs, arithmetic, objects, branching, bounded loops,
+//! assertions), explore them symbolically, and replay every modelled path
+//! concretely under the model-derived allocator script. The final
+//! outcomes must coincide — paper Theorem 3.6 as a property test over the
+//! whole pipeline (compiler, memory models, engine, solver).
+
+use gillian_core::explore::ExploreConfig;
+use gillian_core::soundness::check_program;
+use gillian_solver::Solver;
+use gillian_while::ast::{Function, Module, Stmt};
+use gillian_while::compile::compile_program;
+use gillian_while::{WhileConcMemory, WhileSymMemory};
+use gillian_gil::Expr;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn var() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(VARS.to_vec())
+}
+
+/// Arithmetic over the integer variables (kept total: +, -, * only).
+fn arb_arith() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-10i64..10).prop_map(Expr::int),
+        var().prop_map(Expr::pvar),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.add(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.sub(y)),
+            (inner.clone(), inner).prop_map(|(x, y)| x.mul(y)),
+        ]
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Expr> {
+    (arb_arith(), arb_arith(), 0..4u8).prop_map(|(x, y, op)| match op {
+        0 => x.lt(y),
+        1 => x.le(y),
+        2 => x.eq(y),
+        _ => x.ne(y),
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (var(), arb_arith()).prop_map(|(x, e)| Stmt::Assign(x.to_string(), e)),
+        // Object writes and reads through the single object `o`.
+        (proptest::sample::select(vec!["p", "q"]), arb_arith()).prop_map(|(prop, e)| {
+            Stmt::Mutate {
+                object: Expr::pvar("o"),
+                prop: prop.to_string(),
+                value: e,
+            }
+        }),
+        (var(), proptest::sample::select(vec!["p", "q"])).prop_map(|(x, prop)| Stmt::Lookup {
+            lhs: x.to_string(),
+            object: Expr::pvar("o"),
+            prop: prop.to_string(),
+        }),
+        arb_cond().prop_map(Stmt::Assert),
+        arb_cond().prop_map(Stmt::Assume),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let nested = arb_stmt(depth - 1);
+    prop_oneof![
+        4 => simple,
+        2 => (arb_cond(), proptest::collection::vec(nested.clone(), 1..3),
+              proptest::collection::vec(nested.clone(), 0..2))
+            .prop_map(|(cond, then, otherwise)| Stmt::If { cond, then, otherwise }),
+        1 => (proptest::collection::vec(nested, 1..3), 1i64..4).prop_map(|(body, trips)| {
+            // A concretely-bounded loop: k := 0; while (k < trips) { body; k := k + 1 }
+            let mut full = body;
+            full.push(Stmt::Assign(
+                "k".to_string(),
+                Expr::pvar("k").add(Expr::int(1)),
+            ));
+            Stmt::While {
+                cond: Expr::pvar("k").lt(Expr::int(trips)),
+                body: full,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+/// A random program: two symbolic inputs, an object, a statement soup, and
+/// a return of all observable state.
+fn arb_program() -> impl Strategy<Value = Module> {
+    proptest::collection::vec(arb_stmt(2), 1..6).prop_map(|stmts| {
+        let mut body = vec![
+            Stmt::Symb("a".to_string()),
+            Stmt::Symb("b".to_string()),
+            // Bounding the inputs types them as integers and keeps the
+            // model finder effective.
+            Stmt::Assume(
+                Expr::int(-20)
+                    .le(Expr::pvar("a"))
+                    .and(Expr::pvar("a").le(Expr::int(20))),
+            ),
+            Stmt::Assume(
+                Expr::int(-20)
+                    .le(Expr::pvar("b"))
+                    .and(Expr::pvar("b").le(Expr::int(20))),
+            ),
+            Stmt::Assign("c".to_string(), Expr::int(0)),
+            Stmt::Assign("k".to_string(), Expr::int(0)),
+            Stmt::New {
+                lhs: "o".to_string(),
+                props: vec![("p".to_string(), Expr::pvar("a"))],
+            },
+        ];
+        body.extend(stmts);
+        body.push(Stmt::Return(Expr::list([
+            Expr::pvar("a"),
+            Expr::pvar("b"),
+            Expr::pvar("c"),
+        ])));
+        Module {
+            functions: vec![Function {
+                name: "main".to_string(),
+                params: vec![],
+                body,
+            }],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_while_programs_are_restricted_sound(module in arb_program()) {
+        let prog = compile_program(&module);
+        let cfg = ExploreConfig {
+            max_cmds_per_path: 20_000,
+            max_total_cmds: 200_000,
+            max_paths: 256,
+            ..Default::default()
+        };
+        let result = check_program::<WhileSymMemory, WhileConcMemory>(
+            &prog,
+            "main",
+            Rc::new(Solver::optimized()),
+            cfg,
+        );
+        match result {
+            Ok(_report) => {}
+            Err(discrepancies) => {
+                prop_assert!(
+                    false,
+                    "soundness violated:\n{:#?}\nprogram:\n{:#?}",
+                    discrepancies,
+                    module
+                );
+            }
+        }
+    }
+}

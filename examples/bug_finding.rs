@@ -1,0 +1,106 @@
+//! Reproduces the paper's §4.2 bug findings in Collections-C on the
+//! seeded buggy library variants. Every report is backed by a verified
+//! counter-model and a confirming concrete replay — no false positives
+//! (the computational content of the paper's Theorem 3.6).
+//!
+//! Run with: `cargo run --release --example bug_finding`
+
+use gillian::c::collections::{buggy, buggy_prog};
+use gillian::c::{CConcMemory, CSymMemory};
+use gillian::core::explore::ExploreConfig;
+use gillian::core::testing::run_test_with_replay;
+use gillian::solver::Solver;
+use std::rc::Rc;
+
+fn hunt(title: &str, buggy_src: &str, harness: &str) {
+    println!("== {title}");
+    let prog = buggy_prog(buggy_src, harness).expect("harness compiles");
+    let out = run_test_with_replay::<CSymMemory, CConcMemory>(
+        &prog,
+        "main",
+        Rc::new(Solver::optimized()),
+        ExploreConfig::default(),
+    );
+    if out.bugs.is_empty() {
+        println!("   no bugs found ({} paths explored)", out.result.paths.len());
+    }
+    for bug in &out.bugs {
+        println!("   bug       : {}", bug.error);
+        if let Some(model) = &bug.model {
+            println!("   model     : {model}");
+        }
+        println!("   inputs    : {:?}", bug.script);
+        println!("   replay    : {:?}", bug.replay);
+        println!("   confirmed : {}", bug.confirmed());
+    }
+    println!();
+}
+
+fn main() {
+    hunt(
+        "Bug 1: off-by-one buffer overflow in the dynamic array",
+        buggy::ARRAY,
+        r#"
+        long main() {
+            struct Array *ar = array_new(2);
+            array_add(ar, 1);
+            array_add(ar, 2);
+            array_add(ar, 3);
+            return array_size(ar);
+        }
+        "#,
+    );
+    hunt(
+        "Bug 2: UB pointer comparison inside array_expand",
+        buggy::ARRAY,
+        r#"
+        long main() {
+            struct Array *ar = array_new(2);
+            array_add(ar, 1);
+            array_expand(ar);
+            return 0;
+        }
+        "#,
+    );
+    hunt(
+        "Bug 3: a test that orders freed pointers",
+        buggy::ARRAY,
+        r#"
+        long main() {
+            long *p = malloc(8);
+            free(p);
+            long *q = malloc(8);
+            if (p <= q) { return 1; }
+            return 0;
+        }
+        "#,
+    );
+    hunt(
+        "Bug 4: ring buffer over-allocation (operations stay correct)",
+        buggy::RBUF,
+        r#"
+        long main() {
+            struct RBuf *rb = rbuf_new(4);
+            long *probe = rb->buffer;
+            assert(block_size(probe) == 4 * sizeof(long));
+            rbuf_destroy(rb);
+            return 0;
+        }
+        "#,
+    );
+    hunt(
+        "Bug 5 (analogue): silent duplicate insertion in the tree table",
+        buggy::TREETBL,
+        r#"
+        long main() {
+            long k = symb_long();
+            struct TreeTbl *t = treetbl_new();
+            treetbl_add(t, k, 1);
+            treetbl_add(t, k, 2);
+            assert(treetbl_size(t) == 1);
+            treetbl_destroy(t);
+            return 0;
+        }
+        "#,
+    );
+}

@@ -1,0 +1,38 @@
+//! Reproduces the paper's Table 2: the Collections data-structure library
+//! under the MiniC instantiation.
+//!
+//! Run with: `cargo run --release --example c_collections`
+
+use gillian::c::collections;
+use gillian::solver::Solver;
+use std::fmt::Write as _;
+
+fn main() {
+    let cfg = collections::table2_config();
+    let mut out = String::new();
+    writeln!(out, "{:<8} {:>4} {:>12} {:>10}", "Name", "#T", "GIL Cmds", "Time").unwrap();
+    let mut totals = (0usize, 0u64, 0.0f64);
+    for suite in collections::suite_names() {
+        let row = collections::run_row(suite, Solver::optimized, cfg);
+        assert!(row.all_verified(), "{suite}: {:?}", row.failures);
+        writeln!(
+            out,
+            "{:<8} {:>4} {:>12} {:>9.2}s",
+            suite,
+            row.tests,
+            row.gil_cmds,
+            row.time.as_secs_f64()
+        )
+        .unwrap();
+        totals.0 += row.tests;
+        totals.1 += row.gil_cmds;
+        totals.2 += row.time.as_secs_f64();
+    }
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>9.2}s",
+        "Total", totals.0, totals.1, totals.2
+    )
+    .unwrap();
+    print!("{out}");
+}

@@ -1,0 +1,48 @@
+//! Reproduces the paper's Table 1: the Buckets data-structure library
+//! under the MiniJS instantiation, with the baseline (JaVerT-2.0-like)
+//! and optimized engine configurations.
+//!
+//! Run with: `cargo run --release --example js_buckets`
+
+use gillian::js::buckets;
+use gillian::solver::Solver;
+use std::fmt::Write as _;
+
+fn main() {
+    let cfg = buckets::table1_config();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>11} {:>10}",
+        "Name", "#T", "GIL Cmds", "Time(base)", "Time(opt)"
+    )
+    .unwrap();
+    let mut totals = (0usize, 0u64, 0.0f64, 0.0f64);
+    for suite in buckets::suite_names() {
+        let base = buckets::run_row(suite, Solver::baseline, cfg);
+        let opt = buckets::run_row(suite, Solver::optimized, cfg);
+        assert!(opt.all_verified(), "{suite}: {:?}", opt.failures);
+        writeln!(
+            out,
+            "{:<8} {:>4} {:>12} {:>10.2}s {:>9.2}s",
+            suite,
+            opt.tests,
+            opt.gil_cmds,
+            base.time.as_secs_f64(),
+            opt.time.as_secs_f64()
+        )
+        .unwrap();
+        totals.0 += opt.tests;
+        totals.1 += opt.gil_cmds;
+        totals.2 += base.time.as_secs_f64();
+        totals.3 += opt.time.as_secs_f64();
+    }
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10.2}s {:>9.2}s",
+        "Total", totals.0, totals.1, totals.2, totals.3
+    )
+    .unwrap();
+    writeln!(out, "speedup: {:.2}x", totals.2 / totals.3.max(1e-9)).unwrap();
+    print!("{out}");
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # Gillian-rs: a multi-language platform for symbolic execution
+//!
+//! A Rust reproduction of *"Gillian, Part I: A Multi-language Platform for
+//! Symbolic Execution"* (Fragoso Santos, Maksimović, Ayoun, Gardner —
+//! PLDI 2020). This facade crate re-exports the whole platform:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`gil`] | `gillian-gil` | The GIL intermediate language: values, expressions, commands, programs, parser |
+//! | [`solver`] | `gillian-solver` | First-order solver: simplification, satisfiability, verified model finding |
+//! | [`core`] | `gillian-core` | The parametric engine: state models, allocators, restriction, interpreter, symbolic testing, soundness infrastructure |
+//! | [`while_lang`] | `gillian-while` | The While instantiation (paper §2.2/§2.4/§3.3) |
+//! | [`js`] | `gillian-js` | The MiniJS instantiation (paper §4.1) with the Buckets guest library |
+//! | [`c`] | `gillian-c` | The MiniC instantiation (paper §4.2) with the Collections guest library |
+//!
+//! ## Quickstart
+//!
+//! Symbolically test a While program — all paths are explored, loops
+//! unrolled up to a bound, and any failed assertion comes back with a
+//! *verified* counter-model that has been replayed concretely:
+//!
+//! ```
+//! let outcome = gillian::while_lang::symbolic_test(r#"
+//!     proc main() {
+//!         x := symb();
+//!         assume (0 <= x and x <= 100);
+//!         o := { balance: x };
+//!         b := o.balance;
+//!         if (b <= 100) { o.balance := b + 1; }
+//!         v := o.balance;
+//!         assert (v <= 100);      // off-by-one: fails at x = 100
+//!         return v;
+//!     }
+//! "#).unwrap();
+//! assert_eq!(outcome.bugs.len(), 1);
+//! assert!(outcome.bugs[0].confirmed());
+//! ```
+//!
+//! See `examples/` for the Buckets (Table 1) and Collections (Table 2)
+//! workloads and the paper's §4.2 bug findings, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record.
+
+pub use gillian_c as c;
+pub use gillian_core as core;
+pub use gillian_gil as gil;
+pub use gillian_js as js;
+pub use gillian_solver as solver;
+pub use gillian_while as while_lang;
