@@ -1,0 +1,28 @@
+//! Serial vs. parallel explorer on Table 2 suites.
+//!
+//! Compares the worklist engine (`workers = 1`) against the work-sharing
+//! parallel engine at 2 and 4 workers on real Collections-C workloads.
+//! Speedup scales with available cores; on a single-core host the parallel
+//! rows mainly measure the coordination overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gillian_core::ExploreConfig;
+use gillian_solver::Solver;
+
+fn bench_parallel(c: &mut Criterion) {
+    let base = gillian_c::collections::table2_config();
+    let mut group = c.benchmark_group("parallel_explore");
+    group.sample_size(10);
+    for suite in ["slist", "deque", "treeset"] {
+        for workers in [1usize, 2, 4] {
+            let cfg = ExploreConfig { workers, ..base };
+            group.bench_function(format!("{suite}/workers={workers}"), |b| {
+                b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -42,9 +42,27 @@ fn fmt_duration(d: Duration) -> String {
     format!("{:.2}s", d.as_secs_f64())
 }
 
-/// Runs Table 1 (Buckets under MiniJS), with both engine configurations.
+/// Explorer worker count taken from the `GILLIAN_WORKERS` environment
+/// variable (default 1 — the serial engine).
+pub fn workers_from_env() -> usize {
+    std::env::var("GILLIAN_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Runs Table 1 (Buckets under MiniJS), with both engine configurations
+/// and the [`workers_from_env`] worker count.
 pub fn table1_rows() -> Vec<Row> {
-    let cfg = gillian_js::buckets::table1_config();
+    table1_rows_with(workers_from_env())
+}
+
+/// Runs Table 1 with an explicit explorer worker count.
+pub fn table1_rows_with(workers: usize) -> Vec<Row> {
+    let cfg = gillian_core::ExploreConfig {
+        workers,
+        ..gillian_js::buckets::table1_config()
+    };
     gillian_js::buckets::suite_names()
         .into_iter()
         .map(|suite| {
@@ -63,9 +81,18 @@ pub fn table1_rows() -> Vec<Row> {
         .collect()
 }
 
-/// Runs Table 2 (Collections under MiniC).
+/// Runs Table 2 (Collections under MiniC) with the [`workers_from_env`]
+/// worker count.
 pub fn table2_rows() -> Vec<Row> {
-    let cfg = gillian_c::collections::table2_config();
+    table2_rows_with(workers_from_env())
+}
+
+/// Runs Table 2 with an explicit explorer worker count.
+pub fn table2_rows_with(workers: usize) -> Vec<Row> {
+    let cfg = gillian_core::ExploreConfig {
+        workers,
+        ..gillian_c::collections::table2_config()
+    };
     gillian_c::collections::suite_names()
         .into_iter()
         .map(|suite| {
@@ -178,6 +205,24 @@ pub fn render_table2(rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_table2_row_matches_serial() {
+        // End-to-end check on a real guest-language suite: the parallel
+        // explorer must verify the same tests, execute the same command
+        // count, and stay clean — only wall-clock may differ.
+        let serial_cfg = gillian_c::collections::table2_config();
+        let parallel_cfg = gillian_core::ExploreConfig {
+            workers: 4,
+            ..serial_cfg
+        };
+        let serial = gillian_c::collections::run_row("slist", Solver::optimized, serial_cfg);
+        let parallel = gillian_c::collections::run_row("slist", Solver::optimized, parallel_cfg);
+        assert_clean(&serial);
+        assert_clean(&parallel);
+        assert_eq!(serial.tests, parallel.tests);
+        assert_eq!(serial.gil_cmds, parallel.gil_cmds);
+    }
 
     #[test]
     fn table2_renders_all_rows() {

@@ -128,7 +128,13 @@ mod tests {
 
     #[test]
     fn chunk_round_trips_through_values() {
-        for c in [Chunk::int(1), Chunk::int(4), Chunk::uint(2), Chunk::double(), Chunk::ptr()] {
+        for c in [
+            Chunk::int(1),
+            Chunk::int(4),
+            Chunk::uint(2),
+            Chunk::double(),
+            Chunk::ptr(),
+        ] {
             assert_eq!(Chunk::from_value(&c.to_value()), Some(c));
         }
         assert_eq!(Chunk::from_value(&Value::Int(3)), None);

@@ -150,11 +150,7 @@ fn convert(v: Expr, from: &CType, to: &CType) -> Result<Expr, CompileError> {
     match (from, to) {
         (f, t) if f.is_integer() && t.is_integer() => {
             let w = int_width(t).expect("integer width");
-            Ok(if w < 64 {
-                v.un(UnOp::WrapSigned(w))
-            } else {
-                v
-            })
+            Ok(if w < 64 { v.un(UnOp::WrapSigned(w)) } else { v })
         }
         (f, CType::Double) if f.is_integer() => Ok(v.un(UnOp::IntToNum)),
         (CType::Double, t) if t.is_integer() => {
@@ -181,7 +177,11 @@ fn compile_func(
         tmp: 0,
         layout,
         sigs,
-        locals: f.params.iter().map(|(t, n)| (n.clone(), t.clone())).collect(),
+        locals: f
+            .params
+            .iter()
+            .map(|(t, n)| (n.clone(), t.clone()))
+            .collect(),
         loops: Vec::new(),
         ret: f.ret.clone(),
     };
@@ -375,20 +375,13 @@ fn lvalue_addr(
                 return err(format!("index of type {it}"));
             }
             let size = ctx.size_of(&pointee)?;
-            Ok((
-                block,
-                off.add(iv.mul(Expr::int(size))),
-                *pointee,
-            ))
+            Ok((block, off.add(iv.mul(Expr::int(size))), *pointee))
         }
         (None, Some(f)) => {
             let CType::Struct(sname) = *pointee else {
                 return err(format!("-> on non-struct pointer {pointee}"));
             };
-            let (foff, ft) = ctx
-                .layout
-                .field(&sname, f)
-                .map_err(|e| CompileError(e.0))?;
+            let (foff, ft) = ctx.layout.field(&sname, f).map_err(|e| CompileError(e.0))?;
             Ok((block, off.add(Expr::int(foff)), ft))
         }
         _ => unreachable!("index and field are exclusive"),
@@ -407,7 +400,11 @@ fn store_through(
     let (v, vt) = compile_expr(value, ctx)?;
     let v = convert(v, &vt, &elem)?;
     let chunk = ctx.chunk_expr(&elem)?;
-    ctx.emit(Cmd::action("_", "store", Expr::list([chunk, block, off, v])));
+    ctx.emit(Cmd::action(
+        "_",
+        "store",
+        Expr::list([chunk, block, off, v]),
+    ));
     Ok(())
 }
 
@@ -482,7 +479,10 @@ fn compile_bin(
 ) -> Result<(Expr, CType), CompileError> {
     match op {
         CBinOp::And | CBinOp::Or => {
-            let guard = compile_cond(&CExpr::Bin(op, Box::new(a.clone()), Box::new(b.clone())), ctx)?;
+            let guard = compile_cond(
+                &CExpr::Bin(op, Box::new(a.clone()), Box::new(b.clone())),
+                ctx,
+            )?;
             return Ok((ctx.bool_to_int(guard), CType::Int));
         }
         CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge => {
@@ -576,12 +576,7 @@ fn compile_bin(
 }
 
 /// Compiles a comparison to a GIL boolean guard.
-fn compile_cmp(
-    op: CBinOp,
-    a: &CExpr,
-    b: &CExpr,
-    ctx: &mut Ctx<'_>,
-) -> Result<Expr, CompileError> {
+fn compile_cmp(op: CBinOp, a: &CExpr, b: &CExpr, ctx: &mut Ctx<'_>) -> Result<Expr, CompileError> {
     let (va, ta) = compile_expr(a, ctx)?;
     let (vb, tb) = compile_expr(b, ctx)?;
     let both_ptr = ta.is_pointer() && tb.is_pointer();
@@ -630,9 +625,11 @@ fn compile_cmp(
 /// (C truthiness), short-circuiting `&&`/`||`.
 fn compile_cond(e: &CExpr, ctx: &mut Ctx<'_>) -> Result<Expr, CompileError> {
     match e {
-        CExpr::Bin(op @ (CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge), a, b) => {
-            compile_cmp(*op, a, b, ctx)
-        }
+        CExpr::Bin(
+            op @ (CBinOp::Eq | CBinOp::Ne | CBinOp::Lt | CBinOp::Le | CBinOp::Gt | CBinOp::Ge),
+            a,
+            b,
+        ) => compile_cmp(*op, a, b, ctx),
         CExpr::Bin(CBinOp::And, a, b) => {
             // t := false; if a { t := b-cond }
             let t = ctx.temp();
@@ -693,15 +690,8 @@ fn compile_call(
             let b = ctx.temp();
             let site = ctx.here() as u32;
             ctx.emit(Cmd::usym(&b, site));
-            ctx.emit(Cmd::action(
-                "_",
-                "alloc",
-                Expr::list([Expr::pvar(&b), sv]),
-            ));
-            Ok((
-                make_ptr(Expr::pvar(b), Expr::int(0)),
-                CType::Void.ptr_to(),
-            ))
+            ctx.emit(Cmd::action("_", "alloc", Expr::list([Expr::pvar(&b), sv])));
+            Ok((make_ptr(Expr::pvar(b), Expr::int(0)), CType::Void.ptr_to()))
         }
         "free" => {
             let [p] = args else {
@@ -737,7 +727,11 @@ fn compile_call(
             ctx.emit(Cmd::action(
                 "_",
                 "storeBytes",
-                Expr::list([ptr_block(dv.clone()), ptr_off(dv.clone()), Expr::pvar(&bytes)]),
+                Expr::list([
+                    ptr_block(dv.clone()),
+                    ptr_off(dv.clone()),
+                    Expr::pvar(&bytes),
+                ]),
             ));
             Ok((dv, dt))
         }
@@ -766,7 +760,11 @@ fn compile_call(
                 "symb_double" => (TypeTag::Num, CType::Double, None),
                 "symb_char" => (TypeTag::Int, CType::Char, Some((-128i64, 127i64))),
                 "symb_short" => (TypeTag::Int, CType::Short, Some((-32768, 32767))),
-                "symb_int" => (TypeTag::Int, CType::Int, Some((i32::MIN as i64, i32::MAX as i64))),
+                "symb_int" => (
+                    TypeTag::Int,
+                    CType::Int,
+                    Some((i32::MIN as i64, i32::MAX as i64)),
+                ),
                 _ => (TypeTag::Int, CType::Long, None),
             };
             let at = ctx.here();
@@ -915,7 +913,10 @@ mod tests {
     fn casts_wrap() {
         let p = compile("long f(long x) { return (char)x; }").unwrap();
         let f = p.proc("f").unwrap();
-        let has_wrap = f.body.iter().any(|c| matches!(c, Cmd::Return(e) if e.to_string().contains("wrap_s8")));
+        let has_wrap = f
+            .body
+            .iter()
+            .any(|c| matches!(c, Cmd::Return(e) if e.to_string().contains("wrap_s8")));
         assert!(has_wrap, "{f}");
     }
 }

@@ -51,7 +51,7 @@ pub mod values;
 use gillian_core::explore::ExploreConfig;
 use gillian_core::testing::{run_test_with_replay, SymTestOutcome};
 use gillian_solver::Solver;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use compile::compile_unit;
 pub use interp_fn::CInterpretation;
@@ -77,12 +77,27 @@ pub fn symbolic_test_entry(
     source: &str,
     entry: &str,
 ) -> Result<SymTestOutcome<CSymMemory>, String> {
+    symbolic_test_with(source, entry, ExploreConfig::default())
+}
+
+/// As [`symbolic_test_entry`], with explicit exploration limits — in
+/// particular [`ExploreConfig::workers`], which selects the parallel
+/// explorer when greater than one.
+///
+/// # Errors
+///
+/// Returns a parse or compile error description for malformed source.
+pub fn symbolic_test_with(
+    source: &str,
+    entry: &str,
+    cfg: ExploreConfig,
+) -> Result<SymTestOutcome<CSymMemory>, String> {
     let module = parse_unit(source).map_err(|e| e.to_string())?;
     let prog = compile_unit(&module).map_err(|e| e.to_string())?;
     Ok(run_test_with_replay::<CSymMemory, CConcMemory>(
         &prog,
         entry,
-        Rc::new(Solver::optimized()),
-        ExploreConfig::default(),
+        Arc::new(Solver::optimized()),
+        cfg,
     ))
 }

@@ -104,7 +104,9 @@ pub struct CConcMemory {
 
 impl CConcMemory {
     fn block_mut(&mut self, b: Sym) -> Option<&mut ConcBlock> {
-        Arc::make_mut(&mut self.blocks).get_mut(&b).map(Arc::make_mut)
+        Arc::make_mut(&mut self.blocks)
+            .get_mut(&b)
+            .map(Arc::make_mut)
     }
 
     fn blocks_mut(&mut self) -> &mut BTreeMap<Sym, Arc<ConcBlock>> {
@@ -123,13 +125,21 @@ fn value_args(arg: &Value, n: usize, action: &str) -> Result<Vec<Value>, Value> 
 }
 
 fn as_block(v: &Value, action: &str) -> Result<Sym, Value> {
-    v.as_sym()
-        .ok_or_else(|| ub_value("bad-action-argument", format!("{action}: {v} is not a block")))
+    v.as_sym().ok_or_else(|| {
+        ub_value(
+            "bad-action-argument",
+            format!("{action}: {v} is not a block"),
+        )
+    })
 }
 
 fn as_offset(v: &Value, action: &str) -> Result<i64, Value> {
-    v.as_int()
-        .ok_or_else(|| ub_value("bad-action-argument", format!("{action}: {v} is not an offset")))
+    v.as_int().ok_or_else(|| {
+        ub_value(
+            "bad-action-argument",
+            format!("{action}: {v} is not an offset"),
+        )
+    })
 }
 
 /// Decodes a stored value through a chunk (concrete).
@@ -153,7 +163,10 @@ fn encode_value(v: &Value, chunk: Chunk) -> Result<Value, Value> {
     decode_value(v, chunk).map_err(|_| {
         ub_value(
             "mixed-store",
-            format!("value {v} cannot be stored through a {} chunk", chunk.kind.name()),
+            format!(
+                "value {v} cannot be stored through a {} chunk",
+                chunk.kind.name()
+            ),
         )
     })
 }
@@ -161,17 +174,28 @@ fn encode_value(v: &Value, chunk: Chunk) -> Result<Value, Value> {
 impl CConcMemory {
     fn block(&self, b: Sym, action: &str) -> Result<&ConcBlock, Value> {
         match self.blocks.get(&b) {
-            Some(blk) if blk.freed => Err(ub_value("use-after-free", format!("{action} on freed {b}"))),
+            Some(blk) if blk.freed => {
+                Err(ub_value("use-after-free", format!("{action} on freed {b}")))
+            }
             Some(blk) => Ok(blk),
             None => Err(ub_value("invalid-block", format!("{action} on {b}"))),
         }
     }
 
-    fn check_bounds(blk: &ConcBlock, off: i64, len: i64, b: Sym, action: &str) -> Result<(), Value> {
+    fn check_bounds(
+        blk: &ConcBlock,
+        off: i64,
+        len: i64,
+        b: Sym,
+        action: &str,
+    ) -> Result<(), Value> {
         if off < 0 || off + len > blk.size {
             Err(ub_value(
                 "out-of-bounds",
-                format!("{action} of {len} bytes at {b}+{off} (block size {})", blk.size),
+                format!(
+                    "{action} of {len} bytes at {b}+{off} (block size {})",
+                    blk.size
+                ),
             ))
         } else {
             Ok(())
@@ -237,13 +261,17 @@ impl ConcreteMemory for CConcMemory {
                 let b = as_block(&args[0], "free")?;
                 let off = as_offset(&args[1], "free")?;
                 if off != 0 {
-                    return Err(ub_value("bad-free", format!("free of {b}+{off} (nonzero offset)")));
+                    return Err(ub_value(
+                        "bad-free",
+                        format!("free of {b}+{off} (nonzero offset)"),
+                    ));
                 }
                 match self.block_mut(b) {
                     None => Err(ub_value("invalid-block", format!("free of {b}"))),
-                    Some(blk) if blk.freed => {
-                        Err(ub_value("double-free", format!("free of already freed {b}")))
-                    }
+                    Some(blk) if blk.freed => Err(ub_value(
+                        "double-free",
+                        format!("free of already freed {b}"),
+                    )),
                     Some(blk) => {
                         if blk.perm < perm::FREEABLE {
                             return Err(ub_value(
@@ -267,8 +295,7 @@ impl ConcreteMemory for CConcMemory {
                 let blk = self.block(b, "load")?;
                 Self::check_perm(blk, perm::READABLE, b, "load")?;
                 Self::check_bounds(blk, off, chunk.size as i64, b, "load")?;
-                let Some((v0, 0, n0)) = blk.cells.get(&off).cloned()
-                else {
+                let Some((v0, 0, n0)) = blk.cells.get(&off).cloned() else {
                     return Err(ub_value(
                         "uninitialized-read",
                         format!("load at {b}+{off} reads uninitialized or partial bytes"),
@@ -277,7 +304,10 @@ impl ConcreteMemory for CConcMemory {
                 if n0 != chunk.size {
                     return Err(ub_value(
                         "mixed-read",
-                        format!("load of {} bytes over a {n0}-byte value at {b}+{off}", chunk.size),
+                        format!(
+                            "load of {} bytes over a {n0}-byte value at {b}+{off}",
+                            chunk.size
+                        ),
                     ));
                 }
                 for i in 1..n0 {
@@ -482,7 +512,9 @@ pub struct CSymMemory {
 
 impl CSymMemory {
     fn block_mut(&mut self, b: Sym) -> Option<&mut SymBlock> {
-        Arc::make_mut(&mut self.blocks).get_mut(&b).map(Arc::make_mut)
+        Arc::make_mut(&mut self.blocks)
+            .get_mut(&b)
+            .map(Arc::make_mut)
     }
 
     fn blocks_mut(&mut self) -> &mut BTreeMap<Sym, Arc<SymBlock>> {
@@ -519,10 +551,9 @@ fn expr_block(e: &Expr, action: &str) -> Result<Sym, Expr> {
 fn expr_ptr(e: &Expr) -> Option<(Expr, Expr)> {
     match e {
         Expr::List(items) if items.len() == 2 => Some((items[0].clone(), items[1].clone())),
-        Expr::Val(Value::List(items)) if items.len() == 2 => Some((
-            Expr::Val(items[0].clone()),
-            Expr::Val(items[1].clone()),
-        )),
+        Expr::Val(Value::List(items)) if items.len() == 2 => {
+            Some((Expr::Val(items[0].clone()), Expr::Val(items[1].clone())))
+        }
         _ => None,
     }
 }
@@ -568,7 +599,10 @@ impl CSymMemory {
 
     /// Iterates cells of a block (for the interpretation function).
     pub fn cells_iter(&self, b: Sym) -> impl Iterator<Item = (&Expr, &(Expr, u8, u8))> {
-        self.blocks.get(&b).into_iter().flat_map(|blk| blk.cells.iter())
+        self.blocks
+            .get(&b)
+            .into_iter()
+            .flat_map(|blk| blk.cells.iter())
     }
 
     /// The run-start cells (`k == 0`) of a block.
@@ -611,7 +645,15 @@ impl CSymMemory {
     }
 
     /// Checks a complete run of `n` cells for value `v` starting at `base`.
-    fn run_complete(&self, b: Sym, base: &Expr, v: &Expr, n: u8, solver: &Solver, pc: &PathCondition) -> bool {
+    fn run_complete(
+        &self,
+        b: Sym,
+        base: &Expr,
+        v: &Expr,
+        n: u8,
+        solver: &Solver,
+        pc: &PathCondition,
+    ) -> bool {
         let Some(blk) = self.blocks.get(&b) else {
             return false;
         };
@@ -634,7 +676,14 @@ impl CSymMemory {
     }
 
     /// Inserts a run of `n` bytes of `v` at `base`.
-    fn insert_run(blk: &mut SymBlock, base: &Expr, v: &Expr, n: u8, solver: &Solver, pc: &PathCondition) {
+    fn insert_run(
+        blk: &mut SymBlock,
+        base: &Expr,
+        v: &Expr,
+        n: u8,
+        solver: &Solver,
+        pc: &PathCondition,
+    ) {
         for k in 0..n {
             let key = solver.simplify(pc, &base.clone().add(Expr::int(k as i64)));
             blk.cells.insert(key, (v.clone(), k, n));
@@ -759,7 +808,12 @@ impl SymbolicMemory for CSymMemory {
                     mblk.perm = perm::NONE;
                     mblk.cells.clear();
                 }
-                push_branch(&mut out, pc, solver, SymBranch::ok_if(mem, Expr::tt(), zero));
+                push_branch(
+                    &mut out,
+                    pc,
+                    solver,
+                    SymBranch::ok_if(mem, Expr::tt(), zero),
+                );
                 push_branch(
                     &mut out,
                     pc,
@@ -818,14 +872,20 @@ impl SymbolicMemory for CSymMemory {
                     None => self.run_starts(b),
                 };
                 for (base, v, n) in candidates {
-                    let eq = solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
+                    let eq =
+                        solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
                     none_of = none_of.and(off.clone().ne(base.clone()));
                     if eq.as_bool() == Some(false) || !solver.sat_with(pc, &eq).possibly_sat() {
                         continue;
                     }
                     if n == chunk.size && self.run_complete(b, &base, &v, n, solver, pc) {
                         let decoded = solver.simplify(pc, &decode_expr(&v, chunk));
-                        push_branch(&mut out, pc, solver, SymBranch::ok_if(self.clone(), decoded, eq));
+                        push_branch(
+                            &mut out,
+                            pc,
+                            solver,
+                            SymBranch::ok_if(self.clone(), decoded, eq),
+                        );
                     } else {
                         push_branch(
                             &mut out,
@@ -902,7 +962,8 @@ impl SymbolicMemory for CSymMemory {
                     None => self.run_starts(b),
                 };
                 for (base, _, n) in candidates {
-                    let eq = solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
+                    let eq =
+                        solver.simplify(pc, &in_bounds.clone().and(off.clone().eq(base.clone())));
                     none_of = none_of.and(off.clone().ne(base.clone()));
                     if eq.as_bool() == Some(false) || !solver.sat_with(pc, &eq).possibly_sat() {
                         continue;
@@ -913,11 +974,15 @@ impl SymbolicMemory for CSymMemory {
                     // Concrete partial overlaps with *other* runs.
                     remove_concrete_overlaps(blk, &base, chunk.size);
                     Self::insert_run(blk, &base, &value, chunk.size, solver, pc);
-                    push_branch(&mut out, pc, solver, SymBranch::ok_if(mem, value.clone(), eq));
+                    push_branch(
+                        &mut out,
+                        pc,
+                        solver,
+                        SymBranch::ok_if(mem, value.clone(), eq),
+                    );
                 }
                 let none_of = solver.simplify(pc, &none_of);
-                if none_of.as_bool() != Some(false)
-                    && solver.sat_with(pc, &none_of).possibly_sat()
+                if none_of.as_bool() != Some(false) && solver.sat_with(pc, &none_of).possibly_sat()
                 {
                     let mut mem = self.clone();
                     let blk = mem.block_mut(b).expect("block checked");
@@ -979,7 +1044,10 @@ impl SymbolicMemory for CSymMemory {
                     Err(e) => return err1(e),
                 };
                 let Some(off) = args[1].as_int() else {
-                    return err1(ub_expr("symbolic-bytes", "storeBytes needs a concrete offset"));
+                    return err1(ub_expr(
+                        "symbolic-bytes",
+                        "storeBytes needs a concrete offset",
+                    ));
                 };
                 let bytes: Vec<Expr> = match &args[2] {
                     Expr::List(es) => es.clone(),
@@ -991,7 +1059,10 @@ impl SymbolicMemory for CSymMemory {
                     return err1(ub_expr("invalid-block", format!("storeBytes on {b}")));
                 };
                 if blk.freed {
-                    return err1(ub_expr("use-after-free", format!("storeBytes on freed {b}")));
+                    return err1(ub_expr(
+                        "use-after-free",
+                        format!("storeBytes on freed {b}"),
+                    ));
                 }
                 if blk.perm < perm::WRITABLE {
                     return err1(ub_expr("insufficient-permission", "storeBytes"));
@@ -1100,15 +1171,8 @@ impl SymbolicMemory for CSymMemory {
                                 };
                                 match self.blocks.get(&blk) {
                                     Some(info) if !info.freed => {
-                                        let cmp = if op == "lt" {
-                                            o1.lt(o2)
-                                        } else {
-                                            o1.le(o2)
-                                        };
-                                        vec![SymBranch::ok(
-                                            self.clone(),
-                                            solver.simplify(pc, &cmp),
-                                        )]
+                                        let cmp = if op == "lt" { o1.lt(o2) } else { o1.le(o2) };
+                                        vec![SymBranch::ok(self.clone(), solver.simplify(pc, &cmp))]
                                     }
                                     _ => err1(ub_expr(
                                         "ub-pointer-comparison",
@@ -1197,11 +1261,8 @@ mod tests {
 
     fn alloc_conc(m: &mut CConcMemory, i: u64, size: i64) -> Sym {
         let b = blk(i);
-        m.execute_action(
-            "alloc",
-            Value::List(vec![Value::Sym(b), Value::Int(size)]),
-        )
-        .unwrap();
+        m.execute_action("alloc", Value::List(vec![Value::Sym(b), Value::Int(size)]))
+            .unwrap();
         b
     }
 
@@ -1212,7 +1273,12 @@ mod tests {
         let chunk = Chunk::int(4).to_value();
         m.execute_action(
             "store",
-            Value::List(vec![chunk.clone(), Value::Sym(b), Value::Int(0), Value::Int(1234)]),
+            Value::List(vec![
+                chunk.clone(),
+                Value::Sym(b),
+                Value::Int(0),
+                Value::Int(1234),
+            ]),
         )
         .unwrap();
         let v = m
@@ -1231,11 +1297,19 @@ mod tests {
         let chunk = Chunk::int(1).to_value();
         m.execute_action(
             "store",
-            Value::List(vec![chunk.clone(), Value::Sym(b), Value::Int(0), Value::Int(200)]),
+            Value::List(vec![
+                chunk.clone(),
+                Value::Sym(b),
+                Value::Int(0),
+                Value::Int(200),
+            ]),
         )
         .unwrap();
         let v = m
-            .execute_action("load", Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]))
+            .execute_action(
+                "load",
+                Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]),
+            )
             .unwrap();
         assert_eq!(v, Value::Int(-56), "signed char wraps");
     }
@@ -1260,7 +1334,10 @@ mod tests {
         let b = alloc_conc(&mut m, 0, 16);
         let i4 = Chunk::int(4).to_value();
         let e = m
-            .execute_action("load", Value::List(vec![i4.clone(), Value::Sym(b), Value::Int(0)]))
+            .execute_action(
+                "load",
+                Value::List(vec![i4.clone(), Value::Sym(b), Value::Int(0)]),
+            )
             .unwrap_err();
         assert!(e.to_string().contains("uninitialized"), "{e}");
         // Store 8 bytes, read 4: torn.
@@ -1284,13 +1361,23 @@ mod tests {
         let i4 = Chunk::int(4).to_value();
         m.execute_action(
             "store",
-            Value::List(vec![i8c.clone(), Value::Sym(b), Value::Int(0), Value::Int(7)]),
+            Value::List(vec![
+                i8c.clone(),
+                Value::Sym(b),
+                Value::Int(0),
+                Value::Int(7),
+            ]),
         )
         .unwrap();
         // Overwrite bytes 4..8 with an int: old 8-byte run must die.
         m.execute_action(
             "store",
-            Value::List(vec![i4.clone(), Value::Sym(b), Value::Int(4), Value::Int(1)]),
+            Value::List(vec![
+                i4.clone(),
+                Value::Sym(b),
+                Value::Int(4),
+                Value::Int(1),
+            ]),
         )
         .unwrap();
         let e = m
@@ -1311,7 +1398,10 @@ mod tests {
             .unwrap();
         let chunk = Chunk::int(4).to_value();
         let e = m
-            .execute_action("load", Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]))
+            .execute_action(
+                "load",
+                Value::List(vec![chunk, Value::Sym(b), Value::Int(0)]),
+            )
             .unwrap_err();
         assert!(e.to_string().contains("use-after-free"), "{e}");
         let e = m
@@ -1328,7 +1418,12 @@ mod tests {
         let chunk = Chunk::int(8).to_value();
         m.execute_action(
             "store",
-            Value::List(vec![chunk.clone(), Value::Sym(src), Value::Int(0), Value::Int(99)]),
+            Value::List(vec![
+                chunk.clone(),
+                Value::Sym(src),
+                Value::Int(0),
+                Value::Int(99),
+            ]),
         )
         .unwrap();
         let bytes = m
@@ -1343,7 +1438,10 @@ mod tests {
         )
         .unwrap();
         let v = m
-            .execute_action("load", Value::List(vec![chunk, Value::Sym(dst), Value::Int(0)]))
+            .execute_action(
+                "load",
+                Value::List(vec![chunk, Value::Sym(dst), Value::Int(0)]),
+            )
             .unwrap();
         assert_eq!(v, Value::Int(99));
     }
@@ -1357,11 +1455,7 @@ mod tests {
         let v = m
             .execute_action(
                 "cmpPtr",
-                Value::List(vec![
-                    Value::str("eq"),
-                    ptr_value(b1, 0),
-                    ptr_value(b2, 0),
-                ]),
+                Value::List(vec![Value::str("eq"), ptr_value(b1, 0), ptr_value(b2, 0)]),
             )
             .unwrap();
         assert_eq!(v, Value::Bool(false));
@@ -1369,11 +1463,7 @@ mod tests {
         let e = m
             .execute_action(
                 "cmpPtr",
-                Value::List(vec![
-                    Value::str("lt"),
-                    ptr_value(b1, 0),
-                    ptr_value(b2, 0),
-                ]),
+                Value::List(vec![Value::str("lt"), ptr_value(b1, 0), ptr_value(b2, 0)]),
             )
             .unwrap_err();
         assert!(e.to_string().contains("ub-pointer-comparison"), "{e}");
@@ -1381,11 +1471,7 @@ mod tests {
         let v = m
             .execute_action(
                 "cmpPtr",
-                Value::List(vec![
-                    Value::str("lt"),
-                    ptr_value(b1, 0),
-                    ptr_value(b1, 4),
-                ]),
+                Value::List(vec![Value::str("lt"), ptr_value(b1, 0), ptr_value(b1, 4)]),
             )
             .unwrap();
         assert_eq!(v, Value::Bool(true));
@@ -1395,11 +1481,7 @@ mod tests {
         let e = m
             .execute_action(
                 "cmpPtr",
-                Value::List(vec![
-                    Value::str("le"),
-                    ptr_value(b1, 0),
-                    ptr_value(b1, 4),
-                ]),
+                Value::List(vec![Value::str("le"), ptr_value(b1, 0), ptr_value(b1, 4)]),
             )
             .unwrap_err();
         assert!(e.to_string().contains("invalid pointers"), "{e}");
@@ -1415,7 +1497,11 @@ mod tests {
         m.set_run(b, 0, Expr::int(10), 8);
         m.set_run(b, 8, Expr::int(20), 8);
         let off = Expr::lvar(LVar(0));
-        pc.push(off.clone().type_of().eq(Expr::type_tag(gillian_gil::TypeTag::Int)));
+        pc.push(
+            off.clone()
+                .type_of()
+                .eq(Expr::type_tag(gillian_gil::TypeTag::Int)),
+        );
         let chunk = Chunk::int(8).to_expr();
         let branches = m.execute_action(
             "load",

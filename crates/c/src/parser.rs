@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "minic parse error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "minic parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 impl std::error::Error for ParseError {}
@@ -47,8 +51,8 @@ enum Tok {
 }
 
 const PUNCTS: &[&str] = &[
-    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "{", "}", "(", ")", "[", "]", ";",
-    ",", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "{", "}", "(", ")", "[", "]", ";", ",",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
 ];
 
 struct Lexer<'a> {
@@ -654,7 +658,10 @@ mod tests {
         .unwrap();
         let f = &m.funcs[0];
         assert!(matches!(f.body[1], CStmt::For { .. }));
-        assert!(matches!(f.body[3], CStmt::Decl(CType::Char, _, Some(CExpr::Cast(_, _)))));
+        assert!(matches!(
+            f.body[3],
+            CStmt::Decl(CType::Char, _, Some(CExpr::Cast(_, _)))
+        ));
     }
 
     #[test]

@@ -8,14 +8,14 @@ use gillian_c::{CConcMemory, CSymMemory};
 use gillian_core::explore::ExploreConfig;
 use gillian_core::testing::{run_test_with_replay, ReplayStatus};
 use gillian_solver::Solver;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn find_bugs(buggy_src: &str, harness: &str) -> Vec<gillian_core::BugReport> {
     let prog = buggy_prog(buggy_src, harness).expect("harness compiles");
     let out = run_test_with_replay::<CSymMemory, CConcMemory>(
         &prog,
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     );
     out.bugs
@@ -260,7 +260,7 @@ fn restricted_soundness_on_collections_workloads() {
         let report = check_program::<CSymMemory, CConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         )
         .unwrap_or_else(|d| panic!("soundness violated: {d:#?}"));

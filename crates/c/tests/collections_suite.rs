@@ -5,7 +5,7 @@
 
 use gillian_c::collections;
 use gillian_core::testing::run_test;
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn all_collections_suites_verify() {
@@ -43,7 +43,7 @@ fn every_array_test_is_fully_verified() {
         let out = run_test::<gillian_c::CSymMemory>(
             &prog,
             entry,
-            Rc::new(gillian_solver::Solver::optimized()),
+            Arc::new(gillian_solver::Solver::optimized()),
             collections::table2_config(),
         );
         assert!(out.verified(), "{entry}: {:?}", out.bugs);

@@ -12,7 +12,7 @@ use gillian_core::explore::ExploreConfig;
 use gillian_core::soundness::check_program;
 use gillian_solver::Solver;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NUM_VARS: [&str; 2] = ["a", "b"];
 
@@ -123,14 +123,8 @@ fn arb_program() -> impl Strategy<Value = CModule> {
                 Some(CExpr::Call("malloc".into(), vec![CExpr::Int(32)])),
             ),
             // Initialise the first two slots; 2 and 3 stay uninitialized.
-            CStmt::Assign(
-                LValue::Index(xs(), CExpr::Int(0)),
-                CExpr::Var("a".into()),
-            ),
-            CStmt::Assign(
-                LValue::Index(xs(), CExpr::Int(1)),
-                CExpr::Var("b".into()),
-            ),
+            CStmt::Assign(LValue::Index(xs(), CExpr::Int(0)), CExpr::Var("a".into())),
+            CStmt::Assign(LValue::Index(xs(), CExpr::Int(1)), CExpr::Var("b".into())),
         ];
         body.extend(stmts);
         body.push(CStmt::Return(Some(CExpr::Bin(
@@ -165,7 +159,7 @@ proptest! {
         let result = check_program::<CSymMemory, CConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             cfg,
         );
         if let Err(discrepancies) = result {

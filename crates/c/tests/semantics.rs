@@ -34,7 +34,11 @@ fn unguarded_null_dereference_is_ub() {
     )
     .unwrap();
     assert_eq!(out.bugs.len(), 1);
-    assert!(out.bugs[0].error.contains("invalid-block"), "{}", out.bugs[0].error);
+    assert!(
+        out.bugs[0].error.contains("invalid-block"),
+        "{}",
+        out.bugs[0].error
+    );
     assert!(out.bugs[0].confirmed());
 }
 
@@ -160,7 +164,11 @@ fn memcpy_copies_bytes_and_preserves_uninitialized_holes() {
     )
     .unwrap();
     assert_eq!(hole.bugs.len(), 1);
-    assert!(hole.bugs[0].error.contains("uninitialized"), "{}", hole.bugs[0].error);
+    assert!(
+        hole.bugs[0].error.contains("uninitialized"),
+        "{}",
+        hole.bugs[0].error
+    );
 }
 
 #[test]

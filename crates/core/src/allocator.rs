@@ -208,10 +208,7 @@ mod tests {
         // Right commutativity.
         let mut c = b.clone();
         let _ = c.alloc_isym(2);
-        assert_eq!(
-            a.restrict(&b).restrict(&c),
-            a.restrict(&c).restrict(&b)
-        );
+        assert_eq!(a.restrict(&b).restrict(&c), a.restrict(&c).restrict(&b));
         // Weakening: a⇃b⇃c == a⇃b (c adds nothing beyond b) case.
         let ab = a.restrict(&b);
         assert_eq!(ab.restrict(&a), ab);

@@ -75,11 +75,7 @@ impl<M: ConcreteMemory> GilState for ConcreteState<M> {
     }
 
     fn make_store(&self, params: &[Ident], args: Vec<Value>) -> Store {
-        params
-            .iter()
-            .cloned()
-            .zip(args)
-            .collect()
+        params.iter().cloned().zip(args).collect()
     }
 
     fn resolve_proc(&self, v: &Value) -> Result<Ident, Value> {
@@ -126,7 +122,10 @@ mod tests {
 
     impl ConcreteMemory for Counter {
         fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
-            let key = arg.as_str().ok_or_else(|| Value::str("expected key"))?.to_string();
+            let key = arg
+                .as_str()
+                .ok_or_else(|| Value::str("expected key"))?
+                .to_string();
             match name {
                 "inc" => {
                     let c = self.0.entry(key).or_insert(0);

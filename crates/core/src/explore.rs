@@ -7,10 +7,28 @@
 //! keep exploration total; hitting a budget truncates the path and is
 //! reported (a truncated run yields a *bounded* verification guarantee
 //! only).
+//!
+//! Two engines share the budget semantics:
+//!
+//! - [`explore`] — the serial worklist loop (DFS or BFS order);
+//! - [`explore_parallel`] — a work-sharing multi-worker loop. Paper §3.2's
+//!   relaxed trace composition makes this sound without further argument:
+//!   the meaning of a symbolic testing run is the union of its per-trace
+//!   guarantees, and each trace is explored independently of the order in
+//!   which its siblings run. Workers therefore never need to coordinate
+//!   beyond budget accounting.
+//!
+//! Both engines report the same *order-normalized* result: every explored
+//! path appears exactly once, budget cut-offs surface as
+//! [`ExploreOutcome::Truncated`] paths (or [`ExploreResult::dropped_paths`]
+//! once `max_paths` is full) — pending work is never silently lost.
 
 use crate::interp::{step, Config, Final, Outcome, StepOut};
 use crate::state::GilState;
 use gillian_gil::Prog;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// The order in which pending configurations are explored.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,9 +49,12 @@ pub struct ExploreConfig {
     pub max_cmds_per_path: u64,
     /// Maximum commands executed across all paths.
     pub max_total_cmds: u64,
-    /// Maximum number of finished paths collected.
+    /// Maximum number of finished paths collected. Never exceeded: once
+    /// full, further paths (finished or pending) are counted in
+    /// [`ExploreResult::dropped_paths`].
     pub max_paths: usize,
-    /// Exploration order.
+    /// Exploration order (serial engine only; the parallel engine's order
+    /// is scheduling-dependent, its *result* is canonically ordered).
     pub strategy: SearchStrategy,
     /// Maximum pending (in-flight) configurations; branches beyond the cap
     /// are *dropped*. Paper §3.2's relaxed trace composition licenses
@@ -42,6 +63,10 @@ pub struct ExploreConfig {
     /// counted in [`ExploreResult::dropped_paths`] and mark the result
     /// truncated.
     pub max_pending: Option<usize>,
+    /// Number of explorer workers. `0` or `1` selects the serial engine in
+    /// [`explore_with`]; `explore_parallel` itself runs its machinery even
+    /// with one worker.
+    pub workers: usize,
 }
 
 impl Default for ExploreConfig {
@@ -52,6 +77,7 @@ impl Default for ExploreConfig {
             max_paths: 4096,
             strategy: SearchStrategy::Dfs,
             max_pending: None,
+            workers: 1,
         }
     }
 }
@@ -93,13 +119,16 @@ pub struct PathResult<S: GilState> {
 /// The result of exploring a program from an entry point.
 #[derive(Clone, Debug)]
 pub struct ExploreResult<S: GilState> {
-    /// All finished paths, in exploration order.
+    /// All finished paths. Serial engines list them in exploration order;
+    /// the parallel engine in canonical branch order.
     pub paths: Vec<PathResult<S>>,
     /// Total GIL commands executed (the paper's "GIL Cmds" column).
     pub total_cmds: u64,
     /// True when some budget was hit.
     pub truncated: bool,
-    /// Branches dropped by the [`ExploreConfig::max_pending`] cap.
+    /// Paths lost to a cap: branches beyond [`ExploreConfig::max_pending`],
+    /// plus any path (finished or pending) arriving after
+    /// [`ExploreConfig::max_paths`] results were already collected.
     pub dropped_paths: usize,
 }
 
@@ -117,39 +146,59 @@ impl<S: GilState> ExploreResult<S> {
             .iter()
             .filter(|p| matches!(p.outcome, ExploreOutcome::Normal(_)))
     }
+
+    /// Records a path without ever exceeding `max_paths`: overflow is
+    /// counted in [`ExploreResult::dropped_paths`] and marks the result
+    /// truncated.
+    fn record(&mut self, max_paths: usize, path: PathResult<S>) {
+        if self.paths.len() < max_paths {
+            self.paths.push(path);
+        } else {
+            self.dropped_paths += 1;
+            self.truncated = true;
+        }
+    }
 }
 
 /// Explores all paths of `prog` starting from `entry` in `initial` state.
+///
+/// Budgets are enforced at the point work is *produced*, not merely when it
+/// is popped: the result never holds more than `max_paths` paths, and a
+/// budget break drains the remaining worklist into
+/// [`ExploreOutcome::Truncated`] paths (or `dropped_paths` once `max_paths`
+/// is full) instead of silently discarding it.
 pub fn explore<S: GilState>(
     prog: &Prog,
     entry: &str,
     initial: S,
     cfg: ExploreConfig,
 ) -> ExploreResult<S> {
-    let mut worklist: std::collections::VecDeque<(Config<S>, u64)> =
-        std::collections::VecDeque::from([(Config::entry(entry, initial), 0)]);
+    let mut worklist: VecDeque<(Config<S>, u64)> =
+        VecDeque::from([(Config::entry(entry, initial), 0)]);
     let mut result = ExploreResult {
         paths: Vec::new(),
         total_cmds: 0,
         truncated: false,
         dropped_paths: 0,
     };
-    let pop = |wl: &mut std::collections::VecDeque<(Config<S>, u64)>, strategy| match strategy {
+    let pop = |wl: &mut VecDeque<(Config<S>, u64)>, strategy| match strategy {
         SearchStrategy::Dfs => wl.pop_back(),
         SearchStrategy::Bfs => wl.pop_front(),
     };
-    while let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) {
-        if result.total_cmds >= cfg.max_total_cmds || result.paths.len() >= cfg.max_paths {
-            result.truncated = true;
+    while result.total_cmds < cfg.max_total_cmds && result.paths.len() < cfg.max_paths {
+        let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) else {
             break;
-        }
+        };
         if cmds >= cfg.max_cmds_per_path {
             result.truncated = true;
-            result.paths.push(PathResult {
-                state: config.state,
-                outcome: ExploreOutcome::Truncated,
-                cmds,
-            });
+            result.record(
+                cfg.max_paths,
+                PathResult {
+                    state: config.state,
+                    outcome: ExploreOutcome::Truncated,
+                    cmds,
+                },
+            );
             continue;
         }
         result.total_cmds += 1;
@@ -159,22 +208,308 @@ pub fn explore<S: GilState>(
                     if cfg.max_pending.is_some_and(|cap| worklist.len() >= cap) {
                         result.dropped_paths += 1;
                         result.truncated = true;
-                        continue;
+                    } else {
+                        worklist.push_back((c, cmds + 1));
                     }
-                    worklist.push_back((c, cmds + 1));
                 }
                 StepOut::Done(Final { state, outcome }) => {
-                    result.paths.push(PathResult {
-                        state,
-                        outcome: outcome.into(),
-                        cmds: cmds + 1,
-                    });
+                    result.record(
+                        cfg.max_paths,
+                        PathResult {
+                            state,
+                            outcome: outcome.into(),
+                            cmds: cmds + 1,
+                        },
+                    );
                 }
             }
         }
     }
-    if !worklist.is_empty() {
+    // A budget break leaves pending configurations behind; surface every
+    // one of them instead of losing them.
+    while let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) {
         result.truncated = true;
+        result.record(
+            cfg.max_paths,
+            PathResult {
+                state: config.state,
+                outcome: ExploreOutcome::Truncated,
+                cmds,
+            },
+        );
+    }
+    result
+}
+
+/// Explores with the configured engine: serial for `workers <= 1`, the
+/// parallel explorer otherwise.
+pub fn explore_with<S>(prog: &Prog, entry: &str, initial: S, cfg: ExploreConfig) -> ExploreResult<S>
+where
+    S: GilState + Send,
+    S::V: Send,
+    S::Store: Send,
+{
+    if cfg.workers > 1 {
+        explore_parallel(prog, entry, initial, cfg)
+    } else {
+        explore(prog, entry, initial, cfg)
+    }
+}
+
+/// A pending unit of work for the parallel explorer: a configuration, its
+/// per-path command count, and its *branch trace* — the successor index
+/// chosen at every branching step since the entry. Traces canonically
+/// identify paths independently of scheduling, which is what lets the
+/// parallel engine return a deterministically ordered result.
+struct Job<S: GilState> {
+    config: Config<S>,
+    cmds: u64,
+    trace: Vec<u32>,
+}
+
+/// Queue shared by the explorer workers. `in_flight` counts jobs popped
+/// but not yet retired; the queue is only known empty-for-good when it is
+/// empty *and* nothing is in flight.
+struct JobQueue<S: GilState> {
+    jobs: VecDeque<Job<S>>,
+    in_flight: usize,
+}
+
+struct SharedExplorer<S: GilState> {
+    queue: Mutex<JobQueue<S>>,
+    work: Condvar,
+    /// Commands claimed so far against `max_total_cmds`.
+    total_cmds: AtomicU64,
+    /// Finished paths so far (for the `max_paths` stop signal; the
+    /// authoritative cap is applied at merge time).
+    finished_paths: AtomicUsize,
+    /// Set when a global budget is exhausted: workers park their current
+    /// job as pending-truncated and drain the queue the same way.
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    dropped_paths: AtomicUsize,
+}
+
+impl<S: GilState> SharedExplorer<S> {
+    fn note_finished(&self, cfg: &ExploreConfig) {
+        if self.finished_paths.fetch_add(1, Ordering::Relaxed) + 1 >= cfg.max_paths {
+            self.stop.store(true, Ordering::Relaxed);
+            self.work.notify_all();
+        }
+    }
+}
+
+/// What one worker produced: finished paths and jobs cut off mid-path by a
+/// global budget, both tagged with their branch trace for merging.
+type WorkerYield<S> = (Vec<(Vec<u32>, PathResult<S>)>, Vec<Job<S>>);
+
+fn explore_worker<S: GilState>(
+    prog: &Prog,
+    cfg: &ExploreConfig,
+    shared: &SharedExplorer<S>,
+) -> WorkerYield<S> {
+    let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
+    let mut cut: Vec<Job<S>> = Vec::new();
+    loop {
+        // Acquire a job, or return once the queue is empty with nothing in
+        // flight (no one can produce more work).
+        let mut job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.jobs.pop_back() {
+                    q.in_flight += 1;
+                    break j;
+                }
+                if q.in_flight == 0 {
+                    shared.work.notify_all();
+                    return (finished, cut);
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        // Run the job depth-first locally: keep one successor, share the
+        // rest. This keeps queue traffic proportional to branching, not to
+        // path length.
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                cut.push(job);
+                break;
+            }
+            if job.cmds >= cfg.max_cmds_per_path {
+                shared.truncated.store(true, Ordering::Relaxed);
+                finished.push((
+                    job.trace,
+                    PathResult {
+                        state: job.config.state,
+                        outcome: ExploreOutcome::Truncated,
+                        cmds: job.cmds,
+                    },
+                ));
+                shared.note_finished(cfg);
+                break;
+            }
+            // Claim one command against the global budget; returning the
+            // failed claim keeps `total_cmds` equal to commands executed.
+            if shared.total_cmds.fetch_add(1, Ordering::Relaxed) >= cfg.max_total_cmds {
+                shared.total_cmds.fetch_sub(1, Ordering::Relaxed);
+                shared.truncated.store(true, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::Relaxed);
+                shared.work.notify_all();
+                cut.push(job);
+                break;
+            }
+            let Job {
+                config,
+                cmds,
+                trace,
+            } = job;
+            let outs = step(prog, config);
+            let branching = outs.len() > 1;
+            let mut continuation: Option<Job<S>> = None;
+            let mut surplus: Vec<Job<S>> = Vec::new();
+            for (i, out) in outs.into_iter().enumerate() {
+                let mut child_trace = trace.clone();
+                if branching {
+                    child_trace.push(i as u32);
+                }
+                match out {
+                    StepOut::Next(config) => {
+                        let child = Job {
+                            config,
+                            cmds: cmds + 1,
+                            trace: child_trace,
+                        };
+                        if continuation.is_none() {
+                            continuation = Some(child);
+                        } else {
+                            surplus.push(child);
+                        }
+                    }
+                    StepOut::Done(Final { state, outcome }) => {
+                        finished.push((
+                            child_trace,
+                            PathResult {
+                                state,
+                                outcome: outcome.into(),
+                                cmds: cmds + 1,
+                            },
+                        ));
+                        shared.note_finished(cfg);
+                    }
+                }
+            }
+            if !surplus.is_empty() {
+                let mut q = shared.queue.lock().unwrap();
+                for child in surplus {
+                    if cfg.max_pending.is_some_and(|cap| q.jobs.len() >= cap) {
+                        shared.dropped_paths.fetch_add(1, Ordering::Relaxed);
+                        shared.truncated.store(true, Ordering::Relaxed);
+                    } else {
+                        q.jobs.push_back(child);
+                    }
+                }
+                drop(q);
+                shared.work.notify_all();
+            }
+            match continuation {
+                Some(next) => job = next,
+                None => break,
+            }
+        }
+        // Retire the job; if that empties the system, wake the waiters so
+        // they can terminate.
+        let mut q = shared.queue.lock().unwrap();
+        q.in_flight -= 1;
+        if q.in_flight == 0 && q.jobs.is_empty() {
+            shared.work.notify_all();
+        }
+    }
+}
+
+/// Explores all paths of `prog` with `cfg.workers` worker threads sharing
+/// one worklist (and one solver, via the state's `Arc<Solver>` — its SAT
+/// cache is shared across workers).
+///
+/// Soundness: per §3.2 every explored trace carries its own guarantee, so
+/// exploration order — and therefore parallel scheduling — cannot affect
+/// which guarantees hold, only the order they are found in. To make the
+/// *result* deterministic anyway, every path is tagged with its branch
+/// trace and the merged result is sorted in canonical branch order; with
+/// budgets that do not bind, the returned path set is identical to the
+/// serial engines' (order-normalized).
+///
+/// Budget semantics match [`explore`]: never more than `max_paths` paths,
+/// and work pending when a budget trips is surfaced as
+/// [`ExploreOutcome::Truncated`] paths or counted in `dropped_paths`.
+pub fn explore_parallel<S>(
+    prog: &Prog,
+    entry: &str,
+    initial: S,
+    cfg: ExploreConfig,
+) -> ExploreResult<S>
+where
+    S: GilState + Send,
+    S::V: Send,
+    S::Store: Send,
+{
+    let workers = cfg.workers.max(1);
+    let shared = SharedExplorer {
+        queue: Mutex::new(JobQueue {
+            jobs: VecDeque::from([Job {
+                config: Config::entry(entry, initial),
+                cmds: 0,
+                trace: Vec::new(),
+            }]),
+            in_flight: 0,
+        }),
+        work: Condvar::new(),
+        total_cmds: AtomicU64::new(0),
+        finished_paths: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        truncated: AtomicBool::new(false),
+        dropped_paths: AtomicUsize::new(0),
+    };
+    let yields: Vec<WorkerYield<S>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| explore_worker(prog, &cfg, &shared)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: canonical branch order, finished paths first,
+    // then budget-cut pending work — mirroring the serial engine's
+    // "explore, then drain" shape.
+    let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
+    let mut pending: Vec<Job<S>> = Vec::new();
+    for (f, c) in yields {
+        finished.extend(f);
+        pending.extend(c);
+    }
+    finished.sort_by(|a, b| a.0.cmp(&b.0));
+    pending.sort_by(|a, b| a.trace.cmp(&b.trace));
+
+    let mut result = ExploreResult {
+        paths: Vec::new(),
+        total_cmds: shared.total_cmds.load(Ordering::Relaxed),
+        truncated: shared.truncated.load(Ordering::Relaxed),
+        dropped_paths: shared.dropped_paths.load(Ordering::Relaxed),
+    };
+    for (_, path) in finished {
+        result.record(cfg.max_paths, path);
+    }
+    for job in pending {
+        result.truncated = true;
+        result.record(
+            cfg.max_paths,
+            PathResult {
+                state: job.config.state,
+                outcome: ExploreOutcome::Truncated,
+                cmds: job.cmds,
+            },
+        );
     }
     result
 }
@@ -186,7 +521,7 @@ mod tests {
     use crate::symbolic::SymbolicState;
     use gillian_gil::{Cmd, Expr, Proc};
     use gillian_solver::{PathCondition, Solver};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[derive(Clone, Debug, Default)]
     struct NoMem;
@@ -209,7 +544,7 @@ mod tests {
     type St = SymbolicState<NoMem>;
 
     fn sym_state() -> St {
-        SymbolicState::new(Rc::new(Solver::optimized()))
+        SymbolicState::new(Arc::new(Solver::optimized()))
     }
 
     /// main() { x := iSym; ifgoto x < 10 ret; fail "big"; ret: return x }
@@ -228,7 +563,12 @@ mod tests {
 
     #[test]
     fn symbolic_exploration_covers_both_branches() {
-        let r = explore(&branching_prog(), "main", sym_state(), ExploreConfig::default());
+        let r = explore(
+            &branching_prog(),
+            "main",
+            sym_state(),
+            ExploreConfig::default(),
+        );
         assert_eq!(r.paths.len(), 2);
         assert_eq!(r.errors().count(), 1);
         assert_eq!(r.normal().count(), 1);
@@ -269,6 +609,69 @@ mod tests {
     }
 
     #[test]
+    fn global_budget_break_surfaces_pending_paths() {
+        // With a 2-command budget the ifgoto has just been expanded into
+        // two pending configurations; neither may be silently lost.
+        let cfg = ExploreConfig {
+            max_total_cmds: 2,
+            ..Default::default()
+        };
+        let r = explore(&branching_prog(), "main", sym_state(), cfg);
+        assert_eq!(r.total_cmds, 2);
+        assert_eq!(r.paths.len(), 2, "both pending branches surface");
+        assert!(r
+            .paths
+            .iter()
+            .all(|p| p.outcome == ExploreOutcome::Truncated));
+        assert_eq!(r.dropped_paths, 0);
+    }
+
+    /// A memory whose single action fails on *two* branches at once, so one
+    /// step can finish several paths — the overflow case for `max_paths`.
+    #[derive(Clone, Debug, Default)]
+    struct TwoErrMem;
+    impl SymbolicMemory for TwoErrMem {
+        fn execute_action(
+            &self,
+            _: &str,
+            _: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            vec![
+                SymBranch::err_if(TwoErrMem, Expr::str("first"), Expr::tt()),
+                SymBranch::err_if(TwoErrMem, Expr::str("second"), Expr::tt()),
+            ]
+        }
+    }
+
+    #[test]
+    fn max_paths_is_never_exceeded() {
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![Cmd::Action {
+                lhs: "r".into(),
+                name: "boom".into(),
+                arg: Expr::int(0),
+            }],
+        )]);
+        let cfg = ExploreConfig {
+            max_paths: 1,
+            ..Default::default()
+        };
+        let r = explore(
+            &prog,
+            "main",
+            SymbolicState::<TwoErrMem>::new(Arc::new(Solver::optimized())),
+            cfg,
+        );
+        assert_eq!(r.paths.len(), 1, "the cap binds even within one step");
+        assert_eq!(r.dropped_paths, 1, "the overflow path is accounted for");
+        assert!(r.truncated);
+    }
+
+    #[test]
     fn vanish_paths_are_collected_but_harmless() {
         let prog = Prog::from_procs([Proc::new(
             "main",
@@ -293,9 +696,7 @@ mod tests {
         let normal = r.normal().next().unwrap();
         let pc = &normal.state.pc;
         assert!(
-            pc.conjuncts()
-                .iter()
-                .any(|c| c.to_string().contains("= 5")),
+            pc.conjuncts().iter().any(|c| c.to_string().contains("= 5")),
             "pc {pc} should pin x to 5"
         );
     }
@@ -308,7 +709,7 @@ mod strategy_tests {
     use crate::symbolic::SymbolicState;
     use gillian_gil::{Cmd, Expr, Proc, Prog};
     use gillian_solver::{PathCondition, Solver};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[derive(Clone, Debug, Default)]
     struct NoMem;
@@ -338,7 +739,13 @@ mod strategy_tests {
     }
 
     fn state() -> SymbolicState<NoMem> {
-        SymbolicState::new(Rc::new(Solver::optimized()))
+        SymbolicState::new(Arc::new(Solver::optimized()))
+    }
+
+    fn sorted_pcs(r: &ExploreResult<SymbolicState<NoMem>>) -> Vec<String> {
+        let mut pcs: Vec<String> = r.paths.iter().map(|p| p.state.pc.to_string()).collect();
+        pcs.sort();
+        pcs
     }
 
     #[test]
@@ -356,11 +763,108 @@ mod strategy_tests {
         assert_eq!(dfs.paths.len(), 8);
         assert_eq!(bfs.paths.len(), 8);
         assert_eq!(dfs.total_cmds, bfs.total_cmds);
-        let mut dfs_pcs: Vec<String> = dfs.paths.iter().map(|p| p.state.pc.to_string()).collect();
-        let mut bfs_pcs: Vec<String> = bfs.paths.iter().map(|p| p.state.pc.to_string()).collect();
-        dfs_pcs.sort();
-        bfs_pcs.sort();
-        assert_eq!(dfs_pcs, bfs_pcs, "same path set, different order");
+        assert_eq!(
+            sorted_pcs(&dfs),
+            sorted_pcs(&bfs),
+            "same path set, different order"
+        );
+    }
+
+    #[test]
+    fn parallel_finds_the_same_paths_for_any_worker_count() {
+        let serial = explore(&wide_prog(), "main", state(), ExploreConfig::default());
+        for workers in 1..=4 {
+            let par = explore_parallel(
+                &wide_prog(),
+                "main",
+                state(),
+                ExploreConfig {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.paths.len(), 8, "workers={workers}");
+            assert!(!par.truncated, "workers={workers}");
+            assert_eq!(par.total_cmds, serial.total_cmds, "workers={workers}");
+            assert_eq!(
+                sorted_pcs(&par),
+                sorted_pcs(&serial),
+                "workers={workers}: same order-normalized path set"
+            );
+            assert_eq!(
+                par.errors().count(),
+                serial.errors().count(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_result_order_is_deterministic() {
+        let once = explore_parallel(
+            &wide_prog(),
+            "main",
+            state(),
+            ExploreConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        let reference: Vec<String> = once.paths.iter().map(|p| p.state.pc.to_string()).collect();
+        for _ in 0..5 {
+            let again = explore_parallel(
+                &wide_prog(),
+                "main",
+                state(),
+                ExploreConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+            );
+            let pcs: Vec<String> = again.paths.iter().map(|p| p.state.pc.to_string()).collect();
+            assert_eq!(pcs, reference, "merge order must not depend on scheduling");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_max_paths_and_reports_the_rest() {
+        let r = explore_parallel(
+            &wide_prog(),
+            "main",
+            state(),
+            ExploreConfig {
+                workers: 4,
+                max_paths: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.paths.len() <= 3);
+        assert!(r.truncated);
+        // Everything the program could produce is either a path or counted
+        // dropped: nothing vanishes silently.
+        assert!(r.paths.len() + r.dropped_paths >= 4);
+    }
+
+    #[test]
+    fn parallel_global_budget_truncates_without_losing_work() {
+        let r = explore_parallel(
+            &wide_prog(),
+            "main",
+            state(),
+            ExploreConfig {
+                workers: 2,
+                max_total_cmds: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.truncated);
+        assert!(r.total_cmds <= 3);
+        assert!(
+            r.paths
+                .iter()
+                .any(|p| p.outcome == ExploreOutcome::Truncated),
+            "cut-off work surfaces as truncated paths"
+        );
     }
 
     #[test]
@@ -377,7 +881,10 @@ mod strategy_tests {
         assert!(r.dropped_paths > 0, "branches beyond the cap are dropped");
         assert!(r.truncated);
         // The surviving paths are still complete, valid traces.
-        assert!(r.paths.iter().all(|p| p.outcome != ExploreOutcome::Truncated));
+        assert!(r
+            .paths
+            .iter()
+            .all(|p| p.outcome != ExploreOutcome::Truncated));
         assert!(r.paths.len() + r.dropped_paths >= 4);
     }
 }

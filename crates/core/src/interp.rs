@@ -143,7 +143,11 @@ pub fn step<S: GilState>(prog: &Prog, cfg: Config<S>) -> Vec<StepOut<S>> {
         },
         Cmd::Goto(j) => vec![next(state, stack, proc, *j)],
         // [Call]
-        Cmd::Call { lhs, proc: pe, args } => {
+        Cmd::Call {
+            lhs,
+            proc: pe,
+            args,
+        } => {
             let callee_v = match state.eval(pe) {
                 Ok(v) => v,
                 Err(v) => return vec![err_done(state, v)],
@@ -318,11 +322,7 @@ mod tests {
 
     #[test]
     fn fail_and_vanish_terminate() {
-        let fail = Prog::from_procs([Proc::new(
-            "main",
-            [],
-            vec![Cmd::Fail(Expr::str("boom"))],
-        )]);
+        let fail = Prog::from_procs([Proc::new("main", [], vec![Cmd::Fail(Expr::str("boom"))])]);
         assert_eq!(
             run_to_end(&fail, "main").outcome,
             Outcome::Error(Value::str("boom"))

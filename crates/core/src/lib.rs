@@ -45,7 +45,10 @@ pub mod testing;
 
 pub use allocator::{ConcAllocator, SymAllocator};
 pub use concrete::ConcreteState;
-pub use explore::{ExploreConfig, ExploreOutcome, ExploreResult, PathResult, SearchStrategy};
+pub use explore::{
+    explore_parallel, explore_with, ExploreConfig, ExploreOutcome, ExploreResult, PathResult,
+    SearchStrategy,
+};
 pub use interp::{Config, Final, Outcome};
 pub use memory::{ConcreteMemory, SymBranch, SymbolicMemory};
 pub use restriction::Restrict;

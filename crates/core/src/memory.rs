@@ -79,7 +79,12 @@ impl<M> SymBranch<M> {
 }
 
 /// A symbolic memory model `M̂ = ⟨|M̂|, A, êa⟩` (Def. 2.4).
-pub trait SymbolicMemory: Clone + std::fmt::Debug + Default {
+///
+/// `Send` is a supertrait because symbolic states (which own their memory)
+/// migrate between worker threads under the parallel explorer
+/// ([`crate::explore::explore_parallel`]). Memories are values, not shared
+/// structures, so this costs implementations nothing in practice.
+pub trait SymbolicMemory: Clone + std::fmt::Debug + Default + Send {
     /// Executes action `name` with (simplified) symbolic argument `arg`
     /// under path condition `pc`, returning all feasible branches.
     ///

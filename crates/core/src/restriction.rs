@@ -45,9 +45,7 @@ pub fn check_restriction_laws<T: Restrict + PartialEq + Clone + std::fmt::Debug>
     if x1.restrict(x2).restrict(x3) != x1.restrict(x3).restrict(x2) {
         return Err("right commutativity");
     }
-    if x1.restrict(x2).restrict(x3) == *x1
-        && (x1.restrict(x2) != *x1 || x1.restrict(x3) != *x1)
-    {
+    if x1.restrict(x2).restrict(x3) == *x1 && (x1.restrict(x2) != *x1 || x1.restrict(x3) != *x1) {
         return Err("weakening");
     }
     Ok(())

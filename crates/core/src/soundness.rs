@@ -29,7 +29,7 @@ use crate::testing::script_from_model;
 use crate::ConcreteState;
 use gillian_gil::{Expr, Prog, Value};
 use gillian_solver::{Model, PathCondition, Solver};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A memory interpretation function `I : (X̂ ⇀ V) ⇀ |M̂| → |M|` (Def. 3.7):
 /// interprets a symbolic memory under a logical environment.
@@ -74,10 +74,7 @@ impl std::fmt::Display for Discrepancy {
 /// `needed` that the model leaves unassigned gets a default value (an
 /// unconstrained logical variable may take *any* value, so this is a valid
 /// extension of `ε`).
-pub fn complete_model(
-    model: &Model,
-    needed: impl IntoIterator<Item = gillian_gil::LVar>,
-) -> Model {
+pub fn complete_model(model: &Model, needed: impl IntoIterator<Item = gillian_gil::LVar>) -> Model {
     let mut assignment: std::collections::BTreeMap<gillian_gil::LVar, Value> =
         model.iter().map(|(x, v)| (*x, v.clone())).collect();
     for x in needed {
@@ -116,7 +113,12 @@ pub fn check_action<I: MemoryInterpretation>(
         };
         let mut needed = sym_mem.lvars();
         needed.extend(arg.lvars());
-        needed.extend(branch.outcome.as_ref().map_or_else(|e| e.lvars(), |v| v.lvars()));
+        needed.extend(
+            branch
+                .outcome
+                .as_ref()
+                .map_or_else(|e| e.lvars(), |v| v.lvars()),
+        );
         let model = complete_model(&model, needed);
         let concrete_arg = match model.eval(arg) {
             Ok(v) => v,
@@ -194,7 +196,7 @@ pub struct SoundnessReport {
 pub fn check_program<M, C>(
     prog: &Prog,
     entry: &str,
-    solver: Rc<Solver>,
+    solver: Arc<Solver>,
     cfg: ExploreConfig,
 ) -> Result<SoundnessReport, Vec<Discrepancy>>
 where
@@ -219,19 +221,19 @@ where
         };
         // Complete the environment over every lvar the comparison touches:
         // the iSym trace (script) and the symbolic return value.
-        let mut needed: std::collections::BTreeSet<gillian_gil::LVar> =
-            path.state.alloc().isym_trace().iter().map(|(_, x)| *x).collect();
+        let mut needed: std::collections::BTreeSet<gillian_gil::LVar> = path
+            .state
+            .alloc()
+            .isym_trace()
+            .iter()
+            .map(|(_, x)| *x)
+            .collect();
         if let ExploreOutcome::Normal(se) = &path.outcome {
             needed.extend(se.lvars());
         }
         let model = complete_model(&model, needed);
         let script = script_from_model(&path.state, &model);
-        let conc = explore(
-            prog,
-            entry,
-            ConcreteState::<C>::with_script(script),
-            cfg,
-        );
+        let conc = explore(prog, entry, ConcreteState::<C>::with_script(script), cfg);
         let Some(cpath) = conc.paths.first() else {
             problems.push(Discrepancy {
                 context: format!("{entry}: concrete run produced no path"),
@@ -242,21 +244,19 @@ where
         };
         report.replayed += 1;
         match (&path.outcome, &cpath.outcome) {
-            (ExploreOutcome::Normal(se), ExploreOutcome::Normal(cv)) => {
-                match model.eval(se) {
-                    Ok(sv) if &sv == cv => {}
-                    Ok(sv) => problems.push(Discrepancy {
-                        context: format!("{entry}: return values differ"),
-                        symbolic: sv.to_string(),
-                        concrete: cv.to_string(),
-                    }),
-                    Err(e) => problems.push(Discrepancy {
-                        context: format!("{entry}: symbolic return uninterpretable"),
-                        symbolic: se.to_string(),
-                        concrete: e.to_string(),
-                    }),
-                }
-            }
+            (ExploreOutcome::Normal(se), ExploreOutcome::Normal(cv)) => match model.eval(se) {
+                Ok(sv) if &sv == cv => {}
+                Ok(sv) => problems.push(Discrepancy {
+                    context: format!("{entry}: return values differ"),
+                    symbolic: sv.to_string(),
+                    concrete: cv.to_string(),
+                }),
+                Err(e) => problems.push(Discrepancy {
+                    context: format!("{entry}: symbolic return uninterpretable"),
+                    symbolic: se.to_string(),
+                    concrete: e.to_string(),
+                }),
+            },
             (ExploreOutcome::Error(_), ExploreOutcome::Error(_)) => {}
             (ExploreOutcome::Vanished, ExploreOutcome::Vanished) => {}
             (s, c) => problems.push(Discrepancy {
@@ -330,15 +330,8 @@ mod tests {
         let solver = Solver::optimized();
         let interp = TrivialInterpretation::<NoConcMem, NoSymMem>::default();
         let pc = PathCondition::new();
-        let checked = check_action(
-            &interp,
-            &solver,
-            &NoSymMem,
-            "echo",
-            &Expr::int(3),
-            &pc,
-        )
-        .unwrap();
+        let checked =
+            check_action(&interp, &solver, &NoSymMem, "echo", &Expr::int(3), &pc).unwrap();
         assert_eq!(checked, 1);
     }
 
@@ -358,7 +351,7 @@ mod tests {
         let report = check_program::<NoSymMem, NoConcMem>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         )
         .unwrap();
@@ -389,7 +382,7 @@ mod tests {
         let result = check_program::<NoSymMem, LyingConc>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         );
         assert!(result.is_err(), "divergence must be reported");

@@ -17,7 +17,7 @@ use crate::state::GilState;
 use gillian_gil::{Expr, Ident, Value};
 use gillian_solver::{PathCondition, Solver};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A symbolic variable store `ρ̂ : X ⇀ Ê`.
 pub type SymStore = BTreeMap<Ident, Expr>;
@@ -31,12 +31,12 @@ pub struct SymbolicState<M> {
     alloc: SymAllocator,
     /// The path condition `π̂`.
     pub pc: PathCondition,
-    solver: Rc<Solver>,
+    solver: Arc<Solver>,
 }
 
 impl<M: SymbolicMemory> SymbolicState<M> {
     /// A state with empty memory, store and path condition.
-    pub fn new(solver: Rc<Solver>) -> Self {
+    pub fn new(solver: Arc<Solver>) -> Self {
         SymbolicState {
             memory: M::default(),
             store: SymStore::new(),
@@ -47,7 +47,7 @@ impl<M: SymbolicMemory> SymbolicState<M> {
     }
 
     /// A state over an explicit initial memory.
-    pub fn with_memory(solver: Rc<Solver>, memory: M) -> Self {
+    pub fn with_memory(solver: Arc<Solver>, memory: M) -> Self {
         SymbolicState {
             memory,
             store: SymStore::new(),
@@ -218,7 +218,7 @@ mod tests {
     }
 
     fn state() -> SymbolicState<Cell> {
-        SymbolicState::new(Rc::new(Solver::optimized()))
+        SymbolicState::new(Arc::new(Solver::optimized()))
     }
 
     #[test]
@@ -235,7 +235,10 @@ mod tests {
         let mut st = state();
         let x = st.fresh_isym(0);
         st.set_var(&"x".into(), x.clone());
-        let branches = st.clone().branch_on(&Expr::pvar("x").lt(Expr::int(5))).unwrap();
+        let branches = st
+            .clone()
+            .branch_on(&Expr::pvar("x").lt(Expr::int(5)))
+            .unwrap();
         assert_eq!(branches.len(), 2, "both branches feasible");
         for (s, taken) in &branches {
             let expected = if *taken {
@@ -276,10 +279,18 @@ mod tests {
         let branches = st.execute_action("set", Expr::int(7));
         let (st, out) = branches.into_iter().next().unwrap();
         assert!(out.is_ok());
-        let (_, got) = st.execute_action("get", Expr::nil()).into_iter().next().unwrap();
+        let (_, got) = st
+            .execute_action("get", Expr::nil())
+            .into_iter()
+            .next()
+            .unwrap();
         assert_eq!(got, Ok(Expr::int(7)));
         let empty = state();
-        let (_, e) = empty.execute_action("get", Expr::nil()).into_iter().next().unwrap();
+        let (_, e) = empty
+            .execute_action("get", Expr::nil())
+            .into_iter()
+            .next()
+            .unwrap();
         assert!(e.is_err());
     }
 

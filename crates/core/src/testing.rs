@@ -17,12 +17,12 @@
 //!   Theorem 3.6: symbolic testing has no false positives).
 
 use crate::concrete::ConcreteState;
-use crate::explore::{explore, ExploreConfig, ExploreOutcome, ExploreResult};
+use crate::explore::{explore, explore_with, ExploreConfig, ExploreOutcome, ExploreResult};
 use crate::memory::{ConcreteMemory, SymbolicMemory};
 use crate::symbolic::SymbolicState;
 use gillian_gil::{Prog, Value};
 use gillian_solver::{Model, PathCondition, Solver};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The status of replaying a bug's model concretely.
@@ -55,8 +55,7 @@ impl BugReport {
     /// True when the report is backed by a model (and, if replay was
     /// attempted, by a confirming concrete run).
     pub fn confirmed(&self) -> bool {
-        self.model.is_some()
-            && !matches!(self.replay, Some(ReplayStatus::Diverged(_)))
+        self.model.is_some() && !matches!(self.replay, Some(ReplayStatus::Diverged(_)))
     }
 }
 
@@ -87,11 +86,11 @@ impl<M: SymbolicMemory> SymTestOutcome<M> {
 pub fn run_test<M: SymbolicMemory>(
     prog: &Prog,
     entry: &str,
-    solver: Rc<Solver>,
+    solver: Arc<Solver>,
     cfg: ExploreConfig,
 ) -> SymTestOutcome<M> {
     let initial = SymbolicState::<M>::new(solver.clone());
-    let result = explore(prog, entry, initial, cfg);
+    let result = explore_with(prog, entry, initial, cfg);
     let mut bugs = Vec::new();
     for path in result.errors() {
         let pc = path.state.pc.clone();
@@ -132,7 +131,7 @@ pub fn script_from_model<M: SymbolicMemory>(state: &SymbolicState<M>, model: &Mo
 pub fn run_test_with_replay<M: SymbolicMemory, C: ConcreteMemory>(
     prog: &Prog,
     entry: &str,
-    solver: Rc<Solver>,
+    solver: Arc<Solver>,
     cfg: ExploreConfig,
 ) -> SymTestOutcome<M> {
     let mut out = run_test::<M>(prog, entry, solver, cfg);
@@ -206,7 +205,7 @@ pub fn run_suite<M: SymbolicMemory>(
         ..Default::default()
     };
     for entry in entries {
-        let solver = Rc::new(solver_factory());
+        let solver = Arc::new(solver_factory());
         let outcome = run_test::<M>(prog, entry, solver, cfg);
         suite.gil_cmds += outcome.gil_cmds();
         if outcome.result.truncated {
@@ -293,7 +292,7 @@ mod tests {
         let out = run_test::<NoSymMem>(
             &clean_prog(),
             "test",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         );
         assert!(out.verified());
@@ -305,7 +304,7 @@ mod tests {
         let out = run_test::<NoSymMem>(
             &buggy_prog(),
             "test",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         );
         assert_eq!(out.bugs.len(), 1);
@@ -319,7 +318,7 @@ mod tests {
         let out = run_test_with_replay::<NoSymMem, NoConcMem>(
             &buggy_prog(),
             "test",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         );
         let bug = &out.bugs[0];

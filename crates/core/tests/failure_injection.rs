@@ -9,7 +9,7 @@ use gillian_core::memory::{ConcreteMemory, SymBranch, SymbolicMemory};
 use gillian_core::soundness::{check_action, check_program, MemoryInterpretation};
 use gillian_gil::{Cmd, Expr, LVar, Proc, Prog, Value};
 use gillian_solver::{Model, PathCondition, Solver};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The reference concrete memory: one cell holding a value.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -172,7 +172,7 @@ fn correct_memory_passes_both_checks() {
     let report = check_program::<SymCell, Cell>(
         &get_set_program(),
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     )
     .expect("correct memory is restricted-sound");
@@ -193,7 +193,9 @@ fn wrong_value_output_is_caught_by_ma_rs() {
     )
     .expect_err("the off-by-one transcription must be caught");
     assert!(
-        problems.iter().any(|d| d.context.contains("value outputs differ")),
+        problems
+            .iter()
+            .any(|d| d.context.contains("value outputs differ")),
         "{problems:#?}"
     );
 }
@@ -203,12 +205,14 @@ fn wrong_value_output_is_caught_end_to_end() {
     let result = check_program::<OffByOneCell, Cell>(
         &get_set_program(),
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     );
     let problems = result.expect_err("end-to-end replay must diverge");
     assert!(
-        problems.iter().any(|d| d.context.contains("return values differ")),
+        problems
+            .iter()
+            .any(|d| d.context.contains("return values differ")),
         "{problems:#?}"
     );
 }
@@ -227,12 +231,14 @@ fn missing_error_branch_is_caught_end_to_end() {
     let result = check_program::<NoErrorCell, Cell>(
         &prog,
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     );
     let problems = result.expect_err("the missing error branch must be caught");
     assert!(
-        problems.iter().any(|d| d.context.contains("outcomes differ")),
+        problems
+            .iter()
+            .any(|d| d.context.contains("outcomes differ")),
         "{problems:#?}"
     );
 }

@@ -10,7 +10,7 @@ use gillian_core::symbolic::SymbolicState;
 use gillian_gil::{Expr, LVar};
 use gillian_solver::{PathCondition, Solver};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A trivial symbolic memory, to instantiate `SymbolicState`.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -46,9 +46,11 @@ fn state_with(picks: &[bool]) -> SymbolicState<NoMem> {
         Expr::int(0).le(Expr::lvar(LVar(0))),
         Expr::lvar(LVar(1)).eq(Expr::str("k")),
         Expr::lvar(LVar(2)).ne(Expr::lvar(LVar(0))),
-        Expr::lvar(LVar(1)).type_of().eq(Expr::type_tag(gillian_gil::TypeTag::Str)),
+        Expr::lvar(LVar(1))
+            .type_of()
+            .eq(Expr::type_tag(gillian_gil::TypeTag::Str)),
     ];
-    let mut st = SymbolicState::<NoMem>::new(Rc::new(Solver::optimized()));
+    let mut st = SymbolicState::<NoMem>::new(Arc::new(Solver::optimized()));
     for (i, take) in picks.iter().enumerate() {
         if *take {
             st.assume_unchecked(universe[i % universe.len()].clone());

@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+
+//! # Vendored micro-benchmark harness
+//!
+//! A registry-free stand-in for the `criterion` crate, exposing the API
+//! subset the workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], and the `criterion_group!` / `criterion_main!`
+//! macros. Instead of criterion's statistical machinery it times
+//! `sample_size` runs after one warm-up and prints min / mean / max.
+//!
+//! Filtering: `cargo bench -- <substring>` runs only matching benchmarks.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument = benchmark name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.samples),
+            budget: self.samples,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `budget` runs of `f` after one untimed warm-up.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        hint::black_box(f()); // warm-up
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<60} {:>10.3?} min {:>10.3?} mean {:>10.3?} max ({} samples)",
+        min,
+        mean,
+        max,
+        samples.len()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0;
+        group.bench_function("skipped", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

@@ -109,11 +109,17 @@ pub fn eval(store: &Store, e: &Expr) -> Result<Value, EvalError> {
         Expr::Bin(op, a, b) => eval_binop(*op, &eval(store, a)?, &eval(store, b)?),
         Expr::List(es) => es.iter().map(|e| eval(store, e)).collect(),
         Expr::StrCat(es) => {
-            let vs: Vec<Value> = es.iter().map(|e| eval(store, e)).collect::<Result<_, _>>()?;
+            let vs: Vec<Value> = es
+                .iter()
+                .map(|e| eval(store, e))
+                .collect::<Result<_, _>>()?;
             eval_strcat(&vs)
         }
         Expr::LstCat(es) => {
-            let vs: Vec<Value> = es.iter().map(|e| eval(store, e)).collect::<Result<_, _>>()?;
+            let vs: Vec<Value> = es
+                .iter()
+                .map(|e| eval(store, e))
+                .collect::<Result<_, _>>()?;
             eval_lstcat(&vs)
         }
     }

@@ -245,7 +245,10 @@ pub fn eval_unop(op: UnOp, v: &Value) -> Result<Value, EvalError> {
         (UnOp::IntToNum, Value::Int(n)) => Ok(Value::num(*n as f64)),
         (UnOp::NumToInt, Value::Num(x)) => {
             let x = x.get();
-            if x.is_nan() || x.is_infinite() || !(-9.223_372_036_854_776e18..9.223_372_036_854_776e18).contains(&x) {
+            if x.is_nan()
+                || x.is_infinite()
+                || !(-9.223_372_036_854_776e18..9.223_372_036_854_776e18).contains(&x)
+            {
                 err(format!("num_to_int out of range: {x}"))
             } else {
                 Ok(Value::Int(x.trunc() as i64))
@@ -265,9 +268,7 @@ pub fn eval_unop(op: UnOp, v: &Value) -> Result<Value, EvalError> {
                 Ok(Value::List(vs[1..].to_vec()))
             }
         }
-        (UnOp::LstRev, Value::List(vs)) => {
-            Ok(Value::List(vs.iter().rev().cloned().collect()))
-        }
+        (UnOp::LstRev, Value::List(vs)) => Ok(Value::List(vs.iter().rev().cloned().collect())),
         (UnOp::BitNot, Value::Int(n)) => Ok(Value::Int(!n)),
         (UnOp::WrapSigned(w), Value::Int(n)) => wrap_int(*n, w, true).map(Value::Int),
         (UnOp::WrapUnsigned(w), Value::Int(n)) => wrap_int(*n, w, false).map(Value::Int),
@@ -351,7 +352,10 @@ pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
             }
         }
         (BinOp::StrNth, Value::Str(s), Value::Int(i)) => {
-            match s.chars().nth((*i).try_into().map_err(|_| EvalError::new("negative s-nth index"))?) {
+            match s.chars().nth(
+                (*i).try_into()
+                    .map_err(|_| EvalError::new("negative s-nth index"))?,
+            ) {
                 Some(c) => Ok(Value::Str(Arc::from(c.to_string().as_str()))),
                 None => err(format!("s-nth index {i} out of bounds")),
             }
@@ -398,7 +402,10 @@ pub const fn reserved_sym(id: u64) -> Sym {
 
 /// Returns `true` when `op` always yields a `Bool` on its domain.
 pub fn is_boolean_binop(op: BinOp) -> bool {
-    matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Leq | BinOp::And | BinOp::Or)
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Lt | BinOp::Leq | BinOp::And | BinOp::Or
+    )
 }
 
 /// The result type tag of a unary operator where it is type-determined,
@@ -476,7 +483,10 @@ mod tests {
             eval_binop(BinOp::LstSub, &l, &int(1)).unwrap(),
             Value::List(vec![int(2), int(3)])
         );
-        assert_eq!(eval_binop(BinOp::LstSub, &l, &int(3)).unwrap(), Value::nil());
+        assert_eq!(
+            eval_binop(BinOp::LstSub, &l, &int(3)).unwrap(),
+            Value::nil()
+        );
     }
 
     #[test]
@@ -485,7 +495,10 @@ mod tests {
             eval_strcat(&[Value::str("foo"), Value::str("bar")]).unwrap(),
             Value::str("foobar")
         );
-        assert_eq!(eval_unop(UnOp::StrLen, &Value::str("héllo")).unwrap(), int(5));
+        assert_eq!(
+            eval_unop(UnOp::StrLen, &Value::str("héllo")).unwrap(),
+            int(5)
+        );
         assert_eq!(
             eval_binop(BinOp::StrNth, &Value::str("abc"), &int(1)).unwrap(),
             Value::str("b")
@@ -495,17 +508,32 @@ mod tests {
     #[test]
     fn wrap_operators_match_twos_complement() {
         assert_eq!(eval_unop(UnOp::WrapSigned(8), &int(200)).unwrap(), int(-56));
-        assert_eq!(eval_unop(UnOp::WrapUnsigned(8), &int(-1)).unwrap(), int(255));
-        assert_eq!(eval_unop(UnOp::WrapSigned(32), &int(1 << 31)).unwrap(), int(i32::MIN as i64));
-        assert_eq!(eval_unop(UnOp::WrapSigned(64), &int(i64::MIN)).unwrap(), int(i64::MIN));
-        assert_eq!(eval_unop(UnOp::WrapUnsigned(16), &int(65536 + 5)).unwrap(), int(5));
+        assert_eq!(
+            eval_unop(UnOp::WrapUnsigned(8), &int(-1)).unwrap(),
+            int(255)
+        );
+        assert_eq!(
+            eval_unop(UnOp::WrapSigned(32), &int(1 << 31)).unwrap(),
+            int(i32::MIN as i64)
+        );
+        assert_eq!(
+            eval_unop(UnOp::WrapSigned(64), &int(i64::MIN)).unwrap(),
+            int(i64::MIN)
+        );
+        assert_eq!(
+            eval_unop(UnOp::WrapUnsigned(16), &int(65536 + 5)).unwrap(),
+            int(5)
+        );
     }
 
     #[test]
     fn num_to_int_rejects_non_finite() {
         assert!(eval_unop(UnOp::NumToInt, &Value::num(f64::NAN)).is_err());
         assert!(eval_unop(UnOp::NumToInt, &Value::num(f64::INFINITY)).is_err());
-        assert_eq!(eval_unop(UnOp::NumToInt, &Value::num(-2.9)).unwrap(), int(-2));
+        assert_eq!(
+            eval_unop(UnOp::NumToInt, &Value::num(-2.9)).unwrap(),
+            int(-2)
+        );
     }
 
     #[test]
@@ -521,6 +549,9 @@ mod tests {
     fn shifts() {
         assert_eq!(eval_binop(BinOp::Shl, &int(1), &int(4)).unwrap(), int(16));
         assert_eq!(eval_binop(BinOp::ShrA, &int(-8), &int(1)).unwrap(), int(-4));
-        assert_eq!(eval_binop(BinOp::ShrL, &int(-8), &int(1)).unwrap(), int((-8i64 as u64 >> 1) as i64));
+        assert_eq!(
+            eval_binop(BinOp::ShrL, &int(-8), &int(1)).unwrap(),
+            int((-8i64 as u64 >> 1) as i64)
+        );
     }
 }

@@ -147,21 +147,17 @@ impl<'a> P<'a> {
         let text = &r[..len];
         self.pos += len;
         if is_float {
-            text.parse::<f64>()
-                .map(Value::num)
-                .map_err(|e| ParseError {
-                    offset: self.pos,
-                    msg: e.to_string(),
-                })
+            text.parse::<f64>().map(Value::num).map_err(|e| ParseError {
+                offset: self.pos,
+                msg: e.to_string(),
+            })
         } else {
             match text.parse::<i64>() {
                 Ok(n) => Ok(Value::Int(n)),
                 // `-9223372036854775808` prints with the sign as a separate
                 // token, so the magnitude 2⁶³ must be representable here; a
                 // subsequent negation wraps it back to `i64::MIN`.
-                Err(_) if text.parse::<u128>() == Ok(1u128 << 63) => {
-                    Ok(Value::Int(i64::MIN))
-                }
+                Err(_) if text.parse::<u128>() == Ok(1u128 << 63) => Ok(Value::Int(i64::MIN)),
                 Err(e) => Err(ParseError {
                     offset: self.pos,
                     msg: e.to_string(),
@@ -320,9 +316,8 @@ impl<'a> P<'a> {
                 match item {
                     Expr::Val(v) => values.push(v),
                     other => {
-                        return self.err(format!(
-                            "literal list may only contain values, got {other}"
-                        ))
+                        return self
+                            .err(format!("literal list may only contain values, got {other}"))
                     }
                 }
             }
@@ -330,9 +325,7 @@ impl<'a> P<'a> {
         }
         // Named operator applications.
         for (name, op) in Self::NAMED_UN {
-            if self.rest().starts_with(name)
-                && self.src[self.pos + name.len()..].starts_with('(')
-            {
+            if self.rest().starts_with(name) && self.src[self.pos + name.len()..].starts_with('(') {
                 self.pos += name.len();
                 self.expect("(")?;
                 let e = self.expr()?;
@@ -341,9 +334,7 @@ impl<'a> P<'a> {
             }
         }
         for (name, op) in Self::NAMED_BIN {
-            if self.rest().starts_with(name)
-                && self.src[self.pos + name.len()..].starts_with('(')
-            {
+            if self.rest().starts_with(name) && self.src[self.pos + name.len()..].starts_with('(') {
                 self.pos += name.len();
                 self.expect("(")?;
                 let a = self.expr()?;

@@ -77,8 +77,20 @@ fn arb_var() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,5}".prop_filter("keyword", |s| {
         !matches!(
             s.as_str(),
-            "true" | "false" | "goto" | "ifgoto" | "return" | "fail" | "vanish" | "skip"
-                | "proc" | "not" | "floor" | "and" | "or" | "to_str"
+            "true"
+                | "false"
+                | "goto"
+                | "ifgoto"
+                | "return"
+                | "fail"
+                | "vanish"
+                | "skip"
+                | "proc"
+                | "not"
+                | "floor"
+                | "and"
+                | "or"
+                | "to_str"
         ) && !s.starts_with("wrap_")
             && !s.starts_with("int_to_num")
             && !s.starts_with("num_to_int")
@@ -117,8 +129,7 @@ fn arb_cmd(body_len: usize) -> impl Strategy<Value = Cmd> {
         arb_expr().prop_map(Cmd::Return),
         arb_expr().prop_map(Cmd::Fail),
         Just(Cmd::Vanish),
-        (arb_var(), arb_var(), arb_expr())
-            .prop_map(|(lhs, name, arg)| Cmd::action(lhs, name, arg)),
+        (arb_var(), arb_var(), arb_expr()).prop_map(|(lhs, name, arg)| Cmd::action(lhs, name, arg)),
         (arb_var(), 0u32..1000).prop_map(|(x, s)| Cmd::usym(x, s)),
         (arb_var(), 0u32..1000).prop_map(|(x, s)| Cmd::isym(x, s)),
         Just(Cmd::Skip),

@@ -477,9 +477,7 @@ mod tests {
             .body
             .iter()
             .find_map(|c| match c {
-                Cmd::Call { proc, args, .. } if !matches!(proc, Expr::Val(_)) => {
-                    Some(args.len())
-                }
+                Cmd::Call { proc, args, .. } if !matches!(proc, Expr::Val(_)) => Some(args.len()),
                 _ => None,
             })
             .expect("dynamic method call");

@@ -47,7 +47,7 @@ pub mod values;
 use gillian_core::explore::ExploreConfig;
 use gillian_core::testing::{run_test_with_replay, SymTestOutcome};
 use gillian_solver::Solver;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use compile::compile_module;
 pub use interp_fn::JsInterpretation;
@@ -73,12 +73,27 @@ pub fn symbolic_test_entry(
     source: &str,
     entry: &str,
 ) -> Result<SymTestOutcome<JsSymMemory>, String> {
+    symbolic_test_with(source, entry, ExploreConfig::default())
+}
+
+/// As [`symbolic_test_entry`], with explicit exploration limits — in
+/// particular [`ExploreConfig::workers`], which selects the parallel
+/// explorer when greater than one.
+///
+/// # Errors
+///
+/// Returns a parse error description for malformed source.
+pub fn symbolic_test_with(
+    source: &str,
+    entry: &str,
+    cfg: ExploreConfig,
+) -> Result<SymTestOutcome<JsSymMemory>, String> {
     let module = parse_module(source).map_err(|e| e.to_string())?;
     let prog = compile_module(&module);
     Ok(run_test_with_replay::<JsSymMemory, JsConcMemory>(
         &prog,
         entry,
-        Rc::new(Solver::optimized()),
-        ExploreConfig::default(),
+        Arc::new(Solver::optimized()),
+        cfg,
     ))
 }

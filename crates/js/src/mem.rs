@@ -89,7 +89,10 @@ impl ConcreteMemory for JsConcMemory {
             }
             "delObj" => {
                 let loc = arg;
-                if std::sync::Arc::make_mut(&mut self.meta).remove(&loc).is_none() {
+                if std::sync::Arc::make_mut(&mut self.meta)
+                    .remove(&loc)
+                    .is_none()
+                {
                     return Err(err_value(format!("delObj: {loc} is not an object")));
                 }
                 std::sync::Arc::make_mut(&mut self.cells).retain(|(l, _), _| l != &loc);
@@ -120,7 +123,8 @@ impl ConcreteMemory for JsConcMemory {
                 if !self.meta.contains_key(&args[0]) {
                     return Err(err_value(format!("delProp: {} is not an object", args[0])));
                 }
-                std::sync::Arc::make_mut(&mut self.cells).remove(&(args[0].clone(), args[1].clone()));
+                std::sync::Arc::make_mut(&mut self.cells)
+                    .remove(&(args[0].clone(), args[1].clone()));
                 Ok(Value::Bool(true))
             }
             "hasProp" => {
@@ -363,11 +367,13 @@ impl SymbolicMemory for JsSymMemory {
                     let (keys, none_key) = self.match_keys(&loc, &ek, &obj_eq, pc, solver);
                     for (key, eq) in keys {
                         let mut mem = self.clone();
-                        std::sync::Arc::make_mut(&mut mem.cells).insert((loc.clone(), key), ev.clone());
+                        std::sync::Arc::make_mut(&mut mem.cells)
+                            .insert((loc.clone(), key), ev.clone());
                         push_branch(&mut out, pc, solver, SymBranch::ok_if(mem, ev.clone(), eq));
                     }
                     let mut mem = self.clone();
-                    std::sync::Arc::make_mut(&mut mem.cells).insert((loc.clone(), ek.clone()), ev.clone());
+                    std::sync::Arc::make_mut(&mut mem.cells)
+                        .insert((loc.clone(), ek.clone()), ev.clone());
                     push_branch(
                         &mut out,
                         pc,
@@ -619,19 +625,12 @@ mod tests {
         m.insert_cell(l.clone(), Expr::str("a"), Expr::num(1.0));
         m.insert_cell(l.clone(), Expr::str("b"), Expr::num(2.0));
         let k = Expr::lvar(LVar(0));
-        let branches = m.execute_action(
-            "getProp",
-            &Expr::list([l, k]),
-            &pc,
-            &solver,
-        );
+        let branches = m.execute_action("getProp", &Expr::list([l, k]), &pc, &solver);
         // 3 in-object branches; the not-an-object branch is infeasible for
         // a literal location… but the key lvar could equal the location?
         // No: `el` here is the literal location, so not_obj is false.
         assert_eq!(branches.len(), 3, "{branches:#?}");
-        assert!(branches
-            .iter()
-            .any(|b| b.outcome == Ok(undefined_expr())));
+        assert!(branches.iter().any(|b| b.outcome == Ok(undefined_expr())));
     }
 
     #[test]
@@ -642,12 +641,7 @@ mod tests {
         let l = Expr::Val(loc(0));
         m.insert_object(l.clone(), Expr::str("Object"));
         m.insert_cell(l.clone(), Expr::str("a"), Expr::num(1.0));
-        let branches = m.execute_action(
-            "getProp",
-            &Expr::list([l, Expr::str("a")]),
-            &pc,
-            &solver,
-        );
+        let branches = m.execute_action("getProp", &Expr::list([l, Expr::str("a")]), &pc, &solver);
         assert_eq!(branches.len(), 1);
         assert_eq!(branches[0].outcome, Ok(Expr::num(1.0)));
         assert_eq!(branches[0].constraint.as_bool(), Some(true));
@@ -677,12 +671,8 @@ mod tests {
         m.insert_object(l.clone(), Expr::str("Object"));
         m.insert_cell(l.clone(), Expr::str("a"), Expr::num(1.0));
         let k = Expr::lvar(LVar(0));
-        let branches = m.execute_action(
-            "setProp",
-            &Expr::list([l, k, Expr::num(9.0)]),
-            &pc,
-            &solver,
-        );
+        let branches =
+            m.execute_action("setProp", &Expr::list([l, k, Expr::num(9.0)]), &pc, &solver);
         assert_eq!(branches.len(), 2);
         let sizes: Vec<usize> = branches.iter().map(|b| b.memory.cells.len()).collect();
         assert!(sizes.contains(&1), "overwrite branch");

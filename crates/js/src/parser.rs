@@ -30,7 +30,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "minijs parse error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "minijs parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 impl std::error::Error for ParseError {}
@@ -45,8 +49,8 @@ enum Tok {
 }
 
 const PUNCTS: &[&str] = &[
-    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ";", ",",
-    ":", ".", "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ";", ",", ":",
+    ".", "+", "-", "*", "/", "%", "<", ">", "=", "!",
 ];
 
 struct Lexer<'a> {

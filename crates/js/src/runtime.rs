@@ -167,9 +167,7 @@ fn object_check(fail_msg: &str) -> Vec<Cmd> {
 }
 
 fn prop_action(name: &str, action: &str, params: &[&str], arg: Expr, ret: Expr) -> Proc {
-    let mut body = object_check(&format!(
-        "TypeError: {action} on a non-object"
-    ));
+    let mut body = object_check(&format!("TypeError: {action} on a non-object"));
     body.push(Cmd::action("r", action, arg)); // 5
     body.push(Cmd::Return(ret)); // 6
     Proc::new(name, params.iter().copied(), body)

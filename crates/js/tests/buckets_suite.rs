@@ -28,5 +28,8 @@ fn all_buckets_suites_verify() {
         total_cmds += row.gil_cmds;
     }
     assert_eq!(total_tests, 74);
-    assert!(total_cmds > 10_000, "suites should execute many GIL commands");
+    assert!(
+        total_cmds > 10_000,
+        "suites should execute many GIL commands"
+    );
 }

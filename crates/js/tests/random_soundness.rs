@@ -10,7 +10,7 @@ use gillian_js::compile::compile_module;
 use gillian_js::{JsConcMemory, JsSymMemory};
 use gillian_solver::Solver;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const NUM_VARS: [&str; 2] = ["a", "b"];
 const KEYS: [&str; 3] = ["p", "q", "r"];
@@ -30,12 +30,13 @@ fn key_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arith() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-8i64..8).prop_map(|n| Expr::Num(n as f64)),
-        num_var(),
-    ];
+    let leaf = prop_oneof![(-8i64..8).prop_map(|n| Expr::Num(n as f64)), num_var(),];
     leaf.prop_recursive(2, 6, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)],
+        )
             .prop_map(|(x, y, op)| Expr::Bin(op, Box::new(x), Box::new(y)))
     })
 }
@@ -141,7 +142,7 @@ proptest! {
         let result = check_program::<JsSymMemory, JsConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             cfg,
         );
         if let Err(discrepancies) = result {

@@ -51,7 +51,11 @@ fn unguarded_access_on_undefined_is_reported() {
     )
     .unwrap();
     assert_eq!(out.bugs.len(), 1);
-    assert!(out.bugs[0].error.contains("JSError"), "{}", out.bugs[0].error);
+    assert!(
+        out.bugs[0].error.contains("JSError"),
+        "{}",
+        out.bugs[0].error
+    );
     assert!(out.bugs[0].confirmed());
 }
 

@@ -1,0 +1,219 @@
+#![warn(missing_docs)]
+
+//! # Vendored property-testing harness
+//!
+//! A registry-free stand-in for the `proptest` crate, exposing exactly the
+//! API subset this workspace's property tests use: the [`Strategy`] trait
+//! with `prop_map` / `prop_filter` / `prop_recursive` / `boxed`, ranges and
+//! `&str` patterns as strategies, [`collection`] and [`sample`] strategies,
+//! and the `proptest!`, `prop_oneof!`, `prop_assert*!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with its `(case, seed)` pair;
+//!   generation is fully deterministic, so the failure replays on rerun.
+//! - **No persistence.** `*.proptest-regressions` files are ignored.
+//! - Generation distributions are similar in spirit (uniform within the
+//!   requested domain) but not bit-compatible.
+//!
+//! The case count honours the `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// A failed property case (the error side of a test body's `Result`).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: `proptest! { #[test] fn p(x in strat) {..} }`.
+///
+/// Each body runs once per case with freshly generated inputs; the body may
+/// use the `prop_assert*` macros (which abort just that case with a
+/// message) or plain `assert!`/`panic!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let cases = config.effective_cases();
+            let seed = $crate::test_runner::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..u64::from(cases) {
+                let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    ::core::panic!(
+                        "property {} failed at case {} (seed {:#x}): {}",
+                        stringify!($name),
+                        case,
+                        seed,
+                        e.0
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform or weighted choice among strategies producing the same type:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?} == {:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?} != {:?}`: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..5, y in 1u8..=64, z in 0usize..3) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!((1..=64).contains(&y));
+            prop_assert!(z < 3);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(prop_oneof![Just(1i64), 10i64..20], 2..5),
+            s in "[a-b]{1,2}",
+            (a, b) in (0u32..10, any::<bool>()),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x == 1 || (10..20).contains(&x)));
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(
+            n in (0u32..3).prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| a + b)
+            })
+        ) {
+            prop_assert!(n < 3 * 16, "depth-bounded: {}", n);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0i64..100, 0..6);
+        let a = strat.generate(&mut TestRng::for_case(7, 3));
+        let b = strat.generate(&mut TestRng::for_case(7, 3));
+        assert_eq!(a, b);
+    }
+}

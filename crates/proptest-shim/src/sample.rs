@@ -1,0 +1,23 @@
+//! Sampling strategies (`select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one of `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}

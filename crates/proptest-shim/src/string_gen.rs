@@ -1,0 +1,129 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a strategy generating strings matching the
+//! pattern. The supported subset is what the workspace's tests use:
+//! literal characters, character classes `[a-z0-9_]` (with ranges), and
+//! the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+` (the unbounded ones are
+//! capped at 8 repetitions). Unsupported syntax panics at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One pattern atom: a set of candidate characters plus a repetition range.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing escape in {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported pattern syntax {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier range in {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::for_case(1, 1);
+        for _ in 0..200 {
+            let s = "[a-c]{0,2}".generate(&mut rng);
+            assert!(s.len() <= 2 && s.chars().all(|c| ('a'..='c').contains(&c)));
+            let v = "[a-z][a-z0-9_]{0,5}".generate(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 6);
+            assert!(v.chars().next().unwrap().is_ascii_lowercase());
+            let p = "[ -~]{0,6}".generate(&mut rng);
+            assert!(p.len() <= 6 && p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -89,9 +89,7 @@ fn affine(e: &Expr) -> (Expr, i64, i64) {
             }
             (e.clone(), 1, 0)
         }
-        Expr::Bin(BinOp::Mul, x, c) | Expr::Bin(BinOp::Mul, c, x)
-            if c.as_int().is_some() =>
-        {
+        Expr::Bin(BinOp::Mul, x, c) | Expr::Bin(BinOp::Mul, c, x) if c.as_int().is_some() => {
             let m = c.as_int().expect("checked literal");
             let (base, a, c0) = affine(x);
             match (a.checked_mul(m), c0.checked_mul(m)) {
@@ -265,7 +263,15 @@ impl IntDomain {
     /// is on the left, so the constraint is an upper bound for positive
     /// `a`). Returns `false` on contradiction.
     #[must_use]
-    fn bound_affine(&mut self, base: &Expr, a: i64, c: i64, d: i64, strict: bool, upper: bool) -> bool {
+    fn bound_affine(
+        &mut self,
+        base: &Expr,
+        a: i64,
+        c: i64,
+        d: i64,
+        strict: bool,
+        upper: bool,
+    ) -> bool {
         let delta = i64::from(strict);
         let itv = if upper {
             // a·base ≤ d - c - δ
@@ -310,7 +316,9 @@ impl IntDomain {
     #[must_use]
     pub fn assert_eq_const(&mut self, t: &Expr, n: i64) -> bool {
         let (base, a, c) = affine(t);
-        let Some(m) = n.checked_sub(c) else { return true };
+        let Some(m) = n.checked_sub(c) else {
+            return true;
+        };
         if m % a != 0 {
             return false; // no integer solution
         }
@@ -331,7 +339,9 @@ impl IntDomain {
     #[must_use]
     pub fn assert_ne_const(&mut self, t: &Expr, n: i64) -> bool {
         let (base, a, c) = affine(t);
-        let Some(m) = n.checked_sub(c) else { return true };
+        let Some(m) = n.checked_sub(c) else {
+            return true;
+        };
         if m % a != 0 {
             return true; // the affine term can never equal n
         }
@@ -560,7 +570,7 @@ mod tests {
     fn bounds_meet_to_contradiction() {
         let mut d = IntDomain::new();
         assert!(d.assert_cmp(&x(0), &Expr::int(5), true)); // x < 5
-        // 5 ≤ x empties the interval: the call itself reports Unsat.
+                                                           // 5 ≤ x empties the interval: the call itself reports Unsat.
         assert!(!d.assert_cmp(&Expr::int(5), &x(0), false));
     }
 
@@ -682,7 +692,10 @@ mod affine_tests {
         assert!(d.assert_eq_const(&x(0).mul(Expr::int(8)), 16));
         assert_eq!(d.query(&x(0)), IntItv { lo: 2, hi: 2 });
         let mut d2 = IntDomain::new();
-        assert!(!d2.assert_eq_const(&x(1).mul(Expr::int(8)), 15), "8x = 15 has no solution");
+        assert!(
+            !d2.assert_eq_const(&x(1).mul(Expr::int(8)), 15),
+            "8x = 15 has no solution"
+        );
         // 8x ≠ 15 is vacuous.
         let mut d3 = IntDomain::new();
         assert!(d3.assert_ne_const(&x(2).mul(Expr::int(8)), 15));

@@ -146,10 +146,9 @@ pub fn find_model(conjuncts: &[Expr], budget: ModelBudget) -> Option<Model> {
     let mut nums = NumDomain::new();
     for c in &flat {
         match c {
-            Expr::Bin(BinOp::Eq, a, b)
-                if !uf.union(a, b) => {
-                    return None;
-                }
+            Expr::Bin(BinOp::Eq, a, b) if !uf.union(a, b) => {
+                return None;
+            }
             Expr::Bin(op @ (BinOp::Lt | BinOp::Leq), a, b) => {
                 let strict = *op == BinOp::Lt;
                 if infer(&env, a) == Some(TypeTag::Int) || infer(&env, b) == Some(TypeTag::Int) {
@@ -194,7 +193,11 @@ pub fn find_model(conjuncts: &[Expr], budget: ModelBudget) -> Option<Model> {
         });
     }
 
-    let free: Vec<LVar> = vars.iter().copied().filter(|x| !fixed.contains_key(x)).collect();
+    let free: Vec<LVar> = vars
+        .iter()
+        .copied()
+        .filter(|x| !fixed.contains_key(x))
+        .collect();
     let candidates: Vec<Vec<Value>> = free
         .iter()
         .map(|x| candidate_values(*x, &env, &pool, &ints, &nums, budget.candidates_per_var))
@@ -256,7 +259,13 @@ fn candidate_values(
         if !itv.is_empty() && (itv.lo != i64::MIN || itv.hi != i64::MAX) {
             let lo = itv.lo.max(i64::MIN + 2);
             let hi = itv.hi.min(i64::MAX - 2);
-            for v in [lo, lo.saturating_add(1), hi, hi.saturating_sub(1), lo.midpoint(hi)] {
+            for v in [
+                lo,
+                lo.saturating_add(1),
+                hi,
+                hi.saturating_sub(1),
+                lo.midpoint(hi),
+            ] {
                 if v >= itv.lo && v <= itv.hi {
                     push(Value::Int(v), &mut out);
                 }
@@ -300,7 +309,10 @@ fn candidate_values(
 
     // Type defaults.
     let defaults: Vec<Value> = match ty {
-        Some(TypeTag::Int) => vec![0, 1, 2, -1, 3, 7].into_iter().map(Value::Int).collect(),
+        Some(TypeTag::Int) => vec![0, 1, 2, -1, 3, 7]
+            .into_iter()
+            .map(Value::Int)
+            .collect(),
         Some(TypeTag::Num) => [0.0, 1.0, 2.0, -1.0, 0.5]
             .iter()
             .map(|&v| Value::num(v))
@@ -360,7 +372,15 @@ fn search(
     let x = free[idx];
     for v in &candidates[idx] {
         assignment.insert(x, v.clone());
-        if search(flat, free, candidates, idx + 1, assignment, nodes, max_nodes) {
+        if search(
+            flat,
+            free,
+            candidates,
+            idx + 1,
+            assignment,
+            nodes,
+            max_nodes,
+        ) {
             return true;
         }
         assignment.remove(&x);
@@ -373,7 +393,8 @@ fn search(
 
 /// Convenience: find a model with default budgets, checking sat first.
 pub fn find_model_default(conjuncts: &[Expr]) -> Option<Model> {
-    if crate::sat::check_conjunction(conjuncts, SatBudget::default()) == crate::sat::SatResult::Unsat
+    if crate::sat::check_conjunction(conjuncts, SatBudget::default())
+        == crate::sat::SatResult::Unsat
     {
         return None;
     }
@@ -438,11 +459,7 @@ mod tests {
 
     #[test]
     fn num_bounds_guide_search() {
-        let m = find(&[
-            Expr::num(1.0).lt(x(0)),
-            x(0).lt(Expr::num(2.0)),
-        ])
-        .unwrap();
+        let m = find(&[Expr::num(1.0).lt(x(0)), x(0).lt(Expr::num(2.0))]).unwrap();
         let v = m.get(LVar(0)).unwrap().as_f64().unwrap();
         assert!(v > 1.0 && v < 2.0, "got {v}");
     }

@@ -387,14 +387,12 @@ fn check_rec(
     }
     for (a, b) in &atoms.neqs {
         match (a.as_int(), b.as_int()) {
-            (Some(n), None)
-                if !ints.assert_ne_const(b, n) => {
-                    return SatResult::Unsat;
-                }
-            (None, Some(n))
-                if !ints.assert_ne_const(a, n) => {
-                    return SatResult::Unsat;
-                }
+            (Some(n), None) if !ints.assert_ne_const(b, n) => {
+                return SatResult::Unsat;
+            }
+            (None, Some(n)) if !ints.assert_ne_const(a, n) => {
+                return SatResult::Unsat;
+            }
             _ => {}
         }
     }
@@ -546,10 +544,7 @@ mod tests {
 
     #[test]
     fn disequality_contradiction() {
-        assert_eq!(
-            check(&[x(0).eq(x(1)), x(0).ne(x(1))]),
-            SatResult::Unsat
-        );
+        assert_eq!(check(&[x(0).eq(x(1)), x(0).ne(x(1))]), SatResult::Unsat);
         assert_eq!(check(&[x(0).ne(Expr::int(3))]), SatResult::Sat);
     }
 
@@ -557,10 +552,7 @@ mod tests {
     fn interval_contradiction() {
         // x < 5 ∧ 5 ≤ x
         assert_eq!(
-            check(&[
-                x(0).lt(Expr::int(5)),
-                Expr::int(5).le(x(0)),
-            ]),
+            check(&[x(0).lt(Expr::int(5)), Expr::int(5).le(x(0)),]),
             SatResult::Unsat
         );
         // 0 ≤ x ∧ x ≤ 1 ∧ x ≠ 0 ∧ x ≠ 1
@@ -582,10 +574,7 @@ mod tests {
             SatResult::Unsat,
             "strict cycle"
         );
-        assert_eq!(
-            check(&[x(0).lt(x(1)), x(1).lt(x(2))]),
-            SatResult::Sat
-        );
+        assert_eq!(check(&[x(0).lt(x(1)), x(1).lt(x(2))]), SatResult::Sat);
     }
 
     #[test]
@@ -637,16 +626,10 @@ mod tests {
     #[test]
     fn num_comparisons() {
         assert_eq!(
-            check(&[
-                x(0).lt(Expr::num(1.0)),
-                Expr::num(2.0).le(x(0)),
-            ]),
+            check(&[x(0).lt(Expr::num(1.0)), Expr::num(2.0).le(x(0)),]),
             SatResult::Unsat
         );
-        assert_eq!(
-            check(&[x(0).lt(Expr::num(1.0))]),
-            SatResult::Sat
-        );
+        assert_eq!(check(&[x(0).lt(Expr::num(1.0))]), SatResult::Sat);
     }
 
     #[test]

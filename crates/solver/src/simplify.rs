@@ -69,17 +69,19 @@ pub fn is_total(env: &TypeEnv, e: &Expr) -> bool {
                     | BinOp::BitXor
                     | BinOp::Shl
                     | BinOp::ShrA
-                    | BinOp::ShrL => {
-                        ty(a) == Some(TypeTag::Int) && ty(b) == Some(TypeTag::Int)
-                    }
+                    | BinOp::ShrL => ty(a) == Some(TypeTag::Int) && ty(b) == Some(TypeTag::Int),
                     BinOp::LstCons => ty(b) == Some(TypeTag::List),
                     // Indexing can go out of bounds.
                     BinOp::LstNth | BinOp::StrNth | BinOp::LstSub => false,
                 }
         }
         Expr::List(es) => es.iter().all(|e| is_total(env, e)),
-        Expr::StrCat(es) => es.iter().all(|e| is_total(env, e) && ty(e) == Some(TypeTag::Str)),
-        Expr::LstCat(es) => es.iter().all(|e| is_total(env, e) && ty(e) == Some(TypeTag::List)),
+        Expr::StrCat(es) => es
+            .iter()
+            .all(|e| is_total(env, e) && ty(e) == Some(TypeTag::Str)),
+        Expr::LstCat(es) => es
+            .iter()
+            .all(|e| is_total(env, e) && ty(e) == Some(TypeTag::List)),
     }
 }
 
@@ -642,8 +644,14 @@ mod tests {
             simplify(&env, &x.clone().add(Expr::int(1)).add(Expr::int(2))),
             x.clone().add(Expr::int(3))
         );
-        assert_eq!(simplify(&env, &Expr::int(3).add(x.clone())), x.clone().add(Expr::int(3)));
-        assert_eq!(simplify(&env, &x.clone().sub(Expr::int(2))), x.add(Expr::int(-2)));
+        assert_eq!(
+            simplify(&env, &Expr::int(3).add(x.clone())),
+            x.clone().add(Expr::int(3))
+        );
+        assert_eq!(
+            simplify(&env, &x.clone().sub(Expr::int(2))),
+            x.add(Expr::int(-2))
+        );
     }
 
     #[test]
@@ -741,10 +749,7 @@ mod tests {
     fn typeof_resolution() {
         let x = Expr::lvar(LVar(0));
         let env = ty(&[(0, TypeTag::Str)]);
-        assert_eq!(
-            simplify(&env, &x.type_of()),
-            Expr::type_tag(TypeTag::Str)
-        );
+        assert_eq!(simplify(&env, &x.type_of()), Expr::type_tag(TypeTag::Str));
     }
 
     #[test]

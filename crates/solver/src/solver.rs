@@ -13,8 +13,10 @@ use crate::sat::{check_conjunction, SatBudget, SatResult};
 use crate::simplify;
 use crate::typing::{absorb_type_fact, TypeEnv};
 use gillian_gil::Expr;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The simplifier tier a solver runs (see [`crate::simplify`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,19 +102,64 @@ pub struct SolverStats {
     pub model_searches: u64,
 }
 
+/// Number of lock shards in the SAT result cache. Sixteen keeps lock
+/// contention negligible for the worker counts the parallel explorer uses
+/// while costing nothing in the single-threaded case.
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table from canonicalized conjunct sets to
+/// satisfiability verdicts.
+///
+/// Keys come from [`PathCondition::cache_key`], which sorts and
+/// deduplicates conjuncts — so two sibling paths that accumulated the same
+/// constraints in different orders (common under the parallel explorer,
+/// where subtree exploration order is nondeterministic) still share one
+/// cache entry. Sharding by key hash lets concurrent workers probe and
+/// fill the cache without serializing on a single lock.
+#[derive(Debug, Default)]
+struct SatCache {
+    shards: [Mutex<HashMap<Vec<Expr>, SatResult>>; CACHE_SHARDS],
+}
+
+impl SatCache {
+    fn shard(&self, key: &[Expr]) -> &Mutex<HashMap<Vec<Expr>, SatResult>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &[Expr]) -> Option<SatResult> {
+        self.shard(key).lock().unwrap().get(key).copied()
+    }
+
+    fn insert(&self, key: Vec<Expr>, result: SatResult) {
+        self.shard(&key).lock().unwrap().insert(key, result);
+    }
+}
+
 /// A satisfiability and simplification oracle over path conditions.
 ///
-/// Interior-mutable (single-threaded engine): `&Solver` is threaded through
-/// symbolic memories and the interpreter.
+/// Interior-mutable **and thread-safe**: `&Solver` is threaded through
+/// symbolic memories and the interpreter, and one solver (behind an
+/// `Arc`) is shared by every worker of the parallel explorer — the result
+/// cache uses sharded locks and the statistics are atomics, so concurrent
+/// paths share each other's SAT verdicts.
 #[derive(Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
-    cache: RefCell<HashMap<Vec<Expr>, SatResult>>,
-    sat_queries: Cell<u64>,
-    cache_hits: Cell<u64>,
-    simplifications: Cell<u64>,
-    model_searches: Cell<u64>,
+    cache: SatCache,
+    sat_queries: AtomicU64,
+    cache_hits: AtomicU64,
+    simplifications: AtomicU64,
+    model_searches: AtomicU64,
 }
+
+/// Compile-time guarantee that the solver can be shared across the
+/// parallel explorer's workers.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+};
 
 impl Solver {
     /// Creates a solver with the given configuration.
@@ -143,13 +190,14 @@ impl Solver {
         self.config
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot (approximate under concurrency: the
+    /// counters are individually exact but not read atomically together).
     pub fn stats(&self) -> SolverStats {
         SolverStats {
-            sat_queries: self.sat_queries.get(),
-            cache_hits: self.cache_hits.get(),
-            simplifications: self.simplifications.get(),
-            model_searches: self.model_searches.get(),
+            sat_queries: self.sat_queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            simplifications: self.simplifications.load(Ordering::Relaxed),
+            model_searches: self.model_searches.load(Ordering::Relaxed),
         }
     }
 
@@ -159,12 +207,12 @@ impl Solver {
         match self.config.simplification {
             Simplification::Off => return e.clone(),
             Simplification::Basic => {
-                self.simplifications.set(self.simplifications.get() + 1);
+                self.simplifications.fetch_add(1, Ordering::Relaxed);
                 return simplify::simplify_basic(e);
             }
             Simplification::Full => {}
         }
-        self.simplifications.set(self.simplifications.get() + 1);
+        self.simplifications.fetch_add(1, Ordering::Relaxed);
         let mut env = TypeEnv::new();
         for c in pc.conjuncts() {
             let _ = absorb_type_fact(&mut env, c);
@@ -182,17 +230,17 @@ impl Solver {
         if pc.is_trivially_false() {
             return SatResult::Unsat;
         }
-        self.sat_queries.set(self.sat_queries.get() + 1);
+        self.sat_queries.fetch_add(1, Ordering::Relaxed);
         let key = pc.cache_key();
         if self.config.caching {
-            if let Some(hit) = self.cache.borrow().get(&key) {
-                self.cache_hits.set(self.cache_hits.get() + 1);
-                return *hit;
+            if let Some(hit) = self.cache.get(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
             }
         }
         let result = check_conjunction(&key, self.config.sat_budget);
         if self.config.caching {
-            self.cache.borrow_mut().insert(key, result);
+            self.cache.insert(key, result);
         }
         result
     }
@@ -218,7 +266,7 @@ impl Solver {
         if pc.is_trivially_false() {
             return None;
         }
-        self.model_searches.set(self.model_searches.get() + 1);
+        self.model_searches.fetch_add(1, Ordering::Relaxed);
         find_model(pc.conjuncts(), self.config.model_budget)
     }
 }
@@ -242,10 +290,7 @@ mod tests {
         assert!(s.entails(&pc, &x(0).lt(Expr::int(10))));
         assert!(!s.entails(&pc, &x(0).lt(Expr::int(5))));
         assert_eq!(s.sat_with(&pc, &x(0).eq(Expr::int(3))), SatResult::Sat);
-        assert_eq!(
-            s.sat_with(&pc, &x(0).eq(Expr::int(11))),
-            SatResult::Unsat
-        );
+        assert_eq!(s.sat_with(&pc, &x(0).eq(Expr::int(11))), SatResult::Unsat);
     }
 
     #[test]

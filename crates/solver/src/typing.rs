@@ -116,11 +116,15 @@ mod tests {
     #[test]
     fn absorbs_type_facts() {
         let mut env = TypeEnv::new();
-        let fact = Expr::lvar(LVar(1)).type_of().eq(Expr::Val(Value::Type(TypeTag::Str)));
+        let fact = Expr::lvar(LVar(1))
+            .type_of()
+            .eq(Expr::Val(Value::Type(TypeTag::Str)));
         assert!(absorb_type_fact(&mut env, &fact));
         assert_eq!(env.get(&LVar(1)), Some(&TypeTag::Str));
         // Conflicting fact is inconsistent.
-        let fact2 = Expr::lvar(LVar(1)).type_of().eq(Expr::Val(Value::Type(TypeTag::Int)));
+        let fact2 = Expr::lvar(LVar(1))
+            .type_of()
+            .eq(Expr::Val(Value::Type(TypeTag::Int)));
         assert!(!absorb_type_fact(&mut env, &fact2));
     }
 }

@@ -23,17 +23,11 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         (-50i64..50).prop_map(Value::Int),
         (-50i64..50).prop_map(|n| Value::num(n as f64 / 2.0)),
-        prop_oneof![
-            Just(f64::NAN),
-            Just(f64::INFINITY),
-            Just(-0.0),
-        ]
-        .prop_map(Value::num),
+        prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(-0.0),].prop_map(Value::num),
         "[a-c]{0,2}".prop_map(|s| Value::str(&s)),
         any::<bool>().prop_map(Value::Bool),
         (0u64..4).prop_map(|i| Value::Sym(Sym(Sym::FIRST_FRESH + i))),
-        proptest::collection::vec((-5i64..5).prop_map(Value::Int), 0..3)
-            .prop_map(Value::List),
+        proptest::collection::vec((-5i64..5).prop_map(Value::Int), 0..3).prop_map(Value::List),
     ]
 }
 
@@ -45,8 +39,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), arb_unop()).prop_map(|(e, op)| e.un(op)),
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(a, b, op)| a.bin(op, b)),
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| a.bin(op, b)),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::StrCat),
             proptest::collection::vec(inner, 1..3).prop_map(Expr::LstCat),

@@ -30,11 +30,7 @@ pub fn compile_function(f: &Function) -> Proc {
     // A function body that can fall off the end returns 0 (While functions
     // are expected to `return`; this keeps the GIL program total).
     cmds.push(Cmd::Return(Expr::int(0)));
-    Proc::new(
-        f.name.as_str(),
-        f.params.iter().map(String::as_str),
-        cmds,
-    )
+    Proc::new(f.name.as_str(), f.params.iter().map(String::as_str), cmds)
 }
 
 fn compile_stmts(stmts: &[Stmt], cmds: &mut Vec<Cmd>) {

@@ -41,8 +41,7 @@ impl WhileConcMemory {
 
     /// Direct cell insertion (for tests and interpretation functions).
     pub fn insert(&mut self, loc: Value, prop: impl AsRef<str>, value: Value) -> Option<Value> {
-        Arc::make_mut(&mut self.cells)
-            .insert((loc, Arc::from(prop.as_ref())), value)
+        Arc::make_mut(&mut self.cells).insert((loc, Arc::from(prop.as_ref())), value)
     }
 
     /// Direct cell read (for tests).
@@ -73,9 +72,7 @@ impl ConcreteMemory for WhileConcMemory {
                 self.cells
                     .get(&(args[0].clone(), Arc::from(prop)))
                     .cloned()
-                    .ok_or_else(|| {
-                        err_value(format!("lookup: no property {prop} at {}", args[0]))
-                    })
+                    .ok_or_else(|| err_value(format!("lookup: no property {prop} at {}", args[0])))
             }
             // [C-Mutate-Present] / [C-Mutate-Absent]
             "mutate" => {
@@ -192,17 +189,14 @@ impl SymbolicMemory for WhileSymMemory {
                 let mut none_of = Expr::tt();
                 for loc in self.locs_with(&prop) {
                     let eq = solver.simplify(pc, &el.clone().eq(loc.clone()));
-                    if eq.as_bool() != Some(false)
-                        && solver.sat_with(pc, &eq).possibly_sat()
-                    {
+                    if eq.as_bool() != Some(false) && solver.sat_with(pc, &eq).possibly_sat() {
                         let value = self.cells[&(loc.clone(), prop.clone())].clone();
                         branches.push(SymBranch::ok_if(self.clone(), value, eq));
                     }
                     none_of = none_of.and(el.clone().ne(loc));
                 }
                 let none_of = solver.simplify(pc, &none_of);
-                if none_of.as_bool() != Some(false)
-                    && solver.sat_with(pc, &none_of).possibly_sat()
+                if none_of.as_bool() != Some(false) && solver.sat_with(pc, &none_of).possibly_sat()
                 {
                     branches.push(SymBranch::err_if(
                         self.clone(),
@@ -214,9 +208,9 @@ impl SymbolicMemory for WhileSymMemory {
             }
             // [S-Mutate-Present] / [S-Mutate-Absent]
             "mutate" => {
-                let (el, prop, ev) = match expr_args(arg, 3, "mutate").and_then(|a| {
-                    Ok((a[0].clone(), static_prop(&a[1], "mutate")?, a[2].clone()))
-                }) {
+                let (el, prop, ev) = match expr_args(arg, 3, "mutate")
+                    .and_then(|a| Ok((a[0].clone(), static_prop(&a[1], "mutate")?, a[2].clone())))
+                {
                     Ok(x) => x,
                     Err(e) => return vec![SymBranch::err_if(self.clone(), e, Expr::tt())],
                 };
@@ -224,19 +218,17 @@ impl SymbolicMemory for WhileSymMemory {
                 let mut none_of = Expr::tt();
                 for loc in self.locs_with(&prop) {
                     let eq = solver.simplify(pc, &el.clone().eq(loc.clone()));
-                    if eq.as_bool() != Some(false)
-                        && solver.sat_with(pc, &eq).possibly_sat()
-                    {
+                    if eq.as_bool() != Some(false) && solver.sat_with(pc, &eq).possibly_sat() {
                         let mut mem = self.clone();
-                        Arc::make_mut(&mut mem.cells).insert((loc.clone(), prop.clone()), ev.clone());
+                        Arc::make_mut(&mut mem.cells)
+                            .insert((loc.clone(), prop.clone()), ev.clone());
                         branches.push(SymBranch::ok_if(mem, ev.clone(), eq));
                     }
                     none_of = none_of.and(el.clone().ne(loc));
                 }
                 // Absent: the address defines no `p` yet; extend.
                 let none_of = solver.simplify(pc, &none_of);
-                if none_of.as_bool() != Some(false)
-                    && solver.sat_with(pc, &none_of).possibly_sat()
+                if none_of.as_bool() != Some(false) && solver.sat_with(pc, &none_of).possibly_sat()
                 {
                     let mut mem = self.clone();
                     Arc::make_mut(&mut mem.cells).insert((el, prop), ev.clone());
@@ -251,9 +243,7 @@ impl SymbolicMemory for WhileSymMemory {
                 let mut none_of = Expr::tt();
                 for loc in self.locs() {
                     let eq = solver.simplify(pc, &el.clone().eq(loc.clone()));
-                    if eq.as_bool() != Some(false)
-                        && solver.sat_with(pc, &eq).possibly_sat()
-                    {
+                    if eq.as_bool() != Some(false) && solver.sat_with(pc, &eq).possibly_sat() {
                         let mut mem = self.clone();
                         Arc::make_mut(&mut mem.cells).retain(|(l, _), _| l != &loc);
                         branches.push(SymBranch::ok_if(mem, Expr::tt(), eq));
@@ -261,8 +251,7 @@ impl SymbolicMemory for WhileSymMemory {
                     none_of = none_of.and(el.clone().ne(loc));
                 }
                 let none_of = solver.simplify(pc, &none_of);
-                if none_of.as_bool() != Some(false)
-                    && solver.sat_with(pc, &none_of).possibly_sat()
+                if none_of.as_bool() != Some(false) && solver.sat_with(pc, &none_of).possibly_sat()
                 {
                     branches.push(SymBranch::ok_if(self.clone(), Expr::tt(), none_of));
                 }
@@ -323,12 +312,7 @@ mod tests {
         let mut m = WhileSymMemory::default();
         let l = Expr::Val(sym(0));
         m.insert(l.clone(), "a", Expr::int(1));
-        let branches = m.execute_action(
-            "lookup",
-            &Expr::list([l, Expr::str("a")]),
-            &pc,
-            &solver,
-        );
+        let branches = m.execute_action("lookup", &Expr::list([l, Expr::str("a")]), &pc, &solver);
         assert_eq!(branches.len(), 1, "literal locations do not alias-branch");
         assert_eq!(branches[0].outcome, Ok(Expr::int(1)));
         assert_eq!(branches[0].constraint, Expr::tt());
@@ -406,12 +390,7 @@ mod tests {
         m.insert(l1.clone(), "a", Expr::int(11));
         let x = Expr::lvar(LVar(0));
         pc.push(x.clone().eq(l0.clone()));
-        let branches = m.execute_action(
-            "lookup",
-            &Expr::list([x, Expr::str("a")]),
-            &pc,
-            &solver,
-        );
+        let branches = m.execute_action("lookup", &Expr::list([x, Expr::str("a")]), &pc, &solver);
         assert_eq!(branches.len(), 1, "pc pins the alias: {branches:?}");
         assert_eq!(branches[0].outcome, Ok(Expr::int(10)));
     }

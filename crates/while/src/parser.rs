@@ -36,7 +36,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "while parse error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "while parse error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 impl std::error::Error for ParseError {}
@@ -57,8 +61,8 @@ struct Lexer<'a> {
 }
 
 const PUNCTS: &[&str] = &[
-    ":=", "!=", "<=", ">=", "==", "{", "}", "(", ")", "[", "]", ";", ",", ":", ".", "+", "-",
-    "*", "/", "%", "<", ">", "=",
+    ":=", "!=", "<=", ">=", "==", "{", "}", "(", ")", "[", "]", ";", ",", ":", ".", "+", "-", "*",
+    "/", "%", "<", ">", "=",
 ];
 
 impl<'a> Lexer<'a> {
@@ -675,10 +679,7 @@ mod tests {
         let Stmt::Assign(_, e) = &m.functions[0].body[0] else {
             panic!()
         };
-        assert_eq!(
-            e,
-            &Expr::pvar("a").add(Expr::pvar("b").mul(Expr::int(2)))
-        );
+        assert_eq!(e, &Expr::pvar("a").add(Expr::pvar("b").mul(Expr::int(2))));
         let Stmt::Assign(_, y) = &m.functions[0].body[1] else {
             panic!()
         };

@@ -9,7 +9,7 @@ use gillian_solver::Solver;
 use gillian_while::{
     compile_program, parse_program, symbolic_test, WhileConcMemory, WhileSymMemory,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn verified_object_program() {
@@ -202,7 +202,7 @@ fn restricted_soundness_holds_end_to_end() {
         let report = check_program::<WhileSymMemory, WhileConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         )
         .unwrap_or_else(|d| panic!("soundness violated on {src}: {d:?}"));
@@ -230,7 +230,7 @@ fn baseline_solver_agrees_on_verdicts() {
         let out = gillian_core::testing::run_test_with_replay::<WhileSymMemory, WhileConcMemory>(
             &prog,
             "main",
-            Rc::new(solver),
+            Arc::new(solver),
             ExploreConfig::default(),
         );
         assert_eq!(out.bugs.len(), 1);

@@ -7,13 +7,13 @@
 
 use gillian_core::explore::ExploreConfig;
 use gillian_core::soundness::check_program;
+use gillian_gil::Expr;
 use gillian_solver::Solver;
 use gillian_while::ast::{Function, Module, Stmt};
 use gillian_while::compile::compile_program;
 use gillian_while::{WhileConcMemory, WhileSymMemory};
-use gillian_gil::Expr;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const VARS: [&str; 3] = ["a", "b", "c"];
 
@@ -23,10 +23,7 @@ fn var() -> impl Strategy<Value = &'static str> {
 
 /// Arithmetic over the integer variables (kept total: +, -, * only).
 fn arb_arith() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-10i64..10).prop_map(Expr::int),
-        var().prop_map(Expr::pvar),
-    ];
+    let leaf = prop_oneof![(-10i64..10).prop_map(Expr::int), var().prop_map(Expr::pvar),];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(x, y)| x.add(y)),
@@ -146,7 +143,7 @@ proptest! {
         let result = check_program::<WhileSymMemory, WhileConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             cfg,
         );
         match result {

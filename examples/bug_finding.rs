@@ -10,7 +10,7 @@ use gillian::c::{CConcMemory, CSymMemory};
 use gillian::core::explore::ExploreConfig;
 use gillian::core::testing::run_test_with_replay;
 use gillian::solver::Solver;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn hunt(title: &str, buggy_src: &str, harness: &str) {
     println!("== {title}");
@@ -18,11 +18,14 @@ fn hunt(title: &str, buggy_src: &str, harness: &str) {
     let out = run_test_with_replay::<CSymMemory, CConcMemory>(
         &prog,
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     );
     if out.bugs.is_empty() {
-        println!("   no bugs found ({} paths explored)", out.result.paths.len());
+        println!(
+            "   no bugs found ({} paths explored)",
+            out.result.paths.len()
+        );
     }
     for bug in &out.bugs {
         println!("   bug       : {}", bug.error);

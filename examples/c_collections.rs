@@ -10,7 +10,12 @@ use std::fmt::Write as _;
 fn main() {
     let cfg = collections::table2_config();
     let mut out = String::new();
-    writeln!(out, "{:<8} {:>4} {:>12} {:>10}", "Name", "#T", "GIL Cmds", "Time").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>4} {:>12} {:>10}",
+        "Name", "#T", "GIL Cmds", "Time"
+    )
+    .unwrap();
     let mut totals = (0usize, 0u64, 0.0f64);
     for suite in collections::suite_names() {
         let row = collections::run_row(suite, Solver::optimized, cfg);

@@ -9,7 +9,7 @@ use gillian::core::symbolic::SymbolicState;
 use gillian::gil::parser::parse_prog;
 use gillian::solver::Solver;
 use gillian::while_lang::WhileSymMemory;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const SOURCE: &str = r#"
 // abs.gil — symbolic absolute value over a heap cell, in raw GIL.
@@ -42,7 +42,7 @@ fn main() {
     let prog = parse_prog(SOURCE).expect("GIL parses");
     println!("parsed {} procedures; re-printed:\n{prog}", prog.len());
 
-    let solver = Rc::new(Solver::optimized());
+    let solver = Arc::new(Solver::optimized());
     let initial = SymbolicState::<WhileSymMemory>::new(solver);
     let result = explore(&prog, "main", initial, ExploreConfig::default());
 

@@ -23,7 +23,7 @@ use gillian::core::testing::run_test_with_replay;
 use gillian::gil::{Cmd, Expr, Proc, Prog, TypeTag, Value};
 use gillian::solver::{PathCondition, Solver};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // Step 1: the concrete memory model (paper Def. 2.3).
@@ -102,8 +102,7 @@ impl SymbolicMemory for SymCounters {
                         zero,
                     ));
                 }
-                if nonzero.as_bool() != Some(false)
-                    && solver.sat_with(pc, &nonzero).possibly_sat()
+                if nonzero.as_bool() != Some(false) && solver.sat_with(pc, &nonzero).possibly_sat()
                 {
                     let mut mem = self.clone();
                     let next = solver.simplify(pc, &current.sub(Expr::int(1)));
@@ -134,7 +133,8 @@ fn counter_program() -> Prog {
         vec![
             /* 0 */ Cmd::isym("n", 0),
             // assume typeOf(n) = Int ∧ 0 ≤ n ≤ 5
-            /* 1 */ Cmd::IfGoto(Expr::pvar("n").has_type(TypeTag::Int), 3),
+            /* 1 */
+            Cmd::IfGoto(Expr::pvar("n").has_type(TypeTag::Int), 3),
             /* 2 */ Cmd::Vanish,
             /* 3 */
             Cmd::IfGoto(
@@ -147,7 +147,8 @@ fn counter_program() -> Prog {
             /* 5 */ Cmd::action("_", "incr", Expr::str("tokens")),
             /* 6 */ Cmd::action("_", "incr", Expr::str("tokens")),
             // loop: i from 0 to n, decrementing each round
-            /* 7 */ Cmd::assign("i", Expr::int(0)),
+            /* 7 */
+            Cmd::assign("i", Expr::int(0)),
             /* 8 */ Cmd::IfGoto(Expr::pvar("i").lt(Expr::pvar("n")), 10),
             /* 9 */ Cmd::Goto(13),
             /* 10 */ Cmd::action("_", "decr", Expr::str("tokens")),
@@ -169,7 +170,7 @@ fn main() {
     let outcome = run_test_with_replay::<SymCounters, ConcCounters>(
         &prog,
         "main",
-        Rc::new(Solver::optimized()),
+        Arc::new(Solver::optimized()),
         ExploreConfig::default(),
     );
     println!(
@@ -187,8 +188,10 @@ fn main() {
         println!("confirmed : {}", bug.confirmed());
     }
     // The minimal counterexample is three decrements after two increments.
-    assert!(outcome.bugs.iter().any(|b| b.confirmed()
-        && b.script == vec![Value::Int(3)]));
+    assert!(outcome
+        .bugs
+        .iter()
+        .any(|b| b.confirmed() && b.script == vec![Value::Int(3)]));
     println!("\nthe platform found the minimal failing input n = 3, verified it,");
     println!("and replayed it concretely — with ~170 lines of language-specific code.");
 }

@@ -4,8 +4,13 @@
 //! thousands in seconds and scales linearly with the workload size).
 //!
 //! Run with: `cargo run --release --example stress`
+//!
+//! The final section compares the serial and parallel explorers on a
+//! branch-heavy workload and reports the observed speedup (informational:
+//! it tracks the host's actual core count).
 
-use std::time::Instant;
+use gillian::core::explore::ExploreConfig;
+use std::time::{Duration, Instant};
 
 fn probe(name: &str, run: impl FnOnce() -> (u64, usize, bool)) {
     let start = Instant::now();
@@ -104,4 +109,52 @@ fn main() {
         let out = gillian::c::symbolic_test(&src).unwrap();
         (out.gil_cmds(), out.result.paths.len(), out.verified())
     });
+
+    // Serial vs. parallel explorer on a branch-heavy While workload: ten
+    // independent symbolic branches → 1024 paths, each with real loop work,
+    // so workers always have paths to steal.
+    let wide_src = {
+        let mut body = String::new();
+        for i in 0..10 {
+            body.push_str(&format!(
+                "b{i} := symb(); t{i} := 0; \
+                 if (b{i} > 0) {{ t{i} := 1; }} else {{ t{i} := 2; }}\n"
+            ));
+        }
+        format!(
+            r#"
+            proc main() {{
+                {body}
+                acc := 0;
+                i := 0;
+                while (i < 50) {{
+                    i := i + 1;
+                    acc := acc + i;
+                }}
+                assert (acc = 1275);
+                return acc;
+            }}
+            "#
+        )
+    };
+    let timed = |workers: usize| -> (Duration, u64, usize) {
+        let cfg = ExploreConfig {
+            workers,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let out = gillian::while_lang::symbolic_test_with(&wide_src, "main", cfg).unwrap();
+        assert!(out.verified(), "wide workload must verify");
+        (start.elapsed(), out.gil_cmds(), out.result.paths.len())
+    };
+    let (t1, cmds1, paths1) = timed(1);
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    let (tn, cmdsn, pathsn) = timed(workers);
+    assert_eq!(paths1, pathsn, "parallel must find the same path count");
+    assert_eq!(cmds1, cmdsn, "parallel must execute the same command count");
+    println!(
+        "parallel/wide          {cmds1:>10} cmds {paths1:>5} paths  serial {t1:>8.2?}  \
+         {workers} workers {tn:>8.2?}  speedup {:.2}x",
+        t1.as_secs_f64() / tn.as_secs_f64().max(1e-9)
+    );
 }

@@ -129,7 +129,11 @@ fn memory_models_differ_but_the_engine_is_shared() {
     "#,
     )
     .unwrap();
-    assert!(j.verified(), "JS absent property is undefined: {:?}", j.bugs);
+    assert!(
+        j.verified(),
+        "JS absent property is undefined: {:?}",
+        j.bugs
+    );
 
     let c = gillian::c::symbolic_test(
         r#"

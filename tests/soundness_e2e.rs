@@ -5,7 +5,7 @@
 use gillian::core::explore::ExploreConfig;
 use gillian::core::soundness::check_program;
 use gillian::solver::Solver;
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn while_programs_are_restricted_sound() {
@@ -15,13 +15,17 @@ fn while_programs_are_restricted_sound() {
         "proc main() { x := symb(); assume (x = 1 or x = 2); l := [x, x + 1]; return nth(l, 1); }",
     ];
     for src in sources {
-        let prog = gillian::while_lang::compile_program(
-            &gillian::while_lang::parse_program(src).unwrap(),
-        );
+        let prog =
+            gillian::while_lang::compile_program(&gillian::while_lang::parse_program(src).unwrap());
         let report = check_program::<
             gillian::while_lang::WhileSymMemory,
             gillian::while_lang::WhileConcMemory,
-        >(&prog, "main", Rc::new(Solver::optimized()), ExploreConfig::default())
+        >(
+            &prog,
+            "main",
+            Arc::new(Solver::optimized()),
+            ExploreConfig::default(),
+        )
         .unwrap_or_else(|d| panic!("While soundness violated on {src}: {d:#?}"));
         assert!(report.replayed > 0, "{src}: nothing replayed");
     }
@@ -61,7 +65,7 @@ fn minijs_programs_are_restricted_sound() {
         let report = check_program::<gillian::js::JsSymMemory, gillian::js::JsConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         )
         .unwrap_or_else(|d| panic!("MiniJS soundness violated on {src}: {d:#?}"));
@@ -108,12 +112,11 @@ fn minic_programs_are_restricted_sound() {
         "#,
     ];
     for src in sources {
-        let prog =
-            gillian::c::compile_unit(&gillian::c::parse_unit(src).unwrap()).unwrap();
+        let prog = gillian::c::compile_unit(&gillian::c::parse_unit(src).unwrap()).unwrap();
         let report = check_program::<gillian::c::CSymMemory, gillian::c::CConcMemory>(
             &prog,
             "main",
-            Rc::new(Solver::optimized()),
+            Arc::new(Solver::optimized()),
             ExploreConfig::default(),
         )
         .unwrap_or_else(|d| panic!("MiniC soundness violated on {src}: {d:#?}"));
