@@ -11,22 +11,22 @@ fn bench_ablations(c: &mut Criterion) {
     let js_cfg = gillian_js::buckets::table1_config();
     for suite in ["bst", "heap"] {
         group.bench_function(format!("js/{suite}/optimized"), |b| {
-            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, js_cfg))
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, js_cfg.clone()))
         });
         group.bench_function(format!("js/{suite}/baseline(no-cache,basic-simp)"), |b| {
-            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, js_cfg))
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, js_cfg.clone()))
         });
         group.bench_function(format!("js/{suite}/unoptimized(no-cache,no-simp)"), |b| {
-            b.iter(|| gillian_js::buckets::run_row(suite, Solver::unoptimized, js_cfg))
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::unoptimized, js_cfg.clone()))
         });
     }
     let c_cfg = gillian_c::collections::table2_config();
     for suite in ["array", "treetbl"] {
         group.bench_function(format!("c/{suite}/optimized"), |b| {
-            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, c_cfg))
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, c_cfg.clone()))
         });
         group.bench_function(format!("c/{suite}/baseline(no-cache,basic-simp)"), |b| {
-            b.iter(|| gillian_c::collections::run_row(suite, Solver::baseline, c_cfg))
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::baseline, c_cfg.clone()))
         });
     }
     group.finish();

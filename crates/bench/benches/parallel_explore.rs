@@ -15,9 +15,12 @@ fn bench_parallel(c: &mut Criterion) {
     group.sample_size(10);
     for suite in ["slist", "deque", "treeset"] {
         for workers in [1usize, 2, 4] {
-            let cfg = ExploreConfig { workers, ..base };
+            let cfg = ExploreConfig {
+                workers,
+                ..base.clone()
+            };
             group.bench_function(format!("{suite}/workers={workers}"), |b| {
-                b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg))
+                b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg.clone()))
             });
         }
     }

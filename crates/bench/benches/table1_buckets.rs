@@ -10,10 +10,10 @@ fn bench_table1(c: &mut Criterion) {
     group.sample_size(10);
     for suite in gillian_js::buckets::suite_names() {
         group.bench_function(format!("{suite}/optimized"), |b| {
-            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, cfg))
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::optimized, cfg.clone()))
         });
         group.bench_function(format!("{suite}/baseline"), |b| {
-            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, cfg))
+            b.iter(|| gillian_js::buckets::run_row(suite, Solver::baseline, cfg.clone()))
         });
     }
     group.finish();

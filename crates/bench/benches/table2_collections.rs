@@ -10,7 +10,7 @@ fn bench_table2(c: &mut Criterion) {
     group.sample_size(10);
     for suite in gillian_c::collections::suite_names() {
         group.bench_function(suite, |b| {
-            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg))
+            b.iter(|| gillian_c::collections::run_row(suite, Solver::optimized, cfg.clone()))
         });
     }
     group.finish();

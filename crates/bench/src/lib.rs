@@ -51,6 +51,17 @@ pub fn workers_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Per-suite wall-clock deadline taken from the `GILLIAN_DEADLINE_MS`
+/// environment variable (default: none). With a deadline set, an
+/// over-budget suite comes back truncated — and is *reported* as such by
+/// [`assert_clean`] — instead of wedging the whole table run.
+pub fn deadline_from_env() -> Option<Duration> {
+    std::env::var("GILLIAN_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+}
+
 /// Runs Table 1 (Buckets under MiniJS), with both engine configurations
 /// and the [`workers_from_env`] worker count.
 pub fn table1_rows() -> Vec<Row> {
@@ -61,13 +72,14 @@ pub fn table1_rows() -> Vec<Row> {
 pub fn table1_rows_with(workers: usize) -> Vec<Row> {
     let cfg = gillian_core::ExploreConfig {
         workers,
+        deadline: deadline_from_env(),
         ..gillian_js::buckets::table1_config()
     };
     gillian_js::buckets::suite_names()
         .into_iter()
         .map(|suite| {
-            let baseline = gillian_js::buckets::run_row(suite, Solver::baseline, cfg);
-            let optimized = gillian_js::buckets::run_row(suite, Solver::optimized, cfg);
+            let baseline = gillian_js::buckets::run_row(suite, Solver::baseline, cfg.clone());
+            let optimized = gillian_js::buckets::run_row(suite, Solver::optimized, cfg.clone());
             assert_clean(&baseline);
             assert_clean(&optimized);
             Row {
@@ -91,12 +103,13 @@ pub fn table2_rows() -> Vec<Row> {
 pub fn table2_rows_with(workers: usize) -> Vec<Row> {
     let cfg = gillian_core::ExploreConfig {
         workers,
+        deadline: deadline_from_env(),
         ..gillian_c::collections::table2_config()
     };
     gillian_c::collections::suite_names()
         .into_iter()
         .map(|suite| {
-            let row = gillian_c::collections::run_row(suite, Solver::optimized, cfg);
+            let row = gillian_c::collections::run_row(suite, Solver::optimized, cfg.clone());
             assert_clean(&row);
             Row {
                 name: suite.to_string(),
@@ -111,11 +124,13 @@ pub fn table2_rows_with(workers: usize) -> Vec<Row> {
 
 fn assert_clean(row: &TestSuiteResult) {
     assert!(
-        row.failures.is_empty() && row.truncated.is_empty(),
-        "suite {} did not verify cleanly: failures {:?}, truncated {:?}",
+        row.failures.is_empty() && row.truncated.is_empty() && row.errored.is_empty(),
+        "suite {} did not verify cleanly: failures {:?}, truncated {:?}, errored {:?} ({:?})",
         row.name,
         row.failures,
-        row.truncated
+        row.truncated,
+        row.errored,
+        row.diagnostics
     );
 }
 
@@ -214,7 +229,7 @@ mod tests {
         let serial_cfg = gillian_c::collections::table2_config();
         let parallel_cfg = gillian_core::ExploreConfig {
             workers: 4,
-            ..serial_cfg
+            ..serial_cfg.clone()
         };
         let serial = gillian_c::collections::run_row("slist", Solver::optimized, serial_cfg);
         let parallel = gillian_c::collections::run_row("slist", Solver::optimized, parallel_cfg);

@@ -131,7 +131,9 @@ impl<'a> Lexer<'a> {
             let text = &rest[..len];
             self.pos += len;
             return if seen_dot {
-                Ok((Tok::Float(text.parse().unwrap()), at))
+                text.parse()
+                    .map(|x| (Tok::Float(x), at))
+                    .map_err(|_| self.err_at(at, "malformed float literal"))
             } else {
                 text.parse()
                     .map(|n| (Tok::Int(n), at))
@@ -636,6 +638,14 @@ mod tests {
             m.funcs[1].body[0],
             CStmt::Return(Some(CExpr::Index(_, _)))
         ));
+    }
+
+    #[test]
+    fn extreme_float_literals_lex_without_panicking() {
+        // The float arm of the number lexer used to `unwrap()` the parse;
+        // it must return a token (or a ParseError), never abort.
+        let huge = format!("double f() {{ return {}.5; }}", "9".repeat(400));
+        assert!(parse_unit(&huge).is_ok());
     }
 
     #[test]

@@ -22,13 +22,41 @@
 //! path appears exactly once, budget cut-offs surface as
 //! [`ExploreOutcome::Truncated`] paths (or [`ExploreResult::dropped_paths`]
 //! once `max_paths` is full) — pending work is never silently lost.
+//!
+//! ## Resilience
+//!
+//! Command budgets alone cannot defend a run against a diverging solver
+//! query, a spinning memory model, or a panicking one. Both engines
+//! therefore also enforce (see `DESIGN.md`, "Resilience model"):
+//!
+//! - a wall-clock [`ExploreConfig::deadline`] and a cooperative
+//!   [`CancelToken`], checked at every scheduling point and installed into
+//!   the state's solver (via [`GilState::install_interrupt`]) so that long
+//!   satisfiability queries give up with `Unknown` instead of spinning;
+//! - per-path panic isolation: each interpreter step runs under a
+//!   capturing `catch_unwind` (see `panic_guard`), so a panic in a
+//!   language's memory model surfaces as one
+//!   [`ExploreOutcome::EngineError`] path while every sibling finishes;
+//! - [`ExploreDiagnostics`] on every result, counting deadline hits,
+//!   cancellations, engine errors, and `Unknown` sat verdicts — nothing
+//!   that weakened the run's guarantee goes unrecorded.
 
 use crate::interp::{step, Config, Final, Outcome, StepOut};
+use crate::panic_guard;
 use crate::state::GilState;
 use gillian_gil::Prog;
+use gillian_solver::{CancelToken, Interrupt};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, tolerating poison: a panicking path may unwind while a
+/// sibling holds engine locks, and the guarded data (job queues) is valid
+/// after any partial mutation the engine performs.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The order in which pending configurations are explored.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,7 +71,11 @@ pub enum SearchStrategy {
 }
 
 /// Exploration limits.
-#[derive(Clone, Copy, Debug)]
+///
+/// No longer `Copy` (the cancellation token is shared); clone it freely —
+/// clones share the same token, which is what callers want: cancelling a
+/// run cancels everything configured from the same `ExploreConfig`.
+#[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Maximum commands executed along a single path.
     pub max_cmds_per_path: u64,
@@ -67,6 +99,30 @@ pub struct ExploreConfig {
     /// [`explore_with`]; `explore_parallel` itself runs its machinery even
     /// with one worker.
     pub workers: usize,
+    /// Wall-clock budget for one exploration run, measured from the call.
+    /// When it expires, pending paths are parked as
+    /// [`ExploreOutcome::Truncated`] (counted in
+    /// [`ExploreDiagnostics::deadline_hits`]) and in-flight solver queries
+    /// answer `Unknown`. `None` (the default) means no time limit.
+    ///
+    /// The deadline is cooperative: it is checked between interpreter
+    /// steps and inside solver queries, so a single step overshoots only
+    /// by as long as it genuinely computes. Memory models with long
+    /// actions should poll `Solver::interrupted` to stay within it.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation. Cancel the token (from any thread) to
+    /// stop the run at its next scheduling point; remaining work is parked
+    /// as truncated and counted in [`ExploreDiagnostics::cancellations`].
+    /// The default is a fresh, never-cancelled token.
+    pub cancel: CancelToken,
+}
+
+impl ExploreConfig {
+    /// This configuration with the given wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl Default for ExploreConfig {
@@ -78,6 +134,8 @@ impl Default for ExploreConfig {
             strategy: SearchStrategy::Dfs,
             max_pending: None,
             workers: 1,
+            deadline: None,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -93,6 +151,19 @@ pub enum ExploreOutcome<V> {
     Vanished,
     /// Cut off by a budget — the path may have continued.
     Truncated,
+    /// The engine (or a memory model it called) panicked while stepping
+    /// this path. The panic was isolated: sibling paths are unaffected and
+    /// carry their usual per-trace guarantee; *this* trace carries none.
+    EngineError {
+        /// The captured panic message, with source location when the
+        /// panic hook could observe it.
+        payload: String,
+        /// The branch trace (successor index at every branching step from
+        /// the entry) identifying which path died. The associated
+        /// [`PathResult::state`] is a pristine clone of the *initial*
+        /// state — the true final state was lost to the unwind.
+        trace: Vec<u32>,
+    },
 }
 
 impl<V> From<Outcome<V>> for ExploreOutcome<V> {
@@ -116,6 +187,36 @@ pub struct PathResult<S: GilState> {
     pub cmds: u64,
 }
 
+/// Counters for everything that weakened a run's guarantee beyond plain
+/// command budgets. A clean run (all zeros) explored exactly what its
+/// budgets allowed; any non-zero counter means some verdicts are bounded
+/// or missing for the recorded reason.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreDiagnostics {
+    /// Paths parked as truncated because the wall-clock deadline fired.
+    pub deadline_hits: usize,
+    /// Paths parked as truncated because the run was cancelled.
+    pub cancellations: usize,
+    /// Paths lost to an isolated panic (plus, in the parallel engine, any
+    /// worker that died outside the per-step guard).
+    pub engine_errors: usize,
+    /// `Unknown` satisfiability verdicts observed during the run. Each one
+    /// means a branch was kept because the solver could not *prove* it
+    /// infeasible within budget — sound (over-approximating) but worth
+    /// recording: bug reports remain true positives (models are verified),
+    /// while "no bug found" weakens from the budget-bounded guarantee to
+    /// one also conditioned on those undecided queries.
+    pub unknown_verdicts: u64,
+}
+
+impl ExploreDiagnostics {
+    /// True when nothing degraded the run: no deadline hits, no
+    /// cancellations, no engine errors, no unknown verdicts.
+    pub fn is_clean(&self) -> bool {
+        *self == ExploreDiagnostics::default()
+    }
+}
+
 /// The result of exploring a program from an entry point.
 #[derive(Clone, Debug)]
 pub struct ExploreResult<S: GilState> {
@@ -130,6 +231,9 @@ pub struct ExploreResult<S: GilState> {
     /// plus any path (finished or pending) arriving after
     /// [`ExploreConfig::max_paths`] results were already collected.
     pub dropped_paths: usize,
+    /// What, if anything, degraded this run (deadlines, cancellation,
+    /// isolated panics, undecided solver queries).
+    pub diagnostics: ExploreDiagnostics,
 }
 
 impl<S: GilState> ExploreResult<S> {
@@ -147,6 +251,31 @@ impl<S: GilState> ExploreResult<S> {
             .filter(|p| matches!(p.outcome, ExploreOutcome::Normal(_)))
     }
 
+    /// Paths that died to an isolated panic.
+    pub fn engine_errors(&self) -> impl Iterator<Item = &PathResult<S>> {
+        self.paths
+            .iter()
+            .filter(|p| matches!(p.outcome, ExploreOutcome::EngineError { .. }))
+    }
+
+    /// True when this result carries a *bounded* guarantee only: some
+    /// budget truncated exploration, paths were dropped, or the
+    /// diagnostics record a degradation (including `Unknown` verdicts,
+    /// which truncate nothing but leave branches unproven-infeasible).
+    pub fn bounded(&self) -> bool {
+        self.truncated || self.dropped_paths > 0 || !self.diagnostics.is_clean()
+    }
+
+    fn empty() -> Self {
+        ExploreResult {
+            paths: Vec::new(),
+            total_cmds: 0,
+            truncated: false,
+            dropped_paths: 0,
+            diagnostics: ExploreDiagnostics::default(),
+        }
+    }
+
     /// Records a path without ever exceeding `max_paths`: overflow is
     /// counted in [`ExploreResult::dropped_paths`] and marks the result
     /// truncated.
@@ -160,6 +289,14 @@ impl<S: GilState> ExploreResult<S> {
     }
 }
 
+/// Why the main loop stopped early (beyond budget exhaustion, which keeps
+/// the historical accounting and no diagnostic).
+#[derive(Clone, Copy)]
+enum StopCause {
+    Deadline,
+    Cancelled,
+}
+
 /// Explores all paths of `prog` starting from `entry` in `initial` state.
 ///
 /// Budgets are enforced at the point work is *produced*, not merely when it
@@ -167,26 +304,56 @@ impl<S: GilState> ExploreResult<S> {
 /// budget break drains the remaining worklist into
 /// [`ExploreOutcome::Truncated`] paths (or `dropped_paths` once `max_paths`
 /// is full) instead of silently discarding it.
+///
+/// Deadline expiry and cancellation stop the loop the same way a budget
+/// does, with the parked paths counted in [`ExploreDiagnostics`]; a panic
+/// while stepping is isolated to its path (see
+/// [`ExploreOutcome::EngineError`]).
 pub fn explore<S: GilState>(
     prog: &Prog,
     entry: &str,
     initial: S,
     cfg: ExploreConfig,
 ) -> ExploreResult<S> {
-    let mut worklist: VecDeque<(Config<S>, u64)> =
-        VecDeque::from([(Config::entry(entry, initial), 0)]);
-    let mut result = ExploreResult {
-        paths: Vec::new(),
-        total_cmds: 0,
-        truncated: false,
-        dropped_paths: 0,
-    };
-    let pop = |wl: &mut VecDeque<(Config<S>, u64)>, strategy| match strategy {
+    let deadline = cfg.deadline.map(|d| Instant::now() + d);
+    // A pristine clone of the initial state: it arms/disarms the solver
+    // interrupt, provides the Unknown-verdict counter, and stands in as
+    // the reported state of paths whose true state was lost to a panic.
+    let sentinel = initial.clone();
+    sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
+    let unknowns_before = sentinel.unknown_verdicts();
+
+    struct Item<S: GilState> {
+        config: Config<S>,
+        cmds: u64,
+        trace: Vec<u32>,
+    }
+    let mut worklist: VecDeque<Item<S>> = VecDeque::from([Item {
+        config: Config::entry(entry, initial),
+        cmds: 0,
+        trace: Vec::new(),
+    }]);
+    let mut result = ExploreResult::empty();
+    let pop = |wl: &mut VecDeque<Item<S>>, strategy| match strategy {
         SearchStrategy::Dfs => wl.pop_back(),
         SearchStrategy::Bfs => wl.pop_front(),
     };
+    let mut stop_cause: Option<StopCause> = None;
     while result.total_cmds < cfg.max_total_cmds && result.paths.len() < cfg.max_paths {
-        let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) else {
+        if cfg.cancel.is_cancelled() {
+            stop_cause = Some(StopCause::Cancelled);
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            stop_cause = Some(StopCause::Deadline);
+            break;
+        }
+        let Some(Item {
+            config,
+            cmds,
+            mut trace,
+        }) = pop(&mut worklist, cfg.strategy)
+        else {
             break;
         };
         if cmds >= cfg.max_cmds_per_path {
@@ -202,14 +369,47 @@ pub fn explore<S: GilState>(
             continue;
         }
         result.total_cmds += 1;
-        for out in step(prog, config) {
+        let outs = match panic_guard::catch(move || step(prog, config)) {
+            Ok(outs) => outs,
+            Err(payload) => {
+                result.truncated = true;
+                result.diagnostics.engine_errors += 1;
+                // The sentinel clone itself may panic (a poisoned user
+                // Clone impl); then the path is counted but has no state
+                // to report.
+                if let Ok(state) = panic_guard::catch(|| sentinel.clone()) {
+                    result.record(
+                        cfg.max_paths,
+                        PathResult {
+                            state,
+                            outcome: ExploreOutcome::EngineError { payload, trace },
+                            cmds: cmds + 1,
+                        },
+                    );
+                }
+                continue;
+            }
+        };
+        let branching = outs.len() > 1;
+        for (i, out) in outs.into_iter().enumerate() {
+            let child_trace = if branching {
+                let mut t = trace.clone();
+                t.push(i as u32);
+                t
+            } else {
+                std::mem::take(&mut trace)
+            };
             match out {
                 StepOut::Next(c) => {
                     if cfg.max_pending.is_some_and(|cap| worklist.len() >= cap) {
                         result.dropped_paths += 1;
                         result.truncated = true;
                     } else {
-                        worklist.push_back((c, cmds + 1));
+                        worklist.push_back(Item {
+                            config: c,
+                            cmds: cmds + 1,
+                            trace: child_trace,
+                        });
                     }
                 }
                 StepOut::Done(Final { state, outcome }) => {
@@ -225,10 +425,15 @@ pub fn explore<S: GilState>(
             }
         }
     }
-    // A budget break leaves pending configurations behind; surface every
-    // one of them instead of losing them.
-    while let Some((config, cmds)) = pop(&mut worklist, cfg.strategy) {
+    // A budget/deadline/cancel break leaves pending configurations behind;
+    // surface every one of them instead of losing them.
+    while let Some(Item { config, cmds, .. }) = pop(&mut worklist, cfg.strategy) {
         result.truncated = true;
+        match stop_cause {
+            Some(StopCause::Deadline) => result.diagnostics.deadline_hits += 1,
+            Some(StopCause::Cancelled) => result.diagnostics.cancellations += 1,
+            None => {}
+        }
         result.record(
             cfg.max_paths,
             PathResult {
@@ -238,6 +443,9 @@ pub fn explore<S: GilState>(
             },
         );
     }
+    sentinel.clear_interrupt();
+    result.diagnostics.unknown_verdicts =
+        sentinel.unknown_verdicts().saturating_sub(unknowns_before);
     result
 }
 
@@ -275,6 +483,12 @@ struct JobQueue<S: GilState> {
     in_flight: usize,
 }
 
+/// Stop-cause constants for [`SharedExplorer::stop_cause`]; the first
+/// cause to fire wins and attributes the parked pending work.
+const CAUSE_NONE: u8 = 0;
+const CAUSE_DEADLINE: u8 = 1;
+const CAUSE_CANCELLED: u8 = 2;
+
 struct SharedExplorer<S: GilState> {
     queue: Mutex<JobQueue<S>>,
     work: Condvar,
@@ -283,11 +497,20 @@ struct SharedExplorer<S: GilState> {
     /// Finished paths so far (for the `max_paths` stop signal; the
     /// authoritative cap is applied at merge time).
     finished_paths: AtomicUsize,
-    /// Set when a global budget is exhausted: workers park their current
-    /// job as pending-truncated and drain the queue the same way.
+    /// Set when a global budget is exhausted (or the run is interrupted):
+    /// workers park their current job as pending-truncated and drain the
+    /// queue the same way.
     stop: AtomicBool,
+    /// Why `stop` was raised, when the reason was an interruption rather
+    /// than a command budget (one of the `CAUSE_*` constants).
+    stop_cause: AtomicU8,
     truncated: AtomicBool,
     dropped_paths: AtomicUsize,
+    /// Paths lost to isolated panics, counted by the workers.
+    engine_errors: AtomicUsize,
+    /// The run deadline, pre-resolved to an instant.
+    deadline: Option<Instant>,
+    cancel: CancelToken,
 }
 
 impl<S: GilState> SharedExplorer<S> {
@@ -295,6 +518,36 @@ impl<S: GilState> SharedExplorer<S> {
         if self.finished_paths.fetch_add(1, Ordering::Relaxed) + 1 >= cfg.max_paths {
             self.stop.store(true, Ordering::Relaxed);
             self.work.notify_all();
+        }
+    }
+
+    /// Raises the stop flag for an interruption, recording the first cause.
+    fn halt(&self, cause: u8) {
+        let _ = self.stop_cause.compare_exchange(
+            CAUSE_NONE,
+            cause,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.truncated.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed);
+        self.work.notify_all();
+    }
+}
+
+/// Decrements `in_flight` on drop — *unconditionally*, including when the
+/// worker unwinds. Without this, a panicking worker would leave its claim
+/// behind and every sibling would wait forever on the condvar.
+struct InFlightToken<'a, S: GilState> {
+    shared: &'a SharedExplorer<S>,
+}
+
+impl<S: GilState> Drop for InFlightToken<'_, S> {
+    fn drop(&mut self) {
+        let mut q = lock_unpoisoned(&self.shared.queue);
+        q.in_flight -= 1;
+        if q.in_flight == 0 && q.jobs.is_empty() {
+            self.shared.work.notify_all();
         }
     }
 }
@@ -307,24 +560,25 @@ fn explore_worker<S: GilState>(
     prog: &Prog,
     cfg: &ExploreConfig,
     shared: &SharedExplorer<S>,
+    sentinel: S,
 ) -> WorkerYield<S> {
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut cut: Vec<Job<S>> = Vec::new();
     loop {
         // Acquire a job, or return once the queue is empty with nothing in
         // flight (no one can produce more work).
-        let mut job = {
-            let mut q = shared.queue.lock().unwrap();
+        let (mut job, _token) = {
+            let mut q = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(j) = q.jobs.pop_back() {
                     q.in_flight += 1;
-                    break j;
+                    break (j, InFlightToken { shared });
                 }
                 if q.in_flight == 0 {
                     shared.work.notify_all();
                     return (finished, cut);
                 }
-                q = shared.work.wait(q).unwrap();
+                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Run the job depth-first locally: keep one successor, share the
@@ -332,6 +586,16 @@ fn explore_worker<S: GilState>(
         // path length.
         loop {
             if shared.stop.load(Ordering::Relaxed) {
+                cut.push(job);
+                break;
+            }
+            if shared.cancel.is_cancelled() {
+                shared.halt(CAUSE_CANCELLED);
+                cut.push(job);
+                break;
+            }
+            if shared.deadline.is_some_and(|d| Instant::now() >= d) {
+                shared.halt(CAUSE_DEADLINE);
                 cut.push(job);
                 break;
             }
@@ -361,17 +625,38 @@ fn explore_worker<S: GilState>(
             let Job {
                 config,
                 cmds,
-                trace,
+                mut trace,
             } = job;
-            let outs = step(prog, config);
+            let outs = match panic_guard::catch(move || step(prog, config)) {
+                Ok(outs) => outs,
+                Err(payload) => {
+                    shared.engine_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.truncated.store(true, Ordering::Relaxed);
+                    if let Ok(state) = panic_guard::catch(|| sentinel.clone()) {
+                        finished.push((
+                            trace.clone(),
+                            PathResult {
+                                state,
+                                outcome: ExploreOutcome::EngineError { payload, trace },
+                                cmds: cmds + 1,
+                            },
+                        ));
+                        shared.note_finished(cfg);
+                    }
+                    break;
+                }
+            };
             let branching = outs.len() > 1;
             let mut continuation: Option<Job<S>> = None;
             let mut surplus: Vec<Job<S>> = Vec::new();
             for (i, out) in outs.into_iter().enumerate() {
-                let mut child_trace = trace.clone();
-                if branching {
-                    child_trace.push(i as u32);
-                }
+                let child_trace = if branching {
+                    let mut t = trace.clone();
+                    t.push(i as u32);
+                    t
+                } else {
+                    std::mem::take(&mut trace)
+                };
                 match out {
                     StepOut::Next(config) => {
                         let child = Job {
@@ -399,7 +684,7 @@ fn explore_worker<S: GilState>(
                 }
             }
             if !surplus.is_empty() {
-                let mut q = shared.queue.lock().unwrap();
+                let mut q = lock_unpoisoned(&shared.queue);
                 for child in surplus {
                     if cfg.max_pending.is_some_and(|cap| q.jobs.len() >= cap) {
                         shared.dropped_paths.fetch_add(1, Ordering::Relaxed);
@@ -416,13 +701,7 @@ fn explore_worker<S: GilState>(
                 None => break,
             }
         }
-        // Retire the job; if that empties the system, wake the waiters so
-        // they can terminate.
-        let mut q = shared.queue.lock().unwrap();
-        q.in_flight -= 1;
-        if q.in_flight == 0 && q.jobs.is_empty() {
-            shared.work.notify_all();
-        }
+        // `_token` retires the job here (and on any unwind above).
     }
 }
 
@@ -441,6 +720,11 @@ fn explore_worker<S: GilState>(
 /// Budget semantics match [`explore`]: never more than `max_paths` paths,
 /// and work pending when a budget trips is surfaced as
 /// [`ExploreOutcome::Truncated`] paths or counted in `dropped_paths`.
+/// Deadline expiry and cancellation behave like a budget trip attributed
+/// in [`ExploreDiagnostics`]; panics are isolated per-path inside each
+/// worker, and a worker dying *outside* that guard is itself captured —
+/// its queued jobs are drained as truncated and the death is counted as an
+/// engine error instead of aborting the merge.
 pub fn explore_parallel<S>(
     prog: &Prog,
     entry: &str,
@@ -453,6 +737,10 @@ where
     S::Store: Send,
 {
     let workers = cfg.workers.max(1);
+    let deadline = cfg.deadline.map(|d| Instant::now() + d);
+    let sentinel = initial.clone();
+    sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
+    let unknowns_before = sentinel.unknown_verdicts();
     let shared = SharedExplorer {
         queue: Mutex::new(JobQueue {
             jobs: VecDeque::from([Job {
@@ -466,42 +754,76 @@ where
         total_cmds: AtomicU64::new(0),
         finished_paths: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
+        stop_cause: AtomicU8::new(CAUSE_NONE),
         truncated: AtomicBool::new(false),
         dropped_paths: AtomicUsize::new(0),
+        engine_errors: AtomicUsize::new(0),
+        deadline,
+        cancel: cfg.cancel.clone(),
     };
-    let yields: Vec<WorkerYield<S>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| scope.spawn(|| explore_worker(prog, &cfg, &shared)))
+    let yields: Vec<Result<WorkerYield<S>, String>> = std::thread::scope(|scope| {
+        let cfg = &cfg;
+        let shared = &shared;
+        // All per-worker sentinels are cloned *before* the first spawn:
+        // once a worker runs it may poison the state (e.g. a memory whose
+        // `Clone` panics after a fault), and an unguarded clone racing
+        // with it would kill the whole run instead of one worker.
+        let sentinels: Vec<S> = (0..workers).map(|_| sentinel.clone()).collect();
+        let handles: Vec<_> = sentinels
+            .into_iter()
+            .map(|worker_sentinel| {
+                scope.spawn(move || {
+                    panic_guard::catch(|| explore_worker(prog, cfg, shared, worker_sentinel))
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("explorer worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("explorer worker died outside capture".to_string()))
+            })
             .collect()
     });
 
     // Deterministic merge: canonical branch order, finished paths first,
     // then budget-cut pending work — mirroring the serial engine's
-    // "explore, then drain" shape.
+    // "explore, then drain" shape. A crashed worker contributes no paths
+    // (its local results died with it) but is counted as an engine error,
+    // and any jobs left on the shared queue are drained as truncated.
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut pending: Vec<Job<S>> = Vec::new();
-    for (f, c) in yields {
-        finished.extend(f);
-        pending.extend(c);
+    let mut crashed_workers = 0usize;
+    for y in yields {
+        match y {
+            Ok((f, c)) => {
+                finished.extend(f);
+                pending.extend(c);
+            }
+            Err(_payload) => crashed_workers += 1,
+        }
     }
+    pending.extend(lock_unpoisoned(&shared.queue).jobs.drain(..));
     finished.sort_by(|a, b| a.0.cmp(&b.0));
     pending.sort_by(|a, b| a.trace.cmp(&b.trace));
 
-    let mut result = ExploreResult {
-        paths: Vec::new(),
-        total_cmds: shared.total_cmds.load(Ordering::Relaxed),
-        truncated: shared.truncated.load(Ordering::Relaxed),
-        dropped_paths: shared.dropped_paths.load(Ordering::Relaxed),
-    };
+    let cause = shared.stop_cause.load(Ordering::Relaxed);
+    let mut result = ExploreResult::empty();
+    result.total_cmds = shared.total_cmds.load(Ordering::Relaxed);
+    result.truncated = shared.truncated.load(Ordering::Relaxed) || crashed_workers > 0;
+    result.dropped_paths = shared.dropped_paths.load(Ordering::Relaxed);
+    result.diagnostics.engine_errors =
+        shared.engine_errors.load(Ordering::Relaxed) + crashed_workers;
     for (_, path) in finished {
         result.record(cfg.max_paths, path);
     }
     for job in pending {
         result.truncated = true;
+        match cause {
+            CAUSE_DEADLINE => result.diagnostics.deadline_hits += 1,
+            CAUSE_CANCELLED => result.diagnostics.cancellations += 1,
+            _ => {}
+        }
         result.record(
             cfg.max_paths,
             PathResult {
@@ -511,6 +833,9 @@ where
             },
         );
     }
+    sentinel.clear_interrupt();
+    result.diagnostics.unknown_verdicts =
+        sentinel.unknown_verdicts().saturating_sub(unknowns_before);
     result
 }
 
@@ -574,6 +899,8 @@ mod tests {
         assert_eq!(r.normal().count(), 1);
         assert!(!r.truncated);
         assert!(r.total_cmds >= 4);
+        assert!(r.diagnostics.is_clean());
+        assert!(!r.bounded());
     }
 
     #[test]
@@ -624,6 +951,9 @@ mod tests {
             .iter()
             .all(|p| p.outcome == ExploreOutcome::Truncated));
         assert_eq!(r.dropped_paths, 0);
+        // Command-budget truncation is not an interruption.
+        assert_eq!(r.diagnostics.deadline_hits, 0);
+        assert_eq!(r.diagnostics.cancellations, 0);
     }
 
     /// A memory whose single action fails on *two* branches at once, so one
@@ -800,6 +1130,30 @@ mod strategy_tests {
     }
 
     #[test]
+    fn engines_agree_with_resilience_fields_armed() {
+        // A generous deadline and a live (uncancelled) token must be
+        // invisible: same order-normalized path set, clean diagnostics.
+        let cfg = ExploreConfig::default().with_deadline(std::time::Duration::from_secs(3600));
+        let serial = explore(&wide_prog(), "main", state(), cfg.clone());
+        assert!(serial.diagnostics.is_clean());
+        assert!(!serial.bounded());
+        for workers in [2, 4] {
+            let par = explore_parallel(
+                &wide_prog(),
+                "main",
+                state(),
+                ExploreConfig {
+                    workers,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(sorted_pcs(&par), sorted_pcs(&serial), "workers={workers}");
+            assert!(par.diagnostics.is_clean(), "workers={workers}");
+            assert!(!par.bounded(), "workers={workers}");
+        }
+    }
+
+    #[test]
     fn parallel_result_order_is_deterministic() {
         let once = explore_parallel(
             &wide_prog(),
@@ -886,5 +1240,223 @@ mod strategy_tests {
             .iter()
             .all(|p| p.outcome != ExploreOutcome::Truncated));
         assert!(r.paths.len() + r.dropped_paths >= 4);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use crate::memory::{SymBranch, SymbolicMemory};
+    use crate::symbolic::SymbolicState;
+    use gillian_gil::{Cmd, Expr, Proc, Prog};
+    use gillian_solver::{PathCondition, Solver};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Echoes its argument, except the `boom` action panics.
+    #[derive(Clone, Debug, Default)]
+    struct BoomMem;
+    impl SymbolicMemory for BoomMem {
+        fn execute_action(
+            &self,
+            name: &str,
+            arg: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            if name == "boom" {
+                panic!("boom action");
+            }
+            vec![SymBranch::ok(BoomMem, arg.clone())]
+        }
+    }
+
+    fn state<M: SymbolicMemory>() -> SymbolicState<M> {
+        SymbolicState::new(Arc::new(Solver::optimized()))
+    }
+
+    /// x := iSym; ifgoto (x < 0) boom-branch; return 0 — one healthy
+    /// sibling, one path that panics inside the memory model.
+    fn boom_on_negative() -> Prog {
+        Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::isym("x", 0),
+                Cmd::IfGoto(Expr::pvar("x").lt(Expr::int(0)), 3),
+                Cmd::Return(Expr::int(0)),
+                Cmd::Action {
+                    lhs: "r".into(),
+                    name: "boom".into(),
+                    arg: Expr::int(0),
+                },
+                Cmd::Return(Expr::pvar("r")),
+            ],
+        )])
+    }
+
+    #[test]
+    fn serial_panic_is_isolated_to_its_path() {
+        let r = explore(
+            &boom_on_negative(),
+            "main",
+            state::<BoomMem>(),
+            ExploreConfig::default(),
+        );
+        assert_eq!(r.diagnostics.engine_errors, 1);
+        assert!(r.truncated && r.bounded());
+        assert_eq!(r.normal().count(), 1, "the sibling path finished");
+        let (payload, trace) = r
+            .paths
+            .iter()
+            .find_map(|p| match &p.outcome {
+                ExploreOutcome::EngineError { payload, trace } => {
+                    Some((payload.clone(), trace.clone()))
+                }
+                _ => None,
+            })
+            .expect("an EngineError path");
+        assert!(payload.contains("boom action"), "payload: {payload}");
+        assert!(
+            payload.contains("explore.rs"),
+            "payload should carry the source location: {payload}"
+        );
+        assert_eq!(trace, vec![0], "the true branch of the single split died");
+    }
+
+    #[test]
+    fn parallel_panic_is_isolated_to_its_path() {
+        for workers in [2, 4] {
+            let r = explore_parallel(
+                &boom_on_negative(),
+                "main",
+                state::<BoomMem>(),
+                ExploreConfig {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.diagnostics.engine_errors, 1, "workers={workers}");
+            assert_eq!(r.normal().count(), 1, "workers={workers}");
+            assert_eq!(r.engine_errors().count(), 1, "workers={workers}");
+            assert!(r.truncated, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_parks_all_work() {
+        let cfg = ExploreConfig::default().with_deadline(Duration::ZERO);
+        let r = explore(&boom_on_negative(), "main", state::<BoomMem>(), cfg.clone());
+        assert_eq!(r.total_cmds, 0, "nothing ran");
+        assert_eq!(r.paths.len(), 1, "the entry configuration is parked");
+        assert_eq!(r.paths[0].outcome, ExploreOutcome::Truncated);
+        assert_eq!(r.diagnostics.deadline_hits, 1);
+        assert!(r.truncated && r.bounded());
+
+        let par = explore_parallel(
+            &boom_on_negative(),
+            "main",
+            state::<BoomMem>(),
+            ExploreConfig { workers: 2, ..cfg },
+        );
+        assert_eq!(par.total_cmds, 0);
+        assert_eq!(par.diagnostics.deadline_hits, 1);
+        assert!(par.truncated);
+    }
+
+    #[test]
+    fn cancellation_parks_all_work() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cfg = ExploreConfig {
+            cancel: cancel.clone(),
+            ..Default::default()
+        };
+        let r = explore(&boom_on_negative(), "main", state::<BoomMem>(), cfg.clone());
+        assert_eq!(r.total_cmds, 0);
+        assert_eq!(r.diagnostics.cancellations, 1);
+        assert!(r.truncated);
+
+        let par = explore_parallel(
+            &boom_on_negative(),
+            "main",
+            state::<BoomMem>(),
+            ExploreConfig { workers: 2, ..cfg },
+        );
+        assert_eq!(par.total_cmds, 0);
+        assert_eq!(par.diagnostics.cancellations, 1);
+        assert!(par.truncated);
+    }
+
+    /// A memory whose `boom` action arms a flag and panics; once armed,
+    /// *cloning* the memory panics too. This poisons even the engine's
+    /// sentinel-clone fallback, proving a hostile `Clone` cannot kill a
+    /// run either — the path is counted, with no state to report.
+    #[derive(Debug, Default)]
+    struct CloneBomb {
+        armed: Arc<AtomicBool>,
+    }
+    impl Clone for CloneBomb {
+        fn clone(&self) -> Self {
+            if self.armed.load(Ordering::Relaxed) {
+                panic!("clone after arm");
+            }
+            CloneBomb {
+                armed: self.armed.clone(),
+            }
+        }
+    }
+    impl SymbolicMemory for CloneBomb {
+        fn execute_action(
+            &self,
+            name: &str,
+            arg: &Expr,
+            _: &PathCondition,
+            _: &Solver,
+        ) -> Vec<SymBranch<Self>> {
+            if name == "boom" {
+                self.armed.store(true, Ordering::Relaxed);
+                panic!("armed boom");
+            }
+            vec![SymBranch::ok(self.clone(), arg.clone())]
+        }
+    }
+
+    #[test]
+    fn panicking_clone_cannot_kill_the_run() {
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::Action {
+                    lhs: "r".into(),
+                    name: "boom".into(),
+                    arg: Expr::int(0),
+                },
+                Cmd::Return(Expr::pvar("r")),
+            ],
+        )]);
+        let r = explore(
+            &prog,
+            "main",
+            state::<CloneBomb>(),
+            ExploreConfig::default(),
+        );
+        assert_eq!(r.diagnostics.engine_errors, 1);
+        assert!(r.truncated);
+        assert!(r.paths.is_empty(), "no state survived to report");
+
+        let par = explore_parallel(
+            &prog,
+            "main",
+            state::<CloneBomb>(),
+            ExploreConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        assert!(par.diagnostics.engine_errors >= 1);
+        assert!(par.truncated);
     }
 }

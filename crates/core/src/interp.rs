@@ -6,6 +6,20 @@
 //! silently discards the path. Symbolic states make [`step`] return
 //! several successor configurations (conditional gotos and branching
 //! memory actions); concrete states return exactly one.
+//!
+//! ## Panic contract
+//!
+//! [`step`] itself never panics on well-formed programs, but it calls into
+//! tool-developer code — [`SymbolicMemory`] actions and the hosted
+//! expression evaluator — which may. The interpreter does *not* catch
+//! those panics: it promises only not to corrupt any state it did not
+//! consume (it takes configurations by value). Isolation is layered above:
+//! [`explore`](crate::explore) wraps each `step` call in a panic guard, so
+//! a panicking memory action kills one path (reported as
+//! [`ExploreOutcome::EngineError`](crate::explore::ExploreOutcome)), never
+//! the whole exploration.
+//!
+//! [`SymbolicMemory`]: crate::memory::SymbolicMemory
 
 use crate::state::GilState;
 use gillian_gil::{Cmd, Ident, Prog};

@@ -37,6 +37,7 @@ pub mod concrete;
 pub mod explore;
 pub mod interp;
 pub mod memory;
+mod panic_guard;
 pub mod restriction;
 pub mod soundness;
 pub mod state;
@@ -46,9 +47,10 @@ pub mod testing;
 pub use allocator::{ConcAllocator, SymAllocator};
 pub use concrete::ConcreteState;
 pub use explore::{
-    explore_parallel, explore_with, ExploreConfig, ExploreOutcome, ExploreResult, PathResult,
-    SearchStrategy,
+    explore_parallel, explore_with, ExploreConfig, ExploreDiagnostics, ExploreOutcome,
+    ExploreResult, PathResult, SearchStrategy,
 };
+pub use gillian_solver::{CancelToken, Interrupt};
 pub use interp::{Config, Final, Outcome};
 pub use memory::{ConcreteMemory, SymBranch, SymbolicMemory};
 pub use restriction::Restrict;

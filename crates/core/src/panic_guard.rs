@@ -1,0 +1,102 @@
+//! Scoped panic capture for per-path isolation.
+//!
+//! The exploration engines wrap each interpreter step in [`catch`] so a
+//! panic inside a language's `SymbolicMemory` (or the interpreter itself)
+//! kills one path, not the run. [`std::panic::catch_unwind`] alone loses
+//! the panic's source location and spams stderr through the default hook;
+//! this module installs a process-wide hook **once** that, for threads
+//! currently inside a [`catch`] scope, records the message and location
+//! into a thread-local slot and stays silent. Panics outside a scope —
+//! test-harness assertions, user code — are delegated to the previously
+//! installed hook unchanged.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Whether this thread is inside a [`catch`] scope right now.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// The captured message of the most recent in-scope panic.
+    static MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) into a
+/// human-readable string. `panic!("...")` yields `&str`, formatted panics
+/// yield `String`; anything else is opaque.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn install_hook() {
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if ACTIVE.with(Cell::get) {
+                let msg = payload_message(info.payload());
+                let located = match info.location() {
+                    Some(l) => format!("{msg} (at {l})"),
+                    None => msg,
+                };
+                MESSAGE.with(|m| *m.borrow_mut() = Some(located));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting an unwind into `Err(message)` where the message
+/// carries the panic text and source location captured by the hook.
+///
+/// The `AssertUnwindSafe` is deliberate: the engine only ever re-uses
+/// values that were cloned *before* the closure ran (worklist items,
+/// sentinel states), never state the closure may have half-mutated. Shared
+/// solver caches are protected separately by poison-tolerant locks.
+pub(crate) fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    let was_active = ACTIVE.with(|a| a.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    ACTIVE.with(|a| a.set(was_active));
+    match result {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(MESSAGE
+            .with(|m| m.borrow_mut().take())
+            .unwrap_or_else(|| payload_message(payload.as_ref()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_message_and_location() {
+        let err = catch(|| -> () { panic!("boom {}", 42) }).unwrap_err();
+        assert!(err.contains("boom 42"), "got: {err}");
+        assert!(err.contains("panic_guard.rs"), "location missing: {err}");
+    }
+
+    #[test]
+    fn passes_through_success() {
+        assert_eq!(catch(|| 7), Ok(7));
+    }
+
+    #[test]
+    fn nested_catch_restores_scope() {
+        let outer = catch(|| {
+            let inner = catch(|| -> () { panic!("inner") });
+            assert!(inner.is_err());
+            // Still inside the outer scope: this panic must also be caught
+            // silently, proving the inner catch didn't clear ACTIVE.
+            panic!("outer")
+        });
+        assert!(outer.unwrap_err().contains("outer"));
+    }
+}

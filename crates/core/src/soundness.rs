@@ -204,14 +204,19 @@ where
     C: ConcreteMemory,
 {
     let initial = SymbolicState::<M>::new(solver.clone());
-    let sym = explore(prog, entry, initial, cfg);
+    let sym = explore(prog, entry, initial, cfg.clone());
     let mut report = SoundnessReport {
         sym_paths: sym.paths.len(),
         ..Default::default()
     };
     let mut problems = Vec::new();
     for path in &sym.paths {
-        if matches!(path.outcome, ExploreOutcome::Truncated) {
+        if matches!(
+            path.outcome,
+            ExploreOutcome::Truncated | ExploreOutcome::EngineError { .. }
+        ) {
+            // Truncated paths prove nothing to replay; EngineError paths
+            // carry a sentinel state whose pc is not the dead path's.
             report.skipped += 1;
             continue;
         }
@@ -233,7 +238,12 @@ where
         }
         let model = complete_model(&model, needed);
         let script = script_from_model(&path.state, &model);
-        let conc = explore(prog, entry, ConcreteState::<C>::with_script(script), cfg);
+        let conc = explore(
+            prog,
+            entry,
+            ConcreteState::<C>::with_script(script),
+            cfg.clone(),
+        );
         let Some(cpath) = conc.paths.first() else {
             problems.push(Discrepancy {
                 context: format!("{entry}: concrete run produced no path"),

@@ -14,6 +14,7 @@
 //! [`GilState::execute_action`].
 
 use gillian_gil::{Expr, Ident};
+use gillian_solver::Interrupt;
 
 /// The branching result of a memory action on states: each branch pairs a
 /// successor state with the action outcome (`Err` raises `E(v)`).
@@ -86,4 +87,23 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
 
     /// Wraps an engine-generated message as an error value.
     fn error_value(&self, msg: &str) -> Self::V;
+
+    /// Installs the run's cooperative interrupt (wall-clock deadline plus
+    /// cancellation token) into whatever solving machinery this state
+    /// uses, so that long satisfiability queries observe the same limits
+    /// as the exploration loop. The default is a no-op: concrete states
+    /// have no solver and need none.
+    fn install_interrupt(&self, _interrupt: Interrupt) {}
+
+    /// Clears a previously installed interrupt (default no-op).
+    fn clear_interrupt(&self) {}
+
+    /// Monotone count of `Unknown` satisfiability verdicts observed so far
+    /// by this state's solving machinery. The exploration engines diff
+    /// this across a run to report how often a branch was kept only
+    /// because the solver could not decide it. Solver-free (concrete)
+    /// states report `0`.
+    fn unknown_verdicts(&self) -> u64 {
+        0
+    }
 }

@@ -15,7 +15,7 @@ use crate::memory::SymbolicMemory;
 use crate::restriction::Restrict;
 use crate::state::GilState;
 use gillian_gil::{Expr, Ident, Value};
-use gillian_solver::{PathCondition, Solver};
+use gillian_solver::{Interrupt, PathCondition, Solver};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -170,6 +170,18 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
 
     fn error_value(&self, msg: &str) -> Expr {
         Expr::str(msg)
+    }
+
+    fn install_interrupt(&self, interrupt: Interrupt) {
+        self.solver.set_interrupt(interrupt);
+    }
+
+    fn clear_interrupt(&self) {
+        self.solver.clear_interrupt();
+    }
+
+    fn unknown_verdicts(&self) -> u64 {
+        self.solver.stats().sat_unknowns
     }
 }
 

@@ -17,7 +17,9 @@
 //!   Theorem 3.6: symbolic testing has no false positives).
 
 use crate::concrete::ConcreteState;
-use crate::explore::{explore, explore_with, ExploreConfig, ExploreOutcome, ExploreResult};
+use crate::explore::{
+    explore, explore_with, ExploreConfig, ExploreDiagnostics, ExploreOutcome, ExploreResult,
+};
 use crate::memory::{ConcreteMemory, SymbolicMemory};
 use crate::symbolic::SymbolicState;
 use gillian_gil::{Prog, Value};
@@ -71,8 +73,22 @@ pub struct SymTestOutcome<M: SymbolicMemory> {
 impl<M: SymbolicMemory> SymTestOutcome<M> {
     /// True when every path terminated cleanly within budget: the test's
     /// assertions hold on all inputs up to the exploration bound.
+    ///
+    /// Interruptions (deadline, cancellation) and isolated panics mark the
+    /// result truncated, so they fail verification here. `Unknown` solver
+    /// verdicts do *not*: they only widen exploration (branches kept
+    /// unproven-infeasible), so a bug-free run still verifies — but see
+    /// [`SymTestOutcome::bounded`] and the result's
+    /// [`ExploreDiagnostics`] for how bounded that guarantee is.
     pub fn verified(&self) -> bool {
         self.bugs.is_empty() && !self.result.truncated
+    }
+
+    /// True when the guarantee is bounded beyond the command budgets:
+    /// truncation, dropped paths, or any diagnostic (including `Unknown`
+    /// verdicts).
+    pub fn bounded(&self) -> bool {
+        self.result.bounded()
     }
 
     /// Total GIL commands executed (the tables' "GIL Cmds" column).
@@ -134,12 +150,17 @@ pub fn run_test_with_replay<M: SymbolicMemory, C: ConcreteMemory>(
     solver: Arc<Solver>,
     cfg: ExploreConfig,
 ) -> SymTestOutcome<M> {
-    let mut out = run_test::<M>(prog, entry, solver, cfg);
+    let mut out = run_test::<M>(prog, entry, solver, cfg.clone());
     for bug in &mut out.bugs {
         if bug.model.is_none() {
             continue;
         }
-        bug.replay = Some(replay_concrete::<C>(prog, entry, bug.script.clone(), cfg));
+        bug.replay = Some(replay_concrete::<C>(
+            prog,
+            entry,
+            bug.script.clone(),
+            cfg.clone(),
+        ));
     }
     out
 }
@@ -178,19 +199,34 @@ pub struct TestSuiteResult {
     pub time: Duration,
     /// Tests that produced confirmed bug reports, with the report errors.
     pub failures: Vec<(String, Vec<String>)>,
-    /// Tests that hit an exploration budget.
+    /// Tests that hit an exploration budget (including the suite deadline:
+    /// tests skipped because the suite ran out of time appear here with
+    /// zero commands executed).
     pub truncated: Vec<String>,
+    /// Tests whose exploration recorded an isolated panic
+    /// ([`ExploreOutcome::EngineError`] paths).
+    pub errored: Vec<String>,
+    /// Diagnostics summed across every test of the suite.
+    pub diagnostics: ExploreDiagnostics,
 }
 
 impl TestSuiteResult {
-    /// True when every test verified cleanly.
+    /// True when every test verified cleanly (no confirmed bugs, no
+    /// truncation, no engine errors).
     pub fn all_verified(&self) -> bool {
-        self.failures.is_empty() && self.truncated.is_empty()
+        self.failures.is_empty() && self.truncated.is_empty() && self.errored.is_empty()
     }
 }
 
 /// Runs a named suite of symbolic tests (each an entry procedure of
 /// `prog`), returning table-row statistics.
+///
+/// `cfg.deadline`, when set, bounds the **whole suite**: each test runs
+/// with the time still remaining, and once none remains the leftover tests
+/// are reported in [`TestSuiteResult::truncated`] (with a deadline hit
+/// each in the aggregated diagnostics) rather than run with no limit. A
+/// batch under a serving timeout thus degrades to fewer-but-honest rows
+/// instead of blowing the timeout on one pathological test.
 pub fn run_suite<M: SymbolicMemory>(
     name: &str,
     prog: &Prog,
@@ -199,17 +235,36 @@ pub fn run_suite<M: SymbolicMemory>(
     cfg: ExploreConfig,
 ) -> TestSuiteResult {
     let start = Instant::now();
+    let suite_deadline = cfg.deadline.map(|d| start + d);
     let mut suite = TestSuiteResult {
         name: name.to_string(),
         tests: entries.len(),
         ..Default::default()
     };
     for entry in entries {
+        let mut test_cfg = cfg.clone();
+        if let Some(deadline) = suite_deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                suite.truncated.push(entry.clone());
+                suite.diagnostics.deadline_hits += 1;
+                continue;
+            }
+            test_cfg.deadline = Some(remaining);
+        }
         let solver = Arc::new(solver_factory());
-        let outcome = run_test::<M>(prog, entry, solver, cfg);
+        let outcome = run_test::<M>(prog, entry, solver, test_cfg);
         suite.gil_cmds += outcome.gil_cmds();
+        let d = outcome.result.diagnostics;
+        suite.diagnostics.deadline_hits += d.deadline_hits;
+        suite.diagnostics.cancellations += d.cancellations;
+        suite.diagnostics.engine_errors += d.engine_errors;
+        suite.diagnostics.unknown_verdicts += d.unknown_verdicts;
         if outcome.result.truncated {
             suite.truncated.push(entry.clone());
+        }
+        if d.engine_errors > 0 {
+            suite.errored.push(entry.clone());
         }
         let confirmed: Vec<String> = outcome
             .bugs

@@ -4,123 +4,17 @@
 //! conditions, same outcome per path, same error count, same total command
 //! count. This is the observable face of paper §3.2's relaxed trace
 //! composition: exploration order cannot change *what* is explored.
+//!
+//! The parallel legs run with the resilience fields armed (a far-future
+//! deadline plus a live cancellation token) so equivalence is checked on
+//! the code paths that poll them, not just on the all-`None` fast path.
 
-use gillian_core::explore::{
-    explore, explore_parallel, ExploreConfig, ExploreOutcome, ExploreResult, SearchStrategy,
-};
-use gillian_core::memory::{SymBranch, SymbolicMemory};
-use gillian_core::symbolic::SymbolicState;
-use gillian_gil::{Cmd, Expr, Proc, Prog};
-use gillian_solver::{PathCondition, Solver};
+mod common;
+
+use common::{build_prog, op_strategy, state, summary};
+use gillian_core::explore::{explore, explore_parallel, ExploreConfig, SearchStrategy};
 use proptest::prelude::*;
-use std::sync::Arc;
-
-#[derive(Clone, Debug, Default)]
-struct NoMem;
-impl SymbolicMemory for NoMem {
-    fn execute_action(
-        &self,
-        _: &str,
-        arg: &Expr,
-        _: &PathCondition,
-        _: &Solver,
-    ) -> Vec<SymBranch<Self>> {
-        vec![SymBranch::ok(NoMem, arg.clone())]
-    }
-}
-
-/// One building block of a random program. Variable indices are taken
-/// modulo the symbols allocated so far (allocating one when none exist),
-/// so every generated program is well-formed.
-#[derive(Clone, Debug)]
-enum Op {
-    /// Allocate a fresh symbolic input.
-    Sym,
-    /// Two-way branch on `s_v < c`, bumping `acc` on the taken side.
-    Branch(u8, i64),
-    /// `acc := acc + k` — straight-line filler.
-    Bump(i64),
-    /// `assume s_v < c`: branch whose false side vanishes.
-    Assume(u8, i64),
-    /// `assert s_v ≠ c`: branch whose false side fails.
-    FailIf(u8, i64),
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        2 => Just(Op::Sym),
-        3 => (0u8..4, -3i64..4).prop_map(|(v, c)| Op::Branch(v, c)),
-        2 => (-5i64..5).prop_map(Op::Bump),
-        2 => (0u8..4, 0i64..4).prop_map(|(v, c)| Op::Assume(v, c)),
-        2 => (0u8..4, -3i64..4).prop_map(|(v, c)| Op::FailIf(v, c)),
-    ]
-}
-
-/// Compiles an op list into a one-procedure GIL program.
-fn build_prog(ops: &[Op]) -> Prog {
-    let mut body = vec![Cmd::assign("acc", Expr::int(0))];
-    let mut syms: Vec<String> = Vec::new();
-    let alloc_sym = |body: &mut Vec<Cmd>, syms: &mut Vec<String>| {
-        let name = format!("s{}", syms.len());
-        body.push(Cmd::isym(&name, syms.len() as u32));
-        syms.push(name);
-    };
-    for op in ops {
-        // Ops that reference a symbol make sure one exists.
-        if !matches!(op, Op::Sym | Op::Bump(_)) && syms.is_empty() {
-            alloc_sym(&mut body, &mut syms);
-        }
-        match op {
-            Op::Sym => alloc_sym(&mut body, &mut syms),
-            Op::Bump(k) => {
-                body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::int(*k))));
-            }
-            Op::Branch(v, c) => {
-                let s = &syms[*v as usize % syms.len()];
-                let skip = body.len() + 2;
-                body.push(Cmd::IfGoto(Expr::pvar(s).lt(Expr::int(*c)), skip));
-                body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::int(1))));
-            }
-            Op::Assume(v, c) => {
-                let s = &syms[*v as usize % syms.len()];
-                let skip = body.len() + 2;
-                body.push(Cmd::IfGoto(Expr::pvar(s).lt(Expr::int(*c)), skip));
-                body.push(Cmd::Vanish);
-            }
-            Op::FailIf(v, c) => {
-                let s = &syms[*v as usize % syms.len()];
-                let skip = body.len() + 2;
-                body.push(Cmd::IfGoto(Expr::pvar(s).ne(Expr::int(*c)), skip));
-                body.push(Cmd::Fail(Expr::str("hit")));
-            }
-        }
-    }
-    body.push(Cmd::Return(Expr::pvar("acc")));
-    Prog::from_procs([Proc::new("main", [], body)])
-}
-
-fn state() -> SymbolicState<NoMem> {
-    SymbolicState::new(Arc::new(Solver::optimized()))
-}
-
-/// Order-normalized summary of a result: sorted `(pc, outcome-tag)` pairs.
-fn summary(r: &ExploreResult<SymbolicState<NoMem>>) -> Vec<(String, String)> {
-    let mut pairs: Vec<(String, String)> = r
-        .paths
-        .iter()
-        .map(|p| {
-            let tag = match &p.outcome {
-                ExploreOutcome::Normal(v) => format!("N({v})"),
-                ExploreOutcome::Error(v) => format!("E({v})"),
-                ExploreOutcome::Vanished => "vanished".to_string(),
-                ExploreOutcome::Truncated => "truncated".to_string(),
-            };
-            (p.state.pc.to_string(), tag)
-        })
-        .collect();
-    pairs.sort();
-    pairs
-}
+use std::time::Duration;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -132,6 +26,7 @@ proptest! {
         let prog = build_prog(&ops);
         let dfs = explore(&prog, "main", state(), ExploreConfig::default());
         prop_assert!(!dfs.truncated, "budgets must not bind on these programs");
+        prop_assert!(dfs.diagnostics.is_clean(), "unexpected incidents: {:?}", dfs.diagnostics);
         let dfs_summary = summary(&dfs);
 
         let bfs = explore(
@@ -148,7 +43,8 @@ proptest! {
                 &prog,
                 "main",
                 state(),
-                ExploreConfig { workers, ..Default::default() },
+                ExploreConfig { workers, ..Default::default() }
+                    .with_deadline(Duration::from_secs(3600)),
             );
             prop_assert_eq!(
                 &summary(&par),
@@ -159,6 +55,7 @@ proptest! {
             prop_assert_eq!(par.total_cmds, dfs.total_cmds);
             prop_assert_eq!(par.errors().count(), dfs.errors().count());
             prop_assert!(!par.truncated);
+            prop_assert!(par.diagnostics.is_clean(), "unexpected incidents: {:?}", par.diagnostics);
         }
     }
 }

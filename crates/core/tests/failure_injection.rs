@@ -4,12 +4,22 @@
 //! Theorem 3.6 check are not vacuous — they fail when a tool developer
 //! gets a memory model wrong in the ways that actually happen.
 
-use gillian_core::explore::ExploreConfig;
+//!
+//! The second half injects *runtime* failures — a memory action that
+//! panics, and one that spins forever — and checks the resilience story:
+//! the run completes under its deadline, the faulty path is reported as an
+//! engine error (or deadline-truncated), and sibling paths are unaffected.
+
+use gillian_core::explore::{
+    explore, explore_parallel, ExploreConfig, ExploreOutcome, ExploreResult,
+};
 use gillian_core::memory::{ConcreteMemory, SymBranch, SymbolicMemory};
 use gillian_core::soundness::{check_action, check_program, MemoryInterpretation};
+use gillian_core::symbolic::SymbolicState;
 use gillian_gil::{Cmd, Expr, LVar, Proc, Prog, Value};
 use gillian_solver::{Model, PathCondition, Solver};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The reference concrete memory: one cell holding a value.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -241,4 +251,237 @@ fn missing_error_branch_is_caught_end_to_end() {
             .any(|d| d.context.contains("outcomes differ")),
         "{problems:#?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Runtime failure injection: panicking and non-terminating memory actions.
+// ---------------------------------------------------------------------------
+
+/// A well-behaved memory that echoes every action's argument — the
+/// reference against which the faulty runs' sibling paths are compared.
+#[derive(Clone, Debug, Default)]
+struct EchoMem;
+impl SymbolicMemory for EchoMem {
+    fn execute_action(
+        &self,
+        _: &str,
+        arg: &Expr,
+        _: &PathCondition,
+        _: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        vec![SymBranch::ok(EchoMem, arg.clone())]
+    }
+}
+
+/// BROKEN: the `boom` action panics (an `unwrap` deep in a memory model).
+#[derive(Clone, Debug, Default)]
+struct PanickingMem;
+impl SymbolicMemory for PanickingMem {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        _: &PathCondition,
+        _: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        if name == "boom" {
+            panic!("injected memory fault");
+        }
+        vec![SymBranch::ok(PanickingMem, arg.clone())]
+    }
+}
+
+/// BROKEN: the `spin` action busy-loops. It is *cooperative*: it polls
+/// [`Solver::interrupted`] the way a long-running memory model should, so
+/// the engine's deadline can reel it back in. (A ten-second failsafe keeps
+/// a buggy test from hanging the suite.)
+#[derive(Clone, Debug, Default)]
+struct SpinMem;
+impl SymbolicMemory for SpinMem {
+    fn execute_action(
+        &self,
+        name: &str,
+        arg: &Expr,
+        _: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        if name == "spin" {
+            let failsafe = Instant::now() + Duration::from_secs(10);
+            while !solver.interrupted() && Instant::now() < failsafe {
+                std::hint::spin_loop();
+            }
+        }
+        vec![SymBranch::ok(SpinMem, arg.clone())]
+    }
+}
+
+/// `x < 0` reaches the faulty action; `x >= 0` returns 0 normally.
+fn faulty_branch_program(action: &str) -> Prog {
+    Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::isym("x", 0),
+            Cmd::IfGoto(Expr::pvar("x").lt(Expr::int(0)), 3),
+            Cmd::Return(Expr::int(0)),
+            Cmd::action("y", action, Expr::pvar("x")),
+            Cmd::Return(Expr::pvar("y")),
+        ],
+    )])
+}
+
+fn fresh<M: SymbolicMemory + Default>() -> SymbolicState<M> {
+    SymbolicState::new(Arc::new(Solver::optimized()))
+}
+
+/// Sorted `(pc, outcome-tag)` pairs; the tag drops `EngineError` payloads
+/// so summaries are comparable across memory types.
+fn verdicts<M: SymbolicMemory>(r: &ExploreResult<SymbolicState<M>>) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = r
+        .paths
+        .iter()
+        .map(|p| {
+            let tag = match &p.outcome {
+                ExploreOutcome::Normal(v) => format!("N({v})"),
+                ExploreOutcome::Error(v) => format!("E({v})"),
+                ExploreOutcome::Vanished => "vanished".to_string(),
+                ExploreOutcome::Truncated => "truncated".to_string(),
+                ExploreOutcome::EngineError { .. } => "engine-error".to_string(),
+            };
+            (p.state.pc.to_string(), tag)
+        })
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// The sibling verdicts of a faulty run: everything that is neither the
+/// engine-error report nor deadline-truncated.
+fn siblings<M: SymbolicMemory>(r: &ExploreResult<SymbolicState<M>>) -> Vec<(String, String)> {
+    verdicts(r)
+        .into_iter()
+        .filter(|(_, tag)| tag != "engine-error" && tag != "truncated")
+        .collect()
+}
+
+/// The same run with the fault edited out: the reference verdicts minus
+/// the path that reaches the faulty action (whose pc mentions `x < 0`
+/// positively and whose outcome echoes `x`).
+fn reference_siblings(prog: &Prog, faulty_tag: &str) -> Vec<(String, String)> {
+    let reference = explore(prog, "main", fresh::<EchoMem>(), ExploreConfig::default());
+    assert!(reference.diagnostics.is_clean());
+    assert_eq!(reference.paths.len(), 2);
+    verdicts(&reference)
+        .into_iter()
+        .filter(|(_, tag)| tag != faulty_tag)
+        .collect()
+}
+
+#[test]
+fn injected_panic_is_isolated_serial() {
+    let prog = faulty_branch_program("boom");
+    let expected = reference_siblings(&prog, "N(#x0)");
+
+    let start = Instant::now();
+    let res = explore(
+        &prog,
+        "main",
+        fresh::<PanickingMem>(),
+        ExploreConfig::default().with_deadline(Duration::from_secs(2)),
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "must finish under the deadline"
+    );
+
+    assert_eq!(res.diagnostics.engine_errors, 1);
+    assert_eq!(
+        res.diagnostics.deadline_hits, 0,
+        "panic, not deadline, ended the path"
+    );
+    assert_eq!(
+        res.engine_errors().count(),
+        1,
+        "the faulty path is reported as an engine error"
+    );
+    let reported = res.engine_errors().next().unwrap();
+    match &reported.outcome {
+        ExploreOutcome::EngineError { payload, .. } => {
+            assert!(payload.contains("injected memory fault"), "{payload}");
+        }
+        other => panic!("expected an engine error, got {other:?}"),
+    }
+    assert_eq!(
+        siblings(&res),
+        expected,
+        "sibling verdicts must be unaffected"
+    );
+    assert!(res.bounded());
+}
+
+#[test]
+fn injected_panic_is_isolated_parallel() {
+    let prog = faulty_branch_program("boom");
+    let expected = reference_siblings(&prog, "N(#x0)");
+
+    for workers in [2, 4] {
+        let start = Instant::now();
+        let mut cfg = ExploreConfig::default().with_deadline(Duration::from_secs(2));
+        cfg.workers = workers;
+        let res = explore_parallel(&prog, "main", fresh::<PanickingMem>(), cfg);
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert_eq!(res.diagnostics.engine_errors, 1, "workers={workers}");
+        assert_eq!(siblings(&res), expected, "workers={workers}");
+    }
+}
+
+#[test]
+fn injected_spin_loop_is_reeled_in_serial() {
+    let prog = faulty_branch_program("spin");
+    let expected = reference_siblings(&prog, "N(#x0)");
+
+    let start = Instant::now();
+    let res = explore(
+        &prog,
+        "main",
+        fresh::<SpinMem>(),
+        ExploreConfig::default().with_deadline(Duration::from_millis(250)),
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "must finish under two seconds"
+    );
+
+    assert!(res.truncated, "the deadline must mark the run truncated");
+    assert!(res.diagnostics.deadline_hits >= 1, "{:?}", res.diagnostics);
+    assert_eq!(res.diagnostics.engine_errors, 0);
+    assert_eq!(
+        siblings(&res),
+        expected,
+        "sibling verdicts must be unaffected"
+    );
+}
+
+#[test]
+fn injected_spin_loop_is_reeled_in_parallel() {
+    let prog = faulty_branch_program("spin");
+    let expected = reference_siblings(&prog, "N(#x0)");
+
+    for workers in [2, 4] {
+        let start = Instant::now();
+        let mut cfg = ExploreConfig::default().with_deadline(Duration::from_millis(250));
+        cfg.workers = workers;
+        let res = explore_parallel(&prog, "main", fresh::<SpinMem>(), cfg);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "workers={workers}"
+        );
+        assert!(res.truncated, "workers={workers}");
+        assert!(
+            res.diagnostics.deadline_hits >= 1,
+            "workers={workers}: {:?}",
+            res.diagnostics
+        );
+        assert_eq!(siblings(&res), expected, "workers={workers}");
+    }
 }

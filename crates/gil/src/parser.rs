@@ -41,13 +41,25 @@ impl std::error::Error for ParseError {}
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 type PResult<T> = Result<T, ParseError>;
 
+/// Expression nesting beyond this depth is rejected instead of risking a
+/// stack overflow in the recursive-descent parser (which would abort the
+/// whole process — unrecoverable, unlike a [`ParseError`]). 128 levels fit
+/// comfortably in a 2 MiB thread stack even for unoptimized builds, where
+/// each level of the descent costs several KiB of frame.
+const MAX_EXPR_DEPTH: usize = 128;
+
 impl<'a> P<'a> {
     fn new(src: &'a str) -> Self {
-        P { src, pos: 0 }
+        P {
+            src,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
@@ -265,6 +277,18 @@ impl<'a> P<'a> {
     }
 
     fn expr(&mut self) -> PResult<Expr> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return self.err(format!(
+                "expression nesting deeper than {MAX_EXPR_DEPTH} levels"
+            ));
+        }
+        self.depth += 1;
+        let result = self.expr_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self) -> PResult<Expr> {
         self.skip_ws();
         // Parenthesised: unary neg/bitnot, or binary application.
         if self.eat("(") {
@@ -353,16 +377,24 @@ impl<'a> P<'a> {
             return Ok(Expr::LstCat(self.nary(")")?));
         }
         if self.rest().starts_with("wrap_") {
-            let signed = self.rest().as_bytes().get(5) == Some(&b's');
-            self.pos += "wrap_s".len();
-            let w = self.usize_lit()? as u8;
+            self.pos += "wrap_".len();
+            let signed = match self.rest().chars().next() {
+                Some('s') => true,
+                Some('u') => false,
+                _ => return self.err("expected `s` or `u` after `wrap_`"),
+            };
+            self.pos += 1;
+            let w = self.usize_lit()?;
+            if !(1..=64).contains(&w) {
+                return self.err(format!("wrap width must be between 1 and 64, got {w}"));
+            }
             self.expect("(")?;
             let e = self.expr()?;
             self.expect(")")?;
             let op = if signed {
-                UnOp::WrapSigned(w)
+                UnOp::WrapSigned(w as u8)
             } else {
-                UnOp::WrapUnsigned(w)
+                UnOp::WrapUnsigned(w as u8)
             };
             return Ok(e.un(op));
         }
@@ -578,6 +610,44 @@ mod tests {
             parse_expr("{{ 1, x }}").unwrap(),
             Expr::list([Expr::int(1), Expr::pvar("x")])
         );
+    }
+
+    #[test]
+    fn truncated_wrap_is_an_error_not_a_slice_panic() {
+        // `wrap_` at end of input used to advance past the buffer.
+        let e = parse_expr("wrap_").unwrap_err();
+        assert!(e.msg.contains("`s` or `u`"), "{e}");
+    }
+
+    #[test]
+    fn wrap_requires_a_signedness_marker() {
+        // Any marker other than `s`/`u` used to be silently read as
+        // unsigned (consuming whatever character was there).
+        let e = parse_expr("wrap_x8(n)").unwrap_err();
+        assert!(e.msg.contains("`s` or `u`"), "{e}");
+    }
+
+    #[test]
+    fn wrap_width_is_bounded() {
+        // Widths used to be truncated `as u8` (999 → 231) instead of
+        // rejected.
+        let e = parse_expr("wrap_s999(n)").unwrap_err();
+        assert!(e.msg.contains("between 1 and 64"), "{e}");
+        assert!(parse_expr("wrap_u0(n)").is_err());
+        assert!(parse_expr("wrap_u64(n)").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let src = "(".repeat(100_000);
+        let e = parse_expr(&src).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // Depth well under the limit still parses.
+        let mut ok = "x".to_string();
+        for _ in 0..100 {
+            ok = format!("not({ok})");
+        }
+        assert!(parse_expr(&ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Cooperative interruption: wall-clock deadlines and cancellation.
+//!
+//! Symbolic execution has two ways to die that command-count budgets never
+//! catch: a pathological solver query that spins inside a single
+//! satisfiability check, and an external caller that wants a run stopped
+//! *now* (a serving timeout, a user abort). Both are handled
+//! cooperatively: the exploration engine and the solver poll an
+//! [`Interrupt`] — a deadline [`Instant`] plus a shared [`CancelToken`] —
+//! at their loop heads and give up with an `Unknown`/truncated verdict
+//! instead of spinning. Long-running [memory models] are expected to poll
+//! [`crate::Solver::interrupted`] the same way.
+//!
+//! Giving up is always sound: an interrupted satisfiability query reports
+//! [`crate::SatResult::Unknown`] (treated as "possibly SAT", so no branch
+//! is ever pruned by an interruption), and an interrupted path surfaces as
+//! a truncated result, downgrading the run's guarantee to a bounded one —
+//! exactly as command budgets already do.
+//!
+//! [memory models]: https://en.wikipedia.org/wiki/KLEE — KLEE and CBMC
+//! both treat solver timeouts as table stakes for running at scale.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared, cheaply clonable cancellation flag.
+///
+/// All clones observe the same flag: cancelling any clone cancels them
+/// all. Cancellation is one-way (there is no reset) — create a fresh token
+/// per run.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Every holder of a clone of this token will
+    /// observe it at its next poll.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A deadline and a cancellation token, polled together.
+///
+/// The default value never interrupts (no deadline, fresh token).
+#[derive(Clone, Debug, Default)]
+pub struct Interrupt {
+    /// Wall-clock instant after which work should stop.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag.
+    pub cancel: CancelToken,
+}
+
+impl Interrupt {
+    /// An interrupt that never fires.
+    pub fn none() -> Self {
+        Interrupt::default()
+    }
+
+    /// An interrupt with the given deadline and token.
+    pub fn new(deadline: Option<Instant>, cancel: CancelToken) -> Self {
+        Interrupt { deadline, cancel }
+    }
+
+    /// True when the deadline has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when work should stop: cancelled or past the deadline.
+    pub fn interrupted(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline_expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let future = Interrupt::new(
+            Some(Instant::now() + Duration::from_secs(3600)),
+            CancelToken::new(),
+        );
+        assert!(!future.interrupted());
+        let past = Interrupt::new(
+            Some(Instant::now() - Duration::from_millis(1)),
+            CancelToken::new(),
+        );
+        assert!(past.deadline_expired() && past.interrupted());
+        assert!(!Interrupt::none().interrupted());
+    }
+}

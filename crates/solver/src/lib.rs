@@ -7,6 +7,10 @@
 //! equivalent substrate, built from scratch (see `DESIGN.md` §2 for the
 //! substitution rationale). It provides:
 //!
+//! - [`interrupt`] — cooperative wall-clock deadlines and cancellation
+//!   tokens, polled by the satisfiability checker (and by the exploration
+//!   engines one crate up) so a pathological query degrades to
+//!   [`SatResult::Unknown`] instead of hanging a run;
 //! - [`simplify`] — an algebraic simplifier / constant folder that shares
 //!   its operator semantics with the concrete interpreter (no divergence
 //!   between folding and running by construction);
@@ -31,6 +35,7 @@
 //! without a concrete, verified counter-model (paper §3: symbolic testing
 //! has no false positives).
 
+pub mod interrupt;
 pub mod intervals;
 pub mod model;
 pub mod pathcond;
@@ -40,6 +45,7 @@ pub mod solver;
 pub mod typing;
 pub mod uf;
 
+pub use interrupt::{CancelToken, Interrupt};
 pub use model::Model;
 pub use pathcond::PathCondition;
 pub use sat::SatResult;

@@ -19,6 +19,7 @@ use crate::simplify::simplify;
 use crate::typing::{absorb_type_fact, infer, TypeEnv};
 use crate::uf::UnionFind;
 use gillian_gil::{BinOp, Expr, TypeTag, UnOp, Value};
+use std::time::Instant;
 
 /// The verdict of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,18 @@ pub struct SatBudget {
     pub closure_rounds: usize,
     /// Maximum disjunction cases explored.
     pub split_cases: usize,
+    /// Wall-clock cutoff: once past this instant the checker stops early
+    /// with [`SatResult::Unknown`] instead of finishing its closure rounds
+    /// and case splits. `None` (the default) means no time limit. The
+    /// [`crate::Solver`] tightens this with any run-level deadline
+    /// installed via [`crate::Solver::set_interrupt`].
+    pub deadline: Option<Instant>,
+}
+
+impl SatBudget {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 impl Default for SatBudget {
@@ -53,6 +66,7 @@ impl Default for SatBudget {
         SatBudget {
             closure_rounds: 8,
             split_cases: 64,
+            deadline: None,
         }
     }
 }
@@ -210,6 +224,13 @@ fn check_rec(
     cases: &mut usize,
     depth: usize,
 ) -> SatResult {
+    // Deadline checks sit at recursion entry and at each closure round:
+    // those are the only places where unbounded-looking work (rewriting
+    // fixpoints, case-split recursion) accumulates, so polling there bounds
+    // overshoot to one round past the deadline.
+    if budget.expired() {
+        return SatResult::Unknown;
+    }
     let mut atoms = Atoms::default();
     for c in conjuncts {
         if !classify(env, c, &mut atoms) {
@@ -222,6 +243,9 @@ fn check_rec(
         std::collections::BTreeSet::new();
     // Substitution closure.
     for round in 0..budget.closure_rounds {
+        if budget.expired() {
+            return SatResult::Unknown;
+        }
         for (a, b) in std::mem::take(&mut atoms.eqs) {
             if !uf.union(&a, &b) {
                 return SatResult::Unsat;

@@ -7,6 +7,7 @@
 //! exposes exactly those two switches so the benchmark harness can
 //! reproduce both engine configurations (Table 1).
 
+use crate::interrupt::Interrupt;
 use crate::model::{find_model, Model, ModelBudget};
 use crate::pathcond::PathCondition;
 use crate::sat::{check_conjunction, SatBudget, SatResult};
@@ -16,7 +17,19 @@ use gillian_gil::Expr;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, tolerating poison.
+///
+/// A panicking symbolic memory can unwind through the engine while some
+/// other thread holds (or later takes) these locks; the data they guard —
+/// memo tables and the interrupt slot — is valid after any partial
+/// mutation, so poison is safe to ignore. Without this, one isolated
+/// per-path panic would cascade into every sibling path that shares the
+/// solver.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The simplifier tier a solver runs (see [`crate::simplify`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +113,12 @@ pub struct SolverStats {
     pub simplifications: u64,
     /// Model searches attempted.
     pub model_searches: u64,
+    /// Queries that ended in [`SatResult::Unknown`] — budget exhaustion,
+    /// deadline expiry, or cancellation. Every such verdict weakens the
+    /// bounded guarantee (the engine keeps the branch rather than proving
+    /// it feasible), so runs report this count in their diagnostics
+    /// instead of letting `Unknown` vanish into `possibly_sat()`.
+    pub sat_unknowns: u64,
 }
 
 /// Number of lock shards in the SAT result cache. Sixteen keeps lock
@@ -129,11 +148,11 @@ impl SatCache {
     }
 
     fn get(&self, key: &[Expr]) -> Option<SatResult> {
-        self.shard(key).lock().unwrap().get(key).copied()
+        lock_unpoisoned(self.shard(key)).get(key).copied()
     }
 
     fn insert(&self, key: Vec<Expr>, result: SatResult) {
-        self.shard(&key).lock().unwrap().insert(key, result);
+        lock_unpoisoned(self.shard(&key)).insert(key, result);
     }
 }
 
@@ -148,10 +167,15 @@ impl SatCache {
 pub struct Solver {
     config: SolverConfig,
     cache: SatCache,
+    /// The run-level interrupt installed by the exploration engine (see
+    /// [`Solver::set_interrupt`]). One exploration at a time per solver:
+    /// installing a new interrupt replaces the previous one.
+    interrupt: Mutex<Interrupt>,
     sat_queries: AtomicU64,
     cache_hits: AtomicU64,
     simplifications: AtomicU64,
     model_searches: AtomicU64,
+    sat_unknowns: AtomicU64,
 }
 
 /// Compile-time guarantee that the solver can be shared across the
@@ -198,7 +222,37 @@ impl Solver {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             simplifications: self.simplifications.load(Ordering::Relaxed),
             model_searches: self.model_searches.load(Ordering::Relaxed),
+            sat_unknowns: self.sat_unknowns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Installs a run-level interrupt: subsequent satisfiability queries
+    /// observe its deadline (tightened against any per-query
+    /// `sat_budget.deadline`) and its cancellation token, answering
+    /// [`SatResult::Unknown`] once either fires. The exploration engine
+    /// installs the run's deadline/token here before stepping and clears
+    /// it with [`Solver::clear_interrupt`] when the run ends; a solver
+    /// serves one exploration at a time.
+    pub fn set_interrupt(&self, interrupt: Interrupt) {
+        *lock_unpoisoned(&self.interrupt) = interrupt;
+    }
+
+    /// Removes any installed interrupt (idempotent).
+    pub fn clear_interrupt(&self) {
+        *lock_unpoisoned(&self.interrupt) = Interrupt::none();
+    }
+
+    /// A snapshot of the installed interrupt.
+    pub fn interrupt(&self) -> Interrupt {
+        lock_unpoisoned(&self.interrupt).clone()
+    }
+
+    /// True when the installed interrupt has fired (cancelled or past its
+    /// deadline). Long-running memory-model actions should poll this and
+    /// bail out cooperatively so the engine can park their path as
+    /// truncated instead of hanging the run.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt().interrupted()
     }
 
     /// Simplifies an expression under the typing facts of `pc` (identity
@@ -226,11 +280,23 @@ impl Solver {
     }
 
     /// Checks satisfiability of a path condition.
+    ///
+    /// Observes the installed [`Interrupt`]: once cancelled or past the
+    /// deadline the query answers [`SatResult::Unknown`] (sound — the
+    /// engine keeps unknown branches). Interrupted verdicts are counted in
+    /// [`SolverStats::sat_unknowns`] and **never cached**: an `Unknown`
+    /// that merely reflects an expired deadline would otherwise poison the
+    /// memo table for later, unhurried runs sharing this solver.
     pub fn check_sat(&self, pc: &PathCondition) -> SatResult {
         if pc.is_trivially_false() {
             return SatResult::Unsat;
         }
         self.sat_queries.fetch_add(1, Ordering::Relaxed);
+        let interrupt = self.interrupt();
+        if interrupt.cancel.is_cancelled() {
+            self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
+            return SatResult::Unknown;
+        }
         let key = pc.cache_key();
         if self.config.caching {
             if let Some(hit) = self.cache.get(&key) {
@@ -238,8 +304,15 @@ impl Solver {
                 return hit;
             }
         }
-        let result = check_conjunction(&key, self.config.sat_budget);
-        if self.config.caching {
+        let mut budget = self.config.sat_budget;
+        budget.deadline = match (budget.deadline, interrupt.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let result = check_conjunction(&key, budget);
+        if result == SatResult::Unknown {
+            self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
+        } else if self.config.caching {
             self.cache.insert(key, result);
         }
         result
@@ -334,6 +407,47 @@ mod tests {
             .collect();
         let m = s.model(&pc).unwrap();
         assert_eq!(m.get(LVar(0)), Some(&gillian_gil::Value::Int(5)));
+    }
+
+    #[test]
+    fn cancellation_yields_unknown_and_is_counted() {
+        use crate::interrupt::{CancelToken, Interrupt};
+        let s = Solver::optimized();
+        let pc: PathCondition = [Expr::int(0).le(x(0))].into_iter().collect();
+        let token = CancelToken::new();
+        s.set_interrupt(Interrupt::new(None, token.clone()));
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        token.cancel();
+        assert_eq!(s.check_sat(&pc), SatResult::Unknown);
+        assert_eq!(s.stats().sat_unknowns, 1);
+        s.clear_interrupt();
+        assert_eq!(
+            s.check_sat(&pc),
+            SatResult::Sat,
+            "clearing re-arms the solver"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown_without_caching_it() {
+        use crate::interrupt::{CancelToken, Interrupt};
+        use std::time::Instant;
+        let s = Solver::optimized();
+        // A query the checker cannot answer trivially (needs closure work).
+        let pc: PathCondition = [x(0).add(x(1)).eq(Expr::int(7)), x(1).eq(Expr::int(2))]
+            .into_iter()
+            .collect();
+        s.set_interrupt(Interrupt::new(Some(Instant::now()), CancelToken::new()));
+        assert_eq!(s.check_sat(&pc), SatResult::Unknown);
+        assert!(s.stats().sat_unknowns >= 1);
+        s.clear_interrupt();
+        // The Unknown must not have been cached: the same key now decides.
+        let verdict = s.check_sat(&pc);
+        assert_eq!(
+            verdict,
+            SatResult::Sat,
+            "deadline Unknown must not poison the cache"
+        );
     }
 
     #[test]

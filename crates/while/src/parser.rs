@@ -151,7 +151,9 @@ impl<'a> Lexer<'a> {
             let text = &rest[..len];
             self.pos += len;
             return if is_float {
-                Ok((Tok::Float(text.parse().unwrap()), at))
+                text.parse()
+                    .map(|x| (Tok::Float(x), at))
+                    .map_err(|_| self.err_at(at, "malformed float literal"))
             } else {
                 text.parse()
                     .map(|n| (Tok::Int(n), at))
@@ -662,6 +664,15 @@ mod tests {
         assert!(matches!(main.body[2], Stmt::New { .. }));
         assert!(matches!(main.body[3], Stmt::Lookup { .. }));
         assert!(matches!(main.body[4], Stmt::Mutate { .. }));
+    }
+
+    #[test]
+    fn extreme_float_literals_lex_without_panicking() {
+        // The float arm of the number lexer used to `unwrap()` the parse;
+        // it must return a token (or a ParseError), never abort.
+        let huge = format!("proc f() {{ x := {}.5; return x; }}", "9".repeat(400));
+        assert!(parse_program(&huge).is_ok());
+        assert!(parse_program("proc f() { x := 0.0000000001; return x; }").is_ok());
     }
 
     #[test]

@@ -7,9 +7,11 @@ use gillian_core::soundness::check_program;
 use gillian_core::testing::ReplayStatus;
 use gillian_solver::Solver;
 use gillian_while::{
-    compile_program, parse_program, symbolic_test, WhileConcMemory, WhileSymMemory,
+    compile_program, parse_program, symbolic_test, symbolic_test_with, WhileConcMemory,
+    WhileSymMemory,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 #[test]
 fn verified_object_program() {
@@ -88,6 +90,33 @@ fn loops_unroll_and_verify() {
     assert!(outcome.verified(), "bugs: {:?}", outcome.bugs);
     // 7 feasible unrollings explored.
     assert!(outcome.result.paths.len() >= 7);
+}
+
+#[test]
+fn deadline_truncates_instead_of_verifying() {
+    const SRC: &str = r#"
+        proc main() {
+            n := symb();
+            assume (0 <= n and n <= 6);
+            return n;
+        }
+    "#;
+    // An already-expired deadline parks all work: nothing verified, and
+    // the overrun is accounted for rather than silently swallowed.
+    let cfg = ExploreConfig::default().with_deadline(Duration::ZERO);
+    let out = symbolic_test_with(SRC, "main", cfg).unwrap();
+    assert!(
+        !out.verified(),
+        "an out-of-time run must not claim verified"
+    );
+    assert!(out.bounded());
+    assert!(out.result.diagnostics.deadline_hits >= 1);
+
+    // A generous deadline changes nothing about the verdict.
+    let cfg = ExploreConfig::default().with_deadline(Duration::from_secs(3600));
+    let out = symbolic_test_with(SRC, "main", cfg).unwrap();
+    assert!(out.verified(), "bugs: {:?}", out.bugs);
+    assert!(out.result.diagnostics.is_clean());
 }
 
 #[test]

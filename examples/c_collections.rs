@@ -18,7 +18,7 @@ fn main() {
     .unwrap();
     let mut totals = (0usize, 0u64, 0.0f64);
     for suite in collections::suite_names() {
-        let row = collections::run_row(suite, Solver::optimized, cfg);
+        let row = collections::run_row(suite, Solver::optimized, cfg.clone());
         assert!(row.all_verified(), "{suite}: {:?}", row.failures);
         writeln!(
             out,

@@ -62,6 +62,9 @@ fn main() {
             }
             ExploreOutcome::Vanished => println!("  vanished  under  {}", path.state.pc),
             ExploreOutcome::Truncated => println!("  truncated"),
+            ExploreOutcome::EngineError { payload, .. } => {
+                println!("  engine error: {payload}")
+            }
         }
     }
     assert!(result.errors().count() == 0, "abs verifies");

@@ -19,8 +19,8 @@ fn main() {
     .unwrap();
     let mut totals = (0usize, 0u64, 0.0f64, 0.0f64);
     for suite in buckets::suite_names() {
-        let base = buckets::run_row(suite, Solver::baseline, cfg);
-        let opt = buckets::run_row(suite, Solver::optimized, cfg);
+        let base = buckets::run_row(suite, Solver::baseline, cfg.clone());
+        let opt = buckets::run_row(suite, Solver::optimized, cfg.clone());
         assert!(opt.all_verified(), "{suite}: {:?}", opt.failures);
         writeln!(
             out,

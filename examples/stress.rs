@@ -157,4 +157,30 @@ fn main() {
          {workers} workers {tn:>8.2?}  speedup {:.2}x",
         t1.as_secs_f64() / tn.as_secs_f64().max(1e-9)
     );
+
+    // Resilience probe: the same wide workload under a deadline too tight
+    // to finish. The run must come back promptly, marked truncated, with
+    // the overrun counted in the diagnostics — not hang or panic.
+    let tight = Duration::from_millis(5);
+    let start = Instant::now();
+    let cfg = ExploreConfig {
+        workers,
+        ..Default::default()
+    }
+    .with_deadline(tight);
+    let out = gillian::while_lang::symbolic_test_with(&wide_src, "main", cfg).unwrap();
+    let dt = start.elapsed();
+    assert!(
+        !out.verified(),
+        "an out-of-time run must not claim verified"
+    );
+    assert!(out.bounded());
+    let d = out.result.diagnostics;
+    println!(
+        "deadline/wide          {tight:>8.2?} budget: returned in {dt:>8.2?}, \
+         {} paths, deadline_hits={}, bounded={}",
+        out.result.paths.len(),
+        d.deadline_hits,
+        out.bounded()
+    );
 }
