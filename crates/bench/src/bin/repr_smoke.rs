@@ -1,0 +1,223 @@
+//! CI bench smoke for the term-representation refactor: runs the Table 1
+//! and Table 2 workloads on their normal budgets, and emits
+//! `BENCH_repr.json` with throughput (paths/sec), peak RSS, and interner
+//! hit rate, so the perf trajectory has machine-readable data points.
+//!
+//! The JSON also records the **pre-refactor baseline**: internal suite
+//! totals measured at commit `e38629e` (the last commit before terms
+//! were hash-consed), as the average of 10 runs interleaved with the
+//! refactored binaries in the same shell loop on the same machine, so
+//! both sides saw identical machine conditions. The `speedup_vs_baseline`
+//! ratios are therefore exact on that machine and indicative elsewhere:
+//! on a different machine the measured side moves but the recorded
+//! baseline does not. Set `BENCH_SMOKE_STRICT=1` to make the process
+//! fail unless both ratios clear 1.5x (off by default so CI on unknown
+//! hardware stays a smoke test, not a flaky perf gate).
+//!
+//! Output path: `BENCH_repr.json` in the current directory, or the path
+//! in `BENCH_REPR_OUT`.
+
+use gillian_core::testing::TestSuiteResult;
+use gillian_gil::intern::InternStats;
+use gillian_solver::Solver;
+use std::fmt::Write as _;
+
+/// Commit the baseline numbers were measured at (pre-refactor HEAD).
+const BASELINE_COMMIT: &str = "e38629e";
+/// Internal Table 1 total, optimized solver config, at the baseline.
+const BASELINE_T1_SECS: f64 = 0.144;
+/// Internal Table 2 total at the baseline.
+const BASELINE_T2_SECS: f64 = 0.088;
+
+struct Workload {
+    name: &'static str,
+    tests: usize,
+    gil_cmds: u64,
+    paths: usize,
+    secs: f64,
+    baseline_secs: f64,
+}
+
+impl Workload {
+    fn paths_per_sec(&self) -> f64 {
+        self.paths as f64 / self.secs.max(1e-9)
+    }
+
+    /// Speedup in paths/sec vs the recorded baseline. Path counts are
+    /// identical on both sides (the refactor is engine-equivalent), so
+    /// the throughput ratio reduces to a time ratio.
+    fn speedup(&self) -> f64 {
+        self.baseline_secs / self.secs.max(1e-9)
+    }
+}
+
+fn accumulate(
+    name: &'static str,
+    baseline_secs: f64,
+    rows: impl IntoIterator<Item = TestSuiteResult>,
+) -> Workload {
+    let mut w = Workload {
+        name,
+        tests: 0,
+        gil_cmds: 0,
+        paths: 0,
+        secs: 0.0,
+        baseline_secs,
+    };
+    for row in rows {
+        assert!(
+            row.failures.is_empty() && row.truncated.is_empty() && row.errored.is_empty(),
+            "suite {} did not verify cleanly",
+            row.name
+        );
+        w.tests += row.tests;
+        w.gil_cmds += row.gil_cmds;
+        w.paths += row.paths;
+        w.secs += row.time.as_secs_f64();
+    }
+    w
+}
+
+fn run_table1() -> Workload {
+    let cfg = gillian_core::ExploreConfig {
+        workers: gillian_bench::workers_from_env(),
+        ..gillian_js::buckets::table1_config()
+    };
+    accumulate(
+        "table1",
+        BASELINE_T1_SECS,
+        gillian_js::buckets::suite_names()
+            .into_iter()
+            .map(|s| gillian_js::buckets::run_row(s, Solver::optimized, cfg.clone())),
+    )
+}
+
+fn run_table2() -> Workload {
+    let cfg = gillian_core::ExploreConfig {
+        workers: gillian_bench::workers_from_env(),
+        ..gillian_c::collections::table2_config()
+    };
+    accumulate(
+        "table2",
+        BASELINE_T2_SECS,
+        gillian_c::collections::suite_names()
+            .into_iter()
+            .map(|s| gillian_c::collections::run_row(s, Solver::optimized, cfg.clone())),
+    )
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn json_workload(out: &mut String, w: &Workload) {
+    write!(
+        out,
+        concat!(
+            "    {{\"name\": \"{}\", \"tests\": {}, \"gil_cmds\": {}, \"paths\": {}, ",
+            "\"secs\": {:.4}, \"paths_per_sec\": {:.1}, ",
+            "\"baseline_secs\": {:.4}, \"speedup_vs_baseline\": {:.2}}}"
+        ),
+        w.name,
+        w.tests,
+        w.gil_cmds,
+        w.paths,
+        w.secs,
+        w.paths_per_sec(),
+        w.baseline_secs,
+        w.speedup()
+    )
+    .unwrap();
+}
+
+fn render_json(workloads: &[Workload], interner: &InternStats, rss: u64) -> String {
+    let denom = (interner.mints + interner.hits).max(1);
+    let hit_rate = interner.hits as f64 / denom as f64;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gillian-bench-repr-smoke/1\",\n");
+    writeln!(
+        out,
+        concat!(
+            "  \"baseline\": {{\"commit\": \"{}\", \"methodology\": ",
+            "\"internal suite totals at the pre-refactor commit, ",
+            "averaged over 10 runs interleaved with the refactored ",
+            "binaries on the same machine\"}},"
+        ),
+        BASELINE_COMMIT
+    )
+    .unwrap();
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        json_workload(&mut out, w);
+        out.push_str(if i + 1 < workloads.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        concat!(
+            "  \"interner\": {{\"mints\": {}, \"hits\": {}, ",
+            "\"hit_rate\": {:.4}, \"live\": {}}},"
+        ),
+        interner.mints, interner.hits, hit_rate, interner.live
+    )
+    .unwrap();
+    writeln!(out, "  \"peak_rss_bytes\": {rss}").unwrap();
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let before = InternStats::snapshot();
+    let workloads = [run_table1(), run_table2()];
+    let interner = InternStats::snapshot().since(&before);
+    let rss = peak_rss_bytes();
+
+    let json = render_json(&workloads, &interner, rss);
+    let out_path =
+        std::env::var("BENCH_REPR_OUT").unwrap_or_else(|_| "BENCH_repr.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    for w in &workloads {
+        println!(
+            "{}: {} paths in {:.3}s = {:.0} paths/sec ({:.2}x vs {} baseline)",
+            w.name,
+            w.paths,
+            w.secs,
+            w.paths_per_sec(),
+            w.speedup(),
+            BASELINE_COMMIT
+        );
+    }
+    let denom = (interner.mints + interner.hits).max(1);
+    println!(
+        "interner: {} mints, {} hits ({:.1}% hit rate); peak RSS {:.1} MiB",
+        interner.mints,
+        interner.hits,
+        100.0 * interner.hits as f64 / denom as f64,
+        rss as f64 / (1024.0 * 1024.0)
+    );
+    println!("wrote {out_path}");
+
+    if std::env::var("BENCH_SMOKE_STRICT").as_deref() == Ok("1") {
+        for w in &workloads {
+            assert!(
+                w.speedup() >= 1.5,
+                "{}: speedup {:.2}x below the 1.5x gate",
+                w.name,
+                w.speedup()
+            );
+        }
+    }
+}

@@ -524,7 +524,7 @@ impl CSymMemory {
 
 fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
     let parts: Option<Vec<Expr>> = match arg {
-        Expr::List(es) if es.len() == n => Some(es.clone()),
+        Expr::List(es) if es.len() == n => Some(es.to_vec()),
         Expr::Val(Value::List(vs)) if vs.len() == n => {
             Some(vs.iter().cloned().map(Expr::Val).collect())
         }
@@ -556,6 +556,21 @@ fn expr_ptr(e: &Expr) -> Option<(Expr, Expr)> {
         }
         _ => None,
     }
+}
+
+/// The map key for byte `base + k` of a run: a direct constant fold when
+/// the (already simplified) base offset is a literal integer — the common
+/// case for concrete address arithmetic — and a solver round-trip
+/// otherwise. It must agree exactly with what `simplify` would produce
+/// (the constant folder), or the cell map would key the same byte two
+/// different ways.
+fn offset_key(base: &Expr, k: u8, solver: &Solver, pc: &PathCondition) -> Expr {
+    if let Some(o) = base.as_int() {
+        if let Some(sum) = o.checked_add(k as i64) {
+            return Expr::int(sum);
+        }
+    }
+    solver.simplify(pc, &base.clone().add(Expr::int(k as i64)))
 }
 
 /// Decodes a stored symbolic value through a chunk.
@@ -658,7 +673,7 @@ impl CSymMemory {
             return false;
         };
         for i in 1..n {
-            let key = solver.simplify(pc, &base.clone().add(Expr::int(i as i64)));
+            let key = offset_key(base, i, solver, pc);
             match blk.cells.get(&key) {
                 Some((cv, ck, cn)) if cv == v && *ck == i && *cn == n => {}
                 _ => return false,
@@ -670,7 +685,7 @@ impl CSymMemory {
     /// Removes the run starting at `base` with `n` bytes.
     fn remove_run(blk: &mut SymBlock, base: &Expr, n: u8, solver: &Solver, pc: &PathCondition) {
         for i in 0..n {
-            let key = solver.simplify(pc, &base.clone().add(Expr::int(i as i64)));
+            let key = offset_key(base, i, solver, pc);
             blk.cells.remove(&key);
         }
     }
@@ -685,7 +700,7 @@ impl CSymMemory {
         pc: &PathCondition,
     ) {
         for k in 0..n {
-            let key = solver.simplify(pc, &base.clone().add(Expr::int(k as i64)));
+            let key = offset_key(base, k, solver, pc);
             blk.cells.insert(key, (v.clone(), k, n));
         }
     }
@@ -716,11 +731,28 @@ impl CSymMemory {
                 format!("{action} needs permission {need} on {b} (has {})", blk.perm),
             ));
         }
-        let in_bounds = Expr::int(0)
-            .le(off.clone())
-            .and(off.clone().le(Expr::int(blk.size - len)));
-        let in_bounds = solver.simplify(pc, &in_bounds);
-        let out_of_bounds = solver.simplify(pc, &in_bounds.clone().not());
+        // Literal offsets (the common case for concrete programs) fold
+        // the bounds check directly — same result the simplifier's
+        // constant folder would return, without the solver round-trips.
+        let in_bounds = match off.as_int() {
+            Some(o) => {
+                if 0 <= o && o <= blk.size - len {
+                    Expr::tt()
+                } else {
+                    Expr::ff()
+                }
+            }
+            None => {
+                let e = Expr::int(0)
+                    .le(off.clone())
+                    .and(off.clone().le(Expr::int(blk.size - len)));
+                solver.simplify(pc, &e)
+            }
+        };
+        let out_of_bounds = match in_bounds.as_bool() {
+            Some(b) => Expr::Val(Value::Bool(!b)),
+            None => solver.simplify(pc, &in_bounds.clone().not()),
+        };
         Ok((in_bounds, out_of_bounds))
     }
 }
@@ -1032,7 +1064,7 @@ impl SymbolicMemory for CSymMemory {
                         None => bytes.push(Expr::Val(Value::Sym(POISON))),
                     }
                 }
-                vec![SymBranch::ok(self.clone(), Expr::List(bytes))]
+                vec![SymBranch::ok(self.clone(), Expr::List(bytes.into()))]
             }
             "storeBytes" => {
                 let args = match expr_args(arg, 3, "storeBytes") {
@@ -1050,7 +1082,7 @@ impl SymbolicMemory for CSymMemory {
                     ));
                 };
                 let bytes: Vec<Expr> = match &args[2] {
-                    Expr::List(es) => es.clone(),
+                    Expr::List(es) => es.to_vec(),
                     Expr::Val(Value::List(vs)) => vs.iter().cloned().map(Expr::Val).collect(),
                     _ => return err1(ub_expr("bad-action-argument", "storeBytes: bytes")),
                 };

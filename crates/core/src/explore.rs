@@ -44,7 +44,7 @@
 use crate::interp::{step, Config, Final, Outcome, StepOut};
 use crate::panic_guard;
 use crate::state::GilState;
-use gillian_gil::Prog;
+use gillian_gil::{InternStats, Prog};
 use gillian_solver::{CancelToken, Interrupt};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -207,13 +207,23 @@ pub struct ExploreDiagnostics {
     /// while "no bug found" weakens from the budget-bounded guarantee to
     /// one also conditioned on those undecided queries.
     pub unknown_verdicts: u64,
+    /// Interner activity attributed to this run (nodes minted, hash-cons
+    /// hits, live-node delta), recorded as the difference of global
+    /// [`InternStats`] snapshots taken around the exploration. Telemetry
+    /// only: interner traffic never weakens a verdict, so these counters
+    /// do not affect [`ExploreDiagnostics::is_clean`].
+    pub interner: InternStats,
 }
 
 impl ExploreDiagnostics {
     /// True when nothing degraded the run: no deadline hits, no
-    /// cancellations, no engine errors, no unknown verdicts.
+    /// cancellations, no engine errors, no unknown verdicts. Interner
+    /// telemetry is informational and deliberately excluded.
     pub fn is_clean(&self) -> bool {
-        *self == ExploreDiagnostics::default()
+        self.deadline_hits == 0
+            && self.cancellations == 0
+            && self.engine_errors == 0
+            && self.unknown_verdicts == 0
     }
 }
 
@@ -322,6 +332,7 @@ pub fn explore<S: GilState>(
     let sentinel = initial.clone();
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
     let unknowns_before = sentinel.unknown_verdicts();
+    let interner_before = InternStats::snapshot();
 
     struct Item<S: GilState> {
         config: Config<S>,
@@ -446,6 +457,7 @@ pub fn explore<S: GilState>(
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+    result.diagnostics.interner = InternStats::snapshot().since(&interner_before);
     result
 }
 
@@ -741,6 +753,7 @@ where
     let sentinel = initial.clone();
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
     let unknowns_before = sentinel.unknown_verdicts();
+    let interner_before = InternStats::snapshot();
     let shared = SharedExplorer {
         queue: Mutex::new(JobQueue {
             jobs: VecDeque::from([Job {
@@ -836,6 +849,7 @@ where
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+    result.diagnostics.interner = InternStats::snapshot().since(&interner_before);
     result
 }
 

@@ -22,12 +22,20 @@ use std::sync::Arc;
 /// A symbolic variable store `ρ̂ : X ⇀ Ê`.
 pub type SymStore = BTreeMap<Ident, Expr>;
 
+/// The store handle threaded through the interpreter: copy-on-write
+/// behind an [`Arc`], so the per-branch state clones and per-call frame
+/// saves of symbolic execution are O(1) refcount bumps. Straight-line
+/// writes mutate in place (`Arc::make_mut`) and pay one map clone only on
+/// the first write after a snapshot — and error/vanish branches, which
+/// never write, pay nothing.
+pub type SharedSymStore = Arc<SymStore>;
+
 /// A symbolic GIL state `⟨µ̂, ρ̂, ξ̂, π̂⟩` over symbolic memory model `M`.
 #[derive(Clone, Debug)]
 pub struct SymbolicState<M> {
     /// The language symbolic memory `µ̂`.
     pub memory: M,
-    store: SymStore,
+    store: SharedSymStore,
     alloc: SymAllocator,
     /// The path condition `π̂`.
     pub pc: PathCondition,
@@ -39,7 +47,7 @@ impl<M: SymbolicMemory> SymbolicState<M> {
     pub fn new(solver: Arc<Solver>) -> Self {
         SymbolicState {
             memory: M::default(),
-            store: SymStore::new(),
+            store: SharedSymStore::default(),
             alloc: SymAllocator::new(),
             pc: PathCondition::new(),
             solver,
@@ -50,7 +58,7 @@ impl<M: SymbolicMemory> SymbolicState<M> {
     pub fn with_memory(solver: Arc<Solver>, memory: M) -> Self {
         SymbolicState {
             memory,
-            store: SymStore::new(),
+            store: SharedSymStore::default(),
             alloc: SymAllocator::new(),
             pc: PathCondition::new(),
             solver,
@@ -77,37 +85,45 @@ impl<M: SymbolicMemory> SymbolicState<M> {
 
 impl<M: SymbolicMemory> GilState for SymbolicState<M> {
     type V = Expr;
-    type Store = SymStore;
+    type Store = SharedSymStore;
 
     fn eval(&self, e: &Expr) -> Result<Expr, Expr> {
         // Substitute program variables by their store bindings; an unbound
         // variable is an evaluation error as in the concrete semantics.
-        for x in e.pvars() {
-            if !self.store.contains_key(&x) {
-                return Err(Expr::str(format!("unbound variable {x}")));
-            }
-        }
+        // Binding lookups clone the stored expression, which is a refcount
+        // bump under the interned representation, and `subst` shares every
+        // untouched subtree, so evaluation never deep-copies terms.
+        let unbound = std::cell::RefCell::new(None);
         let substituted = e.subst(&|sub| match sub {
-            Expr::PVar(x) => self.store.get(x.as_ref() as &str).cloned(),
+            Expr::PVar(x) => match self.store.get(x.as_ref() as &str) {
+                Some(bound) => Some(bound.clone()),
+                None => {
+                    unbound.borrow_mut().get_or_insert_with(|| x.clone());
+                    None
+                }
+            },
             _ => None,
         });
+        if let Some(x) = unbound.into_inner() {
+            return Err(Expr::str(format!("unbound variable {x}")));
+        }
         Ok(self.solver.simplify(&self.pc, &substituted))
     }
 
     fn set_var(&mut self, x: &Ident, v: Expr) {
-        self.store.insert(x.clone(), v);
+        Arc::make_mut(&mut self.store).insert(x.clone(), v);
     }
 
-    fn store(&self) -> &SymStore {
+    fn store(&self) -> &SharedSymStore {
         &self.store
     }
 
-    fn set_store(&mut self, store: SymStore) {
+    fn set_store(&mut self, store: SharedSymStore) {
         self.store = store;
     }
 
-    fn make_store(&self, params: &[Ident], args: Vec<Expr>) -> SymStore {
-        params.iter().cloned().zip(args).collect()
+    fn make_store(&self, params: &[Ident], args: Vec<Expr>) -> SharedSymStore {
+        Arc::new(params.iter().cloned().zip(args).collect())
     }
 
     fn resolve_proc(&self, v: &Expr) -> Result<Ident, Expr> {
@@ -240,6 +256,34 @@ mod tests {
         let v = st.eval(&Expr::pvar("x").add(Expr::int(3))).unwrap();
         assert_eq!(v, Expr::int(5));
         assert!(st.eval(&Expr::pvar("missing")).is_err());
+    }
+
+    #[test]
+    fn eval_shares_bound_expressions_without_deep_copies() {
+        use gillian_gil::InternStats;
+        let mut st = state();
+        // A ~800-node bound expression: a left-leaning sum of distinct
+        // logical variables the simplifier cannot fold.
+        let mut big = st.fresh_isym(0);
+        for _ in 0..400 {
+            big = big.add(st.fresh_isym(0));
+        }
+        st.set_var(&"x".into(), big);
+        let warm = st.eval(&Expr::pvar("x")).unwrap();
+        // A second lookup of the same binding must be pure sharing: zero
+        // nodes minted (no deep copy, no rebuild), and interner traffic
+        // bounded by a small constant (the simplifier memo key), not by
+        // the node count of the bound expression.
+        let before = InternStats::thread_snapshot();
+        let again = st.eval(&Expr::pvar("x")).unwrap();
+        let delta = InternStats::thread_snapshot().since(&before);
+        assert_eq!(again, warm);
+        assert_eq!(delta.mints, 0, "eval must not rebuild the bound expression");
+        assert!(
+            delta.hits <= 4,
+            "eval should be O(1) interner traffic, got {} hits",
+            delta.hits
+        );
     }
 
     #[test]

@@ -195,6 +195,8 @@ pub struct TestSuiteResult {
     pub tests: usize,
     /// Total GIL commands executed.
     pub gil_cmds: u64,
+    /// Total symbolic paths explored across every test of the suite.
+    pub paths: usize,
     /// Wall-clock time for the whole suite.
     pub time: Duration,
     /// Tests that produced confirmed bug reports, with the report errors.
@@ -255,11 +257,13 @@ pub fn run_suite<M: SymbolicMemory>(
         let solver = Arc::new(solver_factory());
         let outcome = run_test::<M>(prog, entry, solver, test_cfg);
         suite.gil_cmds += outcome.gil_cmds();
+        suite.paths += outcome.result.paths.len();
         let d = outcome.result.diagnostics;
         suite.diagnostics.deadline_hits += d.deadline_hits;
         suite.diagnostics.cancellations += d.cancellations;
         suite.diagnostics.engine_errors += d.engine_errors;
         suite.diagnostics.unknown_verdicts += d.unknown_verdicts;
+        suite.diagnostics.interner = suite.diagnostics.interner.merge(&d.interner);
         if outcome.result.truncated {
             suite.truncated.push(entry.clone());
         }

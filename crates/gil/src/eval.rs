@@ -160,7 +160,7 @@ mod tests {
             eval(&store(), &e).unwrap(),
             Value::List(vec![Value::Int(10), Value::Int(2)])
         );
-        let s = Expr::StrCat(vec![Expr::pvar("name"), Expr::str("!")]);
+        let s = Expr::StrCat(vec![Expr::pvar("name"), Expr::str("!")].into());
         assert_eq!(eval(&store(), &s).unwrap(), Value::str("gil!"));
     }
 

@@ -7,7 +7,15 @@
 //! logical variables; symbolic stores map program variables to logical
 //! expressions, so after store substitution a program expression becomes a
 //! logical one.
+//!
+//! Since the hash-consing refactor, every recursive position holds a
+//! [`Term`] — an interned, `Arc`-shared node — so structurally equal
+//! subterms are pointer-equal, cloning is a refcount bump, and equality
+//! and hashing have pointer fast paths (see [`crate::intern`]). `Term`
+//! dereferences to `Expr`, so pattern-matching read sites are unchanged;
+//! construction sites intern via `From<Expr> for Term`.
 
+use crate::intern::{ExprList, Term};
 use crate::ops::{BinOp, UnOp};
 use crate::value::{TypeTag, Value};
 use std::collections::BTreeSet;
@@ -53,15 +61,15 @@ pub enum Expr {
     /// A logical variable `x̂ ∈ X̂`.
     LVar(LVar),
     /// Unary operator application `⊖e`.
-    Un(UnOp, Box<Expr>),
+    Un(UnOp, Term),
     /// Binary operator application `e₁ ⊕ e₂`.
-    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Bin(BinOp, Term, Term),
     /// List construction `[e₁, …, eₙ]`.
-    List(Vec<Expr>),
+    List(ExprList),
     /// String concatenation `s-cat(e₁, …, eₙ)`.
-    StrCat(Vec<Expr>),
+    StrCat(ExprList),
     /// List concatenation `l-cat(e₁, …, eₙ)`.
-    LstCat(Vec<Expr>),
+    LstCat(ExprList),
 }
 
 // The DSL builder methods deliberately mirror operator names (`add`,
@@ -119,16 +127,24 @@ impl Expr {
     pub fn list(es: impl IntoIterator<Item = Expr>) -> Expr {
         Expr::List(es.into_iter().collect())
     }
+    /// N-ary list concatenation from sub-expressions.
+    pub fn lstcat_of(es: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::LstCat(es.into_iter().collect())
+    }
+    /// N-ary string concatenation from sub-expressions.
+    pub fn strcat_of(es: impl IntoIterator<Item = Expr>) -> Expr {
+        Expr::StrCat(es.into_iter().collect())
+    }
 
     // ---- combinators ---------------------------------------------------
 
     /// `self ⊕ other` for an arbitrary binary operator.
     pub fn bin(self, op: BinOp, other: Expr) -> Expr {
-        Expr::Bin(op, Box::new(self), Box::new(other))
+        Expr::Bin(op, self.into(), other.into())
     }
     /// `⊖self` for an arbitrary unary operator.
     pub fn un(self, op: UnOp) -> Expr {
-        Expr::Un(op, Box::new(self))
+        Expr::Un(op, self.into())
     }
     /// Addition.
     pub fn add(self, other: Expr) -> Expr {
@@ -288,17 +304,45 @@ impl Expr {
 
     /// Rebuilds the expression, replacing each variable through `f`;
     /// variables for which `f` returns `None` are kept as-is.
+    ///
+    /// Subtrees in which nothing is replaced are **shared, not rebuilt**:
+    /// the result reuses the original interned nodes (a refcount bump), so
+    /// a substitution that hits nothing allocates nothing.
     pub fn subst(&self, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
         if let Some(e) = f(self) {
             return e;
         }
         match self {
             Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => self.clone(),
-            Expr::Un(op, e) => Expr::Un(*op, Box::new(e.subst(f))),
-            Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(a.subst(f)), Box::new(b.subst(f))),
-            Expr::List(es) => Expr::List(es.iter().map(|e| e.subst(f)).collect()),
-            Expr::StrCat(es) => Expr::StrCat(es.iter().map(|e| e.subst(f)).collect()),
-            Expr::LstCat(es) => Expr::LstCat(es.iter().map(|e| e.subst(f)).collect()),
+            Expr::Un(op, e) => {
+                let ne = subst_term(e, f);
+                match ne {
+                    Some(ne) => Expr::Un(*op, ne),
+                    None => self.clone(),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let na = subst_term(a, f);
+                let nb = subst_term(b, f);
+                if na.is_none() && nb.is_none() {
+                    self.clone()
+                } else {
+                    Expr::Bin(
+                        *op,
+                        na.unwrap_or_else(|| a.clone()),
+                        nb.unwrap_or_else(|| b.clone()),
+                    )
+                }
+            }
+            Expr::List(es) => subst_list(es, f)
+                .map(Expr::List)
+                .unwrap_or_else(|| self.clone()),
+            Expr::StrCat(es) => subst_list(es, f)
+                .map(Expr::StrCat)
+                .unwrap_or_else(|| self.clone()),
+            Expr::LstCat(es) => subst_list(es, f)
+                .map(Expr::LstCat)
+                .unwrap_or_else(|| self.clone()),
         }
     }
 
@@ -317,6 +361,57 @@ impl Expr {
         self.visit(&mut |_| n += 1);
         n
     }
+}
+
+/// Substitutes under an interned node, returning `None` when nothing
+/// changed (so the caller can keep sharing the original `Term`).
+fn subst_term(t: &Term, f: &impl Fn(&Expr) -> Option<Expr>) -> Option<Term> {
+    if let Some(e) = f(t.expr()) {
+        return Some(e.into());
+    }
+    match t.expr() {
+        Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => None,
+        Expr::Un(op, e) => subst_term(e, f).map(|ne| Expr::Un(*op, ne).into()),
+        Expr::Bin(op, a, b) => {
+            let na = subst_term(a, f);
+            let nb = subst_term(b, f);
+            if na.is_none() && nb.is_none() {
+                None
+            } else {
+                Some(
+                    Expr::Bin(
+                        *op,
+                        na.unwrap_or_else(|| a.clone()),
+                        nb.unwrap_or_else(|| b.clone()),
+                    )
+                    .into(),
+                )
+            }
+        }
+        Expr::List(es) => subst_list(es, f).map(|nes| Expr::List(nes).into()),
+        Expr::StrCat(es) => subst_list(es, f).map(|nes| Expr::StrCat(nes).into()),
+        Expr::LstCat(es) => subst_list(es, f).map(|nes| Expr::LstCat(nes).into()),
+    }
+}
+
+/// Substitutes across a shared sequence, returning `None` when no element
+/// changed (so the caller can keep sharing the original `ExprList`).
+fn subst_list(es: &ExprList, f: &impl Fn(&Expr) -> Option<Expr>) -> Option<ExprList> {
+    let mut changed: Option<Vec<Expr>> = None;
+    for (i, e) in es.iter().enumerate() {
+        let ne = e.subst(f);
+        match &mut changed {
+            Some(out) => out.push(ne),
+            None if ne != *e => {
+                let mut out = Vec::with_capacity(es.len());
+                out.extend_from_slice(&es[..i]);
+                out.push(ne);
+                changed = Some(out);
+            }
+            None => {}
+        }
+    }
+    changed.map(ExprList::from)
 }
 
 impl From<Value> for Expr {
@@ -342,6 +437,16 @@ impl From<&str> for Expr {
 impl From<LVar> for Expr {
     fn from(x: LVar) -> Expr {
         Expr::LVar(x)
+    }
+}
+impl From<Term> for Expr {
+    fn from(t: Term) -> Expr {
+        t.expr().clone()
+    }
+}
+impl From<&Term> for Expr {
+    fn from(t: &Term) -> Expr {
+        t.expr().clone()
     }
 }
 
@@ -398,6 +503,7 @@ impl fmt::Display for Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::InternStats;
 
     #[test]
     fn builders_produce_expected_shapes() {
@@ -406,8 +512,8 @@ mod tests {
             e,
             Expr::Bin(
                 BinOp::Add,
-                Box::new(Expr::PVar(Arc::from("x"))),
-                Box::new(Expr::int(1))
+                Expr::PVar(Arc::from("x")).into(),
+                Expr::int(1).into()
             )
         );
     }
@@ -427,6 +533,34 @@ mod tests {
         let e = Expr::lvar(LVar(0)).add(Expr::lvar(LVar(1)));
         let r = e.subst_lvars(&|x| (x == LVar(0)).then(|| Expr::int(5)));
         assert_eq!(r, Expr::int(5).add(Expr::lvar(LVar(1))));
+    }
+
+    #[test]
+    fn subst_that_hits_nothing_shares_everything() {
+        let e = Expr::pvar("x")
+            .add(Expr::lvar(LVar(1)))
+            .mul(Expr::int(2).sub(Expr::pvar("y")));
+        let before = InternStats::thread_snapshot();
+        let r = e.subst(&|_| None);
+        let delta = InternStats::thread_snapshot().since(&before);
+        assert_eq!(r, e);
+        assert_eq!(delta.mints, 0, "no-op substitution must not mint");
+        assert_eq!(delta.hits, 0, "no-op substitution must not re-intern");
+    }
+
+    #[test]
+    fn subst_shares_untouched_siblings() {
+        let shared = Expr::pvar("big").mul(Expr::int(7));
+        let e = shared.clone().add(Expr::lvar(LVar(9)));
+        let r = e.subst_lvars(&|x| (x == LVar(9)).then(|| Expr::int(1)));
+        // The untouched left subtree must be the same interned node.
+        match (&e, &r) {
+            (Expr::Bin(_, a, _), Expr::Bin(_, ra, _)) => {
+                assert!(a.same(ra), "untouched subtree must be shared")
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(r, shared.add(Expr::int(1)));
     }
 
     #[test]

@@ -40,12 +40,16 @@
 
 pub mod eval;
 pub mod expr;
+pub mod hashing;
+pub mod intern;
 pub mod ops;
 pub mod parser;
 pub mod prog;
 pub mod value;
 
 pub use expr::{Expr, LVar};
+pub use hashing::{FxBuildHasher, PrehashedBuildHasher};
+pub use intern::{ExprList, InternStats, Term};
 pub use ops::{BinOp, EvalError, UnOp};
 pub use prog::{Cmd, Ident, Label, Proc, Prog};
 pub use value::{Sym, TypeTag, Value, F64};

@@ -329,7 +329,7 @@ impl<'a> P<'a> {
         }
         if self.eat("{{") {
             let items = self.nary("}}")?;
-            return Ok(Expr::List(items));
+            return Ok(Expr::List(items.into()));
         }
         // A literal list value `[v₁, …, vₙ]` (the Display form of
         // `Value::List`, as opposed to the `{{ … }}` list *expression*).
@@ -370,11 +370,11 @@ impl<'a> P<'a> {
         }
         if self.rest().starts_with("s-cat(") {
             self.pos += "s-cat(".len();
-            return Ok(Expr::StrCat(self.nary(")")?));
+            return Ok(Expr::StrCat(self.nary(")")?.into()));
         }
         if self.rest().starts_with("l-cat(") {
             self.pos += "l-cat(".len();
-            return Ok(Expr::LstCat(self.nary(")")?));
+            return Ok(Expr::LstCat(self.nary(")")?.into()));
         }
         if self.rest().starts_with("wrap_") {
             self.pos += "wrap_".len();

@@ -2,7 +2,7 @@
 //! pretty-printer's output reproduces the original program exactly.
 
 use gillian_gil::parser::{parse_expr, parse_prog};
-use gillian_gil::{BinOp, Cmd, Expr, LVar, Proc, Prog, Sym, TypeTag, UnOp, Value};
+use gillian_gil::{BinOp, Cmd, Expr, LVar, Proc, Prog, Sym, Term, TypeTag, UnOp, Value};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -107,9 +107,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (arb_unop(), inner.clone()).prop_map(|(op, e)| e.un(op)),
             (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| a.bin(op, b)),
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::StrCat),
-            proptest::collection::vec(inner, 1..3).prop_map(Expr::LstCat),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::list),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(|es| Expr::StrCat(es.into())),
+            proptest::collection::vec(inner, 1..3).prop_map(|es| Expr::LstCat(es.into())),
         ]
     })
 }
@@ -167,6 +167,25 @@ proptest! {
         let parsed = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
         prop_assert_eq!(&parsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn interning_never_changes_syntax(e in arb_expr()) {
+        // Parse → print → parse must be the identity not just structurally
+        // but on interned identity: the reparsed term hash-conses to the
+        // exact same node as the original, so the interner is invisible to
+        // the `.gil` text format.
+        let original: Term = e.clone().into();
+        let reprinted = original.to_string();
+        prop_assert_eq!(&reprinted, &e.to_string(), "Term must print as its Expr");
+        let reparsed: Term = parse_expr(&reprinted)
+            .unwrap_or_else(|err| panic!("failed to reparse `{reprinted}`: {err}"))
+            .into();
+        prop_assert!(
+            original.same(&reparsed),
+            "reparse of `{}` interned to a different node",
+            reprinted
+        );
     }
 
     #[test]

@@ -256,7 +256,7 @@ fn push_branch<M>(
 
 fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
     let parts: Option<Vec<Expr>> = match arg {
-        Expr::List(es) if es.len() == n => Some(es.clone()),
+        Expr::List(es) if es.len() == n => Some(es.to_vec()),
         Expr::Val(Value::List(vs)) if vs.len() == n => {
             Some(vs.iter().cloned().map(Expr::Val).collect())
         }

@@ -75,7 +75,7 @@ fn plus() -> Proc {
             /* 3 */ Cmd::assign("r", Expr::pvar("a").add(Expr::pvar("b"))),
             /* 4 */ Cmd::Return(Expr::pvar("r")),
             /* 5 */
-            Cmd::assign("r", Expr::StrCat(vec![Expr::pvar("a"), Expr::pvar("b")])),
+            Cmd::assign("r", Expr::strcat_of(vec![Expr::pvar("a"), Expr::pvar("b")])),
             /* 6 */ Cmd::Return(Expr::pvar("r")),
         ],
     )

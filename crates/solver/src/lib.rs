@@ -39,6 +39,7 @@ pub mod interrupt;
 pub mod intervals;
 pub mod model;
 pub mod pathcond;
+pub mod persistent;
 pub mod sat;
 pub mod simplify;
 pub mod solver;
@@ -47,6 +48,7 @@ pub mod uf;
 
 pub use interrupt::{CancelToken, Interrupt};
 pub use model::Model;
-pub use pathcond::PathCondition;
+pub use pathcond::{PathCondition, PcKey};
+pub use persistent::PSet;
 pub use sat::SatResult;
 pub use solver::{Simplification, Solver, SolverConfig, SolverStats};

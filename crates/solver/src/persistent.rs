@@ -1,0 +1,213 @@
+//! A persistent (immutable, structurally shared) set of `u64` keys.
+//!
+//! Backing store for [`PathCondition`](crate::PathCondition)'s conjunct
+//! dedup index: path conditions are snapshotted at every branch point, so
+//! the index must clone in O(1) and insert in O(log n) while sharing
+//! structure with its ancestors. This is a bitmapped 32-way trie (a HAMT
+//! whose "hash" is the key itself — interner term ids are dense and
+//! unique, so no hashing is needed), hand-written because the workspace
+//! vendors no persistent-collection crates.
+
+use std::sync::Arc;
+
+/// Bits consumed per trie level.
+const BITS: u32 = 5;
+/// Child mask per level (32-way branching).
+const MASK: u64 = (1 << BITS) - 1;
+
+#[derive(Debug)]
+enum Node {
+    /// A single key stored at whatever depth it stopped colliding.
+    Leaf(u64),
+    /// A compressed branch: bit `i` of `bitmap` set ⇔ a child exists for
+    /// chunk `i`, stored at `children[popcount(bitmap & (bit-1))]`.
+    Branch {
+        bitmap: u32,
+        children: Box<[Arc<Node>]>,
+    },
+}
+
+impl Node {
+    fn contains(&self, key: u64, shift: u32) -> bool {
+        match self {
+            Node::Leaf(k) => *k == key,
+            Node::Branch { bitmap, children } => {
+                let bit = 1u32 << ((key >> shift) & MASK);
+                if bitmap & bit == 0 {
+                    false
+                } else {
+                    let idx = (bitmap & (bit - 1)).count_ones() as usize;
+                    children[idx].contains(key, shift + BITS)
+                }
+            }
+        }
+    }
+
+    /// Returns the updated node, or `None` when `key` was already present
+    /// (so the caller keeps sharing the original).
+    fn insert(self: &Arc<Node>, key: u64, shift: u32) -> Option<Arc<Node>> {
+        match &**self {
+            Node::Leaf(k) if *k == key => None,
+            Node::Leaf(k) => Some(split(*k, key, shift)),
+            Node::Branch { bitmap, children } => {
+                let chunk = (key >> shift) & MASK;
+                let bit = 1u32 << chunk;
+                let idx = (bitmap & (bit - 1)).count_ones() as usize;
+                if bitmap & bit != 0 {
+                    let child = children[idx].insert(key, shift + BITS)?;
+                    let mut next: Vec<Arc<Node>> = children.to_vec();
+                    next[idx] = child;
+                    Some(Arc::new(Node::Branch {
+                        bitmap: *bitmap,
+                        children: next.into_boxed_slice(),
+                    }))
+                } else {
+                    let mut next: Vec<Arc<Node>> = Vec::with_capacity(children.len() + 1);
+                    next.extend_from_slice(&children[..idx]);
+                    next.push(Arc::new(Node::Leaf(key)));
+                    next.extend_from_slice(&children[idx..]);
+                    Some(Arc::new(Node::Branch {
+                        bitmap: bitmap | bit,
+                        children: next.into_boxed_slice(),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// Builds the minimal branch chain distinguishing two unequal keys from
+/// `shift` downward. Distinct `u64`s always differ in some 5-bit chunk at
+/// shift ≤ 60, so this terminates within the key width.
+fn split(k1: u64, k2: u64, shift: u32) -> Arc<Node> {
+    debug_assert!(k1 != k2 && shift < u64::BITS);
+    let c1 = (k1 >> shift) & MASK;
+    let c2 = (k2 >> shift) & MASK;
+    if c1 == c2 {
+        Arc::new(Node::Branch {
+            bitmap: 1 << c1,
+            children: vec![split(k1, k2, shift + BITS)].into_boxed_slice(),
+        })
+    } else {
+        let (lo, hi) = if c1 < c2 {
+            (Node::Leaf(k1), Node::Leaf(k2))
+        } else {
+            (Node::Leaf(k2), Node::Leaf(k1))
+        };
+        Arc::new(Node::Branch {
+            bitmap: (1 << c1) | (1 << c2),
+            children: vec![Arc::new(lo), Arc::new(hi)].into_boxed_slice(),
+        })
+    }
+}
+
+/// A persistent set of `u64` keys: `clone()` is O(1), insertion is
+/// O(log n) and shares all untouched structure with the original.
+#[derive(Clone, Debug, Default)]
+pub struct PSet {
+    root: Option<Arc<Node>>,
+    len: usize,
+}
+
+impl PSet {
+    /// The empty set.
+    pub fn new() -> PSet {
+        PSet::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        match &self.root {
+            Some(root) => root.contains(key, 0),
+            None => false,
+        }
+    }
+
+    /// Inserts in place (path-copying internally; other clones of this
+    /// set are unaffected). Returns `true` when the key was new.
+    pub fn insert(&mut self, key: u64) -> bool {
+        match &self.root {
+            None => {
+                self.root = Some(Arc::new(Node::Leaf(key)));
+                self.len = 1;
+                true
+            }
+            Some(root) => match root.insert(key, 0) {
+                Some(next) => {
+                    self.root = Some(next);
+                    self.len += 1;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = PSet::new();
+        assert!(s.is_empty());
+        for k in [0u64, 1, 31, 32, 33, 1 << 40, u64::MAX, 7, 7] {
+            s.insert(k);
+        }
+        assert_eq!(s.len(), 8, "duplicate insert must not grow the set");
+        for k in [0u64, 1, 31, 32, 33, 1 << 40, u64::MAX, 7] {
+            assert!(s.contains(k), "{k} must be present");
+        }
+        assert!(!s.contains(2));
+        assert!(!s.contains(1 << 41));
+    }
+
+    #[test]
+    fn clones_are_independent_snapshots() {
+        let mut a = PSet::new();
+        for k in 0..100 {
+            a.insert(k);
+        }
+        let snapshot = a.clone();
+        for k in 100..200 {
+            a.insert(k);
+        }
+        assert_eq!(snapshot.len(), 100);
+        assert!(
+            !snapshot.contains(150),
+            "snapshot must not see later inserts"
+        );
+        assert!(a.contains(150));
+        assert!(a.contains(50));
+    }
+
+    #[test]
+    fn dense_and_sparse_keys() {
+        let mut s = PSet::new();
+        // Dense sequential ids (the interner's actual distribution) plus
+        // adversarial high-bit patterns.
+        for k in 0..10_000u64 {
+            assert!(s.insert(k));
+        }
+        for k in (0..64).map(|i| 1u64 << i) {
+            s.insert(k);
+        }
+        assert!(s.contains(9_999));
+        assert!(s.contains(1 << 63));
+        assert!(!s.contains(10_001 + (1 << 50)));
+        for k in 0..10_000u64 {
+            assert!(!s.insert(k), "re-insert of {k} must report present");
+        }
+    }
+}

@@ -141,13 +141,15 @@ fn classify(env: &TypeEnv, e: Expr, atoms: &mut Atoms) -> bool {
     match e {
         Expr::Val(Value::Bool(true)) => true,
         Expr::Val(Value::Bool(false)) => false,
-        Expr::Bin(BinOp::And, a, b) => classify(env, *a, atoms) && classify(env, *b, atoms),
+        Expr::Bin(BinOp::And, a, b) => {
+            classify(env, (*a).clone(), atoms) && classify(env, (*b).clone(), atoms)
+        }
         Expr::Bin(BinOp::Or, a, b) => {
-            atoms.ors.push((*a, *b));
+            atoms.ors.push(((*a).clone(), (*b).clone()));
             true
         }
         Expr::Bin(BinOp::Eq, a, b) => {
-            atoms.eqs.push((*a, *b));
+            atoms.eqs.push(((*a).clone(), (*b).clone()));
             true
         }
         Expr::Bin(op @ (BinOp::Lt | BinOp::Leq), a, b) => {
@@ -155,32 +157,32 @@ fn classify(env: &TypeEnv, e: Expr, atoms: &mut Atoms) -> bool {
             let ta = infer(env, &a);
             let tb = infer(env, &b);
             if ta == Some(TypeTag::Int) || tb == Some(TypeTag::Int) {
-                atoms.int_cmps.push((*a, *b, strict));
+                atoms.int_cmps.push(((*a).clone(), (*b).clone(), strict));
             } else if let Expr::Val(Value::Num(x)) = b.as_ref() {
                 let x = x.get();
-                atoms.num_cmps.push((*a, x, true, strict));
+                atoms.num_cmps.push(((*a).clone(), x, true, strict));
             } else if let Expr::Val(Value::Num(x)) = a.as_ref() {
                 let x = x.get();
-                atoms.num_cmps.push((*b, x, false, strict));
+                atoms.num_cmps.push(((*b).clone(), x, false, strict));
             } else {
                 // Generic ordering edge: cycle detection is sound in any
                 // total order (Num comparisons also imply non-NaN), and
                 // integer-specific grounding only triggers on Int literals,
                 // which cannot reach non-Int terms.
-                atoms.int_cmps.push((*a, *b, strict));
+                atoms.int_cmps.push(((*a).clone(), (*b).clone(), strict));
             }
             true
         }
-        Expr::Un(UnOp::Not, inner) => match *inner {
+        Expr::Un(UnOp::Not, inner) => match inner.expr().clone() {
             Expr::Bin(BinOp::Eq, a, b) => {
-                atoms.neqs.push((*a, *b));
+                atoms.neqs.push(((*a).clone(), (*b).clone()));
                 true
             }
             Expr::Bin(BinOp::Or, a, b) => {
-                classify(env, a.not(), atoms) && classify(env, b.not(), atoms)
+                classify(env, (*a).clone().not(), atoms) && classify(env, (*b).clone().not(), atoms)
             }
             Expr::Bin(BinOp::And, a, b) => {
-                atoms.ors.push((a.not(), b.not()));
+                atoms.ors.push(((*a).clone().not(), (*b).clone().not()));
                 true
             }
             other => {
@@ -263,7 +265,7 @@ fn check_rec(
         let mut changed = false;
         let mut requeue: Vec<Expr> = Vec::new();
         for (a, b) in std::mem::take(&mut atoms.neqs) {
-            let e = rewrite(&Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b)), &uf);
+            let e = rewrite(&Expr::Bin(BinOp::Eq, a.into(), b.into()), &uf);
             match e.as_bool() {
                 Some(true) => return SatResult::Unsat,
                 Some(false) => {}
@@ -272,7 +274,7 @@ fn check_rec(
                         if uf.same_class(&a, &b) {
                             return SatResult::Unsat;
                         }
-                        atoms.neqs.push((*a, *b));
+                        atoms.neqs.push(((*a).clone(), (*b).clone()));
                     } else {
                         requeue.push(e.not());
                         changed = true;
@@ -282,13 +284,15 @@ fn check_rec(
         }
         for (a, b, strict) in std::mem::take(&mut atoms.int_cmps) {
             let op = if strict { BinOp::Lt } else { BinOp::Leq };
-            let e = rewrite(&Expr::Bin(op, Box::new(a), Box::new(b)), &uf);
+            let e = rewrite(&Expr::Bin(op, a.into(), b.into()), &uf);
             match e.as_bool() {
                 Some(true) => {}
                 Some(false) => return SatResult::Unsat,
                 None => {
                     if let Expr::Bin(op2 @ (BinOp::Lt | BinOp::Leq), a, b) = e {
-                        atoms.int_cmps.push((*a, *b, op2 == BinOp::Lt));
+                        atoms
+                            .int_cmps
+                            .push(((*a).clone(), (*b).clone(), op2 == BinOp::Lt));
                     } else {
                         requeue.push(e);
                         changed = true;
@@ -344,17 +348,18 @@ fn check_rec(
                 let substituted = match e {
                     Expr::Un(op, x) => Expr::Un(
                         *op,
-                        Box::new(x.subst(&|s| {
+                        x.subst(&|s| {
                             let r = uf.repr(s);
                             (r != *s).then_some(r)
-                        })),
+                        })
+                        .into(),
                     ),
                     Expr::Bin(op, x, y) => {
                         let f = |s: &Expr| {
                             let r = uf.repr(s);
                             (r != *s).then_some(r)
                         };
-                        Expr::Bin(*op, Box::new(x.subst(&f)), Box::new(y.subst(&f)))
+                        Expr::Bin(*op, x.subst(&f).into(), y.subst(&f).into())
                     }
                     leaf => leaf.clone(),
                 };

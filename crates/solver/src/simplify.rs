@@ -107,7 +107,7 @@ pub fn simplify_basic(e: &Expr) -> Expr {
                     return Expr::Val(folded);
                 }
             }
-            Expr::Un(*op, Box::new(inner))
+            Expr::Un(*op, inner.into())
         }
         Expr::Bin(op, a, b) => {
             let a = simplify_basic(a);
@@ -117,7 +117,7 @@ pub fn simplify_basic(e: &Expr) -> Expr {
                     return Expr::Val(folded);
                 }
             }
-            Expr::Bin(*op, Box::new(a), Box::new(b))
+            Expr::Bin(*op, a.into(), b.into())
         }
         Expr::List(es) => promote_list(es.iter().map(simplify_basic).collect()),
         Expr::StrCat(es) => {
@@ -128,7 +128,7 @@ pub fn simplify_basic(e: &Expr) -> Expr {
                     return Expr::Val(v);
                 }
             }
-            Expr::StrCat(es)
+            Expr::StrCat(es.into())
         }
         Expr::LstCat(es) => {
             let es: Vec<Expr> = es.iter().map(simplify_basic).collect();
@@ -138,7 +138,7 @@ pub fn simplify_basic(e: &Expr) -> Expr {
                     return Expr::Val(v);
                 }
             }
-            Expr::LstCat(es)
+            Expr::LstCat(es.into())
         }
     }
 }
@@ -173,7 +173,7 @@ fn promote_list(es: Vec<Expr>) -> Expr {
             es.iter().map(|e| e.as_value().unwrap().clone()).collect(),
         ))
     } else {
-        Expr::List(es)
+        Expr::List(es.into())
     }
 }
 
@@ -203,9 +203,9 @@ fn simp_strcat(es: Vec<Expr>) -> Expr {
             // A lone non-string operand must keep its s-cat wrapper: s-cat
             // of a non-string is an error, the operand alone is not.
             Expr::Val(Value::Str(_)) => out.pop().unwrap(),
-            _ => Expr::StrCat(out),
+            _ => Expr::StrCat(out.into()),
         },
-        _ => Expr::StrCat(out),
+        _ => Expr::StrCat(out.into()),
     }
 }
 
@@ -222,7 +222,7 @@ fn simp_lstcat(es: Vec<Expr>) -> Expr {
         // Parts constructed internally (e.g. by the cons rule) may be
         // unpromoted literal lists.
         let e = match e {
-            Expr::List(es) => promote_list(es),
+            Expr::List(es) => promote_list(es.to_vec()),
             other => other,
         };
         let is_empty_lit = matches!(&e, Expr::Val(Value::List(vs)) if vs.is_empty())
@@ -237,10 +237,14 @@ fn simp_lstcat(es: Vec<Expr>) -> Expr {
                 prev.extend(vs);
             }
             (Expr::Val(Value::List(vs)), Some(Expr::List(prev))) => {
-                prev.extend(vs.into_iter().map(Expr::Val));
+                let mut merged = prev.to_vec();
+                merged.extend(vs.into_iter().map(Expr::Val));
+                *prev = merged.into();
             }
             (Expr::List(es2), Some(Expr::List(prev))) => {
-                prev.extend(es2);
+                let mut merged = prev.to_vec();
+                merged.extend(es2);
+                *prev = merged.into();
             }
             (Expr::List(es2), Some(p @ Expr::Val(Value::List(_)))) => {
                 let Expr::Val(Value::List(vs)) = p.clone() else {
@@ -248,7 +252,7 @@ fn simp_lstcat(es: Vec<Expr>) -> Expr {
                 };
                 let mut merged: Vec<Expr> = vs.into_iter().map(Expr::Val).collect();
                 merged.extend(es2);
-                *p = Expr::List(merged);
+                *p = Expr::List(merged.into());
             }
             (e, _) => out.push(e),
         }
@@ -258,13 +262,13 @@ fn simp_lstcat(es: Vec<Expr>) -> Expr {
         1 => match &out[0] {
             Expr::Val(Value::List(_)) => out.pop().unwrap(),
             Expr::List(_) => promote_list(match out.pop().unwrap() {
-                Expr::List(es) => es,
+                Expr::List(es) => es.to_vec(),
                 _ => unreachable!(),
             }),
             // A lone non-list operand keeps its l-cat wrapper (see s-cat).
-            _ => Expr::LstCat(out),
+            _ => Expr::LstCat(out.into()),
         },
-        _ => Expr::LstCat(out),
+        _ => Expr::LstCat(out.into()),
     }
 }
 
@@ -274,7 +278,7 @@ fn simp_un(env: &TypeEnv, op: UnOp, inner: Expr) -> Expr {
         if let Ok(folded) = eval_unop(op, v) {
             return val(folded);
         }
-        return Expr::Un(op, Box::new(inner));
+        return Expr::Un(op, inner.into());
     }
     match (op, &inner) {
         (UnOp::Not, Expr::Un(UnOp::Not, e)) => return (**e).clone(),
@@ -345,7 +349,7 @@ fn simp_un(env: &TypeEnv, op: UnOp, inner: Expr) -> Expr {
         }
         _ => {}
     }
-    Expr::Un(op, Box::new(inner))
+    Expr::Un(op, inner.into())
 }
 
 /// Splits `e` viewed as `base + c` with `c` a literal `Int` (0 otherwise).
@@ -364,7 +368,7 @@ fn simp_bin(env: &TypeEnv, op: BinOp, a: Expr, b: Expr) -> Expr {
         if let Ok(folded) = eval_binop(op, x, y) {
             return val(folded);
         }
-        return Expr::Bin(op, Box::new(a), Box::new(b));
+        return Expr::Bin(op, a.into(), b.into());
     }
     match op {
         BinOp::Eq => return simp_eq(env, a, b),
@@ -506,7 +510,7 @@ fn simp_bin(env: &TypeEnv, op: BinOp, a: Expr, b: Expr) -> Expr {
         }
         BinOp::LstCons => {
             // cons(v, l) → l-cat({{v}}, l): lets the l-cat rules merge.
-            return simp_lstcat(vec![Expr::List(vec![a]), b]);
+            return simp_lstcat(vec![Expr::List(vec![a].into()), b]);
         }
         BinOp::LstSub => {
             if let (Expr::List(es), Some(i)) = (&a, b.as_int()) {
@@ -517,20 +521,20 @@ fn simp_bin(env: &TypeEnv, op: BinOp, a: Expr, b: Expr) -> Expr {
         }
         _ => {}
     }
-    Expr::Bin(op, Box::new(a), Box::new(b))
+    Expr::Bin(op, a.into(), b.into())
 }
 
 fn add_offset(base: Expr, c: i64) -> Expr {
     if c == 0 {
         base
     } else {
-        Expr::Bin(BinOp::Add, Box::new(base), Box::new(Expr::int(c)))
+        Expr::Bin(BinOp::Add, base.into(), Expr::int(c).into())
     }
 }
 
 fn list_parts(e: &Expr) -> Option<Vec<Expr>> {
     match e {
-        Expr::List(es) => Some(es.clone()),
+        Expr::List(es) => Some(es.to_vec()),
         Expr::Val(Value::List(vs)) => Some(vs.iter().cloned().map(Expr::Val).collect()),
         _ => None,
     }
@@ -546,7 +550,7 @@ fn simp_eq(env: &TypeEnv, a: Expr, b: Expr) -> Expr {
             if is_total(env, &a) && is_total(env, &b) {
                 return bool_e(false);
             }
-            return Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b));
+            return Expr::Bin(BinOp::Eq, a.into(), b.into());
         }
     }
     // Structural list decomposition.
@@ -602,7 +606,7 @@ fn simp_eq(env: &TypeEnv, a: Expr, b: Expr) -> Expr {
         (_, Expr::LVar(_)) if !matches!(a, Expr::LVar(_)) => (b, a),
         _ => (a, b),
     };
-    Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b))
+    Expr::Bin(BinOp::Eq, a.into(), b.into())
 }
 
 #[cfg(test)]
@@ -700,14 +704,14 @@ mod tests {
     #[test]
     fn lstcat_flattens_and_merges() {
         let x = Expr::lvar(LVar(0));
-        let e = Expr::LstCat(vec![
+        let e = Expr::lstcat_of(vec![
             Expr::list([Expr::int(1)]),
-            Expr::LstCat(vec![Expr::list([Expr::int(2)]), x.clone()]),
+            Expr::lstcat_of(vec![Expr::list([Expr::int(2)]), x.clone()]),
         ]);
         let out = s(&e);
         assert_eq!(
             out,
-            Expr::LstCat(vec![
+            Expr::lstcat_of(vec![
                 Expr::Val(Value::List(vec![Value::Int(1), Value::Int(2)])),
                 x.clone()
             ])
@@ -716,14 +720,15 @@ mod tests {
         let c = Expr::int(0).cons(x.clone());
         assert_eq!(
             s(&c),
-            Expr::LstCat(vec![Expr::Val(Value::List(vec![Value::Int(0)])), x])
+            Expr::lstcat_of(vec![Expr::Val(Value::List(vec![Value::Int(0)])), x])
         );
     }
 
     #[test]
     fn lstlen_of_cat_folds() {
         let x = Expr::lvar(LVar(0));
-        let e = Expr::LstCat(vec![Expr::list([Expr::int(1), Expr::int(2)]), x.clone()]).lst_len();
+        let e =
+            Expr::lstcat_of(vec![Expr::list([Expr::int(1), Expr::int(2)]), x.clone()]).lst_len();
         assert_eq!(s(&e), x.lst_len().add(Expr::int(2)));
     }
 
@@ -777,7 +782,7 @@ mod tests {
         let samples = vec![
             x.clone().add(Expr::int(1)).add(Expr::int(2)),
             x.clone().eq(Expr::int(3)).not(),
-            Expr::LstCat(vec![Expr::list([x.clone()]), Expr::nil()]),
+            Expr::lstcat_of(vec![Expr::list([x.clone()]), Expr::nil()]),
             x.clone().lt(Expr::int(10)).and(Expr::int(0).le(x.clone())),
         ];
         for e in samples {

@@ -9,15 +9,18 @@
 
 use crate::interrupt::Interrupt;
 use crate::model::{find_model, Model, ModelBudget};
-use crate::pathcond::PathCondition;
+use crate::pathcond::{PathCondition, PcEnv, PcKey};
 use crate::sat::{check_conjunction, SatBudget, SatResult};
 use crate::simplify;
-use crate::typing::{absorb_type_fact, TypeEnv};
 use gillian_gil::Expr;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+
+/// `HashMap` with the deterministic Fx hasher (see `gillian_gil::hashing`).
+type FxHashMap<K, V> = HashMap<K, V, gillian_gil::FxBuildHasher>;
+/// `HashMap` for keys that already carry a precomputed hash.
+type PrehashedMap<K, V> = HashMap<K, V, gillian_gil::PrehashedBuildHasher>;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Locks a mutex, tolerating poison.
 ///
@@ -113,6 +116,8 @@ pub struct SolverStats {
     pub simplifications: u64,
     /// Model searches attempted.
     pub model_searches: u64,
+    /// Simplifications answered from the term-id-keyed memo table.
+    pub simplify_hits: u64,
     /// Queries that ended in [`SatResult::Unknown`] — budget exhaustion,
     /// deadline expiry, or cancellation. Every such verdict weakens the
     /// bounded guarantee (the engine keeps the branch rather than proving
@@ -129,29 +134,81 @@ const CACHE_SHARDS: usize = 16;
 /// A sharded, thread-safe memo table from canonicalized conjunct sets to
 /// satisfiability verdicts.
 ///
-/// Keys come from [`PathCondition::cache_key`], which sorts and
-/// deduplicates conjuncts — so two sibling paths that accumulated the same
-/// constraints in different orders (common under the parallel explorer,
-/// where subtree exploration order is nondeterministic) still share one
-/// cache entry. Sharding by key hash lets concurrent workers probe and
-/// fill the cache without serializing on a single lock.
+/// Keys come from [`PathCondition::cache_key`]: the sorted, deduplicated
+/// **intern ids** of the conjunct set, with a precomputed hash — so two
+/// sibling paths that accumulated the same constraints in different
+/// orders (common under the parallel explorer, where subtree exploration
+/// order is nondeterministic) still share one cache entry, and probing
+/// never re-hashes whole expression trees. Sharding by the precomputed
+/// hash lets concurrent workers probe and fill the cache without
+/// serializing on a single lock.
 #[derive(Debug, Default)]
 struct SatCache {
-    shards: [Mutex<HashMap<Vec<Expr>, SatResult>>; CACHE_SHARDS],
+    shards: [Mutex<PrehashedMap<PcKey, SatResult>>; CACHE_SHARDS],
 }
 
 impl SatCache {
-    fn shard(&self, key: &[Expr]) -> &Mutex<HashMap<Vec<Expr>, SatResult>> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    fn shard(&self, key: &PcKey) -> &Mutex<PrehashedMap<PcKey, SatResult>> {
+        &self.shards[(key.precomputed_hash() as usize) % CACHE_SHARDS]
     }
 
-    fn get(&self, key: &[Expr]) -> Option<SatResult> {
+    fn get(&self, key: &PcKey) -> Option<SatResult> {
         lock_unpoisoned(self.shard(key)).get(key).copied()
     }
 
-    fn insert(&self, key: Vec<Expr>, result: SatResult) {
+    fn insert(&self, key: PcKey, result: SatResult) {
+        lock_unpoisoned(self.shard(&key)).insert(key, result);
+    }
+}
+
+/// A sharded memo table for the full simplifier, keyed **exactly** on
+/// `(typing environment, expression)`. The result of a full
+/// simplification depends on the path condition only through the typing
+/// environment it induces ([`PcEnv`], memoized on the condition itself),
+/// so entries survive path-condition growth that adds no new type facts —
+/// the common case along a path — and are shared across branches with
+/// different conditions but equal typing. Both key components compare by
+/// full content/identity, never by hash alone: `PcEnv` equality checks
+/// the sorted contents and `Expr` equality compares interned children by
+/// pointer, so a hit is guaranteed to be the same rewrite under the same
+/// environment. The `Expr` key also keeps its interned subterms alive, so
+/// re-evaluating the same program expression later reuses the same nodes
+/// and hits this memo instead of re-simplifying.
+#[derive(Debug, Default)]
+struct SimplifyCache {
+    shards: [Mutex<FxHashMap<SimpKey, Expr>>; CACHE_SHARDS],
+}
+
+/// The exact identity of one simplifier query. Hashing is O(1) in the
+/// expression depth: the environment hash is precomputed and the
+/// expression hashes shallowly through its interned children's cached
+/// hashes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SimpKey {
+    env: Arc<PcEnv>,
+    expr: Expr,
+}
+
+impl std::hash::Hash for SimpKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.env.fingerprint());
+        self.expr.hash(state);
+    }
+}
+
+impl SimplifyCache {
+    fn shard(&self, key: &SimpKey) -> &Mutex<FxHashMap<SimpKey, Expr>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = gillian_gil::hashing::FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &SimpKey) -> Option<Expr> {
+        lock_unpoisoned(self.shard(key)).get(key).cloned()
+    }
+
+    fn insert(&self, key: SimpKey, result: Expr) {
         lock_unpoisoned(self.shard(&key)).insert(key, result);
     }
 }
@@ -167,6 +224,7 @@ impl SatCache {
 pub struct Solver {
     config: SolverConfig,
     cache: SatCache,
+    simplify_cache: SimplifyCache,
     /// The run-level interrupt installed by the exploration engine (see
     /// [`Solver::set_interrupt`]). One exploration at a time per solver:
     /// installing a new interrupt replaces the previous one.
@@ -176,6 +234,7 @@ pub struct Solver {
     simplifications: AtomicU64,
     model_searches: AtomicU64,
     sat_unknowns: AtomicU64,
+    simplify_hits: AtomicU64,
 }
 
 /// Compile-time guarantee that the solver can be shared across the
@@ -223,6 +282,7 @@ impl Solver {
             simplifications: self.simplifications.load(Ordering::Relaxed),
             model_searches: self.model_searches.load(Ordering::Relaxed),
             sat_unknowns: self.sat_unknowns.load(Ordering::Relaxed),
+            simplify_hits: self.simplify_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -257,6 +317,13 @@ impl Solver {
 
     /// Simplifies an expression under the typing facts of `pc` (identity
     /// when simplification is disabled).
+    ///
+    /// Full-tier results are memoized keyed on `(pc cache key, interned
+    /// id of e)` — both exact identities, so a hit is guaranteed to be
+    /// the same rewrite under the same typing environment. On the hot
+    /// path (the interpreter simplifies every stored expression) sibling
+    /// branches share most of their path condition and re-simplify the
+    /// same guards, so the hit rate is high.
     pub fn simplify(&self, pc: &PathCondition, e: &Expr) -> Expr {
         match self.config.simplification {
             Simplification::Off => return e.clone(),
@@ -267,16 +334,29 @@ impl Solver {
             Simplification::Full => {}
         }
         self.simplifications.fetch_add(1, Ordering::Relaxed);
-        let mut env = TypeEnv::new();
-        for c in pc.conjuncts() {
-            let _ = absorb_type_fact(&mut env, c);
+        let key = SimpKey {
+            env: pc.typing_env(),
+            expr: e.clone(),
+        };
+        if self.config.caching {
+            if let Some(hit) = self.simplify_cache.get(&key) {
+                self.simplify_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
         }
         // Operator usage pins types: GIL operators are strict, so every
         // subterm of an expression that evaluates must itself evaluate —
-        // usage facts from `e` itself are sound for rewriting `e`.
-        crate::sat::absorb_usage_types_pub(&mut env, pc.conjuncts());
+        // usage facts from `e` itself are sound for rewriting `e`. (The
+        // memo key stays exact: given the environment in the key, the
+        // final environment is a function of `e`, which is also in the
+        // key.)
+        let mut env = key.env.env().clone();
         crate::sat::absorb_usage_types_pub(&mut env, std::slice::from_ref(e));
-        simplify::simplify(&env, e)
+        let result = simplify::simplify(&env, e);
+        if self.config.caching {
+            self.simplify_cache.insert(key, result.clone());
+        }
+        result
     }
 
     /// Checks satisfiability of a path condition.
@@ -309,7 +389,11 @@ impl Solver {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        let result = check_conjunction(&key, budget);
+        // The checker sees conjuncts in *structural* order: id order is
+        // mint-order and would leak the exploration schedule into
+        // verdict-affecting heuristics (case-split order etc.).
+        let conjuncts = pc.sorted_conjuncts();
+        let result = check_conjunction(&conjuncts, budget);
         if result == SatResult::Unknown {
             self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
         } else if self.config.caching {
@@ -340,7 +424,7 @@ impl Solver {
             return None;
         }
         self.model_searches.fetch_add(1, Ordering::Relaxed);
-        find_model(pc.conjuncts(), self.config.model_budget)
+        find_model(&pc.conjuncts(), self.config.model_budget)
     }
 }
 

@@ -40,9 +40,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (inner.clone(), arb_unop()).prop_map(|(e, op)| e.un(op)),
             (inner.clone(), inner.clone(), arb_binop()).prop_map(|(a, b, op)| a.bin(op, b)),
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::StrCat),
-            proptest::collection::vec(inner, 1..3).prop_map(Expr::LstCat),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::list),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Expr::strcat_of),
+            proptest::collection::vec(inner, 1..3).prop_map(Expr::lstcat_of),
         ]
     })
 }

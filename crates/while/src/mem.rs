@@ -144,7 +144,7 @@ impl WhileSymMemory {
 
 fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
     let parts: Option<Vec<Expr>> = match arg {
-        Expr::List(es) if es.len() == n => Some(es.clone()),
+        Expr::List(es) if es.len() == n => Some(es.to_vec()),
         Expr::Val(Value::List(vs)) if vs.len() == n => {
             Some(vs.iter().cloned().map(Expr::Val).collect())
         }

@@ -183,4 +183,11 @@ fn main() {
         d.deadline_hits,
         out.bounded()
     );
+
+    // Hash-consing telemetry: the cumulative interner picture after every
+    // probe above, plus the slice attributed to the last run alone (from
+    // its diagnostics delta).
+    let total = gillian::gil::InternStats::snapshot();
+    println!("interner/total         {total}");
+    println!("interner/last-run      {}", d.interner);
 }
