@@ -773,6 +773,10 @@ fn push_branch<M>(
 }
 
 impl SymbolicMemory for CSymMemory {
+    fn language() -> &'static str {
+        "minic"
+    }
+
     fn execute_action(
         &self,
         name: &str,

@@ -46,6 +46,7 @@ use crate::panic_guard;
 use crate::state::GilState;
 use gillian_gil::{InternStats, Prog};
 use gillian_solver::{CancelToken, Interrupt};
+use gillian_telemetry::{registry, Event, Journal, Report, TreeStats};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -115,6 +116,13 @@ pub struct ExploreConfig {
     /// as truncated and counted in [`ExploreDiagnostics::cancellations`].
     /// The default is a fresh, never-cancelled token.
     pub cancel: CancelToken,
+    /// The run's event journal. The default is [`Journal::from_env`]:
+    /// disabled (free) unless `GILLIAN_TRACE`/`GILLIAN_TRACE_CHROME` is
+    /// set, in which case every run journals path lifecycle, sat
+    /// queries, and memory actions, and appends the merged trace to the
+    /// configured sinks at explore end. Tests and embedders can install
+    /// an explicit journal (e.g. [`Journal::enabled`]) instead.
+    pub journal: Journal,
 }
 
 impl ExploreConfig {
@@ -136,6 +144,7 @@ impl Default for ExploreConfig {
             workers: 1,
             deadline: None,
             cancel: CancelToken::new(),
+            journal: Journal::from_env(),
         }
     }
 }
@@ -164,6 +173,19 @@ pub enum ExploreOutcome<V> {
         /// state — the true final state was lost to the unwind.
         trace: Vec<u32>,
     },
+}
+
+impl<V> ExploreOutcome<V> {
+    /// The journal/JSONL spelling of this outcome kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExploreOutcome::Normal(_) => "normal",
+            ExploreOutcome::Error(_) => "error",
+            ExploreOutcome::Vanished => "vanished",
+            ExploreOutcome::Truncated => "truncated",
+            ExploreOutcome::EngineError { .. } => "engine_error",
+        }
+    }
 }
 
 impl<V> From<Outcome<V>> for ExploreOutcome<V> {
@@ -207,11 +229,16 @@ pub struct ExploreDiagnostics {
     /// while "no bug found" weakens from the budget-bounded guarantee to
     /// one also conditioned on those undecided queries.
     pub unknown_verdicts: u64,
-    /// Interner activity attributed to this run (nodes minted, hash-cons
-    /// hits, live-node delta), recorded as the difference of global
-    /// [`InternStats`] snapshots taken around the exploration. Telemetry
-    /// only: interner traffic never weakens a verdict, so these counters
-    /// do not affect [`ExploreDiagnostics::is_clean`].
+    /// Interner activity attributed to this run: the sum of **per-worker
+    /// thread-local** [`InternStats`] deltas (the serial engine's single
+    /// thread, or every worker of the parallel engine), with `live`
+    /// read globally at run end. Thread deltas make the attribution
+    /// exact — diffing the process-global counters would fold in every
+    /// other exploration running concurrently in the process (and, under
+    /// the parallel engine, double-count the run's own traffic when
+    /// worker snapshots were summed). Telemetry only: interner traffic
+    /// never weakens a verdict, so these counters do not affect
+    /// [`ExploreDiagnostics::is_clean`].
     pub interner: InternStats,
 }
 
@@ -244,6 +271,11 @@ pub struct ExploreResult<S: GilState> {
     /// What, if anything, degraded this run (deadlines, cancellation,
     /// isolated panics, undecided solver queries).
     pub diagnostics: ExploreDiagnostics,
+    /// The run's exploration profile: metric deltas, branch-tree shape,
+    /// and — when the journal was enabled — slowest sat queries and the
+    /// per-language action table. Render with [`Report::render`];
+    /// library code never prints it.
+    pub report: Report,
 }
 
 impl<S: GilState> ExploreResult<S> {
@@ -283,20 +315,47 @@ impl<S: GilState> ExploreResult<S> {
             truncated: false,
             dropped_paths: 0,
             diagnostics: ExploreDiagnostics::default(),
+            report: Report::default(),
         }
     }
 
     /// Records a path without ever exceeding `max_paths`: overflow is
     /// counted in [`ExploreResult::dropped_paths`] and marks the result
-    /// truncated.
-    fn record(&mut self, max_paths: usize, path: PathResult<S>) {
+    /// truncated. Returns whether the path was recorded, so callers can
+    /// journal a `PathFinished` for exactly the reported paths.
+    fn record(&mut self, max_paths: usize, path: PathResult<S>) -> bool {
         if self.paths.len() < max_paths {
             self.paths.push(path);
+            true
         } else {
             self.dropped_paths += 1;
             self.truncated = true;
+            false
         }
     }
+}
+
+/// Shared tail of both engines: merges the journal, exports it, and
+/// fills in the run's [`Report`].
+fn finish_report<S: GilState>(
+    result: &mut ExploreResult<S>,
+    journal: &Journal,
+    traces: &[Vec<u32>],
+    metrics_before: &gillian_telemetry::MetricsSnapshot,
+    run_started: Instant,
+    workers: u32,
+) {
+    if journal.is_enabled() {
+        let merged = journal.finish_run();
+        result
+            .report
+            .ingest_events(&merged, journal.events_dropped());
+        result.report.trace_path = journal.jsonl_path().map(String::from);
+    }
+    result.report.wall_micros = run_started.elapsed().as_micros() as u64;
+    result.report.workers = workers;
+    result.report.tree = TreeStats::from_paths(traces.iter().map(Vec::as_slice));
+    result.report.metrics = registry().snapshot().since(metrics_before);
 }
 
 /// Why the main loop stopped early (beyond budget exhaustion, which keeps
@@ -325,14 +384,24 @@ pub fn explore<S: GilState>(
     initial: S,
     cfg: ExploreConfig,
 ) -> ExploreResult<S> {
-    let deadline = cfg.deadline.map(|d| Instant::now() + d);
+    let run_started = Instant::now();
+    let deadline = cfg.deadline.map(|d| run_started + d);
     // A pristine clone of the initial state: it arms/disarms the solver
     // interrupt, provides the Unknown-verdict counter, and stands in as
     // the reported state of paths whose true state was lost to a panic.
     let sentinel = initial.clone();
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
+    let journal = cfg.journal.clone();
+    sentinel.install_journal(journal.clone());
     let unknowns_before = sentinel.unknown_verdicts();
-    let interner_before = InternStats::snapshot();
+    // Thread-local snapshot: the whole run executes on this thread, so
+    // the delta attributes exactly this run's interner traffic.
+    let interner_before = InternStats::thread_snapshot();
+    let metrics_before = registry().snapshot();
+    let mut log = journal.worker(0);
+    log.emit_with(|| Event::PathStarted { path: Vec::new() });
+    // Branch traces of every *recorded* path, for the report's tree stats.
+    let mut traces: Vec<Vec<u32>> = Vec::new();
 
     struct Item<S: GilState> {
         config: Config<S>,
@@ -356,6 +425,7 @@ pub fn explore<S: GilState>(
             break;
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
+            log.emit_with(|| Event::DeadlineHit { path: Vec::new() });
             stop_cause = Some(StopCause::Deadline);
             break;
         }
@@ -369,14 +439,21 @@ pub fn explore<S: GilState>(
         };
         if cmds >= cfg.max_cmds_per_path {
             result.truncated = true;
-            result.record(
+            if result.record(
                 cfg.max_paths,
                 PathResult {
                     state: config.state,
                     outcome: ExploreOutcome::Truncated,
                     cmds,
                 },
-            );
+            ) {
+                log.emit_with(|| Event::PathFinished {
+                    path: trace.clone(),
+                    outcome: "truncated",
+                    cmds,
+                });
+                traces.push(trace);
+            }
             continue;
         }
         result.total_cmds += 1;
@@ -385,23 +462,44 @@ pub fn explore<S: GilState>(
             Err(payload) => {
                 result.truncated = true;
                 result.diagnostics.engine_errors += 1;
+                log.emit_with(|| Event::PanicIsolated {
+                    path: trace.clone(),
+                    payload: payload.clone(),
+                });
                 // The sentinel clone itself may panic (a poisoned user
                 // Clone impl); then the path is counted but has no state
                 // to report.
                 if let Ok(state) = panic_guard::catch(|| sentinel.clone()) {
-                    result.record(
+                    if result.record(
                         cfg.max_paths,
                         PathResult {
                             state,
-                            outcome: ExploreOutcome::EngineError { payload, trace },
+                            outcome: ExploreOutcome::EngineError {
+                                payload,
+                                trace: trace.clone(),
+                            },
                             cmds: cmds + 1,
                         },
-                    );
+                    ) {
+                        log.emit_with(|| Event::PathFinished {
+                            path: trace.clone(),
+                            outcome: "engine_error",
+                            cmds: cmds + 1,
+                        });
+                        traces.push(trace);
+                    }
                 }
                 continue;
             }
         };
         let branching = outs.len() > 1;
+        if branching {
+            let arms = outs.len() as u32;
+            log.emit_with(|| Event::PathForked {
+                parent: trace.clone(),
+                arms,
+            });
+        }
         for (i, out) in outs.into_iter().enumerate() {
             let child_trace = if branching {
                 let mut t = trace.clone();
@@ -424,40 +522,71 @@ pub fn explore<S: GilState>(
                     }
                 }
                 StepOut::Done(Final { state, outcome }) => {
-                    result.record(
+                    let outcome: ExploreOutcome<_> = outcome.into();
+                    let kind = outcome.kind();
+                    if result.record(
                         cfg.max_paths,
                         PathResult {
                             state,
-                            outcome: outcome.into(),
+                            outcome,
                             cmds: cmds + 1,
                         },
-                    );
+                    ) {
+                        log.emit_with(|| Event::PathFinished {
+                            path: child_trace.clone(),
+                            outcome: kind,
+                            cmds: cmds + 1,
+                        });
+                        traces.push(child_trace);
+                    }
                 }
             }
         }
     }
     // A budget/deadline/cancel break leaves pending configurations behind;
     // surface every one of them instead of losing them.
-    while let Some(Item { config, cmds, .. }) = pop(&mut worklist, cfg.strategy) {
+    while let Some(Item {
+        config,
+        cmds,
+        trace,
+    }) = pop(&mut worklist, cfg.strategy)
+    {
         result.truncated = true;
         match stop_cause {
             Some(StopCause::Deadline) => result.diagnostics.deadline_hits += 1,
             Some(StopCause::Cancelled) => result.diagnostics.cancellations += 1,
             None => {}
         }
-        result.record(
+        if result.record(
             cfg.max_paths,
             PathResult {
                 state: config.state,
                 outcome: ExploreOutcome::Truncated,
                 cmds,
             },
-        );
+        ) {
+            log.emit_with(|| Event::PathFinished {
+                path: trace.clone(),
+                outcome: "truncated",
+                cmds,
+            });
+            traces.push(trace);
+        }
     }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
-    result.diagnostics.interner = InternStats::snapshot().since(&interner_before);
+    result.diagnostics.interner = InternStats::thread_snapshot().since(&interner_before);
+    drop(log);
+    finish_report(
+        &mut result,
+        &journal,
+        &traces,
+        &metrics_before,
+        run_started,
+        1,
+    );
+    sentinel.clear_journal();
     result
 }
 
@@ -565,15 +694,24 @@ impl<S: GilState> Drop for InFlightToken<'_, S> {
 }
 
 /// What one worker produced: finished paths and jobs cut off mid-path by a
-/// global budget, both tagged with their branch trace for merging.
-type WorkerYield<S> = (Vec<(Vec<u32>, PathResult<S>)>, Vec<Job<S>>);
+/// global budget (both tagged with their branch trace for merging), plus
+/// the worker thread's own interner delta for exact run attribution.
+struct WorkerYield<S: GilState> {
+    finished: Vec<(Vec<u32>, PathResult<S>)>,
+    cut: Vec<Job<S>>,
+    interner: InternStats,
+}
 
 fn explore_worker<S: GilState>(
     prog: &Prog,
     cfg: &ExploreConfig,
     shared: &SharedExplorer<S>,
     sentinel: S,
+    worker: u32,
+    journal: &Journal,
 ) -> WorkerYield<S> {
+    let interner_before = InternStats::thread_snapshot();
+    let mut log = journal.worker(worker);
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut cut: Vec<Job<S>> = Vec::new();
     loop {
@@ -588,7 +726,11 @@ fn explore_worker<S: GilState>(
                 }
                 if q.in_flight == 0 {
                     shared.work.notify_all();
-                    return (finished, cut);
+                    return WorkerYield {
+                        finished,
+                        cut,
+                        interner: InternStats::thread_snapshot().since(&interner_before),
+                    };
                 }
                 q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
@@ -607,6 +749,9 @@ fn explore_worker<S: GilState>(
                 break;
             }
             if shared.deadline.is_some_and(|d| Instant::now() >= d) {
+                log.emit_with(|| Event::DeadlineHit {
+                    path: job.trace.clone(),
+                });
                 shared.halt(CAUSE_DEADLINE);
                 cut.push(job);
                 break;
@@ -644,6 +789,10 @@ fn explore_worker<S: GilState>(
                 Err(payload) => {
                     shared.engine_errors.fetch_add(1, Ordering::Relaxed);
                     shared.truncated.store(true, Ordering::Relaxed);
+                    log.emit_with(|| Event::PanicIsolated {
+                        path: trace.clone(),
+                        payload: payload.clone(),
+                    });
                     if let Ok(state) = panic_guard::catch(|| sentinel.clone()) {
                         finished.push((
                             trace.clone(),
@@ -659,6 +808,13 @@ fn explore_worker<S: GilState>(
                 }
             };
             let branching = outs.len() > 1;
+            if branching {
+                let arms = outs.len() as u32;
+                log.emit_with(|| Event::PathForked {
+                    parent: trace.clone(),
+                    arms,
+                });
+            }
             let mut continuation: Option<Job<S>> = None;
             let mut surplus: Vec<Job<S>> = Vec::new();
             for (i, out) in outs.into_iter().enumerate() {
@@ -749,11 +905,19 @@ where
     S::Store: Send,
 {
     let workers = cfg.workers.max(1);
-    let deadline = cfg.deadline.map(|d| Instant::now() + d);
+    let run_started = Instant::now();
+    let deadline = cfg.deadline.map(|d| run_started + d);
     let sentinel = initial.clone();
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
+    let journal = cfg.journal.clone();
+    sentinel.install_journal(journal.clone());
     let unknowns_before = sentinel.unknown_verdicts();
-    let interner_before = InternStats::snapshot();
+    // The run's interner traffic is the sum of each worker thread's delta
+    // plus this (main) thread's — entry-state construction interns here.
+    let main_interner_before = InternStats::thread_snapshot();
+    let metrics_before = registry().snapshot();
+    let mut log = journal.worker(0);
+    log.emit_with(|| Event::PathStarted { path: Vec::new() });
     let shared = SharedExplorer {
         queue: Mutex::new(JobQueue {
             jobs: VecDeque::from([Job {
@@ -777,6 +941,7 @@ where
     let yields: Vec<Result<WorkerYield<S>, String>> = std::thread::scope(|scope| {
         let cfg = &cfg;
         let shared = &shared;
+        let journal = &journal;
         // All per-worker sentinels are cloned *before* the first spawn:
         // once a worker runs it may poison the state (e.g. a memory whose
         // `Clone` panics after a fault), and an unguarded clone racing
@@ -784,9 +949,14 @@ where
         let sentinels: Vec<S> = (0..workers).map(|_| sentinel.clone()).collect();
         let handles: Vec<_> = sentinels
             .into_iter()
-            .map(|worker_sentinel| {
+            .enumerate()
+            .map(|(i, worker_sentinel)| {
+                // Worker ids start at 1; id 0 is the merge (main) thread.
+                let worker = (i + 1) as u32;
                 scope.spawn(move || {
-                    panic_guard::catch(|| explore_worker(prog, cfg, shared, worker_sentinel))
+                    panic_guard::catch(|| {
+                        explore_worker(prog, cfg, shared, worker_sentinel, worker, journal)
+                    })
                 })
             })
             .collect();
@@ -807,12 +977,17 @@ where
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut pending: Vec<Job<S>> = Vec::new();
     let mut crashed_workers = 0usize;
+    let mut interner = InternStats::default();
     for y in yields {
         match y {
-            Ok((f, c)) => {
-                finished.extend(f);
-                pending.extend(c);
+            Ok(wy) => {
+                finished.extend(wy.finished);
+                pending.extend(wy.cut);
+                interner.mints += wy.interner.mints;
+                interner.hits += wy.interner.hits;
             }
+            // A crashed worker's thread-local interner delta died with it;
+            // its traffic is simply unattributed.
             Err(_payload) => crashed_workers += 1,
         }
     }
@@ -827,29 +1002,69 @@ where
     result.dropped_paths = shared.dropped_paths.load(Ordering::Relaxed);
     result.diagnostics.engine_errors =
         shared.engine_errors.load(Ordering::Relaxed) + crashed_workers;
-    for (_, path) in finished {
-        result.record(cfg.max_paths, path);
+    // `PathFinished` is journaled here, at merge — not by the workers —
+    // so exactly the *recorded* paths (those surviving the `max_paths`
+    // cap) get a finish event, keeping the trace consistent with the
+    // result for any scheduling.
+    let mut traces: Vec<Vec<u32>> = Vec::new();
+    for (trace, path) in finished {
+        let kind = path.outcome.kind();
+        let cmds = path.cmds;
+        if result.record(cfg.max_paths, path) {
+            log.emit_with(|| Event::PathFinished {
+                path: trace.clone(),
+                outcome: kind,
+                cmds,
+            });
+            traces.push(trace);
+        }
     }
-    for job in pending {
+    for Job {
+        config,
+        cmds,
+        trace,
+    } in pending
+    {
         result.truncated = true;
         match cause {
             CAUSE_DEADLINE => result.diagnostics.deadline_hits += 1,
             CAUSE_CANCELLED => result.diagnostics.cancellations += 1,
             _ => {}
         }
-        result.record(
+        if result.record(
             cfg.max_paths,
             PathResult {
-                state: job.config.state,
+                state: config.state,
                 outcome: ExploreOutcome::Truncated,
-                cmds: job.cmds,
+                cmds,
             },
-        );
+        ) {
+            log.emit_with(|| Event::PathFinished {
+                path: trace.clone(),
+                outcome: "truncated",
+                cmds,
+            });
+            traces.push(trace);
+        }
     }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
-    result.diagnostics.interner = InternStats::snapshot().since(&interner_before);
+    let main_delta = InternStats::thread_snapshot().since(&main_interner_before);
+    interner.mints += main_delta.mints;
+    interner.hits += main_delta.hits;
+    interner.live = InternStats::snapshot().live;
+    result.diagnostics.interner = interner;
+    drop(log);
+    finish_report(
+        &mut result,
+        &journal,
+        &traces,
+        &metrics_before,
+        run_started,
+        workers as u32,
+    );
+    sentinel.clear_journal();
     result
 }
 

@@ -85,6 +85,13 @@ impl<M> SymBranch<M> {
 /// ([`crate::explore::explore_parallel`]). Memories are values, not shared
 /// structures, so this costs implementations nothing in practice.
 pub trait SymbolicMemory: Clone + std::fmt::Debug + Default + Send {
+    /// The instantiation's language tag, used by telemetry to label this
+    /// memory's action latencies in traces and reports (`while`,
+    /// `minijs`, `minic`, …).
+    fn language() -> &'static str {
+        "unknown"
+    }
+
     /// Executes action `name` with (simplified) symbolic argument `arg`
     /// under path condition `pc`, returning all feasible branches.
     ///

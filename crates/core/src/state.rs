@@ -15,6 +15,7 @@
 
 use gillian_gil::{Expr, Ident};
 use gillian_solver::Interrupt;
+use gillian_telemetry::Journal;
 
 /// The branching result of a memory action on states: each branch pairs a
 /// successor state with the action outcome (`Err` raises `E(v)`).
@@ -97,6 +98,16 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
 
     /// Clears a previously installed interrupt (default no-op).
     fn clear_interrupt(&self) {}
+
+    /// Installs the run's event journal into this state's solving
+    /// machinery, so satisfiability queries and memory actions are
+    /// journaled alongside the engine's own path events. Same lifecycle
+    /// as [`GilState::install_interrupt`]; the default is a no-op
+    /// (concrete states emit nothing).
+    fn install_journal(&self, _journal: Journal) {}
+
+    /// Clears a previously installed journal (default no-op).
+    fn clear_journal(&self) {}
 
     /// Monotone count of `Unknown` satisfiability verdicts observed so far
     /// by this state's solving machinery. The exploration engines diff

@@ -16,8 +16,32 @@ use crate::restriction::Restrict;
 use crate::state::GilState;
 use gillian_gil::{Expr, Ident, Value};
 use gillian_solver::{Interrupt, PathCondition, Solver};
+use gillian_telemetry::{names, registry, Event, Journal};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// The always-on action-latency histogram, fetched from the telemetry
+/// registry once per process so the dispatch hot path never takes the
+/// registry lock.
+fn action_micros_histogram() -> &'static gillian_telemetry::Histogram {
+    static H: std::sync::OnceLock<&'static gillian_telemetry::Histogram> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| registry().histogram(names::ACTION_MICROS))
+}
+
+/// One memory action in this many is wall-clock timed into the latency
+/// histogram (power of two). Actions are frequent enough on the C and
+/// JS memory models that an unconditional clock pair per action shows
+/// up in end-to-end throughput; uniform sampling keeps the histogram's
+/// shape. A run with the journal armed times every action instead —
+/// `action_exec` events carry per-action micros, and traced runs are
+/// not throughput-gated.
+const ACTION_SAMPLE: u64 = 8;
+
+thread_local! {
+    /// Action counter driving the 1-in-[`ACTION_SAMPLE`] probe.
+    static TL_ACTION_SAMPLE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// A symbolic variable store `ρ̂ : X ⇀ Ê`.
 pub type SymStore = BTreeMap<Ident, Expr>;
@@ -167,9 +191,29 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
     }
 
     fn execute_action(self, name: &str, arg: Expr) -> Vec<(Self, Result<Expr, Expr>)> {
+        let journal_on = self.solver.journal_enabled();
+        let timer = (journal_on
+            || TL_ACTION_SAMPLE.with(|c| {
+                let n = c.get().wrapping_add(1);
+                c.set(n);
+                n & (ACTION_SAMPLE - 1) == 0
+            }))
+        .then(std::time::Instant::now);
         let branches = self
             .memory
             .execute_action(name, &arg, &self.pc, &self.solver);
+        if let Some(started) = timer {
+            let micros = started.elapsed().as_micros() as u64;
+            action_micros_histogram().record(micros);
+            if journal_on {
+                self.solver.journal().record_shared(Event::ActionExec {
+                    lang: M::language(),
+                    action: name.to_string(),
+                    branches: branches.len() as u32,
+                    micros,
+                });
+            }
+        }
         let mut out = Vec::with_capacity(branches.len());
         for b in branches {
             let mut st = self.clone();
@@ -194,6 +238,14 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
 
     fn clear_interrupt(&self) {
         self.solver.clear_interrupt();
+    }
+
+    fn install_journal(&self, journal: Journal) {
+        self.solver.set_journal(journal);
+    }
+
+    fn clear_journal(&self) {
+        self.solver.clear_journal();
     }
 
     fn unknown_verdicts(&self) -> u64 {

@@ -24,6 +24,7 @@
 
 use crate::expr::Expr;
 use crate::hashing::{FxHasher, PrehashedBuildHasher};
+use gillian_telemetry::{names, registry, Counter, Histogram};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
@@ -37,6 +38,13 @@ const SHARDS: usize = 64;
 
 /// Sweep a shard of dead weak entries after this many inserts into it.
 const SWEEP_EVERY: u64 = 1024;
+
+/// One in this many intern lookups is wall-clock timed into the
+/// `intern.lookup_nanos` histogram. A power of two. Sampling keeps the
+/// cost of the always-on histogram to a thread-local counter bump on
+/// the other 1023 lookups (see [`Term::new`] for why the counter, and
+/// not the hash, drives the sample).
+const LOOKUP_SAMPLE: u64 = 1024;
 
 /// Slots in the per-thread direct-mapped cache fronting the interner.
 /// A power of two.
@@ -53,7 +61,7 @@ struct TermData {
 
 impl Drop for TermData {
     fn drop(&mut self) {
-        stats().live.fetch_sub(1, Ordering::Relaxed);
+        stats().live.sub(1);
     }
 }
 
@@ -77,6 +85,38 @@ impl Term {
         // one shallow compare. The slot always holds a globally interned
         // term, so pointer-equality across threads is preserved.
         let hash = structural_hash(&expr);
+        // One lookup in `LOOKUP_SAMPLE` is wall-clock timed into the
+        // telemetry histogram, chosen by a per-call thread-local
+        // counter; the unsampled path then tail-calls the lookup with no
+        // live timer state. The counter is deliberate: keying the sample
+        // off the structural hash would be cheaper still, but intern
+        // traffic is heavy-tailed — a deterministic per-value predicate
+        // that happens to select an ultra-hot expression times *every*
+        // occurrence of it, and measured runs oversampled by ~30×.
+        let sampled = TL_SAMPLE.with(|c| {
+            let n = c.get().wrapping_add(1);
+            c.set(n);
+            n & (LOOKUP_SAMPLE - 1) == 0
+        });
+        if !sampled {
+            return Self::with_hash(expr, hash);
+        }
+        Self::new_timed(expr, hash)
+    }
+
+    /// The sampled slow path: the lookup bracketed by a wall clock.
+    #[cold]
+    #[inline(never)]
+    fn new_timed(expr: Expr, hash: u64) -> Term {
+        let start = std::time::Instant::now();
+        let t = Self::with_hash(expr, hash);
+        stats()
+            .lookup_nanos
+            .record(start.elapsed().as_nanos() as u64);
+        t
+    }
+
+    fn with_hash(expr: Expr, hash: u64) -> Term {
         let slot = (hash as usize) & (TL_CACHE_SIZE - 1);
         let cached = TL_TERMS.with(|c| {
             let cache = c.borrow();
@@ -86,7 +126,7 @@ impl Term {
             }
         });
         if let Some(t) = cached {
-            stats().hits.fetch_add(1, Ordering::Relaxed);
+            stats().hits.incr();
             TL_HITS.with(|c| c.set(c.get() + 1));
             return t;
         }
@@ -315,27 +355,36 @@ struct Interner {
     next_id: AtomicU64,
 }
 
-/// Interner counters, read via [`InternStats::snapshot`].
+/// Interner counters, read via [`InternStats::snapshot`]. These live in
+/// the telemetry registry (under the `intern.*` names) so reports and
+/// exporters see them without a dependency on this crate's internals.
 struct Counters {
-    mints: AtomicU64,
-    hits: AtomicU64,
-    live: AtomicU64,
+    mints: &'static Counter,
+    hits: &'static Counter,
+    live: &'static Counter,
+    lookup_nanos: &'static Histogram,
 }
 
 fn stats() -> &'static Counters {
     static COUNTERS: OnceLock<Counters> = OnceLock::new();
     COUNTERS.get_or_init(|| Counters {
-        mints: AtomicU64::new(0),
-        hits: AtomicU64::new(0),
-        live: AtomicU64::new(0),
+        mints: registry().counter(names::INTERN_MINTS),
+        hits: registry().counter(names::INTERN_HITS),
+        live: registry().counter(names::INTERN_LIVE),
+        lookup_nanos: registry().histogram(names::INTERN_LOOKUP_NANOS),
     })
 }
 
 thread_local! {
     /// Per-thread mint/hit counters, for exact no-allocation assertions
-    /// that must not observe other threads' interning.
+    /// that must not observe other threads' interning — and for exact
+    /// per-run attribution: the explorers sum per-worker deltas of these
+    /// instead of diffing the process-global counters, which concurrent
+    /// runs would pollute.
     static TL_MINTS: Cell<u64> = const { Cell::new(0) };
     static TL_HITS: Cell<u64> = const { Cell::new(0) };
+    /// Lookup counter driving the 1-in-[`LOOKUP_SAMPLE`] latency probe.
+    static TL_SAMPLE: Cell<u64> = const { Cell::new(0) };
     /// Direct-mapped per-thread term cache (allocated on first miss):
     /// the last term interned for each hash slot. Strong handles, so at
     /// most [`TL_CACHE_SIZE`] terms per thread are pinned alive — a
@@ -384,7 +433,7 @@ impl Interner {
                 match bucket[i].upgrade() {
                     Some(data) => {
                         if data.expr == expr {
-                            stats().hits.fetch_add(1, Ordering::Relaxed);
+                            stats().hits.incr();
                             TL_HITS.with(|c| c.set(c.get() + 1));
                             return Term(data);
                         }
@@ -406,8 +455,8 @@ impl Interner {
             expr,
         });
         let c = stats();
-        c.mints.fetch_add(1, Ordering::Relaxed);
-        c.live.fetch_add(1, Ordering::Relaxed);
+        c.mints.incr();
+        c.live.add(1);
         TL_MINTS.with(|tl| tl.set(tl.get() + 1));
         guard
             .buckets
@@ -446,9 +495,9 @@ impl InternStats {
     pub fn snapshot() -> InternStats {
         let c = stats();
         InternStats {
-            mints: c.mints.load(Ordering::Relaxed),
-            hits: c.hits.load(Ordering::Relaxed),
-            live: c.live.load(Ordering::Relaxed),
+            mints: c.mints.get(),
+            hits: c.hits.get(),
+            live: c.live.get(),
         }
     }
 
@@ -460,7 +509,7 @@ impl InternStats {
         InternStats {
             mints: TL_MINTS.with(Cell::get),
             hits: TL_HITS.with(Cell::get),
-            live: stats().live.load(Ordering::Relaxed),
+            live: stats().live.get(),
         }
     }
 

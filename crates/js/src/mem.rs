@@ -270,6 +270,10 @@ fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
 }
 
 impl SymbolicMemory for JsSymMemory {
+    fn language() -> &'static str {
+        "minijs"
+    }
+
     fn execute_action(
         &self,
         name: &str,

@@ -13,7 +13,22 @@ use crate::pathcond::{PathCondition, PcEnv, PcKey};
 use crate::sat::{check_conjunction, SatBudget, SatResult};
 use crate::simplify;
 use gillian_gil::Expr;
+use gillian_telemetry::journal::SLOW_QUERY_RENDER_MICROS;
+use gillian_telemetry::{names, registry, Counter, Event, Histogram, Journal, Verdict};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One simplify memo miss in this many is wall-clock timed into the
+/// latency histogram (power of two). Uniform sampling keeps the
+/// histogram's shape while keeping the clock off the hot path.
+const SIMPLIFY_SAMPLE: u64 = 8;
+
+thread_local! {
+    /// Memo-miss counter driving the 1-in-[`SIMPLIFY_SAMPLE`] probe.
+    static TL_SIMPLIFY_SAMPLE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// `HashMap` with the deterministic Fx hasher (see `gillian_gil::hashing`).
 type FxHashMap<K, V> = HashMap<K, V, gillian_gil::FxBuildHasher>;
@@ -126,6 +141,27 @@ pub struct SolverStats {
     pub sat_unknowns: u64,
 }
 
+/// The solver's handles into the process-global telemetry registry.
+/// Fetched once; the hot path never touches the registry lock.
+struct Tel {
+    sat_micros: &'static Histogram,
+    simplify_micros: &'static Histogram,
+    sat_queries: &'static Counter,
+    sat_cache_hits: &'static Counter,
+    sat_unknowns: &'static Counter,
+}
+
+fn tel() -> &'static Tel {
+    static TEL: OnceLock<Tel> = OnceLock::new();
+    TEL.get_or_init(|| Tel {
+        sat_micros: registry().histogram(names::SAT_MICROS),
+        simplify_micros: registry().histogram(names::SIMPLIFY_MICROS),
+        sat_queries: registry().counter(names::SAT_QUERIES),
+        sat_cache_hits: registry().counter(names::SAT_CACHE_HITS),
+        sat_unknowns: registry().counter(names::SAT_UNKNOWNS),
+    })
+}
+
 /// Number of lock shards in the SAT result cache. Sixteen keeps lock
 /// contention negligible for the worker counts the parallel explorer uses
 /// while costing nothing in the single-threaded case.
@@ -229,6 +265,12 @@ pub struct Solver {
     /// [`Solver::set_interrupt`]). One exploration at a time per solver:
     /// installing a new interrupt replaces the previous one.
     interrupt: Mutex<Interrupt>,
+    /// The run-level event journal installed by the exploration engine
+    /// (see [`Solver::set_journal`]); same lifecycle as the interrupt.
+    journal: Mutex<Journal>,
+    /// Fast-path mirror of `journal.is_enabled()`, so untraced queries
+    /// pay one relaxed load instead of a lock.
+    journal_on: AtomicBool,
     sat_queries: AtomicU64,
     cache_hits: AtomicU64,
     simplifications: AtomicU64,
@@ -302,6 +344,36 @@ impl Solver {
         *lock_unpoisoned(&self.interrupt) = Interrupt::none();
     }
 
+    /// Installs the run-level event journal: while installed (and
+    /// enabled), every satisfiability query emits an
+    /// [`Event::SatQuery`] with its latency and cache-hit attribution.
+    /// The exploration engine installs the journal alongside the
+    /// interrupt and clears it with [`Solver::clear_journal`]; a solver
+    /// serves one exploration at a time.
+    pub fn set_journal(&self, journal: Journal) {
+        self.journal_on
+            .store(journal.is_enabled(), Ordering::Release);
+        *lock_unpoisoned(&self.journal) = journal;
+    }
+
+    /// Removes any installed journal (idempotent).
+    pub fn clear_journal(&self) {
+        self.journal_on.store(false, Ordering::Release);
+        *lock_unpoisoned(&self.journal) = Journal::disabled();
+    }
+
+    /// A handle to the installed journal (disabled when none is).
+    pub fn journal(&self) -> Journal {
+        lock_unpoisoned(&self.journal).clone()
+    }
+
+    /// True when an enabled journal is installed — one relaxed atomic
+    /// load, so hot paths can gate event construction on it without
+    /// touching the journal lock.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_on.load(Ordering::Acquire)
+    }
+
     /// A snapshot of the installed interrupt.
     pub fn interrupt(&self) -> Interrupt {
         lock_unpoisoned(&self.interrupt).clone()
@@ -344,6 +416,17 @@ impl Solver {
                 return hit;
             }
         }
+        // Only memo misses are timed, and only one in
+        // [`SIMPLIFY_SAMPLE`] of those: a hit is a hash probe, and even
+        // a miss is often cheap enough that two clock reads per miss
+        // show up in end-to-end throughput. Uniform sampling keeps the
+        // latency histogram's *shape* faithful at a fraction of the
+        // cost (same scheme as the interner's lookup probe).
+        let timer = TL_SIMPLIFY_SAMPLE.with(|c| {
+            let n = c.get().wrapping_add(1);
+            c.set(n);
+            (n & (SIMPLIFY_SAMPLE - 1) == 0).then(Instant::now)
+        });
         // Operator usage pins types: GIL operators are strict, so every
         // subterm of an expression that evaluates must itself evaluate —
         // usage facts from `e` itself are sound for rewriting `e`. (The
@@ -353,6 +436,11 @@ impl Solver {
         let mut env = key.env.env().clone();
         crate::sat::absorb_usage_types_pub(&mut env, std::slice::from_ref(e));
         let result = simplify::simplify(&env, e);
+        if let Some(started) = timer {
+            tel()
+                .simplify_micros
+                .record(started.elapsed().as_micros() as u64);
+        }
         if self.config.caching {
             self.simplify_cache.insert(key, result.clone());
         }
@@ -372,16 +460,83 @@ impl Solver {
             return SatResult::Unsat;
         }
         self.sat_queries.fetch_add(1, Ordering::Relaxed);
+        let t = tel();
+        t.sat_queries.incr();
+        let key = pc.cache_key();
+        // The cache is probed before any clock read: at the hit rates
+        // the interpreter sustains (>95%), two clock reads per hit cost
+        // more than the probe they would be timing. Hits are counted in
+        // `sat_cache_hits` and excluded from the latency histogram, so
+        // `sat_micros` is the distribution of *real solves*.
+        let (result, cache_hit, micros) = match self.probe_sat_cache(&key) {
+            Some(hit) => (hit, true, 0),
+            None => {
+                let started = Instant::now();
+                let (result, cache_hit) = self.check_sat_inner(pc, &key);
+                let micros = started.elapsed().as_micros() as u64;
+                t.sat_micros.record(micros);
+                (result, cache_hit, micros)
+            }
+        };
+        if cache_hit {
+            t.sat_cache_hits.incr();
+        }
+        if result == SatResult::Unknown {
+            t.sat_unknowns.incr();
+        }
+        if self.journal_on.load(Ordering::Acquire) {
+            let journal = self.journal();
+            if journal.is_enabled() {
+                // Rendering the condition costs a tree walk; only
+                // queries slow enough to show up in a report get one.
+                let pc_text = if micros >= SLOW_QUERY_RENDER_MICROS {
+                    pc.to_string()
+                } else {
+                    String::new()
+                };
+                journal.record_shared(Event::SatQuery {
+                    key: key.precomputed_hash(),
+                    conjuncts: pc.len() as u32,
+                    verdict: match result {
+                        SatResult::Sat => Verdict::Sat,
+                        SatResult::Unsat => Verdict::Unsat,
+                        SatResult::Unknown => Verdict::Unknown,
+                    },
+                    micros,
+                    cache_hit,
+                    pc: pc_text,
+                });
+            }
+        }
+        result
+    }
+
+    /// Probes the sat result cache alone — no solving, no clock.
+    /// Returns `None` when caching is off, the entry is absent, or the
+    /// solver is cancelled: a cancelled solver must answer `Unknown`
+    /// even for cached keys (prompt-shutdown semantics), and the full
+    /// path handles that.
+    fn probe_sat_cache(&self, key: &PcKey) -> Option<SatResult> {
+        if !self.config.caching || self.interrupt().cancel.is_cancelled() {
+            return None;
+        }
+        let hit = self.cache.get(key)?;
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit)
+    }
+
+    /// The uninstrumented satisfiability check; returns the verdict and
+    /// whether the result cache answered.
+    fn check_sat_inner(&self, pc: &PathCondition, key: &PcKey) -> (SatResult, bool) {
         let interrupt = self.interrupt();
         if interrupt.cancel.is_cancelled() {
             self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
-            return SatResult::Unknown;
+            return (SatResult::Unknown, false);
         }
-        let key = pc.cache_key();
         if self.config.caching {
-            if let Some(hit) = self.cache.get(&key) {
+            if let Some(hit) = self.cache.get(key) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+                return (hit, true);
             }
         }
         let mut budget = self.config.sat_budget;
@@ -397,9 +552,9 @@ impl Solver {
         if result == SatResult::Unknown {
             self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
         } else if self.config.caching {
-            self.cache.insert(key, result);
+            self.cache.insert(key.clone(), result);
         }
-        result
+        (result, false)
     }
 
     /// Checks whether `pc ∧ extra` may be satisfiable (the branching test

@@ -1,0 +1,31 @@
+//! Validates a Gillian JSONL trace file (the `GILLIAN_TRACE` output).
+//!
+//! Usage: `trace_check <trace.jsonl>`
+//!
+//! Exits 0 and prints a one-line summary when the trace is schema-valid;
+//! exits 1 with the first violation otherwise. CI runs this against the
+//! traced smoke job's output.
+
+use gillian_telemetry::trace_check_summary;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match trace_check_summary(&text) {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => {
+            eprintln!("trace_check: {path}: INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}

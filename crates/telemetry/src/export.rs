@@ -1,0 +1,488 @@
+//! Trace sinks and validation.
+//!
+//! Two on-disk formats, both written at explore end from the merged
+//! journal (never from the hot path):
+//!
+//! - **JSONL** (`GILLIAN_TRACE=path.jsonl`): one JSON object per line.
+//!   A run is bracketed by `run_started` / `run_finished` records; the
+//!   first run of a process truncates the file, later runs append, so a
+//!   binary that explores several programs produces one multi-run trace.
+//! - **Chrome `trace_event`** (`GILLIAN_TRACE_CHROME=path.json`): the
+//!   JSON-array flavour loadable in `about://tracing` / Perfetto. Timed
+//!   events (sat queries, memory actions) become complete (`X`) slices
+//!   on their worker's track; lifecycle events become instants.
+//!
+//! [`validate_jsonl`] re-parses a JSONL trace and checks the schema —
+//! the CI `trace_check` binary and the round-trip tests both use it.
+
+use crate::journal::{path_string, Event, EventRecord, SHARED_WORKER};
+use crate::json::{self, ObjWriter, Value};
+use crate::now_micros;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Schema tag stamped into every `run_started` record.
+pub const SCHEMA: &str = "gillian-trace-v1";
+
+/// Paths this process has already opened (first open truncates, the
+/// rest append — one trace file accumulates all runs of a process).
+fn opened_paths() -> &'static Mutex<BTreeSet<String>> {
+    static OPENED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    OPENED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Opens the sink at `path`, returning the file and whether this is the
+/// process's first write there (the file was truncated).
+fn open_sink(path: &str) -> Option<(std::fs::File, bool)> {
+    let fresh = {
+        let mut opened = opened_paths()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        opened.insert(path.to_string())
+    };
+    std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(fresh)
+        .append(!fresh)
+        .open(path)
+        .ok()
+        .map(|f| (f, fresh))
+}
+
+/// Serializes one journal record as a JSONL line (no trailing newline).
+pub fn event_line(rec: &EventRecord) -> String {
+    let mut w = ObjWriter::new();
+    w.str("type", rec.event.kind())
+        .u64("ts_micros", rec.ts_micros)
+        .u64("seq", rec.seq);
+    if rec.worker == SHARED_WORKER {
+        w.str("worker", "shared");
+    } else {
+        w.u64("worker", rec.worker as u64);
+    }
+    match &rec.event {
+        Event::PathStarted { path } => {
+            w.str("path", &path_string(path));
+        }
+        Event::PathForked { parent, arms } => {
+            w.str("path", &path_string(parent))
+                .u64("arms", *arms as u64);
+        }
+        Event::PathFinished {
+            path,
+            outcome,
+            cmds,
+        } => {
+            w.str("path", &path_string(path))
+                .str("outcome", outcome)
+                .u64("cmds", *cmds);
+        }
+        Event::SatQuery {
+            key,
+            conjuncts,
+            verdict,
+            micros,
+            cache_hit,
+            pc,
+        } => {
+            // Keys are full 64-bit hashes; JSON numbers only hold 2^53
+            // exactly, so emit them as hex strings.
+            w.str("key", &format!("{key:016x}"))
+                .u64("conjuncts", *conjuncts as u64)
+                .str("verdict", verdict.as_str())
+                .u64("micros", *micros)
+                .bool("cache_hit", *cache_hit);
+            if !pc.is_empty() {
+                w.str("pc", pc);
+            }
+        }
+        Event::ActionExec {
+            lang,
+            action,
+            branches,
+            micros,
+        } => {
+            w.str("lang", lang)
+                .str("action", action)
+                .u64("branches", *branches as u64)
+                .u64("micros", *micros);
+        }
+        Event::DeadlineHit { path } => {
+            w.str("path", &path_string(path));
+        }
+        Event::PanicIsolated { path, payload } => {
+            w.str("path", &path_string(path)).str("payload", payload);
+        }
+    }
+    w.finish()
+}
+
+/// Appends one run's merged journal to the JSONL sink at `path`
+/// (truncating on the process's first write there). IO errors are
+/// swallowed: tracing must never fail a run.
+pub fn append_jsonl(path: &str, records: &[EventRecord], dropped: u64) {
+    let Some((mut f, _)) = open_sink(path) else {
+        return;
+    };
+    let mut buf = String::with_capacity(records.len() * 96 + 256);
+    buf.push_str(
+        &ObjWriter::new()
+            .str("type", "run_started")
+            .u64("ts_micros", now_micros())
+            .str("schema", SCHEMA)
+            .finish(),
+    );
+    buf.push('\n');
+    for rec in records {
+        buf.push_str(&event_line(rec));
+        buf.push('\n');
+    }
+    buf.push_str(
+        &ObjWriter::new()
+            .str("type", "run_finished")
+            .u64("ts_micros", now_micros())
+            .u64("events", records.len() as u64)
+            .u64("dropped", dropped)
+            .finish(),
+    );
+    buf.push('\n');
+    let _ = f.write_all(buf.as_bytes());
+}
+
+/// Appends one run's merged journal to a Chrome `trace_event` file.
+/// Uses the JSON-array flavour without the closing bracket, which the
+/// trace viewers accept — that is what makes appending runs possible.
+/// The opening bracket is written only on the process's first write:
+/// later runs continue the same event array.
+pub fn write_chrome_trace(path: &str, records: &[EventRecord]) {
+    let Some((mut f, fresh)) = open_sink(path) else {
+        return;
+    };
+    let mut buf = String::with_capacity(records.len() * 128 + 16);
+    if fresh {
+        buf.push_str("[\n");
+    }
+    for rec in records {
+        let tid = if rec.worker == SHARED_WORKER {
+            999
+        } else {
+            rec.worker as u64
+        };
+        let mut w = ObjWriter::new();
+        match &rec.event {
+            Event::SatQuery {
+                verdict,
+                micros,
+                cache_hit,
+                conjuncts,
+                ..
+            } => {
+                w.str("name", if *cache_hit { "sat(cache)" } else { "sat" })
+                    .str("cat", "solver")
+                    .str("ph", "X")
+                    .u64("ts", rec.ts_micros.saturating_sub(*micros))
+                    .u64("dur", (*micros).max(1))
+                    .u64("pid", 1)
+                    .u64("tid", tid)
+                    .raw(
+                        "args",
+                        &ObjWriter::new()
+                            .str("verdict", verdict.as_str())
+                            .u64("conjuncts", *conjuncts as u64)
+                            .finish(),
+                    );
+            }
+            Event::ActionExec {
+                lang,
+                action,
+                branches,
+                micros,
+            } => {
+                w.str("name", action)
+                    .str("cat", "memory")
+                    .str("ph", "X")
+                    .u64("ts", rec.ts_micros.saturating_sub(*micros))
+                    .u64("dur", (*micros).max(1))
+                    .u64("pid", 1)
+                    .u64("tid", tid)
+                    .raw(
+                        "args",
+                        &ObjWriter::new()
+                            .str("lang", lang)
+                            .u64("branches", *branches as u64)
+                            .finish(),
+                    );
+            }
+            other => {
+                let path_s = other.path().map(|p| path_string(p)).unwrap_or_default();
+                w.str("name", other.kind())
+                    .str("cat", "path")
+                    .str("ph", "i")
+                    .str("s", "t")
+                    .u64("ts", rec.ts_micros)
+                    .u64("pid", 1)
+                    .u64("tid", tid)
+                    .raw("args", &ObjWriter::new().str("path", &path_s).finish());
+            }
+        }
+        buf.push_str(&w.finish());
+        buf.push_str(",\n");
+    }
+    let _ = f.write_all(buf.as_bytes());
+}
+
+/// What a validated JSONL trace contained.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Complete `run_started`…`run_finished` brackets.
+    pub runs: u64,
+    /// Event records (excluding run brackets).
+    pub events: u64,
+    /// `path_finished` records.
+    pub paths_finished: u64,
+    /// `sat_query` records.
+    pub sat_queries: u64,
+    /// Ring-buffer drops reported by `run_finished` records.
+    pub dropped: u64,
+    /// Record counts by `type`.
+    pub kinds: BTreeMap<String, u64>,
+}
+
+const EVENT_KINDS: &[&str] = &[
+    "path_started",
+    "path_forked",
+    "path_finished",
+    "sat_query",
+    "action_exec",
+    "deadline_hit",
+    "panic_isolated",
+];
+
+/// Validates a JSONL trace: every line parses as a JSON object, carries
+/// a known `type`, and has that type's required fields; runs bracket
+/// properly. Returns what the trace contained, or the first violation
+/// with its line number.
+pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut in_run = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !v.is_obj() {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing \"type\""))?
+            .to_string();
+        *summary.kinds.entry(ty.clone()).or_insert(0) += 1;
+        let need = |field: &str| -> Result<(), String> {
+            if v.get(field).is_some() {
+                Ok(())
+            } else {
+                Err(format!("line {lineno}: {ty} missing \"{field}\""))
+            }
+        };
+        match ty.as_str() {
+            "run_started" => {
+                if in_run {
+                    return Err(format!("line {lineno}: nested run_started"));
+                }
+                let schema = v.get("schema").and_then(Value::as_str);
+                if schema != Some(SCHEMA) {
+                    return Err(format!("line {lineno}: unknown schema {schema:?}"));
+                }
+                in_run = true;
+            }
+            "run_finished" => {
+                if !in_run {
+                    return Err(format!("line {lineno}: run_finished outside a run"));
+                }
+                need("events")?;
+                summary.dropped += v.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+                summary.runs += 1;
+                in_run = false;
+            }
+            kind if EVENT_KINDS.contains(&kind) => {
+                if !in_run {
+                    return Err(format!("line {lineno}: {kind} outside a run"));
+                }
+                need("ts_micros")?;
+                summary.events += 1;
+                match kind {
+                    "path_finished" => {
+                        need("path")?;
+                        need("outcome")?;
+                        need("cmds")?;
+                        summary.paths_finished += 1;
+                    }
+                    "path_started" | "deadline_hit" => need("path")?,
+                    "path_forked" => {
+                        need("path")?;
+                        need("arms")?;
+                    }
+                    "sat_query" => {
+                        need("key")?;
+                        need("micros")?;
+                        let verdict = v.get("verdict").and_then(Value::as_str);
+                        if !matches!(verdict, Some("sat" | "unsat" | "unknown")) {
+                            return Err(format!(
+                                "line {lineno}: bad sat_query verdict {verdict:?}"
+                            ));
+                        }
+                        summary.sat_queries += 1;
+                    }
+                    "action_exec" => {
+                        need("lang")?;
+                        need("action")?;
+                        need("micros")?;
+                    }
+                    "panic_isolated" => {
+                        need("path")?;
+                        need("payload")?;
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown type \"{other}\"")),
+        }
+    }
+    if in_run {
+        return Err("trace ends inside a run (missing run_finished)".into());
+    }
+    if summary.runs == 0 {
+        return Err("trace contains no complete run".into());
+    }
+    Ok(summary)
+}
+
+/// A one-paragraph human rendering of [`validate_jsonl`]'s result — what
+/// the `trace_check` binary prints.
+pub fn trace_check_summary(text: &str) -> Result<String, String> {
+    let s = validate_jsonl(text)?;
+    let mut kinds: Vec<String> = s
+        .kinds
+        .iter()
+        .filter(|(k, _)| EVENT_KINDS.contains(&k.as_str()))
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect();
+    kinds.sort();
+    Ok(format!(
+        "trace OK: {} run(s), {} event(s), {} path(s) finished, {} sat quer(ies), {} dropped [{}]",
+        s.runs,
+        s.events,
+        s.paths_finished,
+        s.sat_queries,
+        s.dropped,
+        kinds.join(", ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Verdict;
+
+    fn rec(event: Event) -> EventRecord {
+        EventRecord {
+            ts_micros: 42,
+            worker: 1,
+            seq: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_validate() {
+        let records = vec![
+            rec(Event::PathStarted { path: vec![] }),
+            rec(Event::PathForked {
+                parent: vec![],
+                arms: 2,
+            }),
+            rec(Event::SatQuery {
+                key: 0xdead_beef,
+                conjuncts: 3,
+                verdict: Verdict::Unsat,
+                micros: 17,
+                cache_hit: false,
+                pc: "(x > 0)".into(),
+            }),
+            rec(Event::ActionExec {
+                lang: "while",
+                action: "store".into(),
+                branches: 1,
+                micros: 2,
+            }),
+            rec(Event::PathFinished {
+                path: vec![0],
+                outcome: "normal",
+                cmds: 9,
+            }),
+        ];
+        let mut text = String::new();
+        text.push_str(
+            &ObjWriter::new()
+                .str("type", "run_started")
+                .u64("ts_micros", 0)
+                .str("schema", SCHEMA)
+                .finish(),
+        );
+        text.push('\n');
+        for r in &records {
+            text.push_str(&event_line(r));
+            text.push('\n');
+        }
+        text.push_str(
+            &ObjWriter::new()
+                .str("type", "run_finished")
+                .u64("ts_micros", 99)
+                .u64("events", records.len() as u64)
+                .u64("dropped", 0)
+                .finish(),
+        );
+        text.push('\n');
+        let summary = validate_jsonl(&text).expect("valid");
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.paths_finished, 1);
+        assert_eq!(summary.sat_queries, 1);
+        assert!(trace_check_summary(&text).unwrap().contains("trace OK"));
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        assert!(validate_jsonl("").is_err(), "no runs");
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(
+            validate_jsonl("{\"type\":\"path_started\",\"ts_micros\":1,\"path\":\"\"}\n").is_err(),
+            "event outside a run"
+        );
+        let missing_verdict = format!(
+            "{}\n{}\n{}\n",
+            ObjWriter::new()
+                .str("type", "run_started")
+                .u64("ts_micros", 0)
+                .str("schema", SCHEMA)
+                .finish(),
+            ObjWriter::new()
+                .str("type", "sat_query")
+                .u64("ts_micros", 1)
+                .str("key", "0")
+                .u64("micros", 1)
+                .finish(),
+            ObjWriter::new()
+                .str("type", "run_finished")
+                .u64("ts_micros", 2)
+                .u64("events", 1)
+                .finish(),
+        );
+        assert!(validate_jsonl(&missing_verdict).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+
+//! # Gillian telemetry: structured tracing and metrics
+//!
+//! The observability substrate for the whole platform (see `DESIGN.md`
+//! §11). Dependency-free, like the rest of the workspace's shims; every
+//! layer of the engine records into it and nothing outside this crate
+//! writes to stdout/stderr or the filesystem unless a sink is explicitly
+//! configured.
+//!
+//! Three pieces:
+//!
+//! - [`metrics`] — a process-global registry of named [`Counter`]s and
+//!   log2-bucketed latency [`Histogram`]s. Always compiled, always
+//!   recorded; the cost of an armed-but-unexported metric is one or two
+//!   relaxed atomic operations, which is why runs can report latency
+//!   distributions without a "tracing build".
+//! - [`journal`] — a structured **event journal** for one exploration
+//!   run: typed [`Event`]s (path lifecycle, sat queries, memory actions,
+//!   interruptions) written to per-worker buffers with monotonic
+//!   timestamps, merged deterministically at explore end. Disabled by
+//!   default ([`Journal::disabled`] is a `None` — emitting is a no-op);
+//!   enabled explicitly or via `GILLIAN_TRACE`.
+//! - [`export`]/[`report`] — sinks. A JSONL trace file
+//!   (`GILLIAN_TRACE=path.jsonl`), a Chrome `trace_event` file for
+//!   `about://tracing` (`GILLIAN_TRACE_CHROME=path.json`), and a human
+//!   [`Report`] (latency histograms, top-k slowest sat queries,
+//!   branch-tree shape, per-language action table) attached to every
+//!   exploration result.
+//!
+//! Path identity is the **branch trace** — the successor index chosen at
+//! every branching step from the entry — rendered as `"0.1.0"` (empty
+//! string for the root). Branch traces are schedule-independent, so the
+//! merged journal names the same paths whether a run used one worker or
+//! eight.
+
+pub mod export;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod report;
+
+pub use export::{trace_check_summary, validate_jsonl};
+pub use journal::{Event, EventRecord, Journal, PathId, Verdict, WorkerLog};
+pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use report::{LangActionRow, Report, SlowQuery, TreeStats};
+
+/// Well-known metric names, so recorders and the report agree on
+/// spelling. The registry accepts any `&'static str`; these are the ones
+/// the engine itself records.
+pub mod names {
+    /// Latency histogram (µs) of full satisfiability checks (cache hits
+    /// included — they are the fast mode of the same distribution).
+    pub const SAT_MICROS: &str = "solver.sat_micros";
+    /// Latency histogram (µs) of full-tier simplifier runs (memo misses
+    /// only: hits are counted, not timed — timing them would cost more
+    /// than the probe they measure).
+    pub const SIMPLIFY_MICROS: &str = "solver.simplify_micros";
+    /// Latency histogram (µs) of symbolic memory-model action dispatch.
+    pub const ACTION_MICROS: &str = "memory.action_micros";
+    /// Sampled latency histogram (ns) of interner lookups (1 in 1024).
+    pub const INTERN_LOOKUP_NANOS: &str = "intern.lookup_nanos";
+    /// Satisfiability queries issued (all solvers in the process).
+    pub const SAT_QUERIES: &str = "solver.sat_queries";
+    /// Satisfiability queries answered from a solver's cache.
+    pub const SAT_CACHE_HITS: &str = "solver.sat_cache_hits";
+    /// `Unknown` satisfiability verdicts.
+    pub const SAT_UNKNOWNS: &str = "solver.sat_unknowns";
+    /// Interner nodes minted (allocations performed).
+    pub const INTERN_MINTS: &str = "intern.mints";
+    /// Interner hits (allocations avoided by sharing).
+    pub const INTERN_HITS: &str = "intern.hits";
+    /// Interner nodes currently live (a gauge, not a flow).
+    pub const INTERN_LIVE: &str = "intern.live";
+}
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process telemetry epoch: all event timestamps are microseconds
+/// since the first call. Monotonic (backed by [`Instant`]), so merged
+/// journals order consistently within a process.
+pub fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process telemetry [`epoch`].
+pub fn now_micros() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}

@@ -1,0 +1,406 @@
+//! The human exploration profile: what a run did, where the time went.
+//!
+//! A [`Report`] is assembled at explore end from three independent
+//! sources, each optional:
+//!
+//! - the **metrics delta** (registry snapshot before/after the run) —
+//!   latency histograms and counters, present even with the journal off;
+//! - the **branch traces** of the finished paths — tree shape stats,
+//!   always present;
+//! - the **merged journal** — top-k slowest sat queries and the
+//!   per-language action table, present only when tracing was enabled.
+//!
+//! Rendering is pure string building; nothing here prints. Binaries
+//! (`examples/stress.rs`, the bench bins) decide whether to show it.
+
+use crate::journal::{Event, EventRecord, Verdict};
+use crate::metrics::MetricsSnapshot;
+use crate::names;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// How many slowest queries a report keeps.
+pub const TOP_K_QUERIES: usize = 10;
+
+/// Shape statistics of the explored branch tree, computed from the
+/// schedule-independent branch traces of the finished paths.
+#[derive(Clone, Debug, Default)]
+pub struct TreeStats {
+    /// Finished paths (leaves of the explored tree).
+    pub leaves: u64,
+    /// Deepest branch trace.
+    pub max_depth: u32,
+    /// Mean branch-trace depth.
+    pub mean_depth: f64,
+    /// Distinct interior branch points.
+    pub interior: u64,
+    /// Widest fork observed (successor count at one node).
+    pub max_arms: u32,
+}
+
+impl TreeStats {
+    /// Computes tree stats from finished-path branch traces.
+    pub fn from_paths<'a>(paths: impl IntoIterator<Item = &'a [u32]>) -> TreeStats {
+        let mut leaves = 0u64;
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0u32;
+        // Interior node → widest successor index seen beneath it.
+        let mut nodes: BTreeMap<&[u32], u32> = BTreeMap::new();
+        let mut stats = TreeStats::default();
+        for path in paths {
+            leaves += 1;
+            depth_sum += path.len() as u64;
+            max_depth = max_depth.max(path.len() as u32);
+            for cut in 0..path.len() {
+                let arms = nodes.entry(&path[..cut]).or_insert(0);
+                *arms = (*arms).max(path[cut] + 1);
+            }
+        }
+        stats.leaves = leaves;
+        stats.max_depth = max_depth;
+        stats.mean_depth = if leaves == 0 {
+            0.0
+        } else {
+            depth_sum as f64 / leaves as f64
+        };
+        stats.interior = nodes.len() as u64;
+        stats.max_arms = nodes.values().copied().max().unwrap_or(0);
+        stats
+    }
+}
+
+/// One of the slowest satisfiability queries of a run.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The canonical cache key's hash.
+    pub key: u64,
+    /// Conjunct count of the path condition.
+    pub conjuncts: u32,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Latency in microseconds.
+    pub micros: u64,
+    /// Whether the result cache answered.
+    pub cache_hit: bool,
+    /// Rendering of the path condition, when the journal captured one.
+    pub pc: String,
+}
+
+/// One row of the per-language action latency table.
+#[derive(Clone, Debug)]
+pub struct LangActionRow {
+    /// The memory model's language tag.
+    pub lang: &'static str,
+    /// The action name.
+    pub action: String,
+    /// Dispatches.
+    pub count: u64,
+    /// Total latency (µs).
+    pub total_micros: u64,
+    /// Slowest dispatch (µs).
+    pub max_micros: u64,
+}
+
+impl LangActionRow {
+    /// Mean dispatch latency (µs).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+}
+
+/// The exploration profile attached to an `ExploreResult`.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Wall-clock time of the run (µs).
+    pub wall_micros: u64,
+    /// Workers the run used (1 for the serial explorer).
+    pub workers: u32,
+    /// This run's metric deltas (histograms are process-wide over the
+    /// run's wall-clock window; counters likewise).
+    pub metrics: MetricsSnapshot,
+    /// Branch-tree shape.
+    pub tree: TreeStats,
+    /// Top-k slowest sat queries (journal runs only; slowest first).
+    pub slow_queries: Vec<SlowQuery>,
+    /// Per-language action latency rows (journal runs only; hottest
+    /// first by total time).
+    pub lang_actions: Vec<LangActionRow>,
+    /// Journal events merged for this run.
+    pub events: u64,
+    /// Journal events lost to ring-buffer wrap.
+    pub events_dropped: u64,
+    /// Where the JSONL trace went, when a sink was configured.
+    pub trace_path: Option<String>,
+}
+
+impl Report {
+    /// Extracts the journal-derived sections (slow queries, action
+    /// table, event counts) from a merged journal.
+    pub fn ingest_events(&mut self, records: &[EventRecord], dropped: u64) {
+        self.events = records.len() as u64;
+        self.events_dropped = dropped;
+        let mut queries: Vec<SlowQuery> = Vec::new();
+        let mut actions: BTreeMap<(&'static str, String), LangActionRow> = BTreeMap::new();
+        for rec in records {
+            match &rec.event {
+                Event::SatQuery {
+                    key,
+                    conjuncts,
+                    verdict,
+                    micros,
+                    cache_hit,
+                    pc,
+                } => {
+                    queries.push(SlowQuery {
+                        key: *key,
+                        conjuncts: *conjuncts,
+                        verdict: *verdict,
+                        micros: *micros,
+                        cache_hit: *cache_hit,
+                        pc: pc.clone(),
+                    });
+                }
+                Event::ActionExec {
+                    lang,
+                    action,
+                    branches: _,
+                    micros,
+                } => {
+                    let row =
+                        actions
+                            .entry((lang, action.clone()))
+                            .or_insert_with(|| LangActionRow {
+                                lang,
+                                action: action.clone(),
+                                count: 0,
+                                total_micros: 0,
+                                max_micros: 0,
+                            });
+                    row.count += 1;
+                    row.total_micros += micros;
+                    row.max_micros = row.max_micros.max(*micros);
+                }
+                _ => {}
+            }
+        }
+        queries.sort_by(|a, b| b.micros.cmp(&a.micros).then(a.key.cmp(&b.key)));
+        queries.truncate(TOP_K_QUERIES);
+        self.slow_queries = queries;
+        let mut rows: Vec<LangActionRow> = actions.into_values().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.total_micros));
+        self.lang_actions = rows;
+    }
+
+    /// Renders the full multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== exploration report ==");
+        let _ = writeln!(
+            out,
+            "paths: {} leaves · wall: {:.1}ms · workers: {}",
+            self.tree.leaves,
+            self.wall_micros as f64 / 1000.0,
+            self.workers
+        );
+        let _ = writeln!(
+            out,
+            "branch tree: depth max {} mean {:.2} · interior nodes {} · widest fork {}",
+            self.tree.max_depth, self.tree.mean_depth, self.tree.interior, self.tree.max_arms
+        );
+        let sat_q = self.metrics.counter(names::SAT_QUERIES);
+        if sat_q > 0 {
+            let hits = self.metrics.counter(names::SAT_CACHE_HITS);
+            let _ = writeln!(
+                out,
+                "sat queries: {} · cache hits {} ({:.1}%) · unknowns {}",
+                sat_q,
+                hits,
+                100.0 * hits as f64 / sat_q as f64,
+                self.metrics.counter(names::SAT_UNKNOWNS)
+            );
+        }
+        let mints = self.metrics.counter(names::INTERN_MINTS);
+        let ihits = self.metrics.counter(names::INTERN_HITS);
+        if mints + ihits > 0 {
+            let _ = writeln!(
+                out,
+                "interner: {} mints · {} hits ({:.1}% shared)",
+                mints,
+                ihits,
+                100.0 * ihits as f64 / (mints + ihits) as f64
+            );
+        }
+        for (name, label, unit) in [
+            (names::SAT_MICROS, "sat solve latency (cache misses)", "µs"),
+            (
+                names::SIMPLIFY_MICROS,
+                "simplify latency (memo misses, sampled)",
+                "µs",
+            ),
+            (
+                names::ACTION_MICROS,
+                "memory action latency (sampled)",
+                "µs",
+            ),
+            (
+                names::INTERN_LOOKUP_NANOS,
+                "intern lookup latency (sampled)",
+                "ns",
+            ),
+        ] {
+            let h = self.metrics.histogram(name);
+            if h.count > 0 {
+                let _ = writeln!(out, "{label}: {}", h.summary(unit));
+                out.push_str(&h.render(unit));
+            }
+        }
+        if !self.slow_queries.is_empty() {
+            let _ = writeln!(out, "slowest sat queries:");
+            for (i, q) in self.slow_queries.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "  {:>2}. {:>8}µs {:<7} conjuncts={:<4} key={:016x}{}",
+                    i + 1,
+                    q.micros,
+                    q.verdict.as_str(),
+                    q.conjuncts,
+                    q.key,
+                    if q.cache_hit { " [cache]" } else { "" }
+                );
+                if q.pc.is_empty() {
+                    out.push('\n');
+                } else {
+                    let _ = writeln!(out, "  {}", q.pc);
+                }
+            }
+        }
+        if !self.lang_actions.is_empty() {
+            let _ = writeln!(out, "memory actions by language:");
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<16} {:>10} {:>10} {:>8} {:>8}",
+                "lang", "action", "count", "total µs", "mean µs", "max µs"
+            );
+            for row in &self.lang_actions {
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<16} {:>10} {:>10} {:>8.1} {:>8}",
+                    row.lang,
+                    row.action,
+                    row.count,
+                    row.total_micros,
+                    row.mean_micros(),
+                    row.max_micros
+                );
+            }
+        }
+        if self.events > 0 || self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "journal: {} events merged · {} dropped{}",
+                self.events,
+                self.events_dropped,
+                match &self.trace_path {
+                    Some(p) => format!(" · trace: {p}"),
+                    None => String::new(),
+                }
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Re-export for the rendering of path ids in reports.
+pub use crate::journal::path_string as render_path;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_stats_from_traces() {
+        // Tree:        root
+        //            /      \
+        //           0        1
+        //         /   \       \
+        //       0.0  0.1      1.0
+        let paths: Vec<Vec<u32>> = vec![vec![0, 0], vec![0, 1], vec![1, 0]];
+        let t = TreeStats::from_paths(paths.iter().map(|p| p.as_slice()));
+        assert_eq!(t.leaves, 3);
+        assert_eq!(t.max_depth, 2);
+        assert!((t.mean_depth - 2.0).abs() < 1e-9);
+        assert_eq!(t.interior, 3, "root, 0, 1");
+        assert_eq!(t.max_arms, 2);
+        assert_eq!(render_path(&paths[1]), "0.1");
+    }
+
+    #[test]
+    fn single_root_path_tree() {
+        let t = TreeStats::from_paths([&[][..]]);
+        assert_eq!(t.leaves, 1);
+        assert_eq!(t.max_depth, 0);
+        assert_eq!(t.interior, 0);
+    }
+
+    #[test]
+    fn ingest_ranks_queries_and_groups_actions() {
+        let mk = |micros, key| EventRecord {
+            ts_micros: 0,
+            worker: 0,
+            seq: 0,
+            event: Event::SatQuery {
+                key,
+                conjuncts: 1,
+                verdict: Verdict::Sat,
+                micros,
+                cache_hit: false,
+                pc: String::new(),
+            },
+        };
+        let mut records: Vec<EventRecord> = (0..20).map(|i| mk(i * 10, i)).collect();
+        records.push(EventRecord {
+            ts_micros: 0,
+            worker: 0,
+            seq: 0,
+            event: Event::ActionExec {
+                lang: "while",
+                action: "store".into(),
+                branches: 1,
+                micros: 5,
+            },
+        });
+        records.push(EventRecord {
+            ts_micros: 0,
+            worker: 0,
+            seq: 1,
+            event: Event::ActionExec {
+                lang: "while",
+                action: "store".into(),
+                branches: 1,
+                micros: 7,
+            },
+        });
+        let mut report = Report::default();
+        report.ingest_events(&records, 3);
+        assert_eq!(report.slow_queries.len(), TOP_K_QUERIES);
+        assert_eq!(report.slow_queries[0].micros, 190);
+        assert_eq!(report.lang_actions.len(), 1);
+        assert_eq!(report.lang_actions[0].count, 2);
+        assert_eq!(report.lang_actions[0].total_micros, 12);
+        assert_eq!(report.events_dropped, 3);
+        let text = report.render();
+        assert!(text.contains("slowest sat queries"));
+        assert!(text.contains("memory actions by language"));
+    }
+}

@@ -167,6 +167,10 @@ fn static_prop(e: &Expr, action: &str) -> Result<Arc<str>, Expr> {
 }
 
 impl SymbolicMemory for WhileSymMemory {
+    fn language() -> &'static str {
+        "while"
+    }
+
     fn execute_action(
         &self,
         name: &str,

@@ -137,7 +137,7 @@ fn main() {
             "#
         )
     };
-    let timed = |workers: usize| -> (Duration, u64, usize) {
+    let timed = |workers: usize| {
         let cfg = ExploreConfig {
             workers,
             ..Default::default()
@@ -145,11 +145,13 @@ fn main() {
         let start = Instant::now();
         let out = gillian::while_lang::symbolic_test_with(&wide_src, "main", cfg).unwrap();
         assert!(out.verified(), "wide workload must verify");
-        (start.elapsed(), out.gil_cmds(), out.result.paths.len())
+        (start.elapsed(), out)
     };
-    let (t1, cmds1, paths1) = timed(1);
+    let (t1, out1) = timed(1);
+    let (cmds1, paths1) = (out1.gil_cmds(), out1.result.paths.len());
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
-    let (tn, cmdsn, pathsn) = timed(workers);
+    let (tn, outn) = timed(workers);
+    let (cmdsn, pathsn) = (outn.gil_cmds(), outn.result.paths.len());
     assert_eq!(paths1, pathsn, "parallel must find the same path count");
     assert_eq!(cmds1, cmdsn, "parallel must execute the same command count");
     println!(
@@ -190,4 +192,10 @@ fn main() {
     let total = gillian::gil::InternStats::snapshot();
     println!("interner/total         {total}");
     println!("interner/last-run      {}", d.interner);
+
+    // Exploration profile of the parallel wide run: per-run metric
+    // deltas, branch-tree shape, and — when `GILLIAN_TRACE` or
+    // `GILLIAN_TRACE_CHROME` is set — the slowest sat queries and the
+    // per-language action latency table from the event journal.
+    println!("\n{}", outn.result.report.render());
 }

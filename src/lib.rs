@@ -14,6 +14,7 @@
 //! | [`while_lang`] | `gillian-while` | The While instantiation (paper §2.2/§2.4/§3.3) |
 //! | [`js`] | `gillian-js` | The MiniJS instantiation (paper §4.1) with the Buckets guest library |
 //! | [`c`] | `gillian-c` | The MiniC instantiation (paper §4.2) with the Collections guest library |
+//! | [`telemetry`] | `gillian-telemetry` | Observability: event journal, metrics registry, JSONL/Chrome trace exporters, exploration `Report` |
 //!
 //! ## Quickstart
 //!
@@ -47,4 +48,5 @@ pub use gillian_core as core;
 pub use gillian_gil as gil;
 pub use gillian_js as js;
 pub use gillian_solver as solver;
+pub use gillian_telemetry as telemetry;
 pub use gillian_while as while_lang;
