@@ -17,6 +17,11 @@
 //! Output path: `BENCH_repr.json` in the current directory, or the path
 //! in `BENCH_REPR_OUT`.
 //!
+//! Solver A/B: `GILLIAN_INCREMENTAL=0` / `GILLIAN_IMPLICATION=0`
+//! disable the incremental per-prefix contexts and the implication-aware
+//! verdict index respectively (see [`gillian_bench::solver_from_env`]),
+//! so before/after throughput comparisons need no rebuild.
+//!
 //! Telemetry: the run always prints the process-level exploration
 //! profile (metric deltas over both workloads). Set
 //! `BENCH_TELEMETRY_GATE=1` to additionally assert that the measured
@@ -26,7 +31,6 @@
 
 use gillian_core::testing::TestSuiteResult;
 use gillian_gil::intern::InternStats;
-use gillian_solver::Solver;
 use gillian_telemetry::{registry, Report};
 use std::fmt::Write as _;
 
@@ -96,7 +100,7 @@ fn run_table1() -> Workload {
         BASELINE_T1_SECS,
         gillian_js::buckets::suite_names()
             .into_iter()
-            .map(|s| gillian_js::buckets::run_row(s, Solver::optimized, cfg.clone())),
+            .map(|s| gillian_js::buckets::run_row(s, gillian_bench::solver_from_env, cfg.clone())),
     )
 }
 
@@ -108,9 +112,9 @@ fn run_table2() -> Workload {
     accumulate(
         "table2",
         BASELINE_T2_SECS,
-        gillian_c::collections::suite_names()
-            .into_iter()
-            .map(|s| gillian_c::collections::run_row(s, Solver::optimized, cfg.clone())),
+        gillian_c::collections::suite_names().into_iter().map(|s| {
+            gillian_c::collections::run_row(s, gillian_bench::solver_from_env, cfg.clone())
+        }),
     )
 }
 

@@ -19,7 +19,7 @@
 //! those two features (see `DESIGN.md` §2 for the substitution argument).
 
 use gillian_core::testing::TestSuiteResult;
-use gillian_solver::Solver;
+use gillian_solver::{Solver, SolverConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -60,6 +60,24 @@ pub fn deadline_from_env() -> Option<Duration> {
         .ok()
         .and_then(|v| v.parse().ok())
         .map(Duration::from_millis)
+}
+
+/// The optimized solver with the incremental-solving layers toggled by
+/// environment: `GILLIAN_INCREMENTAL=0` disables per-prefix solve
+/// contexts, `GILLIAN_IMPLICATION=0` disables the implication-aware
+/// verdict index (any other value, or unset, keeps both on). A/B harness
+/// for `repr_smoke`: the layers are verdict-transparent, so toggling
+/// them moves only throughput, never results.
+pub fn solver_from_env() -> Solver {
+    let off = |var: &str| std::env::var(var).as_deref() == Ok("0");
+    let mut cfg = SolverConfig::optimized();
+    if off("GILLIAN_INCREMENTAL") {
+        cfg.incremental = false;
+    }
+    if off("GILLIAN_IMPLICATION") {
+        cfg.implication_caching = false;
+    }
+    Solver::new(cfg)
 }
 
 /// Runs Table 1 (Buckets under MiniJS), with both engine configurations
@@ -237,6 +255,54 @@ mod tests {
         assert_clean(&parallel);
         assert_eq!(serial.tests, parallel.tests);
         assert_eq!(serial.gil_cmds, parallel.gil_cmds);
+    }
+
+    #[test]
+    fn incremental_matches_monolithic_on_table_suites() {
+        // Real guest-language workloads (one Table 1 suite, one Table 2
+        // suite), serial and 4-worker: the incremental per-prefix
+        // contexts and the implication index must change nothing
+        // observable — same tests verified, same command counts, same
+        // path counts, clean on both sides.
+        let monolithic = || {
+            Solver::new(SolverConfig {
+                incremental: false,
+                implication_caching: false,
+                ..SolverConfig::optimized()
+            })
+        };
+        for workers in [1usize, 4] {
+            let js_cfg = gillian_core::ExploreConfig {
+                workers,
+                ..gillian_js::buckets::table1_config()
+            };
+            let c_cfg = gillian_core::ExploreConfig {
+                workers,
+                ..gillian_c::collections::table2_config()
+            };
+            let legs = [
+                gillian_js::buckets::run_row("dict", monolithic, js_cfg.clone()),
+                gillian_js::buckets::run_row("dict", Solver::optimized, js_cfg),
+                gillian_c::collections::run_row("slist", monolithic, c_cfg.clone()),
+                gillian_c::collections::run_row("slist", Solver::optimized, c_cfg),
+            ];
+            for leg in &legs {
+                assert_clean(leg);
+            }
+            for pair in legs.chunks(2) {
+                assert_eq!(pair[0].tests, pair[1].tests, "workers={workers}");
+                assert_eq!(
+                    pair[0].gil_cmds, pair[1].gil_cmds,
+                    "{}: incremental solving changed the executed commands (workers={workers})",
+                    pair[0].name
+                );
+                assert_eq!(
+                    pair[0].paths, pair[1].paths,
+                    "{}: incremental solving changed the explored paths (workers={workers})",
+                    pair[0].name
+                );
+            }
+        }
     }
 
     #[test]

@@ -229,6 +229,15 @@ pub struct ExploreDiagnostics {
     /// while "no bug found" weakens from the budget-bounded guarantee to
     /// one also conditioned on those undecided queries.
     pub unknown_verdicts: u64,
+    /// Satisfiability queries answered by extending a frozen per-prefix
+    /// solve context instead of re-solving the full conjunction.
+    /// Telemetry only — reuse never changes a verdict — so this does not
+    /// affect [`ExploreDiagnostics::is_clean`].
+    pub incremental_hits: u64,
+    /// Satisfiability queries answered by the implication-aware verdict
+    /// index (UNSAT subsets, witnessed SAT supersets/models). Telemetry
+    /// only, like [`ExploreDiagnostics::incremental_hits`].
+    pub implication_hits: u64,
     /// Interner activity attributed to this run: the sum of **per-worker
     /// thread-local** [`InternStats`] deltas (the serial engine's single
     /// thread, or every worker of the parallel engine), with `live`
@@ -394,6 +403,7 @@ pub fn explore<S: GilState>(
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
     let unknowns_before = sentinel.unknown_verdicts();
+    let reuse_before = sentinel.solver_reuse();
     // Thread-local snapshot: the whole run executes on this thread, so
     // the delta attributes exactly this run's interner traffic.
     let interner_before = InternStats::thread_snapshot();
@@ -576,6 +586,9 @@ pub fn explore<S: GilState>(
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+    let reuse_after = sentinel.solver_reuse();
+    result.diagnostics.incremental_hits = reuse_after.0.saturating_sub(reuse_before.0);
+    result.diagnostics.implication_hits = reuse_after.1.saturating_sub(reuse_before.1);
     result.diagnostics.interner = InternStats::thread_snapshot().since(&interner_before);
     drop(log);
     finish_report(
@@ -912,6 +925,7 @@ where
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
     let unknowns_before = sentinel.unknown_verdicts();
+    let reuse_before = sentinel.solver_reuse();
     // The run's interner traffic is the sum of each worker thread's delta
     // plus this (main) thread's — entry-state construction interns here.
     let main_interner_before = InternStats::thread_snapshot();
@@ -1050,6 +1064,9 @@ where
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+    let reuse_after = sentinel.solver_reuse();
+    result.diagnostics.incremental_hits = reuse_after.0.saturating_sub(reuse_before.0);
+    result.diagnostics.implication_hits = reuse_after.1.saturating_sub(reuse_before.1);
     let main_delta = InternStats::thread_snapshot().since(&main_interner_before);
     interner.mints += main_delta.mints;
     interner.hits += main_delta.hits;

@@ -117,4 +117,13 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
     fn unknown_verdicts(&self) -> u64 {
         0
     }
+
+    /// Monotone counts of `(incremental, implication)` solver-reuse hits
+    /// observed so far by this state's solving machinery. The exploration
+    /// engines diff these across a run for the diagnostics report; they
+    /// are informational only and never affect verdicts. Solver-free
+    /// (concrete) states report `(0, 0)`.
+    fn solver_reuse(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }

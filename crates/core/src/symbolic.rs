@@ -169,14 +169,20 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
         }
         let neg = self.solver.simplify(&self.pc, &guard.clone().not());
         let mut out = Vec::with_capacity(2);
-        if self.solver.sat_with(&self.pc, &guard).possibly_sat() {
+        // Each branch *adopts* the extended condition the solver actually
+        // checked: pushing the guard onto a fresh clone would mint a chain
+        // node with an empty context slot and strand the solve context the
+        // query just froze (incremental solving, `DESIGN.md` §12).
+        let (verdict, pc_then) = self.solver.sat_assume(&self.pc, &guard);
+        if verdict.possibly_sat() {
             let mut st = self.clone();
-            st.pc.push(guard.clone());
+            st.pc = pc_then;
             out.push((st, true));
         }
-        if self.solver.sat_with(&self.pc, &neg).possibly_sat() {
+        let (verdict, pc_else) = self.solver.sat_assume(&self.pc, &neg);
+        if verdict.possibly_sat() {
             let mut st = self.clone();
-            st.pc.push(neg);
+            st.pc = pc_else;
             out.push((st, false));
         }
         Ok(out)
@@ -250,6 +256,11 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
 
     fn unknown_verdicts(&self) -> u64 {
         self.solver.stats().sat_unknowns
+    }
+
+    fn solver_reuse(&self) -> (u64, u64) {
+        let stats = self.solver.stats();
+        (stats.incremental_hits, stats.implication_hits)
     }
 }
 

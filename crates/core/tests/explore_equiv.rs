@@ -11,9 +11,11 @@
 
 mod common;
 
-use common::{build_prog, op_strategy, state, summary};
+use common::{build_prog, op_strategy, state, state_with, summary};
 use gillian_core::explore::{explore, explore_parallel, ExploreConfig, SearchStrategy};
+use gillian_solver::{Solver, SolverConfig};
 use proptest::prelude::*;
+use std::sync::Arc;
 use std::time::Duration;
 
 proptest! {
@@ -55,6 +57,65 @@ proptest! {
             prop_assert_eq!(par.total_cmds, dfs.total_cmds);
             prop_assert_eq!(par.errors().count(), dfs.errors().count());
             prop_assert!(!par.truncated);
+            prop_assert!(par.diagnostics.is_clean(), "unexpected incidents: {:?}", par.diagnostics);
+        }
+    }
+
+    /// Incremental solving (per-prefix contexts plus the implication
+    /// index) against a monolithic re-solving solver, across every
+    /// engine: DFS, BFS, and the parallel explorer at 1–4 workers. The
+    /// optimization must be invisible — same path conditions, same
+    /// outcomes, same command counts. Unlike the leg above, no deadline
+    /// is armed here, so the implication index is live on every leg
+    /// (an armed deadline marks solves "hurried" and bypasses it).
+    #[test]
+    fn incremental_matches_monolithic_across_engines(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let prog = build_prog(&ops);
+        let monolithic = SolverConfig {
+            incremental: false,
+            implication_caching: false,
+            ..SolverConfig::optimized()
+        };
+        let reference = explore(
+            &prog,
+            "main",
+            state_with(Arc::new(Solver::new(monolithic))),
+            ExploreConfig::default(),
+        );
+        prop_assert!(!reference.truncated);
+        prop_assert!(reference.diagnostics.is_clean());
+        let reference_summary = summary(&reference);
+
+        let incremental = || Arc::new(Solver::optimized());
+        let dfs = explore(&prog, "main", state_with(incremental()), ExploreConfig::default());
+        prop_assert_eq!(&summary(&dfs), &reference_summary, "incremental DFS diverged");
+        prop_assert_eq!(dfs.total_cmds, reference.total_cmds);
+
+        let bfs = explore(
+            &prog,
+            "main",
+            state_with(incremental()),
+            ExploreConfig { strategy: SearchStrategy::Bfs, ..Default::default() },
+        );
+        prop_assert_eq!(&summary(&bfs), &reference_summary, "incremental BFS diverged");
+        prop_assert_eq!(bfs.total_cmds, reference.total_cmds);
+
+        for workers in 1..=4usize {
+            let par = explore_parallel(
+                &prog,
+                "main",
+                state_with(incremental()),
+                ExploreConfig { workers, ..Default::default() },
+            );
+            prop_assert_eq!(
+                &summary(&par),
+                &reference_summary,
+                "incremental parallel ({}) diverged from monolithic",
+                workers
+            );
+            prop_assert_eq!(par.total_cmds, reference.total_cmds);
             prop_assert!(par.diagnostics.is_clean(), "unexpected incidents: {:?}", par.diagnostics);
         }
     }

@@ -114,3 +114,93 @@ fn contradictory_branch_is_kept_under_unknown() {
     assert!(!unknown.truncated);
     assert!(is_submultiset(&summary(&full), &summary(&unknown)));
 }
+
+/// An interrupted *incremental* solve — one that could have reused a
+/// healthy frozen prefix — must still answer `Unknown`, must not freeze a
+/// (partial or fast-path) solve context on the new chain node, and must
+/// not poison the exact cache: prefix reuse never outruns the clock.
+#[test]
+fn interrupted_incremental_solve_freezes_nothing() {
+    use gillian_gil::LVar;
+    use gillian_solver::{CancelToken, Interrupt, PathCondition, SatResult};
+
+    // Implication caching off, so the final re-solve below provably goes
+    // through the incremental path (an implication hit would answer from
+    // a witness model without freezing anything, which is also fine but
+    // not what this test pins).
+    let solver = Solver::new(SolverConfig {
+        implication_caching: false,
+        ..SolverConfig::optimized()
+    });
+    let x = Expr::lvar(LVar(0));
+    // Warm a frozen prefix while the solver is healthy.
+    let (verdict, pc) = solver.sat_assume(&PathCondition::new(), &Expr::int(0).le(x.clone()));
+    assert_eq!(verdict, SatResult::Sat);
+    assert!(pc.has_solve_ctx(), "a healthy Sat freezes its context");
+
+    // Expired run-level deadline: the extension query is out of time even
+    // though its frozen prefix could answer it without any solving.
+    solver.set_interrupt(Interrupt::new(Some(Instant::now()), CancelToken::new()));
+    let (verdict, pc2) = solver.sat_assume(&pc, &x.clone().lt(Expr::int(10)));
+    assert_eq!(
+        verdict,
+        SatResult::Unknown,
+        "prefix reuse must not outrun an expired deadline"
+    );
+    assert!(
+        !pc2.has_solve_ctx(),
+        "an interrupted solve must never freeze a context"
+    );
+
+    // The Unknown was not cached either: clearing the interrupt decides,
+    // and the decided solve freezes normally.
+    solver.clear_interrupt();
+    assert_eq!(solver.check_sat(&pc2), SatResult::Sat);
+    assert!(pc2.has_solve_ctx());
+}
+
+/// Same scenario one layer up: a branch whose guard contradicts a warm
+/// (frozen-context) path condition keeps *both* successors once the
+/// deadline fires — the incremental layers must not let the engine prune
+/// what the monolithic solver could not decide.
+#[test]
+fn interrupted_branch_on_warm_prefix_keeps_both_successors() {
+    use gillian_core::state::GilState;
+    use gillian_gil::LVar;
+    use gillian_solver::{CancelToken, Interrupt, PathCondition, SatResult};
+
+    let solver = Arc::new(Solver::optimized());
+    let x = Expr::lvar(LVar(0));
+    let (verdict, pc) = solver.sat_assume(&PathCondition::new(), &Expr::int(0).le(x.clone()));
+    assert_eq!(verdict, SatResult::Sat);
+    assert!(pc.has_solve_ctx());
+
+    let mut st = state_with(solver.clone());
+    st.pc = pc;
+    // Healthy solver: `x < 0` contradicts the prefix, one successor.
+    let healthy = st.branch_on(&x.clone().lt(Expr::int(0))).expect("eval");
+    assert_eq!(
+        healthy.len(),
+        1,
+        "a deciding solver prunes the contradiction"
+    );
+
+    // Expired deadline, and a guard not queried before (a decided verdict
+    // already in the exact cache stays valid regardless of deadlines —
+    // only *solving* is out of time): both verdicts are Unknown, both
+    // successors stay.
+    solver.set_interrupt(Interrupt::new(Some(Instant::now()), CancelToken::new()));
+    let undecided = st.branch_on(&x.lt(Expr::int(-1))).expect("eval");
+    assert_eq!(
+        undecided.len(),
+        2,
+        "Unknown must keep both successors despite the warm prefix"
+    );
+    for (succ, _) in &undecided {
+        assert!(
+            !succ.pc.has_solve_ctx(),
+            "undecided successors must not carry frozen contexts"
+        );
+    }
+    solver.clear_interrupt();
+}

@@ -35,6 +35,7 @@
 //! without a concrete, verified counter-model (paper §3: symbolic testing
 //! has no false positives).
 
+mod ctx;
 pub mod interrupt;
 pub mod intervals;
 pub mod model;

@@ -17,6 +17,7 @@
 //! conjunct set — is memoized per node, so repeated solver queries on the
 //! same condition pay for canonicalization once.
 
+use crate::ctx::SolveCtx;
 use crate::persistent::PSet;
 use crate::typing::{absorb_type_fact, TypeEnv};
 use gillian_gil::{Expr, LVar, Term, TypeTag, Value};
@@ -27,13 +28,15 @@ use std::sync::{Arc, OnceLock};
 
 /// One conjunct in the persistent chain: the newest constraint plus a
 /// shared tail. `key` memoizes the canonical cache key of the whole chain
-/// ending here.
+/// ending here; `ctx` freezes the solver state of the first decided solve
+/// of the chain ending here (see `ctx.rs` and `DESIGN.md` §12).
 #[derive(Debug)]
 struct PcNode {
     term: Term,
     prev: Option<Arc<PcNode>>,
     key: OnceLock<PcKey>,
     env: OnceLock<Arc<PcEnv>>,
+    ctx: OnceLock<Arc<SolveCtx>>,
 }
 
 /// The canonical identity of a conjunct *set*: the sorted, deduplicated
@@ -90,6 +93,12 @@ impl PcKey {
     /// The precomputed hash (used for cache sharding).
     pub fn precomputed_hash(&self) -> u64 {
         self.hash
+    }
+
+    /// Builds a key directly from ids (unit-test helper).
+    #[cfg(test)]
+    pub(crate) fn for_tests(ids: Vec<u64>) -> PcKey {
+        PcKey::from_ids(ids)
     }
 }
 
@@ -200,6 +209,7 @@ impl PathCondition {
                         prev: self.head.take(),
                         key: OnceLock::new(),
                         env: OnceLock::new(),
+                        ctx: OnceLock::new(),
                     }));
                     self.len += 1;
                 }
@@ -368,18 +378,53 @@ impl PathCondition {
 
     /// True when `self`'s conjunct set contains all of `other`'s — the
     /// syntactic form of the `⊑` pre-order induced by restriction.
+    /// Structural over the persistent id tries: shared subtrees answer in
+    /// O(1) via pointer equality, so a snapshot is subsumed by its own
+    /// extension in time proportional to the extension, not the chain.
     pub fn subsumes(&self, other: &PathCondition) -> bool {
         if other.trivially_false {
             return self.trivially_false;
         }
-        let mut cur = other.head.as_deref();
+        other.index.is_subset(&self.index)
+    }
+
+    /// Finds the deepest already-solved prefix of this condition: walks
+    /// the chain from the newest conjunct toward the root looking for a
+    /// frozen [`SolveCtx`], returning it together with the conjuncts
+    /// pushed since (insertion order) and the prefix length. `None` when
+    /// no prefix of the chain has ever been solved.
+    pub(crate) fn solved_prefix(&self) -> Option<(Arc<SolveCtx>, usize, Vec<Expr>)> {
+        let mut delta: Vec<Expr> = Vec::new();
+        let mut cur = self.head.as_deref();
         while let Some(node) = cur {
-            if !self.index.contains(node.term.id()) {
-                return false;
+            if let Some(ctx) = node.ctx.get() {
+                delta.reverse();
+                let prefix_len = self.len - delta.len();
+                return Some((ctx.clone(), prefix_len, delta));
             }
+            delta.push(node.term.expr().clone());
             cur = node.prev.as_deref();
         }
-        true
+        None
+    }
+
+    /// Freezes the result of a decided solve of this exact condition on
+    /// its newest chain node. First writer wins (`OnceLock`); conditions
+    /// without a chain (empty or only-trivially-false) have nowhere to
+    /// freeze and are skipped — the empty condition is answered without
+    /// solving anyway.
+    pub(crate) fn freeze_ctx(&self, ctx: SolveCtx) {
+        if let Some(head) = &self.head {
+            let _ = head.ctx.set(Arc::new(ctx));
+        }
+    }
+
+    /// True when this exact condition carries a frozen solve context
+    /// (test introspection for the no-partial-freeze guarantees).
+    pub fn has_solve_ctx(&self) -> bool {
+        self.head
+            .as_ref()
+            .is_some_and(|head| head.ctx.get().is_some())
     }
 }
 

@@ -43,6 +43,56 @@ impl Node {
         }
     }
 
+    /// True when `f` holds for every key stored under this node.
+    fn all_keys(&self, f: &mut impl FnMut(u64) -> bool) -> bool {
+        match self {
+            Node::Leaf(k) => f(*k),
+            Node::Branch { children, .. } => children.iter().all(|c| c.all_keys(f)),
+        }
+    }
+
+    /// Structural subset test: every key under `self` is under `sup`,
+    /// with the two nodes rooted at the same `shift`. Shared subtrees
+    /// (the common case for a snapshot against its own extension) answer
+    /// in O(1) via pointer equality.
+    fn is_subset(self: &Arc<Node>, sup: &Arc<Node>, shift: u32) -> bool {
+        if Arc::ptr_eq(self, sup) {
+            return true;
+        }
+        match (&**self, &**sup) {
+            (Node::Leaf(k), _) => sup.contains(*k, shift),
+            // A branch can compress a single-key chain, so falling into
+            // this arm does not by itself mean |self| > 1: check each key.
+            (Node::Branch { .. }, Node::Leaf(k)) => self.all_keys(&mut |x| x == *k),
+            (
+                Node::Branch {
+                    bitmap: bs,
+                    children: cs,
+                },
+                Node::Branch {
+                    bitmap: bb,
+                    children: cb,
+                },
+            ) => {
+                if bs & !bb != 0 {
+                    return false;
+                }
+                let mut bits = *bs;
+                let mut i = 0;
+                while bits != 0 {
+                    let bit = bits & bits.wrapping_neg();
+                    bits ^= bit;
+                    let j = (bb & (bit - 1)).count_ones() as usize;
+                    if !cs[i].is_subset(&cb[j], shift + BITS) {
+                        return false;
+                    }
+                    i += 1;
+                }
+                true
+            }
+        }
+    }
+
     /// Returns the updated node, or `None` when `key` was already present
     /// (so the caller keeps sharing the original).
     fn insert(self: &Arc<Node>, key: u64, shift: u32) -> Option<Arc<Node>> {
@@ -133,6 +183,20 @@ impl PSet {
         }
     }
 
+    /// True when every key of `self` is in `other`. Structurally shared
+    /// subtrees — a snapshot probed against its own extension — compare
+    /// by pointer, so the cost is proportional to the unshared part.
+    pub fn is_subset(&self, other: &PSet) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        match (&self.root, &other.root) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(a), Some(b)) => a.is_subset(b, 0),
+        }
+    }
+
     /// Inserts in place (path-copying internally; other clones of this
     /// set are unaffected). Returns `true` when the key was new.
     pub fn insert(&mut self, key: u64) -> bool {
@@ -190,6 +254,32 @@ mod tests {
         );
         assert!(a.contains(150));
         assert!(a.contains(50));
+    }
+
+    #[test]
+    fn subset_is_structural_and_exact() {
+        let mut small = PSet::new();
+        let mut big = PSet::new();
+        for k in [3u64, 77, 1 << 40] {
+            small.insert(k);
+            big.insert(k);
+        }
+        let snapshot = big.clone();
+        for k in [5u64, 9_000, u64::MAX] {
+            big.insert(k);
+        }
+        assert!(small.is_subset(&big));
+        assert!(snapshot.is_subset(&big), "snapshot ⊆ its own extension");
+        assert!(!big.is_subset(&small));
+        assert!(PSet::new().is_subset(&small));
+        assert!(!small.is_subset(&PSet::new()));
+        let mut disjoint = PSet::new();
+        disjoint.insert(4);
+        assert!(!disjoint.is_subset(&big));
+        let mut overlapping = PSet::new();
+        overlapping.insert(3);
+        overlapping.insert(4);
+        assert!(!overlapping.is_subset(&big), "4 ∉ big");
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! The result is three-valued; `Unknown` is treated as "possibly SAT" by
 //! the engine (see the crate docs for why this is the sound direction).
 
+use crate::ctx::{collect_mask_sites, CapturedState};
 use crate::intervals::{IntDomain, NumDomain};
 use crate::simplify::simplify;
 use crate::typing::{absorb_type_fact, infer, TypeEnv};
 use crate::uf::UnionFind;
 use gillian_gil::{BinOp, Expr, TypeTag, UnOp, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The verdict of a satisfiability query.
@@ -117,9 +119,11 @@ fn absorb_usage_types(env: &mut TypeEnv, conjuncts: &[Expr]) {
     }
 }
 
-/// The classified atoms of a conjunction.
+/// The classified atoms of a conjunction. `pub(crate)` (with private
+/// fields) so a clean solve's residual atoms can be frozen inside a
+/// [`CapturedState`] and extended by a later incremental query.
 #[derive(Clone, Debug, Default)]
-struct Atoms {
+pub(crate) struct Atoms {
     eqs: Vec<(Expr, Expr)>,
     neqs: Vec<(Expr, Expr)>,
     /// `(a, b, strict)` with both sides typed `Int`.
@@ -205,6 +209,26 @@ pub fn absorb_usage_types_pub(env: &mut TypeEnv, conjuncts: &[Expr]) {
 
 /// Checks satisfiability of a conjunction of boolean expressions.
 pub fn check_conjunction(conjuncts: &[Expr], budget: SatBudget) -> SatResult {
+    check_conjunction_inner(conjuncts, budget, None)
+}
+
+/// Like [`check_conjunction`], but additionally freezes the end-of-solve
+/// state into `capture` when the solve finishes *cleanly* with `Sat`
+/// (closure converged, no case split decided the verdict). `Unsat` and
+/// `Unknown` leave `capture` untouched.
+pub(crate) fn check_conjunction_capturing(
+    conjuncts: &[Expr],
+    budget: SatBudget,
+    capture: &mut Option<CapturedState>,
+) -> SatResult {
+    check_conjunction_inner(conjuncts, budget, Some(capture))
+}
+
+fn check_conjunction_inner(
+    conjuncts: &[Expr],
+    budget: SatBudget,
+    capture: Option<&mut Option<CapturedState>>,
+) -> SatResult {
     let mut env = TypeEnv::new();
     let mut consistent = true;
     for c in conjuncts {
@@ -216,7 +240,222 @@ pub fn check_conjunction(conjuncts: &[Expr], budget: SatBudget) -> SatResult {
     absorb_usage_types(&mut env, conjuncts);
     let simplified: Vec<Expr> = conjuncts.iter().map(|c| simplify(&env, c)).collect();
     let mut cases = budget.split_cases;
-    check_rec(&env, simplified, budget, &mut cases, 0)
+    check_rec(&env, simplified, budget, &mut cases, 0, capture)
+}
+
+/// Solves a frozen prefix state extended by `delta` (the conjuncts pushed
+/// since the prefix was solved), without re-solving the prefix.
+///
+/// Returns `None` when incremental reuse does not apply — the extension
+/// changes the typing environment, so prefix conjuncts could simplify
+/// differently and the caller must fall back to a monolithic solve. The
+/// fallback is what keeps incremental verdicts *identical* to monolithic
+/// ones, not merely compatible.
+pub(crate) fn check_extension(
+    seed: &CapturedState,
+    delta: &[Expr],
+    budget: SatBudget,
+    capture: &mut Option<CapturedState>,
+) -> Option<SatResult> {
+    // Typing gate: absorb the delta into a copy of the captured
+    // environment. An inconsistency is a verdict (the monolithic solve
+    // over the union would derive the same conflict); any *growth* means
+    // reuse is off the table.
+    let mut env = (*seed.env).clone();
+    let mut consistent = true;
+    for c in delta {
+        consistent &= absorb_type_fact(&mut env, c);
+    }
+    if !consistent {
+        return Some(SatResult::Unsat);
+    }
+    if env != *seed.env {
+        return None;
+    }
+    absorb_usage_types(&mut env, delta);
+    if env != *seed.env {
+        return None;
+    }
+    // Mirror the monolithic pipeline's ordering: conjuncts are sorted
+    // structurally before simplification, so the delta's relative order
+    // here matches its relative order in a whole-set solve.
+    let mut sorted: Vec<Expr> = delta.to_vec();
+    sorted.sort_unstable();
+    let simplified: Vec<Expr> = sorted.iter().map(|c| simplify(&env, c)).collect();
+    if let Some(verdict) = fast_extend(seed, &env, &simplified, capture) {
+        return Some(verdict);
+    }
+    // General seeded path: re-serialize the prefix's residual atoms
+    // (equalities drained into the union-find are re-emitted, so nothing
+    // is lost) and run the full checker over residual + delta. Closure
+    // over the residual converges immediately — it is already a fixpoint
+    // — so the cost is dominated by the delta.
+    let mut exprs = atoms_to_exprs(&seed.atoms, 0);
+    exprs.extend(simplified);
+    let mut cases = budget.split_cases;
+    Some(check_rec(&env, exprs, budget, &mut cases, 0, Some(capture)))
+}
+
+/// The incremental fast path: when the delta contains only ordering and
+/// disequality atoms (no equalities, disjunctions, or boolean atoms), the
+/// equality classes cannot change, so the delta atoms are rewritten once
+/// through the frozen union-find and asserted into clones of the interval
+/// domains. Returns `None` whenever anything would require re-running
+/// closure — a structural escape under rewriting, a newly pinned
+/// singleton interval, a newly enabled mask identity — so the verdict
+/// stays identical to a monolithic solve.
+fn fast_extend(
+    seed: &CapturedState,
+    env: &TypeEnv,
+    delta: &[Expr],
+    capture: &mut Option<CapturedState>,
+) -> Option<SatResult> {
+    let mut fresh = Atoms::default();
+    for c in delta {
+        if !classify(env, c.clone(), &mut fresh) {
+            return Some(SatResult::Unsat);
+        }
+    }
+    if !fresh.eqs.is_empty()
+        || !fresh.ors.is_empty()
+        || !fresh.opaque.is_empty()
+        || !fresh.uf_eqs.is_empty()
+    {
+        return None;
+    }
+    let uf = &*seed.uf;
+    // One rewrite round is the fixpoint here: with no new equalities the
+    // union-find is exactly the frozen one, so a second round would see
+    // unchanged representatives.
+    let mut d_neqs: Vec<(Expr, Expr)> = Vec::new();
+    let mut d_int: Vec<(Expr, Expr, bool)> = Vec::new();
+    let mut d_num: Vec<(Expr, f64, bool, bool)> = Vec::new();
+    for (a, b) in fresh.neqs {
+        let e = simplify(env, &uf.apply(&Expr::Bin(BinOp::Eq, a.into(), b.into())));
+        match e.as_bool() {
+            Some(true) => return Some(SatResult::Unsat),
+            Some(false) => {}
+            None => {
+                if let Expr::Bin(BinOp::Eq, a, b) = e {
+                    if uf.same_class(&a, &b) {
+                        return Some(SatResult::Unsat);
+                    }
+                    d_neqs.push(((*a).clone(), (*b).clone()));
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+    for (a, b, strict) in fresh.int_cmps {
+        let op = if strict { BinOp::Lt } else { BinOp::Leq };
+        let e = simplify(env, &uf.apply(&Expr::Bin(op, a.into(), b.into())));
+        match e.as_bool() {
+            Some(true) => {}
+            Some(false) => return Some(SatResult::Unsat),
+            None => {
+                if let Expr::Bin(op2 @ (BinOp::Lt | BinOp::Leq), a, b) = e {
+                    d_int.push(((*a).clone(), (*b).clone(), op2 == BinOp::Lt));
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+    for (t, x, left, strict) in fresh.num_cmps {
+        let op = if strict { BinOp::Lt } else { BinOp::Leq };
+        let full = if left {
+            t.clone().bin(op, Expr::num(x))
+        } else {
+            Expr::num(x).bin(op, t.clone())
+        };
+        let e = simplify(env, &uf.apply(&full));
+        match e.as_bool() {
+            Some(true) => {}
+            Some(false) => return Some(SatResult::Unsat),
+            None => {
+                let nt = simplify(env, &uf.apply(&t));
+                if nt == t && e == full {
+                    d_num.push((nt, x, left, strict));
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+
+    let mut ints = (*seed.ints).clone();
+    let mut nums = (*seed.nums).clone();
+    for (a, b, strict) in &d_int {
+        if !ints.assert_cmp(a, b, *strict) {
+            return Some(SatResult::Unsat);
+        }
+    }
+    // Re-assert *all* disequalities, not just the delta's: a prefix
+    // disequality that sat strictly inside its term's old interval may
+    // now lie on an endpoint the delta narrowed to — exactly when the
+    // monolithic solve (which asserts them after all comparisons) would
+    // narrow further.
+    for (a, b) in seed.atoms.neqs.iter().chain(&d_neqs) {
+        match (a.as_int(), b.as_int()) {
+            (Some(n), None) if !ints.assert_ne_const(b, n) => {
+                return Some(SatResult::Unsat);
+            }
+            (None, Some(n)) if !ints.assert_ne_const(a, n) => {
+                return Some(SatResult::Unsat);
+            }
+            _ => {}
+        }
+    }
+    for (t, x, left, strict) in &d_num {
+        if !nums.assert_cmp_const(t, *x, *left, *strict) {
+            return Some(SatResult::Unsat);
+        }
+    }
+    if !ints.consistent() {
+        return Some(SatResult::Unsat);
+    }
+
+    // Learning parity: the captured solve ended with nothing left to
+    // learn, so only delta-driven narrowing can newly trigger the
+    // singleton or mask-identity rules — and either trigger needs a full
+    // closure re-run.
+    for (t, itv) in ints.narrowed_terms() {
+        if itv.lo == itv.hi && uf.value_of(t) != Some(Value::Int(itv.lo)) {
+            return None;
+        }
+    }
+    let delta_exprs: Vec<Expr> = atoms_to_exprs(
+        &Atoms {
+            neqs: d_neqs.clone(),
+            int_cmps: d_int.clone(),
+            num_cmps: d_num.clone(),
+            ..Atoms::default()
+        },
+        0,
+    );
+    let mut sites: Vec<(Expr, Expr, i64)> = seed.mask_sites.to_vec();
+    collect_mask_sites(&delta_exprs, &mut sites);
+    for (sub, x, mask) in &sites {
+        let itv = ints.query(x);
+        if itv.lo >= 0 && itv.hi <= *mask && !uf.same_class(sub, x) {
+            return None;
+        }
+    }
+
+    let mut atoms = (*seed.atoms).clone();
+    atoms.neqs.extend(d_neqs);
+    atoms.int_cmps.extend(d_int);
+    atoms.num_cmps.extend(d_num);
+    *capture = Some(CapturedState {
+        env: seed.env.clone(),
+        uf: seed.uf.clone(),
+        atoms: Arc::new(atoms),
+        ints: Arc::new(ints),
+        nums: Arc::new(nums),
+        mask_sites: sites.into(),
+    });
+    Some(SatResult::Sat)
 }
 
 fn check_rec(
@@ -225,6 +464,7 @@ fn check_rec(
     budget: SatBudget,
     cases: &mut usize,
     depth: usize,
+    capture: Option<&mut Option<CapturedState>>,
 ) -> SatResult {
     // Deadline checks sit at recursion entry and at each closure round:
     // those are the only places where unbounded-looking work (rewriting
@@ -479,7 +719,7 @@ fn check_rec(
         if !learned.is_empty() {
             let mut rest = all;
             rest.extend(learned);
-            return check_rec(env, rest, budget, cases, depth + 1);
+            return check_rec(env, rest, budget, cases, depth + 1, capture);
         }
     }
 
@@ -494,7 +734,9 @@ fn check_rec(
             *cases = cases.saturating_sub(1);
             let mut case = rest.clone();
             case.push(simplify(env, &branch));
-            match check_rec(env, case, budget, cases, depth + 1) {
+            // No capture through case splits: a Sat decided by one case
+            // is not a state valid for the whole conjunction.
+            match check_rec(env, case, budget, cases, depth + 1, None) {
                 SatResult::Sat => return SatResult::Sat,
                 SatResult::Unknown => any_unknown = true,
                 SatResult::Unsat => {}
@@ -507,6 +749,25 @@ fn check_rec(
         };
     }
 
+    // A clean Sat: no disjunction decided the verdict and (when depth<8,
+    // the same bound the learning rules use) nothing was left to learn —
+    // the state below is the complete end-of-solve state and is safe to
+    // freeze for incremental extension.
+    if depth < 8 {
+        if let Some(slot) = capture {
+            let residual = atoms_to_exprs(&atoms, 0);
+            let mut mask_sites = Vec::new();
+            collect_mask_sites(&residual, &mut mask_sites);
+            *slot = Some(CapturedState {
+                env: Arc::new(env.clone()),
+                uf: Arc::new(uf),
+                atoms: Arc::new(atoms),
+                ints: Arc::new(ints),
+                nums: Arc::new(nums),
+                mask_sites: mask_sites.into(),
+            });
+        }
+    }
     SatResult::Sat
 }
 

@@ -7,10 +7,13 @@
 //! exposes exactly those two switches so the benchmark harness can
 //! reproduce both engine configurations (Table 1).
 
+use crate::ctx::{CapturedState, ImplicationCache, SolveCtx};
 use crate::interrupt::Interrupt;
-use crate::model::{find_model, Model, ModelBudget};
+use crate::model::{find_model, harvest_witness, Model, ModelBudget};
 use crate::pathcond::{PathCondition, PcEnv, PcKey};
-use crate::sat::{check_conjunction, SatBudget, SatResult};
+use crate::sat::{
+    check_conjunction, check_conjunction_capturing, check_extension, SatBudget, SatResult,
+};
 use crate::simplify;
 use gillian_gil::Expr;
 use gillian_telemetry::journal::SLOW_QUERY_RENDER_MICROS;
@@ -24,6 +27,12 @@ use std::time::Instant;
 /// latency histogram (power of two). Uniform sampling keeps the
 /// histogram's shape while keeping the clock off the hot path.
 const SIMPLIFY_SAMPLE: u64 = 8;
+
+/// Largest conjunction a decided-SAT query will try to harvest a witness
+/// model from for the implication index. Bigger conjunctions rarely
+/// subsume later probes and make the bounded model search both slower
+/// and likelier to fail, so the harvest cost would be pure waste.
+const HARVEST_MAX_CONJUNCTS: usize = 24;
 
 thread_local! {
     /// Memo-miss counter driving the 1-in-[`SIMPLIFY_SAMPLE`] probe.
@@ -73,6 +82,14 @@ pub struct SolverConfig {
     pub sat_budget: SatBudget,
     /// Budgets for the model finder.
     pub model_budget: ModelBudget,
+    /// Solve incrementally: freeze the end-of-solve state on the path
+    /// condition's newest chain node and answer descendant queries by
+    /// propagating only the conjuncts pushed since (see `DESIGN.md` §12).
+    pub incremental: bool,
+    /// Layer the implication-aware verdict index over the exact-key
+    /// cache: UNSAT verdicts answer supersets, witnessed SAT verdicts
+    /// answer subsets and model-satisfied probes.
+    pub implication_caching: bool,
 }
 
 impl SolverConfig {
@@ -83,6 +100,8 @@ impl SolverConfig {
             caching: true,
             sat_budget: SatBudget::default(),
             model_budget: ModelBudget::default(),
+            incremental: true,
+            implication_caching: true,
         }
     }
 
@@ -99,6 +118,8 @@ impl SolverConfig {
             caching: false,
             sat_budget: SatBudget::default(),
             model_budget: ModelBudget::default(),
+            incremental: false,
+            implication_caching: false,
         }
     }
 
@@ -110,6 +131,8 @@ impl SolverConfig {
             caching: false,
             sat_budget: SatBudget::default(),
             model_budget: ModelBudget::default(),
+            incremental: false,
+            implication_caching: false,
         }
     }
 }
@@ -139,6 +162,11 @@ pub struct SolverStats {
     /// it feasible), so runs report this count in their diagnostics
     /// instead of letting `Unknown` vanish into `possibly_sat()`.
     pub sat_unknowns: u64,
+    /// Queries answered by extending a frozen per-prefix solve context
+    /// instead of re-solving the whole conjunction.
+    pub incremental_hits: u64,
+    /// Queries answered by the implication-aware verdict index.
+    pub implication_hits: u64,
 }
 
 /// The solver's handles into the process-global telemetry registry.
@@ -149,6 +177,9 @@ struct Tel {
     sat_queries: &'static Counter,
     sat_cache_hits: &'static Counter,
     sat_unknowns: &'static Counter,
+    sat_incremental_hits: &'static Counter,
+    sat_implication_hits: &'static Counter,
+    sat_prefix_depth: &'static Histogram,
 }
 
 fn tel() -> &'static Tel {
@@ -159,6 +190,9 @@ fn tel() -> &'static Tel {
         sat_queries: registry().counter(names::SAT_QUERIES),
         sat_cache_hits: registry().counter(names::SAT_CACHE_HITS),
         sat_unknowns: registry().counter(names::SAT_UNKNOWNS),
+        sat_incremental_hits: registry().counter(names::SAT_INCREMENTAL_HITS),
+        sat_implication_hits: registry().counter(names::SAT_IMPLICATION_HITS),
+        sat_prefix_depth: registry().histogram(names::SAT_PREFIX_DEPTH),
     })
 }
 
@@ -260,6 +294,7 @@ impl SimplifyCache {
 pub struct Solver {
     config: SolverConfig,
     cache: SatCache,
+    implication: ImplicationCache,
     simplify_cache: SimplifyCache,
     /// The run-level interrupt installed by the exploration engine (see
     /// [`Solver::set_interrupt`]). One exploration at a time per solver:
@@ -277,6 +312,8 @@ pub struct Solver {
     model_searches: AtomicU64,
     sat_unknowns: AtomicU64,
     simplify_hits: AtomicU64,
+    incremental_hits: AtomicU64,
+    implication_hits: AtomicU64,
 }
 
 /// Compile-time guarantee that the solver can be shared across the
@@ -325,6 +362,8 @@ impl Solver {
             model_searches: self.model_searches.load(Ordering::Relaxed),
             sat_unknowns: self.sat_unknowns.load(Ordering::Relaxed),
             simplify_hits: self.simplify_hits.load(Ordering::Relaxed),
+            incremental_hits: self.incremental_hits.load(Ordering::Relaxed),
+            implication_hits: self.implication_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -527,6 +566,11 @@ impl Solver {
 
     /// The uninstrumented satisfiability check; returns the verdict and
     /// whether the result cache answered.
+    ///
+    /// Probe order on an exact-cache miss: the implication index (cheap,
+    /// sound by witness), then the incremental path (extend the deepest
+    /// frozen ancestor state), then a monolithic solve. Decided verdicts
+    /// flow back into every enabled layer; `Unknown` into none of them.
     fn check_sat_inner(&self, pc: &PathCondition, key: &PcKey) -> (SatResult, bool) {
         let interrupt = self.interrupt();
         if interrupt.cancel.is_cancelled() {
@@ -544,25 +588,150 @@ impl Solver {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        // A "hurried" solve — any wall-clock deadline armed — bypasses
+        // the implication index on both the probe and the insert side:
+        // its generalized answers change which queries see budget
+        // artifacts, and its entries must never be minted by solves whose
+        // verdicts time could have influenced.
+        let hurried = budget.deadline.is_some();
         // The checker sees conjuncts in *structural* order: id order is
         // mint-order and would leak the exploration schedule into
         // verdict-affecting heuristics (case-split order etc.).
         let conjuncts = pc.sorted_conjuncts();
-        let result = check_conjunction(&conjuncts, budget);
+        if self.config.implication_caching && !hurried {
+            if let Some(hit) = self.implication.probe(key, &conjuncts) {
+                self.implication_hits.fetch_add(1, Ordering::Relaxed);
+                tel().sat_implication_hits.incr();
+                if self.config.caching {
+                    self.cache.insert(key.clone(), hit);
+                }
+                return (hit, false);
+            }
+        }
+        let mut capture: Option<CapturedState> = None;
+        let result = if self.config.incremental {
+            match self.check_sat_incremental(pc, budget, &mut capture) {
+                Some(verdict) => verdict,
+                None => check_conjunction_capturing(&conjuncts, budget, &mut capture),
+            }
+        } else if self.config.implication_caching {
+            // Capturing costs a few `Arc` bumps on clean solves only, and
+            // the capture is how the harvest below recognizes them.
+            check_conjunction_capturing(&conjuncts, budget, &mut capture)
+        } else {
+            check_conjunction(&conjuncts, budget)
+        };
         if result == SatResult::Unknown {
             self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
-        } else if self.config.caching {
+            return (result, false);
+        }
+        if self.config.caching {
             self.cache.insert(key.clone(), result);
         }
+        if self.config.implication_caching && !hurried {
+            match result {
+                SatResult::Unsat => self.implication.insert_unsat(key),
+                SatResult::Sat if conjuncts.len() <= HARVEST_MAX_CONJUNCTS => {
+                    // Only witnessed SAT verdicts enter the index — the
+                    // model is what makes subset reuse sound — and the
+                    // witness is read off the captured end-of-solve state
+                    // (equality classes and interval endpoints, one
+                    // verification pass). Only clean Sats carry a capture:
+                    // a case-split Sat would need a fresh model *search*
+                    // per query just to maybe seed the index, a cost that
+                    // dominates branch-heavy workloads with no reuse.
+                    if let Some(state) = capture.as_ref() {
+                        if let Some(m) = harvest_witness(state, &conjuncts) {
+                            self.implication.insert_sat(key, Arc::new(m));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if self.config.incremental {
+            // Freeze only complete results: an Unsat proof (valid for
+            // every descendant), or a clean Sat with its captured state.
+            // A stateless Sat (decided through a case split) is *not*
+            // frozen, so descendants keep walking to a deeper usable
+            // ancestor instead of stopping at a dead end.
+            match (result, capture.take()) {
+                (SatResult::Unsat, _) => pc.freeze_ctx(SolveCtx {
+                    verdict: result,
+                    state: None,
+                }),
+                (SatResult::Sat, Some(state)) => pc.freeze_ctx(SolveCtx {
+                    verdict: result,
+                    state: Some(state),
+                }),
+                _ => {}
+            }
+        }
         (result, false)
+    }
+
+    /// Attempts to answer a query by extending the deepest already-solved
+    /// ancestor of `pc`. Returns `None` when no usable frozen context
+    /// exists, reuse does not apply (the extension grows the typing
+    /// environment), or the seeded solve ends `Unknown` — in every such
+    /// case the caller re-solves monolithically, keeping verdicts
+    /// identical to an incremental-off solver.
+    fn check_sat_incremental(
+        &self,
+        pc: &PathCondition,
+        budget: SatBudget,
+        capture: &mut Option<CapturedState>,
+    ) -> Option<SatResult> {
+        // An already-expired deadline defers to the monolithic path: the
+        // checker answers `Unknown` at its first poll (or `Unsat` on a
+        // typing conflict), and prefix reuse must not outrun the clock —
+        // verdicts would then depend on what happened to be frozen.
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return None;
+        }
+        let (ctx, prefix_len, delta) = pc.solved_prefix()?;
+        if ctx.verdict == SatResult::Unsat {
+            // Every extension of an unsatisfiable prefix is unsatisfiable.
+            self.note_incremental_hit(prefix_len);
+            return Some(SatResult::Unsat);
+        }
+        if delta.is_empty() {
+            self.note_incremental_hit(prefix_len);
+            return Some(ctx.verdict);
+        }
+        let seed = ctx.state.as_ref()?;
+        let verdict = check_extension(seed, &delta, budget, capture)?;
+        if verdict == SatResult::Unknown {
+            return None;
+        }
+        self.note_incremental_hit(prefix_len);
+        Some(verdict)
+    }
+
+    fn note_incremental_hit(&self, prefix_len: usize) {
+        self.incremental_hits.fetch_add(1, Ordering::Relaxed);
+        let t = tel();
+        t.sat_incremental_hits.incr();
+        t.sat_prefix_depth.record(prefix_len as u64);
     }
 
     /// Checks whether `pc ∧ extra` may be satisfiable (the branching test
     /// of the symbolic `assume` action, Def. 2.6).
     pub fn sat_with(&self, pc: &PathCondition, extra: &Expr) -> SatResult {
+        self.sat_assume(pc, extra).0
+    }
+
+    /// Like [`Solver::sat_with`], but also returns the extended condition
+    /// that was actually solved, so the engine can *adopt* it as the new
+    /// path condition. Re-pushing the same guard onto the original
+    /// condition would mint a fresh chain node with an empty context
+    /// slot, stranding the solve context this query just froze on a chain
+    /// nobody keeps.
+    pub fn sat_assume(&self, pc: &PathCondition, extra: &Expr) -> (SatResult, PathCondition) {
         let mut pc2 = pc.clone();
         pc2.push(self.simplify(pc, extra));
-        self.check_sat(&pc2)
+        let verdict = self.check_sat(&pc2);
+        (verdict, pc2)
     }
 
     /// True when `pc` entails `e`: `pc ∧ ¬e` is unsatisfiable.
@@ -697,5 +866,153 @@ mod tests {
         assert_eq!(s.check_sat(&pc), SatResult::Unsat);
         assert_eq!(s.stats().sat_queries, 0);
         assert!(s.model(&pc).is_none());
+    }
+
+    /// Incremental solving without the implication index, so the tests
+    /// below can attribute hits unambiguously.
+    fn incremental_only() -> Solver {
+        Solver::new(SolverConfig {
+            implication_caching: false,
+            ..SolverConfig::optimized()
+        })
+    }
+
+    /// The implication index without incremental solving.
+    fn implication_only() -> Solver {
+        Solver::new(SolverConfig {
+            incremental: false,
+            ..SolverConfig::optimized()
+        })
+    }
+
+    #[test]
+    fn incremental_reuse_fires_and_freezes_ctx() {
+        let s = incremental_only();
+        let mut pc = PathCondition::new();
+        pc.push(Expr::int(0).le(x(0)));
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        assert!(pc.has_solve_ctx(), "clean Sat must freeze its context");
+        pc.push(x(0).lt(Expr::int(10)));
+        assert!(!pc.has_solve_ctx(), "a push mints a fresh, unsolved node");
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        let stats = s.stats();
+        assert!(
+            stats.incremental_hits >= 1,
+            "the extension must reuse the frozen prefix: {stats:?}"
+        );
+        assert!(pc.has_solve_ctx(), "the extension's Sat freezes in turn");
+    }
+
+    #[test]
+    fn unsat_prefix_decides_descendants() {
+        let s = incremental_only();
+        let mut pc = PathCondition::new();
+        pc.push(x(0).eq(Expr::int(1)));
+        pc.push(x(0).eq(Expr::int(2)));
+        assert_eq!(s.check_sat(&pc), SatResult::Unsat);
+        assert!(pc.has_solve_ctx(), "Unsat freezes a stateless context");
+        pc.push(Expr::int(0).le(x(1)));
+        assert_eq!(s.check_sat(&pc), SatResult::Unsat);
+        assert!(
+            s.stats().incremental_hits >= 1,
+            "an unsat ancestor must answer without re-solving"
+        );
+    }
+
+    #[test]
+    fn sat_assume_returns_the_adopted_condition() {
+        let s = incremental_only();
+        let pc: PathCondition = [Expr::int(0).le(x(0))].into_iter().collect();
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        let (verdict, pc2) = s.sat_assume(&pc, &x(0).lt(Expr::int(10)));
+        assert_eq!(verdict, SatResult::Sat);
+        assert_eq!(pc2.len(), 2);
+        assert!(
+            pc2.has_solve_ctx(),
+            "the returned condition carries the context this query froze"
+        );
+    }
+
+    #[test]
+    fn implication_index_decides_unsat_supersets() {
+        let s = implication_only();
+        let mut pc = PathCondition::new();
+        pc.push(x(0).eq(Expr::int(1)));
+        pc.push(x(0).eq(Expr::int(2)));
+        assert_eq!(s.check_sat(&pc), SatResult::Unsat);
+        let mut pc2 = pc.clone();
+        pc2.push(Expr::int(0).le(x(1)));
+        assert_eq!(s.check_sat(&pc2), SatResult::Unsat);
+        assert_eq!(
+            s.stats().implication_hits,
+            1,
+            "the superset probe must hit the indexed contradiction"
+        );
+    }
+
+    #[test]
+    fn implication_index_decides_via_witness_model() {
+        let s = implication_only();
+        let pc: PathCondition = [Expr::int(0).le(x(0))].into_iter().collect();
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        // The witness model for `0 ≤ x` also satisfies the *superset*
+        // probe below (model evaluation, not subset structure).
+        let mut pc2 = pc.clone();
+        pc2.push(x(0).lt(Expr::int(10)));
+        assert_eq!(s.check_sat(&pc2), SatResult::Sat);
+        assert_eq!(s.stats().implication_hits, 1);
+        // A subset probe of an indexed SAT set is answered structurally.
+        let pc3: PathCondition = [x(0).lt(Expr::int(10))].into_iter().collect();
+        assert_eq!(s.check_sat(&pc3), SatResult::Sat);
+        assert_eq!(s.stats().implication_hits, 2);
+    }
+
+    #[test]
+    fn armed_deadline_bypasses_the_implication_index() {
+        use crate::interrupt::{CancelToken, Interrupt};
+        use std::time::{Duration, Instant};
+        let s = implication_only();
+        // Armed but nowhere near expiry: verdicts stay correct, yet the
+        // solve counts as hurried and must not touch the index.
+        let far = Instant::now() + Duration::from_secs(3600);
+        s.set_interrupt(Interrupt::new(Some(far), CancelToken::new()));
+        let mut pc = PathCondition::new();
+        pc.push(x(0).eq(Expr::int(1)));
+        pc.push(x(0).eq(Expr::int(2)));
+        assert_eq!(s.check_sat(&pc), SatResult::Unsat);
+        let mut pc2 = pc.clone();
+        pc2.push(Expr::int(0).le(x(1)));
+        assert_eq!(s.check_sat(&pc2), SatResult::Unsat);
+        assert_eq!(
+            s.stats().implication_hits,
+            0,
+            "hurried solves must neither probe nor mint index entries"
+        );
+        s.clear_interrupt();
+        // The hurried verdicts were not indexed: this superset of `pc`
+        // still cannot be answered by implication.
+        let mut pc3 = pc.clone();
+        pc3.push(Expr::int(0).le(x(2)));
+        assert_eq!(s.check_sat(&pc3), SatResult::Unsat);
+        assert_eq!(s.stats().implication_hits, 0);
+    }
+
+    #[test]
+    fn unknown_is_never_frozen() {
+        use crate::interrupt::{CancelToken, Interrupt};
+        use std::time::Instant;
+        let s = Solver::optimized();
+        let mut pc = PathCondition::new();
+        pc.push(x(0).add(x(1)).eq(Expr::int(7)));
+        pc.push(x(1).eq(Expr::int(2)));
+        s.set_interrupt(Interrupt::new(Some(Instant::now()), CancelToken::new()));
+        assert_eq!(s.check_sat(&pc), SatResult::Unknown);
+        assert!(
+            !pc.has_solve_ctx(),
+            "an interrupted solve must not freeze partial state"
+        );
+        s.clear_interrupt();
+        assert_eq!(s.check_sat(&pc), SatResult::Sat);
+        assert!(pc.has_solve_ctx(), "the unhurried re-solve freezes");
     }
 }

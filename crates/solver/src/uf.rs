@@ -106,6 +106,16 @@ impl UnionFind {
         }
     }
 
+    /// Substitutes every subterm of `e` by its class representative
+    /// (shared by the closure loop and the incremental fast path, so both
+    /// rewrite atoms identically).
+    pub fn apply(&self, e: &Expr) -> Expr {
+        e.subst(&|sub| {
+            let r = self.repr(sub);
+            (r != *sub).then_some(r)
+        })
+    }
+
     /// All known `term → literal` bindings (for model construction).
     pub fn literal_bindings(&self) -> Vec<(Expr, Value)> {
         let mut out = Vec::new();

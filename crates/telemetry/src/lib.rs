@@ -66,6 +66,15 @@ pub mod names {
     pub const SAT_CACHE_HITS: &str = "solver.sat_cache_hits";
     /// `Unknown` satisfiability verdicts.
     pub const SAT_UNKNOWNS: &str = "solver.sat_unknowns";
+    /// Satisfiability queries answered by extending a frozen per-prefix
+    /// solve context instead of re-solving the whole conjunction.
+    pub const SAT_INCREMENTAL_HITS: &str = "solver.sat_incremental_hits";
+    /// Satisfiability queries answered by the implication-aware verdict
+    /// index (UNSAT-subset / SAT-superset / witness-model reuse).
+    pub const SAT_IMPLICATION_HITS: &str = "solver.sat_implication_hits";
+    /// Histogram of reused-prefix depth (conjuncts inherited from the
+    /// deepest already-solved ancestor) on incremental answers.
+    pub const SAT_PREFIX_DEPTH: &str = "solver.sat_reused_prefix_depth";
     /// Interner nodes minted (allocations performed).
     pub const INTERN_MINTS: &str = "intern.mints";
     /// Interner hits (allocations avoided by sharing).

@@ -223,6 +223,15 @@ impl Report {
                 100.0 * hits as f64 / sat_q as f64,
                 self.metrics.counter(names::SAT_UNKNOWNS)
             );
+            let incr = self.metrics.counter(names::SAT_INCREMENTAL_HITS);
+            let impl_hits = self.metrics.counter(names::SAT_IMPLICATION_HITS);
+            if incr + impl_hits > 0 {
+                let _ = writeln!(
+                    out,
+                    "sat reuse: incremental {} · implication {}",
+                    incr, impl_hits
+                );
+            }
         }
         let mints = self.metrics.counter(names::INTERN_MINTS);
         let ihits = self.metrics.counter(names::INTERN_HITS);
@@ -246,6 +255,11 @@ impl Report {
                 names::ACTION_MICROS,
                 "memory action latency (sampled)",
                 "µs",
+            ),
+            (
+                names::SAT_PREFIX_DEPTH,
+                "reused solve-prefix depth (incremental hits)",
+                " conjuncts",
             ),
             (
                 names::INTERN_LOOKUP_NANOS,
