@@ -1,7 +1,8 @@
 //! CI bench smoke for the term-representation refactor: runs the Table 1
-//! and Table 2 workloads on their normal budgets, and emits
-//! `BENCH_repr.json` with throughput (paths/sec), peak RSS, and interner
-//! hit rate, so the perf trajectory has machine-readable data points.
+//! and Table 2 workloads on their normal budgets plus the `difftest`
+//! differential-oracle workload, and emits `BENCH_repr.json` with
+//! throughput (paths/sec), peak RSS, and interner hit rate, so the perf
+//! trajectory has machine-readable data points.
 //!
 //! The JSON also records the **pre-refactor baseline**: internal suite
 //! totals measured at commit `e38629e` (the last commit before terms
@@ -47,7 +48,9 @@ struct Workload {
     gil_cmds: u64,
     paths: usize,
     secs: f64,
-    baseline_secs: f64,
+    /// Pre-refactor total, where one exists. `None` for workloads that
+    /// postdate the baseline commit (the `difftest` oracle workload).
+    baseline_secs: Option<f64>,
 }
 
 impl Workload {
@@ -58,8 +61,8 @@ impl Workload {
     /// Speedup in paths/sec vs the recorded baseline. Path counts are
     /// identical on both sides (the refactor is engine-equivalent), so
     /// the throughput ratio reduces to a time ratio.
-    fn speedup(&self) -> f64 {
-        self.baseline_secs / self.secs.max(1e-9)
+    fn speedup(&self) -> Option<f64> {
+        self.baseline_secs.map(|b| b / self.secs.max(1e-9))
     }
 }
 
@@ -74,7 +77,7 @@ fn accumulate(
         gil_cmds: 0,
         paths: 0,
         secs: 0.0,
-        baseline_secs,
+        baseline_secs: Some(baseline_secs),
     };
     for row in rows {
         assert!(
@@ -118,6 +121,58 @@ fn run_table2() -> Workload {
     )
 }
 
+/// The `difftest` workload: a fixed-seed slice of the differential
+/// battery over the While instantiation — each generated program is
+/// explored symbolically, then every path is witness-concretized and
+/// replayed through the concrete state constructor with the final
+/// memories compared under `I_W`. `paths` counts concrete replays (the
+/// oracle's unit of work); any divergence aborts the bench.
+fn run_difftest() -> Workload {
+    use gillian_core::difftest::{run_differential_with, InterpMemoryCheck};
+    use gillian_core::generate::{build_prog, gen_ops, MemDialect, Rng};
+    use gillian_while::{WhileConcMemory, WhileInterpretation, WhileSymMemory};
+
+    const SEED: u64 = 0x9E37_79B9;
+    const PROGRAMS: usize = 60;
+    let solver = std::sync::Arc::new(gillian_bench::solver_from_env());
+    let cfg = gillian_core::ExploreConfig {
+        workers: gillian_bench::workers_from_env(),
+        journal: gillian_telemetry::Journal::disabled(),
+        ..Default::default()
+    };
+    let memcheck = InterpMemoryCheck(WhileInterpretation);
+    let mut w = Workload {
+        name: "difftest",
+        tests: PROGRAMS,
+        gil_cmds: 0,
+        paths: 0,
+        secs: 0.0,
+        baseline_secs: None,
+    };
+    let started = std::time::Instant::now();
+    for i in 0..PROGRAMS as u64 {
+        let ops = gen_ops(&mut Rng::new(SEED + i), 14, MemDialect::While);
+        let prog = build_prog(&ops, MemDialect::While);
+        let report = run_differential_with::<WhileSymMemory, WhileConcMemory, _>(
+            &prog,
+            "main",
+            solver.clone(),
+            cfg.clone(),
+            &memcheck,
+        );
+        assert!(
+            report.agreed(),
+            "difftest workload diverged at seed {}: {:?}",
+            SEED + i,
+            report.divergences
+        );
+        w.gil_cmds += report.sym_cmds;
+        w.paths += report.replayed;
+    }
+    w.secs = started.elapsed().as_secs_f64();
+    w
+}
+
 /// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
 /// Returns 0 where procfs is unavailable.
 fn peak_rss_bytes() -> u64 {
@@ -134,12 +189,20 @@ fn peak_rss_bytes() -> u64 {
 }
 
 fn json_workload(out: &mut String, w: &Workload) {
+    let baseline = match w.baseline_secs {
+        Some(b) => format!("{b:.4}"),
+        None => "null".to_string(),
+    };
+    let speedup = match w.speedup() {
+        Some(s) => format!("{s:.2}"),
+        None => "null".to_string(),
+    };
     write!(
         out,
         concat!(
             "    {{\"name\": \"{}\", \"tests\": {}, \"gil_cmds\": {}, \"paths\": {}, ",
             "\"secs\": {:.4}, \"paths_per_sec\": {:.1}, ",
-            "\"baseline_secs\": {:.4}, \"speedup_vs_baseline\": {:.2}}}"
+            "\"baseline_secs\": {}, \"speedup_vs_baseline\": {}}}"
         ),
         w.name,
         w.tests,
@@ -147,8 +210,8 @@ fn json_workload(out: &mut String, w: &Workload) {
         w.paths,
         w.secs,
         w.paths_per_sec(),
-        w.baseline_secs,
-        w.speedup()
+        baseline,
+        speedup
     )
     .unwrap();
 }
@@ -165,7 +228,11 @@ fn render_json(workloads: &[Workload], interner: &InternStats, rss: u64) -> Stri
             "  \"baseline\": {{\"commit\": \"{}\", \"methodology\": ",
             "\"internal suite totals at the pre-refactor commit, ",
             "averaged over 10 runs interleaved with the refactored ",
-            "binaries on the same machine\"}},"
+            "binaries on the same machine; measured-side numbers are ",
+            "machine-relative and recommitted whenever workloads change, ",
+            "from a contended-phase run (the telemetry gate treats them ",
+            "as a floor), so absolute paths/sec is only comparable ",
+            "within one committed file\"}},"
         ),
         BASELINE_COMMIT
     )
@@ -261,7 +328,7 @@ fn main() {
     let before = InternStats::snapshot();
     let metrics_before = registry().snapshot();
     let run_started = std::time::Instant::now();
-    let workloads = [run_table1(), run_table2()];
+    let workloads = [run_table1(), run_table2(), run_difftest()];
     let report = Report {
         wall_micros: run_started.elapsed().as_micros() as u64,
         workers: gillian_bench::workers_from_env() as u32,
@@ -277,14 +344,16 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
 
     for w in &workloads {
+        let vs = match w.speedup() {
+            Some(s) => format!(" ({s:.2}x vs {BASELINE_COMMIT} baseline)"),
+            None => String::new(),
+        };
         println!(
-            "{}: {} paths in {:.3}s = {:.0} paths/sec ({:.2}x vs {} baseline)",
+            "{}: {} paths in {:.3}s = {:.0} paths/sec{vs}",
             w.name,
             w.paths,
             w.secs,
             w.paths_per_sec(),
-            w.speedup(),
-            BASELINE_COMMIT
         );
     }
     let denom = (interner.mints + interner.hits).max(1);
@@ -299,16 +368,18 @@ fn main() {
     println!("\n{}", report.render());
 
     if let Some(baseline) = &baseline {
-        telemetry_gate(&workloads, baseline, &baseline_path, 0.03);
+        // The gate covers the two baselined workloads only: its best-of-three
+        // re-measure re-runs table1/table2 and zips by position.
+        telemetry_gate(&workloads[..2], baseline, &baseline_path, 0.03);
     }
 
     if std::env::var("BENCH_SMOKE_STRICT").as_deref() == Ok("1") {
         for w in &workloads {
+            let Some(speedup) = w.speedup() else { continue };
             assert!(
-                w.speedup() >= 1.5,
-                "{}: speedup {:.2}x below the 1.5x gate",
+                speedup >= 1.5,
+                "{}: speedup {speedup:.2}x below the 1.5x gate",
                 w.name,
-                w.speedup()
             );
         }
     }

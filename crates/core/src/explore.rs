@@ -207,6 +207,10 @@ pub struct PathResult<S: GilState> {
     pub outcome: ExploreOutcome<S::V>,
     /// Commands executed along this path.
     pub cmds: u64,
+    /// The branch trace: the successor index chosen at every branching
+    /// step from the entry (the journal's schedule-independent path id).
+    /// Feed it to [`replay_path`] to re-execute exactly this path.
+    pub trace: Vec<u32>,
 }
 
 /// Counters for everything that weakened a run's guarantee beyond plain
@@ -455,6 +459,7 @@ pub fn explore<S: GilState>(
                     state: config.state,
                     outcome: ExploreOutcome::Truncated,
                     cmds,
+                    trace: trace.clone(),
                 },
             ) {
                 log.emit_with(|| Event::PathFinished {
@@ -489,6 +494,7 @@ pub fn explore<S: GilState>(
                                 trace: trace.clone(),
                             },
                             cmds: cmds + 1,
+                            trace: trace.clone(),
                         },
                     ) {
                         log.emit_with(|| Event::PathFinished {
@@ -540,6 +546,7 @@ pub fn explore<S: GilState>(
                             state,
                             outcome,
                             cmds: cmds + 1,
+                            trace: child_trace.clone(),
                         },
                     ) {
                         log.emit_with(|| Event::PathFinished {
@@ -573,6 +580,7 @@ pub fn explore<S: GilState>(
                 state: config.state,
                 outcome: ExploreOutcome::Truncated,
                 cmds,
+                trace: trace.clone(),
             },
         ) {
             log.emit_with(|| Event::PathFinished {
@@ -615,6 +623,112 @@ where
         explore_parallel(prog, entry, initial, cfg)
     } else {
         explore(prog, entry, initial, cfg)
+    }
+}
+
+/// Why a forced-branch replay could not follow its trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The program branched more often than the trace has entries.
+    TraceExhausted {
+        /// Commands executed when the trace ran dry.
+        cmds: u64,
+    },
+    /// The trace picked a successor index the step did not produce.
+    NoSuchArm {
+        /// The trace's successor index.
+        index: u32,
+        /// How many successors the step actually produced.
+        arms: usize,
+    },
+    /// A step produced no successor at all (every branch infeasible).
+    DeadEnd {
+        /// Commands executed when the path died.
+        cmds: u64,
+    },
+    /// The command budget ran out before the path finished.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::TraceExhausted { cmds } => {
+                write!(f, "trace exhausted after {cmds} commands")
+            }
+            ReplayError::NoSuchArm { index, arms } => {
+                write!(f, "trace picked arm {index} of {arms}")
+            }
+            ReplayError::DeadEnd { cmds } => {
+                write!(f, "no feasible successor after {cmds} commands")
+            }
+            ReplayError::BudgetExhausted => write!(f, "replay command budget exhausted"),
+        }
+    }
+}
+
+/// Deterministic single-path replay: re-executes `entry` from `initial`,
+/// forcing the successor index recorded in `trace` at every branching
+/// step (the branch trace of a [`PathResult`] or journal path id).
+///
+/// Allocator sites are re-seeded for free — a fresh state replays the
+/// same `uSym`/`iSym` sequence, because allocation order is a function of
+/// the path, and the path is forced. Replaying a finished path's trace on
+/// an equal initial state therefore reproduces its final state and
+/// outcome exactly; the differential harness leans on this to turn a
+/// divergent path into a standalone, debuggable repro.
+///
+/// # Errors
+///
+/// Fails when the trace and the program disagree (more or fewer branch
+/// points than recorded, or an arm index out of range) — which, on a
+/// replay of a just-explored path, indicates nondeterminism in the engine
+/// or a memory model — or when `max_cmds` runs out.
+pub fn replay_path<S: GilState>(
+    prog: &Prog,
+    entry: &str,
+    initial: S,
+    trace: &[u32],
+    max_cmds: u64,
+) -> Result<PathResult<S>, ReplayError> {
+    let mut config = Config::entry(entry, initial);
+    let mut cmds = 0u64;
+    let mut followed: Vec<u32> = Vec::new();
+    let mut next = trace.iter().copied();
+    loop {
+        if cmds >= max_cmds {
+            return Err(ReplayError::BudgetExhausted);
+        }
+        cmds += 1;
+        let mut outs = step(prog, config);
+        let pick = if outs.len() > 1 {
+            let Some(i) = next.next() else {
+                return Err(ReplayError::TraceExhausted { cmds });
+            };
+            if (i as usize) >= outs.len() {
+                return Err(ReplayError::NoSuchArm {
+                    index: i,
+                    arms: outs.len(),
+                });
+            }
+            followed.push(i);
+            i as usize
+        } else if outs.is_empty() {
+            return Err(ReplayError::DeadEnd { cmds });
+        } else {
+            0
+        };
+        match outs.swap_remove(pick) {
+            StepOut::Next(c) => config = c,
+            StepOut::Done(Final { state, outcome }) => {
+                return Ok(PathResult {
+                    state,
+                    outcome: outcome.into(),
+                    cmds,
+                    trace: followed,
+                });
+            }
+        }
     }
 }
 
@@ -772,11 +886,12 @@ fn explore_worker<S: GilState>(
             if job.cmds >= cfg.max_cmds_per_path {
                 shared.truncated.store(true, Ordering::Relaxed);
                 finished.push((
-                    job.trace,
+                    job.trace.clone(),
                     PathResult {
                         state: job.config.state,
                         outcome: ExploreOutcome::Truncated,
                         cmds: job.cmds,
+                        trace: job.trace,
                     },
                 ));
                 shared.note_finished(cfg);
@@ -811,8 +926,12 @@ fn explore_worker<S: GilState>(
                             trace.clone(),
                             PathResult {
                                 state,
-                                outcome: ExploreOutcome::EngineError { payload, trace },
+                                outcome: ExploreOutcome::EngineError {
+                                    payload,
+                                    trace: trace.clone(),
+                                },
                                 cmds: cmds + 1,
+                                trace,
                             },
                         ));
                         shared.note_finished(cfg);
@@ -853,11 +972,12 @@ fn explore_worker<S: GilState>(
                     }
                     StepOut::Done(Final { state, outcome }) => {
                         finished.push((
-                            child_trace,
+                            child_trace.clone(),
                             PathResult {
                                 state,
                                 outcome: outcome.into(),
                                 cmds: cmds + 1,
+                                trace: child_trace,
                             },
                         ));
                         shared.note_finished(cfg);
@@ -1051,6 +1171,7 @@ where
                 state: config.state,
                 outcome: ExploreOutcome::Truncated,
                 cmds,
+                trace: trace.clone(),
             },
         ) {
             log.emit_with(|| Event::PathFinished {
@@ -1147,6 +1268,70 @@ mod tests {
         assert!(r.total_cmds >= 4);
         assert!(r.diagnostics.is_clean());
         assert!(!r.bounded());
+    }
+
+    #[test]
+    fn path_results_carry_their_branch_trace() {
+        let r = explore(
+            &branching_prog(),
+            "main",
+            sym_state(),
+            ExploreConfig::default(),
+        );
+        let traces: Vec<&[u32]> = r.paths.iter().map(|p| p.trace.as_slice()).collect();
+        assert_eq!(traces.len(), 2);
+        assert_ne!(traces[0], traces[1], "distinct paths, distinct traces");
+        assert!(traces.iter().all(|t| t.len() == 1), "one branch point");
+    }
+
+    #[test]
+    fn replay_reproduces_each_explored_path() {
+        let solver = Arc::new(Solver::optimized());
+        let r = explore(
+            &branching_prog(),
+            "main",
+            SymbolicState::<NoMem>::new(solver.clone()),
+            ExploreConfig::default(),
+        );
+        assert_eq!(r.paths.len(), 2);
+        for path in &r.paths {
+            let replayed = replay_path(
+                &branching_prog(),
+                "main",
+                SymbolicState::<NoMem>::new(solver.clone()),
+                &path.trace,
+                10_000,
+            )
+            .expect("replay follows a just-explored trace");
+            assert_eq!(replayed.outcome, path.outcome);
+            assert_eq!(replayed.trace, path.trace);
+            assert_eq!(replayed.state.pc, path.state.pc);
+        }
+    }
+
+    #[test]
+    fn replay_rejects_trace_program_disagreements() {
+        let solver = Arc::new(Solver::optimized());
+        // Arm index beyond what the single ifgoto can produce.
+        let err = replay_path(
+            &branching_prog(),
+            "main",
+            SymbolicState::<NoMem>::new(solver.clone()),
+            &[7],
+            10_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplayError::NoSuchArm { index: 7, .. }));
+        // Too few entries for the branch points along the path.
+        let err = replay_path(
+            &branching_prog(),
+            "main",
+            SymbolicState::<NoMem>::new(solver),
+            &[],
+            10_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplayError::TraceExhausted { .. }));
     }
 
     #[test]

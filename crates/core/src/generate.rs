@@ -1,0 +1,648 @@
+//! Seeded random GIL program generation for differential testing.
+//!
+//! The differential oracle ([`crate::difftest`]) validates the engine by
+//! running the same program under the symbolic *and* the concrete state
+//! constructor and comparing what comes out. Its food supply is this
+//! module: a deterministic, seed-driven generator of small GIL programs
+//! covering the constructs the engine executes differently under the two
+//! constructors — stores and shadowing, both allocator kinds (`uSym` /
+//! `iSym`), integer and wrap arithmetic, list operations, guarded
+//! division, two-way branching, static calls, and the memory actions of
+//! the While and MiniC instantiations.
+//!
+//! Everything is reproducible from a single `u64` seed: the RNG is a
+//! self-contained SplitMix64 (no external crates, no global state), the
+//! op-to-GIL compilation is deterministic, and allocation sites are
+//! numbered in emission order. `seed → program` is a pure function, so a
+//! failing seed in CI replays exactly on any machine.
+//!
+//! When the oracle finds a divergence, [`minimize`] shrinks the op list
+//! greedily (delta-debugging over spans, then single ops) so the committed
+//! regression test is the smallest op list that still diverges.
+
+use gillian_gil::{BinOp, Cmd, Expr, Proc, Prog, UnOp, Value};
+
+/// A deterministic SplitMix64 PRNG — the standard 64-bit mixer, small
+/// enough to vendor and stable across platforms and releases.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// A small signed constant in `-8..=8`.
+    pub fn small_i64(&mut self) -> i64 {
+        (self.below(17) as i64) - 8
+    }
+}
+
+/// Which memory-model dialect the generator emits actions for.
+///
+/// Action names and argument shapes are plain GIL data, so the dialects
+/// live here in core without depending on the language crates; the root
+/// crate's battery pins the C shapes against `gillian_c::Chunk::to_expr`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemDialect {
+    /// No memory actions (pure store/arithmetic/control programs).
+    #[default]
+    None,
+    /// The While model: `lookup [loc, prop]`, `mutate [loc, prop, val]`,
+    /// `dispose loc` over `uSym` locations.
+    While,
+    /// The MiniC model: `alloc [b, size]`, `store [chunk, b, off, v]`,
+    /// `load [chunk, b, off]`, `free [b, 0]` over `uSym` block symbols,
+    /// with 8-byte signed-int chunks (the `long` type).
+    C,
+}
+
+/// A dialect-specific memory step over the generator's location pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// Allocate a fresh object/block and initialise its first slot.
+    New,
+    /// Write a value (a symbolic input) into slot `slot` of location
+    /// `loc` (both taken modulo the pools).
+    Write {
+        /// Location index into the pool.
+        loc: u8,
+        /// Slot index (property name / byte offset).
+        slot: u8,
+        /// Symbolic input index providing the stored value.
+        sym: u8,
+    },
+    /// Read slot `slot` of location `loc` into the accumulator. Reading
+    /// an absent slot errors — on both sides, which is the point.
+    Read {
+        /// Location index into the pool.
+        loc: u8,
+        /// Slot index (property name / byte offset).
+        slot: u8,
+    },
+    /// Dispose/free location `loc`. Later reads error on both sides.
+    Free {
+        /// Location index into the pool.
+        loc: u8,
+    },
+}
+
+/// One building block of a generated program. Indices into the symbolic
+/// input / location pools are taken modulo the pool size (allocating one
+/// member when the pool is empty), so every op list is well-formed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenOp {
+    /// `s_k := iSym` plus an `Int` type assumption (mirrors how language
+    /// front ends constrain `symb_long()`-style inputs).
+    Input,
+    /// `acc := acc + k`.
+    Bump(i64),
+    /// `acc := acc ⊕ rhs` where `⊕` is indexed by `op` (add, sub, mul,
+    /// bit-and/or/xor, shifts) and `rhs` is input `sym` or the constant
+    /// `k` (chosen by `use_sym`).
+    Arith {
+        /// Operator selector (modulo the op table).
+        op: u8,
+        /// Input index for a symbolic right-hand side.
+        sym: u8,
+        /// Constant right-hand side.
+        k: i64,
+        /// Whether the right-hand side is the symbolic input.
+        use_sym: bool,
+    },
+    /// `acc := wrap_{s,u}_w(acc)` — two's-complement truncation.
+    Wrap {
+        /// Bit width, clamped into `1..=64` at emission.
+        bits: u8,
+        /// Signed (sign-extend) or unsigned (zero-extend) wrap.
+        signed: bool,
+    },
+    /// Guarded integer division/modulo by input `sym`: the division only
+    /// executes on the branch where the divisor is non-zero, the way
+    /// compiled code guards a trapping operation.
+    GuardedDiv {
+        /// Input index for the divisor.
+        sym: u8,
+        /// `true` for `%`, `false` for `/`.
+        modulo: bool,
+    },
+    /// Build a small list from `acc` and input `sym`, then fold its
+    /// length and a constant-index element back into `acc`.
+    ListRound {
+        /// Input index for the second element.
+        sym: u8,
+    },
+    /// Two-way branch `ifgoto s_sym < k` bumping `acc` on the
+    /// fall-through side.
+    Branch {
+        /// Input index for the guard.
+        sym: u8,
+        /// Guard constant.
+        k: i64,
+    },
+    /// Branch on the *accumulator* — a guard over a derived expression,
+    /// which exercises simplifier-built terms in `branch_on`.
+    BranchAcc(i64),
+    /// `assume s_sym < k`: the false side vanishes.
+    Assume {
+        /// Input index for the guard.
+        sym: u8,
+        /// Guard constant.
+        k: i64,
+    },
+    /// `if s_sym = k then fail` — seeds error paths.
+    FailIf {
+        /// Input index for the guard.
+        sym: u8,
+        /// Guard constant.
+        k: i64,
+    },
+    /// `acc := helper(acc, s_sym)` — a static call to a branching helper
+    /// procedure (store save/restore across frames).
+    Call {
+        /// Input index for the second argument.
+        sym: u8,
+    },
+    /// Store shadowing: save `acc`, overwrite it, then recombine.
+    Shadow {
+        /// Input index for the overwriting value.
+        sym: u8,
+    },
+    /// A dialect memory action (no-op under [`MemDialect::None`]).
+    Mem(MemOp),
+}
+
+/// Integer binary operators the `Arith` op draws from. Shift amounts are
+/// taken modulo 64 by the semantics, so every member is total on
+/// `Int × Int`.
+const ARITH_OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::ShrA,
+];
+
+/// Draws a weighted random op list of length `n` for `dialect`.
+pub fn gen_ops(rng: &mut Rng, n: usize, dialect: MemDialect) -> Vec<GenOp> {
+    let mem_weight = if dialect == MemDialect::None { 0 } else { 12 };
+    let total = 88 + mem_weight;
+    (0..n)
+        .map(|_| {
+            let roll = rng.below(total as u64) as u32;
+            let sym = rng.below(4) as u8;
+            let k = rng.small_i64();
+            match roll {
+                0..=9 => GenOp::Input,
+                10..=17 => GenOp::Bump(k),
+                18..=33 => GenOp::Arith {
+                    op: rng.below(ARITH_OPS.len() as u64) as u8,
+                    sym,
+                    k,
+                    use_sym: rng.below(2) == 0,
+                },
+                34..=40 => GenOp::Wrap {
+                    bits: (rng.below(64) + 1) as u8,
+                    signed: rng.below(2) == 0,
+                },
+                41..=45 => GenOp::GuardedDiv {
+                    sym,
+                    modulo: rng.below(2) == 0,
+                },
+                46..=51 => GenOp::ListRound { sym },
+                52..=62 => GenOp::Branch { sym, k },
+                63..=67 => GenOp::BranchAcc(k),
+                68..=73 => GenOp::Assume { sym, k },
+                74..=77 => GenOp::FailIf { sym, k },
+                78..=82 => GenOp::Call { sym },
+                83..=87 => GenOp::Shadow { sym },
+                _ => GenOp::Mem(match rng.below(10) {
+                    0..=2 => MemOp::New,
+                    3..=5 => MemOp::Write {
+                        loc: rng.below(3) as u8,
+                        slot: rng.below(2) as u8,
+                        sym,
+                    },
+                    6..=8 => MemOp::Read {
+                        loc: rng.below(3) as u8,
+                        slot: rng.below(2) as u8,
+                    },
+                    _ => MemOp::Free {
+                        loc: rng.below(3) as u8,
+                    },
+                }),
+            }
+        })
+        .collect()
+}
+
+/// The helper procedure every generated program links against: branches
+/// on its arguments and returns a derived value, exercising call-frame
+/// save/restore and cross-procedure path conditions.
+fn helper_proc() -> Proc {
+    Proc::new(
+        "helper",
+        ["a", "b"],
+        vec![
+            Cmd::IfGoto(Expr::pvar("a").lt(Expr::pvar("b")), 2),
+            Cmd::Return(Expr::pvar("a").add(Expr::pvar("b").mul(Expr::int(2)))),
+            Cmd::Return(Expr::pvar("b").sub(Expr::pvar("a"))),
+        ],
+    )
+}
+
+/// The While property names the generator writes to.
+const WHILE_PROPS: [&str; 2] = ["f", "g"];
+
+/// The serialized 8-byte signed-int chunk (`long`) — the MiniC
+/// `Chunk::int(8).to_expr()` shape `[size, kind-name, signed]`. The root
+/// battery asserts this literal matches `gillian_c::Chunk`.
+fn c_long_chunk() -> Expr {
+    Expr::Val(Value::List(vec![
+        Value::Int(8),
+        Value::str("int"),
+        Value::Bool(true),
+    ]))
+}
+
+/// Compiles an op list into a GIL program with entry `main`.
+///
+/// Emission is deterministic: allocation sites number `iSym`/`uSym` in
+/// order of appearance, temporaries are numbered per op, and referenced
+/// pools auto-allocate a member when empty (so no op is ever dangling).
+pub fn build_prog(ops: &[GenOp], dialect: MemDialect) -> Prog {
+    let mut body = vec![Cmd::assign("acc", Expr::int(1))];
+    let mut syms: Vec<String> = Vec::new();
+    let mut locs: Vec<String> = Vec::new();
+    let mut site: u32 = 0;
+    let mut tmp: u32 = 0;
+
+    fn alloc_input(body: &mut Vec<Cmd>, syms: &mut Vec<String>, site: &mut u32) {
+        let name = format!("s{}", syms.len());
+        body.push(Cmd::isym(&name, *site));
+        *site += 1;
+        // assume typeOf(s) = Int — skip over a vanish, like compiled
+        // `symb_long()`.
+        let skip = body.len() + 2;
+        body.push(Cmd::IfGoto(
+            Expr::pvar(&name).has_type(gillian_gil::TypeTag::Int),
+            skip,
+        ));
+        body.push(Cmd::Vanish);
+        syms.push(name);
+    }
+
+    fn alloc_loc(
+        body: &mut Vec<Cmd>,
+        locs: &mut Vec<String>,
+        site: &mut u32,
+        tmp: &mut u32,
+        dialect: MemDialect,
+    ) {
+        let name = format!("l{}", locs.len());
+        body.push(Cmd::usym(&name, *site));
+        *site += 1;
+        match dialect {
+            MemDialect::None => {}
+            MemDialect::While => {
+                body.push(Cmd::action(
+                    format!("t{tmp}"),
+                    "mutate",
+                    Expr::list([Expr::pvar(&name), Expr::str(WHILE_PROPS[0]), Expr::int(0)]),
+                ));
+                *tmp += 1;
+            }
+            MemDialect::C => {
+                body.push(Cmd::action(
+                    format!("t{tmp}"),
+                    "alloc",
+                    Expr::list([Expr::pvar(&name), Expr::int(16)]),
+                ));
+                *tmp += 1;
+                body.push(Cmd::action(
+                    format!("t{tmp}"),
+                    "store",
+                    Expr::list([
+                        c_long_chunk(),
+                        Expr::pvar(&name),
+                        Expr::int(0),
+                        Expr::int(0),
+                    ]),
+                ));
+                *tmp += 1;
+            }
+        }
+        locs.push(name);
+    }
+
+    let mut need_helper = false;
+    for op in ops {
+        // Ops that reference a pool make sure it is non-empty.
+        let needs_sym = matches!(
+            op,
+            GenOp::Arith { use_sym: true, .. }
+                | GenOp::GuardedDiv { .. }
+                | GenOp::ListRound { .. }
+                | GenOp::Branch { .. }
+                | GenOp::Assume { .. }
+                | GenOp::FailIf { .. }
+                | GenOp::Call { .. }
+                | GenOp::Shadow { .. }
+                | GenOp::Mem(MemOp::Write { .. })
+        );
+        if needs_sym && syms.is_empty() {
+            alloc_input(&mut body, &mut syms, &mut site);
+        }
+        if matches!(op, GenOp::Mem(m) if !matches!(m, MemOp::New)) && locs.is_empty() {
+            alloc_loc(&mut body, &mut locs, &mut site, &mut tmp, dialect);
+        }
+        let pick = |pool: &[String], i: u8| pool[i as usize % pool.len()].clone();
+        match op {
+            GenOp::Input => alloc_input(&mut body, &mut syms, &mut site),
+            GenOp::Bump(k) => {
+                body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::int(*k))));
+            }
+            GenOp::Arith {
+                op,
+                sym,
+                k,
+                use_sym,
+            } => {
+                let bop = ARITH_OPS[*op as usize % ARITH_OPS.len()];
+                let shift = matches!(bop, BinOp::Shl | BinOp::ShrA);
+                let rhs = if *use_sym {
+                    let s = Expr::pvar(pick(&syms, *sym));
+                    // Shift counts are masked small, like compiled code
+                    // masks them: unmasked counts wrap `acc` to the i64
+                    // boundary so often that the solver's mathematical
+                    // linear reasoning admits wrapping-infeasible paths,
+                    // drowning the battery in no-model skips.
+                    if shift {
+                        s.bin(BinOp::BitAnd, Expr::int(7))
+                    } else {
+                        s
+                    }
+                } else if shift {
+                    Expr::int(k.rem_euclid(8))
+                } else {
+                    Expr::int(*k)
+                };
+                body.push(Cmd::assign("acc", Expr::pvar("acc").bin(bop, rhs)));
+            }
+            GenOp::Wrap { bits, signed } => {
+                let w = (*bits).clamp(1, 64);
+                let un = if *signed {
+                    UnOp::WrapSigned(w)
+                } else {
+                    UnOp::WrapUnsigned(w)
+                };
+                body.push(Cmd::assign("acc", Expr::pvar("acc").un(un)));
+            }
+            GenOp::GuardedDiv { sym, modulo } => {
+                let d = Expr::pvar(pick(&syms, *sym));
+                let skip = body.len() + 2;
+                body.push(Cmd::IfGoto(d.clone().eq(Expr::int(0)), skip));
+                let divided = if *modulo {
+                    Expr::pvar("acc").rem(d)
+                } else {
+                    Expr::pvar("acc").div(d)
+                };
+                body.push(Cmd::assign("acc", divided));
+            }
+            GenOp::ListRound { sym } => {
+                let s = Expr::pvar(pick(&syms, *sym));
+                let xs = format!("xs{tmp}");
+                tmp += 1;
+                body.push(Cmd::assign(
+                    &xs,
+                    Expr::list([Expr::pvar("acc"), s, Expr::int(3)]),
+                ));
+                body.push(Cmd::assign(
+                    "acc",
+                    Expr::pvar(&xs)
+                        .clone()
+                        .lst_nth(Expr::int(1))
+                        .add(Expr::pvar(&xs).lst_len()),
+                ));
+            }
+            GenOp::Branch { sym, k } => {
+                let s = Expr::pvar(pick(&syms, *sym));
+                let skip = body.len() + 2;
+                body.push(Cmd::IfGoto(s.lt(Expr::int(*k)), skip));
+                body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::int(1))));
+            }
+            GenOp::BranchAcc(k) => {
+                let skip = body.len() + 2;
+                body.push(Cmd::IfGoto(Expr::pvar("acc").lt(Expr::int(*k)), skip));
+                body.push(Cmd::assign("acc", Expr::int(0).sub(Expr::pvar("acc"))));
+            }
+            GenOp::Assume { sym, k } => {
+                let s = Expr::pvar(pick(&syms, *sym));
+                let skip = body.len() + 2;
+                body.push(Cmd::IfGoto(s.lt(Expr::int(*k)), skip));
+                body.push(Cmd::Vanish);
+            }
+            GenOp::FailIf { sym, k } => {
+                let s = Expr::pvar(pick(&syms, *sym));
+                let skip = body.len() + 2;
+                body.push(Cmd::IfGoto(s.ne(Expr::int(*k)), skip));
+                body.push(Cmd::Fail(Expr::str("difftest: seeded failure")));
+            }
+            GenOp::Call { sym } => {
+                need_helper = true;
+                let s = Expr::pvar(pick(&syms, *sym));
+                body.push(Cmd::call_static(
+                    "acc",
+                    "helper",
+                    vec![Expr::pvar("acc"), s],
+                ));
+            }
+            GenOp::Shadow { sym } => {
+                let t = format!("t{tmp}");
+                tmp += 1;
+                body.push(Cmd::assign(&t, Expr::pvar("acc")));
+                body.push(Cmd::assign("acc", Expr::pvar(pick(&syms, *sym))));
+                body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::pvar(&t))));
+            }
+            GenOp::Mem(m) => {
+                if dialect == MemDialect::None {
+                    continue;
+                }
+                match m {
+                    MemOp::New => alloc_loc(&mut body, &mut locs, &mut site, &mut tmp, dialect),
+                    MemOp::Write { loc, slot, sym } => {
+                        let l = Expr::pvar(pick(&locs, *loc));
+                        let v = Expr::pvar(pick(&syms, *sym));
+                        let arg = match dialect {
+                            MemDialect::While => Expr::list([
+                                l,
+                                Expr::str(WHILE_PROPS[*slot as usize % WHILE_PROPS.len()]),
+                                v,
+                            ]),
+                            MemDialect::C => Expr::list([
+                                c_long_chunk(),
+                                l,
+                                Expr::int((*slot as i64 % 2) * 8),
+                                v,
+                            ]),
+                            MemDialect::None => unreachable!(),
+                        };
+                        let name = if dialect == MemDialect::While {
+                            "mutate"
+                        } else {
+                            "store"
+                        };
+                        body.push(Cmd::action(format!("t{tmp}"), name, arg));
+                        tmp += 1;
+                    }
+                    MemOp::Read { loc, slot } => {
+                        let l = Expr::pvar(pick(&locs, *loc));
+                        let (name, arg) = match dialect {
+                            MemDialect::While => (
+                                "lookup",
+                                Expr::list([
+                                    l,
+                                    Expr::str(WHILE_PROPS[*slot as usize % WHILE_PROPS.len()]),
+                                ]),
+                            ),
+                            MemDialect::C => (
+                                "load",
+                                Expr::list([c_long_chunk(), l, Expr::int((*slot as i64 % 2) * 8)]),
+                            ),
+                            MemDialect::None => unreachable!(),
+                        };
+                        let r = format!("r{tmp}");
+                        tmp += 1;
+                        body.push(Cmd::action(&r, name, arg));
+                        body.push(Cmd::assign("acc", Expr::pvar("acc").add(Expr::pvar(&r))));
+                    }
+                    MemOp::Free { loc } => {
+                        let l = Expr::pvar(pick(&locs, *loc));
+                        let (name, arg) = match dialect {
+                            MemDialect::While => ("dispose", l),
+                            MemDialect::C => ("free", Expr::list([l, Expr::int(0)])),
+                            MemDialect::None => unreachable!(),
+                        };
+                        body.push(Cmd::action(format!("t{tmp}"), name, arg));
+                        tmp += 1;
+                    }
+                }
+            }
+        }
+    }
+    body.push(Cmd::Return(Expr::pvar("acc")));
+    let mut prog = Prog::from_procs([Proc::new("main", [], body)]);
+    if need_helper {
+        prog.add(helper_proc());
+    }
+    prog
+}
+
+/// Greedily minimizes an op list against a divergence predicate: tries
+/// removing spans of halving size, then single ops, keeping any removal
+/// under which `diverges` still holds. The result is 1-minimal (no
+/// single op can be removed) whenever the predicate is deterministic.
+pub fn minimize(ops: &[GenOp], diverges: impl Fn(&[GenOp]) -> bool) -> Vec<GenOp> {
+    let mut cur: Vec<GenOp> = ops.to_vec();
+    if !diverges(&cur) {
+        return cur;
+    }
+    let mut span = cur.len() / 2;
+    while span >= 1 {
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + span).min(cur.len());
+            let mut candidate = cur.clone();
+            candidate.drain(i..end);
+            if diverges(&candidate) {
+                cur = candidate; // keep the removal; retry at same index
+            } else {
+                i += span;
+            }
+        }
+        if span == 1 {
+            break;
+        }
+        span /= 2;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "no collisions in 32 draws");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        for dialect in [MemDialect::None, MemDialect::While, MemDialect::C] {
+            let a = gen_ops(&mut Rng::new(7), 40, dialect);
+            let b = gen_ops(&mut Rng::new(7), 40, dialect);
+            assert_eq!(a, b);
+            let pa = build_prog(&a, dialect);
+            let pb = build_prog(&b, dialect);
+            assert_eq!(format!("{pa:?}"), format!("{pb:?}"));
+        }
+    }
+
+    #[test]
+    fn none_dialect_emits_no_actions() {
+        let ops = gen_ops(&mut Rng::new(3), 60, MemDialect::None);
+        let prog = build_prog(&ops, MemDialect::None);
+        for proc in prog.iter() {
+            assert!(!proc.body.iter().any(|c| matches!(c, Cmd::Action { .. })));
+        }
+    }
+
+    #[test]
+    fn minimize_is_one_minimal() {
+        // Predicate: diverges iff the list still contains a Bump(3) and a
+        // Bump(5) (order-independent pair).
+        let ops = vec![
+            GenOp::Input,
+            GenOp::Bump(3),
+            GenOp::Shadow { sym: 0 },
+            GenOp::Bump(5),
+            GenOp::Input,
+        ];
+        let has = |ops: &[GenOp]| ops.contains(&GenOp::Bump(3)) && ops.contains(&GenOp::Bump(5));
+        let min = minimize(&ops, has);
+        assert_eq!(min, vec![GenOp::Bump(3), GenOp::Bump(5)]);
+    }
+
+    #[test]
+    fn minimize_keeps_nondiverging_input_intact() {
+        let ops = vec![GenOp::Input, GenOp::Bump(1)];
+        assert_eq!(minimize(&ops, |_| false), ops);
+    }
+}

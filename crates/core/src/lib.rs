@@ -34,7 +34,9 @@
 
 pub mod allocator;
 pub mod concrete;
+pub mod difftest;
 pub mod explore;
+pub mod generate;
 pub mod interp;
 pub mod memory;
 mod panic_guard;
@@ -46,10 +48,15 @@ pub mod testing;
 
 pub use allocator::{ConcAllocator, SymAllocator};
 pub use concrete::ConcreteState;
-pub use explore::{
-    explore_parallel, explore_with, ExploreConfig, ExploreDiagnostics, ExploreOutcome,
-    ExploreResult, PathResult, SearchStrategy,
+pub use difftest::{
+    run_differential, run_differential_with, DifftestReport, Divergence, InterpMemoryCheck,
+    MemoryCheck, MismatchClass, NoMemoryCheck, SkippedPath,
 };
+pub use explore::{
+    explore_parallel, explore_with, replay_path, ExploreConfig, ExploreDiagnostics, ExploreOutcome,
+    ExploreResult, PathResult, ReplayError, SearchStrategy,
+};
+pub use generate::{build_prog, gen_ops, minimize, GenOp, MemDialect, Rng};
 pub use gillian_solver::{CancelToken, Interrupt};
 pub use interp::{Config, Final, Outcome};
 pub use memory::{ConcreteMemory, SymBranch, SymbolicMemory};

@@ -110,7 +110,9 @@ pub fn run_test<M: SymbolicMemory>(
     let mut bugs = Vec::new();
     for path in result.errors() {
         let pc = path.state.pc.clone();
-        let model = solver.model(&pc);
+        // Fall back to the escalated search when the configured budget
+        // fails: an unmodelled true positive is a report nobody can act on.
+        let model = solver.model(&pc).or_else(|| solver.model_for_replay(&pc));
         let script = model
             .as_ref()
             .map(|m| script_from_model(&path.state, m))

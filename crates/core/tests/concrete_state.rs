@@ -1,0 +1,196 @@
+//! `ConcreteState` edge cases: the CSC (paper Def. 2.5) under inputs the
+//! inline unit tests do not reach — empty memory-action arguments, store
+//! shadowing across call frames, allocator behaviour around free, and
+//! scripted-allocator exhaustion. The differential oracle leans on every
+//! one of these behaviours when it replays a symbolic path concretely.
+
+use gillian_core::explore::{explore, ExploreConfig, ExploreOutcome};
+use gillian_core::memory::ConcreteMemory;
+use gillian_core::state::GilState;
+use gillian_core::ConcreteState;
+use gillian_gil::{Cmd, Expr, Proc, Prog, Sym, Value};
+use gillian_telemetry::Journal;
+use std::collections::BTreeMap;
+
+/// A toy heap keyed by location: `new []`, `write [loc, v]`, `read [loc]`,
+/// `free [loc]`. `new` takes an *empty argument list* — the empty-action
+/// edge the oracle's generated programs also exercise.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Heap {
+    cells: BTreeMap<Value, Value>,
+}
+
+impl ConcreteMemory for Heap {
+    fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
+        let args = arg.as_list().map(<[Value]>::to_vec).unwrap_or(vec![arg]);
+        match (name, args.as_slice()) {
+            ("new", []) => Ok(Value::Int(self.cells.len() as i64)),
+            ("write", [loc, v]) => {
+                self.cells.insert(loc.clone(), v.clone());
+                Ok(v.clone())
+            }
+            ("read", [loc]) => self
+                .cells
+                .get(loc)
+                .cloned()
+                .ok_or_else(|| Value::str(format!("read of absent cell {loc}"))),
+            ("free", [loc]) => self
+                .cells
+                .remove(loc)
+                .map(|_| Value::Bool(true))
+                .ok_or_else(|| Value::str(format!("double free of {loc}"))),
+            _ => Err(Value::str(format!("bad action {name}({args:?})"))),
+        }
+    }
+}
+
+fn run(prog: &Prog, state: ConcreteState<Heap>) -> (ExploreOutcome<Value>, ConcreteState<Heap>) {
+    let cfg = ExploreConfig {
+        journal: Journal::disabled(),
+        ..Default::default()
+    };
+    let mut r = explore(prog, "main", state, cfg);
+    assert_eq!(r.paths.len(), 1, "concrete execution is deterministic");
+    let path = r.paths.remove(0);
+    (path.outcome, path.state)
+}
+
+#[test]
+fn empty_action_argument_reaches_the_memory_intact() {
+    // r := new []  — the action receives an empty list, not a missing arg.
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::action("r", "new", Expr::list([])),
+            Cmd::Return(Expr::pvar("r")),
+        ],
+    )]);
+    let (outcome, _) = run(&prog, ConcreteState::new());
+    assert_eq!(outcome, ExploreOutcome::Normal(Value::Int(0)));
+}
+
+#[test]
+fn store_shadowing_last_write_wins_and_frames_restore() {
+    // main() { x := 1; x := 2; r := f(9); return x + r }
+    // f(x)   { x := x + 1; return x }
+    // The callee's `x` must shadow the caller's without clobbering it.
+    let prog = Prog::from_procs([
+        Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::assign("x", Expr::int(1)),
+                Cmd::assign("x", Expr::int(2)),
+                Cmd::call_static("r", "f", vec![Expr::int(9)]),
+                Cmd::Return(Expr::pvar("x").add(Expr::pvar("r"))),
+            ],
+        ),
+        Proc::new(
+            "f",
+            ["x"],
+            vec![
+                Cmd::assign("x", Expr::pvar("x").add(Expr::int(1))),
+                Cmd::Return(Expr::pvar("x")),
+            ],
+        ),
+    ]);
+    let (outcome, state) = run(&prog, ConcreteState::new());
+    assert_eq!(outcome, ExploreOutcome::Normal(Value::Int(12)), "2 + 10");
+    assert_eq!(state.store().get("x"), Some(&Value::Int(2)), "caller's x");
+}
+
+#[test]
+fn allocator_never_reuses_locations_after_free() {
+    // l1 := uSym; write it; free it; l2 := uSym — l2 must be a location
+    // never seen before, even though l1's cell is gone. Reusing freed
+    // locations would let a concrete replay alias cells the symbolic run
+    // kept distinct.
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::usym("l1", 0),
+            Cmd::action("w", "write", Expr::list([Expr::pvar("l1"), Expr::int(5)])),
+            Cmd::action("d", "free", Expr::list([Expr::pvar("l1")])),
+            Cmd::usym("l2", 0),
+            Cmd::Return(Expr::pvar("l1").eq(Expr::pvar("l2"))),
+        ],
+    )]);
+    let (outcome, state) = run(&prog, ConcreteState::new());
+    assert_eq!(outcome, ExploreOutcome::Normal(Value::Bool(false)));
+    assert!(state.memory.cells.is_empty(), "freed cell is gone");
+    assert_eq!(
+        state.store().get("l2"),
+        Some(&Value::Sym(Sym(Sym::FIRST_FRESH + 1))),
+        "the counter advances monotonically"
+    );
+}
+
+#[test]
+fn freed_cell_reads_and_double_frees_error() {
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::usym("l", 0),
+            Cmd::action("w", "write", Expr::list([Expr::pvar("l"), Expr::int(1)])),
+            Cmd::action("d", "free", Expr::list([Expr::pvar("l")])),
+            Cmd::action("r", "read", Expr::list([Expr::pvar("l")])),
+            Cmd::Return(Expr::pvar("r")),
+        ],
+    )]);
+    let (outcome, _) = run(&prog, ConcreteState::new());
+    assert!(
+        matches!(outcome, ExploreOutcome::Error(_)),
+        "use-after-free surfaces as E(v), got {outcome:?}"
+    );
+}
+
+#[test]
+fn scripted_allocator_exhaustion_defaults_every_remaining_isym() {
+    // Three iSym sites, a one-value script: the first pops the script, the
+    // rest default to Int(0) — exactly `complete_model`'s convention, so a
+    // partial model still steers a replay instead of crashing it.
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![
+            Cmd::isym("a", 0),
+            Cmd::isym("b", 1),
+            Cmd::isym("c", 2),
+            Cmd::Return(Expr::list([
+                Expr::pvar("a"),
+                Expr::pvar("b"),
+                Expr::pvar("c"),
+            ])),
+        ],
+    )]);
+    let (outcome, state) = run(&prog, ConcreteState::with_script([Value::Int(42)]));
+    assert_eq!(
+        outcome,
+        ExploreOutcome::Normal(Value::List(vec![
+            Value::Int(42),
+            Value::Int(0),
+            Value::Int(0)
+        ]))
+    );
+    assert_eq!(state.alloc().remaining_script(), 0);
+}
+
+#[test]
+fn over_long_scripts_leave_the_surplus_queued() {
+    let prog = Prog::from_procs([Proc::new(
+        "main",
+        [],
+        vec![Cmd::isym("a", 0), Cmd::Return(Expr::pvar("a"))],
+    )]);
+    let script = vec![Value::Int(1), Value::Int(2), Value::Int(3)];
+    let (outcome, state) = run(&prog, ConcreteState::with_script(script));
+    assert_eq!(outcome, ExploreOutcome::Normal(Value::Int(1)));
+    assert_eq!(
+        state.alloc().remaining_script(),
+        2,
+        "unconsumed values stay visible for diagnostics"
+    );
+}

@@ -230,6 +230,17 @@ impl IntDomain {
             let c = bc.saturating_sub(ac);
             return if strict { 0 < c } else { 0 <= c };
         }
+        // Same base, different scales: aa·x + ac ⋈ ba·x + bc reduces to
+        // (aa−ba)·x ⋈ bc−ac, a literal bound on the shared base. Without
+        // this, guards like `(x·2 + 128) < x` sail past the checker and
+        // every downstream path becomes an unmodellable false path.
+        if ab == bb {
+            if let (Some(s), Some(d)) = (aa.checked_sub(ba), bc.checked_sub(ac)) {
+                if s != 0 {
+                    return self.bound_affine(&ab, s, 0, d, strict, true);
+                }
+            }
+        }
         // A literal side bounds the affine term directly.
         if let Some(d) = b.as_int() {
             return self.bound_affine(&ab, aa, ac, d, strict, true);
@@ -608,6 +619,26 @@ mod tests {
         let mut d2 = IntDomain::new();
         assert!(d2.assert_cmp(&x(0).add(Expr::int(1)), &x(0).add(Expr::int(3)), true));
         assert!(!d2.assert_cmp(&x(0).add(Expr::int(3)), &x(0).add(Expr::int(1)), true));
+    }
+
+    #[test]
+    fn same_base_different_scales_resolve() {
+        // (x·2 + 128) < x  ⇔  x < -128: combined with -8 ≤ x this is a
+        // contradiction the checker must catch — otherwise every guard of
+        // this shape mints an unmodellable false path downstream
+        // (differential battery, seed 1592590343).
+        let mut d = IntDomain::new();
+        assert!(d.assert_cmp(&Expr::int(-8), &x(0), false));
+        assert!(!d.assert_cmp(
+            &x(0).clone().mul(Expr::int(2)).add(Expr::int(128)),
+            &x(0),
+            true
+        ));
+        // And the satisfiable direction tightens instead of refuting:
+        // x < x·2 + 128  ⇔  -128 < x.
+        let mut d2 = IntDomain::new();
+        assert!(d2.assert_cmp(&x(0), &x(0).mul(Expr::int(2)).add(Expr::int(128)), true));
+        assert!(d2.query(&x(0)).lo >= -127);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod typing;
 pub mod uf;
 
 pub use interrupt::{CancelToken, Interrupt};
-pub use model::Model;
+pub use model::{find_model_escalating, Model, ModelBudget};
 pub use pathcond::{PathCondition, PcKey};
 pub use persistent::PSet;
 pub use sat::SatResult;

@@ -477,6 +477,36 @@ fn search(
     false
 }
 
+/// Finds a model under escalating budgets: the given budget first, then
+/// two progressively larger fresh searches (8×/64× nodes, 4×/8× more
+/// candidates per variable).
+///
+/// The differential oracle uses this to make witness extraction *total
+/// modulo budget*: a path condition the configured search cannot crack —
+/// typically a case-split `Sat` whose end-of-solve witness harvest failed
+/// — gets genuinely deeper searches before the path is (reported as)
+/// skipped. `None` still never means "unsat", only "not found within the
+/// largest budget".
+pub fn find_model_escalating(conjuncts: &[Expr], budget: ModelBudget) -> Option<Model> {
+    let mut budget = budget;
+    for scale in 0..3 {
+        if scale > 0 {
+            budget = ModelBudget {
+                max_nodes: budget.max_nodes.saturating_mul(8),
+                candidates_per_var: budget.candidates_per_var.saturating_mul(if scale == 1 {
+                    4
+                } else {
+                    2
+                }),
+            };
+        }
+        if let Some(m) = find_model(conjuncts, budget) {
+            return Some(m);
+        }
+    }
+    None
+}
+
 /// Convenience: find a model with default budgets, checking sat first.
 pub fn find_model_default(conjuncts: &[Expr]) -> Option<Model> {
     if crate::sat::check_conjunction(conjuncts, SatBudget::default())

@@ -750,6 +750,25 @@ impl Solver {
         self.model_searches.fetch_add(1, Ordering::Relaxed);
         find_model(&pc.conjuncts(), self.config.model_budget)
     }
+
+    /// Deep-budget model search for replay: call after [`Solver::model`]
+    /// fails on a condition that should be satisfiable (e.g. a case-split
+    /// `Sat` whose cheap witness harvest produced nothing). Starts at 8×
+    /// the configured node budget and escalates twice more
+    /// ([`crate::model::find_model_escalating`]), so the differential
+    /// oracle's witness extraction is total modulo (a much larger) budget.
+    pub fn model_for_replay(&self, pc: &PathCondition) -> Option<Model> {
+        if pc.is_trivially_false() {
+            return None;
+        }
+        self.model_searches.fetch_add(1, Ordering::Relaxed);
+        let base = self.config.model_budget;
+        let escalated = crate::model::ModelBudget {
+            max_nodes: base.max_nodes.saturating_mul(8),
+            candidates_per_var: base.candidates_per_var.saturating_mul(4),
+        };
+        crate::model::find_model_escalating(&pc.conjuncts(), escalated)
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,16 @@ pub mod names {
     /// Histogram of reused-prefix depth (conjuncts inherited from the
     /// deepest already-solved ancestor) on incremental answers.
     pub const SAT_PREFIX_DEPTH: &str = "solver.sat_reused_prefix_depth";
+    /// Symbolic paths replayed concretely by the differential oracle.
+    pub const DIFFTEST_REPLAYS: &str = "difftest.replays";
+    /// Symbolic-vs-concrete divergences found by the differential oracle.
+    pub const DIFFTEST_DIVERGENCES: &str = "difftest.divergences";
+    /// Paths the differential oracle could not check (truncated, engine
+    /// error, or no witness model even after budget escalation).
+    pub const DIFFTEST_SKIPPED: &str = "difftest.skipped_paths";
+    /// Witness models the oracle obtained only through the escalated
+    /// fallback search (`Solver::model_for_replay`).
+    pub const DIFFTEST_FALLBACK_MODELS: &str = "difftest.fallback_models";
     /// Interner nodes minted (allocations performed).
     pub const INTERN_MINTS: &str = "intern.mints";
     /// Interner hits (allocations avoided by sharing).

@@ -233,6 +233,19 @@ impl Report {
                 );
             }
         }
+        let replays = self.metrics.counter(names::DIFFTEST_REPLAYS);
+        let divergences = self.metrics.counter(names::DIFFTEST_DIVERGENCES);
+        let skipped = self.metrics.counter(names::DIFFTEST_SKIPPED);
+        if replays + divergences + skipped > 0 {
+            let _ = writeln!(
+                out,
+                "difftest: {} replays · {} divergences · {} skipped paths · {} fallback models",
+                replays,
+                divergences,
+                skipped,
+                self.metrics.counter(names::DIFFTEST_FALLBACK_MODELS)
+            );
+        }
         let mints = self.metrics.counter(names::INTERN_MINTS);
         let ihits = self.metrics.counter(names::INTERN_HITS);
         if mints + ihits > 0 {

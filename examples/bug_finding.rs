@@ -7,9 +7,12 @@
 
 use gillian::c::collections::{buggy, buggy_prog};
 use gillian::c::{CConcMemory, CSymMemory};
+use gillian::core::difftest::{run_differential_with, InterpMemoryCheck};
 use gillian::core::explore::ExploreConfig;
+use gillian::core::generate::{build_prog, gen_ops, minimize, MemDialect, Rng};
 use gillian::core::testing::run_test_with_replay;
 use gillian::solver::Solver;
+use gillian::while_lang::{WhileConcMemory, WhileInterpretation, WhileSymMemory};
 use std::sync::Arc;
 
 fn hunt(title: &str, buggy_src: &str, harness: &str) {
@@ -106,4 +109,50 @@ fn main() {
         }
         "#,
     );
+    difftest_demo();
+}
+
+/// The engine hunting bugs in *itself*: seeded random GIL programs over
+/// the While memory model, each explored symbolically, every path's
+/// witness model replayed concretely, final memories compared through
+/// the interpretation function. Any disagreement would be shrunk to a
+/// minimal op list by `generate::minimize` — the same loop the CI
+/// differential battery runs at scale (DESIGN.md §13). The two
+/// regressions in `crates/core/tests/difftest_regressions.rs` are
+/// minimizer output committed verbatim.
+fn difftest_demo() {
+    println!("== Differential fuzzing: symbolic vs concrete on random programs");
+    let solver = Arc::new(Solver::optimized());
+    let memcheck = InterpMemoryCheck(WhileInterpretation);
+    let diverges = |ops: &[gillian::core::generate::GenOp]| {
+        let prog = build_prog(ops, MemDialect::While);
+        let report = run_differential_with::<WhileSymMemory, WhileConcMemory, _>(
+            &prog,
+            "main",
+            solver.clone(),
+            ExploreConfig::default(),
+            &memcheck,
+        );
+        !report.agreed()
+    };
+    let (mut paths, mut replayed) = (0usize, 0usize);
+    for seed in 0..20u64 {
+        let ops = gen_ops(&mut Rng::new(seed), 14, MemDialect::While);
+        if diverges(&ops) {
+            let shrunk = minimize(&ops, diverges);
+            println!("   DIVERGENCE at seed {seed}; minimized repro: {shrunk:?}");
+            continue;
+        }
+        let prog = build_prog(&ops, MemDialect::While);
+        let report = run_differential_with::<WhileSymMemory, WhileConcMemory, _>(
+            &prog,
+            "main",
+            solver.clone(),
+            ExploreConfig::default(),
+            &memcheck,
+        );
+        paths += report.sym_paths;
+        replayed += report.replayed;
+    }
+    println!("   20 programs: {paths} symbolic paths, {replayed} concrete replays, all agreed");
 }
