@@ -23,6 +23,12 @@
 //! verdict index respectively (see [`gillian_bench::solver_from_env`]),
 //! so before/after throughput comparisons need no rebuild.
 //!
+//! Crash safety: `GILLIAN_CHECKPOINT=path.bin` arms frontier
+//! checkpointing for every workload (interruption-triggered by default;
+//! `GILLIAN_CHECKPOINT_EVERY_MS` adds periodic writes), and the
+//! `checkpoint_250ms` workload measures what an armed 250 ms interval
+//! costs against a checkpointing-off control on the same battery.
+//!
 //! Telemetry: the run always prints the process-level exploration
 //! profile (metric deltas over both workloads). Set
 //! `BENCH_TELEMETRY_GATE=1` to additionally assert that the measured
@@ -96,6 +102,7 @@ fn accumulate(
 fn run_table1() -> Workload {
     let cfg = gillian_core::ExploreConfig {
         workers: gillian_bench::workers_from_env(),
+        checkpoint: gillian_bench::checkpoint_from_env(),
         ..gillian_js::buckets::table1_config()
     };
     accumulate(
@@ -110,6 +117,7 @@ fn run_table1() -> Workload {
 fn run_table2() -> Workload {
     let cfg = gillian_core::ExploreConfig {
         workers: gillian_bench::workers_from_env(),
+        checkpoint: gillian_bench::checkpoint_from_env(),
         ..gillian_c::collections::table2_config()
     };
     accumulate(
@@ -138,6 +146,7 @@ fn run_difftest() -> Workload {
     let cfg = gillian_core::ExploreConfig {
         workers: gillian_bench::workers_from_env(),
         journal: gillian_telemetry::Journal::disabled(),
+        checkpoint: gillian_bench::checkpoint_from_env(),
         ..Default::default()
     };
     let memcheck = InterpMemoryCheck(WhileInterpretation);
@@ -171,6 +180,103 @@ fn run_difftest() -> Workload {
     }
     w.secs = started.elapsed().as_secs_f64();
     w
+}
+
+/// The off-vs-on legs of the checkpoint-overhead measurement.
+struct CheckpointOverhead {
+    off_secs: f64,
+    on_secs: f64,
+    writes: u64,
+}
+
+impl CheckpointOverhead {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (self.on_secs / self.off_secs.max(1e-9) - 1.0)
+    }
+}
+
+/// The `checkpoint_250ms` workload: a fixed-seed battery of generated
+/// While programs explored twice in one process — checkpointing off,
+/// then with a 250 ms interval checkpoint to a temp file — so the JSON
+/// records what arming crash-safe checkpointing costs on this machine.
+/// Both legs must produce identical path and command counts (checkpoint
+/// writes are observationally transparent); the reported workload row is
+/// the checkpointed leg.
+fn run_checkpoint_overhead() -> (Workload, CheckpointOverhead) {
+    use gillian_core::generate::{build_prog, gen_ops, MemDialect, Rng};
+    use gillian_core::symbolic::SymbolicState;
+    use gillian_core::CheckpointConfig;
+    use gillian_telemetry::names;
+    use gillian_while::WhileSymMemory;
+
+    const SEED: u64 = 0xC4E0_0F5E;
+    const PROGRAMS: usize = 40;
+    let solver = std::sync::Arc::new(gillian_bench::solver_from_env());
+    let path = std::env::temp_dir().join(format!("gillian-bench-ckpt-{}.bin", std::process::id()));
+    let leg = |checkpoint: Option<CheckpointConfig>| -> (usize, u64, f64) {
+        let started = std::time::Instant::now();
+        let (mut paths, mut cmds) = (0usize, 0u64);
+        for i in 0..PROGRAMS as u64 {
+            let ops = gen_ops(&mut Rng::new(SEED + i), 14, MemDialect::While);
+            let prog = build_prog(&ops, MemDialect::While);
+            let cfg = gillian_core::ExploreConfig {
+                workers: gillian_bench::workers_from_env(),
+                journal: gillian_telemetry::Journal::disabled(),
+                checkpoint: checkpoint.clone(),
+                ..Default::default()
+            };
+            let result = gillian_core::explore_with(
+                &prog,
+                "main",
+                SymbolicState::<WhileSymMemory>::new(solver.clone()),
+                cfg,
+            );
+            assert!(!result.bounded(), "checkpoint workload must be exhaustive");
+            paths += result.paths.len();
+            cmds += result.total_cmds;
+        }
+        (paths, cmds, started.elapsed().as_secs_f64())
+    };
+    let armed =
+        || Some(CheckpointConfig::at(&path).with_interval(std::time::Duration::from_millis(250)));
+    // Warm-up leg (untimed): the first pass through the battery mints the
+    // interner nodes and warms the allocator, which would otherwise be
+    // billed entirely to whichever leg ran first.
+    let (paths_off, cmds_off, _) = leg(None);
+    // Interleaved best-of-3: noise only ever adds time, so the minimum of
+    // alternating legs is the fairest off-vs-armed comparison.
+    let writes_before = registry().counter(names::CHECKPOINT_WRITES).get();
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut paths_on, mut cmds_on) = (0, 0);
+    for _ in 0..3 {
+        off_secs = off_secs.min(leg(None).2);
+        let (p, c, secs) = leg(armed());
+        (paths_on, cmds_on) = (p, c);
+        on_secs = on_secs.min(secs);
+    }
+    let writes = registry().counter(names::CHECKPOINT_WRITES).get() - writes_before;
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        (paths_off, cmds_off),
+        (paths_on, cmds_on),
+        "checkpointing perturbed exploration results"
+    );
+    let w = Workload {
+        name: "checkpoint_250ms",
+        tests: PROGRAMS,
+        gil_cmds: cmds_on,
+        paths: paths_on,
+        secs: on_secs,
+        baseline_secs: None,
+    };
+    (
+        w,
+        CheckpointOverhead {
+            off_secs,
+            on_secs,
+            writes,
+        },
+    )
 }
 
 /// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
@@ -216,7 +322,12 @@ fn json_workload(out: &mut String, w: &Workload) {
     .unwrap();
 }
 
-fn render_json(workloads: &[Workload], interner: &InternStats, rss: u64) -> String {
+fn render_json(
+    workloads: &[Workload],
+    ckpt: &CheckpointOverhead,
+    interner: &InternStats,
+    rss: u64,
+) -> String {
     let denom = (interner.mints + interner.hits).max(1);
     let hit_rate = interner.hits as f64 / denom as f64;
     let mut out = String::new();
@@ -243,6 +354,26 @@ fn render_json(workloads: &[Workload], interner: &InternStats, rss: u64) -> Stri
         out.push_str(if i + 1 < workloads.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    writeln!(
+        out,
+        concat!(
+            "  \"checkpoint_overhead\": {{\"off_secs\": {:.4}, ",
+            "\"on_secs\": {:.4}, \"every_ms\": 250, \"writes\": {}, ",
+            "\"overhead_pct\": {:.2}, \"methodology\": ",
+            "\"best-of-3 interleaved legs of the same fixed-seed While ",
+            "battery after an untimed warm-up pass, checkpointing off vs ",
+            "armed at a 250ms interval; each program finishes well inside ",
+            "the interval, so the armed leg prices the per-step clock ",
+            "checks (writes counts any interval writes that did fire), ",
+            "and with no baseline_secs the workload row carries no ",
+            "speedup ratio — overhead_pct is indicative, not a gate\"}},"
+        ),
+        ckpt.off_secs,
+        ckpt.on_secs,
+        ckpt.writes,
+        ckpt.overhead_pct()
+    )
+    .unwrap();
     writeln!(
         out,
         concat!(
@@ -328,7 +459,8 @@ fn main() {
     let before = InternStats::snapshot();
     let metrics_before = registry().snapshot();
     let run_started = std::time::Instant::now();
-    let workloads = [run_table1(), run_table2(), run_difftest()];
+    let (ckpt_workload, ckpt) = run_checkpoint_overhead();
+    let workloads = [run_table1(), run_table2(), run_difftest(), ckpt_workload];
     let report = Report {
         wall_micros: run_started.elapsed().as_micros() as u64,
         workers: gillian_bench::workers_from_env() as u32,
@@ -338,7 +470,7 @@ fn main() {
     let interner = InternStats::snapshot().since(&before);
     let rss = peak_rss_bytes();
 
-    let json = render_json(&workloads, &interner, rss);
+    let json = render_json(&workloads, &ckpt, &interner, rss);
     let out_path =
         std::env::var("BENCH_REPR_OUT").unwrap_or_else(|_| "BENCH_repr.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
@@ -363,6 +495,13 @@ fn main() {
         interner.hits,
         100.0 * interner.hits as f64 / denom as f64,
         rss as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "checkpoint overhead: off {:.3}s vs 250ms-interval {:.3}s ({:+.1}%, {} writes)",
+        ckpt.off_secs,
+        ckpt.on_secs,
+        ckpt.overhead_pct(),
+        ckpt.writes
     );
     println!("wrote {out_path}");
     println!("\n{}", report.render());

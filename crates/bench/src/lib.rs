@@ -62,6 +62,23 @@ pub fn deadline_from_env() -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
+/// Frontier checkpointing taken from the environment: `GILLIAN_CHECKPOINT`
+/// names the checkpoint file (written atomically; see `DESIGN.md` §14),
+/// and `GILLIAN_CHECKPOINT_EVERY_MS` adds periodic writes at that
+/// interval on top of the default interruption-only triggers. Returns
+/// `None` — checkpointing off — when `GILLIAN_CHECKPOINT` is unset.
+pub fn checkpoint_from_env() -> Option<gillian_core::CheckpointConfig> {
+    let path = std::env::var("GILLIAN_CHECKPOINT").ok()?;
+    let mut cfg = gillian_core::CheckpointConfig::at(path);
+    if let Some(ms) = std::env::var("GILLIAN_CHECKPOINT_EVERY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        cfg = cfg.with_interval(Duration::from_millis(ms));
+    }
+    Some(cfg)
+}
+
 /// The optimized solver with the incremental-solving layers toggled by
 /// environment: `GILLIAN_INCREMENTAL=0` disables per-prefix solve
 /// contexts, `GILLIAN_IMPLICATION=0` disables the implication-aware

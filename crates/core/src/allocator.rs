@@ -76,6 +76,23 @@ impl SymAllocator {
     pub fn reserve_lvars(&mut self, n: u64) {
         self.next_lvar = self.next_lvar.max(n);
     }
+
+    /// The full allocation record `(next_sym, next_lvar, isym_trace)`, for
+    /// checkpoint serialization. Counters must survive a checkpoint
+    /// round-trip exactly: a resumed path that re-minted an already-used
+    /// symbol would alias two distinct heap locations.
+    pub fn parts(&self) -> (u64, u64, &[(u32, LVar)]) {
+        (self.next_sym, self.next_lvar, &self.isym_trace)
+    }
+
+    /// Rebuilds an allocator record from [`SymAllocator::parts`].
+    pub fn from_parts(next_sym: u64, next_lvar: u64, isym_trace: Vec<(u32, LVar)>) -> Self {
+        SymAllocator {
+            next_sym,
+            next_lvar,
+            isym_trace,
+        }
+    }
 }
 
 impl Restrict for SymAllocator {

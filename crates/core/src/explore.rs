@@ -41,15 +41,20 @@
 //!   cancellations, engine errors, and `Unknown` sat verdicts — nothing
 //!   that weakened the run's guarantee goes unrecorded.
 
+use crate::checkpoint::{
+    self, CheckpointConfig, CheckpointData, FrontierItem, PathSummary, ResumeError, StateCtx,
+};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::interp::{step, Config, Final, Outcome, StepOut};
 use crate::panic_guard;
 use crate::state::GilState;
 use gillian_gil::{InternStats, Prog};
 use gillian_solver::{CancelToken, Interrupt};
-use gillian_telemetry::{registry, Event, Journal, Report, TreeStats};
+use gillian_telemetry::{names, registry, Event, Journal, Report, TreeStats, WorkerLog};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Locks a mutex, tolerating poison: a panicking path may unwind while a
@@ -123,6 +128,17 @@ pub struct ExploreConfig {
     /// configured sinks at explore end. Tests and embedders can install
     /// an explicit journal (e.g. [`Journal::enabled`]) instead.
     pub journal: Journal,
+    /// Crash-safe checkpointing of the frontier (`DESIGN.md` §14):
+    /// `None` (the default) writes nothing; otherwise the configured
+    /// file receives atomic snapshots at the configured interval and on
+    /// deadline/cancel/kill, from which [`explore_resume`] can continue
+    /// the run.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Deterministic fault injection (`DESIGN.md` §14): `None` (the
+    /// default) injects nothing; otherwise the plan's seeded decisions
+    /// fire at engine scheduling points and solver queries. Testing
+    /// machinery — never install one in production runs.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl ExploreConfig {
@@ -145,6 +161,8 @@ impl Default for ExploreConfig {
             deadline: None,
             cancel: CancelToken::new(),
             journal: Journal::from_env(),
+            checkpoint: None,
+            faults: None,
         }
     }
 }
@@ -281,6 +299,13 @@ pub struct ExploreResult<S: GilState> {
     /// plus any path (finished or pending) arriving after
     /// [`ExploreConfig::max_paths`] results were already collected.
     pub dropped_paths: usize,
+    /// True when a fault-injected kill stopped the run as if the process
+    /// died. A killed result is incomplete by construction: its pending
+    /// frontier lives only in the checkpoint file (when one was
+    /// configured) and is *not* drained into truncated paths here —
+    /// exactly what a real crash leaves behind. Resume with
+    /// [`explore_resume`].
+    pub killed: bool,
     /// What, if anything, degraded this run (deadlines, cancellation,
     /// isolated panics, undecided solver queries).
     pub diagnostics: ExploreDiagnostics,
@@ -318,7 +343,7 @@ impl<S: GilState> ExploreResult<S> {
     /// diagnostics record a degradation (including `Unknown` verdicts,
     /// which truncate nothing but leave branches unproven-infeasible).
     pub fn bounded(&self) -> bool {
-        self.truncated || self.dropped_paths > 0 || !self.diagnostics.is_clean()
+        self.truncated || self.dropped_paths > 0 || self.killed || !self.diagnostics.is_clean()
     }
 
     fn empty() -> Self {
@@ -327,6 +352,7 @@ impl<S: GilState> ExploreResult<S> {
             total_cmds: 0,
             truncated: false,
             dropped_paths: 0,
+            killed: false,
             diagnostics: ExploreDiagnostics::default(),
             report: Report::default(),
         }
@@ -379,6 +405,164 @@ enum StopCause {
     Cancelled,
 }
 
+/// Accounting carried into a resumed run from its checkpoint, so the
+/// merged result reads as if the run was never interrupted: the global
+/// command budget continues from the checkpoint's count and the
+/// interrupted run's diagnostics are folded into the final ones.
+#[derive(Clone, Copy, Debug, Default)]
+struct ResumeBase {
+    total_cmds: u64,
+    truncated: bool,
+    dropped_paths: usize,
+    diagnostics: ExploreDiagnostics,
+}
+
+/// Summaries of a result's recorded paths, for checkpointing.
+fn summaries<S: GilState>(result: &ExploreResult<S>) -> Vec<PathSummary> {
+    result
+        .paths
+        .iter()
+        .map(|p| PathSummary {
+            trace: p.trace.clone(),
+            outcome: p.outcome.kind().to_string(),
+            cmds: p.cmds,
+        })
+        .collect()
+}
+
+/// Summaries of the parallel engine's not-yet-merged finished paths.
+fn yield_summaries<S: GilState>(finished: &[(Vec<u32>, PathResult<S>)]) -> Vec<PathSummary> {
+    finished
+        .iter()
+        .map(|(trace, p)| PathSummary {
+            trace: trace.clone(),
+            outcome: p.outcome.kind().to_string(),
+            cmds: p.cmds,
+        })
+        .collect()
+}
+
+/// Writes one atomic checkpoint of the current frontier, journaling and
+/// counting the write. Failures are counted
+/// (`checkpoint.failed_writes`) but never interrupt exploration —
+/// checkpointing is best-effort durability, not a correctness
+/// dependency. Returns whether the write succeeded.
+#[allow(clippy::too_many_arguments)] // internal; mirrors CheckpointData's fields
+fn write_frontier_checkpoint<'a, S: GilState + 'a>(
+    ckpt: &CheckpointConfig,
+    cfg: &ExploreConfig,
+    entry: &str,
+    frontier: impl Iterator<Item = &'a FrontierItem<S>>,
+    result: &ExploreResult<S>,
+    completed: Vec<PathSummary>,
+    diagnostics: ExploreDiagnostics,
+    log: &mut WorkerLog,
+) -> bool {
+    let started = Instant::now();
+    let data = CheckpointData {
+        strategy: cfg.strategy,
+        entry: entry.to_string(),
+        total_cmds: result.total_cmds,
+        truncated: result.truncated,
+        dropped_paths: result.dropped_paths,
+        diagnostics,
+        completed,
+        frontier: frontier.cloned().collect(),
+    };
+    match checkpoint::save_checkpoint(&ckpt.path, &data) {
+        Ok(bytes) => {
+            let micros = started.elapsed().as_micros() as u64;
+            registry().counter(names::CHECKPOINT_WRITES).incr();
+            registry().counter(names::CHECKPOINT_BYTES).add(bytes);
+            registry()
+                .histogram(names::CHECKPOINT_WRITE_MICROS)
+                .record(micros);
+            let pending = data.frontier.len() as u32;
+            let completed = data.completed.len() as u32;
+            log.emit_with(|| Event::CheckpointWritten {
+                pending,
+                completed,
+                bytes,
+                micros,
+            });
+            true
+        }
+        Err(_) => {
+            registry().counter(names::CHECKPOINT_FAILED_WRITES).incr();
+            false
+        }
+    }
+}
+
+/// A resumed exploration: the paths completed before the interruption
+/// (from the checkpoint) plus the result of exploring the restored
+/// frontier. `prior` and `result.paths` are disjoint by construction
+/// (a path is either finished before the checkpoint or pending in it),
+/// and for a kill-interrupted run their union is exactly the
+/// uninterrupted run's path set, with the same branch-trace identities.
+#[derive(Clone, Debug)]
+pub struct ResumedExplore<S: GilState> {
+    /// Paths completed before the checkpoint was written.
+    pub prior: Vec<PathSummary>,
+    /// The continuation run. Budgets continue from the checkpoint's
+    /// accounting and [`ExploreDiagnostics`] are merged, so this reads
+    /// like the tail of one uninterrupted run.
+    pub result: ExploreResult<S>,
+}
+
+/// Resumes an interrupted exploration from the checkpoint at `path`.
+///
+/// The frontier is restored through `ctx` (intern ids remapped by
+/// re-interning; states re-attached to `ctx.solver`), the checkpoint's
+/// search strategy overrides `cfg.strategy`, and exploration continues
+/// under `cfg`'s budgets with the checkpoint's command count already
+/// spent. `sentinel` plays the role the initial state plays in
+/// [`explore`]: a pristine state for interrupt/journal installation and
+/// panic reporting — it is never stepped.
+///
+/// # Errors
+///
+/// Reports [`ResumeError`] when the file is missing, corrupt, from a
+/// different format version, or holds states `S` cannot rebuild. Never
+/// panics on untrusted bytes.
+pub fn explore_resume<S>(
+    prog: &Prog,
+    path: &Path,
+    ctx: &StateCtx,
+    sentinel: S,
+    mut cfg: ExploreConfig,
+) -> Result<ResumedExplore<S>, ResumeError>
+where
+    S: GilState + Send,
+    S::V: Send,
+    S::Store: Send,
+{
+    let data: CheckpointData<S> = checkpoint::load_checkpoint(path, ctx)?;
+    cfg.strategy = data.strategy;
+    registry().counter(names::CHECKPOINT_RESUMES).incr();
+    cfg.journal.record_shared(Event::Resumed {
+        pending: data.frontier.len() as u32,
+        completed: data.completed.len() as u32,
+    });
+    let base = ResumeBase {
+        total_cmds: data.total_cmds,
+        truncated: data.truncated,
+        dropped_paths: data.dropped_paths,
+        diagnostics: data.diagnostics,
+    };
+    let entry = data.entry.clone();
+    let frontier: VecDeque<FrontierItem<S>> = data.frontier.into();
+    let result = if cfg.workers > 1 {
+        explore_parallel_frontier(prog, &entry, sentinel, frontier, cfg, base)
+    } else {
+        explore_frontier(prog, &entry, sentinel, frontier, cfg, base)
+    };
+    Ok(ResumedExplore {
+        prior: data.completed,
+        result,
+    })
+}
+
 /// Explores all paths of `prog` starting from `entry` in `initial` state.
 ///
 /// Budgets are enforced at the point work is *produced*, not merely when it
@@ -397,15 +581,40 @@ pub fn explore<S: GilState>(
     initial: S,
     cfg: ExploreConfig,
 ) -> ExploreResult<S> {
-    let run_started = Instant::now();
-    let deadline = cfg.deadline.map(|d| run_started + d);
     // A pristine clone of the initial state: it arms/disarms the solver
     // interrupt, provides the Unknown-verdict counter, and stands in as
     // the reported state of paths whose true state was lost to a panic.
     let sentinel = initial.clone();
+    let worklist = VecDeque::from([FrontierItem {
+        config: Config::entry(entry, initial),
+        cmds: 0,
+        trace: Vec::new(),
+    }]);
+    explore_frontier(prog, entry, sentinel, worklist, cfg, ResumeBase::default())
+}
+
+/// The serial engine over an explicit starting frontier: [`explore`] seeds
+/// it with the entry configuration, [`explore_resume`] with a restored
+/// checkpoint frontier plus the interrupted run's accounting in `base`.
+fn explore_frontier<S: GilState>(
+    prog: &Prog,
+    entry: &str,
+    sentinel: S,
+    mut worklist: VecDeque<FrontierItem<S>>,
+    cfg: ExploreConfig,
+    base: ResumeBase,
+) -> ExploreResult<S> {
+    let run_started = Instant::now();
+    let deadline = cfg.deadline.map(|d| run_started + d);
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
+    let faults = cfg.faults.clone();
+    if let Some(plan) = &faults {
+        sentinel.install_fault_probe(plan.probe(journal.clone()));
+    }
+    let ckpt = cfg.checkpoint.clone();
+    let mut next_ckpt = ckpt.as_ref().and_then(|c| c.every).map(|e| run_started + e);
     let unknowns_before = sentinel.unknown_verdicts();
     let reuse_before = sentinel.solver_reuse();
     // Thread-local snapshot: the whole run executes on this thread, so
@@ -417,22 +626,33 @@ pub fn explore<S: GilState>(
     // Branch traces of every *recorded* path, for the report's tree stats.
     let mut traces: Vec<Vec<u32>> = Vec::new();
 
-    struct Item<S: GilState> {
-        config: Config<S>,
-        cmds: u64,
-        trace: Vec<u32>,
-    }
-    let mut worklist: VecDeque<Item<S>> = VecDeque::from([Item {
-        config: Config::entry(entry, initial),
-        cmds: 0,
-        trace: Vec::new(),
-    }]);
     let mut result = ExploreResult::empty();
-    let pop = |wl: &mut VecDeque<Item<S>>, strategy| match strategy {
+    result.total_cmds = base.total_cmds;
+    result.truncated = base.truncated;
+    result.dropped_paths = base.dropped_paths;
+    // Diagnostics as they stand mid-run (for checkpoints): run counters so
+    // far plus the solver deltas normally computed at run end, plus the
+    // resumed-from accounting.
+    let diag_now = |result: &ExploreResult<S>| {
+        let mut d = result.diagnostics;
+        d.deadline_hits += base.diagnostics.deadline_hits;
+        d.cancellations += base.diagnostics.cancellations;
+        d.engine_errors += base.diagnostics.engine_errors;
+        d.unknown_verdicts = sentinel.unknown_verdicts().saturating_sub(unknowns_before)
+            + base.diagnostics.unknown_verdicts;
+        let reuse = sentinel.solver_reuse();
+        d.incremental_hits =
+            reuse.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
+        d.implication_hits =
+            reuse.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+        d
+    };
+    let pop = |wl: &mut VecDeque<FrontierItem<S>>, strategy| match strategy {
         SearchStrategy::Dfs => wl.pop_back(),
         SearchStrategy::Bfs => wl.pop_front(),
     };
     let mut stop_cause: Option<StopCause> = None;
+    let mut killed = false;
     while result.total_cmds < cfg.max_total_cmds && result.paths.len() < cfg.max_paths {
         if cfg.cancel.is_cancelled() {
             stop_cause = Some(StopCause::Cancelled);
@@ -443,7 +663,52 @@ pub fn explore<S: GilState>(
             stop_cause = Some(StopCause::Deadline);
             break;
         }
-        let Some(Item {
+        if let (Some(c), Some(at)) = (ckpt.as_ref(), next_ckpt) {
+            if Instant::now() >= at {
+                let diag = diag_now(&result);
+                write_frontier_checkpoint(
+                    c,
+                    &cfg,
+                    entry,
+                    worklist.iter(),
+                    &result,
+                    summaries(&result),
+                    diag,
+                    &mut log,
+                );
+                next_ckpt = c.every.map(|e| Instant::now() + e);
+            }
+        }
+        // One fault point per scheduling step. A kill fires *before* the
+        // pop, so the checkpointed frontier below is exactly what was
+        // pending; an injected panic is armed here and fires inside the
+        // step's panic guard, exercising the same isolation a real
+        // memory-model panic would.
+        let mut inject_panic = false;
+        if let Some(plan) = &faults {
+            let point = plan.next_point();
+            match plan.engine_fault(point) {
+                Some(FaultKind::Kill) => {
+                    plan.record(point, FaultKind::Kill);
+                    log.emit_with(|| Event::FaultInjected {
+                        point,
+                        fault: "kill",
+                    });
+                    killed = true;
+                    break;
+                }
+                Some(FaultKind::PathPanic) => {
+                    plan.record(point, FaultKind::PathPanic);
+                    log.emit_with(|| Event::FaultInjected {
+                        point,
+                        fault: "path_panic",
+                    });
+                    inject_panic = true;
+                }
+                _ => {}
+            }
+        }
+        let Some(FrontierItem {
             config,
             cmds,
             mut trace,
@@ -472,7 +737,12 @@ pub fn explore<S: GilState>(
             continue;
         }
         result.total_cmds += 1;
-        let outs = match panic_guard::catch(move || step(prog, config)) {
+        let outs = match panic_guard::catch(move || {
+            if inject_panic {
+                panic!("injected fault: path panic");
+            }
+            step(prog, config)
+        }) {
             Ok(outs) => outs,
             Err(payload) => {
                 result.truncated = true;
@@ -530,7 +800,7 @@ pub fn explore<S: GilState>(
                         result.dropped_paths += 1;
                         result.truncated = true;
                     } else {
-                        worklist.push_back(Item {
+                        worklist.push_back(FrontierItem {
                             config: c,
                             cmds: cmds + 1,
                             trace: child_trace,
@@ -560,9 +830,42 @@ pub fn explore<S: GilState>(
             }
         }
     }
+    // Final checkpoint: always on a kill (that *is* the crash being
+    // simulated), and on deadline/cancel when configured — written before
+    // pending work is drained, so the file holds the true frontier.
+    let mut frontier_checkpointed = false;
+    if let Some(c) = ckpt.as_ref() {
+        let wanted = killed
+            || match stop_cause {
+                Some(StopCause::Deadline) => c.on_deadline,
+                Some(StopCause::Cancelled) => c.on_cancel,
+                None => false,
+            };
+        if wanted {
+            let diag = diag_now(&result);
+            frontier_checkpointed = write_frontier_checkpoint(
+                c,
+                &cfg,
+                entry,
+                worklist.iter(),
+                &result,
+                summaries(&result),
+                diag,
+                &mut log,
+            );
+        }
+    }
+    result.killed = killed;
+    if killed && frontier_checkpointed {
+        // A killed run mimics process death: its pending work survives
+        // only in the checkpoint, so it is *not* drained into truncated
+        // paths here (resume-equivalence depends on it appearing exactly
+        // once — in the resumed run).
+        worklist.clear();
+    }
     // A budget/deadline/cancel break leaves pending configurations behind;
     // surface every one of them instead of losing them.
-    while let Some(Item {
+    while let Some(FrontierItem {
         config,
         cmds,
         trace,
@@ -593,11 +896,20 @@ pub fn explore<S: GilState>(
     }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
-        sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+        sentinel.unknown_verdicts().saturating_sub(unknowns_before)
+            + base.diagnostics.unknown_verdicts;
     let reuse_after = sentinel.solver_reuse();
-    result.diagnostics.incremental_hits = reuse_after.0.saturating_sub(reuse_before.0);
-    result.diagnostics.implication_hits = reuse_after.1.saturating_sub(reuse_before.1);
+    result.diagnostics.incremental_hits =
+        reuse_after.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
+    result.diagnostics.implication_hits =
+        reuse_after.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+    result.diagnostics.deadline_hits += base.diagnostics.deadline_hits;
+    result.diagnostics.cancellations += base.diagnostics.cancellations;
+    result.diagnostics.engine_errors += base.diagnostics.engine_errors;
     result.diagnostics.interner = InternStats::thread_snapshot().since(&interner_before);
+    if faults.is_some() {
+        sentinel.clear_fault_probe();
+    }
     drop(log);
     finish_report(
         &mut result,
@@ -732,30 +1044,28 @@ pub fn replay_path<S: GilState>(
     }
 }
 
-/// A pending unit of work for the parallel explorer: a configuration, its
-/// per-path command count, and its *branch trace* — the successor index
-/// chosen at every branching step since the entry. Traces canonically
-/// identify paths independently of scheduling, which is what lets the
-/// parallel engine return a deterministically ordered result.
-struct Job<S: GilState> {
-    config: Config<S>,
-    cmds: u64,
-    trace: Vec<u32>,
-}
-
-/// Queue shared by the explorer workers. `in_flight` counts jobs popped
-/// but not yet retired; the queue is only known empty-for-good when it is
-/// empty *and* nothing is in flight.
+/// Queue shared by the explorer workers (elements are [`FrontierItem`]s —
+/// the same worklist unit the serial engine and checkpoints use; branch
+/// traces canonically identify paths independently of scheduling, which
+/// is what lets the parallel engine return a deterministically ordered
+/// result). `in_flight` counts jobs popped but not yet retired; the queue
+/// is only known empty-for-good when it is empty *and* nothing is in
+/// flight.
 struct JobQueue<S: GilState> {
-    jobs: VecDeque<Job<S>>,
+    jobs: VecDeque<FrontierItem<S>>,
     in_flight: usize,
 }
 
 /// Stop-cause constants for [`SharedExplorer::stop_cause`]; the first
 /// cause to fire wins and attributes the parked pending work.
+/// `CAUSE_CHECKPOINT` pauses the round for a stop-the-world frontier
+/// snapshot (the run restarts afterwards); `CAUSE_KILLED` is a
+/// fault-injected simulated process death.
 const CAUSE_NONE: u8 = 0;
 const CAUSE_DEADLINE: u8 = 1;
 const CAUSE_CANCELLED: u8 = 2;
+const CAUSE_CHECKPOINT: u8 = 3;
+const CAUSE_KILLED: u8 = 4;
 
 struct SharedExplorer<S: GilState> {
     queue: Mutex<JobQueue<S>>,
@@ -779,6 +1089,12 @@ struct SharedExplorer<S: GilState> {
     /// The run deadline, pre-resolved to an instant.
     deadline: Option<Instant>,
     cancel: CancelToken,
+    /// When the next periodic checkpoint is due: the first worker past
+    /// this instant raises `CAUSE_CHECKPOINT` and the round quiesces so
+    /// the main thread can snapshot a consistent frontier.
+    checkpoint_at: Option<Instant>,
+    /// The run's fault-injection plan, if any.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<S: GilState> SharedExplorer<S> {
@@ -797,7 +1113,11 @@ impl<S: GilState> SharedExplorer<S> {
             Ordering::Relaxed,
             Ordering::Relaxed,
         );
-        self.truncated.store(true, Ordering::Relaxed);
+        // A checkpoint pause resumes afterwards and a kill's pending work
+        // survives in the checkpoint file — neither truncates the result.
+        if cause == CAUSE_DEADLINE || cause == CAUSE_CANCELLED {
+            self.truncated.store(true, Ordering::Relaxed);
+        }
         self.stop.store(true, Ordering::Relaxed);
         self.work.notify_all();
     }
@@ -825,7 +1145,7 @@ impl<S: GilState> Drop for InFlightToken<'_, S> {
 /// the worker thread's own interner delta for exact run attribution.
 struct WorkerYield<S: GilState> {
     finished: Vec<(Vec<u32>, PathResult<S>)>,
-    cut: Vec<Job<S>>,
+    cut: Vec<FrontierItem<S>>,
     interner: InternStats,
 }
 
@@ -840,7 +1160,11 @@ fn explore_worker<S: GilState>(
     let interner_before = InternStats::thread_snapshot();
     let mut log = journal.worker(worker);
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
-    let mut cut: Vec<Job<S>> = Vec::new();
+    let mut cut: Vec<FrontierItem<S>> = Vec::new();
+    // Steps this worker has executed this round. A checkpoint pause is only
+    // honored after at least one local step, so even a zero-length interval
+    // cannot livelock the restart loop: every round makes progress.
+    let mut steps = 0u64;
     loop {
         // Acquire a job, or return once the queue is empty with nothing in
         // flight (no one can produce more work).
@@ -883,6 +1207,42 @@ fn explore_worker<S: GilState>(
                 cut.push(job);
                 break;
             }
+            if steps > 0 && shared.checkpoint_at.is_some_and(|at| Instant::now() >= at) {
+                shared.halt(CAUSE_CHECKPOINT);
+                cut.push(job);
+                break;
+            }
+            // One fault point per scheduling step, drawn from the plan's
+            // *shared* counter (solver queries draw from the same one). A
+            // kill parks the item *before* it is stepped, so the quiesced
+            // frontier written by the main thread is exactly what was
+            // pending; an injected panic is armed here and fires inside
+            // the step's panic guard below.
+            let mut inject_panic = false;
+            if let Some(plan) = &shared.faults {
+                let point = plan.next_point();
+                match plan.engine_fault(point) {
+                    Some(FaultKind::Kill) => {
+                        plan.record(point, FaultKind::Kill);
+                        log.emit_with(|| Event::FaultInjected {
+                            point,
+                            fault: "kill",
+                        });
+                        shared.halt(CAUSE_KILLED);
+                        cut.push(job);
+                        break;
+                    }
+                    Some(FaultKind::PathPanic) => {
+                        plan.record(point, FaultKind::PathPanic);
+                        log.emit_with(|| Event::FaultInjected {
+                            point,
+                            fault: "path_panic",
+                        });
+                        inject_panic = true;
+                    }
+                    _ => {}
+                }
+            }
             if job.cmds >= cfg.max_cmds_per_path {
                 shared.truncated.store(true, Ordering::Relaxed);
                 finished.push((
@@ -907,12 +1267,18 @@ fn explore_worker<S: GilState>(
                 cut.push(job);
                 break;
             }
-            let Job {
+            steps += 1;
+            let FrontierItem {
                 config,
                 cmds,
                 mut trace,
             } = job;
-            let outs = match panic_guard::catch(move || step(prog, config)) {
+            let outs = match panic_guard::catch(move || {
+                if inject_panic {
+                    panic!("injected fault: path panic");
+                }
+                step(prog, config)
+            }) {
                 Ok(outs) => outs,
                 Err(payload) => {
                     shared.engine_errors.fetch_add(1, Ordering::Relaxed);
@@ -947,8 +1313,8 @@ fn explore_worker<S: GilState>(
                     arms,
                 });
             }
-            let mut continuation: Option<Job<S>> = None;
-            let mut surplus: Vec<Job<S>> = Vec::new();
+            let mut continuation: Option<FrontierItem<S>> = None;
+            let mut surplus: Vec<FrontierItem<S>> = Vec::new();
             for (i, out) in outs.into_iter().enumerate() {
                 let child_trace = if branching {
                     let mut t = trace.clone();
@@ -959,7 +1325,7 @@ fn explore_worker<S: GilState>(
                 };
                 match out {
                     StepOut::Next(config) => {
-                        let child = Job {
+                        let child = FrontierItem {
                             config,
                             cmds: cmds + 1,
                             trace: child_trace,
@@ -1037,13 +1403,51 @@ where
     S::V: Send,
     S::Store: Send,
 {
+    let sentinel = initial.clone();
+    let seeds = VecDeque::from([FrontierItem {
+        config: Config::entry(entry, initial),
+        cmds: 0,
+        trace: Vec::new(),
+    }]);
+    explore_parallel_frontier(prog, entry, sentinel, seeds, cfg, ResumeBase::default())
+}
+
+/// The parallel engine over an explicit starting frontier —
+/// [`explore_parallel`] seeds it with the entry configuration,
+/// [`explore_resume`] with a restored checkpoint frontier plus the
+/// interrupted run's accounting in `base`.
+///
+/// Periodic checkpoints are *stop-the-world*: the first worker past the
+/// interval raises `CAUSE_CHECKPOINT`, every worker parks its current
+/// item, the quiesced frontier is snapshotted atomically, and a fresh
+/// round restarts from exactly that frontier. Each round's shared atomics
+/// start from the previous round's totals, so budgets and accounting are
+/// continuous — a paused-and-restarted run is indistinguishable from an
+/// uninterrupted one in its result.
+fn explore_parallel_frontier<S>(
+    prog: &Prog,
+    entry: &str,
+    sentinel: S,
+    seeds: VecDeque<FrontierItem<S>>,
+    cfg: ExploreConfig,
+    base: ResumeBase,
+) -> ExploreResult<S>
+where
+    S: GilState + Send,
+    S::V: Send,
+    S::Store: Send,
+{
     let workers = cfg.workers.max(1);
     let run_started = Instant::now();
     let deadline = cfg.deadline.map(|d| run_started + d);
-    let sentinel = initial.clone();
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
+    if let Some(plan) = &cfg.faults {
+        sentinel.install_fault_probe(plan.probe(journal.clone()));
+    }
+    let ckpt = cfg.checkpoint.clone();
+    let mut next_ckpt = ckpt.as_ref().and_then(|c| c.every).map(|e| run_started + e);
     let unknowns_before = sentinel.unknown_verdicts();
     let reuse_before = sentinel.solver_reuse();
     // The run's interner traffic is the sum of each worker thread's delta
@@ -1052,90 +1456,178 @@ where
     let metrics_before = registry().snapshot();
     let mut log = journal.worker(0);
     log.emit_with(|| Event::PathStarted { path: Vec::new() });
-    let shared = SharedExplorer {
-        queue: Mutex::new(JobQueue {
-            jobs: VecDeque::from([Job {
-                config: Config::entry(entry, initial),
-                cmds: 0,
-                trace: Vec::new(),
-            }]),
-            in_flight: 0,
-        }),
-        work: Condvar::new(),
-        total_cmds: AtomicU64::new(0),
-        finished_paths: AtomicUsize::new(0),
-        stop: AtomicBool::new(false),
-        stop_cause: AtomicU8::new(CAUSE_NONE),
-        truncated: AtomicBool::new(false),
-        dropped_paths: AtomicUsize::new(0),
-        engine_errors: AtomicUsize::new(0),
-        deadline,
-        cancel: cfg.cancel.clone(),
+    // Diagnostics as they stand mid-run (for checkpoints): the resumed-from
+    // accounting plus this run's counters and solver deltas.
+    let diag_now = |run_errors: usize| {
+        let mut d = base.diagnostics;
+        d.engine_errors = base.diagnostics.engine_errors + run_errors;
+        d.unknown_verdicts = sentinel.unknown_verdicts().saturating_sub(unknowns_before)
+            + base.diagnostics.unknown_verdicts;
+        let reuse = sentinel.solver_reuse();
+        d.incremental_hits =
+            reuse.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
+        d.implication_hits =
+            reuse.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+        d
     };
-    let yields: Vec<Result<WorkerYield<S>, String>> = std::thread::scope(|scope| {
-        let cfg = &cfg;
-        let shared = &shared;
-        let journal = &journal;
-        // All per-worker sentinels are cloned *before* the first spawn:
-        // once a worker runs it may poison the state (e.g. a memory whose
-        // `Clone` panics after a fault), and an unguarded clone racing
-        // with it would kill the whole run instead of one worker.
-        let sentinels: Vec<S> = (0..workers).map(|_| sentinel.clone()).collect();
-        let handles: Vec<_> = sentinels
-            .into_iter()
-            .enumerate()
-            .map(|(i, worker_sentinel)| {
-                // Worker ids start at 1; id 0 is the merge (main) thread.
-                let worker = (i + 1) as u32;
-                scope.spawn(move || {
-                    panic_guard::catch(|| {
-                        explore_worker(prog, cfg, shared, worker_sentinel, worker, journal)
+
+    // Accounting carried across checkpoint rounds (seeded from `base` on a
+    // resume): (total_cmds, truncated, dropped_paths, engine_errors).
+    let mut carried = (base.total_cmds, base.truncated, base.dropped_paths, 0usize);
+    let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
+    let mut pending: Vec<FrontierItem<S>> = Vec::new();
+    let mut worklist = seeds;
+    let mut crashed_workers = 0usize;
+    let mut interner = InternStats::default();
+    let cause = loop {
+        let shared = SharedExplorer {
+            queue: Mutex::new(JobQueue {
+                jobs: std::mem::take(&mut worklist),
+                in_flight: 0,
+            }),
+            work: Condvar::new(),
+            total_cmds: AtomicU64::new(carried.0),
+            finished_paths: AtomicUsize::new(finished.len()),
+            stop: AtomicBool::new(false),
+            stop_cause: AtomicU8::new(CAUSE_NONE),
+            truncated: AtomicBool::new(carried.1),
+            dropped_paths: AtomicUsize::new(carried.2),
+            engine_errors: AtomicUsize::new(carried.3),
+            deadline,
+            cancel: cfg.cancel.clone(),
+            checkpoint_at: next_ckpt,
+            faults: cfg.faults.clone(),
+        };
+        let yields: Vec<Result<WorkerYield<S>, String>> = std::thread::scope(|scope| {
+            let cfg = &cfg;
+            let shared = &shared;
+            let journal = &journal;
+            // All per-worker sentinels are cloned *before* the first spawn:
+            // once a worker runs it may poison the state (e.g. a memory whose
+            // `Clone` panics after a fault), and an unguarded clone racing
+            // with it would kill the whole run instead of one worker.
+            let sentinels: Vec<S> = (0..workers).map(|_| sentinel.clone()).collect();
+            let handles: Vec<_> = sentinels
+                .into_iter()
+                .enumerate()
+                .map(|(i, worker_sentinel)| {
+                    // Worker ids start at 1; id 0 is the merge (main) thread.
+                    let worker = (i + 1) as u32;
+                    scope.spawn(move || {
+                        panic_guard::catch(|| {
+                            explore_worker(prog, cfg, shared, worker_sentinel, worker, journal)
+                        })
                     })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err("explorer worker died outside capture".to_string()))
-            })
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("explorer worker died outside capture".to_string()))
+                })
+                .collect()
+        });
+
+        for y in yields {
+            match y {
+                Ok(wy) => {
+                    finished.extend(wy.finished);
+                    pending.extend(wy.cut);
+                    interner.mints += wy.interner.mints;
+                    interner.hits += wy.interner.hits;
+                }
+                // A crashed worker's thread-local interner delta died with
+                // it; its traffic is simply unattributed, and its local
+                // paths died too — it is counted as an engine error below.
+                Err(_payload) => crashed_workers += 1,
+            }
+        }
+        pending.extend(lock_unpoisoned(&shared.queue).jobs.drain(..));
+        carried = (
+            shared.total_cmds.load(Ordering::Relaxed),
+            shared.truncated.load(Ordering::Relaxed),
+            shared.dropped_paths.load(Ordering::Relaxed),
+            shared.engine_errors.load(Ordering::Relaxed),
+        );
+        let cause = shared.stop_cause.load(Ordering::Relaxed);
+        if cause != CAUSE_CHECKPOINT || pending.is_empty() {
+            break cause;
+        }
+        // Interval checkpoint: every worker is parked, so sorting and
+        // writing here sees a consistent, canonical frontier; the next
+        // round then resumes from exactly this frontier.
+        finished.sort_by(|a, b| a.0.cmp(&b.0));
+        pending.sort_by(|a, b| a.trace.cmp(&b.trace));
+        if let Some(c) = ckpt.as_ref() {
+            let mut snap = ExploreResult::empty();
+            snap.total_cmds = carried.0;
+            snap.truncated = carried.1;
+            snap.dropped_paths = carried.2;
+            write_frontier_checkpoint(
+                c,
+                &cfg,
+                entry,
+                pending.iter(),
+                &snap,
+                yield_summaries(&finished),
+                diag_now(carried.3 + crashed_workers),
+                &mut log,
+            );
+            next_ckpt = c.every.map(|e| Instant::now() + e);
+        }
+        worklist = pending.drain(..).collect();
+    };
 
     // Deterministic merge: canonical branch order, finished paths first,
     // then budget-cut pending work — mirroring the serial engine's
     // "explore, then drain" shape. A crashed worker contributes no paths
     // (its local results died with it) but is counted as an engine error,
     // and any jobs left on the shared queue are drained as truncated.
-    let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
-    let mut pending: Vec<Job<S>> = Vec::new();
-    let mut crashed_workers = 0usize;
-    let mut interner = InternStats::default();
-    for y in yields {
-        match y {
-            Ok(wy) => {
-                finished.extend(wy.finished);
-                pending.extend(wy.cut);
-                interner.mints += wy.interner.mints;
-                interner.hits += wy.interner.hits;
-            }
-            // A crashed worker's thread-local interner delta died with it;
-            // its traffic is simply unattributed.
-            Err(_payload) => crashed_workers += 1,
-        }
-    }
-    pending.extend(lock_unpoisoned(&shared.queue).jobs.drain(..));
     finished.sort_by(|a, b| a.0.cmp(&b.0));
     pending.sort_by(|a, b| a.trace.cmp(&b.trace));
-
-    let cause = shared.stop_cause.load(Ordering::Relaxed);
     let mut result = ExploreResult::empty();
-    result.total_cmds = shared.total_cmds.load(Ordering::Relaxed);
-    result.truncated = shared.truncated.load(Ordering::Relaxed) || crashed_workers > 0;
-    result.dropped_paths = shared.dropped_paths.load(Ordering::Relaxed);
-    result.diagnostics.engine_errors =
-        shared.engine_errors.load(Ordering::Relaxed) + crashed_workers;
+    result.total_cmds = carried.0;
+    result.truncated = carried.1 || crashed_workers > 0;
+    result.dropped_paths = carried.2;
+    result.diagnostics.engine_errors = carried.3 + crashed_workers;
+    let killed = cause == CAUSE_KILLED;
+    // Final checkpoint: always on a kill (that *is* the crash being
+    // simulated), and on deadline/cancel when configured — written before
+    // pending work is drained, so the file holds the true frontier.
+    let mut frontier_checkpointed = false;
+    if let Some(c) = ckpt.as_ref() {
+        let wanted = killed
+            || match cause {
+                CAUSE_DEADLINE => c.on_deadline,
+                CAUSE_CANCELLED => c.on_cancel,
+                _ => false,
+            };
+        if wanted {
+            let mut snap = ExploreResult::empty();
+            snap.total_cmds = result.total_cmds;
+            snap.truncated = result.truncated;
+            snap.dropped_paths = result.dropped_paths;
+            frontier_checkpointed = write_frontier_checkpoint(
+                c,
+                &cfg,
+                entry,
+                pending.iter(),
+                &snap,
+                yield_summaries(&finished),
+                diag_now(carried.3 + crashed_workers),
+                &mut log,
+            );
+        }
+    }
+    result.killed = killed;
+    if killed && frontier_checkpointed {
+        // A killed run mimics process death: its pending work survives
+        // only in the checkpoint, so it is *not* drained into truncated
+        // paths here (resume-equivalence depends on it appearing exactly
+        // once — in the resumed run).
+        pending.clear();
+    }
     // `PathFinished` is journaled here, at merge — not by the workers —
     // so exactly the *recorded* paths (those surviving the `max_paths`
     // cap) get a finish event, keeping the trace consistent with the
@@ -1153,7 +1645,7 @@ where
             traces.push(trace);
         }
     }
-    for Job {
+    for FrontierItem {
         config,
         cmds,
         trace,
@@ -1184,15 +1676,24 @@ where
     }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
-        sentinel.unknown_verdicts().saturating_sub(unknowns_before);
+        sentinel.unknown_verdicts().saturating_sub(unknowns_before)
+            + base.diagnostics.unknown_verdicts;
     let reuse_after = sentinel.solver_reuse();
-    result.diagnostics.incremental_hits = reuse_after.0.saturating_sub(reuse_before.0);
-    result.diagnostics.implication_hits = reuse_after.1.saturating_sub(reuse_before.1);
+    result.diagnostics.incremental_hits =
+        reuse_after.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
+    result.diagnostics.implication_hits =
+        reuse_after.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+    result.diagnostics.deadline_hits += base.diagnostics.deadline_hits;
+    result.diagnostics.cancellations += base.diagnostics.cancellations;
+    result.diagnostics.engine_errors += base.diagnostics.engine_errors;
     let main_delta = InternStats::thread_snapshot().since(&main_interner_before);
     interner.mints += main_delta.mints;
     interner.hits += main_delta.hits;
     interner.live = InternStats::snapshot().live;
     result.diagnostics.interner = interner;
+    if cfg.faults.is_some() {
+        sentinel.clear_fault_probe();
+    }
     drop(log);
     finish_report(
         &mut result,

@@ -33,9 +33,11 @@
 //! `gillian-c`); see `gillian-while` for the smallest complete example.
 
 pub mod allocator;
+pub mod checkpoint;
 pub mod concrete;
 pub mod difftest;
 pub mod explore;
+pub mod faults;
 pub mod generate;
 pub mod interp;
 pub mod memory;
@@ -47,15 +49,20 @@ pub mod symbolic;
 pub mod testing;
 
 pub use allocator::{ConcAllocator, SymAllocator};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointConfig, CheckpointData, FrontierItem, PathSummary,
+    ResumeError, SaveError, StateCtx, StateIoError,
+};
 pub use concrete::ConcreteState;
 pub use difftest::{
     run_differential, run_differential_with, DifftestReport, Divergence, InterpMemoryCheck,
     MemoryCheck, MismatchClass, NoMemoryCheck, SkippedPath,
 };
 pub use explore::{
-    explore_parallel, explore_with, replay_path, ExploreConfig, ExploreDiagnostics, ExploreOutcome,
-    ExploreResult, PathResult, ReplayError, SearchStrategy,
+    explore_parallel, explore_resume, explore_with, replay_path, ExploreConfig, ExploreDiagnostics,
+    ExploreOutcome, ExploreResult, PathResult, ReplayError, ResumedExplore, SearchStrategy,
 };
+pub use faults::{FaultKind, FaultPlan};
 pub use generate::{build_prog, gen_ops, minimize, GenOp, MemDialect, Rng};
 pub use gillian_solver::{CancelToken, Interrupt};
 pub use interp::{Config, Final, Outcome};

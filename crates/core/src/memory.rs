@@ -22,6 +22,8 @@
 //! returning branches whose constraint is satisfiable with the current
 //! path condition — it receives the solver for exactly that purpose.
 
+use crate::checkpoint::StateIoError;
+use gillian_gil::serial::{ByteReader, Decoder, Encoder};
 use gillian_gil::{Expr, Value};
 use gillian_solver::{PathCondition, Solver};
 
@@ -112,6 +114,30 @@ pub trait SymbolicMemory: Clone + std::fmt::Debug + Default + Send {
     /// any value).
     fn lvars(&self) -> std::collections::BTreeSet<gillian_gil::LVar> {
         std::collections::BTreeSet::new()
+    }
+
+    /// Serializes this memory for a frontier checkpoint (`DESIGN.md` §14);
+    /// terms go through `enc` so the checkpoint shares one term table.
+    /// The default reports [`StateIoError::Unsupported`] — a memory that
+    /// never checkpoints need not implement it, and one that *does* must,
+    /// so forgetting can never silently drop memory state.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] when the memory does not support
+    /// serialization.
+    fn save(&self, _enc: &mut Encoder, _out: &mut Vec<u8>) -> Result<(), StateIoError> {
+        Err(StateIoError::Unsupported(std::any::type_name::<Self>()))
+    }
+
+    /// Rebuilds a memory from its [`SymbolicMemory::save`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] on unsupported memories or malformed
+    /// bytes.
+    fn load(_dec: &Decoder, _r: &mut ByteReader<'_>) -> Result<Self, StateIoError> {
+        Err(StateIoError::Unsupported(std::any::type_name::<Self>()))
     }
 }
 

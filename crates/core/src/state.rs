@@ -13,8 +13,10 @@
 //! stringly-typed and are dispatched through
 //! [`GilState::execute_action`].
 
+use crate::checkpoint::{StateCtx, StateIoError};
+use gillian_gil::serial::{ByteReader, Decoder, Encoder};
 use gillian_gil::{Expr, Ident};
-use gillian_solver::Interrupt;
+use gillian_solver::{FaultProbe, Interrupt};
 use gillian_telemetry::Journal;
 
 /// The branching result of a memory action on states: each branch pairs a
@@ -126,4 +128,74 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
     fn solver_reuse(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Serializes this state for a frontier checkpoint
+    /// (`DESIGN.md` §14). Terms go through `enc` so the whole checkpoint
+    /// shares one post-order term table. The default reports
+    /// [`StateIoError::Unsupported`]: states that never checkpoint need
+    /// not implement it.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] when the state (or a component of it, such
+    /// as the language memory) does not support serialization.
+    fn save_state(&self, _enc: &mut Encoder, _out: &mut Vec<u8>) -> Result<(), StateIoError> {
+        Err(StateIoError::Unsupported(std::any::type_name::<Self>()))
+    }
+
+    /// Rebuilds a state from its [`GilState::save_state`] encoding,
+    /// re-attaching it to the resuming process's machinery via `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] on unsupported states or malformed bytes.
+    fn load_state(
+        _ctx: &StateCtx,
+        _dec: &Decoder,
+        _r: &mut ByteReader<'_>,
+    ) -> Result<Self, StateIoError> {
+        Err(StateIoError::Unsupported(std::any::type_name::<Self>()))
+    }
+
+    /// Serializes a store (used for the saved caller stores of checkpointed
+    /// call stacks). Same default and contract as
+    /// [`GilState::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] when the store does not support
+    /// serialization.
+    fn save_store(
+        _store: &Self::Store,
+        _enc: &mut Encoder,
+        _out: &mut Vec<u8>,
+    ) -> Result<(), StateIoError> {
+        Err(StateIoError::Unsupported(
+            std::any::type_name::<Self::Store>(),
+        ))
+    }
+
+    /// Rebuilds a store from its [`GilState::save_store`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Reports [`StateIoError`] on unsupported stores or malformed bytes.
+    fn load_store(
+        _ctx: &StateCtx,
+        _dec: &Decoder,
+        _r: &mut ByteReader<'_>,
+    ) -> Result<Self::Store, StateIoError> {
+        Err(StateIoError::Unsupported(
+            std::any::type_name::<Self::Store>(),
+        ))
+    }
+
+    /// Installs a deterministic fault probe into this state's solving
+    /// machinery (the fault-injection harness, `DESIGN.md` §14). Same
+    /// lifecycle as [`GilState::install_interrupt`]; the default is a
+    /// no-op (solver-free states have nowhere to inject).
+    fn install_fault_probe(&self, _probe: FaultProbe) {}
+
+    /// Clears a previously installed fault probe (default no-op).
+    fn clear_fault_probe(&self) {}
 }

@@ -11,11 +11,13 @@
 //! memory and conjoin the learned constraint (Def. 2.6, `[Action]`).
 
 use crate::allocator::SymAllocator;
+use crate::checkpoint::{StateCtx, StateIoError};
 use crate::memory::SymbolicMemory;
 use crate::restriction::Restrict;
 use crate::state::GilState;
-use gillian_gil::{Expr, Ident, Value};
-use gillian_solver::{Interrupt, PathCondition, Solver};
+use gillian_gil::serial::{self, ByteReader, Decoder, Encoder};
+use gillian_gil::{Expr, Ident, LVar, Value};
+use gillian_solver::{FaultProbe, Interrupt, PathCondition, Solver};
 use gillian_telemetry::{names, registry, Event, Journal};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -261,6 +263,86 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
     fn solver_reuse(&self) -> (u64, u64) {
         let stats = self.solver.stats();
         (stats.incremental_hits, stats.implication_hits)
+    }
+
+    /// Layout: store, allocator record, path condition, memory. The
+    /// solver is process infrastructure and comes back from [`StateCtx`];
+    /// its caches are deliberately not checkpointed.
+    fn save_state(&self, enc: &mut Encoder, out: &mut Vec<u8>) -> Result<(), StateIoError> {
+        Self::save_store(&self.store, enc, out)?;
+        let (next_sym, next_lvar, isym_trace) = self.alloc.parts();
+        serial::put_u64(out, next_sym);
+        serial::put_u64(out, next_lvar);
+        serial::put_len(out, isym_trace.len(), "isym trace")?;
+        for (site, lv) in isym_trace {
+            serial::put_u32(out, *site);
+            serial::put_u64(out, lv.0);
+        }
+        self.pc.save(enc, out)?;
+        self.memory.save(enc, out)
+    }
+
+    fn load_state(
+        ctx: &StateCtx,
+        dec: &Decoder,
+        r: &mut ByteReader<'_>,
+    ) -> Result<Self, StateIoError> {
+        let store = Self::load_store(ctx, dec, r)?;
+        let next_sym = r.u64()?;
+        let next_lvar = r.u64()?;
+        let n = r.count()?;
+        let mut isym_trace = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let site = r.u32()?;
+            let lv = LVar(r.u64()?);
+            isym_trace.push((site, lv));
+        }
+        let pc = PathCondition::load(dec, r)?;
+        let memory = M::load(dec, r)?;
+        Ok(SymbolicState {
+            memory,
+            store,
+            alloc: SymAllocator::from_parts(next_sym, next_lvar, isym_trace),
+            pc,
+            solver: ctx.solver.clone(),
+        })
+    }
+
+    fn save_store(
+        store: &SharedSymStore,
+        enc: &mut Encoder,
+        out: &mut Vec<u8>,
+    ) -> Result<(), StateIoError> {
+        serial::put_len(out, store.len(), "symbolic store")?;
+        // BTreeMap iteration is canonical, so equal stores encode equally.
+        for (x, e) in store.iter() {
+            serial::put_str(out, x)?;
+            enc.write_expr(out, e)?;
+        }
+        Ok(())
+    }
+
+    fn load_store(
+        _ctx: &StateCtx,
+        dec: &Decoder,
+        r: &mut ByteReader<'_>,
+    ) -> Result<SharedSymStore, StateIoError> {
+        let n = r.count()?;
+        let mut store = SymStore::new();
+        for _ in 0..n {
+            let x = Ident::from(r.str()?);
+            let e = dec.read_expr(r)?;
+            store.insert(x, e);
+        }
+        Ok(Arc::new(store))
+    }
+
+    fn install_fault_probe(&self, probe: FaultProbe) {
+        self.solver.set_fault_probe(probe);
+    }
+
+    fn clear_fault_probe(&self) {
+        self.solver.clear_fault_probe();
     }
 }
 

@@ -45,6 +45,7 @@ pub mod intern;
 pub mod ops;
 pub mod parser;
 pub mod prog;
+pub mod serial;
 pub mod value;
 
 pub use expr::{Expr, LVar};
@@ -52,4 +53,5 @@ pub use hashing::{FxBuildHasher, PrehashedBuildHasher};
 pub use intern::{ExprList, InternStats, Term};
 pub use ops::{BinOp, EvalError, UnOp};
 pub use prog::{Cmd, Ident, Label, Proc, Prog};
+pub use serial::{ByteReader, Decoder, Encoder, WireError};
 pub use value::{Sym, TypeTag, Value, F64};

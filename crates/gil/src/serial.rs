@@ -1,0 +1,899 @@
+//! Zero-dependency binary wire format for GIL values, expressions, and
+//! interned terms — the substrate of the exploration checkpoint format.
+//!
+//! ## Why intern ids never hit the disk
+//!
+//! [`Term`] ids are mint-order dependent: the id a term receives depends on
+//! which terms the global interner has already seen in this process, so the
+//! same expression gets different ids in different runs. A checkpoint that
+//! recorded raw ids as identity would be unreadable by the resuming process.
+//! Instead an [`Encoder`] assigns dense *slots*: every distinct term
+//! reachable from the encoded payload is appended to a table in post-order
+//! (children strictly before parents), and payload references are `u32`
+//! slot indices. The [`Decoder`] reads the table front to back, re-interning
+//! each entry with [`Term::new`] — which rebuilds pointer equality, cached
+//! hashes, and (lazily) `PcKey`s in the *current* process — and rejects any
+//! reference to a slot at or past the read frontier, so a corrupted table
+//! surfaces as a clean [`WireError::BadSlot`] rather than bogus sharing.
+//!
+//! ## Shape of the format
+//!
+//! Everything is little-endian and length-prefixed. Expressions are
+//! *shallow*: recursion passes through interned [`Term`]s (unary/binary
+//! operands), which are encoded as slot references, while the n-ary list
+//! positions ([`Expr::List`] & friends) nest inline under a hard
+//! [`MAX_DEPTH`] so adversarial input errors out instead of overflowing the
+//! stack. Floats travel as IEEE-754 bit patterns through [`F64::new`], which
+//! re-normalizes NaNs on the way back in.
+
+use crate::expr::{Expr, LVar};
+use crate::intern::{ExprList, Term};
+use crate::ops::{BinOp, UnOp};
+use crate::value::{TypeTag, Value, F64};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum nesting depth accepted when encoding or decoding the inline
+/// (non-interned) positions of an expression or value. Term operands do not
+/// count toward this: they are flat slot references.
+pub const MAX_DEPTH: usize = 256;
+
+/// A malformed or truncated wire payload.
+///
+/// Every decoding failure is reported through this type; decoding never
+/// panics on untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the announced structure did.
+    Truncated,
+    /// An enum tag byte outside the known range for `what`.
+    BadTag {
+        /// Which enum the tag was for.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A term reference to a slot at or past the decoded table frontier.
+    BadSlot {
+        /// The offending slot index.
+        slot: u32,
+        /// Number of table entries decoded so far.
+        len: u32,
+    },
+    /// Inline nesting exceeded [`MAX_DEPTH`].
+    DepthLimit,
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// A structure too large for its `u32` length prefix.
+    TooLong(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+            WireError::BadSlot { slot, len } => {
+                write!(f, "term slot {slot} out of range (table has {len})")
+            }
+            WireError::DepthLimit => write!(f, "inline nesting deeper than {MAX_DEPTH}"),
+            WireError::BadUtf8 => write!(f, "string payload is not UTF-8"),
+            WireError::TooLong(what) => write!(f, "{what} exceeds u32 length prefix"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian writers/readers
+// ---------------------------------------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` length prefix followed by UTF-8 bytes.
+///
+/// # Errors
+///
+/// [`WireError::TooLong`] when the string exceeds `u32::MAX` bytes.
+pub fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), WireError> {
+    let len = u32::try_from(s.len()).map_err(|_| WireError::TooLong("string"))?;
+    put_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Appends a `usize` as a checked `u32` length prefix.
+///
+/// # Errors
+///
+/// [`WireError::TooLong`] when the count exceeds `u32::MAX`.
+pub fn put_len(out: &mut Vec<u8>, n: usize, what: &'static str) -> Result<(), WireError> {
+    put_u32(out, u32::try_from(n).map_err(|_| WireError::TooLong(what))?);
+    Ok(())
+}
+
+/// A cursor over an untrusted byte slice. All reads are bounds-checked and
+/// answer [`WireError::Truncated`] past the end.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than 8 bytes remain.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::BadUtf8`].
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads an untrusted element count that must be plausible for the
+    /// remaining input (each element needs at least one byte), so a
+    /// corrupted length prefix cannot drive a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the count exceeds the bytes left.
+    pub fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stable enum tags
+// ---------------------------------------------------------------------------
+
+fn type_tag_byte(t: TypeTag) -> u8 {
+    match t {
+        TypeTag::Int => 0,
+        TypeTag::Num => 1,
+        TypeTag::Str => 2,
+        TypeTag::Bool => 3,
+        TypeTag::Sym => 4,
+        TypeTag::Type => 5,
+        TypeTag::Proc => 6,
+        TypeTag::List => 7,
+    }
+}
+
+fn type_tag_from(tag: u8) -> Result<TypeTag, WireError> {
+    TypeTag::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(WireError::BadTag {
+            what: "TypeTag",
+            tag,
+        })
+}
+
+fn put_unop(out: &mut Vec<u8>, op: UnOp) {
+    let (tag, width) = match op {
+        UnOp::Not => (0, None),
+        UnOp::Neg => (1, None),
+        UnOp::TypeOf => (2, None),
+        UnOp::IntToNum => (3, None),
+        UnOp::NumToInt => (4, None),
+        UnOp::ToStr => (5, None),
+        UnOp::StrLen => (6, None),
+        UnOp::LstLen => (7, None),
+        UnOp::LstHead => (8, None),
+        UnOp::LstTail => (9, None),
+        UnOp::LstRev => (10, None),
+        UnOp::BitNot => (11, None),
+        UnOp::WrapSigned(w) => (12, Some(w)),
+        UnOp::WrapUnsigned(w) => (13, Some(w)),
+        UnOp::Floor => (14, None),
+    };
+    put_u8(out, tag);
+    if let Some(w) = width {
+        put_u8(out, w);
+    }
+}
+
+fn read_unop(r: &mut ByteReader) -> Result<UnOp, WireError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => UnOp::Not,
+        1 => UnOp::Neg,
+        2 => UnOp::TypeOf,
+        3 => UnOp::IntToNum,
+        4 => UnOp::NumToInt,
+        5 => UnOp::ToStr,
+        6 => UnOp::StrLen,
+        7 => UnOp::LstLen,
+        8 => UnOp::LstHead,
+        9 => UnOp::LstTail,
+        10 => UnOp::LstRev,
+        11 => UnOp::BitNot,
+        12 => UnOp::WrapSigned(r.u8()?),
+        13 => UnOp::WrapUnsigned(r.u8()?),
+        14 => UnOp::Floor,
+        _ => return Err(WireError::BadTag { what: "UnOp", tag }),
+    })
+}
+
+fn binop_byte(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::Eq => 5,
+        BinOp::Lt => 6,
+        BinOp::Leq => 7,
+        BinOp::And => 8,
+        BinOp::Or => 9,
+        BinOp::BitAnd => 10,
+        BinOp::BitOr => 11,
+        BinOp::BitXor => 12,
+        BinOp::Shl => 13,
+        BinOp::ShrA => 14,
+        BinOp::ShrL => 15,
+        BinOp::LstNth => 16,
+        BinOp::StrNth => 17,
+        BinOp::LstCons => 18,
+        BinOp::LstSub => 19,
+    }
+}
+
+fn binop_from(tag: u8) -> Result<BinOp, WireError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Mod,
+        5 => BinOp::Eq,
+        6 => BinOp::Lt,
+        7 => BinOp::Leq,
+        8 => BinOp::And,
+        9 => BinOp::Or,
+        10 => BinOp::BitAnd,
+        11 => BinOp::BitOr,
+        12 => BinOp::BitXor,
+        13 => BinOp::Shl,
+        14 => BinOp::ShrA,
+        15 => BinOp::ShrL,
+        16 => BinOp::LstNth,
+        17 => BinOp::StrNth,
+        18 => BinOp::LstCons,
+        19 => BinOp::LstSub,
+        _ => return Err(WireError::BadTag { what: "BinOp", tag }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// Serializes a value. Lists recurse inline up to [`MAX_DEPTH`].
+///
+/// # Errors
+///
+/// [`WireError::DepthLimit`] or [`WireError::TooLong`].
+pub fn write_value(out: &mut Vec<u8>, v: &Value) -> Result<(), WireError> {
+    write_value_at(out, v, 0)
+}
+
+fn write_value_at(out: &mut Vec<u8>, v: &Value, depth: usize) -> Result<(), WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::DepthLimit);
+    }
+    match v {
+        Value::Int(n) => {
+            put_u8(out, 0);
+            put_i64(out, *n);
+        }
+        Value::Num(x) => {
+            put_u8(out, 1);
+            put_u64(out, x.get().to_bits());
+        }
+        Value::Str(s) => {
+            put_u8(out, 2);
+            put_str(out, s)?;
+        }
+        Value::Bool(b) => {
+            put_u8(out, 3);
+            put_u8(out, *b as u8);
+        }
+        Value::Sym(s) => {
+            put_u8(out, 4);
+            put_u64(out, s.0);
+        }
+        Value::Type(t) => {
+            put_u8(out, 5);
+            put_u8(out, type_tag_byte(*t));
+        }
+        Value::Proc(p) => {
+            put_u8(out, 6);
+            put_str(out, p)?;
+        }
+        Value::List(vs) => {
+            put_u8(out, 7);
+            put_len(out, vs.len(), "value list")?;
+            for v in vs {
+                write_value_at(out, v, depth + 1)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a value written by [`write_value`].
+///
+/// # Errors
+///
+/// Any [`WireError`]; never panics on malformed input.
+pub fn read_value(r: &mut ByteReader) -> Result<Value, WireError> {
+    read_value_at(r, 0)
+}
+
+fn read_value_at(r: &mut ByteReader, depth: usize) -> Result<Value, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::DepthLimit);
+    }
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Value::Int(r.i64()?),
+        1 => Value::Num(F64::new(f64::from_bits(r.u64()?))),
+        2 => Value::str(r.str()?),
+        3 => Value::Bool(r.u8()? != 0),
+        4 => Value::Sym(crate::value::Sym(r.u64()?)),
+        5 => Value::Type(type_tag_from(r.u8()?)?),
+        6 => Value::proc(r.str()?),
+        7 => {
+            let n = r.count()?;
+            let mut vs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                vs.push(read_value_at(r, depth + 1)?);
+            }
+            Value::List(vs)
+        }
+        _ => return Err(WireError::BadTag { what: "Value", tag }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoder: term pool + payload writer
+// ---------------------------------------------------------------------------
+
+/// Accumulates the term table while payload sections are encoded.
+///
+/// Usage: encode every payload section through one `Encoder` (collecting the
+/// bytes in your own buffers), then call [`Encoder::write_table`] and place
+/// the table bytes *before* the payload in the file. The table is in
+/// post-order, so every table entry references strictly earlier slots and
+/// the decoder can rebuild it in one forward pass.
+#[derive(Default)]
+pub struct Encoder {
+    table: Vec<Term>,
+    slots: HashMap<u64, u32>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Number of distinct terms registered so far.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The slot of `t`, registering it (and, first, its transitive
+    /// children) if unseen. Iterative post-order: no stack overflow on
+    /// deep chains.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLong`] when the table outgrows `u32`.
+    pub fn slot_of(&mut self, t: &Term) -> Result<u32, WireError> {
+        if let Some(&s) = self.slots.get(&t.id()) {
+            return Ok(s);
+        }
+        enum Visit {
+            Enter(Term),
+            Exit(Term),
+        }
+        let mut stack = vec![Visit::Enter(t.clone())];
+        while let Some(v) = stack.pop() {
+            match v {
+                Visit::Enter(t) => {
+                    if self.slots.contains_key(&t.id()) {
+                        continue;
+                    }
+                    let mut kids = Vec::new();
+                    child_terms(t.expr(), &mut kids);
+                    stack.push(Visit::Exit(t));
+                    for k in kids {
+                        if !self.slots.contains_key(&k.id()) {
+                            stack.push(Visit::Enter(k));
+                        }
+                    }
+                }
+                Visit::Exit(t) => {
+                    if self.slots.contains_key(&t.id()) {
+                        continue;
+                    }
+                    let slot = u32::try_from(self.table.len())
+                        .map_err(|_| WireError::TooLong("term table"))?;
+                    self.slots.insert(t.id(), slot);
+                    self.table.push(t);
+                }
+            }
+        }
+        Ok(self.slots[&t.id()])
+    }
+
+    /// Writes a term as a `u32` slot reference, registering it if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLong`] when the table outgrows `u32`.
+    pub fn write_term(&mut self, out: &mut Vec<u8>, t: &Term) -> Result<(), WireError> {
+        let slot = self.slot_of(t)?;
+        put_u32(out, slot);
+        Ok(())
+    }
+
+    /// Writes an expression inline: term operands become slot references,
+    /// list positions nest up to [`MAX_DEPTH`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::DepthLimit`] or [`WireError::TooLong`].
+    pub fn write_expr(&mut self, out: &mut Vec<u8>, e: &Expr) -> Result<(), WireError> {
+        self.encode_expr(out, e, 0)
+    }
+
+    fn encode_expr(&mut self, out: &mut Vec<u8>, e: &Expr, depth: usize) -> Result<(), WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::DepthLimit);
+        }
+        match e {
+            Expr::Val(v) => {
+                put_u8(out, 0);
+                write_value_at(out, v, depth + 1)?;
+            }
+            Expr::PVar(x) => {
+                put_u8(out, 1);
+                put_str(out, x)?;
+            }
+            Expr::LVar(x) => {
+                put_u8(out, 2);
+                put_u64(out, x.0);
+            }
+            Expr::Un(op, t) => {
+                put_u8(out, 3);
+                put_unop(out, *op);
+                self.write_term(out, t)?;
+            }
+            Expr::Bin(op, a, b) => {
+                put_u8(out, 4);
+                put_u8(out, binop_byte(*op));
+                self.write_term(out, a)?;
+                self.write_term(out, b)?;
+            }
+            Expr::List(es) => {
+                put_u8(out, 5);
+                self.encode_list(out, es, depth + 1)?;
+            }
+            Expr::StrCat(es) => {
+                put_u8(out, 6);
+                self.encode_list(out, es, depth + 1)?;
+            }
+            Expr::LstCat(es) => {
+                put_u8(out, 7);
+                self.encode_list(out, es, depth + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn encode_list(
+        &mut self,
+        out: &mut Vec<u8>,
+        es: &ExprList,
+        depth: usize,
+    ) -> Result<(), WireError> {
+        put_len(out, es.len(), "expr list")?;
+        for e in es {
+            self.encode_expr(out, e, depth)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the accumulated table. Call once, after all payload
+    /// sections, and place the bytes *before* the payload in the file.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on oversized entries (cannot happen for tables built
+    /// by this encoder).
+    pub fn write_table(&mut self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        put_len(out, self.table.len(), "term table")?;
+        let mut i = 0;
+        while i < self.table.len() {
+            let t = self.table[i].clone();
+            // Post-order registration guarantees children landed at
+            // strictly smaller slots, so this entry never grows the table.
+            let before = self.table.len();
+            self.encode_expr(out, t.expr(), 0)?;
+            debug_assert_eq!(before, self.table.len(), "table entry minted new slots");
+            i += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Collects the terms directly referenced by `e`'s inline structure: the
+/// operands of `Un`/`Bin` positions, including those inside nested list
+/// literals, without crossing into the referenced terms themselves.
+fn child_terms(e: &Expr, out: &mut Vec<Term>) {
+    let mut stack: Vec<&Expr> = vec![e];
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Un(_, t) => out.push(t.clone()),
+            Expr::Bin(_, a, b) => {
+                out.push(a.clone());
+                out.push(b.clone());
+            }
+            Expr::List(es) | Expr::StrCat(es) | Expr::LstCat(es) => {
+                for el in es {
+                    stack.push(el);
+                }
+            }
+            Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+/// The re-interned term table of one payload; resolves slot references.
+#[derive(Debug)]
+pub struct Decoder {
+    table: Vec<Term>,
+}
+
+impl Decoder {
+    /// Reads and re-interns a table written by [`Encoder::write_table`].
+    /// Forward references (slot ≥ entries decoded so far) are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; never panics on malformed input.
+    pub fn read_table(r: &mut ByteReader) -> Result<Decoder, WireError> {
+        let n = r.count()?;
+        let mut dec = Decoder { table: Vec::new() };
+        for _ in 0..n {
+            let e = dec.read_expr(r)?;
+            dec.table.push(Term::new(e));
+        }
+        Ok(dec)
+    }
+
+    /// Number of table entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Resolves a `u32` slot reference to its re-interned term.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadSlot`] for out-of-range slots.
+    pub fn read_term(&self, r: &mut ByteReader) -> Result<Term, WireError> {
+        let slot = r.u32()?;
+        self.table
+            .get(slot as usize)
+            .cloned()
+            .ok_or(WireError::BadSlot {
+                slot,
+                len: self.table.len() as u32,
+            })
+    }
+
+    /// Reads an inline expression written by [`Encoder::write_expr`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; never panics on malformed input.
+    pub fn read_expr(&self, r: &mut ByteReader) -> Result<Expr, WireError> {
+        self.decode_expr(r, 0)
+    }
+
+    fn decode_expr(&self, r: &mut ByteReader, depth: usize) -> Result<Expr, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::DepthLimit);
+        }
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => Expr::Val(read_value_at(r, depth + 1)?),
+            1 => Expr::PVar(Arc::from(r.str()?)),
+            2 => Expr::LVar(LVar(r.u64()?)),
+            3 => {
+                let op = read_unop(r)?;
+                Expr::Un(op, self.read_term(r)?)
+            }
+            4 => {
+                let op = binop_from(r.u8()?)?;
+                let a = self.read_term(r)?;
+                let b = self.read_term(r)?;
+                Expr::Bin(op, a, b)
+            }
+            5 => Expr::List(self.decode_list(r, depth + 1)?),
+            6 => Expr::StrCat(self.decode_list(r, depth + 1)?),
+            7 => Expr::LstCat(self.decode_list(r, depth + 1)?),
+            _ => return Err(WireError::BadTag { what: "Expr", tag }),
+        })
+    }
+
+    fn decode_list(&self, r: &mut ByteReader, depth: usize) -> Result<ExprList, WireError> {
+        let n = r.count()?;
+        let mut es = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            es.push(self.decode_expr(r, depth)?);
+        }
+        Ok(ExprList::from(es))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Sym;
+
+    fn round_trip(exprs: &[Expr]) -> Vec<Expr> {
+        let mut enc = Encoder::new();
+        let mut payload = Vec::new();
+        for e in exprs {
+            enc.write_expr(&mut payload, e).unwrap();
+        }
+        let mut file = Vec::new();
+        enc.write_table(&mut file).unwrap();
+        file.extend_from_slice(&payload);
+
+        let mut r = ByteReader::new(&file);
+        let dec = Decoder::read_table(&mut r).unwrap();
+        let out: Vec<Expr> = exprs
+            .iter()
+            .map(|_| dec.read_expr(&mut r).unwrap())
+            .collect();
+        assert!(r.is_empty(), "trailing bytes after decode");
+        out
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![
+            Value::Int(i64::MIN),
+            Value::num(-0.0),
+            Value::num(f64::NAN),
+            Value::num(f64::INFINITY),
+            Value::str("héllo\u{1F980}"),
+            Value::Bool(true),
+            Value::Sym(Sym(42)),
+            Value::Type(TypeTag::List),
+            Value::proc("main"),
+            Value::List(vec![Value::Int(1), Value::List(vec![Value::str("x")])]),
+        ];
+        for v in &vals {
+            let mut buf = Vec::new();
+            write_value(&mut buf, v).unwrap();
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(&read_value(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn exprs_round_trip_and_reintern_shares() {
+        let shared = Expr::pvar("x").add(Expr::int(1));
+        let e1 = shared.clone().lt(Expr::int(10));
+        let e2 = shared.clone().eq(Expr::int(3));
+        let e3 = Expr::list([shared.clone(), Expr::lvar(LVar(7))]);
+        let back = round_trip(&[e1.clone(), e2.clone(), e3.clone()]);
+        assert_eq!(back, vec![e1, e2, e3]);
+        // The shared subterm must be re-interned to a single node:
+        // pointer-equal across both decoded parents.
+        let t1 = match &back[0] {
+            Expr::Bin(_, a, _) => a.clone(),
+            other => panic!("unexpected shape {other:?}"),
+        };
+        let t2 = match &back[1] {
+            Expr::Bin(_, a, _) => a.clone(),
+            other => panic!("unexpected shape {other:?}"),
+        };
+        assert!(t1.same(&t2), "decoded shared subterm not pointer-equal");
+    }
+
+    #[test]
+    fn table_dedups_shared_subterms() {
+        let shared = Expr::pvar("x").add(Expr::int(1));
+        let mut enc = Encoder::new();
+        let mut buf = Vec::new();
+        enc.write_expr(&mut buf, &shared.clone().lt(Expr::int(10)))
+            .unwrap();
+        let len_one = enc.table_len();
+        enc.write_expr(&mut buf, &shared.eq(Expr::int(3))).unwrap();
+        // Reusing the shared subterm adds no new table entries for it.
+        assert!(enc.table_len() <= len_one + 2);
+    }
+
+    #[test]
+    fn deep_un_chain_does_not_overflow() {
+        // Depth far past MAX_DEPTH and the parser's 128-level limit: term
+        // operands are slot references, so the codec never recurses on
+        // them. (Kept below the depth where the *term chain's own*
+        // recursive drop would exhaust the 2 MiB test-thread stack — that
+        // hazard predates serialization.)
+        let mut e = Expr::pvar("x");
+        for _ in 0..2_000 {
+            e = e.not();
+        }
+        let back = round_trip(std::slice::from_ref(&e));
+        assert_eq!(back[0], e);
+    }
+
+    #[test]
+    fn deep_inline_list_hits_depth_limit() {
+        let mut e = Expr::int(0);
+        for _ in 0..(MAX_DEPTH + 2) {
+            e = Expr::list([e]);
+        }
+        let mut enc = Encoder::new();
+        let mut buf = Vec::new();
+        assert_eq!(enc.write_expr(&mut buf, &e), Err(WireError::DepthLimit));
+    }
+
+    #[test]
+    fn forward_slot_reference_is_rejected() {
+        // Handcraft a table whose single entry references slot 0 — itself,
+        // i.e. not yet decoded at read time.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1); // table length
+        put_u8(&mut buf, 3); // Expr::Un
+        put_u8(&mut buf, 0); // UnOp::Not
+        put_u32(&mut buf, 0); // slot 0: forward reference
+        let mut r = ByteReader::new(&buf);
+        match Decoder::read_table(&mut r) {
+            Err(WireError::BadSlot { slot: 0, len: 0 }) => {}
+            other => panic!("expected BadSlot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_clean_errors() {
+        let e = Expr::pvar("abc").add(Expr::int(5));
+        let mut enc = Encoder::new();
+        let mut payload = Vec::new();
+        enc.write_expr(&mut payload, &e).unwrap();
+        let mut file = Vec::new();
+        enc.write_table(&mut file).unwrap();
+        file.extend_from_slice(&payload);
+
+        for cut in 0..file.len() {
+            let mut r = ByteReader::new(&file[..cut]);
+            let res = Decoder::read_table(&mut r).and_then(|d| d.read_expr(&mut r));
+            assert!(res.is_err(), "decoding a {cut}-byte prefix succeeded");
+        }
+
+        let mut r = ByteReader::new(&[0u8, 0, 0, 0, 0xff][..]);
+        let res = Decoder::read_table(&mut r).and_then(|d| d.read_expr(&mut r));
+        assert!(matches!(res, Err(WireError::BadTag { .. })));
+    }
+
+    #[test]
+    fn huge_length_prefix_is_truncation_not_alloc() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // absurd table length
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(
+            Decoder::read_table(&mut r).map(|_| ()),
+            Err(WireError::Truncated)
+        );
+    }
+}

@@ -52,4 +52,4 @@ pub use model::{find_model_escalating, Model, ModelBudget};
 pub use pathcond::{PathCondition, PcKey};
 pub use persistent::PSet;
 pub use sat::SatResult;
-pub use solver::{Simplification, Solver, SolverConfig, SolverStats};
+pub use solver::{FaultProbe, SatFault, Simplification, Solver, SolverConfig, SolverStats};

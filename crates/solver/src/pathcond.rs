@@ -20,6 +20,7 @@
 use crate::ctx::SolveCtx;
 use crate::persistent::PSet;
 use crate::typing::{absorb_type_fact, TypeEnv};
+use gillian_gil::serial;
 use gillian_gil::{Expr, LVar, Term, TypeTag, Value};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -261,6 +262,56 @@ impl PathCondition {
         }
         out.reverse();
         out
+    }
+
+    /// Serializes this condition through `enc`: the trivially-false flag
+    /// plus the conjunct terms in insertion order (the branch trace of the
+    /// path). Memoized keys, typing environments, and frozen solver
+    /// contexts are deliberately *not* written — they are process-local
+    /// caches that [`PathCondition::load`] rebuilds lazily.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the payload outgrows its length prefixes.
+    pub fn save(
+        &self,
+        enc: &mut serial::Encoder,
+        out: &mut Vec<u8>,
+    ) -> Result<(), serial::WireError> {
+        serial::put_u8(out, self.trivially_false as u8);
+        let terms = self.terms();
+        serial::put_len(out, terms.len(), "path condition")?;
+        for t in &terms {
+            enc.write_term(out, t)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a condition written by [`PathCondition::save`] by replaying
+    /// [`PathCondition::push`] over the re-interned conjuncts. Because
+    /// `save` wrote an already-deduplicated, `true`-free conjunct list in
+    /// insertion order, the replay reconstructs the chain exactly; the
+    /// dedup index, cache keys, and solve contexts are re-derived in the
+    /// current process (intern-id remapping happens in the decoder).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or corrupted input; never panics.
+    pub fn load(
+        dec: &serial::Decoder,
+        r: &mut serial::ByteReader,
+    ) -> Result<PathCondition, serial::WireError> {
+        let trivially_false = r.u8()? != 0;
+        let n = r.count()?;
+        let mut pc = PathCondition::new();
+        for _ in 0..n {
+            let t = dec.read_term(r)?;
+            pc.push(t.expr().clone());
+        }
+        if trivially_false {
+            pc.push(Expr::ff());
+        }
+        Ok(pc)
     }
 
     /// Number of conjuncts.

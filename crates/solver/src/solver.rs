@@ -28,6 +28,41 @@ use std::time::Instant;
 /// histogram's shape while keeping the clock off the hot path.
 const SIMPLIFY_SAMPLE: u64 = 8;
 
+/// A deterministic fault to inject into one satisfiability query (see
+/// [`Solver::set_fault_probe`]). The exploration layer's fault-injection
+/// harness uses these to re-exercise `Unknown` semantics and latency
+/// resilience under adversarial, seeded schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatFault {
+    /// Answer [`SatResult::Unknown`] without solving. Counted in
+    /// [`SolverStats::sat_unknowns`] and **never cached**, exactly like an
+    /// interrupt-driven unknown: a forced verdict must not poison the memo
+    /// table for later queries.
+    Unknown,
+    /// Sleep for the given duration, then solve normally — models a slow
+    /// query without changing any verdict.
+    Latency(std::time::Duration),
+}
+
+/// The closure consulted once per satisfiability query while a fault probe
+/// is installed; `None` means "no fault for this query".
+pub type FaultProbe = Arc<dyn Fn() -> Option<SatFault> + Send + Sync>;
+
+/// Slot holding the installed probe; manual `Debug` because closures have
+/// none.
+#[derive(Default)]
+struct FaultProbeSlot(Option<FaultProbe>);
+
+impl std::fmt::Debug for FaultProbeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "FaultProbeSlot(installed)"
+        } else {
+            "FaultProbeSlot(none)"
+        })
+    }
+}
+
 /// Largest conjunction a decided-SAT query will try to harvest a witness
 /// model from for the implication index. Bigger conjunctions rarely
 /// subsume later probes and make the bounded model search both slower
@@ -306,6 +341,13 @@ pub struct Solver {
     /// Fast-path mirror of `journal.is_enabled()`, so untraced queries
     /// pay one relaxed load instead of a lock.
     journal_on: AtomicBool,
+    /// The fault-injection probe installed by the exploration layer's
+    /// harness (see [`Solver::set_fault_probe`]); same one-run-at-a-time
+    /// lifecycle as the interrupt and journal.
+    fault_probe: Mutex<FaultProbeSlot>,
+    /// Fast-path mirror of `fault_probe.is_some()`: production runs pay
+    /// one relaxed load, not a lock, per query.
+    fault_on: AtomicBool,
     sat_queries: AtomicU64,
     cache_hits: AtomicU64,
     simplifications: AtomicU64,
@@ -399,6 +441,33 @@ impl Solver {
     pub fn clear_journal(&self) {
         self.journal_on.store(false, Ordering::Release);
         *lock_unpoisoned(&self.journal) = Journal::disabled();
+    }
+
+    /// Installs a fault-injection probe: while installed, every
+    /// satisfiability query (after the trivially-false fast path) consults
+    /// it and honours the returned [`SatFault`], if any. Only the
+    /// exploration layer's deterministic fault harness installs one;
+    /// production runs never pay more than one relaxed atomic load. Same
+    /// lifecycle as [`Solver::set_interrupt`]: one run at a time, cleared
+    /// with [`Solver::clear_fault_probe`].
+    pub fn set_fault_probe(&self, probe: FaultProbe) {
+        lock_unpoisoned(&self.fault_probe).0 = Some(probe);
+        self.fault_on.store(true, Ordering::Release);
+    }
+
+    /// Removes any installed fault probe (idempotent).
+    pub fn clear_fault_probe(&self) {
+        self.fault_on.store(false, Ordering::Release);
+        lock_unpoisoned(&self.fault_probe).0 = None;
+    }
+
+    /// Consults the installed fault probe, if any.
+    fn consult_fault(&self) -> Option<SatFault> {
+        if !self.fault_on.load(Ordering::Acquire) {
+            return None;
+        }
+        let probe = lock_unpoisoned(&self.fault_probe).0.clone();
+        probe.and_then(|p| p())
     }
 
     /// A handle to the installed journal (disabled when none is).
@@ -502,19 +571,32 @@ impl Solver {
         let t = tel();
         t.sat_queries.incr();
         let key = pc.cache_key();
+        // The fault probe sits after the trivially-false fast path (that
+        // verdict is definitional, not a solve) and before the cache, so
+        // injected latency also covers would-be hits. A forced `Unknown`
+        // mirrors an interrupt-driven one: counted, never cached.
+        let fault = self.consult_fault();
+        if let Some(SatFault::Latency(d)) = fault {
+            std::thread::sleep(d);
+        }
         // The cache is probed before any clock read: at the hit rates
         // the interpreter sustains (>95%), two clock reads per hit cost
         // more than the probe they would be timing. Hits are counted in
         // `sat_cache_hits` and excluded from the latency histogram, so
         // `sat_micros` is the distribution of *real solves*.
-        let (result, cache_hit, micros) = match self.probe_sat_cache(&key) {
-            Some(hit) => (hit, true, 0),
-            None => {
-                let started = Instant::now();
-                let (result, cache_hit) = self.check_sat_inner(pc, &key);
-                let micros = started.elapsed().as_micros() as u64;
-                t.sat_micros.record(micros);
-                (result, cache_hit, micros)
+        let (result, cache_hit, micros) = if fault == Some(SatFault::Unknown) {
+            self.sat_unknowns.fetch_add(1, Ordering::Relaxed);
+            (SatResult::Unknown, false, 0)
+        } else {
+            match self.probe_sat_cache(&key) {
+                Some(hit) => (hit, true, 0),
+                None => {
+                    let started = Instant::now();
+                    let (result, cache_hit) = self.check_sat_inner(pc, &key);
+                    let micros = started.elapsed().as_micros() as u64;
+                    t.sat_micros.record(micros);
+                    (result, cache_hit, micros)
+                }
             }
         };
         if cache_hit {

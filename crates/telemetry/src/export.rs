@@ -115,6 +115,24 @@ pub fn event_line(rec: &EventRecord) -> String {
         Event::PanicIsolated { path, payload } => {
             w.str("path", &path_string(path)).str("payload", payload);
         }
+        Event::CheckpointWritten {
+            pending,
+            completed,
+            bytes,
+            micros,
+        } => {
+            w.u64("pending", *pending as u64)
+                .u64("completed", *completed as u64)
+                .u64("bytes", *bytes)
+                .u64("micros", *micros);
+        }
+        Event::Resumed { pending, completed } => {
+            w.u64("pending", *pending as u64)
+                .u64("completed", *completed as u64);
+        }
+        Event::FaultInjected { point, fault } => {
+            w.u64("point", *point).str("fault", fault);
+        }
     }
     w.finish()
 }
@@ -258,6 +276,9 @@ const EVENT_KINDS: &[&str] = &[
     "action_exec",
     "deadline_hit",
     "panic_isolated",
+    "checkpoint_written",
+    "resumed",
+    "fault_injected",
 ];
 
 /// Validates a JSONL trace: every line parses as a JSON object, carries
@@ -346,6 +367,28 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
                     "panic_isolated" => {
                         need("path")?;
                         need("payload")?;
+                    }
+                    "checkpoint_written" => {
+                        need("pending")?;
+                        need("completed")?;
+                        need("bytes")?;
+                        need("micros")?;
+                    }
+                    "resumed" => {
+                        need("pending")?;
+                        need("completed")?;
+                    }
+                    "fault_injected" => {
+                        need("point")?;
+                        let fault = v.get("fault").and_then(Value::as_str);
+                        if !matches!(
+                            fault,
+                            Some("path_panic" | "solver_unknown" | "sat_latency" | "kill")
+                        ) {
+                            return Err(format!(
+                                "line {lineno}: bad fault_injected kind {fault:?}"
+                            ));
+                        }
                     }
                     _ => {}
                 }

@@ -128,6 +128,32 @@ pub enum Event {
         /// The captured panic message.
         payload: String,
     },
+    /// A checkpoint of the exploration frontier was written to disk.
+    CheckpointWritten {
+        /// Pending frontier items captured in the checkpoint.
+        pending: u32,
+        /// Completed-path summaries captured in the checkpoint.
+        completed: u32,
+        /// Size of the checkpoint file in bytes.
+        bytes: u64,
+        /// Wall-clock cost of serializing and writing, in microseconds.
+        micros: u64,
+    },
+    /// A run resumed from a checkpoint file.
+    Resumed {
+        /// Frontier items restored into the worklist.
+        pending: u32,
+        /// Completed-path summaries carried over from the prior run.
+        completed: u32,
+    },
+    /// The deterministic fault harness injected a fault.
+    FaultInjected {
+        /// The global scheduling-point index the decision was made at.
+        point: u64,
+        /// Fault kind: `path_panic`, `solver_unknown`, `sat_latency`,
+        /// `kill`.
+        fault: &'static str,
+    },
 }
 
 impl Event {
@@ -141,6 +167,9 @@ impl Event {
             Event::ActionExec { .. } => "action_exec",
             Event::DeadlineHit { .. } => "deadline_hit",
             Event::PanicIsolated { .. } => "panic_isolated",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::Resumed { .. } => "resumed",
+            Event::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -168,6 +197,9 @@ impl Event {
             Event::PathFinished { .. } => 4,
             Event::SatQuery { .. } => 5,
             Event::ActionExec { .. } => 6,
+            Event::CheckpointWritten { .. } => 7,
+            Event::Resumed { .. } => 8,
+            Event::FaultInjected { .. } => 9,
         }
     }
 }

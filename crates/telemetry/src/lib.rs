@@ -91,6 +91,21 @@ pub mod names {
     pub const INTERN_HITS: &str = "intern.hits";
     /// Interner nodes currently live (a gauge, not a flow).
     pub const INTERN_LIVE: &str = "intern.live";
+    /// Checkpoints of the exploration frontier written to disk.
+    pub const CHECKPOINT_WRITES: &str = "checkpoint.writes";
+    /// Total bytes of checkpoint files written.
+    pub const CHECKPOINT_BYTES: &str = "checkpoint.bytes";
+    /// Latency histogram (µs) of checkpoint serialization + atomic write.
+    pub const CHECKPOINT_WRITE_MICROS: &str = "checkpoint.write_micros";
+    /// Runs resumed from a checkpoint file.
+    pub const CHECKPOINT_RESUMES: &str = "checkpoint.resumes";
+    /// Checkpoint writes that failed (I/O or serialization); exploration
+    /// continues regardless — checkpointing is best-effort durability.
+    pub const CHECKPOINT_FAILED_WRITES: &str = "checkpoint.failed_writes";
+    /// Faults injected by the deterministic fault harness (all kinds).
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Simulated process kills injected by the fault harness.
+    pub const FAULT_KILLS: &str = "fault.kills";
 }
 
 use std::sync::OnceLock;

@@ -11,7 +11,9 @@
 //! (rules `S-Lookup` and `S-Mutate-{Present,Absent}` of Fig. 3), learning
 //! the corresponding equalities/disequalities into the path condition.
 
+use gillian_core::checkpoint::StateIoError;
 use gillian_core::memory::{ConcreteMemory, SymBranch, SymbolicMemory};
+use gillian_gil::serial::{self, ByteReader, Decoder, Encoder};
 use gillian_gil::{Expr, Value};
 use gillian_solver::{PathCondition, Solver};
 use std::collections::BTreeMap;
@@ -169,6 +171,32 @@ fn static_prop(e: &Expr, action: &str) -> Result<Arc<str>, Expr> {
 impl SymbolicMemory for WhileSymMemory {
     fn language() -> &'static str {
         "while"
+    }
+
+    fn save(&self, enc: &mut Encoder, out: &mut Vec<u8>) -> Result<(), StateIoError> {
+        serial::put_len(out, self.cells.len(), "while memory cells")?;
+        // BTreeMap iteration is canonical order, so equal memories encode
+        // to equal bytes.
+        for ((loc, prop), value) in self.cells.iter() {
+            enc.write_expr(out, loc)?;
+            serial::put_str(out, prop)?;
+            enc.write_expr(out, value)?;
+        }
+        Ok(())
+    }
+
+    fn load(dec: &Decoder, r: &mut ByteReader<'_>) -> Result<Self, StateIoError> {
+        let n = r.count()?;
+        let mut cells = BTreeMap::new();
+        for _ in 0..n {
+            let loc = dec.read_expr(r)?;
+            let prop: Arc<str> = Arc::from(r.str()?);
+            let value = dec.read_expr(r)?;
+            cells.insert((loc, prop), value);
+        }
+        Ok(WhileSymMemory {
+            cells: Arc::new(cells),
+        })
     }
 
     fn execute_action(

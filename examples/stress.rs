@@ -186,6 +186,61 @@ fn main() {
         out.bounded()
     );
 
+    // Crash-safety probe: the same wide workload, killed mid-run by the
+    // deterministic fault harness with a checkpoint armed, then resumed
+    // from the file. The union of paths finished before the kill and
+    // paths explored after resume must equal the uninterrupted run.
+    {
+        use gillian::core::checkpoint::StateCtx;
+        use gillian::core::faults::FaultPlan;
+        use gillian::core::symbolic::SymbolicState;
+        use gillian::core::{explore_resume, explore_with, CheckpointConfig};
+        use gillian::while_lang::{compile_program, parse_program, WhileSymMemory};
+        use std::sync::Arc;
+
+        type St = SymbolicState<WhileSymMemory>;
+        let prog = compile_program(&parse_program(&wide_src).expect("parse wide workload"));
+        let solver = Arc::new(gillian::solver::Solver::optimized());
+        let cfg = ExploreConfig::default;
+        let baseline = explore_with(&prog, "main", St::new(solver.clone()), cfg());
+
+        let ckpt = std::env::temp_dir().join(format!("gillian-stress-{}.ckpt", std::process::id()));
+        let mut kill_cfg = cfg();
+        kill_cfg.faults = Some(Arc::new(FaultPlan::seeded(7).kill_at(4000)));
+        kill_cfg.checkpoint = Some(CheckpointConfig::at(&ckpt));
+        let start = Instant::now();
+        let cut = explore_with(&prog, "main", St::new(solver.clone()), kill_cfg);
+        assert!(cut.killed, "the injected kill must fire mid-run");
+
+        let resumed = explore_resume(
+            &prog,
+            &ckpt,
+            &StateCtx::new(solver.clone()),
+            St::new(solver.clone()),
+            cfg(),
+        )
+        .expect("resume from checkpoint");
+        let dt = start.elapsed();
+        assert_eq!(
+            resumed.prior.len() + resumed.result.paths.len(),
+            baseline.paths.len(),
+            "prior ∪ resumed must cover the uninterrupted path set"
+        );
+        assert_eq!(
+            resumed.result.total_cmds, baseline.total_cmds,
+            "command accounting must survive the crash"
+        );
+        let _ = std::fs::remove_file(&ckpt);
+        println!(
+            "crash/resume           {:>10} cmds {:>5} paths  kill+resume {dt:>8.2?}  \
+             ({} finished pre-kill, {} post-resume)",
+            resumed.result.total_cmds,
+            baseline.paths.len(),
+            resumed.prior.len(),
+            resumed.result.paths.len(),
+        );
+    }
+
     // Hash-consing telemetry: the cumulative interner picture after every
     // probe above, plus the slice attributed to the last run alone (from
     // its diagnostics delta).
