@@ -56,6 +56,42 @@ pub mod perm {
     pub const FREEABLE: u8 = 3;
 }
 
+/// Dense codes for the MiniC actions, used by the bytecode backend's
+/// per-site inline caches (`gillian_core::exec`): a dispatch site caches
+/// the code on first execution and thereafter skips the string match.
+mod code {
+    pub const ALLOC: u16 = 0;
+    pub const FREE: u16 = 1;
+    pub const LOAD: u16 = 2;
+    pub const STORE: u16 = 3;
+    pub const LOAD_BYTES: u16 = 4;
+    pub const STORE_BYTES: u16 = 5;
+    pub const DROP_PERM: u16 = 6;
+    pub const CHECK_PERM: u16 = 7;
+    pub const SIZE_BLOCK: u16 = 8;
+    pub const CMP_PTR: u16 = 9;
+    pub const GLOBAL_SET: u16 = 10;
+    pub const GLOBAL_GET: u16 = 11;
+}
+
+fn c_action_code(name: &str) -> Option<u16> {
+    Some(match name {
+        "alloc" => code::ALLOC,
+        "free" => code::FREE,
+        "load" => code::LOAD,
+        "store" => code::STORE,
+        "loadBytes" => code::LOAD_BYTES,
+        "storeBytes" => code::STORE_BYTES,
+        "dropPerm" => code::DROP_PERM,
+        "checkPerm" => code::CHECK_PERM,
+        "sizeBlock" => code::SIZE_BLOCK,
+        "cmpPtr" => code::CMP_PTR,
+        "globalSet" => code::GLOBAL_SET,
+        "globalGet" => code::GLOBAL_GET,
+        _ => return None,
+    })
+}
+
 fn ub_value(kind: &str, detail: impl std::fmt::Display) -> Value {
     Value::List(vec![
         Value::str("UB"),
@@ -241,6 +277,13 @@ impl CConcMemory {
 }
 
 impl ConcreteMemory for CConcMemory {
+    // Concrete dispatch keeps the default (name-keyed) coded delegation:
+    // the concrete actions are dominated by their map operations, so the
+    // inline cache's only concrete win is resolving the code once.
+    fn action_code(&self, name: &str) -> Option<u16> {
+        c_action_code(name)
+    }
+
     fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
         match name {
             "alloc" => {
@@ -772,7 +815,290 @@ fn push_branch<M>(
     }
 }
 
+/// The one decision probe a literal fast path keeps: the surviving
+/// branch's constraint is the literal `true`, so `push_branch` would gate
+/// it on `sat(pc ∧ true)` — and since `simplify(pc, true)` is the
+/// identity and [`PathCondition::push`] drops literal `true`, that query
+/// is *exactly* `sat(pc)`, issued here without the clone-and-push
+/// round-trip. An unsat path condition yields the same empty branch set
+/// as the general path.
+fn literal_gate<M>(
+    pc: &PathCondition,
+    solver: &Solver,
+    branches: Vec<SymBranch<M>>,
+) -> Vec<SymBranch<M>> {
+    if solver.check_sat(pc).possibly_sat() {
+        branches
+    } else {
+        Vec::new()
+    }
+}
+
+/// `simplify(pc, decode_expr(v, chunk))` with the solver round-trip
+/// skipped when it is provably the identity: literals and bare logical
+/// variables are fixpoints of the simplifier, and a literal under a wrap
+/// folds through the same `eval_unop` the simplifier's constant folder
+/// uses (errors stay residual there, so those fall through to it).
+fn decode_simplified(v: &Expr, chunk: Chunk, pc: &PathCondition, solver: &Solver) -> Expr {
+    match wrap_op(chunk) {
+        None => match v {
+            Expr::Val(_) | Expr::LVar(_) => v.clone(),
+            _ => solver.simplify(pc, v),
+        },
+        Some(op) => {
+            if let Expr::Val(val) = v {
+                if let Ok(folded) = eval_unop(op, val) {
+                    return Expr::Val(folded);
+                }
+            }
+            solver.simplify(pc, &decode_expr(v, chunk))
+        }
+    }
+}
+
+impl CSymMemory {
+    // ---- literal fast paths (bytecode backend only) -----------------
+    //
+    // When the offset is a literal integer and every cell offset of the
+    // accessed block is literal, each decision of the general `load`/
+    // `store` machinery folds: the bounds check folds in
+    // `access_prologue`, at most one run can alias the access (found by
+    // direct map lookup, as in `literal_candidates`), its equality
+    // constraint folds to the literal `true`, and the out-of-bounds and
+    // none-of-the-runs constraints fold to `false`. The branch set is a
+    // single branch decided without the solver — except the one residual
+    // [`literal_gate`] probe and, for values that are not simplifier
+    // fixpoints, the same decode `simplify` the general path issues.
+    // These helpers are reachable only from `execute_action_coded` (the
+    // bytecode backend); the tree walk stays a byte-identical reference.
+
+    /// The literal-access prologue shared by `fast_load`/`fast_store`:
+    /// `None` falls back to the general path (symbolic anything, missing
+    /// or freed block, insufficient permission — the error prologues stay
+    /// on one code path).
+    fn literal_access(&self, args: &[Expr], need: u8) -> Option<(Chunk, Sym, i64, &SymBlock)> {
+        let chunk = args[0].as_value().and_then(Chunk::from_value)?;
+        let b = match &args[1] {
+            Expr::Val(Value::Sym(s)) => *s,
+            _ => return None,
+        };
+        let off = args[2].as_int()?;
+        let blk = self.blocks.get(&b)?;
+        if blk.freed || blk.perm < need || !self.all_offsets_literal(b) {
+            return None;
+        }
+        Some((chunk, b, off, blk))
+    }
+
+    fn fast_load(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 3, "load").ok()?;
+        let (chunk, b, off, blk) = self.literal_access(&args, perm::READABLE)?;
+        let branch = if !(0 <= off && off <= blk.size - chunk.size as i64) {
+            SymBranch::err_if(
+                self.clone(),
+                ub_expr(
+                    "out-of-bounds",
+                    format!("load of {} bytes at {b}+{off}", chunk.size),
+                ),
+                Expr::tt(),
+            )
+        } else {
+            match blk.cells.get(&Expr::int(off)) {
+                Some((v, 0, n))
+                    if *n == chunk.size
+                        && self.run_complete(b, &Expr::int(off), v, *n, solver, pc) =>
+                {
+                    SymBranch::ok_if(
+                        self.clone(),
+                        decode_simplified(v, chunk, pc, solver),
+                        Expr::tt(),
+                    )
+                }
+                Some((_, 0, _)) => SymBranch::err_if(
+                    self.clone(),
+                    ub_expr("mixed-read", format!("torn load at {b}+{off}")),
+                    Expr::tt(),
+                ),
+                // A mid-run hit or a miss: no run starts here.
+                _ => SymBranch::err_if(
+                    self.clone(),
+                    ub_expr(
+                        "uninitialized-read",
+                        format!("load at {b}+{off} reads uninitialized bytes"),
+                    ),
+                    Expr::tt(),
+                ),
+            }
+        };
+        Some(literal_gate(pc, solver, vec![branch]))
+    }
+
+    fn fast_store(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 4, "store").ok()?;
+        let (chunk, b, off, blk) = self.literal_access(&args, perm::WRITABLE)?;
+        let branch = if !(0 <= off && off <= blk.size - chunk.size as i64) {
+            SymBranch::err_if(
+                self.clone(),
+                ub_expr(
+                    "out-of-bounds",
+                    format!("store of {} bytes at {b}+{off}", chunk.size),
+                ),
+                Expr::tt(),
+            )
+        } else {
+            let value = decode_simplified(&args[3], chunk, pc, solver);
+            let base = Expr::int(off);
+            // Only a run *starting* here is replaced wholesale; a mid-run
+            // overwrite is handled by the concrete-overlap removal, as on
+            // the general path's none-of-the-runs branch.
+            let old_run = match blk.cells.get(&base) {
+                Some((_, 0, n)) => Some(*n),
+                _ => None,
+            };
+            let mut mem = self.clone();
+            let mblk = mem.block_mut(b).expect("block checked");
+            if let Some(n) = old_run {
+                Self::remove_run(mblk, &base, n, solver, pc);
+            }
+            remove_concrete_overlaps(mblk, &base, chunk.size);
+            Self::insert_run(mblk, &base, &value, chunk.size, solver, pc);
+            SymBranch::ok_if(mem, value, Expr::tt())
+        };
+        Some(literal_gate(pc, solver, vec![branch]))
+    }
+
+    fn fast_free(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 2, "free").ok()?;
+        let b = match &args[0] {
+            Expr::Val(Value::Sym(s)) => *s,
+            _ => return None,
+        };
+        let off = args[1].as_int()?;
+        let blk = self.blocks.get(&b)?;
+        if blk.freed || blk.perm < perm::FREEABLE {
+            return None;
+        }
+        let branch = if off == 0 {
+            let mut mem = self.clone();
+            if let Some(mblk) = mem.block_mut(b) {
+                mblk.freed = true;
+                mblk.perm = perm::NONE;
+                mblk.cells.clear();
+            }
+            SymBranch::ok_if(mem, Expr::tt(), Expr::tt())
+        } else {
+            SymBranch::err_if(
+                self.clone(),
+                ub_expr("bad-free", format!("free of {b} at nonzero offset {off}")),
+                Expr::tt(),
+            )
+        };
+        Some(literal_gate(pc, solver, vec![branch]))
+    }
+
+    /// `cmpPtr` on two fully-literal pointers: every comparison folds
+    /// through the same `eval_binop` the simplifier's constant folder
+    /// uses (`Value`'s derived equality is element-wise on the promoted
+    /// pointer lists). The general path issues no satisfiability probes
+    /// for `cmpPtr` — only simplifies — so no gate applies here either.
+    fn fast_cmp_ptr(&self, arg: &Expr) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 3, "cmpPtr").ok()?;
+        let op = match &args[0] {
+            Expr::Val(Value::Str(s)) => s.clone(),
+            _ => return None,
+        };
+        let (b1, o1) = expr_ptr(&args[1])?;
+        let (b2, o2) = expr_ptr(&args[2])?;
+        let (vb1, vo1, vb2, vo2) = match (&b1, &o1, &b2, &o2) {
+            (Expr::Val(vb1), Expr::Val(vo1), Expr::Val(vb2), Expr::Val(vo2)) => {
+                (vb1, vo1, vb2, vo2)
+            }
+            _ => return None,
+        };
+        Some(match op.as_ref() {
+            "eq" => vec![SymBranch::ok(
+                self.clone(),
+                Expr::bool(vb1 == vb2 && vo1 == vo2),
+            )],
+            "ne" => vec![SymBranch::ok(
+                self.clone(),
+                Expr::bool(vb1 != vb2 || vo1 != vo2),
+            )],
+            "lt" | "le" => {
+                if vb1 != vb2 {
+                    vec![SymBranch::err_if(
+                        self.clone(),
+                        ub_expr(
+                            "ub-pointer-comparison",
+                            "ordering of pointers into different blocks",
+                        ),
+                        Expr::tt(),
+                    )]
+                } else {
+                    let Value::Sym(blk) = vb1 else { return None };
+                    match self.blocks.get(blk) {
+                        Some(info) if !info.freed => {
+                            let (Value::Int(a), Value::Int(c)) = (vo1, vo2) else {
+                                // Mixed offset types stay residual under
+                                // the folder; let the general path decide.
+                                return None;
+                            };
+                            let cmp = if op.as_ref() == "lt" { a < c } else { a <= c };
+                            vec![SymBranch::ok(self.clone(), Expr::bool(cmp))]
+                        }
+                        _ => vec![SymBranch::err_if(
+                            self.clone(),
+                            ub_expr("ub-pointer-comparison", "ordering of invalid pointers"),
+                            Expr::tt(),
+                        )],
+                    }
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
 impl SymbolicMemory for CSymMemory {
+    fn action_code(&self, name: &str) -> Option<u16> {
+        c_action_code(name)
+    }
+
+    fn execute_action_coded(
+        &self,
+        code: u16,
+        name: &str,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        // Only the hot heap accesses have literal fast paths; a fast
+        // helper returns `None` whenever anything symbolic is involved.
+        // Everything else falls back to the general implementation.
+        let fast = match code {
+            code::LOAD => self.fast_load(arg, pc, solver),
+            code::STORE => self.fast_store(arg, pc, solver),
+            code::FREE => self.fast_free(arg, pc, solver),
+            code::CMP_PTR => self.fast_cmp_ptr(arg),
+            _ => None,
+        };
+        fast.unwrap_or_else(|| self.execute_action(name, arg, pc, solver))
+    }
     fn language() -> &'static str {
         "minic"
     }

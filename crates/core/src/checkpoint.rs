@@ -21,7 +21,7 @@
 //! correctly in the new process, with sharing preserved across the whole
 //! frontier.
 //!
-//! ## File layout (version 1)
+//! ## File layout (version 2)
 //!
 //! ```text
 //! magic "GILCKPT\0"           8 bytes
@@ -38,6 +38,17 @@
 //! completed paths             count × (trace, outcome str, cmds u64)
 //! frontier                    count × FrontierItem
 //! ```
+//!
+//! Version 2 (the bytecode backend) extends each `FrontierItem` with its
+//! bytecode resume point: the program counter (`u64`, always equal to the
+//! command index — compiled blocks are per-command, so `pc == idx` into
+//! the source body) and the count of live evaluation registers (`u32`,
+//! always `0`: checkpoints are only taken at command boundaries, where
+//! every transient register is dead). Both are validated on load so a v2
+//! reader rejects a file that claims mid-expression state it cannot
+//! rebuild. Version 1 files are rejected with [`ResumeError::BadVersion`];
+//! there is no silent migration, because a silently "upgraded" frontier
+//! would erase the format's only cross-version honesty guarantee.
 //!
 //! The ordering of the header checks is deliberate: a wrong magic reports
 //! [`ResumeError::BadMagic`], a patched version byte reports a clean
@@ -62,8 +73,9 @@ use std::time::Duration;
 /// The checkpoint file magic.
 pub const MAGIC: &[u8; 8] = b"GILCKPT\0";
 
-/// The current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// The current checkpoint format version. Version 2 added the bytecode
+/// resume point (pc + live-register count) to every frontier item.
+pub const VERSION: u32 = 2;
 
 /// When and where the exploration engines write checkpoints.
 #[derive(Clone, Debug)]
@@ -363,6 +375,11 @@ pub fn encode_checkpoint<S: GilState>(data: &CheckpointData<S>) -> Result<Vec<u8
         serial::put_u64(&mut body, item.cmds);
         serial::put_str(&mut body, &item.config.proc)?;
         serial::put_u64(&mut body, item.config.idx as u64);
+        // v2: the bytecode resume point. Compiled blocks are per-command,
+        // so the pc is the command index; checkpoints happen only at
+        // command boundaries, where no transient register is live.
+        serial::put_u64(&mut body, item.config.idx as u64);
+        serial::put_u32(&mut body, 0);
         serial::put_len(&mut body, item.config.stack.len(), "call stack")?;
         for frame in &item.config.stack {
             serial::put_str(&mut body, &frame.caller)?;
@@ -495,6 +512,18 @@ pub fn decode_checkpoint<S: GilState>(
         let cmds = r.u64()?;
         let proc = Ident::from(r.str()?);
         let idx = r.u64()? as usize;
+        let pc = r.u64()?;
+        let live_regs = r.u32()?;
+        if pc != idx as u64 {
+            return Err(ResumeError::BadData(
+                "frontier bytecode pc disagrees with command index",
+            ));
+        }
+        if live_regs != 0 {
+            return Err(ResumeError::BadData(
+                "frontier claims live evaluation registers at a command boundary",
+            ));
+        }
         let frames = r.count()?;
         let mut stack = Vec::with_capacity(frames.min(1024));
         for _ in 0..frames {

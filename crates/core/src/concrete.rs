@@ -6,9 +6,9 @@
 
 use crate::allocator::ConcAllocator;
 use crate::memory::ConcreteMemory;
-use crate::state::GilState;
+use crate::state::{GilState, GuardEval};
 use gillian_gil::eval::{eval, Store};
-use gillian_gil::{Expr, Ident, Value};
+use gillian_gil::{EvalScratch, Expr, ExprCode, Ident, Value};
 
 /// A concrete GIL state `⟨µ, ρ, ξ⟩` over memory model `M`.
 #[derive(Clone, Debug, Default)]
@@ -108,6 +108,36 @@ impl<M: ConcreteMemory> GilState for ConcreteState<M> {
 
     fn error_value(&self, msg: &str) -> Value {
         Value::str(msg)
+    }
+
+    fn eval_code(&self, code: &ExprCode, scratch: &mut EvalScratch) -> Result<Value, Value> {
+        code.eval_concrete(&self.store, scratch)
+            .map_err(|err| Value::str(err.0))
+    }
+
+    /// Concrete guards never fork: decide in place, with no state clone
+    /// and no successor vector (`Take(b)` ≡ the single branch
+    /// [`GilState::branch_on`] would return).
+    fn guard_code(&self, code: &ExprCode, scratch: &mut EvalScratch) -> GuardEval<Self> {
+        match code.eval_concrete(&self.store, scratch) {
+            Ok(Value::Bool(b)) => GuardEval::Take(b),
+            Ok(other) => GuardEval::Fail(Value::str(format!("non-boolean guard {other}"))),
+            Err(err) => GuardEval::Fail(Value::str(err.0)),
+        }
+    }
+
+    fn action_code(&self, name: &str) -> Option<u16> {
+        self.memory.action_code(name)
+    }
+
+    fn execute_action_coded(
+        mut self,
+        code: u16,
+        name: &str,
+        arg: Value,
+    ) -> Vec<(Self, Result<Value, Value>)> {
+        let outcome = self.memory.execute_action_coded(code, name, arg);
+        vec![(self, outcome)]
     }
 }
 

@@ -1,0 +1,631 @@
+//! The bytecode execution backend: block dispatch over compiled GIL.
+//!
+//! [`step_block`] is the engine's inner loop. Where [`crate::interp::step`]
+//! executes exactly one command and hands every successor back to the
+//! explorer's worklist, `step_block` retires up to a *block* of commands in
+//! place — a fused basic-block dispatch over the register bytecode of
+//! [`gillian_gil::compile`] — and only surfaces when the path forks,
+//! finishes, or exhausts its block budget. The worklist round-trip,
+//! configuration re-destructuring, and per-command panic-guard entry that
+//! dominate straight-line cost in the tree walk are paid once per block
+//! instead of once per command.
+//!
+//! ## Exact equivalence contract
+//!
+//! Both backends must produce the same `(trace, outcome, cmds)` triple for
+//! every path, on every program, under every state model:
+//!
+//! - **Traces.** A branch-trace entry is pushed only when a step yields
+//!   more than one successor. The block loop continues in place *only* on
+//!   single-successor steps, so it forks exactly where the tree walk
+//!   forks — and returns the fork to the explorer, which applies the same
+//!   trace rule to both backends.
+//! - **Command accounting.** The loop publishes its progress through a
+//!   caller-supplied atomic *before* executing each command: when the
+//!   block returns (or panics out through the explorer's panic guard),
+//!   the atomic holds exactly the number of commands the tree walk would
+//!   have charged, including the in-flight one.
+//! - **Semantics.** Each [`Instr`] arm mirrors the corresponding
+//!   [`crate::interp::step`] rule operation-for-operation — same
+//!   evaluation order, same error messages, same error precedence. The
+//!   state-model hooks it calls ([`GilState::eval_code`],
+//!   [`GilState::guard_code`], [`GilState::execute_action_coded`])
+//!   default to the tree-walk methods and are overridden only by
+//!   implementations that promise exact agreement.
+//!
+//! ## Inline caches
+//!
+//! Memory-action sites carry a per-site [`AtomicU32`] inline cache mapping
+//! the action name to the memory model's dense action code
+//! ([`GilState::action_code`]). The first dispatch at a site resolves the
+//! cache; every later dispatch skips string matching. Caches are never
+//! invalidated: programs are immutable after compile and an exploration
+//! binds a single memory model, so a resolved code can never go stale.
+//!
+//! ## The escape hatch
+//!
+//! `GILLIAN_BYTECODE=0` (or [`ExploreConfig::bytecode`] `Some(false)`)
+//! keeps the tree walk alive behind the same block interface:
+//! [`ExecProg::prepare`] then skips compilation and `step_block` drives
+//! [`crate::interp::step`] one command at a time with identical
+//! accounting. Every equivalence battery runs both backends
+//! differentially through this switch.
+//!
+//! [`ExploreConfig::bytecode`]: crate::explore::ExploreConfig::bytecode
+//! [`Instr`]: gillian_gil::compile::Instr
+//! [`AtomicU32`]: std::sync::atomic::AtomicU32
+
+use crate::interp::{self, Config, Final, Frame, Outcome, StepOut};
+use crate::state::{GilState, GuardEval};
+use gillian_gil::compile::{CompiledProg, EvalScratch, Instr, IC_BIAS, IC_NO_CODE, IC_UNRESOLVED};
+use gillian_gil::{Ident, Prog};
+use gillian_solver::Interrupt;
+use gillian_telemetry::{names, registry, Counter, Histogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Upper bound on commands retired per [`step_block`] call. Large enough
+/// to amortize dispatch overhead over straight-line runs, small enough
+/// that per-path budget clamping keeps blocks exact. (Deadline and
+/// cancellation stay per-command responsive regardless: the block polls
+/// its [`Interrupt`] between commands and surfaces early when it fires.)
+pub const BLOCK_MAX: u64 = 64;
+
+fn exec_blocks() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| registry().counter(names::EXEC_BLOCKS))
+}
+
+fn exec_cmds() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| registry().counter(names::EXEC_CMDS))
+}
+
+fn block_cmds_histogram() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| registry().histogram(names::EXEC_BLOCK_CMDS))
+}
+
+/// Whether the bytecode backend is enabled by the environment:
+/// `GILLIAN_BYTECODE=0` disables it, anything else (including unset)
+/// enables it.
+pub fn bytecode_from_env() -> bool {
+    std::env::var("GILLIAN_BYTECODE").map_or(true, |v| v != "0")
+}
+
+/// A program prepared for execution: the compiled bytecode when the
+/// backend is on, or nothing (tree walk) when it is off. Cheap to clone —
+/// the compiled program is shared behind an [`Arc`] so parallel workers
+/// share one instruction stream (and its inline caches).
+#[derive(Clone, Debug, Default)]
+pub struct ExecProg {
+    compiled: Option<Arc<CompiledProg>>,
+}
+
+impl ExecProg {
+    /// Prepares `prog` for execution. `bytecode` forces the backend on or
+    /// off; `None` defers to [`bytecode_from_env`]. Compilation is
+    /// memoized on the program ([`Prog::bytecode`]) — a suite exploring
+    /// the same program hundreds of times compiles once and shares the
+    /// warm inline caches — and counted under `exec.compiles` when the
+    /// memo is cold.
+    pub fn prepare(prog: &Prog, bytecode: Option<bool>) -> ExecProg {
+        let on = bytecode.unwrap_or_else(bytecode_from_env);
+        ExecProg {
+            compiled: on.then(|| prog.bytecode()),
+        }
+    }
+
+    /// True when the bytecode backend is active.
+    pub fn bytecode(&self) -> bool {
+        self.compiled.is_some()
+    }
+}
+
+fn done<S: GilState>(state: S, outcome: Outcome<S::V>) -> StepOut<S> {
+    StepOut::Done(Final { state, outcome })
+}
+
+fn err_done<S: GilState>(state: S, v: S::V) -> StepOut<S> {
+    done(state, Outcome::Error(v))
+}
+
+fn next<S: GilState>(state: S, stack: Vec<Frame<S>>, proc: Ident, idx: usize) -> StepOut<S> {
+    StepOut::Next(Config {
+        state,
+        stack,
+        proc,
+        idx,
+    })
+}
+
+/// Executes up to `limit` commands from `cfg`, returning the successors of
+/// the last command executed (exactly as [`crate::interp::step`] would for
+/// that command).
+///
+/// `limit` must be at least 1 and must already be clamped to the path and
+/// total command budgets — the block never checks them itself. `progress`
+/// is the crash-safe accounting channel: it is set to `n` immediately
+/// before the `n`-th command of the block executes, so the caller can read
+/// the exact charge even if the command panics out through a guard.
+/// `scratch` is the per-worker register file for compiled expression
+/// evaluation. `interrupt` is the run's deadline/cancel pair: the block
+/// polls it between commands and surfaces its in-flight configuration
+/// early when it fires, so the explorer's scheduling-point checks stay
+/// per-command responsive exactly as under the tree walk.
+pub fn step_block<S: GilState>(
+    prog: &Prog,
+    exec: &ExecProg,
+    cfg: Config<S>,
+    limit: u64,
+    interrupt: &Interrupt,
+    progress: &AtomicU64,
+    scratch: &mut EvalScratch,
+) -> Vec<StepOut<S>> {
+    debug_assert!(limit >= 1, "block budget must admit at least one command");
+    match &exec.compiled {
+        Some(compiled) => {
+            let outs = block_compiled(compiled, cfg, limit, interrupt, progress, scratch);
+            let charged = progress.load(Ordering::Relaxed);
+            exec_blocks().incr();
+            exec_cmds().add(charged);
+            block_cmds_histogram().record(charged);
+            outs
+        }
+        None => block_tree(prog, cfg, limit, interrupt, progress),
+    }
+}
+
+/// The escape-hatch block: drives the tree walk one command at a time,
+/// continuing in place on single-successor steps so the explorer sees the
+/// same block interface (and pays the same per-block worklist costs) under
+/// both backends.
+fn block_tree<S: GilState>(
+    prog: &Prog,
+    mut cfg: Config<S>,
+    limit: u64,
+    interrupt: &Interrupt,
+    progress: &AtomicU64,
+) -> Vec<StepOut<S>> {
+    let mut charged = 0u64;
+    loop {
+        charged += 1;
+        progress.store(charged, Ordering::Relaxed);
+        let mut outs = interp::step(prog, cfg);
+        if outs.len() == 1
+            && matches!(outs[0], StepOut::Next(_))
+            && charged < limit
+            && !interrupt.interrupted()
+        {
+            let Some(StepOut::Next(c)) = outs.pop() else {
+                unreachable!("just matched a single Next");
+            };
+            cfg = c;
+            continue;
+        }
+        return outs;
+    }
+}
+
+/// The compiled block: direct dispatch over [`Instr`], mirroring
+/// [`crate::interp::step`] arm-for-arm.
+fn block_compiled<S: GilState>(
+    compiled: &CompiledProg,
+    cfg: Config<S>,
+    limit: u64,
+    interrupt: &Interrupt,
+    progress: &AtomicU64,
+    scratch: &mut EvalScratch,
+) -> Vec<StepOut<S>> {
+    let Config {
+        mut state,
+        mut stack,
+        mut proc,
+        mut idx,
+    } = cfg;
+    // Dense id of the procedure currently executing; `None` reproduces
+    // the tree walk's "unknown procedure" error on the next charged
+    // command (e.g. after returning into a caller the program no longer
+    // defines — impossible for frames this loop pushed, possible for
+    // hand-built configurations).
+    let mut cur = compiled.pid(&proc);
+    // Dense ids of the callers of frames *this block* pushed, so returns
+    // within the block skip the name lookup. Frames pushed by earlier
+    // blocks fall back to `pid(frame.caller)`.
+    let mut shadow: Vec<u32> = Vec::new();
+    let mut charged = 0u64;
+    loop {
+        charged += 1;
+        progress.store(charged, Ordering::Relaxed);
+        let Some(pid) = cur else {
+            let v = state.error_value(&format!("unknown procedure {proc}"));
+            return vec![err_done(state, v)];
+        };
+        let body = &compiled.by_pid(pid).body;
+        let Some(instr) = body.get(idx) else {
+            let v = state.error_value(&format!("fell off the end of {proc} at {idx}"));
+            return vec![err_done(state, v)];
+        };
+        match instr {
+            Instr::Assign { lhs, code } => match state.eval_code(code, scratch) {
+                Ok(v) => {
+                    state.set_var(lhs, v);
+                    idx += 1;
+                }
+                Err(v) => return vec![err_done(state, v)],
+            },
+            Instr::CmpGoto { code, target } => match state.guard_code(code, scratch) {
+                GuardEval::Take(taken) => {
+                    idx = if taken { *target } else { idx + 1 };
+                }
+                GuardEval::Fork(mut branches) => match branches.len() {
+                    0 => return Vec::new(),
+                    1 => {
+                        let (st, taken) = branches.pop().expect("len checked");
+                        state = st;
+                        idx = if taken { *target } else { idx + 1 };
+                    }
+                    _ => {
+                        return branches
+                            .into_iter()
+                            .map(|(st, taken)| {
+                                let j = if taken { *target } else { idx + 1 };
+                                next(st, stack.clone(), proc.clone(), j)
+                            })
+                            .collect()
+                    }
+                },
+                GuardEval::Fail(v) => return vec![err_done(state, v)],
+            },
+            Instr::Goto { target } => idx = *target,
+            Instr::Call {
+                lhs,
+                code,
+                args,
+                hint,
+            } => {
+                let callee_v = match state.eval_code(code, scratch) {
+                    Ok(v) => v,
+                    Err(v) => return vec![err_done(state, v)],
+                };
+                // Dynamic resolution stays even for hinted sites: a
+                // custom state model may reject (or rewrite) callee
+                // values, and the hint is only a post-resolution pid
+                // shortcut.
+                let callee = match state.resolve_proc(&callee_v) {
+                    Ok(f) => f,
+                    Err(v) => return vec![err_done(state, v)],
+                };
+                let mut arg_vs = Vec::with_capacity(args.len());
+                for a in args {
+                    match state.eval_code(a, scratch) {
+                        Ok(v) => arg_vs.push(v),
+                        Err(v) => return vec![err_done(state, v)],
+                    }
+                }
+                let np = match hint {
+                    Some(h) if h.name == callee => h.pid,
+                    _ => compiled.pid(&callee),
+                };
+                // "unknown procedure" is raised *after* argument
+                // evaluation, exactly as the tree walk orders it.
+                let Some(np) = np else {
+                    let v = state.error_value(&format!("unknown procedure {callee}"));
+                    return vec![err_done(state, v)];
+                };
+                let new_store = state.make_store(&compiled.by_pid(np).params, arg_vs);
+                let caller_store = state.store().clone();
+                shadow.push(pid);
+                stack.push(Frame {
+                    caller: std::mem::replace(&mut proc, callee),
+                    ret_var: lhs.clone(),
+                    store: caller_store,
+                    ret_idx: idx + 1,
+                });
+                state.set_store(new_store);
+                cur = Some(np);
+                idx = 0;
+            }
+            Instr::Return { code } => match state.eval_code(code, scratch) {
+                Ok(v) => match stack.pop() {
+                    Some(frame) => {
+                        state.set_store(frame.store);
+                        state.set_var(&frame.ret_var, v);
+                        proc = frame.caller;
+                        idx = frame.ret_idx;
+                        cur = shadow.pop().or_else(|| compiled.pid(&proc));
+                    }
+                    None => return vec![done(state, Outcome::Normal(v))],
+                },
+                Err(v) => return vec![err_done(state, v)],
+            },
+            Instr::Fail { code } => match state.eval_code(code, scratch) {
+                Ok(v) | Err(v) => return vec![err_done(state, v)],
+            },
+            Instr::Vanish => return vec![done(state, Outcome::Vanished)],
+            Instr::Action {
+                lhs,
+                name,
+                code,
+                ic,
+            } => {
+                let arg_v = match state.eval_code(code, scratch) {
+                    Ok(v) => v,
+                    Err(v) => return vec![err_done(state, v)],
+                };
+                let action = match ic.load(Ordering::Relaxed) {
+                    IC_UNRESOLVED => {
+                        let c = state.action_code(name.as_ref());
+                        ic.store(
+                            c.map_or(IC_NO_CODE, |k| u32::from(k) + IC_BIAS),
+                            Ordering::Relaxed,
+                        );
+                        c
+                    }
+                    IC_NO_CODE => None,
+                    k => Some((k - IC_BIAS) as u16),
+                };
+                let mut branches = match action {
+                    Some(k) => state.execute_action_coded(k, name.as_ref(), arg_v),
+                    None => state.execute_action(name.as_ref(), arg_v),
+                };
+                match branches.len() {
+                    0 => return Vec::new(),
+                    1 => {
+                        let (mut st, outcome) = branches.pop().expect("len checked");
+                        match outcome {
+                            Ok(v) => {
+                                st.set_var(lhs, v);
+                                state = st;
+                                idx += 1;
+                            }
+                            Err(v) => return vec![err_done(st, v)],
+                        }
+                    }
+                    _ => {
+                        return branches
+                            .into_iter()
+                            .map(|(mut st, outcome)| match outcome {
+                                Ok(v) => {
+                                    st.set_var(lhs, v);
+                                    next(st, stack.clone(), proc.clone(), idx + 1)
+                                }
+                                Err(v) => err_done(st, v),
+                            })
+                            .collect()
+                    }
+                }
+            }
+            Instr::USym { lhs, site } => {
+                let v = state.fresh_usym(*site);
+                state.set_var(lhs, v);
+                idx += 1;
+            }
+            Instr::ISym { lhs, site } => {
+                let v = state.fresh_isym(*site);
+                state.set_var(lhs, v);
+                idx += 1;
+            }
+            Instr::Skip => idx += 1,
+        }
+        if charged >= limit || interrupt.interrupted() {
+            return vec![next(state, stack, proc, idx)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concrete::ConcreteState;
+    use crate::memory::ConcreteMemory;
+    use gillian_gil::{Cmd, Expr, Proc, Value};
+
+    #[derive(Clone, Debug, Default)]
+    struct NoMem;
+    impl ConcreteMemory for NoMem {
+        fn execute_action(&mut self, name: &str, _: Value) -> Result<Value, Value> {
+            Err(Value::str(format!("no actions ({name})")))
+        }
+    }
+
+    type St = ConcreteState<NoMem>;
+
+    /// Runs `prog` to completion under both backends with the given block
+    /// limit, asserting identical outcomes and command charges.
+    fn run_both(prog: &Prog, limit: u64) -> (Outcome<Value>, u64) {
+        let mut results = Vec::new();
+        for bytecode in [false, true] {
+            let exec = ExecProg::prepare(prog, Some(bytecode));
+            let progress = AtomicU64::new(0);
+            let mut scratch = EvalScratch::new();
+            let mut pending = vec![Config::entry("main", St::new())];
+            let mut cmds = 0u64;
+            let mut finals = Vec::new();
+            let mut fuel = 10_000;
+            while let Some(cfg) = pending.pop() {
+                fuel -= 1;
+                assert!(fuel > 0, "runaway test program");
+                progress.store(0, Ordering::Relaxed);
+                let outs = step_block(
+                    prog,
+                    &exec,
+                    cfg,
+                    limit,
+                    &Interrupt::default(),
+                    &progress,
+                    &mut scratch,
+                );
+                cmds += progress.load(Ordering::Relaxed);
+                for out in outs {
+                    match out {
+                        StepOut::Next(c) => pending.push(c),
+                        StepOut::Done(f) => finals.push(f),
+                    }
+                }
+            }
+            assert_eq!(finals.len(), 1, "concrete execution is deterministic");
+            results.push((finals.pop().unwrap().outcome, cmds));
+        }
+        let tree = results.remove(0);
+        let byte = results.remove(0);
+        assert_eq!(tree.0, byte.0, "outcomes must agree across backends");
+        assert_eq!(tree.1, byte.1, "command charges must agree across backends");
+        byte
+    }
+
+    fn call_prog() -> Prog {
+        Prog::from_procs([
+            Proc::new(
+                "main",
+                [],
+                vec![
+                    Cmd::assign("x", Expr::int(1)),
+                    Cmd::call_static("y", "double", vec![Expr::int(21)]),
+                    Cmd::Return(Expr::pvar("x").add(Expr::pvar("y"))),
+                ],
+            ),
+            Proc::new(
+                "double",
+                ["n"],
+                vec![
+                    Cmd::assign("x", Expr::pvar("n").mul(Expr::int(2))),
+                    Cmd::Return(Expr::pvar("x")),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn blocks_agree_with_tree_walk_on_calls() {
+        for limit in [1, 2, 3, BLOCK_MAX] {
+            let (outcome, cmds) = run_both(&call_prog(), limit);
+            assert_eq!(outcome, Outcome::Normal(Value::Int(43)));
+            assert_eq!(cmds, 5, "three main cmds + two double cmds");
+        }
+    }
+
+    #[test]
+    fn loops_and_branches_agree() {
+        // while (x < 40) x := x + 1; return x
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![
+                Cmd::assign("x", Expr::int(0)),
+                Cmd::IfGoto(Expr::pvar("x").lt(Expr::int(40)), 3),
+                Cmd::Return(Expr::pvar("x")),
+                Cmd::assign("x", Expr::pvar("x").add(Expr::int(1))),
+                Cmd::Goto(1),
+            ],
+        )]);
+        for limit in [1, 7, BLOCK_MAX] {
+            let (outcome, _) = run_both(&prog, limit);
+            assert_eq!(outcome, Outcome::Normal(Value::Int(40)));
+        }
+    }
+
+    #[test]
+    fn errors_agree_in_message_and_charge() {
+        for body in [
+            vec![Cmd::assign("x", Expr::pvar("missing"))],
+            vec![Cmd::assign("x", Expr::int(1).div(Expr::int(0)))],
+            vec![Cmd::call_static("r", "nope", vec![])],
+            vec![Cmd::Fail(Expr::str("boom"))],
+            vec![Cmd::assign("x", Expr::int(0))], // falls off the end
+        ] {
+            let prog = Prog::from_procs([Proc::new("main", [], body)]);
+            let (outcome, _) = run_both(&prog, BLOCK_MAX);
+            assert!(outcome.is_error(), "got {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_entry_procedure_errors() {
+        let prog = Prog::from_procs([Proc::new("main", [], vec![Cmd::Vanish])]);
+        let exec = ExecProg::prepare(&prog, Some(true));
+        let progress = AtomicU64::new(0);
+        let mut scratch = EvalScratch::new();
+        let cfg = Config::entry("nope", St::new());
+        let outs = step_block(
+            &prog,
+            &exec,
+            cfg,
+            BLOCK_MAX,
+            &Interrupt::default(),
+            &progress,
+            &mut scratch,
+        );
+        assert_eq!(outs.len(), 1);
+        let StepOut::Done(f) = &outs[0] else {
+            panic!("expected a finished path");
+        };
+        assert_eq!(
+            f.outcome,
+            Outcome::Error(Value::str("unknown procedure nope"))
+        );
+        assert_eq!(progress.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn block_limit_cuts_exactly_and_resumes() {
+        let prog = call_prog();
+        let exec = ExecProg::prepare(&prog, Some(true));
+        let progress = AtomicU64::new(0);
+        let mut scratch = EvalScratch::new();
+        let outs = step_block(
+            &prog,
+            &exec,
+            Config::entry("main", St::new()),
+            2,
+            &Interrupt::default(),
+            &progress,
+            &mut scratch,
+        );
+        assert_eq!(progress.load(Ordering::Relaxed), 2);
+        assert_eq!(outs.len(), 1);
+        let StepOut::Next(c) = outs.into_iter().next().unwrap() else {
+            panic!("expected a continuation");
+        };
+        // Two commands in: inside `double`, with the caller frame saved.
+        assert_eq!(c.proc.as_ref(), "double");
+        assert_eq!(c.stack.len(), 1);
+    }
+
+    #[test]
+    fn action_inline_cache_resolves_to_no_code() {
+        let prog = Prog::from_procs([Proc::new(
+            "main",
+            [],
+            vec![Cmd::action("r", "poke", Expr::int(1))],
+        )]);
+        let exec = ExecProg::prepare(&prog, Some(true));
+        let progress = AtomicU64::new(0);
+        let mut scratch = EvalScratch::new();
+        let outs = step_block(
+            &prog,
+            &exec,
+            Config::entry("main", St::new()),
+            BLOCK_MAX,
+            &Interrupt::default(),
+            &progress,
+            &mut scratch,
+        );
+        assert_eq!(outs.len(), 1, "NoMem action errors deterministically");
+        // The site's cache is now resolved to "no dense code".
+        let compiled = exec.compiled.as_ref().unwrap();
+        let Instr::Action { ic, .. } = &compiled.proc("main").unwrap().body[0] else {
+            panic!("expected an action instruction");
+        };
+        assert_eq!(ic.load(Ordering::Relaxed), IC_NO_CODE);
+    }
+
+    #[test]
+    fn env_toggle_selects_backend() {
+        // `prepare(.., Some(_))` must ignore the environment entirely.
+        let prog = call_prog();
+        assert!(ExecProg::prepare(&prog, Some(true)).bytecode());
+        assert!(!ExecProg::prepare(&prog, Some(false)).bytecode());
+    }
+}

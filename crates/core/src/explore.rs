@@ -1,9 +1,12 @@
 //! Bounded whole-program path exploration.
 //!
-//! Drives the small-step semantics of [`crate::interp`] over a worklist,
-//! exploring *all* paths and unrolling loops up to a bound (paper §1:
-//! "Gillian symbolically executes these tests, exploring all paths and
-//! unrolling loops up to a bound"). Per-path and global command budgets
+//! Drives the GIL semantics over a worklist, exploring *all* paths and
+//! unrolling loops up to a bound (paper §1: "Gillian symbolically
+//! executes these tests, exploring all paths and unrolling loops up to a
+//! bound"). The inner loop is the compiled-bytecode block dispatch of
+//! [`crate::exec`] by default, with the [`crate::interp`] tree walk as
+//! the reference backend (`GILLIAN_BYTECODE=0` /
+//! [`ExploreConfig::bytecode`]). Per-path and global command budgets
 //! keep exploration total; hitting a budget truncates the path and is
 //! reported (a truncated run yields a *bounded* verification guarantee
 //! only).
@@ -44,11 +47,12 @@
 use crate::checkpoint::{
     self, CheckpointConfig, CheckpointData, FrontierItem, PathSummary, ResumeError, StateCtx,
 };
+use crate::exec::{step_block, ExecProg, BLOCK_MAX};
 use crate::faults::{FaultKind, FaultPlan};
-use crate::interp::{step, Config, Final, Outcome, StepOut};
+use crate::interp::{Config, Final, Outcome, StepOut};
 use crate::panic_guard;
 use crate::state::GilState;
-use gillian_gil::{InternStats, Prog};
+use gillian_gil::{EvalScratch, InternStats, Prog};
 use gillian_solver::{CancelToken, Interrupt};
 use gillian_telemetry::{names, registry, Event, Journal, Report, TreeStats, WorkerLog};
 use std::collections::VecDeque;
@@ -139,6 +143,13 @@ pub struct ExploreConfig {
     /// fire at engine scheduling points and solver queries. Testing
     /// machinery — never install one in production runs.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Execution backend selection (`DESIGN.md` §15): `Some(true)` runs
+    /// the compiled register bytecode, `Some(false)` the reference tree
+    /// walk, and `None` (the default) defers to the `GILLIAN_BYTECODE`
+    /// environment variable (on unless set to `0`). Both backends
+    /// produce identical `(trace, outcome, cmds)` path sets; the switch
+    /// exists for differential testing and A/B benchmarking.
+    pub bytecode: Option<bool>,
 }
 
 impl ExploreConfig {
@@ -163,6 +174,7 @@ impl Default for ExploreConfig {
             journal: Journal::from_env(),
             checkpoint: None,
             faults: None,
+            bytecode: None,
         }
     }
 }
@@ -606,7 +618,14 @@ fn explore_frontier<S: GilState>(
 ) -> ExploreResult<S> {
     let run_started = Instant::now();
     let deadline = cfg.deadline.map(|d| run_started + d);
-    sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
+    // One-shot backend preparation: compile to bytecode (or keep the tree
+    // walk, per config/environment), plus the per-run register scratch
+    // and the crash-safe block-progress channel.
+    let exec = ExecProg::prepare(prog, cfg.bytecode);
+    let mut scratch = EvalScratch::new();
+    let progress = AtomicU64::new(0);
+    let interrupt = Interrupt::new(deadline, cfg.cancel.clone());
+    sentinel.install_interrupt(interrupt.clone());
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
     let faults = cfg.faults.clone();
@@ -736,13 +755,33 @@ fn explore_frontier<S: GilState>(
             }
             continue;
         }
-        result.total_cmds += 1;
-        let outs = match panic_guard::catch(move || {
-            if inject_panic {
-                panic!("injected fault: path panic");
-            }
-            step(prog, config)
-        }) {
+        // Block budget: never beyond the path's or the run's remaining
+        // command allowance (both positive — the checks above guarantee
+        // it), so the block loop itself never has to consult budgets.
+        let limit = BLOCK_MAX
+            .min(cfg.max_cmds_per_path - cmds)
+            .min(cfg.max_total_cmds - result.total_cmds);
+        progress.store(0, Ordering::Relaxed);
+        let caught = {
+            let scratch = &mut scratch;
+            let progress = &progress;
+            let exec = &exec;
+            let interrupt = &interrupt;
+            panic_guard::catch(move || {
+                if inject_panic {
+                    panic!("injected fault: path panic");
+                }
+                step_block(prog, exec, config, limit, interrupt, progress, scratch)
+            })
+        };
+        // Commands the block actually charged — published *before* each
+        // command executes, so a panic mid-block still bills every
+        // command up to and including the one that died (`max(1)` covers
+        // an injected panic ahead of the first command, which the tree
+        // walk charges as one).
+        let consumed = progress.load(Ordering::Relaxed).max(1);
+        result.total_cmds += consumed;
+        let outs = match caught {
             Ok(outs) => outs,
             Err(payload) => {
                 result.truncated = true;
@@ -763,14 +802,14 @@ fn explore_frontier<S: GilState>(
                                 payload,
                                 trace: trace.clone(),
                             },
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                             trace: trace.clone(),
                         },
                     ) {
                         log.emit_with(|| Event::PathFinished {
                             path: trace.clone(),
                             outcome: "engine_error",
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                         });
                         traces.push(trace);
                     }
@@ -802,7 +841,7 @@ fn explore_frontier<S: GilState>(
                     } else {
                         worklist.push_back(FrontierItem {
                             config: c,
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                             trace: child_trace,
                         });
                     }
@@ -815,14 +854,14 @@ fn explore_frontier<S: GilState>(
                         PathResult {
                             state,
                             outcome,
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                             trace: child_trace.clone(),
                         },
                     ) {
                         log.emit_with(|| Event::PathFinished {
                             path: child_trace.clone(),
                             outcome: kind,
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                         });
                         traces.push(child_trace);
                     }
@@ -1003,6 +1042,12 @@ pub fn replay_path<S: GilState>(
     trace: &[u32],
     max_cmds: u64,
 ) -> Result<PathResult<S>, ReplayError> {
+    let exec = ExecProg::prepare(prog, None);
+    let mut scratch = EvalScratch::new();
+    let progress = AtomicU64::new(0);
+    // Replay has no deadline or cancellation; the default interrupt never
+    // fires.
+    let interrupt = Interrupt::default();
     let mut config = Config::entry(entry, initial);
     let mut cmds = 0u64;
     let mut followed: Vec<u32> = Vec::new();
@@ -1011,8 +1056,18 @@ pub fn replay_path<S: GilState>(
         if cmds >= max_cmds {
             return Err(ReplayError::BudgetExhausted);
         }
-        cmds += 1;
-        let mut outs = step(prog, config);
+        let limit = BLOCK_MAX.min(max_cmds - cmds);
+        progress.store(0, Ordering::Relaxed);
+        let mut outs = step_block(
+            prog,
+            &exec,
+            config,
+            limit,
+            &interrupt,
+            &progress,
+            &mut scratch,
+        );
+        cmds += progress.load(Ordering::Relaxed).max(1);
         let pick = if outs.len() > 1 {
             let Some(i) = next.next() else {
                 return Err(ReplayError::TraceExhausted { cmds });
@@ -1151,6 +1206,7 @@ struct WorkerYield<S: GilState> {
 
 fn explore_worker<S: GilState>(
     prog: &Prog,
+    exec: &ExecProg,
     cfg: &ExploreConfig,
     shared: &SharedExplorer<S>,
     sentinel: S,
@@ -1158,6 +1214,9 @@ fn explore_worker<S: GilState>(
     journal: &Journal,
 ) -> WorkerYield<S> {
     let interner_before = InternStats::thread_snapshot();
+    let mut scratch = EvalScratch::new();
+    let progress = AtomicU64::new(0);
+    let interrupt = Interrupt::new(shared.deadline, shared.cancel.clone());
     let mut log = journal.worker(worker);
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut cut: Vec<FrontierItem<S>> = Vec::new();
@@ -1257,15 +1316,33 @@ fn explore_worker<S: GilState>(
                 shared.note_finished(cfg);
                 break;
             }
-            // Claim one command against the global budget; returning the
-            // failed claim keeps `total_cmds` equal to commands executed.
-            if shared.total_cmds.fetch_add(1, Ordering::Relaxed) >= cfg.max_total_cmds {
-                shared.total_cmds.fetch_sub(1, Ordering::Relaxed);
+            // Claim a block of commands against the global budget. The
+            // claim is optimistic (`want` commands) and settled to the
+            // truth afterwards: a partial grant refunds the un-granted
+            // tail immediately, and the block's unconsumed remainder is
+            // refunded after it runs — so `total_cmds` always ends equal
+            // to commands actually executed. A transiently inflated
+            // counter can make a *sibling's* claim fail a few commands
+            // early, which is indistinguishable from the budget binding
+            // there anyway.
+            let want = BLOCK_MAX.min(cfg.max_cmds_per_path - job.cmds);
+            let prev = shared.total_cmds.fetch_add(want, Ordering::Relaxed);
+            if prev >= cfg.max_total_cmds {
+                shared.total_cmds.fetch_sub(want, Ordering::Relaxed);
                 shared.truncated.store(true, Ordering::Relaxed);
                 shared.stop.store(true, Ordering::Relaxed);
                 shared.work.notify_all();
                 cut.push(job);
                 break;
+            }
+            let allowed = want.min(cfg.max_total_cmds - prev);
+            if allowed < want {
+                // Partial grant: refund the tail but do NOT stop — the
+                // next claim will fail outright and raise the flag, as
+                // the one-command-at-a-time protocol did.
+                shared
+                    .total_cmds
+                    .fetch_sub(want - allowed, Ordering::Relaxed);
             }
             steps += 1;
             let FrontierItem {
@@ -1273,12 +1350,25 @@ fn explore_worker<S: GilState>(
                 cmds,
                 mut trace,
             } = job;
-            let outs = match panic_guard::catch(move || {
-                if inject_panic {
-                    panic!("injected fault: path panic");
-                }
-                step(prog, config)
-            }) {
+            progress.store(0, Ordering::Relaxed);
+            let caught = {
+                let scratch = &mut scratch;
+                let progress = &progress;
+                let interrupt = &interrupt;
+                panic_guard::catch(move || {
+                    if inject_panic {
+                        panic!("injected fault: path panic");
+                    }
+                    step_block(prog, exec, config, allowed, interrupt, progress, scratch)
+                })
+            };
+            let consumed = progress.load(Ordering::Relaxed).max(1);
+            if consumed < allowed {
+                shared
+                    .total_cmds
+                    .fetch_sub(allowed - consumed, Ordering::Relaxed);
+            }
+            let outs = match caught {
                 Ok(outs) => outs,
                 Err(payload) => {
                     shared.engine_errors.fetch_add(1, Ordering::Relaxed);
@@ -1296,7 +1386,7 @@ fn explore_worker<S: GilState>(
                                     payload,
                                     trace: trace.clone(),
                                 },
-                                cmds: cmds + 1,
+                                cmds: cmds + consumed,
                                 trace,
                             },
                         ));
@@ -1327,7 +1417,7 @@ fn explore_worker<S: GilState>(
                     StepOut::Next(config) => {
                         let child = FrontierItem {
                             config,
-                            cmds: cmds + 1,
+                            cmds: cmds + consumed,
                             trace: child_trace,
                         };
                         if continuation.is_none() {
@@ -1342,7 +1432,7 @@ fn explore_worker<S: GilState>(
                             PathResult {
                                 state,
                                 outcome: outcome.into(),
-                                cmds: cmds + 1,
+                                cmds: cmds + consumed,
                                 trace: child_trace,
                             },
                         ));
@@ -1440,6 +1530,10 @@ where
     let workers = cfg.workers.max(1);
     let run_started = Instant::now();
     let deadline = cfg.deadline.map(|d| run_started + d);
+    // One compiled program for the whole run: workers share the
+    // instruction stream and its inline caches (resolution is idempotent,
+    // so racing resolvers store the same value).
+    let exec = ExecProg::prepare(prog, cfg.bytecode);
     sentinel.install_interrupt(Interrupt::new(deadline, cfg.cancel.clone()));
     let journal = cfg.journal.clone();
     sentinel.install_journal(journal.clone());
@@ -1502,6 +1596,7 @@ where
             let cfg = &cfg;
             let shared = &shared;
             let journal = &journal;
+            let exec = &exec;
             // All per-worker sentinels are cloned *before* the first spawn:
             // once a worker runs it may poison the state (e.g. a memory whose
             // `Clone` panics after a fault), and an unguarded clone racing
@@ -1515,7 +1610,15 @@ where
                     let worker = (i + 1) as u32;
                     scope.spawn(move || {
                         panic_guard::catch(|| {
-                            explore_worker(prog, cfg, shared, worker_sentinel, worker, journal)
+                            explore_worker(
+                                prog,
+                                exec,
+                                cfg,
+                                shared,
+                                worker_sentinel,
+                                worker,
+                                journal,
+                            )
                         })
                     })
                 })

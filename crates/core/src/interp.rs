@@ -7,6 +7,14 @@
 //! several successor configurations (conditional gotos and branching
 //! memory actions); concrete states return exactly one.
 //!
+//! [`step`] is the **reference backend**: the explorer's default inner
+//! loop is the compiled-bytecode block dispatch of [`crate::exec`],
+//! which must agree with `step` command-for-command (same successors,
+//! same outcomes, same error text — see `exec`'s equivalence contract).
+//! This tree walk stays authoritative for the semantics, serves as the
+//! differential oracle in the bytecode batteries, and remains selectable
+//! at run time via `GILLIAN_BYTECODE=0`.
+//!
 //! ## Panic contract
 //!
 //! [`step`] itself never panics on well-formed programs, but it calls into

@@ -36,6 +36,24 @@ pub trait ConcreteMemory: Clone + std::fmt::Debug + Default {
     /// Returns the language error value (raised as `E(v)`) when the action
     /// fails — e.g. lookup of an absent cell, C undefined behaviour.
     fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value>;
+
+    /// The dense code this memory assigns to action `name`, if any. Feeds
+    /// the bytecode backend's per-site inline caches; `None` (the
+    /// default) keeps the site on the stringly-named path.
+    fn action_code(&self, _name: &str) -> Option<u16> {
+        None
+    }
+
+    /// Executes the action behind a resolved inline cache: `code` is what
+    /// [`ConcreteMemory::action_code`] returned for `name`. Must behave
+    /// identically to `execute_action(name, arg)`; the default delegates.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ConcreteMemory::execute_action`].
+    fn execute_action_coded(&mut self, _code: u16, name: &str, arg: Value) -> Result<Value, Value> {
+        self.execute_action(name, arg)
+    }
 }
 
 /// One branch of a symbolic action's outcome.
@@ -107,6 +125,31 @@ pub trait SymbolicMemory: Clone + std::fmt::Debug + Default + Send {
         pc: &PathCondition,
         solver: &Solver,
     ) -> Vec<SymBranch<Self>>;
+
+    /// The dense code this memory assigns to action `name`, if any. Feeds
+    /// the bytecode backend's per-site inline caches; `None` (the
+    /// default) keeps the site on the stringly-named path.
+    fn action_code(&self, _name: &str) -> Option<u16> {
+        None
+    }
+
+    /// Executes the action behind a resolved inline cache: `code` is what
+    /// [`SymbolicMemory::action_code`] returned for `name`. The branch
+    /// set must be identical to `execute_action(name, arg, pc, solver)`;
+    /// the default delegates. Implementations may use the pre-resolved
+    /// code to skip string dispatch and take literal-argument fast paths
+    /// that are unreachable from the tree-walk backend (keeping that
+    /// backend a byte-identical differential reference).
+    fn execute_action_coded(
+        &self,
+        _code: u16,
+        name: &str,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        self.execute_action(name, arg, pc, solver)
+    }
 
     /// The logical variables occurring in the memory. Used by the
     /// soundness checkers to complete a model into a full logical

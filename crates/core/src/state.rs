@@ -15,13 +15,30 @@
 
 use crate::checkpoint::{StateCtx, StateIoError};
 use gillian_gil::serial::{ByteReader, Decoder, Encoder};
-use gillian_gil::{Expr, Ident};
+use gillian_gil::{EvalScratch, Expr, ExprCode, Ident};
 use gillian_solver::{FaultProbe, Interrupt};
 use gillian_telemetry::Journal;
 
 /// The branching result of a memory action on states: each branch pairs a
 /// successor state with the action outcome (`Err` raises `E(v)`).
 pub type ActionBranches<S, V> = Vec<(S, Result<V, V>)>;
+
+/// The result of a fused guard evaluation ([`GilState::guard_code`]).
+///
+/// `Take` is the bytecode backend's fast lane: the guard decided without
+/// forking, so the dispatch loop continues in place with no state clone
+/// and no successor allocation. Semantically `Take(b)` is identical to
+/// `Fork(vec![(self, b)])`.
+#[derive(Clone, Debug)]
+pub enum GuardEval<S: GilState> {
+    /// The guard decided deterministically: continue in place.
+    Take(bool),
+    /// The guard forked: surviving successor states, each paired with the
+    /// truth value it assumed (empty when no branch is feasible).
+    Fork(Vec<(S, bool)>),
+    /// The guard failed to evaluate.
+    Fail(<S as GilState>::V),
+}
 
 /// A GIL state: the engine-facing interface of a (lifted) state model.
 ///
@@ -87,6 +104,56 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
     /// branch pairs a successor state with the action's outcome; an `Err`
     /// outcome raises the GIL error outcome `E(v)` on that branch.
     fn execute_action(self, name: &str, arg: Self::V) -> ActionBranches<Self, Self::V>;
+
+    /// Evaluates a compiled expression site (the bytecode backend's
+    /// `evalₑ`). Must agree with [`GilState::eval`] on
+    /// [`ExprCode::source`] exactly — same values, same errors, same
+    /// error order. The default does precisely that by delegating to the
+    /// tree walk, so states that never override it (test doubles, hosted
+    /// states) run unchanged under both backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error value when evaluation fails, exactly as
+    /// [`GilState::eval`] would.
+    fn eval_code(&self, code: &ExprCode, _scratch: &mut EvalScratch) -> Result<Self::V, Self::V> {
+        self.eval(code.source())
+    }
+
+    /// Branches on a compiled guard site (the bytecode `cmpgoto`
+    /// superinstruction). Must be decision-equivalent to
+    /// [`GilState::branch_on`] on [`ExprCode::source`]:
+    /// [`GuardEval::Take`] may replace a deterministic single branch (it
+    /// elides the state clone), but the surviving branch set and each
+    /// branch's state must be identical. The default delegates to
+    /// `branch_on`.
+    fn guard_code(&self, code: &ExprCode, _scratch: &mut EvalScratch) -> GuardEval<Self> {
+        match self.branch_on(code.source()) {
+            Ok(branches) => GuardEval::Fork(branches),
+            Err(v) => GuardEval::Fail(v),
+        }
+    }
+
+    /// The dense code this state's memory model assigns to action `name`,
+    /// if any. Feeds the per-site action inline caches of compiled
+    /// programs; `None` (the default) keeps every site on the
+    /// stringly-named [`GilState::execute_action`] path.
+    fn action_code(&self, _name: &str) -> Option<u16> {
+        None
+    }
+
+    /// Executes the action behind a resolved inline cache. `code` is the
+    /// value a prior [`GilState::action_code`] call returned for `name`;
+    /// behavior must be identical to `execute_action(name, arg)`. The
+    /// default ignores the code and delegates.
+    fn execute_action_coded(
+        self,
+        _code: u16,
+        name: &str,
+        arg: Self::V,
+    ) -> ActionBranches<Self, Self::V> {
+        self.execute_action(name, arg)
+    }
 
     /// Wraps an engine-generated message as an error value.
     fn error_value(&self, msg: &str) -> Self::V;

@@ -14,9 +14,10 @@ use crate::allocator::SymAllocator;
 use crate::checkpoint::{StateCtx, StateIoError};
 use crate::memory::SymbolicMemory;
 use crate::restriction::Restrict;
-use crate::state::GilState;
+use crate::state::{GilState, GuardEval};
+use gillian_gil::compile::{EvalScratch, ExprCode, ExprKind};
 use gillian_gil::serial::{self, ByteReader, Decoder, Encoder};
-use gillian_gil::{Expr, Ident, LVar, Value};
+use gillian_gil::{Expr, Ident, LVar, Term, Value};
 use gillian_solver::{FaultProbe, Interrupt, PathCondition, Solver};
 use gillian_telemetry::{names, registry, Event, Journal};
 use std::collections::BTreeMap;
@@ -106,6 +107,68 @@ impl<M: SymbolicMemory> SymbolicState<M> {
     pub fn assume_unchecked(&mut self, e: Expr) {
         let e = self.solver.simplify(&self.pc, &e);
         self.pc.push(e);
+    }
+
+    /// The shared body of [`GilState::execute_action`] and
+    /// [`GilState::execute_action_coded`]: timing, journaling, and branch
+    /// post-processing are identical; only the memory dispatch differs.
+    fn run_action(
+        self,
+        name: &str,
+        arg: Expr,
+        code: Option<u16>,
+    ) -> Vec<(Self, Result<Expr, Expr>)> {
+        let journal_on = self.solver.journal_enabled();
+        let timer = (journal_on
+            || TL_ACTION_SAMPLE.with(|c| {
+                let n = c.get().wrapping_add(1);
+                c.set(n);
+                n & (ACTION_SAMPLE - 1) == 0
+            }))
+        .then(std::time::Instant::now);
+        let branches = match code {
+            Some(k) => self
+                .memory
+                .execute_action_coded(k, name, &arg, &self.pc, &self.solver),
+            None => self
+                .memory
+                .execute_action(name, &arg, &self.pc, &self.solver),
+        };
+        if let Some(started) = timer {
+            let micros = started.elapsed().as_micros() as u64;
+            action_micros_histogram().record(micros);
+            if journal_on {
+                self.solver.journal().record_shared(Event::ActionExec {
+                    lang: M::language(),
+                    action: name.to_string(),
+                    branches: branches.len() as u32,
+                    micros,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(branches.len());
+        let n = branches.len();
+        let mut this = Some(self);
+        for (i, b) in branches.into_iter().enumerate() {
+            // The last branch takes the state by move — the common
+            // single-branch action never pays a state clone.
+            let mut st = if i + 1 == n {
+                this.take()
+                    .expect("state consumed once, on the last branch")
+            } else {
+                this.as_ref()
+                    .expect("state live until the last branch")
+                    .clone()
+            };
+            st.memory = b.memory;
+            let constraint = st.solver.simplify(&st.pc, &b.constraint);
+            if constraint.as_bool() == Some(false) {
+                continue;
+            }
+            st.pc.push(constraint);
+            out.push((st, b.outcome));
+        }
+        out
     }
 }
 
@@ -199,45 +262,131 @@ impl<M: SymbolicMemory> GilState for SymbolicState<M> {
     }
 
     fn execute_action(self, name: &str, arg: Expr) -> Vec<(Self, Result<Expr, Expr>)> {
-        let journal_on = self.solver.journal_enabled();
-        let timer = (journal_on
-            || TL_ACTION_SAMPLE.with(|c| {
-                let n = c.get().wrapping_add(1);
-                c.set(n);
-                n & (ACTION_SAMPLE - 1) == 0
-            }))
-        .then(std::time::Instant::now);
-        let branches = self
-            .memory
-            .execute_action(name, &arg, &self.pc, &self.solver);
-        if let Some(started) = timer {
-            let micros = started.elapsed().as_micros() as u64;
-            action_micros_histogram().record(micros);
-            if journal_on {
-                self.solver.journal().record_shared(Event::ActionExec {
-                    lang: M::language(),
-                    action: name.to_string(),
-                    branches: branches.len() as u32,
-                    micros,
-                });
-            }
-        }
-        let mut out = Vec::with_capacity(branches.len());
-        for b in branches {
-            let mut st = self.clone();
-            st.memory = b.memory;
-            let constraint = st.solver.simplify(&st.pc, &b.constraint);
-            if constraint.as_bool() == Some(false) {
-                continue;
-            }
-            st.pc.push(constraint);
-            out.push((st, b.outcome));
-        }
-        out
+        self.run_action(name, arg, None)
     }
 
     fn error_value(&self, msg: &str) -> Expr {
         Expr::str(msg)
+    }
+
+    fn eval_code(&self, code: &ExprCode, scratch: &mut EvalScratch) -> Result<Expr, Expr> {
+        match code.kind() {
+            // `simplify` is the identity on literals in every solver tier,
+            // so a literal site skips both the substitution walk and the
+            // simplifier call.
+            ExprKind::Lit(_) => Ok(code.source().clone()),
+            // No program variables: substitution is the identity (logical
+            // variables are *kept* symbolically), but simplification may
+            // still depend on the path condition's typing environment.
+            ExprKind::Closed(_) => Ok(self.solver.simplify(&self.pc, code.source())),
+            ExprKind::Var(x) => match self.store.get(x.as_ref() as &str) {
+                // `simplify` is the identity on literals and variables in
+                // every tier; the call (and its memo probe) is elided.
+                Some(bound @ (Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_))) => Ok(bound.clone()),
+                Some(bound) => Ok(self.solver.simplify(&self.pc, bound)),
+                None => Err(Expr::str(format!("unbound variable {x}"))),
+            },
+            // Rebuild exactly what `Expr::subst` would: a fresh interned
+            // term for the substituted variable side, the original term
+            // (shared) for the literal side — then one root simplify.
+            ExprKind::Bin1 {
+                op,
+                var,
+                lit,
+                lit_term,
+                var_on_left,
+                ..
+            } => match self.store.get(var.as_ref() as &str) {
+                // Both sides literal: every tier constant-folds via
+                // `eval_binop` and returns the residual node on failure
+                // *before* any other rewrite, so the fold is computed
+                // here directly — no interning, no memo probe.
+                Some(Expr::Val(bv)) => {
+                    let (a, b) = if *var_on_left { (bv, lit) } else { (lit, bv) };
+                    match gillian_gil::ops::eval_binop(*op, a, b) {
+                        Ok(f) => Ok(Expr::Val(f)),
+                        Err(_) => {
+                            let sub: Term = Expr::Val(bv.clone()).into();
+                            Ok(if *var_on_left {
+                                Expr::Bin(*op, sub, lit_term.clone())
+                            } else {
+                                Expr::Bin(*op, lit_term.clone(), sub)
+                            })
+                        }
+                    }
+                }
+                Some(bound) => {
+                    let sub: Term = bound.clone().into();
+                    let e = if *var_on_left {
+                        Expr::Bin(*op, sub, lit_term.clone())
+                    } else {
+                        Expr::Bin(*op, lit_term.clone(), sub)
+                    };
+                    Ok(self.solver.simplify(&self.pc, &e))
+                }
+                None => Err(Expr::str(format!("unbound variable {var}"))),
+            },
+            // The general case runs the register program symbolically:
+            // literal subresults fold in value space (no substitution
+            // walk, no interning of intermediate nodes), symbolic parts
+            // rebuild residual nodes, and one root simplify normalizes —
+            // `RegProg::run_symbolic` documents why the result matches
+            // `simplify(pc, subst(e))` for every tier.
+            ExprKind::Reg(rp) => {
+                let e = rp
+                    .run_symbolic(|x| self.store.get(x.as_ref() as &str).cloned(), scratch)
+                    .map_err(|x| Expr::str(format!("unbound variable {x}")))?;
+                // Fully folded results are already in `simplify`-normal
+                // form (identity on literals/variables in every tier).
+                if matches!(e, Expr::Val(_) | Expr::PVar(_) | Expr::LVar(_)) {
+                    return Ok(e);
+                }
+                Ok(self.solver.simplify(&self.pc, &e))
+            }
+        }
+    }
+
+    fn guard_code(&self, code: &ExprCode, scratch: &mut EvalScratch) -> GuardEval<Self> {
+        let guard = match self.eval_code(code, scratch) {
+            Ok(g) => g,
+            Err(v) => return GuardEval::Fail(v),
+        };
+        // A literal guard neither forks nor extends the path condition
+        // (`branch_on` clones the state for its single branch; `Take`
+        // elides that clone).
+        if let Some(b) = guard.as_bool() {
+            return GuardEval::Take(b);
+        }
+        let neg = self.solver.simplify(&self.pc, &guard.clone().not());
+        let mut out = Vec::with_capacity(2);
+        // Identical to `branch_on`: each branch adopts the extended
+        // condition the solver actually checked (`DESIGN.md` §12).
+        let (verdict, pc_then) = self.solver.sat_assume(&self.pc, &guard);
+        if verdict.possibly_sat() {
+            let mut st = self.clone();
+            st.pc = pc_then;
+            out.push((st, true));
+        }
+        let (verdict, pc_else) = self.solver.sat_assume(&self.pc, &neg);
+        if verdict.possibly_sat() {
+            let mut st = self.clone();
+            st.pc = pc_else;
+            out.push((st, false));
+        }
+        GuardEval::Fork(out)
+    }
+
+    fn action_code(&self, name: &str) -> Option<u16> {
+        self.memory.action_code(name)
+    }
+
+    fn execute_action_coded(
+        self,
+        code: u16,
+        name: &str,
+        arg: Expr,
+    ) -> Vec<(Self, Result<Expr, Expr>)> {
+        self.run_action(name, arg, Some(code))
     }
 
     fn install_interrupt(&self, interrupt: Interrupt) {

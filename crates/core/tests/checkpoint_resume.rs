@@ -352,7 +352,7 @@ fn corrupted_checkpoints_fail_cleanly() {
     bad[8] = bad[8].wrapping_add(1);
     assert!(matches!(
         decode_checkpoint::<St>(&bad, &ctx),
-        Err(ResumeError::BadVersion { expected: 1, .. })
+        Err(ResumeError::BadVersion { expected: 2, .. })
     ));
 
     // Any single-byte flip past the version field must be caught — by the
@@ -378,6 +378,26 @@ fn corrupted_checkpoints_fail_cleanly() {
             bad[at] ^= (rng.below(255) + 1) as u8;
         }
         let _ = decode_checkpoint::<St>(&bad, &ctx);
+    }
+}
+
+/// A canned version-1 checkpoint (written before the bytecode resume
+/// point was added to frontier items) must be rejected with a clean
+/// [`ResumeError::BadVersion`] — not `ChecksumMismatch` (the checksum
+/// deliberately excludes the version field precisely so this report stays
+/// accurate), and never a panic or a silently misparsed frontier.
+#[test]
+fn canned_v1_checkpoint_reports_bad_version() {
+    let bytes: &[u8] = include_bytes!("fixtures/checkpoint_v1.bin");
+    // Guard the fixture itself: a valid v1 header is magic then version 1.
+    assert_eq!(&bytes[..8], gillian_core::checkpoint::MAGIC);
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+    let ctx = StateCtx::new(Arc::new(Solver::optimized()));
+    match decode_checkpoint::<St>(bytes, &ctx) {
+        Err(ResumeError::BadVersion { found: 1, expected }) => {
+            assert_eq!(expected, gillian_core::checkpoint::VERSION);
+        }
+        other => panic!("v1 fixture: expected BadVersion, got {other:?}"),
     }
 }
 

@@ -38,6 +38,7 @@
 //! assert!(prog.proc("main").is_some());
 //! ```
 
+pub mod compile;
 pub mod eval;
 pub mod expr;
 pub mod hashing;
@@ -48,6 +49,9 @@ pub mod prog;
 pub mod serial;
 pub mod value;
 
+pub use compile::{
+    compile, CompiledProc, CompiledProg, EvalScratch, ExprCode, ExprKind, Instr, ProcHint,
+};
 pub use expr::{Expr, LVar};
 pub use hashing::{FxBuildHasher, PrehashedBuildHasher};
 pub use intern::{ExprList, InternStats, Term};

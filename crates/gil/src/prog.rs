@@ -195,6 +195,9 @@ impl fmt::Display for Proc {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Prog {
     procs: BTreeMap<Ident, Proc>,
+    /// Memo of the compiled bytecode (see [`crate::compile`]). Derived
+    /// data: clones start cold, equality ignores it, mutators reset it.
+    pub(crate) bytecode: crate::compile::BytecodeCache,
 }
 
 impl Prog {
@@ -223,6 +226,8 @@ impl Prog {
     ///
     /// Panics on duplicate procedure names.
     pub fn add(&mut self, proc: Proc) {
+        // Mutation stales any compiled form; later executions recompile.
+        self.bytecode = Default::default();
         let name = proc.name.clone();
         assert!(
             self.procs.insert(name.clone(), proc).is_none(),

@@ -26,6 +26,34 @@ use gillian_gil::{Expr, LVar, Value};
 use gillian_solver::{PathCondition, Solver};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Dense codes for the eight JS actions, used by the bytecode backend's
+/// per-site inline caches (`gillian_core::exec`): a dispatch site caches
+/// the code on first execution and thereafter skips the string match.
+mod code {
+    pub const NEW_OBJ: u16 = 0;
+    pub const DEL_OBJ: u16 = 1;
+    pub const GET_PROP: u16 = 2;
+    pub const SET_PROP: u16 = 3;
+    pub const DEL_PROP: u16 = 4;
+    pub const HAS_PROP: u16 = 5;
+    pub const GET_META: u16 = 6;
+    pub const SET_META: u16 = 7;
+}
+
+fn js_action_code(name: &str) -> Option<u16> {
+    Some(match name {
+        "newObj" => code::NEW_OBJ,
+        "delObj" => code::DEL_OBJ,
+        "getProp" => code::GET_PROP,
+        "setProp" => code::SET_PROP,
+        "delProp" => code::DEL_PROP,
+        "hasProp" => code::HAS_PROP,
+        "getMeta" => code::GET_META,
+        "setMeta" => code::SET_META,
+        _ => return None,
+    })
+}
+
 fn err_value(msg: impl Into<String>) -> Value {
     Value::List(vec![Value::str("JSError"), Value::str(msg.into())])
 }
@@ -77,6 +105,13 @@ fn value_args(arg: &Value, n: usize, action: &str) -> Result<Vec<Value>, Value> 
 }
 
 impl ConcreteMemory for JsConcMemory {
+    // Concrete dispatch keeps the default (name-keyed) coded delegation:
+    // the concrete actions are dominated by their BTreeMap operations, so
+    // the inline cache's only concrete win is resolving the code once.
+    fn action_code(&self, name: &str) -> Option<u16> {
+        js_action_code(name)
+    }
+
     fn execute_action(&mut self, name: &str, arg: Value) -> Result<Value, Value> {
         match name {
             "newObj" => {
@@ -237,6 +272,254 @@ impl JsSymMemory {
         }
         (matches, solver.simplify(pc, &none_of))
     }
+
+    // ---- literal fast paths (bytecode backend only) -----------------
+    //
+    // When the looked-up location/key and every registered location/key
+    // are literals, each equality in `match_objects`/`match_keys` folds
+    // syntactically: the matched branch's constraint is the literal
+    // `true`, every other candidate folds to `false`, and the
+    // none-of-them disequality conjunction folds to `false` (a match
+    // exists) or `true` (no match). `eval_binop(Eq)` is total and
+    // `Value`'s derived `Eq`/`Ord` agree, so a `BTreeMap` hit is *the
+    // same decision* the solver's constant folder would make. The branch
+    // set is therefore decided without the solver — except for one
+    // residual probe: `push_branch` gates the surviving branch on
+    // `sat(pc ∧ true)`, which [`literal_gate`] preserves so an unsat
+    // path condition yields the same empty branch set on both paths.
+    // These helpers are reachable only from `execute_action_coded` (the
+    // bytecode backend); the tree walk stays a byte-identical reference.
+
+    /// True when every expression yielded is a literal value.
+    fn all_literal<'a>(mut exprs: impl Iterator<Item = &'a Expr>) -> bool {
+        exprs.all(|e| matches!(e, Expr::Val(_)))
+    }
+
+    /// Resolves a literal location against a fully-literal object table:
+    /// `Some(found)` when the match folds for every registered object,
+    /// `None` when any side is symbolic and `match_objects` must run.
+    fn literal_object(&self, el: &Expr) -> Option<Option<Expr>> {
+        if !matches!(el, Expr::Val(_)) || !Self::all_literal(self.meta.keys()) {
+            return None;
+        }
+        Some(self.meta.get_key_value(el).map(|(loc, _)| loc.clone()))
+    }
+
+    /// Resolves a literal key against object `loc` when all of its keys
+    /// are literal; `None` falls back to `match_keys`.
+    fn literal_key(&self, loc: &Expr, ek: &Expr) -> Option<Option<Expr>> {
+        if !matches!(ek, Expr::Val(_)) {
+            return None;
+        }
+        let mut found = None;
+        for (l, k) in self.cells.keys() {
+            if l == loc {
+                if !matches!(k, Expr::Val(_)) {
+                    return None;
+                }
+                if k == ek {
+                    found = Some(k.clone());
+                }
+            }
+        }
+        Some(found)
+    }
+
+    /// The non-object error branch shared by the literal fast paths.
+    fn literal_not_obj(
+        &self,
+        action: &str,
+        el: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        literal_gate(
+            pc,
+            solver,
+            vec![SymBranch::err_if(
+                self.clone(),
+                err_expr(format!("{action}: {el} is not an object")),
+                Expr::tt(),
+            )],
+        )
+    }
+
+    fn fast_del_obj(
+        &self,
+        el: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        Some(match self.literal_object(el)? {
+            Some(loc) => {
+                let mut mem = self.clone();
+                std::sync::Arc::make_mut(&mut mem.meta).remove(&loc);
+                std::sync::Arc::make_mut(&mut mem.cells).retain(|(l, _), _| l != &loc);
+                literal_gate(
+                    pc,
+                    solver,
+                    vec![SymBranch::ok_if(mem, Expr::tt(), Expr::tt())],
+                )
+            }
+            None => self.literal_not_obj("delObj", el, pc, solver),
+        })
+    }
+
+    fn fast_get_prop(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 2, "getProp").ok()?;
+        let (el, ek) = (&args[0], &args[1]);
+        let loc = match self.literal_object(el)? {
+            Some(loc) => loc,
+            None => return Some(self.literal_not_obj("getProp", el, pc, solver)),
+        };
+        let value = match self.literal_key(&loc, ek)? {
+            Some(key) => self.cells[&(loc, key)].clone(),
+            // Absent key reads as `undefined` (JS semantics).
+            None => undefined_expr(),
+        };
+        Some(literal_gate(
+            pc,
+            solver,
+            vec![SymBranch::ok_if(self.clone(), value, Expr::tt())],
+        ))
+    }
+
+    fn fast_set_prop(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 3, "setProp").ok()?;
+        let (el, ek, ev) = (&args[0], &args[1], &args[2]);
+        let loc = match self.literal_object(el)? {
+            Some(loc) => loc,
+            None => return Some(self.literal_not_obj("setProp", el, pc, solver)),
+        };
+        // Overwrite keeps the stored key expression, extend inserts the
+        // looked-up one — content-identical here (both fold equal).
+        let key = self.literal_key(&loc, ek)?.unwrap_or_else(|| ek.clone());
+        let mut mem = self.clone();
+        std::sync::Arc::make_mut(&mut mem.cells).insert((loc, key), ev.clone());
+        Some(literal_gate(
+            pc,
+            solver,
+            vec![SymBranch::ok_if(mem, ev.clone(), Expr::tt())],
+        ))
+    }
+
+    fn fast_del_prop(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 2, "delProp").ok()?;
+        let (el, ek) = (&args[0], &args[1]);
+        let loc = match self.literal_object(el)? {
+            Some(loc) => loc,
+            None => return Some(self.literal_not_obj("delProp", el, pc, solver)),
+        };
+        let mem = match self.literal_key(&loc, ek)? {
+            Some(key) => {
+                let mut mem = self.clone();
+                std::sync::Arc::make_mut(&mut mem.cells).remove(&(loc, key));
+                mem
+            }
+            // Deleting an absent property is a no-op, like JS.
+            None => self.clone(),
+        };
+        Some(literal_gate(
+            pc,
+            solver,
+            vec![SymBranch::ok_if(mem, Expr::tt(), Expr::tt())],
+        ))
+    }
+
+    fn fast_has_prop(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 2, "hasProp").ok()?;
+        let (el, ek) = (&args[0], &args[1]);
+        let loc = match self.literal_object(el)? {
+            Some(loc) => loc,
+            None => return Some(self.literal_not_obj("hasProp", el, pc, solver)),
+        };
+        let has = self.literal_key(&loc, ek)?.is_some();
+        Some(literal_gate(
+            pc,
+            solver,
+            vec![SymBranch::ok_if(self.clone(), Expr::bool(has), Expr::tt())],
+        ))
+    }
+
+    fn fast_get_meta(
+        &self,
+        el: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        Some(match self.literal_object(el)? {
+            Some(loc) => {
+                let meta = self.meta[&loc].clone();
+                literal_gate(
+                    pc,
+                    solver,
+                    vec![SymBranch::ok_if(self.clone(), meta, Expr::tt())],
+                )
+            }
+            None => self.literal_not_obj("getMeta", el, pc, solver),
+        })
+    }
+
+    fn fast_set_meta(
+        &self,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Option<Vec<SymBranch<Self>>> {
+        let args = expr_args(arg, 2, "setMeta").ok()?;
+        let (el, em) = (&args[0], &args[1]);
+        Some(match self.literal_object(el)? {
+            Some(loc) => {
+                let mut mem = self.clone();
+                std::sync::Arc::make_mut(&mut mem.meta).insert(loc, em.clone());
+                literal_gate(
+                    pc,
+                    solver,
+                    vec![SymBranch::ok_if(mem, em.clone(), Expr::tt())],
+                )
+            }
+            None => self.literal_not_obj("setMeta", el, pc, solver),
+        })
+    }
+}
+
+/// The one decision probe a literal fast path keeps: the surviving
+/// branch's constraint is the literal `true`, so `push_branch` would gate
+/// it on `sat(pc ∧ true)` — and since `simplify(pc, true)` is the
+/// identity and `PathCondition::push` drops literal `true`, that query
+/// is *exactly* `sat(pc)`, issued here without the clone-and-push
+/// round-trip. An unsat path condition yields the same empty branch set
+/// as the general path.
+fn literal_gate<M>(
+    pc: &PathCondition,
+    solver: &Solver,
+    branches: Vec<SymBranch<M>>,
+) -> Vec<SymBranch<M>> {
+    if solver.check_sat(pc).possibly_sat() {
+        branches
+    } else {
+        Vec::new()
+    }
 }
 
 /// Pushes a branch unless its constraint is trivially false or unsat.
@@ -272,6 +555,34 @@ fn expr_args(arg: &Expr, n: usize, action: &str) -> Result<Vec<Expr>, Expr> {
 impl SymbolicMemory for JsSymMemory {
     fn language() -> &'static str {
         "minijs"
+    }
+
+    fn action_code(&self, name: &str) -> Option<u16> {
+        js_action_code(name)
+    }
+
+    fn execute_action_coded(
+        &self,
+        code: u16,
+        name: &str,
+        arg: &Expr,
+        pc: &PathCondition,
+        solver: &Solver,
+    ) -> Vec<SymBranch<Self>> {
+        // `newObj` never consults the solver, and a fast helper returns
+        // `None` whenever anything symbolic is involved; both fall back
+        // to the general tree-walk implementation.
+        let fast = match code {
+            code::DEL_OBJ => self.fast_del_obj(arg, pc, solver),
+            code::GET_PROP => self.fast_get_prop(arg, pc, solver),
+            code::SET_PROP => self.fast_set_prop(arg, pc, solver),
+            code::DEL_PROP => self.fast_del_prop(arg, pc, solver),
+            code::HAS_PROP => self.fast_has_prop(arg, pc, solver),
+            code::GET_META => self.fast_get_meta(arg, pc, solver),
+            code::SET_META => self.fast_set_meta(arg, pc, solver),
+            _ => None,
+        };
+        fast.unwrap_or_else(|| self.execute_action(name, arg, pc, solver))
     }
 
     fn execute_action(

@@ -106,6 +106,20 @@ pub mod names {
     pub const FAULT_INJECTED: &str = "fault.injected";
     /// Simulated process kills injected by the fault harness.
     pub const FAULT_KILLS: &str = "fault.kills";
+    /// Basic-block dispatches executed by the bytecode backend (each one
+    /// is a `step_block` call retiring up to a block's worth of
+    /// commands).
+    pub const EXEC_BLOCKS: &str = "exec.blocks";
+    /// Commands retired by the bytecode backend across all blocks.
+    pub const EXEC_CMDS: &str = "exec.cmds";
+    /// GIL programs compiled to register bytecode (one-shot, at
+    /// exploration start).
+    pub const EXEC_COMPILES: &str = "exec.compiles";
+    /// Dispatch histogram: commands retired per basic-block dispatch.
+    /// A tall low bucket means branch-heavy code (blocks cut short by
+    /// forks); mass in the high buckets means straight-line fusion is
+    /// paying off.
+    pub const EXEC_BLOCK_CMDS: &str = "exec.block_cmds";
 }
 
 use std::sync::OnceLock;

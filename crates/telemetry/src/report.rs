@@ -246,6 +246,18 @@ impl Report {
                 self.metrics.counter(names::DIFFTEST_FALLBACK_MODELS)
             );
         }
+        let blocks = self.metrics.counter(names::EXEC_BLOCKS);
+        if blocks > 0 {
+            let cmds = self.metrics.counter(names::EXEC_CMDS);
+            let _ = writeln!(
+                out,
+                "bytecode exec: {} blocks · {} cmds ({:.1} cmds/block) · {} compiles",
+                blocks,
+                cmds,
+                cmds as f64 / blocks as f64,
+                self.metrics.counter(names::EXEC_COMPILES)
+            );
+        }
         let mints = self.metrics.counter(names::INTERN_MINTS);
         let ihits = self.metrics.counter(names::INTERN_HITS);
         if mints + ihits > 0 {
@@ -278,6 +290,11 @@ impl Report {
                 names::INTERN_LOOKUP_NANOS,
                 "intern lookup latency (sampled)",
                 "ns",
+            ),
+            (
+                names::EXEC_BLOCK_CMDS,
+                "bytecode dispatch (cmds per block)",
+                " cmds",
             ),
         ] {
             let h = self.metrics.histogram(name);
