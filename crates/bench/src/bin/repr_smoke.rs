@@ -397,6 +397,108 @@ fn run_checkpoint_overhead() -> (Workload, CheckpointOverhead) {
     )
 }
 
+/// The off-vs-armed legs of the profiler-overhead measurement.
+struct ProfilerOverhead {
+    off_secs: f64,
+    on_secs: f64,
+    /// Journal events merged across the armed leg (ProcTime, forks,
+    /// finishes, sat queries — everything the profiler ingests).
+    events: u64,
+}
+
+impl ProfilerOverhead {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * (self.on_secs / self.off_secs.max(1e-9) - 1.0)
+    }
+}
+
+/// The `profiler_journal` workload: a fixed-seed battery of generated
+/// While programs explored twice in one process — journal disabled (the
+/// sinks-off default every untraced run pays), then with the in-memory
+/// event journal armed, which turns on path-context attribution, the
+/// dispatcher's per-proc time segments, and the exploration-tree profile
+/// built into the run's report — so the JSON records what arming the
+/// profiler costs on this machine. Both legs must produce identical path
+/// and command counts (profiling is observationally transparent); the
+/// reported workload row is the armed leg.
+fn run_profiler_overhead() -> (Workload, ProfilerOverhead) {
+    use gillian_core::generate::{build_prog, gen_ops, MemDialect, Rng};
+    use gillian_core::symbolic::SymbolicState;
+    use gillian_while::WhileSymMemory;
+
+    const SEED: u64 = 0xF01D_ED57;
+    const PROGRAMS: usize = 40;
+    let solver = std::sync::Arc::new(gillian_bench::solver_from_env());
+    let leg = |armed: bool| -> (usize, u64, u64, f64) {
+        let started = std::time::Instant::now();
+        let (mut paths, mut cmds, mut events) = (0usize, 0u64, 0u64);
+        for i in 0..PROGRAMS as u64 {
+            let ops = gen_ops(&mut Rng::new(SEED + i), 14, MemDialect::While);
+            let prog = build_prog(&ops, MemDialect::While);
+            let journal = if armed {
+                gillian_telemetry::Journal::enabled()
+            } else {
+                gillian_telemetry::Journal::disabled()
+            };
+            let cfg = gillian_core::ExploreConfig {
+                workers: gillian_bench::workers_from_env(),
+                journal: journal.clone(),
+                checkpoint: gillian_bench::checkpoint_from_env(),
+                ..Default::default()
+            };
+            let result = gillian_core::explore_with(
+                &prog,
+                "main",
+                SymbolicState::<WhileSymMemory>::new(solver.clone()),
+                cfg,
+            );
+            assert!(!result.bounded(), "profiler workload must be exhaustive");
+            paths += result.paths.len();
+            cmds += result.total_cmds;
+            if armed {
+                events += result.report.events;
+                assert!(
+                    result.report.profile.is_some(),
+                    "armed leg must build the exploration-tree profile"
+                );
+            }
+        }
+        (paths, cmds, events, started.elapsed().as_secs_f64())
+    };
+    // Warm-up leg (untimed), then interleaved best-of-3 — same
+    // methodology as the checkpoint overhead above.
+    let (paths_off, cmds_off, _, _) = leg(false);
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut paths_on, mut cmds_on, mut events) = (0, 0, 0);
+    for _ in 0..3 {
+        off_secs = off_secs.min(leg(false).3);
+        let (p, c, e, secs) = leg(true);
+        (paths_on, cmds_on, events) = (p, c, e);
+        on_secs = on_secs.min(secs);
+    }
+    assert_eq!(
+        (paths_off, cmds_off),
+        (paths_on, cmds_on),
+        "profiling perturbed exploration results"
+    );
+    let w = Workload {
+        name: "profiler_journal",
+        tests: PROGRAMS,
+        gil_cmds: cmds_on,
+        paths: paths_on,
+        secs: on_secs,
+        baseline_secs: None,
+    };
+    (
+        w,
+        ProfilerOverhead {
+            off_secs,
+            on_secs,
+            events,
+        },
+    )
+}
+
 /// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
 /// Returns 0 where procfs is unavailable.
 fn peak_rss_bytes() -> u64 {
@@ -444,6 +546,7 @@ fn render_json(
     workloads: &[Workload],
     ab: &[BytecodeAb],
     ckpt: &CheckpointOverhead,
+    prof: &ProfilerOverhead,
     interner: &InternStats,
     rss: u64,
 ) -> String {
@@ -451,7 +554,7 @@ fn render_json(
     let hit_rate = interner.hits as f64 / denom as f64;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"gillian-bench-repr-smoke/2\",\n");
+    out.push_str("  \"schema\": \"gillian-bench-repr-smoke/3\",\n");
     writeln!(
         out,
         concat!(
@@ -518,6 +621,27 @@ fn render_json(
     writeln!(
         out,
         concat!(
+            "  \"profiler_overhead\": {{\"off_secs\": {:.4}, ",
+            "\"on_secs\": {:.4}, \"events\": {}, ",
+            "\"overhead_pct\": {:.2}, \"methodology\": ",
+            "\"best-of-3 interleaved legs of the same fixed-seed While ",
+            "battery after an untimed warm-up pass, journal disabled vs ",
+            "armed in-memory; the armed leg pays path-context attribution, ",
+            "per-proc dispatcher segments, and the exploration-tree ",
+            "profile built into each run's report (events counts merged ",
+            "journal records); file sinks and the live console are priced ",
+            "separately by running the telemetry gate with GILLIAN_LIVE ",
+            "set — overhead_pct is indicative, not a gate\"}},"
+        ),
+        prof.off_secs,
+        prof.on_secs,
+        prof.events,
+        prof.overhead_pct()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        concat!(
             "  \"interner\": {{\"mints\": {}, \"hits\": {}, ",
             "\"hit_rate\": {:.4}, \"live\": {}}},"
         ),
@@ -531,7 +655,13 @@ fn render_json(
 
 /// The sinks-off overhead guard (`BENCH_TELEMETRY_GATE=1`): measured
 /// paths/sec must stay within `tolerance` of the throughput recorded in
-/// the committed baseline JSON. Reads the recorded `paths_per_sec` with
+/// the committed baseline JSON. Running the gate with `GILLIAN_LIVE`
+/// set additionally covers the live-mode sink: every explore in the
+/// gated workloads then pays the live console's frame emission against
+/// a looser 10% floor — the batteries here are sub-10ms micro-runs, so
+/// the per-run sink open and first/final frames dominate in a way real
+/// runs (one sink per run, frames per interval) never see. CI runs the
+/// gate both ways. Reads the recorded `paths_per_sec` with
 /// a tiny line scan — the file is machine-written by this bin, so the
 /// fields are on one line per workload in a stable order.
 ///
@@ -601,11 +731,13 @@ fn main() {
     let metrics_before = registry().snapshot();
     let run_started = std::time::Instant::now();
     let (ckpt_workload, ckpt) = run_checkpoint_overhead();
+    let (prof_workload, prof) = run_profiler_overhead();
     let workloads = [
         run_table1(),
         run_table2(),
         run_difftest(),
         ckpt_workload,
+        prof_workload,
         run_compile_cost(),
     ];
     let ab = run_bytecode_ab();
@@ -618,7 +750,7 @@ fn main() {
     let interner = InternStats::snapshot().since(&before);
     let rss = peak_rss_bytes();
 
-    let json = render_json(&workloads, &ab, &ckpt, &interner, rss);
+    let json = render_json(&workloads, &ab, &ckpt, &prof, &interner, rss);
     let out_path =
         std::env::var("BENCH_REPR_OUT").unwrap_or_else(|_| "BENCH_repr.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
@@ -661,13 +793,26 @@ fn main() {
         ckpt.overhead_pct(),
         ckpt.writes
     );
+    println!(
+        "profiler overhead: off {:.3}s vs journal armed {:.3}s ({:+.1}%, {} events)",
+        prof.off_secs,
+        prof.on_secs,
+        prof.overhead_pct(),
+        prof.events
+    );
     println!("wrote {out_path}");
     println!("\n{}", report.render());
 
     if let Some(baseline) = &baseline {
         // The gate covers the two baselined workloads only: its best-of-three
-        // re-measure re-runs table1/table2 and zips by position.
-        telemetry_gate(&workloads[..2], baseline, &baseline_path, 0.03);
+        // re-measure re-runs table1/table2 and zips by position. With the
+        // live sink armed the floor loosens to 10% (see telemetry_gate).
+        let tolerance = if std::env::var("GILLIAN_LIVE").is_ok() {
+            0.10
+        } else {
+            0.03
+        };
+        telemetry_gate(&workloads[..2], baseline, &baseline_path, tolerance);
     }
 
     if std::env::var("BENCH_SMOKE_STRICT").as_deref() == Ok("1") {

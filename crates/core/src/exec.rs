@@ -87,6 +87,107 @@ fn block_cmds_histogram() -> &'static Histogram {
     H.get_or_init(|| registry().histogram(names::EXEC_BLOCK_CMDS))
 }
 
+fn ic_hits() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| registry().counter(names::EXEC_IC_HITS))
+}
+
+fn ic_misses() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| registry().counter(names::EXEC_IC_MISSES))
+}
+
+/// The dispatcher's per-step time attribution, fed to the exploration
+/// profiler. The engines pass one (only when the journal is armed — a
+/// disabled run passes `None` and pays a single branch per block) and
+/// drain it into `ProcTime` journal events after each step.
+///
+/// A **segment** is a maximal run of commands executed under one call
+/// stack. The block loop observes the stack before every command; a
+/// segment closes when the stack changes (call/return) or when the
+/// engine drains, charging the segment its elapsed wall time and
+/// retired commands. The call stack is rendered bottom-first and joined
+/// with `;` (`"main;f"`), ready for folded-stack output.
+#[derive(Debug, Default)]
+pub struct BlockProfile {
+    segments: Vec<(String, u64, u64)>,
+    open: Option<OpenSegment>,
+}
+
+#[derive(Debug)]
+struct OpenSegment {
+    /// Cheap identity of the stack: `(depth, pid)`. Every call/return
+    /// changes the depth, so within one block the key changes exactly
+    /// at proc transitions — the rendered stack is built only then.
+    key: (usize, u32),
+    stack: String,
+    since_cmds: u64,
+    t0: std::time::Instant,
+}
+
+impl BlockProfile {
+    /// An empty profile.
+    pub fn new() -> BlockProfile {
+        BlockProfile::default()
+    }
+
+    /// Notes that the next command executes under the stack identified
+    /// by `key` (`cmds` commands having completed so far); `render` is
+    /// invoked only when this opens a new segment.
+    fn observe(&mut self, key: (usize, u32), cmds: u64, render: impl FnOnce() -> String) {
+        match &self.open {
+            Some(open) if open.key == key => {}
+            _ => {
+                self.close(cmds);
+                self.open = Some(OpenSegment {
+                    key,
+                    stack: render(),
+                    since_cmds: cmds,
+                    t0: std::time::Instant::now(),
+                });
+            }
+        }
+    }
+
+    fn close(&mut self, cmds: u64) {
+        let Some(open) = self.open.take() else { return };
+        let micros = open.t0.elapsed().as_micros() as u64;
+        let seg_cmds = cmds.saturating_sub(open.since_cmds);
+        if seg_cmds == 0 && micros == 0 {
+            return;
+        }
+        if let Some(last) = self.segments.last_mut() {
+            if last.0 == open.stack {
+                last.1 += seg_cmds;
+                last.2 += micros;
+                return;
+            }
+        }
+        self.segments.push((open.stack, seg_cmds, micros));
+    }
+
+    /// Closes the in-flight segment (charging it up to `cmds` retired
+    /// commands — the engine passes the block's final progress reading,
+    /// which is exact even when the block panicked out) and takes every
+    /// accumulated `(stack, cmds, micros)` segment.
+    pub fn drain(&mut self, cmds: u64) -> Vec<(String, u64, u64)> {
+        self.close(cmds);
+        std::mem::take(&mut self.segments)
+    }
+}
+
+/// Renders a configuration's call stack bottom-first (`"main;f"`): each
+/// frame's caller, then the procedure currently executing.
+fn render_stack<S: GilState>(stack: &[Frame<S>], proc: &Ident) -> String {
+    let mut out = String::new();
+    for frame in stack {
+        out.push_str(frame.caller.as_ref());
+        out.push(';');
+    }
+    out.push_str(proc.as_ref());
+    out
+}
+
 /// Whether the bytecode backend is enabled by the environment:
 /// `GILLIAN_BYTECODE=0` disables it, anything else (including unset)
 /// enables it.
@@ -153,7 +254,11 @@ fn next<S: GilState>(state: S, stack: Vec<Frame<S>>, proc: Ident, idx: usize) ->
 /// evaluation. `interrupt` is the run's deadline/cancel pair: the block
 /// polls it between commands and surfaces its in-flight configuration
 /// early when it fires, so the explorer's scheduling-point checks stay
-/// per-command responsive exactly as under the tree walk.
+/// per-command responsive exactly as under the tree walk. `profile`, when
+/// present, accumulates per-call-stack exclusive time segments for the
+/// exploration profiler (see [`BlockProfile`]); pass `None` on untraced
+/// runs to keep the block loop timer-free.
+#[allow(clippy::too_many_arguments)]
 pub fn step_block<S: GilState>(
     prog: &Prog,
     exec: &ExecProg,
@@ -162,18 +267,19 @@ pub fn step_block<S: GilState>(
     interrupt: &Interrupt,
     progress: &AtomicU64,
     scratch: &mut EvalScratch,
+    profile: Option<&mut BlockProfile>,
 ) -> Vec<StepOut<S>> {
     debug_assert!(limit >= 1, "block budget must admit at least one command");
     match &exec.compiled {
         Some(compiled) => {
-            let outs = block_compiled(compiled, cfg, limit, interrupt, progress, scratch);
+            let outs = block_compiled(compiled, cfg, limit, interrupt, progress, scratch, profile);
             let charged = progress.load(Ordering::Relaxed);
             exec_blocks().incr();
             exec_cmds().add(charged);
             block_cmds_histogram().record(charged);
             outs
         }
-        None => block_tree(prog, cfg, limit, interrupt, progress),
+        None => block_tree(prog, cfg, limit, interrupt, progress, profile),
     }
 }
 
@@ -187,9 +293,15 @@ fn block_tree<S: GilState>(
     limit: u64,
     interrupt: &Interrupt,
     progress: &AtomicU64,
+    mut profile: Option<&mut BlockProfile>,
 ) -> Vec<StepOut<S>> {
     let mut charged = 0u64;
     loop {
+        if let Some(p) = profile.as_deref_mut() {
+            p.observe((cfg.stack.len(), u32::MAX), charged, || {
+                render_stack(&cfg.stack, &cfg.proc)
+            });
+        }
         charged += 1;
         progress.store(charged, Ordering::Relaxed);
         let mut outs = interp::step(prog, cfg);
@@ -210,6 +322,7 @@ fn block_tree<S: GilState>(
 
 /// The compiled block: direct dispatch over [`Instr`], mirroring
 /// [`crate::interp::step`] arm-for-arm.
+#[allow(clippy::too_many_arguments)]
 fn block_compiled<S: GilState>(
     compiled: &CompiledProg,
     cfg: Config<S>,
@@ -217,6 +330,7 @@ fn block_compiled<S: GilState>(
     interrupt: &Interrupt,
     progress: &AtomicU64,
     scratch: &mut EvalScratch,
+    mut profile: Option<&mut BlockProfile>,
 ) -> Vec<StepOut<S>> {
     let Config {
         mut state,
@@ -236,6 +350,11 @@ fn block_compiled<S: GilState>(
     let mut shadow: Vec<u32> = Vec::new();
     let mut charged = 0u64;
     loop {
+        if let Some(p) = profile.as_deref_mut() {
+            p.observe((stack.len(), cur.unwrap_or(u32::MAX)), charged, || {
+                render_stack(&stack, &proc)
+            });
+        }
         charged += 1;
         progress.store(charged, Ordering::Relaxed);
         let Some(pid) = cur else {
@@ -361,10 +480,17 @@ fn block_compiled<S: GilState>(
                             c.map_or(IC_NO_CODE, |k| u32::from(k) + IC_BIAS),
                             Ordering::Relaxed,
                         );
+                        ic_misses().incr();
                         c
                     }
-                    IC_NO_CODE => None,
-                    k => Some((k - IC_BIAS) as u16),
+                    IC_NO_CODE => {
+                        ic_hits().incr();
+                        None
+                    }
+                    k => {
+                        ic_hits().incr();
+                        Some((k - IC_BIAS) as u16)
+                    }
                 };
                 let mut branches = match action {
                     Some(k) => state.execute_action_coded(k, name.as_ref(), arg_v),
@@ -456,6 +582,7 @@ mod tests {
                     &Interrupt::default(),
                     &progress,
                     &mut scratch,
+                    None,
                 );
                 cmds += progress.load(Ordering::Relaxed);
                 for out in outs {
@@ -556,6 +683,7 @@ mod tests {
             &Interrupt::default(),
             &progress,
             &mut scratch,
+            None,
         );
         assert_eq!(outs.len(), 1);
         let StepOut::Done(f) = &outs[0] else {
@@ -582,6 +710,7 @@ mod tests {
             &Interrupt::default(),
             &progress,
             &mut scratch,
+            None,
         );
         assert_eq!(progress.load(Ordering::Relaxed), 2);
         assert_eq!(outs.len(), 1);
@@ -611,6 +740,7 @@ mod tests {
             &Interrupt::default(),
             &progress,
             &mut scratch,
+            None,
         );
         assert_eq!(outs.len(), 1, "NoMem action errors deterministically");
         // The site's cache is now resolved to "no dense code".

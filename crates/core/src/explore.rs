@@ -47,14 +47,17 @@
 use crate::checkpoint::{
     self, CheckpointConfig, CheckpointData, FrontierItem, PathSummary, ResumeError, StateCtx,
 };
-use crate::exec::{step_block, ExecProg, BLOCK_MAX};
+use crate::exec::{step_block, BlockProfile, ExecProg, BLOCK_MAX};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::interp::{Config, Final, Outcome, StepOut};
 use crate::panic_guard;
 use crate::state::GilState;
 use gillian_gil::{EvalScratch, InternStats, Prog};
 use gillian_solver::{CancelToken, Interrupt};
-use gillian_telemetry::{names, registry, Event, Journal, Report, TreeStats, WorkerLog};
+use gillian_telemetry::journal::{clear_path_context, set_path_context};
+use gillian_telemetry::{
+    names, registry, Event, Journal, LiveSink, LiveStats, Report, TreeStats, WorkerLog,
+};
 use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -644,6 +647,12 @@ fn explore_frontier<S: GilState>(
     log.emit_with(|| Event::PathStarted { path: Vec::new() });
     // Branch traces of every *recorded* path, for the report's tree stats.
     let mut traces: Vec<Vec<u32>> = Vec::new();
+    // Profiler hooks, both off by default: the dispatcher's per-proc time
+    // attribution (journal-armed runs only) and the `GILLIAN_LIVE` frame
+    // sink. Depth is the branch-trace length of the path last stepped.
+    let mut profile = journal.is_enabled().then(BlockProfile::new);
+    let mut live = LiveSink::from_env();
+    let mut live_depth = 0u32;
 
     let mut result = ExploreResult::empty();
     result.total_cmds = base.total_cmds;
@@ -681,6 +690,15 @@ fn explore_frontier<S: GilState>(
             log.emit_with(|| Event::DeadlineHit { path: Vec::new() });
             stop_cause = Some(StopCause::Deadline);
             break;
+        }
+        if let Some(l) = live.as_mut() {
+            l.tick(&LiveStats {
+                paths_finished: result.paths.len() as u64,
+                pending: worklist.len() as u64,
+                depth: live_depth,
+                cmds: result.total_cmds,
+                workers: 1,
+            });
         }
         if let (Some(c), Some(at)) = (ckpt.as_ref(), next_ckpt) {
             if Instant::now() >= at {
@@ -762,16 +780,25 @@ fn explore_frontier<S: GilState>(
             .min(cfg.max_cmds_per_path - cmds)
             .min(cfg.max_total_cmds - result.total_cmds);
         progress.store(0, Ordering::Relaxed);
+        live_depth = trace.len() as u32;
+        // Attribute the solver/memory events this step emits to the path
+        // being stepped (thread-local; cleared when the run ends).
+        if profile.is_some() {
+            set_path_context(&trace);
+        }
         let caught = {
             let scratch = &mut scratch;
             let progress = &progress;
             let exec = &exec;
             let interrupt = &interrupt;
+            let prof = profile.as_mut();
             panic_guard::catch(move || {
                 if inject_panic {
                     panic!("injected fault: path panic");
                 }
-                step_block(prog, exec, config, limit, interrupt, progress, scratch)
+                step_block(
+                    prog, exec, config, limit, interrupt, progress, scratch, prof,
+                )
             })
         };
         // Commands the block actually charged — published *before* each
@@ -781,6 +808,16 @@ fn explore_frontier<S: GilState>(
         // walk charges as one).
         let consumed = progress.load(Ordering::Relaxed).max(1);
         result.total_cmds += consumed;
+        if let Some(p) = profile.as_mut() {
+            for (stack, seg_cmds, micros) in p.drain(progress.load(Ordering::Relaxed)) {
+                log.emit_with(|| Event::ProcTime {
+                    path: trace.clone(),
+                    stack,
+                    cmds: seg_cmds,
+                    micros,
+                });
+            }
+        }
         let outs = match caught {
             Ok(outs) => outs,
             Err(payload) => {
@@ -933,6 +970,18 @@ fn explore_frontier<S: GilState>(
             traces.push(trace);
         }
     }
+    if profile.is_some() {
+        clear_path_context();
+    }
+    if let Some(l) = live.as_mut() {
+        l.finish(&LiveStats {
+            paths_finished: result.paths.len() as u64,
+            pending: 0,
+            depth: live_depth,
+            cmds: result.total_cmds,
+            workers: 1,
+        });
+    }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =
         sentinel.unknown_verdicts().saturating_sub(unknowns_before)
@@ -1066,6 +1115,7 @@ pub fn replay_path<S: GilState>(
             &interrupt,
             &progress,
             &mut scratch,
+            None,
         );
         cmds += progress.load(Ordering::Relaxed).max(1);
         let pick = if outs.len() > 1 {
@@ -1218,6 +1268,7 @@ fn explore_worker<S: GilState>(
     let progress = AtomicU64::new(0);
     let interrupt = Interrupt::new(shared.deadline, shared.cancel.clone());
     let mut log = journal.worker(worker);
+    let mut profile = journal.is_enabled().then(BlockProfile::new);
     let mut finished: Vec<(Vec<u32>, PathResult<S>)> = Vec::new();
     let mut cut: Vec<FrontierItem<S>> = Vec::new();
     // Steps this worker has executed this round. A checkpoint pause is only
@@ -1236,6 +1287,10 @@ fn explore_worker<S: GilState>(
                 }
                 if q.in_flight == 0 {
                     shared.work.notify_all();
+                    drop(q);
+                    if profile.is_some() {
+                        clear_path_context();
+                    }
                     return WorkerYield {
                         finished,
                         cut,
@@ -1351,15 +1406,23 @@ fn explore_worker<S: GilState>(
                 mut trace,
             } = job;
             progress.store(0, Ordering::Relaxed);
+            // Attribute the solver/memory events this step emits to the
+            // path being stepped (thread-local per worker).
+            if profile.is_some() {
+                set_path_context(&trace);
+            }
             let caught = {
                 let scratch = &mut scratch;
                 let progress = &progress;
                 let interrupt = &interrupt;
+                let prof = profile.as_mut();
                 panic_guard::catch(move || {
                     if inject_panic {
                         panic!("injected fault: path panic");
                     }
-                    step_block(prog, exec, config, allowed, interrupt, progress, scratch)
+                    step_block(
+                        prog, exec, config, allowed, interrupt, progress, scratch, prof,
+                    )
                 })
             };
             let consumed = progress.load(Ordering::Relaxed).max(1);
@@ -1367,6 +1430,16 @@ fn explore_worker<S: GilState>(
                 shared
                     .total_cmds
                     .fetch_sub(allowed - consumed, Ordering::Relaxed);
+            }
+            if let Some(p) = profile.as_mut() {
+                for (stack, seg_cmds, micros) in p.drain(progress.load(Ordering::Relaxed)) {
+                    log.emit_with(|| Event::ProcTime {
+                        path: trace.clone(),
+                        stack,
+                        cmds: seg_cmds,
+                        micros,
+                    });
+                }
             }
             let outs = match caught {
                 Ok(outs) => outs,
@@ -1573,7 +1646,11 @@ where
     let mut worklist = seeds;
     let mut crashed_workers = 0usize;
     let mut interner = InternStats::default();
+    // `GILLIAN_LIVE` sink, owned by the main thread; each round lends it
+    // to a sampler thread that polls the shared counters.
+    let mut live = LiveSink::from_env();
     let cause = loop {
+        let sampler_stop = AtomicBool::new(false);
         let shared = SharedExplorer {
             queue: Mutex::new(JobQueue {
                 jobs: std::mem::take(&mut worklist),
@@ -1597,6 +1674,36 @@ where
             let shared = &shared;
             let journal = &journal;
             let exec = &exec;
+            // Live sampler: one thread per round polling the shared
+            // counters at the frame interval, parked once the workers
+            // retire. Frontier size and depth come from a brief queue
+            // lock; everything else is relaxed atomics.
+            if let Some(l) = live.as_mut() {
+                let stop = &sampler_stop;
+                scope.spawn(move || {
+                    let nap = l.every().min(Duration::from_millis(50));
+                    loop {
+                        let (pending_now, depth) = {
+                            let q = lock_unpoisoned(&shared.queue);
+                            (
+                                (q.jobs.len() + q.in_flight) as u64,
+                                q.jobs.back().map_or(0, |j| j.trace.len() as u32),
+                            )
+                        };
+                        l.tick(&LiveStats {
+                            paths_finished: shared.finished_paths.load(Ordering::Relaxed) as u64,
+                            pending: pending_now,
+                            depth,
+                            cmds: shared.total_cmds.load(Ordering::Relaxed),
+                            workers: workers as u32,
+                        });
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(nap);
+                    }
+                });
+            }
             // All per-worker sentinels are cloned *before* the first spawn:
             // once a worker runs it may poison the state (e.g. a memory whose
             // `Clone` panics after a fault), and an unguarded clone racing
@@ -1623,13 +1730,15 @@ where
                     })
                 })
                 .collect();
-            handles
+            let yields = handles
                 .into_iter()
                 .map(|h| {
                     h.join()
                         .unwrap_or_else(|_| Err("explorer worker died outside capture".to_string()))
                 })
-                .collect()
+                .collect();
+            sampler_stop.store(true, Ordering::Relaxed);
+            yields
         });
 
         for y in yields {
@@ -1776,6 +1885,15 @@ where
             });
             traces.push(trace);
         }
+    }
+    if let Some(l) = live.as_mut() {
+        l.finish(&LiveStats {
+            paths_finished: result.paths.len() as u64,
+            pending: 0,
+            depth: 0,
+            cmds: result.total_cmds,
+            workers: workers as u32,
+        });
     }
     sentinel.clear_interrupt();
     result.diagnostics.unknown_verdicts =

@@ -1,17 +1,31 @@
-//! Validates a Gillian JSONL trace file (the `GILLIAN_TRACE` output).
+//! Validates Gillian trace files.
 //!
-//! Usage: `trace_check <trace.jsonl>`
+//! Usage:
+//!   `trace_check <trace.jsonl>`          — JSONL trace (`GILLIAN_TRACE`)
+//!   `trace_check --chrome <trace.json>`  — Chrome trace (`GILLIAN_TRACE_CHROME`):
+//!                                          checks the newline-per-frame
+//!                                          invariant appended runs must keep
+//!   `trace_check --live <live.jsonl>`    — live frames (`GILLIAN_LIVE`)
 //!
-//! Exits 0 and prints a one-line summary when the trace is schema-valid;
+//! Exits 0 and prints a one-line summary when the file is schema-valid;
 //! exits 1 with the first violation otherwise. CI runs this against the
-//! traced smoke job's output.
+//! traced jobs' outputs.
 
-use gillian_telemetry::trace_check_summary;
+use gillian_telemetry::live::validate_live;
+use gillian_telemetry::{trace_check_summary, validate_chrome};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: trace_check <trace.jsonl>");
+    let mut mode = "jsonl";
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--chrome" => mode = "chrome",
+            "--live" => mode = "live",
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check [--chrome|--live] <file>");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -21,7 +35,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match trace_check_summary(&text) {
+    let result = match mode {
+        "chrome" => validate_chrome(&text)
+            .map(|frames| format!("chrome trace OK: {frames} frame(s), newline-terminated")),
+        "live" => validate_live(&text).map(|frames| format!("live file OK: {frames} frame(s)")),
+        _ => trace_check_summary(&text),
+    };
+    match result {
         Ok(summary) => println!("{summary}"),
         Err(e) => {
             eprintln!("trace_check: {path}: INVALID: {e}");

@@ -34,7 +34,7 @@ fn opened_paths() -> &'static Mutex<BTreeSet<String>> {
 
 /// Opens the sink at `path`, returning the file and whether this is the
 /// process's first write there (the file was truncated).
-fn open_sink(path: &str) -> Option<(std::fs::File, bool)> {
+pub(crate) fn open_sink(path: &str) -> Option<(std::fs::File, bool)> {
     let fresh = {
         let mut opened = opened_paths()
             .lock()
@@ -94,6 +94,9 @@ pub fn event_line(rec: &EventRecord) -> String {
                 .str("verdict", verdict.as_str())
                 .u64("micros", *micros)
                 .bool("cache_hit", *cache_hit);
+            if let Some(ctx) = &rec.path_ctx {
+                w.str("path", &path_string(ctx));
+            }
             if !pc.is_empty() {
                 w.str("pc", pc);
             }
@@ -107,6 +110,20 @@ pub fn event_line(rec: &EventRecord) -> String {
             w.str("lang", lang)
                 .str("action", action)
                 .u64("branches", *branches as u64)
+                .u64("micros", *micros);
+            if let Some(ctx) = &rec.path_ctx {
+                w.str("path", &path_string(ctx));
+            }
+        }
+        Event::ProcTime {
+            path,
+            stack,
+            cmds,
+            micros,
+        } => {
+            w.str("path", &path_string(path))
+                .str("stack", stack)
+                .u64("cmds", *cmds)
                 .u64("micros", *micros);
         }
         Event::DeadlineHit { path } => {
@@ -167,6 +184,20 @@ pub fn append_jsonl(path: &str, records: &[EventRecord], dropped: u64) {
     );
     buf.push('\n');
     let _ = f.write_all(buf.as_bytes());
+}
+
+/// Appends one run's folded flamegraph stacks (already rendered by
+/// `tree::ExploreTree::folded`) to the sink at `path` (truncating on the
+/// process's first write there). Repeated stacks across runs are fine:
+/// the collapsed-stacks format sums duplicate lines.
+pub fn append_folded(path: &str, folded: &str) {
+    let Some((mut f, _)) = open_sink(path) else {
+        return;
+    };
+    let _ = f.write_all(folded.as_bytes());
+    if !folded.is_empty() && !folded.ends_with('\n') {
+        let _ = f.write_all(b"\n");
+    }
 }
 
 /// Appends one run's merged journal to a Chrome `trace_event` file.
@@ -233,6 +264,28 @@ pub fn write_chrome_trace(path: &str, records: &[EventRecord]) {
                             .finish(),
                     );
             }
+            Event::ProcTime {
+                path,
+                stack,
+                cmds,
+                micros,
+            } => {
+                w.str("name", stack.rsplit(';').next().unwrap_or(stack))
+                    .str("cat", "exec")
+                    .str("ph", "X")
+                    .u64("ts", rec.ts_micros.saturating_sub(*micros))
+                    .u64("dur", (*micros).max(1))
+                    .u64("pid", 1)
+                    .u64("tid", tid)
+                    .raw(
+                        "args",
+                        &ObjWriter::new()
+                            .str("path", &path_string(path))
+                            .str("stack", stack)
+                            .u64("cmds", *cmds)
+                            .finish(),
+                    );
+            }
             other => {
                 let path_s = other.path().map(|p| path_string(p)).unwrap_or_default();
                 w.str("name", other.kind())
@@ -248,7 +301,58 @@ pub fn write_chrome_trace(path: &str, records: &[EventRecord]) {
         buf.push_str(&w.finish());
         buf.push_str(",\n");
     }
+    // Invariant tailing tools rely on: every appended frame (and the
+    // whole write) ends at a line boundary, so a reader never sees a
+    // torn JSON object at the end of the file.
+    if !buf.ends_with('\n') && !buf.is_empty() {
+        buf.push('\n');
+    }
     let _ = f.write_all(buf.as_bytes());
+}
+
+/// Validates a Chrome `trace_event` file as this exporter writes it:
+/// an opening `[` line, then one complete `{…},` frame per line — the
+/// newline-per-frame invariant appended runs must keep so tailing tools
+/// see frame boundaries. Returns the frame count.
+pub fn validate_chrome(text: &str) -> Result<u64, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == "[" => {}
+        other => {
+            return Err(format!(
+                "line 1: expected opening '[', got {:?}",
+                other.map(|(_, l)| l).unwrap_or("")
+            ))
+        }
+    }
+    if !text.ends_with('\n') {
+        return Err("file does not end with a newline (torn final frame)".into());
+    }
+    let mut frames = 0u64;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line == "]" {
+            continue;
+        }
+        let frame = line.strip_suffix(',').ok_or_else(|| {
+            format!("line {lineno}: frame does not end with ',' (torn or joined frames)")
+        })?;
+        let v = json::parse(frame).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !v.is_obj() {
+            return Err(format!("line {lineno}: frame is not a JSON object"));
+        }
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            if v.get(field).is_none() {
+                return Err(format!("line {lineno}: frame missing \"{field}\""));
+            }
+        }
+        frames += 1;
+    }
+    if frames == 0 {
+        return Err("chrome trace contains no frames".into());
+    }
+    Ok(frames)
 }
 
 /// What a validated JSONL trace contained.
@@ -274,6 +378,7 @@ const EVENT_KINDS: &[&str] = &[
     "path_finished",
     "sat_query",
     "action_exec",
+    "proc_time",
     "deadline_hit",
     "panic_isolated",
     "checkpoint_written",
@@ -364,6 +469,12 @@ pub fn validate_jsonl(text: &str) -> Result<TraceSummary, String> {
                         need("action")?;
                         need("micros")?;
                     }
+                    "proc_time" => {
+                        need("path")?;
+                        need("stack")?;
+                        need("cmds")?;
+                        need("micros")?;
+                    }
                     "panic_isolated" => {
                         need("path")?;
                         need("payload")?;
@@ -437,6 +548,7 @@ mod tests {
             ts_micros: 42,
             worker: 1,
             seq: 0,
+            path_ctx: None,
             event,
         }
     }
@@ -462,6 +574,12 @@ mod tests {
                 action: "store".into(),
                 branches: 1,
                 micros: 2,
+            }),
+            rec(Event::ProcTime {
+                path: vec![0],
+                stack: "main;f".into(),
+                cmds: 12,
+                micros: 34,
             }),
             rec(Event::PathFinished {
                 path: vec![0],
@@ -493,10 +611,82 @@ mod tests {
         text.push('\n');
         let summary = validate_jsonl(&text).expect("valid");
         assert_eq!(summary.runs, 1);
-        assert_eq!(summary.events, 5);
+        assert_eq!(summary.events, 6);
         assert_eq!(summary.paths_finished, 1);
         assert_eq!(summary.sat_queries, 1);
+        assert_eq!(summary.kinds.get("proc_time"), Some(&1));
         assert!(trace_check_summary(&text).unwrap().contains("trace OK"));
+    }
+
+    #[test]
+    fn path_context_serializes_on_shared_events() {
+        let mut attributed = rec(Event::SatQuery {
+            key: 9,
+            conjuncts: 1,
+            verdict: Verdict::Sat,
+            micros: 3,
+            cache_hit: true,
+            pc: String::new(),
+        });
+        attributed.path_ctx = Some(vec![0, 1]);
+        let line = event_line(&attributed);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("path").and_then(Value::as_str), Some("0.1"));
+    }
+
+    #[test]
+    fn chrome_trace_keeps_newline_per_frame_across_appends() {
+        let dir = std::env::temp_dir().join(format!("gillian-chrome-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        let path_s = path.to_str().unwrap();
+        let records = vec![
+            rec(Event::PathStarted { path: vec![] }),
+            rec(Event::SatQuery {
+                key: 1,
+                conjuncts: 1,
+                verdict: Verdict::Sat,
+                micros: 7,
+                cache_hit: false,
+                pc: String::new(),
+            }),
+            rec(Event::ProcTime {
+                path: vec![0],
+                stack: "main".into(),
+                cmds: 3,
+                micros: 11,
+            }),
+        ];
+        write_chrome_trace(path_s, &records);
+        write_chrome_trace(path_s, &records); // appended second run
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.ends_with('\n'),
+            "appended output ends at a frame boundary"
+        );
+        let frames = validate_chrome(&text).expect("valid chrome trace");
+        assert_eq!(frames, 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_validation_rejects_torn_frames() {
+        assert!(validate_chrome("").is_err());
+        assert!(validate_chrome("[\n").is_err(), "no frames");
+        assert!(
+            validate_chrome("[\n{\"name\":\"x\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0},")
+                .is_err(),
+            "missing trailing newline"
+        );
+        assert!(
+            validate_chrome("[\n{\"name\":\"x\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0}\n")
+                .is_err(),
+            "missing frame comma"
+        );
+        assert!(validate_chrome(
+            "[\n{\"name\":\"x\",\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0},\n"
+        )
+        .is_ok());
     }
 
     #[test]

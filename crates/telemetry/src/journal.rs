@@ -15,12 +15,56 @@
 //! unless a run is actually being traced.
 
 use crate::export;
+use crate::metrics::{registry, Counter};
+use crate::names;
 use crate::now_micros;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn dropped_counter() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| registry().counter(names::JOURNAL_DROPPED_EVENTS))
+}
+
+thread_local! {
+    /// The path the calling thread is currently executing, for
+    /// attributing shared-emitter events (sat queries, memory actions)
+    /// to exploration-tree nodes. Engines set it around each step only
+    /// when the journal is enabled, so the disabled-journal hot path
+    /// never touches it.
+    static PATH_CTX: RefCell<Option<PathId>> = const { RefCell::new(None) };
+}
+
+/// Declares `path` as the calling thread's current path: until cleared,
+/// shared-emitter events recorded from this thread carry it as their
+/// [`EventRecord::path_ctx`]. Engines call this around each step (only
+/// when tracing is on — setting it allocates a clone of the trace).
+pub fn set_path_context(path: &[u32]) {
+    PATH_CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        match ctx.as_mut() {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(path);
+            }
+            None => *ctx = Some(path.to_vec()),
+        }
+    });
+}
+
+/// Clears the calling thread's path context (between paths, and at
+/// explore end so a reused thread never leaks a stale attribution).
+pub fn clear_path_context() {
+    PATH_CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn path_context() -> Option<PathId> {
+    PATH_CTX.with(|c| c.borrow().clone())
 }
 
 /// A path's identity: the branch trace (successor index chosen at every
@@ -115,6 +159,22 @@ pub enum Event {
         /// Wall-clock latency in microseconds.
         micros: u64,
     },
+    /// Exclusive execution time attributed to one procedure (call-stack
+    /// segment) while stepping one path. Emitted by the engines from the
+    /// bytecode dispatcher's block profile; the profiler's folded-stacks
+    /// export and per-procedure rollups are built from these.
+    ProcTime {
+        /// The path being stepped.
+        path: PathId,
+        /// The call stack at the time, rendered bottom-first and joined
+        /// with `;` (e.g. `"main;f"`). The last frame is the procedure
+        /// the time is attributed to.
+        stack: String,
+        /// Commands retired during the segment.
+        cmds: u64,
+        /// Exclusive wall-clock time of the segment in microseconds.
+        micros: u64,
+    },
     /// The run's wall-clock deadline fired.
     DeadlineHit {
         /// The path being executed when the deadline was observed (empty
@@ -165,6 +225,7 @@ impl Event {
             Event::PathFinished { .. } => "path_finished",
             Event::SatQuery { .. } => "sat_query",
             Event::ActionExec { .. } => "action_exec",
+            Event::ProcTime { .. } => "proc_time",
             Event::DeadlineHit { .. } => "deadline_hit",
             Event::PanicIsolated { .. } => "panic_isolated",
             Event::CheckpointWritten { .. } => "checkpoint_written",
@@ -179,7 +240,8 @@ impl Event {
             Event::PathStarted { path }
             | Event::PathFinished { path, .. }
             | Event::DeadlineHit { path }
-            | Event::PanicIsolated { path, .. } => Some(path),
+            | Event::PanicIsolated { path, .. }
+            | Event::ProcTime { path, .. } => Some(path),
             Event::PathForked { parent, .. } => Some(parent),
             _ => None,
         }
@@ -197,9 +259,10 @@ impl Event {
             Event::PathFinished { .. } => 4,
             Event::SatQuery { .. } => 5,
             Event::ActionExec { .. } => 6,
-            Event::CheckpointWritten { .. } => 7,
-            Event::Resumed { .. } => 8,
-            Event::FaultInjected { .. } => 9,
+            Event::ProcTime { .. } => 7,
+            Event::CheckpointWritten { .. } => 8,
+            Event::Resumed { .. } => 9,
+            Event::FaultInjected { .. } => 10,
         }
     }
 }
@@ -215,8 +278,25 @@ pub struct EventRecord {
     pub worker: u32,
     /// Per-worker emission sequence number.
     pub seq: u64,
+    /// The path the emitting thread was executing, for events that do
+    /// not themselves name one (sat queries and memory actions are
+    /// emitted by shared components that cannot see the engine's
+    /// worklist). Filled from the thread-local [`set_path_context`] at
+    /// emission; `None` when no context was declared.
+    pub path_ctx: Option<PathId>,
     /// The event.
     pub event: Event,
+}
+
+impl EventRecord {
+    /// The path this record attributes to: the event's own path when it
+    /// carries one, otherwise the emitting thread's path context.
+    pub fn path(&self) -> Option<&[u32]> {
+        self.event
+            .path()
+            .map(|p| p.as_slice())
+            .or(self.path_ctx.as_deref())
+    }
 }
 
 /// The `worker` value used by shared (cross-worker) emitters.
@@ -249,6 +329,8 @@ struct JournalInner {
     jsonl: Option<String>,
     /// Chrome `trace_event` sink path, if any.
     chrome: Option<String>,
+    /// Folded-stacks (flamegraph) sink path, if any.
+    folded: Option<String>,
 }
 
 /// A handle to one run's event journal. Cloning shares the journal.
@@ -263,20 +345,20 @@ pub struct Journal {
 }
 
 /// Cached process-level trace configuration from the environment.
-fn env_config() -> &'static (Option<String>, Option<String>, usize) {
-    static CONFIG: OnceLock<(Option<String>, Option<String>, usize)> = OnceLock::new();
+#[allow(clippy::type_complexity)]
+fn env_config() -> &'static (Option<String>, Option<String>, Option<String>, usize) {
+    static CONFIG: OnceLock<(Option<String>, Option<String>, Option<String>, usize)> =
+        OnceLock::new();
     CONFIG.get_or_init(|| {
-        let jsonl = std::env::var("GILLIAN_TRACE")
-            .ok()
-            .filter(|s| !s.is_empty());
-        let chrome = std::env::var("GILLIAN_TRACE_CHROME")
-            .ok()
-            .filter(|s| !s.is_empty());
+        let var = |name: &str| std::env::var(name).ok().filter(|s| !s.is_empty());
+        let jsonl = var("GILLIAN_TRACE");
+        let chrome = var("GILLIAN_TRACE_CHROME");
+        let folded = var("GILLIAN_FOLDED");
         let cap = std::env::var("GILLIAN_TRACE_CAP")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CAPACITY);
-        (jsonl, chrome, cap)
+        (jsonl, chrome, folded, cap)
     })
 }
 
@@ -310,20 +392,48 @@ impl Journal {
                 last: Mutex::new(Arc::new(Vec::new())),
                 jsonl,
                 chrome,
+                folded: None,
             })),
         }
     }
 
+    /// This journal with a folded-stacks (flamegraph) sink: at run end
+    /// the merged journal is profiled into an exploration tree and its
+    /// folded stacks appended to `path` — the `GILLIAN_FOLDED`
+    /// construction. No-op on a disabled journal.
+    pub fn with_folded_sink(mut self, path: impl Into<String>) -> Journal {
+        if let Some(inner) = self.inner.take() {
+            let mut inner = Arc::try_unwrap(inner).unwrap_or_else(|arc| JournalInner {
+                capacity: arc.capacity,
+                retired: Mutex::new(Vec::new()),
+                shared: Mutex::new(Vec::new()),
+                shared_seq: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                last: Mutex::new(Arc::new(Vec::new())),
+                jsonl: arc.jsonl.clone(),
+                chrome: arc.chrome.clone(),
+                folded: arc.folded.clone(),
+            });
+            inner.folded = Some(path.into());
+            self.inner = Some(Arc::new(inner));
+        }
+        self
+    }
+
     /// The journal the environment asks for: enabled with the configured
-    /// sinks when `GILLIAN_TRACE`/`GILLIAN_TRACE_CHROME` is set,
-    /// disabled otherwise. A **fresh** journal per call — each
+    /// sinks when `GILLIAN_TRACE`/`GILLIAN_TRACE_CHROME`/`GILLIAN_FOLDED`
+    /// is set, disabled otherwise. A **fresh** journal per call — each
     /// exploration run merges and appends to the sink files on its own.
     pub fn from_env() -> Journal {
-        let (jsonl, chrome, cap) = env_config();
-        if jsonl.is_none() && chrome.is_none() {
+        let (jsonl, chrome, folded, cap) = env_config();
+        if jsonl.is_none() && chrome.is_none() && folded.is_none() {
             return Journal::disabled();
         }
-        Journal::with_sinks(jsonl.clone(), chrome.clone(), *cap)
+        let journal = Journal::with_sinks(jsonl.clone(), chrome.clone(), *cap);
+        match folded {
+            Some(path) => journal.with_folded_sink(path.clone()),
+            None => journal,
+        }
     }
 
     /// True when events are being collected.
@@ -339,6 +449,11 @@ impl Journal {
     /// The configured Chrome-trace sink path, if any.
     pub fn chrome_path(&self) -> Option<&str> {
         self.inner.as_ref().and_then(|i| i.chrome.as_deref())
+    }
+
+    /// The configured folded-stacks sink path, if any.
+    pub fn folded_path(&self) -> Option<&str> {
+        self.inner.as_ref().and_then(|i| i.folded.as_deref())
     }
 
     /// A log for worker `worker`. Emitting through it is lock-free; the
@@ -364,16 +479,16 @@ impl Journal {
             ts_micros: now_micros(),
             worker: SHARED_WORKER,
             seq,
+            path_ctx: path_context(),
             event,
         };
         let mut shared = lock_unpoisoned(&inner.shared);
         if shared.len() >= inner.capacity * 4 {
             // Bound the shared buffer too; shed the oldest half.
             let keep = shared.len() / 2;
-            inner
-                .dropped
-                .fetch_add((shared.len() - keep) as u64, Ordering::Relaxed);
             let cut = shared.len() - keep;
+            inner.dropped.fetch_add(cut as u64, Ordering::Relaxed);
+            dropped_counter().add(cut as u64);
             shared.drain(..cut);
         }
         shared.push(rec);
@@ -402,14 +517,8 @@ impl Journal {
         }
         merged.extend(lock_unpoisoned(&inner.shared).drain(..));
         merged.sort_by(|a, b| {
-            let ka = (
-                a.event.path().map(|p| p.as_slice()).unwrap_or(&[]),
-                a.event.kind_rank(),
-            );
-            let kb = (
-                b.event.path().map(|p| p.as_slice()).unwrap_or(&[]),
-                b.event.kind_rank(),
-            );
+            let ka = (a.path().unwrap_or(&[]), a.event.kind_rank());
+            let kb = (b.path().unwrap_or(&[]), b.event.kind_rank());
             ka.cmp(&kb)
                 .then(a.ts_micros.cmp(&b.ts_micros))
                 .then(a.worker.cmp(&b.worker))
@@ -421,6 +530,10 @@ impl Journal {
         }
         if let Some(path) = &inner.chrome {
             export::write_chrome_trace(path, &merged);
+        }
+        if let Some(path) = &inner.folded {
+            let tree = crate::tree::ExploreTree::from_records(&merged);
+            export::append_folded(path, &tree.folded());
         }
         *lock_unpoisoned(&inner.last) = merged.clone();
         merged
@@ -439,6 +552,7 @@ impl Journal {
         let Some(inner) = &self.inner else { return };
         if dropped > 0 {
             inner.dropped.fetch_add(dropped, Ordering::Relaxed);
+            dropped_counter().add(dropped);
         }
         if !buf.is_empty() {
             lock_unpoisoned(&inner.retired).push(buf);
@@ -476,6 +590,7 @@ impl WorkerLog {
             ts_micros: now_micros(),
             worker: self.worker,
             seq: self.seq,
+            path_ctx: None,
             event: make(),
         };
         self.seq += 1;
@@ -610,5 +725,43 @@ mod tests {
     fn path_strings_render() {
         assert_eq!(path_string(&[]), "");
         assert_eq!(path_string(&[0, 1, 0]), "0.1.0");
+    }
+
+    #[test]
+    fn shared_events_carry_the_thread_path_context() {
+        let j = Journal::enabled();
+        let sat = |key| Event::SatQuery {
+            key,
+            conjuncts: 1,
+            verdict: Verdict::Sat,
+            micros: 5,
+            cache_hit: false,
+            pc: String::new(),
+        };
+        set_path_context(&[0, 1]);
+        j.record_shared(sat(1));
+        clear_path_context();
+        j.record_shared(sat(2));
+        let merged = j.finish_run();
+        assert_eq!(merged.len(), 2);
+        // The context-free record sorts under the root (empty) path; the
+        // attributed one under its context path.
+        assert_eq!(merged[0].path(), None);
+        assert_eq!(merged[1].path(), Some(&[0u32, 1][..]));
+        assert!(matches!(merged[1].event, Event::SatQuery { key: 1, .. }));
+    }
+
+    #[test]
+    fn journal_drops_feed_the_process_counter() {
+        let before = dropped_counter().get();
+        let j = Journal::with_sinks(None, None, 16);
+        let mut log = j.worker(1);
+        for i in 0..40u32 {
+            log.emit_with(|| Event::PathStarted { path: vec![i] });
+        }
+        drop(log);
+        j.finish_run();
+        assert_eq!(j.events_dropped(), 24);
+        assert!(dropped_counter().get() >= before + 24);
     }
 }

@@ -37,13 +37,17 @@
 pub mod export;
 pub mod journal;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod report;
+pub mod tree;
 
-pub use export::{trace_check_summary, validate_jsonl};
+pub use export::{trace_check_summary, validate_chrome, validate_jsonl};
 pub use journal::{Event, EventRecord, Journal, PathId, Verdict, WorkerLog};
+pub use live::{LiveSink, LiveStats};
 pub use metrics::{registry, Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use report::{LangActionRow, Report, SlowQuery, TreeStats};
+pub use tree::{ExploreTree, NodeCost, ProcStat, TreeNode};
 
 /// Well-known metric names, so recorders and the report agree on
 /// spelling. The registry accepts any `&'static str`; these are the ones
@@ -120,6 +124,20 @@ pub mod names {
     /// forks); mass in the high buckets means straight-line fusion is
     /// paying off.
     pub const EXEC_BLOCK_CMDS: &str = "exec.block_cmds";
+    /// Inline-cache hits in the bytecode dispatcher: an `Action`
+    /// instruction whose per-site cache already held the resolved
+    /// action code.
+    pub const EXEC_IC_HITS: &str = "exec.ic_hits";
+    /// Inline-cache misses: an `Action` site resolved by name (the
+    /// one-time fill of each site's cache, so misses ≈ distinct
+    /// compiled action sites executed).
+    pub const EXEC_IC_MISSES: &str = "exec.ic_misses";
+    /// Journal events lost to ring-buffer wrap or shared-buffer
+    /// shedding, process-wide (per-run counts live on the journal; this
+    /// counter is what the report and the live console surface).
+    pub const JOURNAL_DROPPED_EVENTS: &str = "journal.dropped_events";
+    /// Live-mode snapshot frames written to the `GILLIAN_LIVE` sink.
+    pub const LIVE_FRAMES: &str = "live.frames";
 }
 
 use std::sync::OnceLock;

@@ -348,6 +348,12 @@ impl MetricsSnapshot {
         self
     }
 
+    /// Iterates every counter as `(name, value)`, in name order — what
+    /// the live-mode exporter walks to emit nonzero deltas.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
     /// The named counter's value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters

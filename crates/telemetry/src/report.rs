@@ -16,12 +16,16 @@
 use crate::journal::{Event, EventRecord, Verdict};
 use crate::metrics::MetricsSnapshot;
 use crate::names;
+use crate::tree::{node_label, ExploreTree};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
 /// How many slowest queries a report keeps.
 pub const TOP_K_QUERIES: usize = 10;
+
+/// How many rows the hot-subtree / hot-proc / hot-pc sections show.
+pub const TOP_K_HOT: usize = 5;
 
 /// Shape statistics of the explored branch tree, computed from the
 /// schedule-independent branch traces of the finished paths.
@@ -136,6 +140,9 @@ pub struct Report {
     pub events_dropped: u64,
     /// Where the JSONL trace went, when a sink was configured.
     pub trace_path: Option<String>,
+    /// The exploration-tree profile (journal runs only): cost-attributed
+    /// tree model behind the hot-subtrees / hot-procs / hot-pc sections.
+    pub profile: Option<ExploreTree>,
 }
 
 impl Report {
@@ -144,6 +151,9 @@ impl Report {
     pub fn ingest_events(&mut self, records: &[EventRecord], dropped: u64) {
         self.events = records.len() as u64;
         self.events_dropped = dropped;
+        if !records.is_empty() {
+            self.profile = Some(ExploreTree::from_records(records));
+        }
         let mut queries: Vec<SlowQuery> = Vec::new();
         let mut actions: BTreeMap<(&'static str, String), LangActionRow> = BTreeMap::new();
         for rec in records {
@@ -258,6 +268,17 @@ impl Report {
                 self.metrics.counter(names::EXEC_COMPILES)
             );
         }
+        let ic_hits = self.metrics.counter(names::EXEC_IC_HITS);
+        let ic_misses = self.metrics.counter(names::EXEC_IC_MISSES);
+        if ic_hits + ic_misses > 0 {
+            let _ = writeln!(
+                out,
+                "inline caches: {} hits · {} misses ({:.1}% hit)",
+                ic_hits,
+                ic_misses,
+                100.0 * ic_hits as f64 / (ic_hits + ic_misses) as f64
+            );
+        }
         let mints = self.metrics.counter(names::INTERN_MINTS);
         let ihits = self.metrics.counter(names::INTERN_HITS);
         if mints + ihits > 0 {
@@ -343,6 +364,51 @@ impl Report {
                 );
             }
         }
+        if let Some(profile) = &self.profile {
+            let hot = profile.hot_subtrees(TOP_K_HOT);
+            if !hot.is_empty() {
+                let _ = writeln!(out, "hot subtrees (inclusive cost under a branch point):");
+                for (i, (path, node)) in hot.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  {:>2}. {:<14} busy {:>8}µs · sat {:>7}µs/{:<5} · exec {:>8} cmds · {} leaves · {} arms",
+                        i + 1,
+                        node_label(path),
+                        node.incl.busy_micros(),
+                        node.incl.sat_micros,
+                        format!("{}q", node.incl.sat_queries),
+                        node.incl.step_cmds,
+                        node.leaves,
+                        node.arms
+                    );
+                }
+            }
+            let procs = profile.procs();
+            if !procs.is_empty() {
+                let _ = writeln!(out, "hot procedures (exclusive dispatcher time):");
+                for (name, stat) in procs.iter().take(TOP_K_HOT) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:>8}µs · {:>8} cmds · {:>6} segments",
+                        name, stat.micros, stat.cmds, stat.segments
+                    );
+                }
+            }
+            let prefixes = profile.hot_pc_prefixes(TOP_K_HOT);
+            if !prefixes.is_empty() {
+                let _ = writeln!(out, "hot pc prefixes (inclusive solver cost):");
+                for (i, (path, node)) in prefixes.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "  {:>2}. {:<14} sat {:>8}µs over {} queries",
+                        i + 1,
+                        node_label(path),
+                        node.incl.sat_micros,
+                        node.incl.sat_queries
+                    );
+                }
+            }
+        }
         if self.events > 0 || self.events_dropped > 0 {
             let _ = writeln!(
                 out,
@@ -353,6 +419,14 @@ impl Report {
                     Some(p) => format!(" · trace: {p}"),
                     None => String::new(),
                 }
+            );
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: journal ring buffers dropped {} event(s) — profile attribution is \
+                 partial; raise GILLIAN_TRACE_CAP",
+                self.events_dropped
             );
         }
         out
@@ -403,6 +477,7 @@ mod tests {
             ts_micros: 0,
             worker: 0,
             seq: 0,
+            path_ctx: None,
             event: Event::SatQuery {
                 key,
                 conjuncts: 1,
@@ -417,6 +492,7 @@ mod tests {
             ts_micros: 0,
             worker: 0,
             seq: 0,
+            path_ctx: None,
             event: Event::ActionExec {
                 lang: "while",
                 action: "store".into(),
@@ -428,6 +504,7 @@ mod tests {
             ts_micros: 0,
             worker: 0,
             seq: 1,
+            path_ctx: None,
             event: Event::ActionExec {
                 lang: "while",
                 action: "store".into(),
@@ -446,5 +523,79 @@ mod tests {
         let text = report.render();
         assert!(text.contains("slowest sat queries"));
         assert!(text.contains("memory actions by language"));
+        assert!(text.contains("WARNING: journal ring buffers dropped 3"));
+    }
+
+    #[test]
+    fn render_includes_hot_sections_from_the_profile() {
+        let rec = |seq, path_ctx: Option<Vec<u32>>, event| EventRecord {
+            ts_micros: seq,
+            worker: 0,
+            seq,
+            path_ctx,
+            event,
+        };
+        let records = vec![
+            rec(0, None, Event::PathStarted { path: vec![] }),
+            rec(
+                1,
+                None,
+                Event::PathForked {
+                    parent: vec![],
+                    arms: 2,
+                },
+            ),
+            rec(
+                2,
+                Some(vec![0]),
+                Event::SatQuery {
+                    key: 1,
+                    conjuncts: 1,
+                    verdict: Verdict::Sat,
+                    micros: 50,
+                    cache_hit: false,
+                    pc: String::new(),
+                },
+            ),
+            rec(
+                3,
+                None,
+                Event::ProcTime {
+                    path: vec![0],
+                    stack: "main".into(),
+                    cmds: 8,
+                    micros: 120,
+                },
+            ),
+            rec(
+                4,
+                None,
+                Event::PathFinished {
+                    path: vec![0],
+                    outcome: "normal",
+                    cmds: 8,
+                },
+            ),
+            rec(
+                5,
+                None,
+                Event::PathFinished {
+                    path: vec![1],
+                    outcome: "normal",
+                    cmds: 2,
+                },
+            ),
+        ];
+        let mut report = Report::default();
+        report.ingest_events(&records, 0);
+        let profile = report.profile.as_ref().expect("profile built");
+        assert_eq!(profile.len(), 3);
+        let text = report.render();
+        assert!(text.contains("hot subtrees"), "{text}");
+        assert!(text.contains("hot procedures"), "{text}");
+        assert!(text.contains("hot pc prefixes"), "{text}");
+        assert!(text.contains("(root)"), "{text}");
+        assert!(text.contains("main"), "{text}");
+        assert!(!text.contains("WARNING"), "{text}");
     }
 }
