@@ -153,6 +153,19 @@ pub struct ExploreConfig {
     /// produce identical `(trace, outcome, cmds)` path sets; the switch
     /// exists for differential testing and A/B benchmarking.
     pub bytecode: Option<bool>,
+    /// Procedure-summary reuse (`DESIGN.md` §17): `Some(true)` arms the
+    /// state's summary store for the run (recording clean callee windows,
+    /// splicing them back at applicable `Call` sites), `Some(false)`
+    /// leaves every call executing normally, and `None` (the default)
+    /// defers to the `GILLIAN_SUMMARIES` environment variable — off
+    /// unless set to something other than `0`. Summaries never change a
+    /// path's `(trace, outcome)`: an applied summary replays a proven
+    /// fork-free callee, retiring the whole call as the one `Call`
+    /// command, so only `cmds` (and wall-clock) shrink. With
+    /// `GILLIAN_SUMMARY_FILE` set, armed runs load the store from that
+    /// file at start and persist it back at end (warm runs across
+    /// processes); a corrupt file degrades to cold execution.
+    pub summaries: Option<bool>,
 }
 
 impl ExploreConfig {
@@ -178,8 +191,18 @@ impl Default for ExploreConfig {
             checkpoint: None,
             faults: None,
             bytecode: None,
+            summaries: None,
         }
     }
+}
+
+/// The `GILLIAN_SUMMARIES` resolution used when
+/// [`ExploreConfig::summaries`] is `None`: off unless the variable is set
+/// to something other than `0` (summaries are opt-in, unlike the
+/// default-on bytecode backend — warm reuse is a deliberate choice, and
+/// the cold path stays byte-identical to a build without the feature).
+fn summaries_from_env() -> bool {
+    std::env::var("GILLIAN_SUMMARIES").is_ok_and(|v| v != "0")
 }
 
 /// The outcome of one explored path.
@@ -275,6 +298,16 @@ pub struct ExploreDiagnostics {
     /// index (UNSAT subsets, witnessed SAT supersets/models). Telemetry
     /// only, like [`ExploreDiagnostics::incremental_hits`].
     pub implication_hits: u64,
+    /// Procedure summaries harvested during this run (clean callee
+    /// windows recorded into the solver's summary store). Telemetry only,
+    /// like [`ExploreDiagnostics::incremental_hits`]: recording never
+    /// changes a verdict, so this does not affect
+    /// [`ExploreDiagnostics::is_clean`].
+    pub summaries_recorded: u64,
+    /// `Call` sites answered by splicing a recorded summary instead of
+    /// re-executing the callee. Telemetry only — an applied summary
+    /// preserves the path's `(trace, outcome)` exactly.
+    pub summaries_applied: u64,
     /// Interner activity attributed to this run: the sum of **per-worker
     /// thread-local** [`InternStats`] deltas (the serial engine's single
     /// thread, or every worker of the parallel engine), with `live`
@@ -635,10 +668,19 @@ fn explore_frontier<S: GilState>(
     if let Some(plan) = &faults {
         sentinel.install_fault_probe(plan.probe(journal.clone()));
     }
+    // Summary arming (`DESIGN.md` §17): same one-run-at-a-time lifecycle
+    // as the interrupt. Armed states load `GILLIAN_SUMMARY_FILE` (when
+    // set) inside the configure hook, so warm entries apply from the
+    // first path onward.
+    let summaries_on = cfg.summaries.unwrap_or_else(summaries_from_env);
+    if summaries_on {
+        sentinel.configure_summaries(prog, true);
+    }
     let ckpt = cfg.checkpoint.clone();
     let mut next_ckpt = ckpt.as_ref().and_then(|c| c.every).map(|e| run_started + e);
     let unknowns_before = sentinel.unknown_verdicts();
     let reuse_before = sentinel.solver_reuse();
+    let summary_before = sentinel.summary_stats();
     // Thread-local snapshot: the whole run executes on this thread, so
     // the delta attributes exactly this run's interner traffic.
     let interner_before = InternStats::thread_snapshot();
@@ -673,6 +715,11 @@ fn explore_frontier<S: GilState>(
             reuse.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
         d.implication_hits =
             reuse.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+        let summ = sentinel.summary_stats();
+        d.summaries_recorded =
+            summ.0.saturating_sub(summary_before.0) + base.diagnostics.summaries_recorded;
+        d.summaries_applied =
+            summ.1.saturating_sub(summary_before.1) + base.diagnostics.summaries_applied;
         d
     };
     let pop = |wl: &mut VecDeque<FrontierItem<S>>, strategy| match strategy {
@@ -991,10 +1038,20 @@ fn explore_frontier<S: GilState>(
         reuse_after.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
     result.diagnostics.implication_hits =
         reuse_after.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+    let summary_after = sentinel.summary_stats();
+    result.diagnostics.summaries_recorded =
+        summary_after.0.saturating_sub(summary_before.0) + base.diagnostics.summaries_recorded;
+    result.diagnostics.summaries_applied =
+        summary_after.1.saturating_sub(summary_before.1) + base.diagnostics.summaries_applied;
     result.diagnostics.deadline_hits += base.diagnostics.deadline_hits;
     result.diagnostics.cancellations += base.diagnostics.cancellations;
     result.diagnostics.engine_errors += base.diagnostics.engine_errors;
     result.diagnostics.interner = InternStats::thread_snapshot().since(&interner_before);
+    if summaries_on {
+        // Disarm (persisting to `GILLIAN_SUMMARY_FILE` when set); entries
+        // stay in the store for the next armed run in this process.
+        sentinel.configure_summaries(prog, false);
+    }
     if faults.is_some() {
         sentinel.clear_fault_probe();
     }
@@ -1613,10 +1670,17 @@ where
     if let Some(plan) = &cfg.faults {
         sentinel.install_fault_probe(plan.probe(journal.clone()));
     }
+    // Summary arming: one shared store (it lives on the shared solver),
+    // armed once for the whole worker pool.
+    let summaries_on = cfg.summaries.unwrap_or_else(summaries_from_env);
+    if summaries_on {
+        sentinel.configure_summaries(prog, true);
+    }
     let ckpt = cfg.checkpoint.clone();
     let mut next_ckpt = ckpt.as_ref().and_then(|c| c.every).map(|e| run_started + e);
     let unknowns_before = sentinel.unknown_verdicts();
     let reuse_before = sentinel.solver_reuse();
+    let summary_before = sentinel.summary_stats();
     // The run's interner traffic is the sum of each worker thread's delta
     // plus this (main) thread's — entry-state construction interns here.
     let main_interner_before = InternStats::thread_snapshot();
@@ -1635,6 +1699,11 @@ where
             reuse.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
         d.implication_hits =
             reuse.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+        let summ = sentinel.summary_stats();
+        d.summaries_recorded =
+            summ.0.saturating_sub(summary_before.0) + base.diagnostics.summaries_recorded;
+        d.summaries_applied =
+            summ.1.saturating_sub(summary_before.1) + base.diagnostics.summaries_applied;
         d
     };
 
@@ -1904,6 +1973,11 @@ where
         reuse_after.0.saturating_sub(reuse_before.0) + base.diagnostics.incremental_hits;
     result.diagnostics.implication_hits =
         reuse_after.1.saturating_sub(reuse_before.1) + base.diagnostics.implication_hits;
+    let summary_after = sentinel.summary_stats();
+    result.diagnostics.summaries_recorded =
+        summary_after.0.saturating_sub(summary_before.0) + base.diagnostics.summaries_recorded;
+    result.diagnostics.summaries_applied =
+        summary_after.1.saturating_sub(summary_before.1) + base.diagnostics.summaries_applied;
     result.diagnostics.deadline_hits += base.diagnostics.deadline_hits;
     result.diagnostics.cancellations += base.diagnostics.cancellations;
     result.diagnostics.engine_errors += base.diagnostics.engine_errors;
@@ -1912,6 +1986,9 @@ where
     interner.hits += main_delta.hits;
     interner.live = InternStats::snapshot().live;
     result.diagnostics.interner = interner;
+    if summaries_on {
+        sentinel.configure_summaries(prog, false);
+    }
     if cfg.faults.is_some() {
         sentinel.clear_fault_probe();
     }

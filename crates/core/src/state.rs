@@ -15,7 +15,7 @@
 
 use crate::checkpoint::{StateCtx, StateIoError};
 use gillian_gil::serial::{ByteReader, Decoder, Encoder};
-use gillian_gil::{EvalScratch, Expr, ExprCode, Ident};
+use gillian_gil::{EvalScratch, Expr, ExprCode, Ident, Prog};
 use gillian_solver::{FaultProbe, Interrupt};
 use gillian_telemetry::Journal;
 
@@ -255,6 +255,42 @@ pub trait GilState: Clone + std::fmt::Debug + Sized {
         Err(StateIoError::Unsupported(
             std::any::type_name::<Self::Store>(),
         ))
+    }
+
+    /// Arms (or disarms) procedure-summary recording and application in
+    /// this state's solving machinery for `prog` (`DESIGN.md` §17). Same
+    /// one-run-at-a-time lifecycle as [`GilState::install_interrupt`];
+    /// the default is a no-op — concrete states re-execute every call.
+    fn configure_summaries(&self, _prog: &Prog, _enabled: bool) {}
+
+    /// Attempts to answer a call to `callee` with already-evaluated
+    /// arguments `args` from a recorded procedure summary. On success the
+    /// state has been advanced exactly as executing the callee would have
+    /// (path-condition deltas spliced) and the return value is produced
+    /// without re-execution; `None` falls through to the normal call
+    /// path. The default (concrete states, states without summary
+    /// support) never answers.
+    fn summary_apply(&mut self, _callee: &Ident, _args: &[Self::V]) -> Option<Self::V> {
+        None
+    }
+
+    /// Notes that a call frame for `callee` was pushed at stack depth
+    /// `depth` with arguments `args`, opening a summary-harvest window.
+    /// The default is a no-op.
+    fn summary_call(&mut self, _callee: &Ident, _args: &[Self::V], _depth: usize) {}
+
+    /// Notes that the frame at stack depth `depth` is returning `ret`
+    /// normally; a summary-capable state harvests the window opened by
+    /// the matching [`GilState::summary_call`] if it stayed clean (no
+    /// fork, no memory action, no fresh symbol). The default is a no-op.
+    fn summary_return(&mut self, _ret: &Self::V, _depth: usize) {}
+
+    /// Monotone `(recorded, applied)` summary counts observed so far by
+    /// this state's solving machinery. The exploration engines diff these
+    /// across a run for the diagnostics report; informational only.
+    /// States without summary support report `(0, 0)`.
+    fn summary_stats(&self) -> (u64, u64) {
+        (0, 0)
     }
 
     /// Installs a deterministic fault probe into this state's solving
